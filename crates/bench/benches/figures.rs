@@ -1,0 +1,45 @@
+//! Criterion harness over the figure pipelines: one scaled-down cell of
+//! each paper figure runs under `cargo bench`, so the figure code paths are
+//! continuously exercised and timed. The full sweeps (all conditions, all
+//! sizes) live in the `fig2a`/`fig2b` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coic_bench::{base_config, fig2a_trace, render_trace};
+use coic_core::simrun::{run, Mode, SimConfig};
+
+fn bench_fig2a_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2a");
+    g.sample_size(10);
+    let trace = fig2a_trace(40, 42);
+    for (mode, name) in [(Mode::Origin, "origin"), (Mode::CoIc, "coic")] {
+        let cfg = SimConfig {
+            mode,
+            wan_mbps: 20.0,
+            ..base_config()
+        };
+        g.bench_function(format!("{name}/400Mb_20Mb/40req"), |b| {
+            b.iter(|| run(black_box(&trace), black_box(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig2b_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2b");
+    g.sample_size(10);
+    let trace = render_trace(1, 4, 1_000_000, 16, 8);
+    for (mode, name) in [(Mode::Origin, "origin"), (Mode::CoIc, "coic")] {
+        let mut cfg = base_config();
+        cfg.mode = mode;
+        cfg.num_clients = 1;
+        g.bench_function(format!("{name}/1MB_models/16loads"), |b| {
+            b.iter(|| run(black_box(&trace), black_box(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(figures, bench_fig2a_cell, bench_fig2b_cell);
+criterion_main!(figures);

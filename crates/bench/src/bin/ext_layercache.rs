@@ -1,0 +1,81 @@
+//! **Ext E** — fine-grained layer-level reuse (paper §4 ongoing work).
+//!
+//! Sweeps the DNN layer whose activation keys the cache: layer 0 is the
+//! cheap pooled front end (client does almost no work, descriptor least
+//! invariant), the last layer is classic CoIC (client pays the full
+//! descriptor cost, best matching). Reports the client/cloud compute
+//! split, descriptor size, hit ratio and accuracy per layer.
+//!
+//! Run with: `cargo run --release -p coic-bench --bin ext_layercache`
+
+use coic_core::layercache::LayerCache;
+use coic_core::ComputeConfig;
+use coic_cache::PolicyKind;
+use coic_vision::{ObjectClass, PrototypeClassifier, SceneGenerator, SimNet, ViewParams};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let gen = SceneGenerator::new(64);
+    let net = SimNet::default_net();
+    let classes: Vec<_> = (0..24).map(ObjectClass).collect();
+    let mut rng = StdRng::seed_from_u64(17);
+    let clf = PrototypeClassifier::train(&net, &gen, &classes, 5, 0.15, 6.0, &mut rng);
+
+    // The observation stream: co-located users re-sighting a Zipf-ish set
+    // of objects under viewpoint jitter.
+    let observations: Vec<_> = (0..300)
+        .map(|_| {
+            // Squaring a uniform draw skews popularity toward low ranks.
+            let rank = (rng.random::<f64>().powi(2) * classes.len() as f64) as usize;
+            let c = classes[rank.min(classes.len() - 1)];
+            let v = ViewParams::jittered(&mut rng, 0.15, 6.0);
+            (c, gen.observe(c, &v, &mut rng))
+        })
+        .collect();
+
+    println!("Ext E — layer-cache sweep (300 observations, 24 objects, wide jitter)\n");
+    println!(
+        "{:>6} | {:>10} {:>10} {:>7} | {:>6} {:>9}",
+        "layer", "client-ms", "cloud-ms", "descr", "hit%", "accuracy"
+    );
+    coic_bench::rule(60);
+    for layer in 0..=net.num_layers() {
+        let mut lc = LayerCache::new(
+            layer,
+            0.35,
+            64 << 20,
+            PolicyKind::Lru,
+            ComputeConfig::default(),
+        );
+        let mut client_ns = 0u64;
+        let mut cloud_ns = 0u64;
+        let mut correct = 0u64;
+        let mut descr = 0u64;
+        for (i, (truth, img)) in observations.iter().enumerate() {
+            let out = lc.process(img, &clf, i as u64);
+            client_ns += out.client_ns;
+            cloud_ns += out.cloud_ns;
+            descr = out.descriptor_bytes;
+            if out.result.label == truth.0 {
+                correct += 1;
+            }
+        }
+        let n = observations.len() as f64;
+        let stats = lc.stats();
+        println!(
+            "{:>6} | {:>7.1} ms {:>7.1} ms {:>5} B | {:>5.1}% {:>8.1}%",
+            layer,
+            client_ns as f64 / n / 1e6,
+            cloud_ns as f64 / n / 1e6,
+            descr,
+            stats.hit_ratio() * 100.0,
+            correct as f64 / n * 100.0
+        );
+    }
+    coic_bench::rule(60);
+    println!("layer 0 = pooled front end … last layer = classic CoIC descriptor");
+    println!("\nShipping an earlier layer saves client compute and shifts work to");
+    println!("the cloud on misses; the hit ratio (and the compute saved per hit)");
+    println!("determines the sweet spot.");
+}

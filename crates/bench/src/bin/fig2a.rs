@@ -1,0 +1,39 @@
+//! **Figure 2a** — "Recognition latency reduction under different network
+//! conditions. `B_M->E` and `B_E->C` refer to the available bandwidth
+//! between mobile client and edge, edge and cloud, respectively."
+//!
+//! Paper result: CoIC reduces recognition latency by **up to 52.28%**
+//! across conditions, with larger reductions when the edge→cloud segment
+//! is slower.
+//!
+//! Run with: `cargo run --release -p coic-bench --bin fig2a`
+
+use coic_bench::{base_config, fig2a_trace, run_pair, FIG2A_CONDITIONS};
+
+fn main() {
+    let trace = fig2a_trace(200, 42);
+    println!("Figure 2a — recognition latency reduction vs network condition");
+    println!("(200 recognition requests, 4 co-located safe-driving users)\n");
+    println!(
+        "{:>10} {:>10} | {:>12} {:>12} {:>7} | {:>10}",
+        "B_M->E", "B_E->C", "origin-mean", "coic-mean", "hit%", "reduction"
+    );
+    coic_bench::rule(74);
+    let mut max_red: f64 = 0.0;
+    for cond in FIG2A_CONDITIONS {
+        let cfg = cond.apply(&base_config());
+        let (origin, coic, red) = run_pair(&trace, &cfg);
+        max_red = max_red.max(red);
+        println!(
+            "{:>7} Mb {:>7} Mb | {:>9.1} ms {:>9.1} ms {:>6.1}% | {:>9.2}%",
+            cond.access_mbps,
+            cond.wan_mbps,
+            origin.mean_latency_ms(),
+            coic.mean_latency_ms(),
+            coic.hit_ratio() * 100.0,
+            red
+        );
+    }
+    coic_bench::rule(74);
+    println!("max reduction: {max_red:.2}%   (paper: up to 52.28%)");
+}

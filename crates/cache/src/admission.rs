@@ -1,0 +1,97 @@
+//! TinyLFU admission control.
+//!
+//! Eviction alone lets a burst of one-hit-wonders flush a popular working
+//! set. TinyLFU guards the door instead: every lookup/insert attempt feeds
+//! a [`crate::sketch::CountMinSketch`]; when the cache is full, a candidate
+//! is admitted only if its estimated frequency beats the eviction victim's.
+//! The sketch ages itself, so the comparison reflects a sliding window.
+
+use crate::sketch::CountMinSketch;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the TinyLFU admission filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TinyLfuConfig {
+    /// Sketch counters per row (rounded up to a power of two).
+    pub width: usize,
+    /// Sketch rows.
+    pub depth: usize,
+    /// Aging window in recorded events.
+    pub window: u64,
+}
+
+impl Default for TinyLfuConfig {
+    fn default() -> Self {
+        TinyLfuConfig {
+            width: 4096,
+            depth: 4,
+            window: 65_536,
+        }
+    }
+}
+
+/// The admission filter.
+#[derive(Debug, Clone)]
+pub struct TinyLfu {
+    sketch: CountMinSketch,
+}
+
+impl TinyLfu {
+    /// Build the filter.
+    pub fn new(cfg: TinyLfuConfig) -> Self {
+        TinyLfu {
+            sketch: CountMinSketch::new(cfg.width, cfg.depth, cfg.window),
+        }
+    }
+
+    /// Record that `key` was requested (hit, miss or insert attempt).
+    pub fn record(&mut self, key: u64) {
+        self.sketch.increment(key);
+    }
+
+    /// Should `candidate` displace `victim`? Strictly-greater comparison:
+    /// ties keep the incumbent (avoids thrash between equally-warm keys).
+    pub fn admit(&self, candidate: u64, victim: u64) -> bool {
+        self.sketch.estimate(candidate) > self.sketch.estimate(victim)
+    }
+
+    /// Estimated frequency of `key` (diagnostics).
+    pub fn estimate(&self, key: u64) -> u32 {
+        self.sketch.estimate(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popular_candidate_displaces_cold_victim() {
+        let mut f = TinyLfu::new(TinyLfuConfig::default());
+        for _ in 0..10 {
+            f.record(1);
+        }
+        f.record(2);
+        assert!(f.admit(1, 2));
+        assert!(!f.admit(2, 1));
+    }
+
+    #[test]
+    fn ties_keep_incumbent() {
+        let mut f = TinyLfu::new(TinyLfuConfig::default());
+        f.record(1);
+        f.record(2);
+        assert!(!f.admit(1, 2));
+        assert!(!f.admit(2, 1));
+    }
+
+    #[test]
+    fn one_hit_wonder_cannot_enter() {
+        let mut f = TinyLfu::new(TinyLfuConfig::default());
+        for _ in 0..5 {
+            f.record(42); // incumbent seen five times
+        }
+        f.record(7); // scanned once
+        assert!(!f.admit(7, 42));
+    }
+}

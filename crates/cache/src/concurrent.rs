@@ -1,0 +1,151 @@
+//! Thread-safe cache wrappers for the real-TCP deployment, where the edge
+//! serves each client connection from its own thread.
+
+use crate::approx::{ApproxCache, ApproxLookup};
+use crate::digest::Digest;
+use crate::exact::ExactCache;
+use crate::stats::CacheStats;
+use coic_vision::features::FeatureVec;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A shareable, mutex-guarded exact cache.
+#[derive(Clone)]
+pub struct SharedExactCache<V> {
+    inner: Arc<Mutex<ExactCache<V>>>,
+}
+
+impl<V: Clone> SharedExactCache<V> {
+    /// Wrap an exact cache.
+    pub fn new(cache: ExactCache<V>) -> Self {
+        SharedExactCache {
+            inner: Arc::new(Mutex::new(cache)),
+        }
+    }
+
+    /// Clone-out lookup (values are cloned so the lock is held briefly).
+    pub fn lookup(&self, key: &Digest, now_ns: u64) -> Option<V> {
+        self.inner.lock().lookup(key, now_ns).cloned()
+    }
+
+    /// Insert a value.
+    pub fn insert(&self, key: Digest, value: V, size: u64, now_ns: u64) {
+        self.inner.lock().insert(key, value, size, now_ns);
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.inner.lock().stats()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+/// A shareable, mutex-guarded approximate cache.
+#[derive(Clone)]
+pub struct SharedApproxCache<V> {
+    inner: Arc<Mutex<ApproxCache<V>>>,
+}
+
+impl<V: Clone> SharedApproxCache<V> {
+    /// Wrap an approximate cache.
+    pub fn new(cache: ApproxCache<V>) -> Self {
+        SharedApproxCache {
+            inner: Arc::new(Mutex::new(cache)),
+        }
+    }
+
+    /// Threshold lookup; returns the matched value and distance on hit.
+    pub fn lookup(&self, query: &FeatureVec, now_ns: u64) -> Option<(V, f32)> {
+        let mut guard = self.inner.lock();
+        match guard.lookup(query, now_ns) {
+            ApproxLookup::Hit { id, distance } => {
+                guard.value(id).cloned().map(|v| (v, distance))
+            }
+            ApproxLookup::Miss { .. } => None,
+        }
+    }
+
+    /// Insert a descriptor/result pair.
+    pub fn insert(&self, descriptor: FeatureVec, value: V, size: u64, now_ns: u64) {
+        self.inner.lock().insert(descriptor, value, size, now_ns);
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.inner.lock().stats()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::IndexKind;
+    use crate::policy::PolicyKind;
+
+    #[test]
+    fn shared_exact_across_threads() {
+        let cache: SharedExactCache<String> =
+            SharedExactCache::new(ExactCache::new(1 << 20, PolicyKind::Lru, None));
+        let key = Digest::of(b"model");
+        cache.insert(key, "loaded".into(), 100, 0);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = cache.clone();
+                std::thread::spawn(move || c.lookup(&key, 0).unwrap())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), "loaded");
+        }
+        assert_eq!(cache.stats().hits, 8);
+    }
+
+    #[test]
+    fn shared_approx_concurrent_inserts() {
+        let cache: SharedApproxCache<u64> = SharedApproxCache::new(ApproxCache::new(
+            1 << 20,
+            PolicyKind::Lru,
+            0.25,
+            IndexKind::Linear,
+            2,
+        ));
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let c = cache.clone();
+                std::thread::spawn(move || {
+                    c.insert(FeatureVec::new(vec![i as f32 * 10.0, 0.0]), i, 50, 0);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.len(), 4);
+        for i in 0..4u64 {
+            let (v, d) = cache
+                .lookup(&FeatureVec::new(vec![i as f32 * 10.0 + 0.1, 0.0]), 0)
+                .unwrap();
+            assert_eq!(v, i);
+            assert!(d < 0.2);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Cooperative multi-edge caching.
+//!
+//! "CoIC" is the *cooperative* framework: results cached for one
+//! application/user serve others. Within one edge that happens naturally;
+//! this module adds the cross-edge layer — before forwarding a miss to the
+//! cloud, an edge may ask peer edges (experiment Ext G). Peer lookups are
+//! modelled at the data-structure level here; the simulation driver charges
+//! the network round-trips.
+
+use crate::digest::Digest;
+use crate::exact::ExactCache;
+use crate::policy::PolicyKind;
+
+/// Where a cooperative lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoopOutcome {
+    /// Hit in the local edge cache.
+    Local,
+    /// Hit in peer edge `index` (position within the group).
+    Peer(usize),
+    /// Every edge missed.
+    Miss,
+}
+
+/// A group of edge caches that answer each other's misses.
+pub struct CoopGroup<V> {
+    edges: Vec<ExactCache<V>>,
+    peer_hits: u64,
+    local_hits: u64,
+    misses: u64,
+}
+
+impl<V: Clone> CoopGroup<V> {
+    /// Create `n` edges, each with `capacity_bytes` under `policy`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, capacity_bytes: u64, policy: PolicyKind) -> Self {
+        assert!(n > 0, "a cooperative group needs at least one edge");
+        CoopGroup {
+            edges: (0..n)
+                .map(|_| ExactCache::new(capacity_bytes, policy, None))
+                .collect(),
+            peer_hits: 0,
+            local_hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of edges in the group.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Direct access to one edge (e.g. to inspect stats).
+    pub fn edge(&self, i: usize) -> &ExactCache<V> {
+        &self.edges[i]
+    }
+
+    /// Look `key` up on behalf of edge `home`: local first, then peers in
+    /// deterministic order. Returns the value (cloned) and where it came
+    /// from.
+    pub fn lookup(&mut self, home: usize, key: &Digest, now_ns: u64) -> (Option<V>, CoopOutcome) {
+        assert!(home < self.edges.len(), "unknown edge {home}");
+        if let Some(v) = self.edges[home].lookup(key, now_ns) {
+            self.local_hits += 1;
+            return (Some(v.clone()), CoopOutcome::Local);
+        }
+        for i in 0..self.edges.len() {
+            if i == home {
+                continue;
+            }
+            let found = self.edges[i].lookup(key, now_ns).cloned();
+            if let Some(v) = found {
+                self.peer_hits += 1;
+                return (Some(v), CoopOutcome::Peer(i));
+            }
+        }
+        self.misses += 1;
+        (None, CoopOutcome::Miss)
+    }
+
+    /// Like [`CoopGroup::lookup`], but on a peer hit also fills the home
+    /// edge with the value (`size` bytes) so the next local lookup hits.
+    pub fn lookup_and_fill(
+        &mut self,
+        home: usize,
+        key: &Digest,
+        size: u64,
+        now_ns: u64,
+    ) -> (Option<V>, CoopOutcome) {
+        let (value, outcome) = self.lookup(home, key, now_ns);
+        if let (Some(v), CoopOutcome::Peer(_)) = (&value, outcome) {
+            self.edges[home].insert(*key, v.clone(), size, now_ns);
+        }
+        (value, outcome)
+    }
+
+    /// Insert into edge `home`.
+    pub fn insert(&mut self, home: usize, key: Digest, value: V, size: u64, now_ns: u64) {
+        self.edges[home].insert(key, value, size, now_ns);
+    }
+
+    /// (local hits, peer hits, misses) so far.
+    pub fn outcome_counts(&self) -> (u64, u64, u64) {
+        (self.local_hits, self.peer_hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_hit_preferred() {
+        let mut g: CoopGroup<u32> = CoopGroup::new(3, 1 << 20, PolicyKind::Lru);
+        let k = Digest::of(b"model");
+        g.insert(0, k, 7, 100, 0);
+        g.insert(1, k, 7, 100, 0);
+        let (v, o) = g.lookup(0, &k, 0);
+        assert_eq!(v, Some(7));
+        assert_eq!(o, CoopOutcome::Local);
+    }
+
+    #[test]
+    fn peer_hit_found_and_counted() {
+        let mut g: CoopGroup<u32> = CoopGroup::new(3, 1 << 20, PolicyKind::Lru);
+        let k = Digest::of(b"avatar");
+        g.insert(2, k, 9, 100, 0);
+        let (v, o) = g.lookup(0, &k, 0);
+        assert_eq!(v, Some(9));
+        assert_eq!(o, CoopOutcome::Peer(2));
+        assert_eq!(g.outcome_counts(), (0, 1, 0));
+    }
+
+    #[test]
+    fn group_miss() {
+        let mut g: CoopGroup<u32> = CoopGroup::new(2, 1 << 20, PolicyKind::Lru);
+        let (v, o) = g.lookup(1, &Digest::of(b"nope"), 0);
+        assert_eq!(v, None);
+        assert_eq!(o, CoopOutcome::Miss);
+        assert_eq!(g.outcome_counts(), (0, 0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one edge")]
+    fn empty_group_rejected() {
+        let _: CoopGroup<u32> = CoopGroup::new(0, 1024, PolicyKind::Lru);
+    }
+
+    #[test]
+    fn fill_on_peer_hit_caches_locally() {
+        let mut g: CoopGroup<u32> = CoopGroup::new(2, 1 << 20, PolicyKind::Lru);
+        let k = Digest::of(b"pano");
+        g.insert(1, k, 3, 200, 0);
+        let (v, o) = g.lookup_and_fill(0, &k, 200, 0);
+        assert_eq!(v, Some(3));
+        assert_eq!(o, CoopOutcome::Peer(1));
+        // Second lookup from the same home edge hits locally.
+        let (_, o2) = g.lookup_and_fill(0, &k, 200, 0);
+        assert_eq!(o2, CoopOutcome::Local);
+    }
+}

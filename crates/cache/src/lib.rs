@@ -1,0 +1,41 @@
+//! # coic-cache
+//!
+//! The edge result cache at the heart of CoIC:
+//!
+//! * [`digest`] — content digests (from-scratch SHA-256) keying models and
+//!   panoramas,
+//! * [`store`] — size-aware bounded store with TTL,
+//! * [`policy`] — eviction policies (LRU/FIFO/LFU/SLRU/GDSF) for the
+//!   cache-management ablation,
+//! * [`exact`] — digest-keyed lookup (render/panorama tasks),
+//! * [`approx`] — feature-descriptor lookup under a distance threshold
+//!   (recognition tasks),
+//! * [`sketch`]/[`admission`] — count-min sketch + TinyLFU admission gate,
+//! * [`concurrent`] — mutex-guarded shared wrappers for the real-TCP edge,
+//! * [`coop`] — multi-edge cooperative lookup,
+//! * [`stats`] — hit/miss/eviction counters.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod approx;
+pub mod concurrent;
+pub mod coop;
+pub mod digest;
+pub mod exact;
+pub mod policy;
+pub mod sketch;
+pub mod stats;
+pub mod store;
+
+pub use admission::{TinyLfu, TinyLfuConfig};
+pub use approx::{ApproxCache, ApproxLookup, IndexKind};
+pub use concurrent::{SharedApproxCache, SharedExactCache};
+pub use coop::{CoopGroup, CoopOutcome};
+pub use digest::{fnv1a64, sha256, Digest};
+pub use exact::ExactCache;
+pub use policy::{EvictionPolicy, PolicyKind};
+pub use sketch::CountMinSketch;
+pub use stats::CacheStats;
+pub use store::Store;

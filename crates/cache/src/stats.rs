@@ -1,0 +1,54 @@
+//! Cache statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters every cache variant maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that returned a value.
+    pub hits: u64,
+    /// Lookups that returned nothing.
+    pub misses: u64,
+    /// Values inserted.
+    pub insertions: u64,
+    /// Values evicted to make room.
+    pub evictions: u64,
+    /// Values dropped because their TTL elapsed.
+    pub expired: u64,
+    /// Insertions rejected because a single value exceeded capacity.
+    pub rejected: u64,
+    /// Insertions rejected by the admission filter (TinyLFU).
+    pub admission_rejects: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hits over lookups; 0 when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let n = self.lookups();
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_math() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert_eq!(s.lookups(), 4);
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,361 @@
+//! Subcommand implementations. Each returns the text to print.
+
+use crate::args::Args;
+use coic_core::simrun::{compare as sim_compare, run as sim_run, Mode, SimConfig};
+use coic_workload::{
+    from_csv, summarize, to_csv, ArenaMultiplayer, Population, Request, SafeDrivingAr, VrVideo,
+    ZoneId, ZoneModel,
+};
+use std::fmt::Write as _;
+
+type CmdResult = Result<String, Box<dyn std::error::Error>>;
+
+// ------------------------------------------------------------------ trace --
+
+/// `trace gen`: generate a workload trace and write it as CSV.
+pub fn trace_gen(args: &Args) -> CmdResult {
+    let app = args.require("app")?;
+    let out = args.require("out")?;
+    let users: u32 = args.num("users", 4)?;
+    let requests: usize = args.num("requests", 100)?;
+    let seed: u64 = args.num("seed", 1)?;
+    let trace: Vec<Request> = match app {
+        "safedriving" => SafeDrivingAr {
+            population: Population::colocated(users, ZoneId(0)),
+            zones: ZoneModel::new(1, args.num("pool", 40)?, 1.0, seed),
+            rate_per_sec: args.num("rate", 4.0)?,
+            zipf_s: args.num("zipf", 0.7)?,
+            total_requests: requests,
+        }
+        .generate(seed),
+        "arena" => {
+            let model_kb: u64 = args.num("model-kb", 2048)?;
+            let models: Vec<(u64, u64)> =
+                (0..args.num("models", 8)?).map(|i| (i, model_kb * 1024)).collect();
+            ArenaMultiplayer {
+                population: Population::colocated(users, ZoneId(0)),
+                models,
+                zipf_s: args.num("zipf", 0.9)?,
+                rate_per_sec: args.num("rate", 1.0)?,
+                total_requests: requests,
+            }
+            .generate(seed)
+        }
+        "vrvideo" => VrVideo {
+            population: Population::colocated(users, ZoneId(0)),
+            frame_interval_ns: 100_000_000,
+            max_start_skew_frames: args.num("skew-frames", 0)?,
+            user_stagger_ns: args.num("stagger-ms", 25u64)? * 1_000_000,
+            frames_per_user: args.num("frames", 20)?,
+        }
+        .generate(seed),
+        other => return Err(format!("unknown app {other:?} (safedriving|arena|vrvideo)").into()),
+    };
+    std::fs::write(out, to_csv(&trace))?;
+    let s = summarize(&trace);
+    Ok(format!(
+        "wrote {} requests ({} unique contents) to {out}",
+        s.requests, s.unique_contents
+    ))
+}
+
+/// `trace info`: summarize a CSV trace.
+pub fn trace_info(args: &Args) -> CmdResult {
+    let path = args.require("in")?;
+    let trace = from_csv(&std::fs::read_to_string(path)?)?;
+    let s = summarize(&trace);
+    let mut kinds = std::collections::BTreeMap::new();
+    for r in &trace {
+        *kinds
+            .entry(match r.kind {
+                coic_workload::RequestKind::Recognition { .. } => "recognition",
+                coic_workload::RequestKind::RenderLoad { .. } => "render_load",
+                coic_workload::RequestKind::Panorama { .. } => "panorama",
+            })
+            .or_insert(0u64) += 1;
+    }
+    let users: std::collections::BTreeSet<_> = trace.iter().map(|r| r.user.0).collect();
+    let span_ms = trace.last().map(|r| r.at_ns as f64 / 1e6).unwrap_or(0.0);
+    let mut out = String::new();
+    writeln!(out, "requests:        {}", s.requests)?;
+    writeln!(out, "unique contents: {}", s.unique_contents)?;
+    writeln!(out, "users:           {}", users.len())?;
+    writeln!(out, "span:            {span_ms:.1} ms")?;
+    for (k, n) in kinds {
+        writeln!(out, "  {k:<12} {n}")?;
+    }
+    Ok(out.trim_end().to_string())
+}
+
+// -------------------------------------------------------------------- sim --
+
+fn sim_config(args: &Args) -> Result<SimConfig, Box<dyn std::error::Error>> {
+    let mut cfg = SimConfig {
+        mode: match args.get("mode").unwrap_or("coic") {
+            "coic" => Mode::CoIc,
+            "origin" => Mode::Origin,
+            other => return Err(format!("unknown mode {other:?} (coic|origin)").into()),
+        },
+        access_mbps: args.num("access-mbps", 400.0)?,
+        wan_mbps: args.num("wan-mbps", 50.0)?,
+        num_clients: args.num("clients", 4)?,
+        num_edges: args.num("edges", 1)?,
+        peer_lookup: args.num("peer-lookup", 0u8)? != 0,
+        prefetch_depth: args.num("prefetch", 0)?,
+        seed: args.num("seed", 1)?,
+        ..SimConfig::default()
+    };
+    cfg.edge.threshold = args.num("threshold", cfg.edge.threshold)?;
+    Ok(cfg)
+}
+
+fn report_text(label: &str, r: &mut coic_core::QoeReport) -> String {
+    format!(
+        "{label}: mean {:.1} ms  p50 {:.1} ms  p99 {:.1} ms  hits {:.1}% (local {} / peer {})  \
+         WAN {:.2} MB  accuracy {}",
+        r.mean_latency_ms(),
+        r.latency_ms.median(),
+        r.latency_ms.p99(),
+        r.hit_ratio() * 100.0,
+        r.edge_hits,
+        r.peer_hits,
+        r.wan_bytes as f64 / 1e6,
+        r.accuracy
+            .map(|a| format!("{:.1}%", a * 100.0))
+            .unwrap_or_else(|| "n/a".into()),
+    )
+}
+
+/// `sim`: run one trace through one system.
+pub fn sim(args: &Args) -> CmdResult {
+    let trace = from_csv(&std::fs::read_to_string(args.require("in")?)?)?;
+    let cfg = sim_config(args)?;
+    let mut report = sim_run(&trace, &cfg);
+    Ok(report_text(
+        if cfg.mode == Mode::CoIc { "coic" } else { "origin" },
+        &mut report,
+    ))
+}
+
+/// `compare`: origin vs CoIC on the same trace.
+pub fn compare(args: &Args) -> CmdResult {
+    let trace = from_csv(&std::fs::read_to_string(args.require("in")?)?)?;
+    let cfg = sim_config(args)?;
+    let (mut origin, mut coic, red) = sim_compare(&trace, &cfg);
+    Ok(format!(
+        "{}\n{}\nlatency reduction: {red:.2}%",
+        report_text("origin", &mut origin),
+        report_text("coic  ", &mut coic)
+    ))
+}
+
+// ------------------------------------------------------------------ model --
+
+/// `model gen`: write a procedurally generated CMF model.
+pub fn model_gen(args: &Args) -> CmdResult {
+    let size: u64 = args.num_required("size-bytes")?;
+    let seed: u64 = args.num("seed", 1)?;
+    let out = args.require("out")?;
+    let mesh = coic_render::procgen::model_of_size(size, seed);
+    let bytes = coic_render::encode(&mesh);
+    std::fs::write(out, &bytes)?;
+    Ok(format!(
+        "wrote {:?}: {} bytes, {} vertices, {} triangles",
+        mesh.name,
+        bytes.len(),
+        mesh.vertices.len(),
+        mesh.triangle_count()
+    ))
+}
+
+/// `model info`: parse and describe a CMF file.
+pub fn model_info(args: &Args) -> CmdResult {
+    let path = args.require("in")?;
+    let bytes = std::fs::read(path)?;
+    let mesh = coic_render::decode(&bytes)?;
+    let digest = coic_cache::Digest::of(&bytes);
+    let bb = mesh.aabb().expect("valid mesh has vertices");
+    Ok(format!(
+        "name:      {}\nbytes:     {}\nvertices:  {}\ntriangles: {}\naabb:      \
+         ({:.2},{:.2},{:.2})..({:.2},{:.2},{:.2})\nsha256:    {}",
+        mesh.name,
+        bytes.len(),
+        mesh.vertices.len(),
+        mesh.triangle_count(),
+        bb.min.x,
+        bb.min.y,
+        bb.min.z,
+        bb.max.x,
+        bb.max.y,
+        bb.max.z,
+        digest.to_hex()
+    ))
+}
+
+/// `model render`: rasterize a CMF file to a PGM image.
+pub fn model_render(args: &Args) -> CmdResult {
+    use coic_render::{Camera, Framebuffer, Mat4, Scene, Vec3};
+    let bytes = std::fs::read(args.require("in")?)?;
+    let out = args.require("out")?;
+    let size: u32 = args.num("size", 256)?;
+    let mesh = coic_render::decode(&bytes)?;
+    // Frame the model: fit its bounding box into view.
+    let bb = mesh.aabb().expect("valid mesh has vertices");
+    let center = (bb.min + bb.max) * 0.5;
+    let extent = (bb.max - bb.min).length().max(1e-3);
+    let mut scene = Scene::new();
+    let id = scene.add_model(mesh);
+    scene.add_instance(id, Mat4::translate(-center));
+    let camera = Camera {
+        eye: Vec3::new(0.6, 0.6, 1.2) * extent,
+        target: Vec3::ZERO,
+        far: extent * 10.0,
+        ..Camera::default()
+    };
+    let mut fb = Framebuffer::new(size, size);
+    let stats = scene.render(&camera, &mut fb);
+    coic_render::write_framebuffer_pgm(out, &fb)?;
+    Ok(format!(
+        "rendered {} triangles ({} pixels shaded) to {out}",
+        stats.triangles_drawn, stats.pixels_shaded
+    ))
+}
+
+// ------------------------------------------------------------------- hash --
+
+/// `hash`: SHA-256 content digest of a file — the exact key the edge cache
+/// would use for it.
+pub fn hash(args: &Args) -> CmdResult {
+    let path = args.require("in")?;
+    let bytes = std::fs::read(path)?;
+    let digest = coic_cache::Digest::of(&bytes);
+    Ok(format!("{}  {path} ({} bytes)", digest.to_hex(), bytes.len()))
+}
+
+// ------------------------------------------------------------------- pano --
+
+/// `pano gen`: synthesize a panorama frame to PGM.
+pub fn pano_gen(args: &Args) -> CmdResult {
+    let frame: u64 = args.num_required("frame")?;
+    let height: u32 = args.num("height", 256)?;
+    let out = args.require("out")?;
+    let pano = coic_render::Panorama::synthesize(frame, height);
+    coic_render::write_pgm(out, pano.width(), pano.height(), pano.bytes())?;
+    Ok(format!(
+        "wrote frame {frame}: {}×{} equirect to {out}",
+        pano.width(),
+        pano.height()
+    ))
+}
+
+/// `pano crop`: crop a viewport from a panorama frame to PGM.
+pub fn pano_crop(args: &Args) -> CmdResult {
+    let frame: u64 = args.num_required("frame")?;
+    let yaw: f64 = args.num_required("yaw")?;
+    let pitch: f64 = args.num_required("pitch")?;
+    let fov: f64 = args.num("fov", 1.4)?;
+    let w: u32 = args.num("width", 256)?;
+    let h: u32 = args.num("height", 144)?;
+    let out = args.require("out")?;
+    let pano = coic_render::Panorama::synthesize(frame, 256);
+    let crop = pano.crop_viewport(yaw, pitch, fov, w, h);
+    coic_render::write_pgm(out, w, h, &crop)?;
+    Ok(format!("wrote {w}×{h} viewport (yaw {yaw}, pitch {pitch}) to {out}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("coic_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn trace_gen_info_roundtrip() {
+        let path = tmp("t1.csv");
+        let msg = trace_gen(&args(&format!(
+            "--app safedriving --out {path} --users 2 --requests 30"
+        )))
+        .unwrap();
+        assert!(msg.contains("30 requests"));
+        let info = trace_info(&args(&format!("--in {path}"))).unwrap();
+        assert!(info.contains("requests:        30"));
+        assert!(info.contains("recognition"));
+    }
+
+    #[test]
+    fn sim_and_compare_run_end_to_end() {
+        let path = tmp("t2.csv");
+        trace_gen(&args(&format!(
+            "--app arena --out {path} --users 2 --requests 10 --model-kb 256"
+        )))
+        .unwrap();
+        let out = sim(&args(&format!("--in {path} --clients 2"))).unwrap();
+        assert!(out.contains("mean"));
+        let out = compare(&args(&format!("--in {path} --clients 2"))).unwrap();
+        assert!(out.contains("latency reduction"));
+    }
+
+    #[test]
+    fn model_gen_info_render_pipeline() {
+        let cmf = tmp("m.cmf");
+        let pgm = tmp("m.pgm");
+        let msg =
+            model_gen(&args(&format!("--size-bytes 120000 --out {cmf} --seed 5"))).unwrap();
+        assert!(msg.contains("vertices"));
+        let info = model_info(&args(&format!("--in {cmf}"))).unwrap();
+        assert!(info.contains("sha256"));
+        let rendered =
+            model_render(&args(&format!("--in {cmf} --out {pgm} --size 64"))).unwrap();
+        assert!(rendered.contains("rendered"));
+        let (w, h, _) = coic_render::decode_pgm(&std::fs::read(&pgm).unwrap()).unwrap();
+        assert_eq!((w, h), (64, 64));
+    }
+
+    #[test]
+    fn pano_gen_and_crop() {
+        let p1 = tmp("p.pgm");
+        let p2 = tmp("v.pgm");
+        pano_gen(&args(&format!("--frame 7 --out {p1} --height 64"))).unwrap();
+        let (w, _, _) = coic_render::decode_pgm(&std::fs::read(&p1).unwrap()).unwrap();
+        assert_eq!(w, 128);
+        pano_crop(&args(&format!(
+            "--frame 7 --yaw 1.0 --pitch 0.1 --out {p2} --width 80 --height 45"
+        )))
+        .unwrap();
+        let (w, h, _) = coic_render::decode_pgm(&std::fs::read(&p2).unwrap()).unwrap();
+        assert_eq!((w, h), (80, 45));
+    }
+
+    #[test]
+    fn hash_matches_digest() {
+        let path = tmp("h.bin");
+        std::fs::write(&path, b"abc").unwrap();
+        let out = hash(&args(&format!("--in {path}"))).unwrap();
+        // FIPS vector for "abc".
+        assert!(out.starts_with("ba7816bf8f01cfea414140de5dae2223"));
+        assert!(out.contains("(3 bytes)"));
+    }
+
+    #[test]
+    fn dispatch_and_usage() {
+        assert!(crate::run(vec![]).unwrap().contains("USAGE"));
+        assert!(crate::run(vec!["help".into()]).unwrap().contains("USAGE"));
+        assert!(crate::run(vec!["frobnicate".into()]).is_err());
+    }
+
+    #[test]
+    fn bad_app_and_mode_errors() {
+        let path = tmp("t3.csv");
+        assert!(trace_gen(&args(&format!("--app nope --out {path}"))).is_err());
+        trace_gen(&args(&format!("--app vrvideo --out {path} --users 2 --frames 5"))).unwrap();
+        assert!(sim(&args(&format!("--in {path} --mode warp"))).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! # coic-cli
+//!
+//! Command-line front end for the CoIC reproduction. Subcommands:
+//!
+//! ```text
+//! coic trace gen   --app safedriving|arena|vrvideo --out trace.csv [...]
+//! coic trace info  --in trace.csv
+//! coic sim         --in trace.csv [--mode coic|origin] [network flags]
+//! coic compare     --in trace.csv [network flags]
+//! coic model gen   --size-bytes N --seed N --out model.cmf
+//! coic model info  --in model.cmf
+//! coic model render --in model.cmf --out render.pgm [--size 256]
+//! coic hash        --in any-file
+//! coic pano gen    --frame N --out pano.pgm [--height 256]
+//! coic pano crop   --frame N --yaw R --pitch R --out view.pgm
+//! ```
+//!
+//! All subcommand logic lives in this library so it is unit-testable; the
+//! binary is a thin `main`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+
+/// Top-level dispatch: returns the text to print, or an error message.
+pub fn run(raw: Vec<String>) -> Result<String, String> {
+    let args = Args::parse(raw).map_err(|e| e.to_string())?;
+    let cmd: Vec<&str> = args.command.iter().map(|s| s.as_str()).collect();
+    match cmd.as_slice() {
+        ["trace", "gen"] => commands::trace_gen(&args),
+        ["trace", "info"] => commands::trace_info(&args),
+        ["sim"] => commands::sim(&args),
+        ["compare"] => commands::compare(&args),
+        ["model", "gen"] => commands::model_gen(&args),
+        ["model", "info"] => commands::model_info(&args),
+        ["model", "render"] => commands::model_render(&args),
+        ["hash"] => commands::hash(&args),
+        ["pano", "gen"] => commands::pano_gen(&args),
+        ["pano", "crop"] => commands::pano_crop(&args),
+        [] | ["help"] => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {:?}\n\n{USAGE}", other.join(" ")).into()),
+    }
+    .map_err(|e: Box<dyn std::error::Error>| e.to_string())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+coic — cooperative edge caching for mobile immersive computing
+
+USAGE:
+  coic trace gen    --app safedriving|arena|vrvideo --out FILE
+                    [--users N] [--requests N] [--seed N] [--zipf S]
+                    [--pool N] [--model-kb N] [--frames N]
+  coic trace info   --in FILE
+  coic sim          --in FILE [--mode coic|origin] [--access-mbps X]
+                    [--wan-mbps X] [--clients N] [--edges N]
+                    [--peer-lookup 0|1] [--prefetch N] [--seed N]
+  coic compare      --in FILE [same network flags as sim]
+  coic model gen    --size-bytes N --out FILE [--seed N]
+  coic model info   --in FILE
+  coic model render --in FILE --out FILE.pgm [--size N]
+  coic hash         --in FILE
+  coic pano gen     --frame N --out FILE.pgm [--height N]
+  coic pano crop    --frame N --yaw R --pitch R --out FILE.pgm
+                    [--fov R] [--width N] [--height N]";

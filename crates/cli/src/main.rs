@@ -1,0 +1,12 @@
+//! The `coic` command-line binary (thin shell over [`coic_cli`]).
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match coic_cli::run(raw) {
+        Ok(text) => println!("{text}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

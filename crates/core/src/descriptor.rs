@@ -1,0 +1,66 @@
+//! Feature descriptors — the cache keys of CoIC.
+//!
+//! "CoIC extracts dedicated property from each representative IC task as
+//! the feature descriptor": a DNN feature vector for object recognition
+//! (matched approximately under a distance threshold), and a content hash
+//! for 3D models and panoramic frames (matched exactly).
+
+use coic_cache::Digest;
+use coic_vision::FeatureVec;
+use serde::{Deserialize, Serialize};
+
+/// The descriptor a client sends to the edge in place of its full input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeatureDescriptor {
+    /// Recognition: the embedding SimNet produced from the camera frame.
+    Dnn(FeatureVec),
+    /// Rendering: hash of the required 3D model.
+    ModelHash(Digest),
+    /// VR streaming: hash of the required panoramic frame.
+    PanoramaHash(Digest),
+}
+
+impl FeatureDescriptor {
+    /// Bytes this descriptor occupies on the wire (payload only; framing
+    /// is charged separately).
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            FeatureDescriptor::Dnn(v) => v.byte_size(),
+            FeatureDescriptor::ModelHash(_) | FeatureDescriptor::PanoramaHash(_) => 32,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FeatureDescriptor::Dnn(_) => "dnn",
+            FeatureDescriptor::ModelHash(_) => "model",
+            FeatureDescriptor::PanoramaHash(_) => "panorama",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_kinds() {
+        let dnn = FeatureDescriptor::Dnn(FeatureVec::new(vec![0.0; 32]));
+        assert_eq!(dnn.byte_size(), 32 * 4 + 16);
+        assert_eq!(dnn.kind(), "dnn");
+        let mh = FeatureDescriptor::ModelHash(Digest::of(b"m"));
+        assert_eq!(mh.byte_size(), 32);
+        assert_eq!(mh.kind(), "model");
+        let ph = FeatureDescriptor::PanoramaHash(Digest::of(b"p"));
+        assert_eq!(ph.kind(), "panorama");
+    }
+
+    #[test]
+    fn descriptor_is_much_smaller_than_typical_inputs() {
+        // The protocol's whole premise: descriptors are tiny.
+        let dnn = FeatureDescriptor::Dnn(FeatureVec::new(vec![0.0; 32]));
+        let typical_camera_frame: u64 = 300_000;
+        assert!(dnn.byte_size() * 100 < typical_camera_frame);
+    }
+}

@@ -1,0 +1,51 @@
+//! # coic-core
+//!
+//! CoIC — a cooperative edge-caching framework for mobile immersive
+//! computing (reproduction of Lai et al., SIGCOMM Posters & Demos 2018).
+//!
+//! The pipeline (paper Figure 1): the client pre-processes its input into a
+//! [`descriptor::FeatureDescriptor`] and queries the edge; the edge looks
+//! the descriptor up in its cache (approximately, under a distance
+//! threshold, for recognition; exactly, by content hash, for 3D models and
+//! panoramas); a hit returns the cached result immediately, a miss forwards
+//! the task to the cloud and inserts the result.
+//!
+//! * [`descriptor`], [`task`], [`protocol`] — the data plane,
+//! * [`services`] — client / edge / cloud logic, transport-independent,
+//! * [`compute`] — per-tier cost models,
+//! * [`content`] — deterministic model/panorama libraries,
+//! * [`simrun`] — deterministic discrete-event experiment driver,
+//! * [`netrun`] — the same stack over real TCP sockets,
+//! * [`qoe`] — latency/hit/accuracy reporting,
+//! * [`adaptive`] — online threshold tuning via shadow verification,
+//! * [`layercache`] — §4 extension: per-DNN-layer reuse,
+//! * [`privacy`] — §4 extension: descriptor privacy transforms.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adaptive;
+pub mod compute;
+pub mod content;
+pub mod descriptor;
+pub mod layercache;
+pub mod netrun;
+pub mod privacy;
+pub mod protocol;
+pub mod qoe;
+pub mod services;
+pub mod simrun;
+pub mod task;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveThreshold};
+pub use compute::ComputeConfig;
+pub use content::{ModelLibrary, PanoLibrary, PanoSource};
+pub use descriptor::FeatureDescriptor;
+pub use layercache::{LayerCache, LayerOutcome};
+pub use protocol::{Msg, ProtoError};
+pub use qoe::{reduction_percent, Path, QoeReport, Record};
+pub use services::{
+    ClientConfig, ClientLogic, CloudService, EdgeConfig, EdgeReply, EdgeService, PreparedRequest,
+};
+pub use simrun::{compare, run, Mode, SimConfig};
+pub use task::{RecognitionResult, TaskRequest, TaskResult, ANNOTATION_BYTES};

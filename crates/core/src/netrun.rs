@@ -1,0 +1,459 @@
+//! Real-socket deployment of CoIC.
+//!
+//! The same [`crate::services`] logic as the simulator, but deployed over
+//! framed TCP ([`coic_netsim::rt`]): a cloud process, an edge process with
+//! shared caches serving each client connection from its own thread, and a
+//! blocking client. Used by the `live_deployment` example and the loopback
+//! integration tests; latency here is real wall-clock time (the SimNet
+//! inference, CMF parsing and panorama synthesis all actually run).
+
+use crate::content::{ModelLibrary, PanoLibrary};
+use crate::protocol::Msg;
+use crate::qoe::Path;
+use crate::services::{
+    ClientConfig, ClientLogic, CloudService, EdgeConfig, EdgeReply, EdgeService,
+};
+use crate::task::TaskResult;
+use crate::compute::ComputeConfig;
+use coic_netsim::rt::{FrameConn, FrameServer};
+use coic_vision::{ObjectClass, SceneGenerator};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn epoch_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos() as u64
+}
+
+/// A running cloud process.
+pub struct CloudHandle {
+    addr: SocketAddr,
+    _server: FrameServer,
+}
+
+impl CloudHandle {
+    /// Address clients/edges should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+/// Start a cloud server on an ephemeral loopback port.
+pub fn spawn_cloud(
+    classes: &[ObjectClass],
+    image_side: u32,
+    compute: ComputeConfig,
+    models: Arc<ModelLibrary>,
+    panos: Arc<PanoLibrary>,
+    seed: u64,
+) -> std::io::Result<CloudHandle> {
+    let gen = SceneGenerator::new(image_side);
+    let service = Arc::new(CloudService::new(
+        classes, &gen, compute, models, panos, seed,
+    ));
+    let server = FrameServer::spawn("127.0.0.1:0", move |frame| {
+        let msg = Msg::decode(&frame).ok()?;
+        let reply = match msg {
+            Msg::Forward { req_id, task } => {
+                let (result, _cost) = service.execute(&task);
+                Msg::CloudReply { req_id, result }
+            }
+            Msg::BaselineRequest { req_id, task } => {
+                let (result, _cost) = service.execute(&task);
+                Msg::BaselineReply { req_id, result }
+            }
+            _ => return None,
+        };
+        Some(reply.encode().to_vec())
+    })?;
+    Ok(CloudHandle {
+        addr: server.local_addr(),
+        _server: server,
+    })
+}
+
+/// A running edge process.
+pub struct EdgeHandle {
+    addr: SocketAddr,
+    peers: Arc<Mutex<Vec<SocketAddr>>>,
+    _server: FrameServer,
+}
+
+impl EdgeHandle {
+    /// Address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Register a cooperating peer edge: exact-task misses will ask it
+    /// before going to the cloud.
+    pub fn add_peer(&self, addr: SocketAddr) {
+        self.peers.lock().push(addr);
+    }
+}
+
+/// Start an edge server on an ephemeral loopback port, forwarding misses
+/// to `cloud_addr`.
+pub fn spawn_edge(cloud_addr: SocketAddr, cfg: &EdgeConfig) -> std::io::Result<EdgeHandle> {
+    let service = Arc::new(Mutex::new(EdgeService::new(cfg)));
+    let pending = Arc::new(Mutex::new(HashMap::new()));
+    let peers: Arc<Mutex<Vec<SocketAddr>>> = Arc::new(Mutex::new(Vec::new()));
+    let peers_in_handler = peers.clone();
+    let start = Instant::now();
+    let server = FrameServer::spawn("127.0.0.1:0", move |frame| {
+        let peers = &peers_in_handler;
+        let msg = Msg::decode(&frame).ok()?;
+        let now = epoch_ns(start);
+        let reply = match msg {
+            Msg::Query {
+                req_id,
+                descriptor,
+                hint,
+            } => {
+                let decision = service.lock().handle_query(&descriptor, hint.as_ref(), now);
+                match decision {
+                    EdgeReply::Hit(result) => Msg::Hit { req_id, result },
+                    EdgeReply::NeedPayload => {
+                        pending.lock().insert(req_id, descriptor);
+                        Msg::NeedPayload { req_id }
+                    }
+                    EdgeReply::Forward(task) => {
+                        // Cooperative lookup: ask each registered peer edge
+                        // before paying the cloud round trip (exact tasks
+                        // carry their digest in the descriptor).
+                        let peer_hit = crate::services::descriptor_digest(&descriptor)
+                            .and_then(|digest| {
+                                let addrs = peers.lock().clone();
+                                for addr in addrs {
+                                    let Ok(mut peer) = FrameConn::connect(addr) else {
+                                        continue;
+                                    };
+                                    if peer
+                                        .send(&Msg::PeerQuery { req_id, digest }.encode())
+                                        .is_err()
+                                    {
+                                        continue;
+                                    }
+                                    let Ok(resp) = peer.recv() else { continue };
+                                    if let Ok(Msg::PeerReply {
+                                        result: Some(result),
+                                        ..
+                                    }) = Msg::decode(&resp)
+                                    {
+                                        return Some(result);
+                                    }
+                                }
+                                None
+                            });
+                        if let Some(result) = peer_hit {
+                            service.lock().insert(&descriptor, &result, now);
+                            Msg::PeerResult { req_id, result }
+                        } else {
+                            // Synchronous edge→cloud RPC on this connection's
+                            // thread; other clients proceed on their threads.
+                            let mut cloud = FrameConn::connect(cloud_addr).ok()?;
+                            cloud.send(&Msg::Forward { req_id, task }.encode()).ok()?;
+                            let resp = cloud.recv().ok()?;
+                            match Msg::decode(&resp).ok()? {
+                                Msg::CloudReply { result, .. } => {
+                                    service.lock().insert(&descriptor, &result, now);
+                                    Msg::Result { req_id, result }
+                                }
+                                _ => return None,
+                            }
+                        }
+                    }
+                }
+            }
+            Msg::PeerQuery { req_id, digest } => {
+                let result = service.lock().exact_lookup(&digest, now);
+                Msg::PeerReply { req_id, result }
+            }
+            Msg::Upload { req_id, task } => {
+                let descriptor = pending.lock().remove(&req_id)?;
+                let mut cloud = FrameConn::connect(cloud_addr).ok()?;
+                cloud.send(&Msg::Forward { req_id, task }.encode()).ok()?;
+                let resp = cloud.recv().ok()?;
+                match Msg::decode(&resp).ok()? {
+                    Msg::CloudReply { result, .. } => {
+                        service.lock().insert(&descriptor, &result, now);
+                        Msg::Result { req_id, result }
+                    }
+                    _ => return None,
+                }
+            }
+            _ => return None,
+        };
+        Some(reply.encode().to_vec())
+    })?;
+    Ok(EdgeHandle {
+        addr: server.local_addr(),
+        peers,
+        _server: server,
+    })
+}
+
+/// Outcome of one live request.
+#[derive(Debug)]
+pub struct LiveOutcome {
+    /// The result delivered to the client.
+    pub result: TaskResult,
+    /// Wall-clock latency.
+    pub elapsed: std::time::Duration,
+    /// Hit/miss path taken.
+    pub path: Path,
+}
+
+/// A blocking CoIC client over a live edge connection.
+pub struct NetClient {
+    conn: FrameConn,
+    logic: ClientLogic,
+    next_req: u64,
+}
+
+impl NetClient {
+    /// Connect to a live edge.
+    pub fn connect(
+        edge_addr: SocketAddr,
+        client_cfg: ClientConfig,
+        compute: ComputeConfig,
+        models: Arc<ModelLibrary>,
+        panos: Arc<PanoLibrary>,
+    ) -> std::io::Result<NetClient> {
+        Ok(NetClient {
+            conn: FrameConn::connect(edge_addr)?,
+            logic: ClientLogic::new(client_cfg, compute, models, panos),
+            next_req: 1,
+        })
+    }
+
+    /// Execute one workload request end to end, returning the result, the
+    /// measured wall latency and whether it was served from the edge cache.
+    pub fn execute(
+        &mut self,
+        req: &coic_workload::Request,
+    ) -> Result<LiveOutcome, Box<dyn std::error::Error>> {
+        let started = Instant::now();
+        let prepared = self.logic.prepare(req);
+        let req_id = self.next_req;
+        self.next_req += 1;
+        let hint = match &prepared.task {
+            crate::task::TaskRequest::Recognition { .. } => None,
+            t => Some(t.clone()),
+        };
+        self.conn.send(
+            &Msg::Query {
+                req_id,
+                descriptor: prepared.descriptor.clone(),
+                hint,
+            }
+            .encode(),
+        )?;
+        loop {
+            let frame = self.conn.recv()?;
+            match Msg::decode(&frame)? {
+                Msg::Hit { result, .. } => {
+                    return Ok(LiveOutcome {
+                        result,
+                        elapsed: started.elapsed(),
+                        path: Path::EdgeHit,
+                    })
+                }
+                Msg::Result { result, .. } => {
+                    return Ok(LiveOutcome {
+                        result,
+                        elapsed: started.elapsed(),
+                        path: Path::CloudMiss,
+                    })
+                }
+                Msg::PeerResult { result, .. } => {
+                    return Ok(LiveOutcome {
+                        result,
+                        elapsed: started.elapsed(),
+                        path: Path::PeerHit,
+                    })
+                }
+                Msg::NeedPayload { req_id } => {
+                    self.conn.send(
+                        &Msg::Upload {
+                            req_id,
+                            task: prepared.task.clone(),
+                        }
+                        .encode(),
+                    )?;
+                }
+                other => return Err(format!("unexpected reply {other:?}").into()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coic_workload::{Request, RequestKind, UserId, ZoneId};
+
+    fn stack() -> (CloudHandle, EdgeHandle, NetClient) {
+        let models = Arc::new(ModelLibrary::new());
+        let panos = Arc::new(PanoLibrary::new(64));
+        let compute = ComputeConfig::default();
+        let classes: Vec<_> = (0..5).map(ObjectClass).collect();
+        let cloud = spawn_cloud(
+            &classes,
+            64,
+            compute,
+            models.clone(),
+            panos.clone(),
+            3,
+        )
+        .unwrap();
+        let edge = spawn_edge(cloud.addr(), &EdgeConfig::default()).unwrap();
+        let client = NetClient::connect(
+            edge.addr(),
+            ClientConfig::default(),
+            compute,
+            models,
+            panos,
+        )
+        .unwrap();
+        (cloud, edge, client)
+    }
+
+    fn recog(class: u32, seed: u64) -> Request {
+        Request {
+            user: UserId(0),
+            zone: ZoneId(0),
+            at_ns: 0,
+            kind: RequestKind::Recognition {
+                class,
+                view_seed: seed,
+            },
+        }
+    }
+
+    #[test]
+    fn live_recognition_miss_then_hit() {
+        let (_cloud, _edge, mut client) = stack();
+        let first = client.execute(&recog(2, 10)).unwrap();
+        assert_eq!(first.path, Path::CloudMiss);
+        match &first.result {
+            TaskResult::Recognition(r) => assert_eq!(r.label, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Same viewpoint again: identical descriptor, guaranteed hit.
+        let second = client.execute(&recog(2, 10)).unwrap();
+        assert_eq!(second.path, Path::EdgeHit);
+    }
+
+    #[test]
+    fn live_model_load_shares_across_clients() {
+        let models = Arc::new(ModelLibrary::new());
+        let panos = Arc::new(PanoLibrary::new(64));
+        let compute = ComputeConfig::default();
+        let classes = vec![ObjectClass(0)];
+        let cloud =
+            spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), 3).unwrap();
+        let edge = spawn_edge(cloud.addr(), &EdgeConfig::default()).unwrap();
+        let req = Request {
+            user: UserId(0),
+            zone: ZoneId(0),
+            at_ns: 0,
+            kind: RequestKind::RenderLoad {
+                model_id: 5,
+                size_bytes: 60_000,
+            },
+        };
+        let mut a = NetClient::connect(
+            edge.addr(),
+            ClientConfig::default(),
+            compute,
+            models.clone(),
+            panos.clone(),
+        )
+        .unwrap();
+        let mut b = NetClient::connect(
+            edge.addr(),
+            ClientConfig::default(),
+            compute,
+            models,
+            panos,
+        )
+        .unwrap();
+        // Client A warms the cache; client B hits it.
+        assert_eq!(a.execute(&req).unwrap().path, Path::CloudMiss);
+        let out = b.execute(&req).unwrap();
+        assert_eq!(out.path, Path::EdgeHit);
+        match out.result {
+            TaskResult::Model(bytes) => {
+                coic_render::load_cmf(&bytes).unwrap();
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn live_peer_edges_cooperate() {
+        let models = Arc::new(ModelLibrary::new());
+        let panos = Arc::new(PanoLibrary::new(64));
+        let compute = ComputeConfig::default();
+        let classes = vec![ObjectClass(0)];
+        let cloud =
+            spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), 3).unwrap();
+        let edge_a = spawn_edge(cloud.addr(), &EdgeConfig::default()).unwrap();
+        let edge_b = spawn_edge(cloud.addr(), &EdgeConfig::default()).unwrap();
+        edge_a.add_peer(edge_b.addr());
+        edge_b.add_peer(edge_a.addr());
+
+        let req = Request {
+            user: UserId(0),
+            zone: ZoneId(0),
+            at_ns: 0,
+            kind: RequestKind::RenderLoad {
+                model_id: 3,
+                size_bytes: 80_000,
+            },
+        };
+        // Warm edge B through its own client.
+        let mut b_client = NetClient::connect(
+            edge_b.addr(),
+            ClientConfig::default(),
+            compute,
+            models.clone(),
+            panos.clone(),
+        )
+        .unwrap();
+        assert_eq!(b_client.execute(&req).unwrap().path, Path::CloudMiss);
+
+        // Edge A's client now gets the model via the peer, not the cloud.
+        let mut a_client = NetClient::connect(
+            edge_a.addr(),
+            ClientConfig::default(),
+            compute,
+            models,
+            panos,
+        )
+        .unwrap();
+        let out = a_client.execute(&req).unwrap();
+        assert_eq!(out.path, Path::PeerHit);
+        // And it is now cached locally at A.
+        assert_eq!(a_client.execute(&req).unwrap().path, Path::EdgeHit);
+    }
+
+    #[test]
+    fn live_panorama_flow() {
+        let (_cloud, _edge, mut client) = stack();
+        let req = Request {
+            user: UserId(0),
+            zone: ZoneId(0),
+            at_ns: 0,
+            kind: RequestKind::Panorama { frame_id: 3 },
+        };
+        let miss = client.execute(&req).unwrap();
+        assert_eq!(miss.path, Path::CloudMiss);
+        let hit = client.execute(&req).unwrap();
+        assert_eq!(hit.path, Path::EdgeHit);
+        assert_eq!(miss.result, hit.result);
+    }
+}

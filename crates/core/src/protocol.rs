@@ -1,0 +1,708 @@
+//! The CoIC wire protocol.
+//!
+//! One message enum serves both transports: the discrete-event simulator
+//! moves `Msg` values directly (charging the encoded size on the links),
+//! and the real-TCP deployment ships the binary encoding produced here.
+//!
+//! Encoding: `magic(1) | version(1) | tag(1) | req_id(8 LE) | payload`.
+//! All integers little-endian. Every decode validates magic, version, tag
+//! and length so a corrupt or mismatched peer fails loudly.
+
+use crate::descriptor::FeatureDescriptor;
+use crate::task::{RecognitionResult, TaskRequest, TaskResult};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use coic_cache::Digest;
+use coic_vision::{FeatureVec, Image};
+
+/// Protocol magic byte.
+pub const MAGIC: u8 = 0xC0;
+/// Protocol version.
+pub const VERSION: u8 = 1;
+
+/// A protocol message.
+///
+/// # Examples
+/// ```
+/// use coic_core::Msg;
+///
+/// let msg = Msg::NeedPayload { req_id: 42 };
+/// let bytes = msg.encode();
+/// assert_eq!(bytes.len() as u64, msg.encoded_len());
+/// assert_eq!(Msg::decode(&bytes).unwrap(), msg);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Client → edge: "is the result for this descriptor cached?"
+    ///
+    /// For render/panorama tasks the request itself is tiny, so it rides
+    /// along as `hint` and lets the edge forward a miss to the cloud
+    /// without another client round trip. Recognition queries carry no
+    /// hint — the heavy camera frame is only uploaded when the edge asks
+    /// for it with [`Msg::NeedPayload`].
+    Query {
+        /// Request id, unique per client.
+        req_id: u64,
+        /// The descriptor extracted on-device.
+        descriptor: FeatureDescriptor,
+        /// The compact task, when it fits in a descriptor-sized message.
+        hint: Option<TaskRequest>,
+    },
+    /// Edge → client: cache hit, here is the result.
+    Hit {
+        /// Request id being answered.
+        req_id: u64,
+        /// The cached result.
+        result: TaskResult,
+    },
+    /// Edge → client: recognition miss — upload the full input.
+    NeedPayload {
+        /// Request id being answered.
+        req_id: u64,
+    },
+    /// Client → edge: full task after a `NeedPayload`.
+    Upload {
+        /// Request id.
+        req_id: u64,
+        /// The complete task.
+        task: TaskRequest,
+    },
+    /// Edge → cloud: execute this task.
+    Forward {
+        /// Request id (edge-scoped).
+        req_id: u64,
+        /// The task to execute.
+        task: TaskRequest,
+    },
+    /// Cloud → edge: execution finished.
+    CloudReply {
+        /// Request id being answered.
+        req_id: u64,
+        /// The computed result.
+        result: TaskResult,
+    },
+    /// Edge → client: result for a miss path.
+    Result {
+        /// Request id being answered.
+        req_id: u64,
+        /// The result (freshly computed and now cached).
+        result: TaskResult,
+    },
+    /// Client → cloud (via edge relay): the origin baseline's full offload.
+    BaselineRequest {
+        /// Request id.
+        req_id: u64,
+        /// The complete task.
+        task: TaskRequest,
+    },
+    /// Cloud → client (via edge relay): baseline reply.
+    BaselineReply {
+        /// Request id being answered.
+        req_id: u64,
+        /// The computed result.
+        result: TaskResult,
+    },
+    /// Edge → peer edge: "do you have this content?" (exact tasks only).
+    PeerQuery {
+        /// Request id (home-edge scoped).
+        req_id: u64,
+        /// Content digest being looked up.
+        digest: Digest,
+    },
+    /// Peer edge → edge: answer to a [`Msg::PeerQuery`].
+    PeerReply {
+        /// Request id being answered.
+        req_id: u64,
+        /// The cached result, or `None` on a peer miss.
+        result: Option<TaskResult>,
+    },
+    /// Edge → client: result served by a cooperating peer edge.
+    PeerResult {
+        /// Request id being answered.
+        req_id: u64,
+        /// The result fetched from the peer (now cached locally too).
+        result: TaskResult,
+    },
+}
+
+/// Decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Buffer too short.
+    Truncated,
+    /// First byte was not [`MAGIC`].
+    BadMagic(u8),
+    /// Version mismatch.
+    BadVersion(u8),
+    /// Unknown message/desc/task/result tag.
+    BadTag(u8),
+    /// A length field exceeded sanity limits.
+    TooLarge(u64),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "message truncated"),
+            ProtoError::BadMagic(b) => write!(f, "bad magic {b:#04x}"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            ProtoError::BadTag(t) => write!(f, "unknown tag {t}"),
+            ProtoError::TooLarge(n) => write!(f, "length {n} exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+const MAX_BLOB: u64 = 256 * 1024 * 1024;
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), ProtoError> {
+    if buf.remaining() < n {
+        Err(ProtoError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn put_descriptor(buf: &mut BytesMut, d: &FeatureDescriptor) {
+    match d {
+        FeatureDescriptor::Dnn(v) => {
+            buf.put_u8(0);
+            buf.put_u32_le(v.dim() as u32);
+            for &x in v.as_slice() {
+                buf.put_f32_le(x);
+            }
+        }
+        FeatureDescriptor::ModelHash(h) => {
+            buf.put_u8(1);
+            buf.put_slice(h.as_bytes());
+        }
+        FeatureDescriptor::PanoramaHash(h) => {
+            buf.put_u8(2);
+            buf.put_slice(h.as_bytes());
+        }
+    }
+}
+
+fn get_descriptor(buf: &mut &[u8]) -> Result<FeatureDescriptor, ProtoError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as u64;
+            if n > 1_000_000 {
+                return Err(ProtoError::TooLarge(n));
+            }
+            need(buf, n as usize * 4)?;
+            let mut v = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                v.push(buf.get_f32_le());
+            }
+            Ok(FeatureDescriptor::Dnn(FeatureVec::new(v)))
+        }
+        t @ (1 | 2) => {
+            need(buf, 32)?;
+            let mut h = [0u8; 32];
+            buf.copy_to_slice(&mut h);
+            let d = Digest(h);
+            Ok(if t == 1 {
+                FeatureDescriptor::ModelHash(d)
+            } else {
+                FeatureDescriptor::PanoramaHash(d)
+            })
+        }
+        t => Err(ProtoError::BadTag(t)),
+    }
+}
+
+fn put_task(buf: &mut BytesMut, t: &TaskRequest) {
+    match t {
+        TaskRequest::Recognition { image } => {
+            buf.put_u8(0);
+            buf.put_u32_le(image.width());
+            buf.put_u32_le(image.height());
+            buf.put_slice(image.pixels());
+        }
+        TaskRequest::RenderLoad {
+            model_id,
+            size_bytes,
+        } => {
+            buf.put_u8(1);
+            buf.put_u64_le(*model_id);
+            buf.put_u64_le(*size_bytes);
+        }
+        TaskRequest::Panorama { frame_id } => {
+            buf.put_u8(2);
+            buf.put_u64_le(*frame_id);
+        }
+    }
+}
+
+fn get_task(buf: &mut &[u8]) -> Result<TaskRequest, ProtoError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => {
+            need(buf, 8)?;
+            let w = buf.get_u32_le();
+            let h = buf.get_u32_le();
+            let n = w as u64 * h as u64;
+            if n == 0 || n > MAX_BLOB {
+                return Err(ProtoError::TooLarge(n));
+            }
+            need(buf, n as usize)?;
+            let mut pixels = vec![0u8; n as usize];
+            buf.copy_to_slice(&mut pixels);
+            Ok(TaskRequest::Recognition {
+                image: Image::from_raw(w, h, pixels),
+            })
+        }
+        1 => {
+            need(buf, 16)?;
+            Ok(TaskRequest::RenderLoad {
+                model_id: buf.get_u64_le(),
+                size_bytes: buf.get_u64_le(),
+            })
+        }
+        2 => {
+            need(buf, 8)?;
+            Ok(TaskRequest::Panorama {
+                frame_id: buf.get_u64_le(),
+            })
+        }
+        t => Err(ProtoError::BadTag(t)),
+    }
+}
+
+fn put_result(buf: &mut BytesMut, r: &TaskResult) {
+    match r {
+        TaskResult::Recognition(rr) => {
+            buf.put_u8(0);
+            buf.put_u32_le(rr.label);
+            buf.put_f32_le(rr.distance);
+        }
+        TaskResult::Model(b) => {
+            buf.put_u8(1);
+            buf.put_u32_le(b.len() as u32);
+            buf.put_slice(b);
+        }
+        TaskResult::Panorama(b) => {
+            buf.put_u8(2);
+            buf.put_u32_le(b.len() as u32);
+            buf.put_slice(b);
+        }
+    }
+}
+
+fn get_result(buf: &mut &[u8]) -> Result<TaskResult, ProtoError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => {
+            need(buf, 8)?;
+            Ok(TaskResult::Recognition(RecognitionResult {
+                label: buf.get_u32_le(),
+                distance: buf.get_f32_le(),
+            }))
+        }
+        t @ (1 | 2) => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as u64;
+            if n > MAX_BLOB {
+                return Err(ProtoError::TooLarge(n));
+            }
+            need(buf, n as usize)?;
+            let b = Bytes::copy_from_slice(&buf[..n as usize]);
+            buf.advance(n as usize);
+            Ok(if t == 1 {
+                TaskResult::Model(b)
+            } else {
+                TaskResult::Panorama(b)
+            })
+        }
+        t => Err(ProtoError::BadTag(t)),
+    }
+}
+
+impl Msg {
+    fn tag(&self) -> u8 {
+        match self {
+            Msg::Query { .. } => 0,
+            Msg::Hit { .. } => 1,
+            Msg::NeedPayload { .. } => 2,
+            Msg::Upload { .. } => 3,
+            Msg::Forward { .. } => 4,
+            Msg::CloudReply { .. } => 5,
+            Msg::Result { .. } => 6,
+            Msg::BaselineRequest { .. } => 7,
+            Msg::BaselineReply { .. } => 8,
+            Msg::PeerQuery { .. } => 9,
+            Msg::PeerReply { .. } => 10,
+            Msg::PeerResult { .. } => 11,
+        }
+    }
+
+    /// The request id carried by any message.
+    pub fn req_id(&self) -> u64 {
+        match self {
+            Msg::Query { req_id, .. }
+            | Msg::Hit { req_id, .. }
+            | Msg::NeedPayload { req_id }
+            | Msg::Upload { req_id, .. }
+            | Msg::Forward { req_id, .. }
+            | Msg::CloudReply { req_id, .. }
+            | Msg::Result { req_id, .. }
+            | Msg::BaselineRequest { req_id, .. }
+            | Msg::BaselineReply { req_id, .. }
+            | Msg::PeerQuery { req_id, .. }
+            | Msg::PeerReply { req_id, .. }
+            | Msg::PeerResult { req_id, .. } => *req_id,
+        }
+    }
+
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(self.tag());
+        buf.put_u64_le(self.req_id());
+        match self {
+            Msg::Query {
+                descriptor, hint, ..
+            } => {
+                put_descriptor(&mut buf, descriptor);
+                match hint {
+                    Some(task) => {
+                        buf.put_u8(1);
+                        put_task(&mut buf, task);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+            Msg::Hit { result, .. }
+            | Msg::CloudReply { result, .. }
+            | Msg::Result { result, .. }
+            | Msg::BaselineReply { result, .. }
+            | Msg::PeerResult { result, .. } => put_result(&mut buf, result),
+            Msg::PeerQuery { digest, .. } => buf.put_slice(digest.as_bytes()),
+            Msg::PeerReply { result, .. } => match result {
+                Some(r) => {
+                    buf.put_u8(1);
+                    put_result(&mut buf, r);
+                }
+                None => buf.put_u8(0),
+            },
+            Msg::NeedPayload { .. } => {}
+            Msg::Upload { task, .. }
+            | Msg::Forward { task, .. }
+            | Msg::BaselineRequest { task, .. } => put_task(&mut buf, task),
+        }
+        buf.freeze()
+    }
+
+    /// Length of [`Msg::encode`] without materializing the buffer — what
+    /// the simulator charges on links.
+    pub fn encoded_len(&self) -> u64 {
+        let payload = match self {
+            Msg::Query {
+                descriptor, hint, ..
+            } => {
+                let d = 1 + match descriptor {
+                    FeatureDescriptor::Dnn(v) => 4 + 4 * v.dim() as u64,
+                    _ => 32,
+                };
+                let h = 1 + match hint {
+                    None => 0,
+                    Some(TaskRequest::Recognition { image }) => 9 + image.byte_size(),
+                    Some(TaskRequest::RenderLoad { .. }) => 17,
+                    Some(TaskRequest::Panorama { .. }) => 9,
+                };
+                d + h
+            }
+            Msg::Hit { result, .. }
+            | Msg::CloudReply { result, .. }
+            | Msg::Result { result, .. }
+            | Msg::BaselineReply { result, .. }
+            | Msg::PeerResult { result, .. } => {
+                1 + match result {
+                    TaskResult::Recognition(_) => 8,
+                    TaskResult::Model(b) | TaskResult::Panorama(b) => 4 + b.len() as u64,
+                }
+            }
+            Msg::PeerQuery { .. } => 32,
+            Msg::PeerReply { result, .. } => {
+                1 + match result {
+                    None => 0,
+                    Some(TaskResult::Recognition(_)) => 1 + 8,
+                    Some(TaskResult::Model(b)) | Some(TaskResult::Panorama(b)) => {
+                        1 + 4 + b.len() as u64
+                    }
+                }
+            }
+            Msg::NeedPayload { .. } => 0,
+            Msg::Upload { task, .. }
+            | Msg::Forward { task, .. }
+            | Msg::BaselineRequest { task, .. } => {
+                1 + match task {
+                    TaskRequest::Recognition { image } => 8 + image.byte_size(),
+                    TaskRequest::RenderLoad { .. } => 16,
+                    TaskRequest::Panorama { .. } => 8,
+                }
+            }
+        };
+        11 + payload
+    }
+
+    /// Parse wire bytes.
+    pub fn decode(data: &[u8]) -> Result<Msg, ProtoError> {
+        let mut buf = data;
+        need(&buf, 11)?;
+        let magic = buf.get_u8();
+        if magic != MAGIC {
+            return Err(ProtoError::BadMagic(magic));
+        }
+        let version = buf.get_u8();
+        if version != VERSION {
+            return Err(ProtoError::BadVersion(version));
+        }
+        let tag = buf.get_u8();
+        let req_id = buf.get_u64_le();
+        let msg = match tag {
+            0 => {
+                let descriptor = get_descriptor(&mut buf)?;
+                need(&buf, 1)?;
+                let hint = match buf.get_u8() {
+                    0 => None,
+                    1 => Some(get_task(&mut buf)?),
+                    t => return Err(ProtoError::BadTag(t)),
+                };
+                Msg::Query {
+                    req_id,
+                    descriptor,
+                    hint,
+                }
+            }
+            1 => Msg::Hit {
+                req_id,
+                result: get_result(&mut buf)?,
+            },
+            2 => Msg::NeedPayload { req_id },
+            3 => Msg::Upload {
+                req_id,
+                task: get_task(&mut buf)?,
+            },
+            4 => Msg::Forward {
+                req_id,
+                task: get_task(&mut buf)?,
+            },
+            5 => Msg::CloudReply {
+                req_id,
+                result: get_result(&mut buf)?,
+            },
+            6 => Msg::Result {
+                req_id,
+                result: get_result(&mut buf)?,
+            },
+            7 => Msg::BaselineRequest {
+                req_id,
+                task: get_task(&mut buf)?,
+            },
+            8 => Msg::BaselineReply {
+                req_id,
+                result: get_result(&mut buf)?,
+            },
+            9 => {
+                need(&buf, 32)?;
+                let mut h = [0u8; 32];
+                buf.copy_to_slice(&mut h);
+                Msg::PeerQuery {
+                    req_id,
+                    digest: Digest(h),
+                }
+            }
+            10 => {
+                need(&buf, 1)?;
+                let result = match buf.get_u8() {
+                    0 => None,
+                    1 => Some(get_result(&mut buf)?),
+                    t => return Err(ProtoError::BadTag(t)),
+                };
+                Msg::PeerReply { req_id, result }
+            }
+            11 => Msg::PeerResult {
+                req_id,
+                result: get_result(&mut buf)?,
+            },
+            t => return Err(ProtoError::BadTag(t)),
+        };
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Msg> {
+        vec![
+            Msg::Query {
+                req_id: 1,
+                descriptor: FeatureDescriptor::Dnn(FeatureVec::new(vec![0.5, -0.25, 1.0])),
+                hint: None,
+            },
+            Msg::Query {
+                req_id: 2,
+                descriptor: FeatureDescriptor::ModelHash(Digest::of(b"model-7")),
+                hint: Some(TaskRequest::RenderLoad {
+                    model_id: 7,
+                    size_bytes: 123_456,
+                }),
+            },
+            Msg::Query {
+                req_id: 3,
+                descriptor: FeatureDescriptor::PanoramaHash(Digest::of(b"frame-9")),
+                hint: Some(TaskRequest::Panorama { frame_id: 9 }),
+            },
+            Msg::Hit {
+                req_id: 4,
+                result: TaskResult::Recognition(RecognitionResult {
+                    label: 42,
+                    distance: 0.125,
+                }),
+            },
+            Msg::NeedPayload { req_id: 5 },
+            Msg::Upload {
+                req_id: 6,
+                task: TaskRequest::Recognition {
+                    image: Image::from_fn(8, 8, |x, y| (x * 8 + y) as u8),
+                },
+            },
+            Msg::Forward {
+                req_id: 7,
+                task: TaskRequest::RenderLoad {
+                    model_id: 99,
+                    size_bytes: 1_000_000,
+                },
+            },
+            Msg::CloudReply {
+                req_id: 8,
+                result: TaskResult::Model(Bytes::from(vec![1, 2, 3, 4])),
+            },
+            Msg::Result {
+                req_id: 9,
+                result: TaskResult::Panorama(Bytes::from(vec![9; 100])),
+            },
+            Msg::BaselineRequest {
+                req_id: 10,
+                task: TaskRequest::Panorama { frame_id: 77 },
+            },
+            Msg::BaselineReply {
+                req_id: 11,
+                result: TaskResult::Recognition(RecognitionResult {
+                    label: 0,
+                    distance: 0.0,
+                }),
+            },
+            Msg::PeerQuery {
+                req_id: 12,
+                digest: Digest::of(b"peer-content"),
+            },
+            Msg::PeerReply {
+                req_id: 13,
+                result: Some(TaskResult::Model(Bytes::from(vec![5, 6, 7]))),
+            },
+            Msg::PeerReply {
+                req_id: 14,
+                result: None,
+            },
+            Msg::PeerResult {
+                req_id: 15,
+                result: TaskResult::Panorama(Bytes::from(vec![8; 20])),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_variant() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            let back = Msg::decode(&bytes).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_encoding() {
+        for msg in samples() {
+            assert_eq!(
+                msg.encode().len() as u64,
+                msg.encoded_len(),
+                "mismatch for {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn req_id_preserved() {
+        for (i, msg) in samples().iter().enumerate() {
+            assert_eq!(msg.req_id(), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            for keep in 0..bytes.len() {
+                match Msg::decode(&bytes[..keep]) {
+                    Err(_) => {}
+                    Ok(m) => panic!("decoded {m:?} from {keep}/{} bytes", bytes.len()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_tag() {
+        let good = Msg::NeedPayload { req_id: 1 }.encode();
+        let mut bad = good.to_vec();
+        bad[0] = 0xFF;
+        assert_eq!(Msg::decode(&bad), Err(ProtoError::BadMagic(0xFF)));
+        let mut bad = good.to_vec();
+        bad[1] = 9;
+        assert_eq!(Msg::decode(&bad), Err(ProtoError::BadVersion(9)));
+        let mut bad = good.to_vec();
+        bad[2] = 99;
+        assert_eq!(Msg::decode(&bad), Err(ProtoError::BadTag(99)));
+    }
+
+    #[test]
+    fn absurd_lengths_rejected() {
+        // Hand-craft a Query with a descriptor length field of 2^31.
+        let mut buf = BytesMut::new();
+        buf.put_u8(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(0); // Query
+        buf.put_u64_le(1);
+        buf.put_u8(0); // Dnn descriptor
+        buf.put_u32_le(u32::MAX);
+        match Msg::decode(&buf) {
+            Err(ProtoError::TooLarge(_)) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn descriptor_query_is_small_upload_is_large() {
+        // The protocol asymmetry CoIC relies on.
+        let img = Image::from_fn(64, 64, |x, _| x as u8);
+        let query = Msg::Query {
+            req_id: 1,
+            descriptor: FeatureDescriptor::Dnn(FeatureVec::new(vec![0.0; 32])),
+            hint: None,
+        };
+        let upload = Msg::Upload {
+            req_id: 1,
+            task: TaskRequest::Recognition { image: img },
+        };
+        assert!(query.encoded_len() * 10 < upload.encoded_len());
+    }
+}

@@ -1,0 +1,192 @@
+//! QoE accounting: per-request records and aggregated reports.
+//!
+//! The paper's metric is user-perceived end-to-end latency; we additionally
+//! track hit paths, recognition accuracy and bytes moved per network
+//! segment (the costs a deployment would care about).
+
+use coic_netsim::Summary;
+use std::collections::HashMap;
+
+/// How a request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Path {
+    /// Edge cache hit.
+    EdgeHit,
+    /// Local miss answered by a cooperating peer edge.
+    PeerHit,
+    /// Miss: forwarded to the cloud and cached.
+    CloudMiss,
+    /// Origin baseline: full offload, no cache.
+    Baseline,
+}
+
+/// One completed request.
+#[derive(Debug, Clone, Copy)]
+pub struct Record {
+    /// Request id.
+    pub req_id: u64,
+    /// Task family label.
+    pub kind: &'static str,
+    /// Issue time (virtual ns).
+    pub issued_ns: u64,
+    /// Completion time (virtual ns).
+    pub completed_ns: u64,
+    /// How it was satisfied.
+    pub path: Path,
+    /// For recognition: was the label correct?
+    pub correct: Option<bool>,
+}
+
+impl Record {
+    /// End-to-end latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        (self.completed_ns - self.issued_ns) as f64 / 1e6
+    }
+}
+
+/// Aggregated outcome of one simulation run.
+#[derive(Debug)]
+pub struct QoeReport {
+    /// All end-to-end latencies, ms.
+    pub latency_ms: Summary,
+    /// Latencies by task family.
+    pub latency_by_kind: HashMap<&'static str, Summary>,
+    /// Requests satisfied from the local edge cache.
+    pub edge_hits: u64,
+    /// Requests satisfied by a cooperating peer edge.
+    pub peer_hits: u64,
+    /// Requests that went to the cloud (miss or baseline).
+    pub cloud_trips: u64,
+    /// Recognition accuracy (None if no recognition requests).
+    pub accuracy: Option<f64>,
+    /// Completed requests.
+    pub completed: usize,
+    /// Bytes delivered on the access (client↔edge) segment.
+    pub access_bytes: u64,
+    /// Bytes delivered on the WAN (edge↔cloud) segment.
+    pub wan_bytes: u64,
+    /// Bytes delivered on the inter-edge LAN (multi-edge runs only).
+    pub lan_bytes: u64,
+    /// Requests abandoned after exhausting retries (lossy-link runs).
+    pub failed: u64,
+}
+
+impl QoeReport {
+    /// Build a report from records (network byte counts added separately).
+    pub fn from_records(records: &[Record]) -> QoeReport {
+        let mut latency_ms = Summary::new();
+        let mut latency_by_kind: HashMap<&'static str, Summary> = HashMap::new();
+        let mut edge_hits = 0;
+        let mut peer_hits = 0;
+        let mut cloud_trips = 0;
+        let mut correct = 0u64;
+        let mut judged = 0u64;
+        for r in records {
+            let l = r.latency_ms();
+            latency_ms.push(l);
+            latency_by_kind.entry(r.kind).or_default().push(l);
+            match r.path {
+                Path::EdgeHit => edge_hits += 1,
+                Path::PeerHit => peer_hits += 1,
+                Path::CloudMiss | Path::Baseline => cloud_trips += 1,
+            }
+            if let Some(c) = r.correct {
+                judged += 1;
+                if c {
+                    correct += 1;
+                }
+            }
+        }
+        QoeReport {
+            latency_ms,
+            latency_by_kind,
+            edge_hits,
+            peer_hits,
+            cloud_trips,
+            accuracy: (judged > 0).then(|| correct as f64 / judged as f64),
+            completed: records.len(),
+            access_bytes: 0,
+            wan_bytes: 0,
+            lan_bytes: 0,
+            failed: 0,
+        }
+    }
+
+    /// Cache hit ratio over completed requests (local + peer hits).
+    pub fn hit_ratio(&self) -> f64 {
+        let n = self.edge_hits + self.peer_hits + self.cloud_trips;
+        if n == 0 {
+            0.0
+        } else {
+            (self.edge_hits + self.peer_hits) as f64 / n as f64
+        }
+    }
+
+    /// Mean latency in ms.
+    pub fn mean_latency_ms(&self) -> f64 {
+        self.latency_ms.mean()
+    }
+}
+
+/// Latency reduction of `coic` relative to `baseline`, in percent
+/// (the y-axis of both paper figures).
+pub fn reduction_percent(baseline_ms: f64, coic_ms: f64) -> f64 {
+    if baseline_ms <= 0.0 {
+        return 0.0;
+    }
+    (baseline_ms - coic_ms) / baseline_ms * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(latency_ns: u64, path: Path, correct: Option<bool>) -> Record {
+        Record {
+            req_id: 0,
+            kind: "recognition",
+            issued_ns: 1_000,
+            completed_ns: 1_000 + latency_ns,
+            path,
+            correct,
+        }
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let records = vec![
+            rec(10_000_000, Path::EdgeHit, Some(true)),
+            rec(30_000_000, Path::CloudMiss, Some(true)),
+            rec(20_000_000, Path::EdgeHit, Some(false)),
+        ];
+        let mut report = QoeReport::from_records(&records);
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.edge_hits, 2);
+        assert_eq!(report.cloud_trips, 1);
+        assert!((report.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((report.mean_latency_ms() - 20.0).abs() < 1e-9);
+        assert!((report.latency_ms.median() - 20.0).abs() < 1e-9);
+        assert!((report.accuracy.unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_absent_without_truth() {
+        let records = vec![rec(1_000, Path::Baseline, None)];
+        let report = QoeReport::from_records(&records);
+        assert_eq!(report.accuracy, None);
+    }
+
+    #[test]
+    fn reduction_math() {
+        assert!((reduction_percent(100.0, 50.0) - 50.0).abs() < 1e-12);
+        assert!((reduction_percent(100.0, 100.0)).abs() < 1e-12);
+        assert_eq!(reduction_percent(0.0, 10.0), 0.0);
+        assert!(reduction_percent(50.0, 75.0) < 0.0); // regressions are visible
+    }
+
+    #[test]
+    fn latency_ms_conversion() {
+        let r = rec(5_500_000, Path::EdgeHit, None);
+        assert!((r.latency_ms() - 5.5).abs() < 1e-12);
+    }
+}

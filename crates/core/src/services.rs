@@ -1,0 +1,592 @@
+//! The three CoIC roles as transport-independent services.
+//!
+//! [`ClientLogic`], [`EdgeService`] and [`CloudService`] contain all
+//! decision logic; the simulation driver ([`crate::simrun`]) and the real
+//! TCP deployment ([`crate::netrun`]) are thin shells that move their
+//! messages and charge time.
+
+use crate::compute::ComputeConfig;
+use crate::content::{ModelLibrary, PanoLibrary};
+use crate::descriptor::FeatureDescriptor;
+use crate::task::{RecognitionResult, TaskRequest, TaskResult};
+use coic_cache::{
+    ApproxCache, ApproxLookup, CacheStats, Digest, ExactCache, IndexKind, PolicyKind,
+    TinyLfuConfig,
+};
+use coic_vision::{ObjectClass, PrototypeClassifier, SceneGenerator, SimNet, ViewParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Edge cache configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeConfig {
+    /// Capacity of the recognition (approximate) cache, bytes.
+    pub recog_cache_bytes: u64,
+    /// Capacity of the exact (model/panorama) cache, bytes.
+    pub exact_cache_bytes: u64,
+    /// Eviction policy for both caches.
+    pub policy: PolicyKind,
+    /// Distance threshold for recognition hits.
+    pub threshold: f32,
+    /// Index backing the approximate cache.
+    pub index: IndexKind,
+    /// Descriptor embedding dimensionality.
+    pub embedding_dim: usize,
+    /// TinyLFU admission on the exact cache (None = admit everything).
+    pub admission: Option<TinyLfuConfig>,
+    /// TTL for exact-cache entries, ms (None = never expire). Live content
+    /// — e.g. panoramas of a real-time VR world — must not be served
+    /// stale forever.
+    pub exact_ttl_ms: Option<u64>,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        EdgeConfig {
+            recog_cache_bytes: 64 * 1024 * 1024,
+            exact_cache_bytes: 512 * 1024 * 1024,
+            policy: PolicyKind::Lru,
+            threshold: 0.45,
+            index: IndexKind::Linear,
+            embedding_dim: 32,
+            admission: None,
+            exact_ttl_ms: None,
+        }
+    }
+}
+
+/// What the edge decides to do with a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeReply {
+    /// Cached result — return immediately.
+    Hit(TaskResult),
+    /// Recognition miss without payload: ask the client to upload.
+    NeedPayload,
+    /// Miss with a task hint: forward straight to the cloud.
+    Forward(TaskRequest),
+}
+
+/// The edge cache service.
+pub struct EdgeService {
+    recog: ApproxCache<RecognitionResult>,
+    exact: ExactCache<TaskResult>,
+}
+
+impl EdgeService {
+    /// Create the service.
+    pub fn new(cfg: &EdgeConfig) -> Self {
+        EdgeService {
+            recog: ApproxCache::new(
+                cfg.recog_cache_bytes,
+                cfg.policy,
+                cfg.threshold,
+                cfg.index,
+                cfg.embedding_dim,
+            ),
+            exact: {
+                let ttl_ns = cfg.exact_ttl_ms.map(|ms| ms * 1_000_000);
+                let c = ExactCache::new(cfg.exact_cache_bytes, cfg.policy, ttl_ns);
+                match cfg.admission {
+                    Some(a) => c.with_admission(a),
+                    None => c,
+                }
+            },
+        }
+    }
+
+    /// Handle a descriptor query (the core of Figure 1's edge box).
+    pub fn handle_query(
+        &mut self,
+        descriptor: &FeatureDescriptor,
+        hint: Option<&TaskRequest>,
+        now_ns: u64,
+    ) -> EdgeReply {
+        match descriptor {
+            FeatureDescriptor::Dnn(v) => match self.recog.lookup(v, now_ns) {
+                ApproxLookup::Hit { id, .. } => {
+                    let r = *self
+                        .recog
+                        .value(id)
+                        .expect("hit id must resolve to a value");
+                    EdgeReply::Hit(TaskResult::Recognition(r))
+                }
+                ApproxLookup::Miss { .. } => match hint {
+                    Some(task) => EdgeReply::Forward(task.clone()),
+                    None => EdgeReply::NeedPayload,
+                },
+            },
+            FeatureDescriptor::ModelHash(d) | FeatureDescriptor::PanoramaHash(d) => {
+                if let Some(result) = self.exact.lookup(d, now_ns) {
+                    EdgeReply::Hit(result.clone())
+                } else {
+                    match hint {
+                        Some(task) => EdgeReply::Forward(task.clone()),
+                        None => EdgeReply::NeedPayload,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Insert a freshly computed result under its descriptor.
+    pub fn insert(&mut self, descriptor: &FeatureDescriptor, result: &TaskResult, now_ns: u64) {
+        match (descriptor, result) {
+            (FeatureDescriptor::Dnn(v), TaskResult::Recognition(r)) => {
+                // Charge the descriptor plus the annotation payload.
+                let size = v.byte_size() + result.byte_size();
+                self.recog.insert(v.clone(), *r, size, now_ns);
+            }
+            (
+                FeatureDescriptor::ModelHash(d) | FeatureDescriptor::PanoramaHash(d),
+                result,
+            ) => {
+                self.exact
+                    .insert(*d, result.clone(), result.byte_size(), now_ns);
+            }
+            (d, r) => panic!(
+                "descriptor kind {} does not match result kind {}",
+                d.kind(),
+                r.kind()
+            ),
+        }
+    }
+
+    /// Does the exact cache currently hold this digest? (No stats or
+    /// recency side effects — used by the prefetcher to avoid refetching.)
+    pub fn exact_contains(&self, digest: &Digest) -> bool {
+        self.exact.peek(digest).is_some()
+    }
+
+    /// Direct exact-cache lookup by digest (the peer-query entry point:
+    /// a cooperating edge asks "do you hold this content?").
+    pub fn exact_lookup(&mut self, digest: &Digest, now_ns: u64) -> Option<TaskResult> {
+        self.exact.lookup(digest, now_ns).cloned()
+    }
+
+    /// Recognition cache counters.
+    pub fn recog_stats(&self) -> CacheStats {
+        *self.recog.stats()
+    }
+
+    /// Exact cache counters.
+    pub fn exact_stats(&self) -> CacheStats {
+        *self.exact.stats()
+    }
+
+    /// Combined hit ratio over both caches.
+    pub fn hit_ratio(&self) -> f64 {
+        let r = self.recog_stats();
+        let e = self.exact_stats();
+        let hits = r.hits + e.hits;
+        let total = r.lookups() + e.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// The cloud execution service — the paper's "server" that runs complete
+/// IC tasks.
+pub struct CloudService {
+    net: SimNet,
+    classifier: PrototypeClassifier,
+    models: Arc<ModelLibrary>,
+    panos: Arc<PanoLibrary>,
+    compute: ComputeConfig,
+}
+
+impl CloudService {
+    /// Train the cloud's recognition model over `classes` and wire up the
+    /// content libraries.
+    pub fn new(
+        classes: &[ObjectClass],
+        gen: &SceneGenerator,
+        compute: ComputeConfig,
+        models: Arc<ModelLibrary>,
+        panos: Arc<PanoLibrary>,
+        seed: u64,
+    ) -> Self {
+        let net = SimNet::default_net();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let classifier =
+            PrototypeClassifier::train(&net, gen, classes, 5, 0.08, 4.0, &mut rng);
+        CloudService {
+            net,
+            classifier,
+            models,
+            panos,
+            compute,
+        }
+    }
+
+    /// Execute a task, returning the result and its virtual compute cost.
+    pub fn execute(&self, task: &TaskRequest) -> (TaskResult, u64) {
+        match task {
+            TaskRequest::Recognition { image } => {
+                let embedding = self.net.extract(image);
+                let (label, distance) = self.classifier.predict(&embedding);
+                (
+                    TaskResult::Recognition(RecognitionResult {
+                        label: label.0,
+                        distance,
+                    }),
+                    self.compute.cloud_infer_ns(),
+                )
+            }
+            TaskRequest::RenderLoad {
+                model_id,
+                size_bytes,
+            } => {
+                let (bytes, _) = self.models.get(*model_id, *size_bytes);
+                let cost = self.compute.load_cloud.full_load_ns(bytes.len() as u64);
+                (TaskResult::Model(bytes), cost)
+            }
+            TaskRequest::Panorama { frame_id } => {
+                let (bytes, _) = self.panos.get(*frame_id);
+                (TaskResult::Panorama(bytes), self.compute.pano_render_ns)
+            }
+        }
+    }
+}
+
+/// A prepared client request: descriptor, full task, prep cost, truth.
+#[derive(Debug, Clone)]
+pub struct PreparedRequest {
+    /// Descriptor to query the edge with.
+    pub descriptor: FeatureDescriptor,
+    /// Full task for the miss path.
+    pub task: TaskRequest,
+    /// On-device preparation time (capture + descriptor extraction), ns.
+    pub prep_ns: u64,
+    /// Ground-truth class for recognition requests (accuracy accounting).
+    pub truth: Option<u32>,
+}
+
+/// Client-side preprocessing configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Camera frame side length (pixels).
+    pub image_side: u32,
+    /// Viewpoint jitter between co-located users, radians.
+    pub angle_spread: f64,
+    /// Sensor noise sigma.
+    pub noise_sigma: f64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            image_side: 64,
+            angle_spread: 0.08,
+            noise_sigma: 4.0,
+        }
+    }
+}
+
+/// Client-side preprocessing: turns a workload request into a descriptor
+/// plus a full task.
+pub struct ClientLogic {
+    net: SimNet,
+    gen: SceneGenerator,
+    models: Arc<ModelLibrary>,
+    panos: Arc<PanoLibrary>,
+    compute: ComputeConfig,
+    cfg: ClientConfig,
+}
+
+impl ClientLogic {
+    /// Create the client logic.
+    pub fn new(
+        cfg: ClientConfig,
+        compute: ComputeConfig,
+        models: Arc<ModelLibrary>,
+        panos: Arc<PanoLibrary>,
+    ) -> Self {
+        ClientLogic {
+            net: SimNet::default_net(),
+            gen: SceneGenerator::new(cfg.image_side),
+            models,
+            panos,
+            compute,
+            cfg,
+        }
+    }
+
+    /// Prepare a workload request for transmission.
+    pub fn prepare(&self, req: &coic_workload::Request) -> PreparedRequest {
+        use coic_workload::RequestKind;
+        match req.kind {
+            RequestKind::Recognition { class, view_seed } => {
+                let mut rng = StdRng::seed_from_u64(view_seed);
+                let view =
+                    ViewParams::jittered(&mut rng, self.cfg.angle_spread, self.cfg.noise_sigma);
+                let image = self.gen.observe(ObjectClass(class), &view, &mut rng);
+                let descriptor = FeatureDescriptor::Dnn(self.net.extract(&image));
+                PreparedRequest {
+                    descriptor,
+                    task: TaskRequest::Recognition { image },
+                    prep_ns: self.compute.descriptor_ns(),
+                    truth: Some(class),
+                }
+            }
+            RequestKind::RenderLoad {
+                model_id,
+                size_bytes,
+            } => {
+                let digest = self.models.digest(model_id, size_bytes);
+                PreparedRequest {
+                    descriptor: FeatureDescriptor::ModelHash(digest),
+                    task: TaskRequest::RenderLoad {
+                        model_id,
+                        size_bytes,
+                    },
+                    // Hash lookup in the app manifest: negligible but nonzero.
+                    prep_ns: 100_000,
+                    truth: None,
+                }
+            }
+            RequestKind::Panorama { frame_id } => {
+                let digest = self.panos.digest(frame_id);
+                PreparedRequest {
+                    descriptor: FeatureDescriptor::PanoramaHash(digest),
+                    task: TaskRequest::Panorama { frame_id },
+                    prep_ns: 100_000,
+                    truth: None,
+                }
+            }
+        }
+    }
+}
+
+/// Resolve whether a recognition reply was correct.
+pub fn recognition_correct(result: &TaskResult, truth: Option<u32>) -> Option<bool> {
+    match (result, truth) {
+        (TaskResult::Recognition(r), Some(t)) => Some(r.label == t),
+        _ => None,
+    }
+}
+
+/// Convenience: digest carried by a hash-type descriptor.
+pub fn descriptor_digest(d: &FeatureDescriptor) -> Option<Digest> {
+    match d {
+        FeatureDescriptor::ModelHash(h) | FeatureDescriptor::PanoramaHash(h) => Some(*h),
+        FeatureDescriptor::Dnn(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coic_workload::{Request, RequestKind, UserId, ZoneId};
+
+    fn setup() -> (ClientLogic, EdgeService, CloudService) {
+        let models = Arc::new(ModelLibrary::new());
+        let panos = Arc::new(PanoLibrary::new(64));
+        let compute = ComputeConfig::default();
+        let client = ClientLogic::new(
+            ClientConfig::default(),
+            compute,
+            models.clone(),
+            panos.clone(),
+        );
+        let edge = EdgeService::new(&EdgeConfig::default());
+        let classes: Vec<_> = (0..10).map(ObjectClass).collect();
+        let gen = SceneGenerator::new(64);
+        let cloud = CloudService::new(&classes, &gen, compute, models, panos, 7);
+        (client, edge, cloud)
+    }
+
+    fn recog_req(class: u32, view_seed: u64) -> Request {
+        Request {
+            user: UserId(0),
+            zone: ZoneId(0),
+            at_ns: 0,
+            kind: RequestKind::Recognition { class, view_seed },
+        }
+    }
+
+    #[test]
+    fn recognition_miss_then_hit_flow() {
+        let (client, mut edge, cloud) = setup();
+        // First request: miss, upload, cloud executes, edge caches.
+        let p1 = client.prepare(&recog_req(3, 100));
+        match edge.handle_query(&p1.descriptor, None, 0) {
+            EdgeReply::NeedPayload => {}
+            other => panic!("expected NeedPayload, got {other:?}"),
+        }
+        let (result, cost) = cloud.execute(&p1.task);
+        assert!(cost > 0);
+        assert_eq!(recognition_correct(&result, p1.truth), Some(true));
+        edge.insert(&p1.descriptor, &result, 0);
+
+        // Second request: same object seen again (another user at the same
+        // spot, same viewpoint) — must hit.
+        let p2 = client.prepare(&recog_req(3, 100));
+        match edge.handle_query(&p2.descriptor, None, 1) {
+            EdgeReply::Hit(TaskResult::Recognition(r)) => assert_eq!(r.label, 3),
+            other => panic!("expected Hit, got {other:?}"),
+        }
+        assert_eq!(edge.recog_stats().hits, 1);
+    }
+
+    #[test]
+    fn nearby_views_usually_hit() {
+        // The statistical property Fig 2a depends on: most re-observations
+        // of a cached object from a jittered viewpoint land within the
+        // threshold.
+        let (client, mut edge, cloud) = setup();
+        let p1 = client.prepare(&recog_req(5, 1000));
+        let (r1, _) = cloud.execute(&p1.task);
+        edge.insert(&p1.descriptor, &r1, 0);
+        let mut hits = 0;
+        let n = 30;
+        for seed in 0..n {
+            let p = client.prepare(&recog_req(5, 2000 + seed));
+            if matches!(
+                edge.handle_query(&p.descriptor, None, 0),
+                EdgeReply::Hit(_)
+            ) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= n / 2, "only {hits}/{n} nearby views hit");
+    }
+
+    #[test]
+    fn different_object_does_not_hit() {
+        let (client, mut edge, cloud) = setup();
+        let p1 = client.prepare(&recog_req(1, 5));
+        let (r1, _) = cloud.execute(&p1.task);
+        edge.insert(&p1.descriptor, &r1, 0);
+        let p2 = client.prepare(&recog_req(2, 6));
+        match edge.handle_query(&p2.descriptor, None, 0) {
+            EdgeReply::NeedPayload => {}
+            other => panic!("expected miss for a different class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn render_load_flow_hits_exactly() {
+        let (client, mut edge, cloud) = setup();
+        let req = Request {
+            user: UserId(0),
+            zone: ZoneId(0),
+            at_ns: 0,
+            kind: RequestKind::RenderLoad {
+                model_id: 11,
+                size_bytes: 80_000,
+            },
+        };
+        let p = client.prepare(&req);
+        // Miss with hint → forward.
+        let fwd = match edge.handle_query(&p.descriptor, Some(&p.task), 0) {
+            EdgeReply::Forward(t) => t,
+            other => panic!("expected Forward, got {other:?}"),
+        };
+        let (result, _) = cloud.execute(&fwd);
+        match &result {
+            TaskResult::Model(bytes) => {
+                // The model is genuinely loadable.
+                coic_render::load_cmf(bytes).unwrap();
+            }
+            other => panic!("expected Model, got {other:?}"),
+        }
+        edge.insert(&p.descriptor, &result, 0);
+        // Same model requested by another user: exact hit.
+        match edge.handle_query(&p.descriptor, Some(&p.task), 1) {
+            EdgeReply::Hit(TaskResult::Model(_)) => {}
+            other => panic!("expected Hit, got {other:?}"),
+        }
+        assert_eq!(edge.exact_stats().hits, 1);
+    }
+
+    #[test]
+    fn panorama_flow() {
+        let (client, mut edge, cloud) = setup();
+        let req = Request {
+            user: UserId(1),
+            zone: ZoneId(0),
+            at_ns: 0,
+            kind: RequestKind::Panorama { frame_id: 42 },
+        };
+        let p = client.prepare(&req);
+        let fwd = match edge.handle_query(&p.descriptor, Some(&p.task), 0) {
+            EdgeReply::Forward(t) => t,
+            other => panic!("expected Forward, got {other:?}"),
+        };
+        let (result, cost) = cloud.execute(&fwd);
+        assert_eq!(cost, ComputeConfig::default().pano_render_ns);
+        edge.insert(&p.descriptor, &result, 0);
+        match edge.handle_query(&p.descriptor, Some(&p.task), 1) {
+            EdgeReply::Hit(TaskResult::Panorama(b)) => assert_eq!(b.len(), 128 * 64),
+            other => panic!("expected Hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_ttl_expires_stale_content() {
+        let models = Arc::new(ModelLibrary::new());
+        let panos = Arc::new(PanoLibrary::new(64));
+        let compute = ComputeConfig::default();
+        let client = ClientLogic::new(
+            ClientConfig::default(),
+            compute,
+            models.clone(),
+            panos.clone(),
+        );
+        let mut edge = EdgeService::new(&EdgeConfig {
+            exact_ttl_ms: Some(100),
+            ..EdgeConfig::default()
+        });
+        let classes = vec![ObjectClass(0)];
+        let gen = SceneGenerator::new(64);
+        let cloud = CloudService::new(&classes, &gen, compute, models, panos, 7);
+        let req = Request {
+            user: UserId(0),
+            zone: ZoneId(0),
+            at_ns: 0,
+            kind: RequestKind::Panorama { frame_id: 5 },
+        };
+        let p = client.prepare(&req);
+        let fwd = match edge.handle_query(&p.descriptor, Some(&p.task), 0) {
+            EdgeReply::Forward(t) => t,
+            other => panic!("expected Forward, got {other:?}"),
+        };
+        let (result, _) = cloud.execute(&fwd);
+        edge.insert(&p.descriptor, &result, 0);
+        // Within TTL: hit. After TTL (100 ms = 1e8 ns): miss again.
+        assert!(matches!(
+            edge.handle_query(&p.descriptor, Some(&p.task), 50_000_000),
+            EdgeReply::Hit(_)
+        ));
+        assert!(matches!(
+            edge.handle_query(&p.descriptor, Some(&p.task), 150_000_000),
+            EdgeReply::Forward(_)
+        ));
+        assert_eq!(edge.exact_stats().expired, 1);
+    }
+
+    #[test]
+    fn hit_ratio_combines_caches() {
+        let (client, mut edge, cloud) = setup();
+        let p = client.prepare(&recog_req(0, 1));
+        let _ = edge.handle_query(&p.descriptor, None, 0); // miss
+        let (r, _) = cloud.execute(&p.task);
+        edge.insert(&p.descriptor, &r, 0);
+        let p2 = client.prepare(&recog_req(0, 1));
+        let _ = edge.handle_query(&p2.descriptor, None, 0); // hit
+        assert!((edge.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match result kind")]
+    fn mismatched_insert_panics() {
+        let (_, mut edge, _) = setup();
+        let d = FeatureDescriptor::Dnn(coic_vision::FeatureVec::new(vec![0.0; 32]));
+        let r = TaskResult::Model(bytes::Bytes::new());
+        edge.insert(&d, &r, 0);
+    }
+}

@@ -1,0 +1,1367 @@
+//! Discrete-event simulation driver.
+//!
+//! Reconstructs the paper's testbed as a simulated topology — N mobile
+//! clients on an access link to one edge, one WAN link to the cloud — and
+//! replays a workload trace through either the **origin** baseline (full
+//! offload, no cache) or **CoIC** (descriptor query → edge cache →
+//! forward-on-miss). Every run is deterministic in its seed.
+
+use crate::compute::ComputeConfig;
+use crate::content::{ModelLibrary, PanoLibrary};
+use crate::descriptor::FeatureDescriptor;
+use crate::protocol::Msg;
+use crate::qoe::{Path, QoeReport, Record};
+use crate::services::{
+    recognition_correct, ClientConfig, ClientLogic, CloudService, EdgeConfig, EdgeReply,
+    EdgeService, PreparedRequest,
+};
+use crate::task::{TaskRequest, TaskResult, ANNOTATION_BYTES};
+use coic_netsim::{Ctx, LinkParams, Node, NodeId, SimDuration, Simulator, Topology};
+use coic_vision::{ObjectClass, SceneGenerator};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Which system handles the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The paper's baseline: offload every complete task to the cloud.
+    Origin,
+    /// The CoIC framework.
+    CoIc,
+}
+
+/// Where recognition inference executes on the miss path (model loads and
+/// panorama synthesis stay in the cloud, which holds the content).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecTier {
+    /// The cloud server runs the DNN (the paper's setup).
+    Cloud,
+    /// The edge box runs the DNN (classic edge computing; slower silicon,
+    /// but the camera frame never crosses the WAN).
+    Edge,
+}
+
+/// Full configuration of one simulation run.
+#[derive(Clone)]
+pub struct SimConfig {
+    /// Origin baseline or CoIC.
+    pub mode: Mode,
+    /// Where recognition inference runs on misses.
+    pub exec_tier: ExecTier,
+    /// Client↔edge bandwidth (the paper's `B_M->E`), Mbit/s.
+    pub access_mbps: f64,
+    /// Client↔edge one-way delay, ms.
+    pub access_delay_ms: u64,
+    /// Edge↔cloud bandwidth (the paper's `B_E->C`), Mbit/s.
+    pub wan_mbps: f64,
+    /// Edge↔cloud one-way delay, ms.
+    pub wan_delay_ms: u64,
+    /// Number of client devices.
+    pub num_clients: u32,
+    /// Number of edge servers. Clients attach to `zone % num_edges`; with
+    /// more than one edge, enable `peer_lookup` to let edges answer each
+    /// other's misses over the LAN before going to the cloud.
+    pub num_edges: u32,
+    /// Inter-edge LAN bandwidth, Mbit/s.
+    pub lan_mbps: f64,
+    /// Inter-edge LAN one-way delay, ms.
+    pub lan_delay_ms: u64,
+    /// Query peer edges on an exact-task miss before forwarding to cloud.
+    pub peer_lookup: bool,
+    /// Independent per-message loss probability on the access links
+    /// (wireless loss; retried via the request timeout).
+    pub access_loss: f64,
+    /// Independent per-message loss probability on the WAN link.
+    pub wan_loss: f64,
+    /// Client request timeout; a request unanswered for this long is
+    /// retransmitted from scratch. Zero disables timeouts (only safe on
+    /// loss-free links).
+    pub request_timeout_ms: u64,
+    /// Retransmissions before a request is declared failed.
+    pub max_retries: u32,
+    /// Optional token-bucket shaping of each client's uplink, as
+    /// `(rate_mbps, burst_bytes)` — mirrors running `tc tbf` on the phone.
+    /// The shaper delays when a message *starts* transmitting; the link
+    /// then charges serialization as usual.
+    pub client_shaper: Option<(f64, u64)>,
+    /// Time-varying access bandwidth: at each `(at_ms, mbps)` step, every
+    /// client↔edge link is re-shaped to `mbps` (both directions). Models
+    /// wireless fading / user mobility. Empty = constant bandwidth.
+    pub access_schedule: Vec<(u64, f64)>,
+    /// Edge prefetch depth for sequential panorama streams: serving frame
+    /// `f` proactively fetches frames `f+1..=f+depth` from the cloud.
+    /// Zero disables prefetching.
+    pub prefetch_depth: u32,
+    /// Edge cache configuration.
+    pub edge: EdgeConfig,
+    /// Client preprocessing configuration.
+    pub client: ClientConfig,
+    /// Compute cost model.
+    pub compute: ComputeConfig,
+    /// Wire size charged for a camera-frame upload. The synthetic frames
+    /// are small; a real phone ships a multi-hundred-kB JPEG, and that is
+    /// what the network should feel.
+    pub image_wire_bytes: u64,
+    /// Wire size charged for a recognition descriptor query.
+    pub descriptor_wire_bytes: u64,
+    /// Panorama frame height (width = 2×height, 1 B/pixel).
+    pub pano_height: u32,
+    /// Droptail queue depth per link direction, bytes. Experiments default
+    /// deep (results as large as 64 MB models queue behind each other
+    /// rather than drop); droptail studies can lower it.
+    pub queue_limit_bytes: u64,
+    /// Closed-loop clients (the paper's sequential request/response client):
+    /// each client keeps at most one request outstanding, issuing the next
+    /// at its trace time or on completion of the previous one, whichever is
+    /// later. Open-loop (false) issues strictly by trace timestamps.
+    pub closed_loop: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            mode: Mode::CoIc,
+            exec_tier: ExecTier::Cloud,
+            access_mbps: 400.0, // the paper's 802.11ac at up to 400 Mbps
+            access_delay_ms: 2,
+            wan_mbps: 50.0,
+            wan_delay_ms: 20,
+            num_clients: 1,
+            num_edges: 1,
+            lan_mbps: 1000.0,
+            lan_delay_ms: 5,
+            peer_lookup: false,
+            access_loss: 0.0,
+            wan_loss: 0.0,
+            request_timeout_ms: 10_000,
+            max_retries: 3,
+            client_shaper: None,
+            access_schedule: Vec::new(),
+            prefetch_depth: 0,
+            edge: EdgeConfig::default(),
+            client: ClientConfig::default(),
+            compute: ComputeConfig::default(),
+            image_wire_bytes: 300_000,
+            descriptor_wire_bytes: 4_096,
+            pano_height: 256,
+            queue_limit_bytes: 1 << 30, // 1 GiB
+            closed_loop: true,
+            seed: 1,
+        }
+    }
+}
+
+/// Bytes a message occupies on a link. Structural messages use their real
+/// encoded length; camera frames and descriptors are charged at the
+/// configured realistic sizes (see [`SimConfig::image_wire_bytes`]).
+fn wire_len(msg: &Msg, cfg: &SimConfig) -> u64 {
+    match msg {
+        Msg::Query {
+            descriptor: FeatureDescriptor::Dnn(_),
+            ..
+        } => cfg.descriptor_wire_bytes,
+        Msg::Upload {
+            task: TaskRequest::Recognition { .. },
+            ..
+        }
+        | Msg::Forward {
+            task: TaskRequest::Recognition { .. },
+            ..
+        }
+        | Msg::BaselineRequest {
+            task: TaskRequest::Recognition { .. },
+            ..
+        } => cfg.image_wire_bytes,
+        Msg::Hit {
+            result: TaskResult::Recognition(_),
+            ..
+        }
+        | Msg::Result {
+            result: TaskResult::Recognition(_),
+            ..
+        }
+        | Msg::CloudReply {
+            result: TaskResult::Recognition(_),
+            ..
+        }
+        | Msg::BaselineReply {
+            result: TaskResult::Recognition(_),
+            ..
+        } => ANNOTATION_BYTES,
+        other => other.encoded_len(),
+    }
+}
+
+const TOKEN_ISSUE: u64 = 1 << 62;
+const TOKEN_SEND: u64 = 1 << 61;
+const TOKEN_TIMEOUT: u64 = 1 << 60;
+const TOKEN_SHAPED: u64 = 1 << 59;
+const TOKEN_MASK: u64 = (1 << 32) - 1;
+
+struct ClientNode {
+    cfg: SimConfig,
+    shaper: Option<coic_netsim::Shaper>,
+    /// Messages held back by the shaper, released by TOKEN_SHAPED timers.
+    shaped: Vec<Option<(bool, u64, Msg)>>,
+    logic: Arc<ClientLogic>,
+    requests: Vec<coic_workload::Request>,
+    prepared: Vec<Option<PreparedRequest>>,
+    issued_ns: Vec<u64>,
+    attempts: Vec<u32>,
+    done: Vec<bool>,
+    edge: NodeId,
+    cloud: NodeId,
+    records: Rc<RefCell<Vec<Record>>>,
+    failures: Rc<RefCell<u64>>,
+}
+
+impl ClientNode {
+    fn req_id(&self, ctx: &Ctx<'_, Msg>, idx: usize) -> u64 {
+        ((ctx.node_id().0 as u64) << 32) | idx as u64
+    }
+
+    /// Send an uplink message through the optional token-bucket shaper: it
+    /// leaves now if the bucket has tokens, else when the bucket refills.
+    fn shaped_send(&mut self, ctx: &mut Ctx<'_, Msg>, routed: bool, bytes: u64, msg: Msg) {
+        let release = match &mut self.shaper {
+            Some(sh) => sh.release_at(ctx.now(), bytes),
+            None => ctx.now(),
+        };
+        if release <= ctx.now() {
+            if routed {
+                ctx.send_routed(self.cloud, bytes, msg);
+            } else {
+                ctx.send(self.edge, bytes, msg);
+            }
+        } else {
+            let token = TOKEN_SHAPED | self.shaped.len() as u64;
+            self.shaped.push(Some((routed, bytes, msg)));
+            ctx.set_timer(release - ctx.now(), token);
+        }
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx<'_, Msg>, req_id: u64, path: Path, result: &TaskResult) {
+        let idx = (req_id & TOKEN_MASK) as usize;
+        if self.done[idx] {
+            return; // duplicate reply after a retransmission
+        }
+        self.done[idx] = true;
+        let prepared = self.prepared[idx]
+            .as_ref()
+            .expect("completion for unprepared request");
+        self.records.borrow_mut().push(Record {
+            req_id,
+            kind: prepared.task.kind(),
+            issued_ns: self.issued_ns[idx],
+            completed_ns: ctx.now().as_nanos(),
+            path,
+            correct: recognition_correct(result, prepared.truth),
+        });
+        self.advance_closed_loop(ctx, idx);
+    }
+
+    fn advance_closed_loop(&mut self, ctx: &mut Ctx<'_, Msg>, idx: usize) {
+        if self.cfg.closed_loop {
+            let next = idx + 1;
+            if next < self.requests.len() {
+                let due = self.requests[next].at_ns;
+                let now = ctx.now().as_nanos();
+                let wait = due.saturating_sub(now);
+                ctx.set_timer(SimDuration::from_nanos(wait), TOKEN_ISSUE | next as u64);
+            }
+        }
+    }
+
+    fn send_request(&mut self, ctx: &mut Ctx<'_, Msg>, idx: usize) {
+        let req_id = self.req_id(ctx, idx);
+        let prepared = self.prepared[idx].as_ref().expect("send before prepare");
+        match self.cfg.mode {
+            Mode::CoIc => {
+                // Recognition keeps the heavy frame back; compact tasks
+                // ride along as the hint.
+                let hint = match &prepared.task {
+                    TaskRequest::Recognition { .. } => None,
+                    t => Some(t.clone()),
+                };
+                let msg = Msg::Query {
+                    req_id,
+                    descriptor: prepared.descriptor.clone(),
+                    hint,
+                };
+                let bytes = wire_len(&msg, &self.cfg);
+                self.shaped_send(ctx, false, bytes, msg);
+            }
+            Mode::Origin => {
+                let msg = Msg::BaselineRequest {
+                    req_id,
+                    task: prepared.task.clone(),
+                };
+                let bytes = wire_len(&msg, &self.cfg);
+                // Edge-execution baseline sends the frame only as far as
+                // the edge box; otherwise offload rides through to the
+                // cloud as in the paper.
+                let routed = !(self.cfg.exec_tier == ExecTier::Edge
+                    && matches!(prepared.task, TaskRequest::Recognition { .. }));
+                self.shaped_send(ctx, routed, bytes, msg);
+            }
+        }
+        if self.cfg.request_timeout_ms > 0 {
+            ctx.set_timer(
+                SimDuration::from_millis(self.cfg.request_timeout_ms),
+                TOKEN_TIMEOUT | idx as u64,
+            );
+        }
+    }
+}
+
+impl Node<Msg> for ClientNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.cfg.closed_loop {
+            if !self.requests.is_empty() {
+                ctx.set_timer(SimDuration::from_nanos(self.requests[0].at_ns), TOKEN_ISSUE);
+            }
+        } else {
+            for i in 0..self.requests.len() {
+                let at = self.requests[i].at_ns;
+                ctx.set_timer(SimDuration::from_nanos(at), TOKEN_ISSUE | i as u64);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        let idx = (token & TOKEN_MASK) as usize;
+        if token & TOKEN_ISSUE != 0 {
+            // Capture + preprocess, then transmit when done.
+            let prepared = self.logic.prepare(&self.requests[idx]);
+            self.issued_ns[idx] = ctx.now().as_nanos();
+            let prep = prepared.prep_ns;
+            self.prepared[idx] = Some(prepared);
+            ctx.set_timer(SimDuration::from_nanos(prep), TOKEN_SEND | idx as u64);
+        } else if token & TOKEN_SEND != 0 {
+            self.send_request(ctx, idx);
+        } else if token & TOKEN_SHAPED != 0 {
+            let slot = (token & TOKEN_MASK) as usize;
+            if let Some((routed, bytes, msg)) = self.shaped[slot].take() {
+                if routed {
+                    ctx.send_routed(self.cloud, bytes, msg);
+                } else {
+                    ctx.send(self.edge, bytes, msg);
+                }
+            }
+        } else if token & TOKEN_TIMEOUT != 0 {
+            if self.done[idx] {
+                return; // answered in time; stale timer
+            }
+            self.attempts[idx] += 1;
+            if self.attempts[idx] > self.cfg.max_retries {
+                // Give up: count the failure and keep the loop moving.
+                self.done[idx] = true;
+                *self.failures.borrow_mut() += 1;
+                self.advance_closed_loop(ctx, idx);
+            } else {
+                self.send_request(ctx, idx);
+            }
+        } else {
+            panic!("unknown client timer token {token:#x}");
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Hit { req_id, result } => self.complete(ctx, req_id, Path::EdgeHit, &result),
+            Msg::Result { req_id, result } => {
+                self.complete(ctx, req_id, Path::CloudMiss, &result)
+            }
+            Msg::PeerResult { req_id, result } => {
+                self.complete(ctx, req_id, Path::PeerHit, &result)
+            }
+            Msg::BaselineReply { req_id, result } => {
+                self.complete(ctx, req_id, Path::Baseline, &result)
+            }
+            Msg::NeedPayload { req_id } => {
+                let idx = (req_id & TOKEN_MASK) as usize;
+                let task = self.prepared[idx]
+                    .as_ref()
+                    .expect("NeedPayload before prepare")
+                    .task
+                    .clone();
+                let msg = Msg::Upload { req_id, task };
+                let bytes = wire_len(&msg, &self.cfg);
+                self.shaped_send(ctx, false, bytes, msg);
+            }
+            other => panic!("client received unexpected {other:?}"),
+        }
+    }
+}
+
+struct EdgeNode {
+    cfg: SimConfig,
+    service: EdgeService,
+    /// Executes recognition locally when `exec_tier == Edge`.
+    executor: Arc<CloudService>,
+    cloud: NodeId,
+    /// Replies being delayed by the cache-lookup cost: token → (dest, msg).
+    pending_replies: HashMap<u64, (NodeId, Msg)>,
+    /// In-flight cloud executions: req_id → (client, descriptor).
+    pending_cloud: HashMap<u64, (NodeId, FeatureDescriptor)>,
+    /// Miss coalescing for exact (hash-keyed) tasks: digest → requests
+    /// waiting on the same in-flight fetch (peer or cloud). The first miss
+    /// drives the fetch; the rest queue here and share its answer, so a
+    /// burst of co-watching viewers costs one WAN fetch, not N.
+    inflight_exact: HashMap<coic_cache::Digest, Vec<(NodeId, u64)>>,
+    /// Cooperating peer edges (empty in single-edge runs).
+    peers: Vec<NodeId>,
+    /// Outstanding peer queries: req_id → wait state.
+    pending_peer: HashMap<u64, PeerWait>,
+    /// Panorama prefetcher: learned frame→digest mapping, in-flight
+    /// prefetches by synthetic req_id, and frame ids being prefetched.
+    known_frames: HashMap<u64, coic_cache::Digest>,
+    prefetch_inflight: HashMap<u64, u64>,
+    prefetching: std::collections::HashSet<u64>,
+    next_prefetch: u64,
+    next_token: u64,
+}
+
+/// Synthetic request-id namespace for edge-initiated prefetches (client
+/// req_ids keep bit 63 clear because node indexes fit in 32 bits).
+const PREFETCH_REQ: u64 = 1 << 63;
+
+struct PeerWait {
+    client: NodeId,
+    descriptor: FeatureDescriptor,
+    task: TaskRequest,
+    outstanding: usize,
+    satisfied: bool,
+}
+
+impl EdgeNode {
+    /// Proactively fetch the frames that follow `frame_id` in the stream.
+    fn maybe_prefetch(&mut self, ctx: &mut Ctx<'_, Msg>, frame_id: u64) {
+        for d in 1..=self.cfg.prefetch_depth as u64 {
+            let f = frame_id + d;
+            if self.prefetching.contains(&f) {
+                continue;
+            }
+            if let Some(digest) = self.known_frames.get(&f) {
+                if self.service.exact_contains(digest) {
+                    continue; // already cached
+                }
+            }
+            let req_id = PREFETCH_REQ | self.next_prefetch;
+            self.next_prefetch += 1;
+            self.prefetch_inflight.insert(req_id, f);
+            self.prefetching.insert(f);
+            let msg = Msg::Forward {
+                req_id,
+                task: TaskRequest::Panorama { frame_id: f },
+            };
+            let bytes = wire_len(&msg, &self.cfg);
+            ctx.send(self.cloud, bytes, msg);
+        }
+    }
+
+    fn delay_send(&mut self, ctx: &mut Ctx<'_, Msg>, after_ns: u64, dest: NodeId, msg: Msg) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending_replies.insert(token, (dest, msg));
+        ctx.set_timer(SimDuration::from_nanos(after_ns), token);
+    }
+}
+
+impl Node<Msg> for EdgeNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        let now = ctx.now().as_nanos();
+        match msg {
+            Msg::Query {
+                req_id,
+                descriptor,
+                hint,
+            } => {
+                // Sequential-stream prefetching: learn the frame→digest
+                // mapping from the query itself and fetch ahead.
+                if self.cfg.prefetch_depth > 0 {
+                    if let (
+                        FeatureDescriptor::PanoramaHash(d),
+                        Some(TaskRequest::Panorama { frame_id }),
+                    ) = (&descriptor, hint.as_ref())
+                    {
+                        self.known_frames.insert(*frame_id, *d);
+                        let frame_id = *frame_id;
+                        self.maybe_prefetch(ctx, frame_id);
+                    }
+                }
+                let lookup_ns = self.cfg.compute.lookup_ns;
+                match self.service.handle_query(&descriptor, hint.as_ref(), now) {
+                    EdgeReply::Hit(result) => {
+                        self.delay_send(ctx, lookup_ns, from, Msg::Hit { req_id, result });
+                    }
+                    EdgeReply::NeedPayload => {
+                        self.pending_cloud.insert(req_id, (from, descriptor));
+                        self.delay_send(ctx, lookup_ns, from, Msg::NeedPayload { req_id });
+                    }
+                    EdgeReply::Forward(task) => {
+                        // Coalesce concurrent misses on the same content.
+                        if let Some(digest) = crate::services::descriptor_digest(&descriptor) {
+                            if let Some(waiters) = self.inflight_exact.get_mut(&digest) {
+                                waiters.push((from, req_id));
+                                return;
+                            }
+                            self.inflight_exact.insert(digest, Vec::new());
+                            // Cooperative lookup: ask every peer before the
+                            // cloud (exact tasks only — shipping approximate
+                            // descriptors between edges is future work).
+                            if self.cfg.peer_lookup && !self.peers.is_empty() {
+                                self.pending_peer.insert(
+                                    req_id,
+                                    PeerWait {
+                                        client: from,
+                                        descriptor,
+                                        task,
+                                        outstanding: self.peers.len(),
+                                        satisfied: false,
+                                    },
+                                );
+                                for peer in self.peers.clone() {
+                                    self.delay_send(
+                                        ctx,
+                                        lookup_ns,
+                                        peer,
+                                        Msg::PeerQuery { req_id, digest },
+                                    );
+                                }
+                                return;
+                            }
+                        }
+                        self.pending_cloud.insert(req_id, (from, descriptor));
+                        self.delay_send(ctx, lookup_ns, self.cloud, Msg::Forward { req_id, task });
+                    }
+                }
+            }
+            Msg::Upload { req_id, task } => {
+                if self.cfg.exec_tier == ExecTier::Edge
+                    && matches!(task, TaskRequest::Recognition { .. })
+                {
+                    // Run the DNN here on the edge box: slower silicon than
+                    // the cloud, but no WAN round trip.
+                    let (result, _) = self.executor.execute(&task);
+                    let cost_ns = self
+                        .cfg
+                        .compute
+                        .edge
+                        .time_ns(self.cfg.compute.full_dnn_macs);
+                    let (client, descriptor) = self
+                        .pending_cloud
+                        .remove(&req_id)
+                        .expect("upload for unknown request");
+                    self.service.insert(&descriptor, &result, now);
+                    self.delay_send(ctx, cost_ns, client, Msg::Result { req_id, result });
+                    return;
+                }
+                // Relay the full payload to the cloud.
+                let msg = Msg::Forward { req_id, task };
+                let bytes = wire_len(&msg, &self.cfg);
+                ctx.send(self.cloud, bytes, msg);
+            }
+            Msg::CloudReply { req_id, result } => {
+                if let Some(frame_id) = self.prefetch_inflight.remove(&req_id) {
+                    // A prefetch came back: content-address it and cache it.
+                    if let TaskResult::Panorama(bytes) = &result {
+                        let digest = coic_cache::Digest::of(bytes);
+                        self.known_frames.insert(frame_id, digest);
+                        self.service.insert(
+                            &FeatureDescriptor::PanoramaHash(digest),
+                            &result,
+                            now,
+                        );
+                    }
+                    self.prefetching.remove(&frame_id);
+                    return;
+                }
+                // Retransmissions can produce duplicate cloud replies for a
+                // req_id whose state was already consumed; drop them.
+                let Some((client, descriptor)) = self.pending_cloud.remove(&req_id) else {
+                    return;
+                };
+                self.service.insert(&descriptor, &result, now);
+                // Answer every coalesced waiter with the same result.
+                if let Some(digest) = crate::services::descriptor_digest(&descriptor) {
+                    for (waiter, waiter_req) in
+                        self.inflight_exact.remove(&digest).unwrap_or_default()
+                    {
+                        let msg = Msg::Result {
+                            req_id: waiter_req,
+                            result: result.clone(),
+                        };
+                        let bytes = wire_len(&msg, &self.cfg);
+                        ctx.send(waiter, bytes, msg);
+                    }
+                }
+                let msg = Msg::Result { req_id, result };
+                let bytes = wire_len(&msg, &self.cfg);
+                ctx.send(client, bytes, msg);
+            }
+            Msg::BaselineRequest { req_id, task } => {
+                // Origin baseline with edge execution: the edge box runs
+                // the task (recognition only) with no cache.
+                assert_eq!(
+                    self.cfg.exec_tier,
+                    ExecTier::Edge,
+                    "edge received BaselineRequest in cloud-exec mode"
+                );
+                let (result, cloud_cost) = self.executor.execute(&task);
+                let cost_ns = if matches!(task, TaskRequest::Recognition { .. }) {
+                    self.cfg
+                        .compute
+                        .edge
+                        .time_ns(self.cfg.compute.full_dnn_macs)
+                } else {
+                    cloud_cost
+                };
+                let client = NodeId((req_id >> 32) as usize);
+                self.delay_send(ctx, cost_ns, client, Msg::BaselineReply { req_id, result });
+            }
+            Msg::PeerQuery { req_id, digest } => {
+                let result = self.service.exact_lookup(&digest, now);
+                let lookup_ns = self.cfg.compute.lookup_ns;
+                self.delay_send(ctx, lookup_ns, from, Msg::PeerReply { req_id, result });
+            }
+            Msg::PeerReply { req_id, result } => {
+                let Some(wait) = self.pending_peer.get_mut(&req_id) else {
+                    return; // late reply after satisfaction and cleanup
+                };
+                wait.outstanding -= 1;
+                match result {
+                    Some(result) if !wait.satisfied => {
+                        wait.satisfied = true;
+                        let client = wait.client;
+                        let descriptor = wait.descriptor.clone();
+                        let done = wait.outstanding == 0;
+                        self.service.insert(&descriptor, &result, now);
+                        if let Some(digest) =
+                            crate::services::descriptor_digest(&descriptor)
+                        {
+                            for (waiter, waiter_req) in
+                                self.inflight_exact.remove(&digest).unwrap_or_default()
+                            {
+                                let msg = Msg::PeerResult {
+                                    req_id: waiter_req,
+                                    result: result.clone(),
+                                };
+                                let bytes = wire_len(&msg, &self.cfg);
+                                ctx.send(waiter, bytes, msg);
+                            }
+                        }
+                        let msg = Msg::PeerResult { req_id, result };
+                        let bytes = wire_len(&msg, &self.cfg);
+                        ctx.send(client, bytes, msg);
+                        if done {
+                            self.pending_peer.remove(&req_id);
+                        }
+                    }
+                    _ => {
+                        if wait.outstanding == 0 {
+                            let wait = self.pending_peer.remove(&req_id).expect("wait exists");
+                            if wait.satisfied {
+                                return;
+                            }
+                            // Every peer missed: fall back to the cloud.
+                            self.pending_cloud
+                                .insert(req_id, (wait.client, wait.descriptor));
+                            let msg = Msg::Forward {
+                                req_id,
+                                task: wait.task,
+                            };
+                            let bytes = wire_len(&msg, &self.cfg);
+                            ctx.send(self.cloud, bytes, msg);
+                        }
+                    }
+                }
+            }
+            other => panic!("edge received unexpected {other:?}"),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        let (dest, msg) = self
+            .pending_replies
+            .remove(&token)
+            .expect("timer for unknown pending reply");
+        let bytes = wire_len(&msg, &self.cfg);
+        ctx.send(dest, bytes, msg);
+    }
+}
+
+struct CloudNode {
+    cfg: SimConfig,
+    service: Arc<CloudService>,
+    /// Executions in progress: token → (dest, routed?, reply).
+    pending: HashMap<u64, (NodeId, bool, Msg)>,
+    next_token: u64,
+}
+
+impl Node<Msg> for CloudNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Forward { req_id, task } => {
+                let (result, cost_ns) = self.service.execute(&task);
+                let token = self.next_token;
+                self.next_token += 1;
+                self.pending
+                    .insert(token, (from, false, Msg::CloudReply { req_id, result }));
+                ctx.set_timer(SimDuration::from_nanos(cost_ns), token);
+            }
+            Msg::BaselineRequest { req_id, task } => {
+                // The issuing client's node id is encoded in the req_id.
+                let client = NodeId((req_id >> 32) as usize);
+                let (result, cost_ns) = self.service.execute(&task);
+                let token = self.next_token;
+                self.next_token += 1;
+                self.pending
+                    .insert(token, (client, true, Msg::BaselineReply { req_id, result }));
+                ctx.set_timer(SimDuration::from_nanos(cost_ns), token);
+            }
+            other => panic!("cloud received unexpected {other:?}"),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        let (dest, routed, msg) = self
+            .pending
+            .remove(&token)
+            .expect("timer for unknown execution");
+        let bytes = wire_len(&msg, &self.cfg);
+        if routed {
+            ctx.send_routed(dest, bytes, msg);
+        } else {
+            ctx.send(dest, bytes, msg);
+        }
+    }
+}
+
+/// Run `trace` under `cfg`; returns the QoE report.
+///
+/// # Panics
+/// Panics if the trace is empty or the simulation stalls before all
+/// requests complete (a protocol bug, which should fail loudly).
+pub fn run(trace: &[coic_workload::Request], cfg: &SimConfig) -> QoeReport {
+    assert!(!trace.is_empty(), "empty trace");
+    assert!(cfg.num_clients > 0, "need at least one client");
+
+    // Shared content universe.
+    let models = Arc::new(ModelLibrary::new());
+    let panos = Arc::new(PanoLibrary::new(cfg.pano_height));
+
+    // Distinct recognition classes in the trace train the cloud model.
+    let mut classes: Vec<ObjectClass> = trace
+        .iter()
+        .filter_map(|r| match r.kind {
+            coic_workload::RequestKind::Recognition { class, .. } => Some(ObjectClass(class)),
+            _ => None,
+        })
+        .collect();
+    classes.sort_unstable();
+    classes.dedup();
+    if classes.is_empty() {
+        classes.push(ObjectClass(0)); // classifier must be non-empty
+    }
+
+    let gen = SceneGenerator::new(cfg.client.image_side);
+    let client_logic = Arc::new(ClientLogic::new(
+        cfg.client,
+        cfg.compute,
+        models.clone(),
+        panos.clone(),
+    ));
+    let cloud_service = Arc::new(CloudService::new(
+        &classes,
+        &gen,
+        cfg.compute,
+        models.clone(),
+        panos.clone(),
+        cfg.seed,
+    ));
+
+    // Topology: clients 0..n-1, edges n..n+e-1, cloud last. Clients attach
+    // to the edge serving their zone; edges form a LAN mesh and each has
+    // its own WAN uplink.
+    assert!(cfg.num_edges > 0, "need at least one edge");
+    let mut topo = Topology::new();
+    let client_ids: Vec<NodeId> = (0..cfg.num_clients)
+        .map(|i| topo.add_node(format!("client{i}")))
+        .collect();
+    let edge_ids: Vec<NodeId> = (0..cfg.num_edges)
+        .map(|i| topo.add_node(format!("edge{i}")))
+        .collect();
+    let cloud_id = topo.add_node("cloud");
+    let mut access = LinkParams::mbps_ms(cfg.access_mbps, cfg.access_delay_ms);
+    access.queue_limit_bytes = cfg.queue_limit_bytes;
+    access.loss = cfg.access_loss;
+    let mut wan = LinkParams::mbps_ms(cfg.wan_mbps, cfg.wan_delay_ms);
+    wan.queue_limit_bytes = cfg.queue_limit_bytes;
+    wan.loss = cfg.wan_loss;
+    let mut lan = LinkParams::mbps_ms(cfg.lan_mbps, cfg.lan_delay_ms);
+    lan.queue_limit_bytes = cfg.queue_limit_bytes;
+
+    // Per-client requests and edge assignment (by the zone of the client's
+    // first request; populations are static so all its requests agree).
+    let per_client: Vec<Vec<coic_workload::Request>> = (0..cfg.num_clients as usize)
+        .map(|i| {
+            trace
+                .iter()
+                .filter(|r| r.user.0 as usize % cfg.num_clients as usize == i)
+                .cloned()
+                .collect()
+        })
+        .collect();
+    let client_edge: Vec<NodeId> = per_client
+        .iter()
+        .map(|reqs| {
+            let zone = reqs.first().map(|r| r.zone.0).unwrap_or(0);
+            edge_ids[zone as usize % cfg.num_edges as usize]
+        })
+        .collect();
+
+    for (i, &c) in client_ids.iter().enumerate() {
+        topo.connect(c, client_edge[i], access);
+    }
+    for (i, &e) in edge_ids.iter().enumerate() {
+        topo.connect(e, cloud_id, wan);
+        for &f in &edge_ids[i + 1..] {
+            topo.connect(e, f, lan);
+        }
+    }
+
+    let mut sim: Simulator<Msg> = Simulator::new(topo, cfg.seed);
+    let records: Rc<RefCell<Vec<Record>>> = Rc::new(RefCell::new(Vec::new()));
+    let failures: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
+
+    for (i, &cid) in client_ids.iter().enumerate() {
+        let my_requests = per_client[i].clone();
+        let n = my_requests.len();
+        sim.bind(
+            cid,
+            Box::new(ClientNode {
+                cfg: cfg.clone(),
+                shaper: cfg
+                    .client_shaper
+                    .map(|(mbps, burst)| coic_netsim::Shaper::new((mbps * 1e6) as u64, burst)),
+                shaped: Vec::new(),
+                logic: client_logic.clone(),
+                requests: my_requests,
+                prepared: vec![None; n],
+                issued_ns: vec![0; n],
+                attempts: vec![0; n],
+                done: vec![false; n],
+                edge: client_edge[i],
+                cloud: cloud_id,
+                records: records.clone(),
+                failures: failures.clone(),
+            }),
+        );
+    }
+    for &eid in &edge_ids {
+        let peers: Vec<NodeId> = edge_ids.iter().copied().filter(|&p| p != eid).collect();
+        sim.bind(
+            eid,
+            Box::new(EdgeNode {
+                cfg: cfg.clone(),
+                service: EdgeService::new(&cfg.edge),
+                executor: cloud_service.clone(),
+                cloud: cloud_id,
+                pending_replies: HashMap::new(),
+                pending_cloud: HashMap::new(),
+                inflight_exact: HashMap::new(),
+                peers,
+                pending_peer: HashMap::new(),
+                known_frames: HashMap::new(),
+                prefetch_inflight: HashMap::new(),
+                prefetching: std::collections::HashSet::new(),
+                next_prefetch: 0,
+                next_token: 0,
+            }),
+        );
+    }
+    sim.bind(
+        cloud_id,
+        Box::new(CloudNode {
+            cfg: cfg.clone(),
+            service: cloud_service,
+            pending: HashMap::new(),
+            next_token: 0,
+        }),
+    );
+
+    // Apply the wireless-fading schedule to every access link.
+    for &(at_ms, mbps) in &cfg.access_schedule {
+        let mut p = LinkParams::mbps_ms(mbps, cfg.access_delay_ms);
+        p.queue_limit_bytes = cfg.queue_limit_bytes;
+        p.loss = cfg.access_loss;
+        for (i, &c) in client_ids.iter().enumerate() {
+            let e = client_edge[i];
+            sim.reshape_at(coic_netsim::SimTime::from_millis(at_ms), c, e, p);
+            sim.reshape_at(coic_netsim::SimTime::from_millis(at_ms), e, c, p);
+        }
+    }
+
+    let events = sim.run(50_000_000);
+    assert!(events < 50_000_000, "simulation did not converge");
+
+    let completed = records.borrow().len();
+    let failed = *failures.borrow();
+    assert_eq!(
+        completed as u64 + failed,
+        trace.len() as u64,
+        "only {completed}/{} requests completed, {failed} failed (drops: {:?})",
+        trace.len(),
+        sim.stats()
+    );
+
+    let mut report = QoeReport::from_records(&records.borrow());
+    report.failed = failed;
+    let t = sim.topology();
+    for (i, &c) in client_ids.iter().enumerate() {
+        let e = client_edge[i];
+        report.access_bytes += t.link(c, e).unwrap().stats().delivered_bytes;
+        report.access_bytes += t.link(e, c).unwrap().stats().delivered_bytes;
+    }
+    for &e in &edge_ids {
+        report.wan_bytes += t.link(e, cloud_id).unwrap().stats().delivered_bytes;
+        report.wan_bytes += t.link(cloud_id, e).unwrap().stats().delivered_bytes;
+    }
+    for (i, &e) in edge_ids.iter().enumerate() {
+        for &f in &edge_ids[i + 1..] {
+            report.lan_bytes += t.link(e, f).unwrap().stats().delivered_bytes;
+            report.lan_bytes += t.link(f, e).unwrap().stats().delivered_bytes;
+        }
+    }
+    report
+}
+
+/// Run the same trace under Origin and CoIC and return
+/// `(origin, coic, reduction_percent_of_mean_latency)`.
+pub fn compare(trace: &[coic_workload::Request], cfg: &SimConfig) -> (QoeReport, QoeReport, f64) {
+    let origin = run(trace, &SimConfig { mode: Mode::Origin, ..cfg.clone() });
+    let coic = run(trace, &SimConfig { mode: Mode::CoIc, ..cfg.clone() });
+    let red = crate::qoe::reduction_percent(origin.mean_latency_ms(), coic.mean_latency_ms());
+    (origin, coic, red)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coic_workload::{Population, Request, RequestKind, SafeDrivingAr, UserId, ZoneId, ZoneModel};
+
+    fn recognition_trace(n: usize) -> Vec<Request> {
+        SafeDrivingAr {
+            population: Population::colocated(4, ZoneId(0)),
+            zones: ZoneModel::new(1, 8, 1.0, 3),
+            rate_per_sec: 20.0,
+            zipf_s: 0.9,
+            total_requests: n,
+        }
+        .generate(11)
+    }
+
+    fn render_trace() -> Vec<Request> {
+        // Four users loading the same two models repeatedly.
+        let mut reqs = Vec::new();
+        for i in 0..16u64 {
+            reqs.push(Request {
+                user: UserId((i % 4) as u32),
+                zone: ZoneId(0),
+                at_ns: i * 50_000_000,
+                kind: RequestKind::RenderLoad {
+                    model_id: i % 2,
+                    size_bytes: 400_000,
+                },
+            });
+        }
+        reqs
+    }
+
+    fn small_cfg() -> SimConfig {
+        SimConfig {
+            num_clients: 4,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn coic_beats_origin_on_redundant_recognition() {
+        let trace = recognition_trace(40);
+        let (origin, coic, red) = compare(&trace, &small_cfg());
+        assert_eq!(origin.completed, 40);
+        assert_eq!(coic.completed, 40);
+        assert!(coic.hit_ratio() > 0.3, "hit ratio {}", coic.hit_ratio());
+        assert!(
+            red > 10.0,
+            "expected meaningful reduction, got {red:.1}% (origin {:.1}ms, coic {:.1}ms)",
+            origin.mean_latency_ms(),
+            coic.mean_latency_ms()
+        );
+    }
+
+    #[test]
+    fn origin_mode_never_hits() {
+        let trace = recognition_trace(10);
+        let report = run(&trace, &SimConfig { mode: Mode::Origin, ..small_cfg() });
+        assert_eq!(report.edge_hits, 0);
+        assert_eq!(report.cloud_trips, 10);
+    }
+
+    #[test]
+    fn render_loads_hit_after_first_fetch() {
+        let trace = render_trace();
+        let report = run(&trace, &small_cfg());
+        // Two unique models; 16 requests; all but the first two of each
+        // model can hit.
+        assert!(report.edge_hits >= 10, "hits {}", report.edge_hits);
+        // Hits are much faster than misses.
+        let hit_misses: Vec<(f64, Path)> = Vec::new();
+        drop(hit_misses);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let trace = recognition_trace(20);
+        let a = run(&trace, &small_cfg());
+        let b = run(&trace, &small_cfg());
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.edge_hits, b.edge_hits);
+        assert_eq!(a.access_bytes, b.access_bytes);
+        assert!((a.mean_latency_ms() - b.mean_latency_ms()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slower_wan_widens_coic_advantage() {
+        let trace = recognition_trace(30);
+        let fast = SimConfig {
+            wan_mbps: 100.0,
+            ..small_cfg()
+        };
+        let slow = SimConfig {
+            wan_mbps: 10.0,
+            ..small_cfg()
+        };
+        let (_, _, red_fast) = compare(&trace, &fast);
+        let (_, _, red_slow) = compare(&trace, &slow);
+        assert!(
+            red_slow > red_fast,
+            "slow-WAN reduction {red_slow:.1}% should exceed fast-WAN {red_fast:.1}%"
+        );
+    }
+
+    #[test]
+    fn accuracy_reported_for_recognition() {
+        let trace = recognition_trace(20);
+        let report = run(&trace, &small_cfg());
+        let acc = report.accuracy.expect("recognition trace has accuracy");
+        assert!(acc > 0.7, "accuracy {acc}");
+    }
+
+    #[test]
+    fn multi_edge_peer_lookup_serves_cross_zone_content() {
+        // Users in two zones attach to two edges; zone 0 warms its edge,
+        // then zone 1 requests the same model and must get a peer hit.
+        let mut reqs = Vec::new();
+        for i in 0..8u64 {
+            reqs.push(Request {
+                user: UserId(i as u32 % 4),
+                zone: ZoneId((i % 4 % 2) as u32),
+                at_ns: i * 400_000_000,
+                kind: RequestKind::RenderLoad {
+                    model_id: 7,
+                    size_bytes: 300_000,
+                },
+            });
+        }
+        let cfg = SimConfig {
+            num_clients: 4,
+            num_edges: 2,
+            peer_lookup: true,
+            ..SimConfig::default()
+        };
+        let report = run(&reqs, &cfg);
+        assert_eq!(report.completed, 8);
+        assert!(report.peer_hits >= 1, "expected peer hits, got {report:?}");
+        assert!(report.lan_bytes > 0);
+        // Only one cloud fetch of the model should ever happen per edge at
+        // most; with peer lookup, ideally once globally.
+        assert!(report.cloud_trips <= 2, "cloud trips {}", report.cloud_trips);
+    }
+
+    #[test]
+    fn multi_edge_without_peer_lookup_pays_cloud_per_edge() {
+        let mut reqs = Vec::new();
+        for i in 0..8u64 {
+            reqs.push(Request {
+                user: UserId(i as u32 % 4),
+                zone: ZoneId((i % 4 % 2) as u32),
+                at_ns: i * 400_000_000,
+                kind: RequestKind::RenderLoad {
+                    model_id: 7,
+                    size_bytes: 300_000,
+                },
+            });
+        }
+        let mk = |peer_lookup| SimConfig {
+            num_clients: 4,
+            num_edges: 2,
+            peer_lookup,
+            ..SimConfig::default()
+        };
+        let without = run(&reqs, &mk(false));
+        let with = run(&reqs, &mk(true));
+        assert_eq!(without.peer_hits, 0);
+        assert!(with.wan_bytes < without.wan_bytes);
+        assert!(with.mean_latency_ms() <= without.mean_latency_ms());
+    }
+
+    #[test]
+    fn peer_hit_latency_sits_between_local_and_cloud() {
+        // One warmed peer: the home edge's first request is a peer hit,
+        // its second a local hit; a fresh model is a cloud miss.
+        let reqs = vec![
+            // zone 1 warms edge 1
+            Request {
+                user: UserId(1),
+                zone: ZoneId(1),
+                at_ns: 0,
+                kind: RequestKind::RenderLoad { model_id: 3, size_bytes: 500_000 },
+            },
+            // zone 0 asks for the same model → peer hit
+            Request {
+                user: UserId(0),
+                zone: ZoneId(0),
+                at_ns: 1_000_000_000,
+                kind: RequestKind::RenderLoad { model_id: 3, size_bytes: 500_000 },
+            },
+            // zone 0 again → local hit
+            Request {
+                user: UserId(0),
+                zone: ZoneId(0),
+                at_ns: 2_000_000_000,
+                kind: RequestKind::RenderLoad { model_id: 3, size_bytes: 500_000 },
+            },
+        ];
+        let cfg = SimConfig {
+            num_clients: 2,
+            num_edges: 2,
+            peer_lookup: true,
+            ..SimConfig::default()
+        };
+        let report = run(&reqs, &cfg);
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.cloud_trips, 1);
+        assert_eq!(report.peer_hits, 1);
+        assert_eq!(report.edge_hits, 1);
+    }
+
+    #[test]
+    fn edge_execution_avoids_the_wan() {
+        let trace = recognition_trace(20);
+        let cloud_exec = run(&trace, &small_cfg());
+        let edge_exec = run(
+            &trace,
+            &SimConfig {
+                exec_tier: ExecTier::Edge,
+                ..small_cfg()
+            },
+        );
+        assert_eq!(edge_exec.completed, 20);
+        // Recognition misses never cross the WAN under edge execution.
+        assert_eq!(edge_exec.wan_bytes, 0);
+        assert!(cloud_exec.wan_bytes > 0);
+        // Accuracy unaffected: same model, different silicon.
+        assert!(edge_exec.accuracy.unwrap() > 0.85);
+    }
+
+    #[test]
+    fn origin_edge_execution_works_without_cache() {
+        let trace = recognition_trace(12);
+        let report = run(
+            &trace,
+            &SimConfig {
+                mode: Mode::Origin,
+                exec_tier: ExecTier::Edge,
+                ..small_cfg()
+            },
+        );
+        assert_eq!(report.completed, 12);
+        assert_eq!(report.edge_hits, 0);
+        assert_eq!(report.wan_bytes, 0);
+    }
+
+    #[test]
+    fn client_shaper_throttles_uploads() {
+        // Recognition misses upload ~300 kB frames; a 2 Mbit/s phone-side
+        // shaper makes those uploads far slower than the unshaped run.
+        let trace = recognition_trace(10);
+        let free = run(&trace, &small_cfg());
+        let shaped = run(
+            &trace,
+            &SimConfig {
+                client_shaper: Some((2.0, 64 * 1024)),
+                ..small_cfg()
+            },
+        );
+        assert_eq!(shaped.completed, 10);
+        assert!(
+            shaped.mean_latency_ms() > 2.0 * free.mean_latency_ms(),
+            "shaped {:.1} ms vs free {:.1} ms",
+            shaped.mean_latency_ms(),
+            free.mean_latency_ms()
+        );
+    }
+
+    #[test]
+    fn generous_shaper_changes_nothing() {
+        let trace = recognition_trace(10);
+        let free = run(&trace, &small_cfg());
+        let shaped = run(
+            &trace,
+            &SimConfig {
+                client_shaper: Some((1000.0, 8 << 20)),
+                ..small_cfg()
+            },
+        );
+        assert!((shaped.mean_latency_ms() - free.mean_latency_ms()).abs() < 1.0);
+    }
+
+    #[test]
+    fn access_schedule_slows_transfers_after_the_step() {
+        // Same trace; a mid-run bandwidth collapse must raise latencies.
+        let trace = recognition_trace(20);
+        let stable = run(&trace, &small_cfg());
+        let fading = run(
+            &trace,
+            &SimConfig {
+                access_schedule: vec![(200, 5.0)], // collapse to 5 Mbps at t=200ms
+                ..small_cfg()
+            },
+        );
+        assert_eq!(fading.completed, 20);
+        assert!(
+            fading.mean_latency_ms() > stable.mean_latency_ms(),
+            "fading {:.1} ms should exceed stable {:.1} ms",
+            fading.mean_latency_ms(),
+            stable.mean_latency_ms()
+        );
+    }
+
+    #[test]
+    fn prefetch_turns_sequential_misses_into_hits() {
+        // One viewer streams 12 sequential frames, spaced far enough apart
+        // for prefetches to land between requests.
+        let reqs: Vec<Request> = (0..12u64)
+            .map(|f| Request {
+                user: UserId(0),
+                zone: ZoneId(0),
+                at_ns: f * 500_000_000,
+                kind: RequestKind::Panorama { frame_id: f },
+            })
+            .collect();
+        let cold = run(&reqs, &SimConfig::default());
+        let warm = run(
+            &reqs,
+            &SimConfig {
+                prefetch_depth: 2,
+                ..SimConfig::default()
+            },
+        );
+        // Without prefetch every distinct frame misses; with it, only the
+        // first does.
+        assert_eq!(cold.edge_hits, 0);
+        assert!(warm.edge_hits >= 10, "only {} hits", warm.edge_hits);
+        assert!(warm.mean_latency_ms() < cold.mean_latency_ms() / 2.0);
+    }
+
+    #[test]
+    fn prefetch_does_not_duplicate_wan_fetches() {
+        let reqs: Vec<Request> = (0..10u64)
+            .map(|f| Request {
+                user: UserId(0),
+                zone: ZoneId(0),
+                at_ns: f * 500_000_000,
+                kind: RequestKind::Panorama { frame_id: f },
+            })
+            .collect();
+        let warm = run(
+            &reqs,
+            &SimConfig {
+                prefetch_depth: 3,
+                ..SimConfig::default()
+            },
+        );
+        let cold = run(&reqs, &SimConfig::default());
+        // Prefetching fetches each of the 10 frames (plus up to depth
+        // overshoot beyond the stream end); it must not refetch frames.
+        let per_frame = cold.wan_bytes / 10;
+        assert!(
+            warm.wan_bytes <= cold.wan_bytes + 4 * per_frame,
+            "prefetch duplicated fetches: warm {} vs cold {}",
+            warm.wan_bytes,
+            cold.wan_bytes
+        );
+    }
+
+    #[test]
+    fn lossy_access_link_recovered_by_retries() {
+        let trace = recognition_trace(20);
+        let cfg = SimConfig {
+            access_loss: 0.08,
+            request_timeout_ms: 3_000,
+            max_retries: 5,
+            ..small_cfg()
+        };
+        let report = run(&trace, &cfg);
+        // With 8% loss and 5 retries, effectively everything completes.
+        assert_eq!(report.completed + report.failed as usize, 20);
+        assert_eq!(report.failed, 0, "retries should mask 8% loss");
+    }
+
+    #[test]
+    fn total_loss_fails_requests_without_hanging() {
+        let trace = recognition_trace(6);
+        let cfg = SimConfig {
+            access_loss: 1.0, // nothing ever gets through
+            request_timeout_ms: 1_000,
+            max_retries: 2,
+            ..small_cfg()
+        };
+        let report = run(&trace, &cfg);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.failed, 6);
+    }
+
+    #[test]
+    fn duplicate_replies_do_not_double_count() {
+        // Moderate WAN loss causes retransmissions whose original replies
+        // may still arrive; completions must equal the trace length exactly.
+        let trace = recognition_trace(25);
+        let cfg = SimConfig {
+            wan_loss: 0.15,
+            request_timeout_ms: 2_000,
+            max_retries: 6,
+            ..small_cfg()
+        };
+        let report = run(&trace, &cfg);
+        assert_eq!(report.completed + report.failed as usize, 25);
+    }
+
+    #[test]
+    fn wan_traffic_drops_under_coic() {
+        let trace = recognition_trace(40);
+        let (origin, coic, _) = compare(&trace, &small_cfg());
+        assert!(
+            coic.wan_bytes < origin.wan_bytes,
+            "coic wan {} vs origin wan {}",
+            coic.wan_bytes,
+            origin.wan_bytes
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! The three IC task families and their results.
+
+use bytes::Bytes;
+use coic_vision::Image;
+use serde::{Deserialize, Serialize};
+
+/// A fully specified unit of IC work (what the cloud executes on a miss).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskRequest {
+    /// Recognize the object in a camera frame.
+    Recognition {
+        /// The captured frame.
+        image: Image,
+    },
+    /// Load 3D model `model_id` (procedurally defined) of about
+    /// `size_bytes`.
+    RenderLoad {
+        /// Model identifier (doubles as the procgen seed).
+        model_id: u64,
+        /// Requested model size.
+        size_bytes: u64,
+    },
+    /// Fetch panoramic frame `frame_id`.
+    Panorama {
+        /// Frame identifier (doubles as the synthesis seed).
+        frame_id: u64,
+    },
+}
+
+impl TaskRequest {
+    /// Short label for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TaskRequest::Recognition { .. } => "recognition",
+            TaskRequest::RenderLoad { .. } => "render_load",
+            TaskRequest::Panorama { .. } => "panorama",
+        }
+    }
+}
+
+/// The label a recognition task produces (the "annotation" the AR app
+/// renders over the object).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecognitionResult {
+    /// Predicted object class.
+    pub label: u32,
+    /// Distance to the winning class centroid (lower = more confident).
+    pub distance: f32,
+}
+
+/// The result of executing a task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskResult {
+    /// Recognition outcome.
+    Recognition(RecognitionResult),
+    /// Serialized (CMF) model bytes, parsed and re-encoded by the loader.
+    Model(Bytes),
+    /// Raw panorama bytes.
+    Panorama(Bytes),
+}
+
+impl TaskResult {
+    /// Bytes this result occupies on the wire (payload only).
+    ///
+    /// A recognition result is not just the 8-byte label: the AR app
+    /// receives the annotation content to render (the paper's "high-quality
+    /// 3D annotations"), modelled as a fixed-size blob.
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            TaskResult::Recognition(_) => ANNOTATION_BYTES,
+            TaskResult::Model(b) => b.len() as u64,
+            TaskResult::Panorama(b) => b.len() as u64,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TaskResult::Recognition(_) => "recognition",
+            TaskResult::Model(_) => "model",
+            TaskResult::Panorama(_) => "panorama",
+        }
+    }
+}
+
+/// Wire size of a recognition annotation (label + the annotation asset the
+/// client renders).
+pub const ANNOTATION_BYTES: u64 = 20_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_sizes() {
+        let r = TaskResult::Recognition(RecognitionResult {
+            label: 3,
+            distance: 0.1,
+        });
+        assert_eq!(r.kind(), "recognition");
+        assert_eq!(r.byte_size(), ANNOTATION_BYTES);
+        let m = TaskResult::Model(Bytes::from(vec![0u8; 1234]));
+        assert_eq!(m.byte_size(), 1234);
+        let p = TaskResult::Panorama(Bytes::from(vec![0u8; 99]));
+        assert_eq!(p.byte_size(), 99);
+        assert_eq!(
+            TaskRequest::Panorama { frame_id: 0 }.kind(),
+            "panorama"
+        );
+    }
+}

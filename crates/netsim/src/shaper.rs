@@ -1,0 +1,178 @@
+//! Token-bucket traffic shaper.
+//!
+//! Mirrors the semantics of `tc qdisc ... tbf rate R burst B`: a bucket of
+//! `burst_bytes` tokens refills at `rate_bps`; a message may leave as soon
+//! as the bucket holds enough tokens for it. The paper shapes its WiFi and
+//! edge-cloud links with `tc`, so experiments that want shaping *in front
+//! of* a link compose a [`Shaper`] with a [`crate::link::Link`].
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Deterministic token-bucket shaper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Shaper {
+    rate_bps: u64,
+    burst_bytes: u64,
+    /// Tokens available at `updated`, in bytes.
+    tokens: f64,
+    updated: SimTime,
+}
+
+impl Shaper {
+    /// Create a shaper with the given sustained rate and burst allowance.
+    ///
+    /// # Panics
+    /// Panics if either parameter is zero.
+    pub fn new(rate_bps: u64, burst_bytes: u64) -> Self {
+        assert!(rate_bps > 0, "shaper rate must be positive");
+        assert!(burst_bytes > 0, "shaper burst must be positive");
+        Shaper {
+            rate_bps,
+            burst_bytes,
+            tokens: burst_bytes as f64,
+            updated: SimTime::ZERO,
+        }
+    }
+
+    /// Sustained rate in bits per second.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    /// Burst allowance in bytes.
+    pub fn burst_bytes(&self) -> u64 {
+        self.burst_bytes
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now <= self.updated {
+            return;
+        }
+        let dt = (now - self.updated).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate_bps as f64 / 8.0).min(self.burst_bytes as f64);
+        self.updated = now;
+    }
+
+    /// Earliest time at or after `now` when a message of `bytes` may be
+    /// released, consuming its tokens. Messages larger than the burst are
+    /// admitted once the bucket is full (tc would require `burst >= mtu`;
+    /// we release oversized messages at full-bucket time and let the bucket
+    /// go negative, which models tbf's `peakrate`-free behaviour closely
+    /// enough for experiment purposes).
+    pub fn release_at(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        // Earlier releases may have committed tokens into the future; the
+        // shaper's own clock never runs backwards.
+        let now = now.max(self.updated);
+        self.refill(now);
+        let need = bytes as f64;
+        let have = self.tokens;
+        let target = need.min(self.burst_bytes as f64);
+        if have >= target {
+            self.tokens -= need;
+            return now;
+        }
+        let deficit = target - have;
+        let wait = SimDuration::from_secs_f64(deficit * 8.0 / self.rate_bps as f64);
+        let at = now + wait;
+        self.refill(at);
+        self.tokens -= need;
+        at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_passes_immediately() {
+        let mut s = Shaper::new(8_000_000, 10_000); // 1 MB/s, 10 kB burst
+        assert_eq!(s.release_at(SimTime::ZERO, 10_000), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sustained_rate_enforced() {
+        let mut s = Shaper::new(8_000_000, 1_000); // 1 MB/s, 1 kB burst
+        let mut t = SimTime::ZERO;
+        // Send 1 kB messages back to back: after the burst, each must wait
+        // 1 ms (1 kB at 1 MB/s).
+        t = s.release_at(t, 1_000);
+        assert_eq!(t, SimTime::ZERO);
+        t = s.release_at(t, 1_000);
+        assert_eq!(t, SimTime::from_millis(1));
+        t = s.release_at(t, 1_000);
+        assert_eq!(t, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn idle_time_refills_bucket() {
+        let mut s = Shaper::new(8_000_000, 2_000);
+        let _ = s.release_at(SimTime::ZERO, 2_000); // drain burst
+        // After 2 ms the bucket holds 2 kB again.
+        let t = s.release_at(SimTime::from_millis(2), 2_000);
+        assert_eq!(t, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn oversized_message_released_at_full_bucket() {
+        let mut s = Shaper::new(8_000_000, 1_000);
+        let _ = s.release_at(SimTime::ZERO, 1_000); // empty the bucket
+        // 5 kB > burst: released when the bucket is full again (1 ms).
+        let t = s.release_at(SimTime::ZERO, 5_000);
+        assert_eq!(t, SimTime::from_millis(1));
+        // The bucket went negative; the next small message waits for the
+        // deficit plus its own tokens: 5 kB deficit -> 5 ms, minus the 1 ms
+        // already elapsed at release time, plus 0 (bucket only needs to
+        // reach the message size target capped at burst).
+        let t2 = s.release_at(t, 1_000);
+        assert!(t2 > t);
+    }
+
+    #[test]
+    fn shaper_composes_with_link() {
+        use crate::link::{Link, LinkParams, TxOutcome};
+        use rand::{rngs::StdRng, SeedableRng};
+        // tc-style stack: a 1 MB/s token bucket in front of a fast link.
+        // The shaper gates *when* a message may start; the link then adds
+        // serialization + propagation.
+        let mut shaper = Shaper::new(8_000_000, 10_000);
+        let mut link = Link::new(LinkParams::mbps_ms(80.0, 5));
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut deliveries = Vec::new();
+        for _ in 0..5 {
+            let release = shaper.release_at(SimTime::ZERO, 10_000);
+            match link.transmit(release, 10_000, &mut rng) {
+                TxOutcome::Delivered(t) => deliveries.push(t),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // First message rides the burst; each later one waits 10 ms for
+        // tokens (10 kB at 1 MB/s), then 1 ms serialization + 5 ms prop.
+        assert_eq!(deliveries[0], SimTime::from_millis(6));
+        assert_eq!(deliveries[1], SimTime::from_millis(16));
+        assert_eq!(deliveries[4], SimTime::from_millis(46));
+        // Deliveries are strictly ordered.
+        assert!(deliveries.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn long_run_average_respects_rate() {
+        let mut s = Shaper::new(80_000_000, 10_000); // 10 MB/s
+        let mut t = SimTime::ZERO;
+        let msg = 5_000u64;
+        let n = 2_000u64;
+        for _ in 0..n {
+            t = s.release_at(t, msg);
+        }
+        let total_bytes = msg * n;
+        let expect_secs = total_bytes as f64 / 10_000_000.0;
+        let got_secs = t.as_secs_f64();
+        // The burst lets the first 10 kB through for free; everything else
+        // must fit the sustained rate within 1%.
+        assert!(
+            (got_secs - expect_secs).abs() / expect_secs < 0.01,
+            "expected ~{expect_secs}s, got {got_secs}s"
+        );
+    }
+}

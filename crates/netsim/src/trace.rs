@@ -1,0 +1,85 @@
+//! Bounded event trace for debugging and validating simulations.
+
+use crate::time::SimTime;
+
+/// One recorded simulator event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual time at which the event occurred.
+    pub at: SimTime,
+    /// Human-readable description, e.g. `deliver n0->n1 1200B`.
+    pub what: String,
+}
+
+/// A bounded in-memory trace. Once `cap` entries are recorded, further
+/// entries are counted but not stored, so long simulations cannot exhaust
+/// memory through tracing.
+#[derive(Debug)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Create a trace storing at most `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        Trace {
+            entries: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, at: SimTime, what: impl Into<String>) {
+        if self.entries.len() < self.cap {
+            self.entries.push(TraceEntry {
+                at,
+                what: what.into(),
+            });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Stored entries, in record order (which is time order, since the
+    /// simulator records as it executes).
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of entries that did not fit within the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// True if any stored entry's description contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.entries.iter().any(|e| e.what.contains(needle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_until_cap() {
+        let mut t = Trace::new(2);
+        t.record(SimTime::from_millis(1), "a");
+        t.record(SimTime::from_millis(2), "b");
+        t.record(SimTime::from_millis(3), "c");
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.dropped(), 1);
+        assert!(t.contains("a"));
+        assert!(!t.contains("c"));
+    }
+
+    #[test]
+    fn entries_keep_time() {
+        let mut t = Trace::new(10);
+        t.record(SimTime::from_millis(5), "x");
+        assert_eq!(t.entries()[0].at, SimTime::from_millis(5));
+    }
+}

@@ -1,0 +1,191 @@
+//! Cubemap rendering and equirectangular projection.
+//!
+//! Cloud-VR systems render the world around the viewer into a panoramic
+//! frame; this module does that for real: rasterize the scene into the six
+//! faces of a cubemap, then resample into the 2:1 equirectangular layout
+//! that [`crate::panorama::Panorama`] (and CoIC's panorama cache) uses.
+
+use crate::math::Vec3;
+use crate::panorama::Panorama;
+use crate::raster::Framebuffer;
+use crate::scene::{Camera, Scene};
+
+/// Face order: +x, -x, +y, -y, +z, -z.
+pub const FACES: usize = 6;
+
+fn face_basis(face: usize) -> (Vec3, Vec3) {
+    // (forward, up) per face, in a right-handed world (y up).
+    match face {
+        0 => (Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)),
+        1 => (Vec3::new(-1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)),
+        2 => (Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, -1.0)),
+        3 => (Vec3::new(0.0, -1.0, 0.0), Vec3::new(0.0, 0.0, 1.0)),
+        4 => (Vec3::new(0.0, 0.0, 1.0), Vec3::new(0.0, 1.0, 0.0)),
+        _ => (Vec3::new(0.0, 0.0, -1.0), Vec3::new(0.0, 1.0, 0.0)),
+    }
+}
+
+/// Rasterize `scene` from `eye` into six `face_size × face_size` cubemap
+/// faces (90° field of view each).
+pub fn render_cubemap(scene: &Scene, eye: Vec3, face_size: u32) -> Vec<Framebuffer> {
+    (0..FACES)
+        .map(|face| {
+            let (fwd, up) = face_basis(face);
+            let camera = Camera {
+                eye,
+                target: eye + fwd,
+                up,
+                fov_y: std::f32::consts::FRAC_PI_2,
+                near: 0.05,
+                far: 1000.0,
+            };
+            let mut fb = Framebuffer::new(face_size, face_size);
+            scene.render(&camera, &mut fb);
+            fb
+        })
+        .collect()
+}
+
+/// Sample the cubemap in direction `d` (unit-ish vector).
+pub fn sample_cubemap(faces: &[Framebuffer], d: Vec3) -> u8 {
+    assert_eq!(faces.len(), FACES, "need six faces");
+    let (ax, ay, az) = (d.x.abs(), d.y.abs(), d.z.abs());
+    // Select the dominant axis, then project onto that face.
+    let (face, u, v) = if ax >= ay && ax >= az {
+        if d.x > 0.0 {
+            (0, -d.z / ax, d.y / ax)
+        } else {
+            (1, d.z / ax, d.y / ax)
+        }
+    } else if ay >= ax && ay >= az {
+        if d.y > 0.0 {
+            (2, d.x / ay, -d.z / ay)
+        } else {
+            (3, d.x / ay, d.z / ay)
+        }
+    } else if d.z > 0.0 {
+        (4, d.x / az, d.y / az)
+    } else {
+        (5, -d.x / az, d.y / az)
+    };
+    let fb = &faces[face];
+    let size = fb.width() as f32;
+    // u, v ∈ [-1, 1] → pixel coordinates (v up → pixel y down).
+    let px = ((u + 1.0) * 0.5 * size).clamp(0.0, size - 1.0) as u32;
+    let py = ((1.0 - v) * 0.5 * size).clamp(0.0, size - 1.0) as u32;
+    fb.get(px, py)
+}
+
+/// Resample a cubemap into an equirectangular panorama of the given height
+/// (width = 2 × height).
+pub fn cubemap_to_equirect(faces: &[Framebuffer], height: u32) -> Panorama {
+    assert!(height >= 8, "panorama too small");
+    let width = height * 2;
+    let mut pixels = Vec::with_capacity((width * height) as usize);
+    for y in 0..height {
+        // Elevation from the +y pole (0) to the -y pole (π).
+        let elev = (y as f64 + 0.5) / height as f64 * std::f64::consts::PI;
+        for x in 0..width {
+            let azim = (x as f64 + 0.5) / width as f64 * std::f64::consts::TAU;
+            let d = Vec3::new(
+                (elev.sin() * azim.cos()) as f32,
+                elev.cos() as f32,
+                (elev.sin() * azim.sin()) as f32,
+            );
+            pixels.push(sample_cubemap(faces, d));
+        }
+    }
+    Panorama::from_raw(width, height, pixels)
+}
+
+/// Render `scene` from `eye` straight to an equirectangular panorama —
+/// the cloud-side panorama generation CoIC caches, done with the real
+/// rasterizer rather than procedural synthesis.
+pub fn render_equirect(scene: &Scene, eye: Vec3, height: u32, face_size: u32) -> Panorama {
+    let faces = render_cubemap(scene, eye, face_size);
+    cubemap_to_equirect(&faces, height)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::Mat4;
+    use crate::procgen;
+
+    fn sphere_scene(offset: Vec3) -> Scene {
+        let mut scene = Scene::new();
+        let id = scene.add_model(procgen::icosphere(2));
+        scene.add_instance(id, Mat4::translate(offset));
+        scene
+    }
+
+    #[test]
+    fn object_ahead_lands_at_equirect_center_line() {
+        // A sphere on the +x axis: azimuth 0 column, equator row.
+        let scene = sphere_scene(Vec3::new(4.0, 0.0, 0.0));
+        let pano = render_equirect(&scene, Vec3::ZERO, 64, 64);
+        // Bright at (azimuth 0, equator) which is column 0/last, row h/2.
+        let mid = pano.bytes()[(32 * pano.width()) as usize] ;
+        assert!(mid > 0, "sphere should be visible at the seam center");
+        // Opposite direction (-x = azimuth π, middle column): empty.
+        let opposite = pano.bytes()[(32 * pano.width() + pano.width() / 2) as usize];
+        assert_eq!(opposite, 0, "nothing behind the viewer");
+    }
+
+    #[test]
+    fn object_above_lands_at_top_rows() {
+        let scene = sphere_scene(Vec3::new(0.0, 4.0, 0.0));
+        let pano = render_equirect(&scene, Vec3::ZERO, 64, 64);
+        let top_row_sum: u32 = (0..pano.width())
+            .map(|x| pano.bytes()[x as usize] as u32)
+            .sum();
+        let bottom_row_sum: u32 = (0..pano.width())
+            .map(|x| pano.bytes()[((pano.height() - 1) * pano.width() + x) as usize] as u32)
+            .sum();
+        assert!(top_row_sum > 0, "sphere above must light the top rows");
+        assert_eq!(bottom_row_sum, 0, "nothing below");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let scene = sphere_scene(Vec3::new(3.0, 0.5, 1.0));
+        let a = render_equirect(&scene, Vec3::ZERO, 32, 32);
+        let b = render_equirect(&scene, Vec3::ZERO, 32, 32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cubemap_face_count_and_size() {
+        let scene = sphere_scene(Vec3::new(3.0, 0.0, 0.0));
+        let faces = render_cubemap(&scene, Vec3::ZERO, 16);
+        assert_eq!(faces.len(), 6);
+        assert!(faces.iter().all(|f| f.width() == 16 && f.height() == 16));
+        // Only the +x face sees the sphere.
+        assert!(faces[0].coverage() > 0.0);
+        assert_eq!(faces[1].coverage(), 0.0);
+    }
+
+    #[test]
+    fn sample_directions_pick_correct_faces() {
+        let scene = sphere_scene(Vec3::new(3.0, 0.0, 0.0));
+        let faces = render_cubemap(&scene, Vec3::ZERO, 32);
+        // Straight +x hits the sphere; straight -x hits nothing.
+        assert!(sample_cubemap(&faces, Vec3::new(1.0, 0.0, 0.0)) > 0);
+        assert_eq!(sample_cubemap(&faces, Vec3::new(-1.0, 0.0, 0.0)), 0);
+        assert_eq!(sample_cubemap(&faces, Vec3::new(0.0, 1.0, 0.0)), 0);
+    }
+
+    #[test]
+    fn equirect_crop_sees_the_rendered_object() {
+        // End-to-end: render scene → equirect → viewport crop via the same
+        // path the VR client uses.
+        let scene = sphere_scene(Vec3::new(4.0, 0.0, 0.0));
+        let pano = render_equirect(&scene, Vec3::ZERO, 64, 64);
+        // Looking toward +x (azimuth 0).
+        let view = pano.crop_viewport(0.0, 0.0, 1.2, 32, 32);
+        assert!(view.iter().any(|&p| p > 0), "crop toward object is lit");
+        // Looking away.
+        let away = pano.crop_viewport(std::f64::consts::PI, 0.0, 1.2, 32, 32);
+        assert!(away.iter().all(|&p| p == 0), "crop away from object is dark");
+    }
+}

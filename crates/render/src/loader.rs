@@ -1,0 +1,143 @@
+//! Model loading with cost accounting.
+//!
+//! Figure 2b measures *load latency*: the time from "renderer needs model X"
+//! to "model is in memory, ready to draw". On the paper's testbed that is
+//! storage read + parse + staging; CoIC removes it on a hit by caching the
+//! loaded model at the edge. [`LoadCostModel`] charges virtual time for each
+//! stage, while [`load_cmf`] does the real parsing work so the cached object
+//! is a genuine, drawable mesh.
+
+use crate::format::{self, CmfError};
+use crate::mesh::Mesh;
+use serde::{Deserialize, Serialize};
+
+/// A model that has been fetched, parsed, validated and staged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedModel {
+    /// The parsed mesh.
+    pub mesh: Mesh,
+    /// Size of the CMF source it was parsed from.
+    pub source_bytes: u64,
+}
+
+/// Parse CMF bytes into a loaded model.
+pub fn load_cmf(bytes: &[u8]) -> Result<LoadedModel, CmfError> {
+    let mesh = format::decode(bytes)?;
+    Ok(LoadedModel {
+        mesh,
+        source_bytes: bytes.len() as u64,
+    })
+}
+
+/// Per-tier throughput for the three stages of a model load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadCostModel {
+    /// Storage read throughput, bytes/s.
+    pub storage_bps: f64,
+    /// Parse/validate throughput, bytes/s.
+    pub parse_bps: f64,
+    /// Staging (upload to renderer memory) throughput, bytes/s.
+    pub stage_bps: f64,
+    /// Fixed per-load overhead, ns.
+    pub overhead_ns: u64,
+}
+
+impl LoadCostModel {
+    /// Cloud storage node: fast NVMe + server CPU.
+    pub const CLOUD: LoadCostModel = LoadCostModel {
+        storage_bps: 1.2e9,
+        parse_bps: 1.5e9,
+        stage_bps: 4.0e9,
+        overhead_ns: 1_000_000,
+    };
+
+    /// Edge box: SATA-class storage, desktop CPU.
+    pub const EDGE: LoadCostModel = LoadCostModel {
+        storage_bps: 0.5e9,
+        parse_bps: 1.0e9,
+        stage_bps: 3.0e9,
+        overhead_ns: 500_000,
+    };
+
+    /// Mobile device: flash storage, mobile CPU, mobile GPU staging.
+    pub const MOBILE: LoadCostModel = LoadCostModel {
+        storage_bps: 0.25e9,
+        parse_bps: 0.3e9,
+        stage_bps: 1.0e9,
+        overhead_ns: 3_000_000,
+    };
+
+    /// Virtual nanoseconds to read `bytes` from storage.
+    pub fn storage_ns(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.storage_bps * 1e9).round() as u64
+    }
+
+    /// Virtual nanoseconds to parse `bytes`.
+    pub fn parse_ns(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.parse_bps * 1e9).round() as u64
+    }
+
+    /// Virtual nanoseconds to stage a parsed model of `bytes`.
+    pub fn stage_ns(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.stage_bps * 1e9).round() as u64
+    }
+
+    /// Full cold-load time: overhead + read + parse + stage.
+    pub fn full_load_ns(&self, bytes: u64) -> u64 {
+        self.overhead_ns + self.storage_ns(bytes) + self.parse_ns(bytes) + self.stage_ns(bytes)
+    }
+
+    /// Warm-load time when the *parsed* model is already in memory (a CoIC
+    /// edge cache hit): only staging remains.
+    pub fn warm_load_ns(&self, bytes: u64) -> u64 {
+        self.overhead_ns + self.stage_ns(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::encode;
+    use crate::procgen;
+
+    #[test]
+    fn load_parses_real_bytes() {
+        let mesh = procgen::terrain(24, 5, 0.4);
+        let bytes = encode(&mesh);
+        let loaded = load_cmf(&bytes).unwrap();
+        assert_eq!(loaded.mesh, mesh);
+        assert_eq!(loaded.source_bytes, bytes.len() as u64);
+    }
+
+    #[test]
+    fn load_rejects_corruption() {
+        let bytes = encode(&procgen::cube());
+        let mut corrupt = bytes.to_vec();
+        corrupt[20] ^= 0xFF;
+        assert!(load_cmf(&corrupt).is_err());
+    }
+
+    #[test]
+    fn cold_load_dominates_warm_load() {
+        let bytes = 10_000_000u64; // 10 MB model
+        for model in [LoadCostModel::CLOUD, LoadCostModel::EDGE, LoadCostModel::MOBILE] {
+            assert!(model.full_load_ns(bytes) > 2 * model.warm_load_ns(bytes));
+        }
+    }
+
+    #[test]
+    fn load_time_scales_with_size() {
+        let m = LoadCostModel::EDGE;
+        let t1 = m.full_load_ns(1_000_000);
+        let t10 = m.full_load_ns(10_000_000);
+        let var = (t10 - m.overhead_ns) as f64 / (t1 - m.overhead_ns) as f64;
+        assert!((9.9..10.1).contains(&var), "scaling factor {var}");
+    }
+
+    #[test]
+    fn tiers_ordered_by_speed() {
+        let bytes = 5_000_000;
+        assert!(LoadCostModel::CLOUD.full_load_ns(bytes) < LoadCostModel::EDGE.full_load_ns(bytes));
+        assert!(LoadCostModel::EDGE.full_load_ns(bytes) < LoadCostModel::MOBILE.full_load_ns(bytes));
+    }
+}

@@ -1,0 +1,229 @@
+//! Indexed triangle meshes — the "3D models" whose load latency Figure 2b
+//! measures.
+
+use crate::math::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A mesh vertex: position plus shading normal.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vertex {
+    /// Object-space position.
+    pub pos: Vec3,
+    /// Unit shading normal.
+    pub normal: Vec3,
+}
+
+/// Axis-aligned bounding box.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Componentwise minimum corner.
+    pub min: Vec3,
+    /// Componentwise maximum corner.
+    pub max: Vec3,
+}
+
+/// An indexed triangle mesh.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mesh {
+    /// Human-readable model name (carried through the CMF format).
+    pub name: String,
+    /// Vertex array.
+    pub vertices: Vec<Vertex>,
+    /// Triangle list: three indices per triangle.
+    pub indices: Vec<u32>,
+}
+
+/// Why a mesh failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// Index array length is not a multiple of three.
+    RaggedIndices(usize),
+    /// An index points past the vertex array.
+    IndexOutOfRange {
+        /// Offending index value.
+        index: u32,
+        /// Number of vertices available.
+        vertices: usize,
+    },
+    /// Mesh has no triangles.
+    Empty,
+}
+
+impl std::fmt::Display for MeshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeshError::RaggedIndices(n) => write!(f, "{n} indices is not a multiple of 3"),
+            MeshError::IndexOutOfRange { index, vertices } => {
+                write!(f, "index {index} out of range for {vertices} vertices")
+            }
+            MeshError::Empty => write!(f, "mesh has no triangles"),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+impl Mesh {
+    /// Create a mesh; does not validate (call [`Mesh::validate`]).
+    pub fn new(name: impl Into<String>, vertices: Vec<Vertex>, indices: Vec<u32>) -> Self {
+        Mesh {
+            name: name.into(),
+            vertices,
+            indices,
+        }
+    }
+
+    /// Number of triangles.
+    pub fn triangle_count(&self) -> usize {
+        self.indices.len() / 3
+    }
+
+    /// Structural validation: triangle list shape and index bounds.
+    pub fn validate(&self) -> Result<(), MeshError> {
+        if !self.indices.len().is_multiple_of(3) {
+            return Err(MeshError::RaggedIndices(self.indices.len()));
+        }
+        if self.indices.is_empty() {
+            return Err(MeshError::Empty);
+        }
+        for &i in &self.indices {
+            if i as usize >= self.vertices.len() {
+                return Err(MeshError::IndexOutOfRange {
+                    index: i,
+                    vertices: self.vertices.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Bounding box over all vertices; `None` for an empty vertex array.
+    pub fn aabb(&self) -> Option<Aabb> {
+        let first = self.vertices.first()?.pos;
+        let mut min = first;
+        let mut max = first;
+        for v in &self.vertices {
+            min.x = min.x.min(v.pos.x);
+            min.y = min.y.min(v.pos.y);
+            min.z = min.z.min(v.pos.z);
+            max.x = max.x.max(v.pos.x);
+            max.y = max.y.max(v.pos.y);
+            max.z = max.z.max(v.pos.z);
+        }
+        Some(Aabb { min, max })
+    }
+
+    /// Recompute per-vertex normals as the area-weighted average of
+    /// adjacent face normals.
+    pub fn recompute_normals(&mut self) {
+        let mut acc = vec![Vec3::ZERO; self.vertices.len()];
+        for tri in self.indices.chunks_exact(3) {
+            let (a, b, c) = (tri[0] as usize, tri[1] as usize, tri[2] as usize);
+            let pa = self.vertices[a].pos;
+            let pb = self.vertices[b].pos;
+            let pc = self.vertices[c].pos;
+            // Cross product magnitude is twice the triangle area, so the
+            // un-normalized face normal is already area-weighted.
+            let face = (pb - pa).cross(pc - pa);
+            acc[a] = acc[a] + face;
+            acc[b] = acc[b] + face;
+            acc[c] = acc[c] + face;
+        }
+        for (v, n) in self.vertices.iter_mut().zip(acc) {
+            v.normal = n.normalized();
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes (what the edge cache charges
+    /// for a loaded model).
+    pub fn byte_size(&self) -> u64 {
+        (self.vertices.len() * std::mem::size_of::<Vertex>()
+            + self.indices.len() * std::mem::size_of::<u32>()
+            + self.name.len()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> Mesh {
+        Mesh::new(
+            "tri",
+            vec![
+                Vertex {
+                    pos: Vec3::new(0.0, 0.0, 0.0),
+                    normal: Vec3::ZERO,
+                },
+                Vertex {
+                    pos: Vec3::new(1.0, 0.0, 0.0),
+                    normal: Vec3::ZERO,
+                },
+                Vertex {
+                    pos: Vec3::new(0.0, 1.0, 0.0),
+                    normal: Vec3::ZERO,
+                },
+            ],
+            vec![0, 1, 2],
+        )
+    }
+
+    #[test]
+    fn valid_triangle_passes() {
+        assert_eq!(tri().validate(), Ok(()));
+        assert_eq!(tri().triangle_count(), 1);
+    }
+
+    #[test]
+    fn ragged_indices_rejected() {
+        let mut m = tri();
+        m.indices.push(0);
+        assert_eq!(m.validate(), Err(MeshError::RaggedIndices(4)));
+    }
+
+    #[test]
+    fn out_of_range_index_rejected() {
+        let mut m = tri();
+        m.indices = vec![0, 1, 7];
+        assert_eq!(
+            m.validate(),
+            Err(MeshError::IndexOutOfRange {
+                index: 7,
+                vertices: 3
+            })
+        );
+    }
+
+    #[test]
+    fn empty_mesh_rejected() {
+        let m = Mesh::new("empty", vec![], vec![]);
+        assert_eq!(m.validate(), Err(MeshError::Empty));
+    }
+
+    #[test]
+    fn aabb_bounds_vertices() {
+        let bb = tri().aabb().unwrap();
+        assert_eq!(bb.min, Vec3::new(0.0, 0.0, 0.0));
+        assert_eq!(bb.max, Vec3::new(1.0, 1.0, 0.0));
+        assert_eq!(Mesh::new("e", vec![], vec![]).aabb(), None);
+    }
+
+    #[test]
+    fn recomputed_normals_point_out_of_plane() {
+        let mut m = tri();
+        m.recompute_normals();
+        for v in &m.vertices {
+            // CCW triangle in the xy plane: normals face +z.
+            assert!((v.normal.z - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn byte_size_grows_with_geometry() {
+        let small = tri();
+        let mut big = tri();
+        big.vertices.extend_from_within(..);
+        big.indices.extend_from_within(..);
+        assert!(big.byte_size() > small.byte_size());
+    }
+}

@@ -1,0 +1,144 @@
+//! Image file output (PGM/PPM, the no-dependency Netpbm formats).
+//!
+//! Lets examples and experiments dump actual rendered artifacts —
+//! framebuffers, panoramas, viewport crops — that any image viewer opens.
+
+use crate::raster::Framebuffer;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Serialize 8-bit grayscale pixels as binary PGM (P5).
+///
+/// # Panics
+/// Panics if `pixels.len() != width * height`.
+pub fn encode_pgm(width: u32, height: u32, pixels: &[u8]) -> Vec<u8> {
+    assert_eq!(
+        pixels.len(),
+        (width * height) as usize,
+        "pixel buffer does not match dimensions"
+    );
+    let mut out = format!("P5\n{width} {height}\n255\n").into_bytes();
+    out.extend_from_slice(pixels);
+    out
+}
+
+/// Write grayscale pixels to a PGM file.
+pub fn write_pgm(
+    path: impl AsRef<Path>,
+    width: u32,
+    height: u32,
+    pixels: &[u8],
+) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&encode_pgm(width, height, pixels))?;
+    Ok(())
+}
+
+/// Write a framebuffer to a PGM file.
+pub fn write_framebuffer_pgm(path: impl AsRef<Path>, fb: &Framebuffer) -> io::Result<()> {
+    write_pgm(path, fb.width(), fb.height(), fb.pixels())
+}
+
+/// Parse a binary PGM (P5) produced by [`encode_pgm`] back into
+/// `(width, height, pixels)`. Supports the single-whitespace header layout
+/// this module emits (round-trip use, not a general Netpbm parser).
+pub fn decode_pgm(data: &[u8]) -> Result<(u32, u32, Vec<u8>), String> {
+    let header_end = data
+        .windows(1)
+        .enumerate()
+        .scan(0u8, |newlines, (i, w)| {
+            if w[0] == b'\n' {
+                *newlines += 1;
+            }
+            Some((i, *newlines))
+        })
+        .find(|&(_, n)| n == 3)
+        .map(|(i, _)| i + 1)
+        .ok_or("truncated header")?;
+    let header = std::str::from_utf8(&data[..header_end]).map_err(|_| "bad header utf8")?;
+    let mut lines = header.lines();
+    if lines.next() != Some("P5") {
+        return Err("not a P5 PGM".into());
+    }
+    let dims = lines.next().ok_or("missing dimensions")?;
+    let mut it = dims.split_whitespace();
+    let width: u32 = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or("bad width")?;
+    let height: u32 = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or("bad height")?;
+    if lines.next() != Some("255") {
+        return Err("unsupported maxval".into());
+    }
+    let pixels = data[header_end..].to_vec();
+    if pixels.len() != (width * height) as usize {
+        return Err(format!(
+            "expected {} pixels, found {}",
+            width * height,
+            pixels.len()
+        ));
+    }
+    Ok((width, height, pixels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::{Mat4, Vec3};
+    use crate::procgen;
+    use crate::raster::draw;
+
+    #[test]
+    fn pgm_round_trip() {
+        let pixels: Vec<u8> = (0..12).map(|i| i * 20).collect();
+        let encoded = encode_pgm(4, 3, &pixels);
+        let (w, h, back) = decode_pgm(&encoded).unwrap();
+        assert_eq!((w, h), (4, 3));
+        assert_eq!(back, pixels);
+    }
+
+    #[test]
+    fn pgm_header_is_standard() {
+        let encoded = encode_pgm(2, 2, &[0, 1, 2, 3]);
+        assert!(encoded.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(encoded.len(), b"P5\n2 2\n255\n".len() + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match dimensions")]
+    fn mismatched_dims_panic() {
+        let _ = encode_pgm(3, 3, &[0; 4]);
+    }
+
+    #[test]
+    fn framebuffer_writes_to_disk() {
+        let mut fb = Framebuffer::new(32, 32);
+        let mesh = procgen::uv_sphere(8, 12);
+        let proj = Mat4::perspective(1.0, 1.0, 0.1, 100.0);
+        let view = Mat4::look_at(
+            Vec3::new(0.0, 0.0, 3.0),
+            Vec3::ZERO,
+            Vec3::new(0.0, 1.0, 0.0),
+        );
+        draw(&mut fb, &mesh, &proj.mul(&view), &Mat4::IDENTITY, Vec3::new(0.0, 0.0, -1.0));
+        let dir = std::env::temp_dir().join("coic_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sphere.pgm");
+        write_framebuffer_pgm(&path, &fb).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        let (w, h, pixels) = decode_pgm(&data).unwrap();
+        assert_eq!((w, h), (32, 32));
+        assert!(pixels.iter().any(|&p| p > 0), "rendered image is black");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_pgm(b"").is_err());
+        assert!(decode_pgm(b"P6\n2 2\n255\n0000").is_err());
+        assert!(decode_pgm(b"P5\n2 2\n255\n00").is_err()); // short pixels
+    }
+}

@@ -1,0 +1,385 @@
+//! Procedural model generators.
+//!
+//! Figure 2b sweeps "3D models differed in size"; these generators produce
+//! valid meshes at any target size — primitives for the rasterizer tests,
+//! a subdividable terrain for size sweeps, and a composite "avatar" (the
+//! Pokemon-style shared character of the paper's multiplayer example).
+
+use crate::math::Vec3;
+use crate::mesh::{Mesh, Vertex};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn v(pos: Vec3) -> Vertex {
+    Vertex {
+        pos,
+        normal: Vec3::ZERO,
+    }
+}
+
+/// Unit cube centred at the origin (24 vertices for hard edges).
+pub fn cube() -> Mesh {
+    let mut vertices = Vec::with_capacity(24);
+    let mut indices = Vec::with_capacity(36);
+    // Each face: normal axis, two tangent axes, sign.
+    let faces: [(Vec3, Vec3, Vec3); 6] = [
+        (Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0)),
+        (Vec3::new(-1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0), Vec3::new(0.0, 1.0, 0.0)),
+        (Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0), Vec3::new(1.0, 0.0, 0.0)),
+        (Vec3::new(0.0, -1.0, 0.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0)),
+        (Vec3::new(0.0, 0.0, 1.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)),
+        (Vec3::new(0.0, 0.0, -1.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(1.0, 0.0, 0.0)),
+    ];
+    for (n, t, b) in faces {
+        let base = vertices.len() as u32;
+        for (su, sv) in [(-1.0, -1.0), (1.0, -1.0), (1.0, 1.0), (-1.0, 1.0)] {
+            let pos = (n + t * su + b * sv) * 0.5;
+            vertices.push(Vertex { pos, normal: n });
+        }
+        indices.extend_from_slice(&[base, base + 1, base + 2, base, base + 2, base + 3]);
+    }
+    Mesh::new("cube", vertices, indices)
+}
+
+/// UV sphere of radius 1 with `stacks × slices` quads.
+///
+/// # Panics
+/// Panics if `stacks < 2` or `slices < 3`.
+pub fn uv_sphere(stacks: u32, slices: u32) -> Mesh {
+    assert!(stacks >= 2 && slices >= 3, "degenerate sphere tessellation");
+    let mut vertices = Vec::new();
+    for i in 0..=stacks {
+        let phi = std::f32::consts::PI * i as f32 / stacks as f32;
+        for j in 0..=slices {
+            let theta = std::f32::consts::TAU * j as f32 / slices as f32;
+            let pos = Vec3::new(
+                phi.sin() * theta.cos(),
+                phi.cos(),
+                phi.sin() * theta.sin(),
+            );
+            vertices.push(Vertex { pos, normal: pos });
+        }
+    }
+    let ring = slices + 1;
+    let mut indices = Vec::new();
+    for i in 0..stacks {
+        for j in 0..slices {
+            let a = i * ring + j;
+            let b = a + ring;
+            // Wound so (v1-v0)×(v2-v0) points outward.
+            indices.extend_from_slice(&[a, a + 1, b, a + 1, b + 1, b]);
+        }
+    }
+    Mesh::new("uv_sphere", vertices, indices)
+}
+
+/// Icosphere of radius 1: an icosahedron subdivided `subdivisions` times
+/// (each level quadruples the triangle count), vertices projected onto the
+/// unit sphere. More uniform triangle sizes than [`uv_sphere`] and no pole
+/// degeneracies.
+///
+/// # Panics
+/// Panics if `subdivisions > 6` (past that the mesh explodes to millions
+/// of triangles — use [`terrain`]/[`model_of_size`] for size sweeps).
+pub fn icosphere(subdivisions: u32) -> Mesh {
+    assert!(subdivisions <= 6, "icosphere subdivision too deep");
+    // Icosahedron: vertices are cyclic permutations of (0, ±1, ±φ).
+    let phi = (1.0 + 5.0f32.sqrt()) / 2.0;
+    let base = [
+        (-1.0, phi, 0.0),
+        (1.0, phi, 0.0),
+        (-1.0, -phi, 0.0),
+        (1.0, -phi, 0.0),
+        (0.0, -1.0, phi),
+        (0.0, 1.0, phi),
+        (0.0, -1.0, -phi),
+        (0.0, 1.0, -phi),
+        (phi, 0.0, -1.0),
+        (phi, 0.0, 1.0),
+        (-phi, 0.0, -1.0),
+        (-phi, 0.0, 1.0),
+    ];
+    let mut positions: Vec<Vec3> = base
+        .iter()
+        .map(|&(x, y, z)| Vec3::new(x, y, z).normalized())
+        .collect();
+    // Faces wound so (v1-v0)×(v2-v0) points outward.
+    let mut faces: Vec<[u32; 3]> = vec![
+        [0, 11, 5], [0, 5, 1], [0, 1, 7], [0, 7, 10], [0, 10, 11],
+        [1, 5, 9], [5, 11, 4], [11, 10, 2], [10, 7, 6], [7, 1, 8],
+        [3, 9, 4], [3, 4, 2], [3, 2, 6], [3, 6, 8], [3, 8, 9],
+        [4, 9, 5], [2, 4, 11], [6, 2, 10], [8, 6, 7], [9, 8, 1],
+    ];
+    for _ in 0..subdivisions {
+        let mut midpoints: std::collections::HashMap<(u32, u32), u32> =
+            std::collections::HashMap::new();
+        let mut midpoint = |a: u32, b: u32, positions: &mut Vec<Vec3>| -> u32 {
+            let key = (a.min(b), a.max(b));
+            *midpoints.entry(key).or_insert_with(|| {
+                let m = (positions[a as usize] + positions[b as usize]) * 0.5;
+                positions.push(m.normalized());
+                positions.len() as u32 - 1
+            })
+        };
+        let mut next = Vec::with_capacity(faces.len() * 4);
+        for [a, b, c] in faces {
+            let ab = midpoint(a, b, &mut positions);
+            let bc = midpoint(b, c, &mut positions);
+            let ca = midpoint(c, a, &mut positions);
+            next.push([a, ab, ca]);
+            next.push([b, bc, ab]);
+            next.push([c, ca, bc]);
+            next.push([ab, bc, ca]);
+        }
+        faces = next;
+    }
+    let vertices: Vec<Vertex> = positions
+        .into_iter()
+        .map(|pos| Vertex { pos, normal: pos })
+        .collect();
+    let indices: Vec<u32> = faces.into_iter().flatten().collect();
+    Mesh::new(format!("icosphere_s{subdivisions}"), vertices, indices)
+}
+
+/// Open cylinder of radius 1, height 2, `segments` sides.
+///
+/// # Panics
+/// Panics if `segments < 3`.
+pub fn cylinder(segments: u32) -> Mesh {
+    assert!(segments >= 3, "degenerate cylinder tessellation");
+    let mut vertices = Vec::new();
+    for j in 0..=segments {
+        let theta = std::f32::consts::TAU * j as f32 / segments as f32;
+        let n = Vec3::new(theta.cos(), 0.0, theta.sin());
+        vertices.push(Vertex {
+            pos: n + Vec3::new(0.0, 1.0, 0.0),
+            normal: n,
+        });
+        vertices.push(Vertex {
+            pos: n + Vec3::new(0.0, -1.0, 0.0),
+            normal: n,
+        });
+    }
+    let mut indices = Vec::new();
+    for j in 0..segments {
+        let a = 2 * j;
+        // Wound so (v1-v0)×(v2-v0) points outward.
+        indices.extend_from_slice(&[a, a + 2, a + 1, a + 2, a + 3, a + 1]);
+    }
+    Mesh::new("cylinder", vertices, indices)
+}
+
+/// Heightfield terrain over an `n × n` vertex grid with value-noise
+/// elevations; `n` directly controls model size (vertices = n², so CMF
+/// bytes grow quadratically in `n`).
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn terrain(n: u32, seed: u64, height_scale: f32) -> Mesh {
+    assert!(n >= 2, "terrain grid needs at least 2x2 vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Coarse lattice of random elevations, bilinearly interpolated, two
+    // octaves — smooth but non-trivial geometry.
+    let coarse = 8usize;
+    let lattice: Vec<f32> = (0..(coarse + 1) * (coarse + 1))
+        .map(|_| rng.random::<f32>())
+        .collect();
+    let sample = |u: f32, v: f32| -> f32 {
+        let x = u * coarse as f32;
+        let y = v * coarse as f32;
+        let xi = (x as usize).min(coarse - 1);
+        let yi = (y as usize).min(coarse - 1);
+        let fx = x - xi as f32;
+        let fy = y - yi as f32;
+        let at = |i: usize, j: usize| lattice[j * (coarse + 1) + i];
+        at(xi, yi) * (1.0 - fx) * (1.0 - fy)
+            + at(xi + 1, yi) * fx * (1.0 - fy)
+            + at(xi, yi + 1) * (1.0 - fx) * fy
+            + at(xi + 1, yi + 1) * fx * fy
+    };
+    let mut vertices = Vec::with_capacity((n * n) as usize);
+    for j in 0..n {
+        for i in 0..n {
+            let u = i as f32 / (n - 1) as f32;
+            let w = j as f32 / (n - 1) as f32;
+            let h = sample(u, w) + 0.5 * sample(u * 2.0 % 1.0, w * 2.0 % 1.0);
+            vertices.push(v(Vec3::new(
+                u * 2.0 - 1.0,
+                h * height_scale,
+                w * 2.0 - 1.0,
+            )));
+        }
+    }
+    let mut indices = Vec::new();
+    for j in 0..n - 1 {
+        for i in 0..n - 1 {
+            let a = j * n + i;
+            let b = a + n;
+            indices.extend_from_slice(&[a, b, a + 1, a + 1, b, b + 1]);
+        }
+    }
+    let mut mesh = Mesh::new(format!("terrain_{n}_{seed}"), vertices, indices);
+    mesh.recompute_normals();
+    mesh
+}
+
+/// A composite "avatar": sphere head on a cylinder body on a cube base.
+/// `detail` scales tessellation (and therefore size).
+///
+/// # Panics
+/// Panics if `detail == 0`.
+pub fn avatar(detail: u32) -> Mesh {
+    assert!(detail > 0, "avatar detail must be positive");
+    let mut vertices = Vec::new();
+    let mut indices = Vec::new();
+    let mut append = |part: &Mesh, scale: Vec3, offset: Vec3| {
+        let base = vertices.len() as u32;
+        for vert in &part.vertices {
+            vertices.push(Vertex {
+                pos: Vec3::new(
+                    vert.pos.x * scale.x + offset.x,
+                    vert.pos.y * scale.y + offset.y,
+                    vert.pos.z * scale.z + offset.z,
+                ),
+                normal: vert.normal,
+            });
+        }
+        indices.extend(part.indices.iter().map(|i| i + base));
+    };
+    append(
+        &uv_sphere(6 * detail, 8 * detail),
+        Vec3::new(0.5, 0.5, 0.5),
+        Vec3::new(0.0, 1.6, 0.0),
+    );
+    append(
+        &cylinder(8 * detail),
+        Vec3::new(0.4, 0.5, 0.4),
+        Vec3::new(0.0, 0.6, 0.0),
+    );
+    append(&cube(), Vec3::new(1.0, 0.2, 1.0), Vec3::new(0.0, -0.1, 0.0));
+    let mut mesh = Mesh::new(format!("avatar_d{detail}"), vertices, indices);
+    mesh.recompute_normals();
+    mesh
+}
+
+/// Generate a terrain whose serialized CMF size is approximately
+/// `target_bytes` (within a few percent for targets ≥ ~10 kB).
+///
+/// CMF stores 24 bytes/vertex + 4 bytes/index + fixed overhead; a terrain
+/// with n² vertices has ~6n² index entries, so bytes ≈ n²·(24 + 24).
+pub fn model_of_size(target_bytes: u64, seed: u64) -> Mesh {
+    let per_vertex = 24.0 + 24.0;
+    let n = ((target_bytes as f64 / per_vertex).sqrt()).max(2.0) as u32;
+    terrain(n.max(2), seed, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_are_valid() {
+        for m in [
+            cube(),
+            uv_sphere(8, 12),
+            icosphere(2),
+            cylinder(16),
+            terrain(16, 1, 0.5),
+            avatar(1),
+        ] {
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn cube_counts() {
+        let c = cube();
+        assert_eq!(c.vertices.len(), 24);
+        assert_eq!(c.triangle_count(), 12);
+    }
+
+    #[test]
+    fn sphere_vertices_on_unit_sphere() {
+        let s = uv_sphere(8, 12);
+        for vert in &s.vertices {
+            assert!((vert.pos.length() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn terrain_is_deterministic_per_seed() {
+        assert_eq!(terrain(16, 7, 0.5), terrain(16, 7, 0.5));
+        assert_ne!(terrain(16, 7, 0.5), terrain(16, 8, 0.5));
+    }
+
+    #[test]
+    fn terrain_size_scales_quadratically() {
+        let small = terrain(16, 1, 0.5);
+        let big = terrain(32, 1, 0.5);
+        let ratio = big.byte_size() as f64 / small.byte_size() as f64;
+        assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn avatar_detail_scales_size() {
+        assert!(avatar(2).byte_size() > 2 * avatar(1).byte_size());
+    }
+
+    #[test]
+    fn model_of_size_hits_target() {
+        for target in [50_000u64, 500_000, 5_000_000] {
+            let m = model_of_size(target, 3);
+            let actual = m.byte_size();
+            let ratio = actual as f64 / target as f64;
+            assert!(
+                (0.7..1.3).contains(&ratio),
+                "target {target}, got {actual} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate sphere")]
+    fn degenerate_sphere_rejected() {
+        let _ = uv_sphere(1, 3);
+    }
+
+    #[test]
+    fn icosphere_counts_and_radius() {
+        // 20 × 4^s faces; vertices on the unit sphere.
+        for s in 0..3u32 {
+            let m = icosphere(s);
+            assert_eq!(m.triangle_count(), 20 * 4usize.pow(s));
+            for v in &m.vertices {
+                assert!((v.pos.length() - 1.0).abs() < 1e-5);
+            }
+        }
+        // Subdivision shares midpoints: V = 10·4^s + 2 (Euler).
+        assert_eq!(icosphere(0).vertices.len(), 12);
+        assert_eq!(icosphere(1).vertices.len(), 42);
+        assert_eq!(icosphere(2).vertices.len(), 162);
+    }
+
+    #[test]
+    fn closed_meshes_wind_outward() {
+        // For convex closed meshes centred at the origin, every face's
+        // geometric normal (v1-v0)×(v2-v0) must point away from the centre —
+        // the rasterizer's backface culling depends on this convention.
+        for m in [cube(), uv_sphere(8, 12), icosphere(2), cylinder(12)] {
+            let mut bad = 0;
+            for tri in m.indices.chunks_exact(3) {
+                let a = m.vertices[tri[0] as usize].pos;
+                let b = m.vertices[tri[1] as usize].pos;
+                let c = m.vertices[tri[2] as usize].pos;
+                let n = (b - a).cross(c - a);
+                let center = (a + b + c) * (1.0 / 3.0);
+                // Pole/cap triangles collapse to a point up to float noise;
+                // ignore anything with vanishing area.
+                if n.dot(center) <= 0.0 && n.length() > 1e-6 {
+                    bad += 1;
+                }
+            }
+            assert_eq!(bad, 0, "{}: {bad} inward-facing triangles", m.name);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Compute-cost model.
+//!
+//! The paper offloads recognition because a phone is slow at it; the
+//! simulation must therefore charge realistic *relative* compute times per
+//! tier. Costs are expressed in multiply–accumulate operations (MACs) and
+//! converted to virtual nanoseconds through a tier's effective throughput.
+//! Absolute values are calibrated to 2018-era hardware classes (poster's
+//! Pixel phone / Linux edge box / cloud server) but only the ratios shape
+//! the experiment results.
+
+use serde::{Deserialize, Serialize};
+
+/// Effective compute throughput of an execution tier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeProfile {
+    /// Effective MAC/s this tier sustains on DNN-style workloads.
+    pub macs_per_sec: f64,
+    /// Fixed per-invocation overhead (framework dispatch, memory staging)
+    /// in nanoseconds.
+    pub overhead_ns: u64,
+}
+
+impl ComputeProfile {
+    /// 2018 flagship phone (no NN accelerator in the loop): ~5 GMAC/s
+    /// effective, noticeable dispatch overhead.
+    pub const MOBILE: ComputeProfile = ComputeProfile {
+        macs_per_sec: 5.0e9,
+        overhead_ns: 2_000_000, // 2 ms
+    };
+
+    /// Edge box with a desktop GPU: ~60 GMAC/s effective.
+    pub const EDGE: ComputeProfile = ComputeProfile {
+        macs_per_sec: 60.0e9,
+        overhead_ns: 500_000, // 0.5 ms
+    };
+
+    /// Cloud server GPU: ~200 GMAC/s effective.
+    pub const CLOUD: ComputeProfile = ComputeProfile {
+        macs_per_sec: 200.0e9,
+        overhead_ns: 500_000, // 0.5 ms
+    };
+
+    /// Virtual time to execute `macs` multiply–accumulates on this tier,
+    /// in nanoseconds.
+    pub fn time_ns(&self, macs: u64) -> u64 {
+        assert!(self.macs_per_sec > 0.0, "throughput must be positive");
+        let ns = macs as f64 / self.macs_per_sec * 1e9;
+        self.overhead_ns + ns.round() as u64
+    }
+}
+
+/// MAC count of the *full* recognition DNN the cloud runs (the descriptor
+/// extractor the client runs is tiny by comparison — that asymmetry is what
+/// makes offloading worthwhile). 600 MMAC ≈ a 2018 mobile-vision model
+/// (MobileNetV2-class at higher resolution).
+pub const FULL_DNN_MACS: u64 = 600_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_dnn_times_are_plausible() {
+        // Mobile: 2 ms overhead + 120 ms compute.
+        let mobile_ms = ComputeProfile::MOBILE.time_ns(FULL_DNN_MACS) as f64 / 1e6;
+        let cloud_ms = ComputeProfile::CLOUD.time_ns(FULL_DNN_MACS) as f64 / 1e6;
+        assert!((100.0..200.0).contains(&mobile_ms), "mobile {mobile_ms}ms");
+        assert!((1.0..10.0).contains(&cloud_ms), "cloud {cloud_ms}ms");
+        assert!(mobile_ms > 10.0 * cloud_ms);
+    }
+
+    #[test]
+    fn zero_work_costs_only_overhead() {
+        assert_eq!(
+            ComputeProfile::EDGE.time_ns(0),
+            ComputeProfile::EDGE.overhead_ns
+        );
+    }
+
+    #[test]
+    fn time_scales_linearly() {
+        let p = ComputeProfile {
+            macs_per_sec: 1e9,
+            overhead_ns: 0,
+        };
+        assert_eq!(p.time_ns(1_000_000_000), 1_000_000_000);
+        assert_eq!(p.time_ns(500_000_000), 500_000_000);
+    }
+}

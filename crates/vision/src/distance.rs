@@ -1,0 +1,138 @@
+//! Distance metrics over feature vectors.
+//!
+//! CoIC's recognition lookup declares a cache hit when the distance between
+//! the query descriptor and a cached descriptor falls under a threshold;
+//! these are the metrics that threshold is measured in.
+
+use crate::features::FeatureVec;
+
+/// Squared Euclidean distance (cheapest; monotone in [`l2`]).
+pub fn l2_sq(a: &FeatureVec, b: &FeatureVec) -> f32 {
+    assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum()
+}
+
+/// Euclidean distance.
+pub fn l2(a: &FeatureVec, b: &FeatureVec) -> f32 {
+    l2_sq(a, b).sqrt()
+}
+
+/// Inner product.
+pub fn dot(a: &FeatureVec, b: &FeatureVec) -> f32 {
+    assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x * y)
+        .sum()
+}
+
+/// Cosine distance `1 - cos(a, b)` in `[0, 2]`. Zero vectors are treated as
+/// maximally distant (distance 1) rather than undefined.
+pub fn cosine(a: &FeatureVec, b: &FeatureVec) -> f32 {
+    let na = a.l2_norm();
+    let nb = b.l2_norm();
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    (1.0 - dot(a, b) / (na * nb)).clamp(0.0, 2.0)
+}
+
+/// The metric CoIC's approximate cache lookup uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Euclidean distance.
+    L2,
+    /// Cosine distance.
+    Cosine,
+}
+
+impl Metric {
+    /// Evaluate this metric.
+    pub fn eval(self, a: &FeatureVec, b: &FeatureVec) -> f32 {
+        match self {
+            Metric::L2 => l2(a, b),
+            Metric::Cosine => cosine(a, b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(data: &[f32]) -> FeatureVec {
+        FeatureVec::new(data.to_vec())
+    }
+
+    #[test]
+    fn l2_basics() {
+        assert_eq!(l2(&v(&[0.0, 0.0]), &v(&[3.0, 4.0])), 5.0);
+        assert_eq!(l2_sq(&v(&[1.0]), &v(&[4.0])), 9.0);
+    }
+
+    #[test]
+    fn identity_of_indiscernibles() {
+        let a = v(&[0.3, -0.7, 2.0]);
+        assert_eq!(l2(&a, &a), 0.0);
+        assert!(cosine(&a, &a) < 1e-6);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = v(&[1.0, 2.0, 3.0]);
+        let b = v(&[-1.0, 0.5, 9.0]);
+        assert_eq!(l2(&a, &b), l2(&b, &a));
+        assert_eq!(cosine(&a, &b), cosine(&b, &a));
+    }
+
+    #[test]
+    fn triangle_inequality_l2() {
+        let a = v(&[0.0, 0.0]);
+        let b = v(&[1.0, 1.0]);
+        let c = v(&[2.0, 0.0]);
+        assert!(l2(&a, &c) <= l2(&a, &b) + l2(&b, &c) + 1e-6);
+    }
+
+    #[test]
+    fn cosine_range_and_orthogonality() {
+        let x = v(&[1.0, 0.0]);
+        let y = v(&[0.0, 1.0]);
+        let neg = v(&[-1.0, 0.0]);
+        assert!((cosine(&x, &y) - 1.0).abs() < 1e-6);
+        assert!((cosine(&x, &neg) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_scale_invariant() {
+        let a = v(&[0.2, 0.5, -0.1]);
+        let b = v(&[1.0, -2.0, 0.3]);
+        let scaled = v(&[10.0, -20.0, 3.0]);
+        assert!((cosine(&a, &b) - cosine(&a, &scaled)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_max_distance() {
+        let z = v(&[0.0, 0.0]);
+        let a = v(&[1.0, 0.0]);
+        assert_eq!(cosine(&z, &a), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        let _ = l2(&v(&[1.0]), &v(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn metric_enum_dispatch() {
+        let a = v(&[1.0, 0.0]);
+        let b = v(&[0.0, 1.0]);
+        assert_eq!(Metric::L2.eval(&a, &b), 2.0f32.sqrt());
+        assert!((Metric::Cosine.eval(&a, &b) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,264 @@
+//! Histogram-of-oriented-gradients (HOG-style) descriptor.
+//!
+//! An alternative to SimNet for the descriptor-design ablation: classical
+//! hand-crafted features with very different invariance behaviour —
+//! contrast-robust (gradients + block normalization) but *orientation
+//! sensitive*, so viewpoint rotation moves HOG descriptors much more than
+//! SimNet embeddings. The `ext_descriptor` experiment measures what that
+//! does to CoIC's hit ratio.
+
+use crate::features::FeatureVec;
+use crate::image::Image;
+
+/// Pluggable descriptor extractor (SimNet, HOG, raw pooling, …).
+pub trait Extractor {
+    /// Produce the descriptor for an image.
+    fn extract(&self, img: &Image) -> FeatureVec;
+    /// Output dimensionality.
+    fn dim(&self) -> usize;
+    /// Multiply–accumulate cost of one extraction on `img`.
+    fn macs(&self, img: &Image) -> u64;
+    /// Short label for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl Extractor for crate::features::SimNet {
+    fn extract(&self, img: &Image) -> FeatureVec {
+        crate::features::SimNet::extract(self, img)
+    }
+    fn dim(&self) -> usize {
+        self.embedding_dim()
+    }
+    fn macs(&self, img: &Image) -> u64 {
+        self.total_flops(img)
+    }
+    fn name(&self) -> &'static str {
+        "simnet"
+    }
+}
+
+/// HOG-style extractor: gradient orientation histograms over a cell grid.
+pub struct HogExtractor {
+    /// Cells per side.
+    pub grid: u32,
+    /// Orientation bins (unsigned gradients, 0..π).
+    pub bins: u32,
+}
+
+impl Default for HogExtractor {
+    fn default() -> Self {
+        HogExtractor { grid: 4, bins: 8 }
+    }
+}
+
+impl HogExtractor {
+    /// Create an extractor with `grid × grid` cells of `bins` orientations.
+    ///
+    /// # Panics
+    /// Panics on degenerate parameters.
+    pub fn new(grid: u32, bins: u32) -> Self {
+        assert!(grid >= 2 && bins >= 2, "degenerate HOG parameters");
+        HogExtractor { grid, bins }
+    }
+}
+
+impl Extractor for HogExtractor {
+    fn extract(&self, img: &Image) -> FeatureVec {
+        let (w, h) = (img.width(), img.height());
+        let mut hist = vec![0.0f32; (self.grid * self.grid * self.bins) as usize];
+        let cell_w = w as f64 / self.grid as f64;
+        let cell_h = h as f64 / self.grid as f64;
+        for y in 0..h {
+            for x in 0..w {
+                // Central differences with clamped borders.
+                let gx = img.get_clamped(x as i64 + 1, y as i64) as f32
+                    - img.get_clamped(x as i64 - 1, y as i64) as f32;
+                let gy = img.get_clamped(x as i64, y as i64 + 1) as f32
+                    - img.get_clamped(x as i64, y as i64 - 1) as f32;
+                let mag = (gx * gx + gy * gy).sqrt();
+                if mag < 1e-6 {
+                    continue;
+                }
+                // Unsigned orientation in [0, π).
+                let mut theta = gy.atan2(gx);
+                if theta < 0.0 {
+                    theta += std::f32::consts::PI;
+                }
+                if theta >= std::f32::consts::PI {
+                    theta -= std::f32::consts::PI;
+                }
+                let bin =
+                    ((theta / std::f32::consts::PI) * self.bins as f32) as u32 % self.bins;
+                let cx = ((x as f64 / cell_w) as u32).min(self.grid - 1);
+                let cy = ((y as f64 / cell_h) as u32).min(self.grid - 1);
+                let idx = ((cy * self.grid + cx) * self.bins + bin) as usize;
+                hist[idx] += mag;
+            }
+        }
+        // Per-cell L2 block normalization (contrast robustness), then a
+        // global normalization for threshold comparability.
+        for cell in hist.chunks_mut(self.bins as usize) {
+            let norm = cell.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
+            for v in cell {
+                *v /= norm;
+            }
+        }
+        FeatureVec::new(hist).normalized()
+    }
+
+    fn dim(&self) -> usize {
+        (self.grid * self.grid * self.bins) as usize
+    }
+
+    fn macs(&self, img: &Image) -> u64 {
+        // ~8 ops per pixel (two gradients, magnitude, atan2 amortized).
+        img.byte_size() * 8
+    }
+
+    fn name(&self) -> &'static str {
+        "hog"
+    }
+}
+
+/// The trivial baseline extractor: the contrast-normalized pooled grid
+/// (SimNet's front end without any projection layers).
+pub struct PoolExtractor {
+    net: crate::features::SimNet,
+}
+
+impl Default for PoolExtractor {
+    fn default() -> Self {
+        PoolExtractor {
+            net: crate::features::SimNet::default_net(),
+        }
+    }
+}
+
+impl Extractor for PoolExtractor {
+    fn extract(&self, img: &Image) -> FeatureVec {
+        self.net.pool(img).normalized()
+    }
+    fn dim(&self) -> usize {
+        let g = self.net.config().grid;
+        (g * g) as usize
+    }
+    fn macs(&self, img: &Image) -> u64 {
+        self.net.pool_flops(img)
+    }
+    fn name(&self) -> &'static str {
+        "pool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::l2;
+    use crate::scene::{ObjectClass, SceneGenerator, ViewParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hog_is_deterministic_and_unit_norm() {
+        let g = SceneGenerator::new(64);
+        let img = g.canonical(ObjectClass(1));
+        let hog = HogExtractor::default();
+        let a = hog.extract(&img);
+        let b = hog.extract(&img);
+        assert_eq!(a, b);
+        assert!((a.l2_norm() - 1.0).abs() < 1e-5);
+        assert_eq!(a.dim(), hog.dim());
+    }
+
+    #[test]
+    fn hog_separates_classes() {
+        let g = SceneGenerator::new(64);
+        let hog = HogExtractor::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut intra = 0.0f64;
+        let mut inter = 0.0f64;
+        let mut n_intra = 0;
+        let mut n_inter = 0;
+        let mut embeds = Vec::new();
+        for c in 0..6u32 {
+            let mut per = Vec::new();
+            for _ in 0..4 {
+                let v = ViewParams::jittered(&mut rng, 0.03, 2.0);
+                per.push(hog.extract(&g.observe(ObjectClass(c), &v, &mut rng)));
+            }
+            embeds.push(per);
+        }
+        for c in 0..6usize {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    intra += l2(&embeds[c][i], &embeds[c][j]) as f64;
+                    n_intra += 1;
+                }
+                for c2 in c + 1..6 {
+                    for j in 0..4 {
+                        inter += l2(&embeds[c][i], &embeds[c2][j]) as f64;
+                        n_inter += 1;
+                    }
+                }
+            }
+        }
+        let intra = intra / n_intra as f64;
+        let inter = inter / n_inter as f64;
+        assert!(inter > 1.3 * intra, "intra {intra:.3} inter {inter:.3}");
+    }
+
+    #[test]
+    fn hog_is_contrast_robust() {
+        let g = SceneGenerator::new(64);
+        let hog = HogExtractor::default();
+        let img = g.canonical(ObjectClass(4));
+        let brighter = img.scaled(1.3);
+        let d = l2(&hog.extract(&img), &hog.extract(&brighter));
+        assert!(d < 0.2, "contrast shifted HOG by {d}");
+    }
+
+    #[test]
+    fn hog_is_more_rotation_sensitive_than_simnet() {
+        let g = SceneGenerator::new(64);
+        let hog = HogExtractor::default();
+        let net = crate::features::SimNet::default_net();
+        let mut rng = StdRng::seed_from_u64(5);
+        let base = g.canonical(ObjectClass(2));
+        let rotated = g.observe(
+            ObjectClass(2),
+            &ViewParams {
+                angle: 0.35,
+                ..ViewParams::default()
+            },
+            &mut rng,
+        );
+        let d_hog = l2(&hog.extract(&base), &hog.extract(&rotated));
+        let d_net = l2(&net.extract(&base), &net.extract(&rotated));
+        assert!(
+            d_hog > d_net,
+            "expected HOG ({d_hog:.3}) more rotation-sensitive than SimNet ({d_net:.3})"
+        );
+    }
+
+    #[test]
+    fn extractor_trait_objects_work() {
+        let g = SceneGenerator::new(64);
+        let img = g.canonical(ObjectClass(0));
+        let extractors: Vec<Box<dyn Extractor>> = vec![
+            Box::new(crate::features::SimNet::default_net()),
+            Box::new(HogExtractor::default()),
+            Box::new(PoolExtractor::default()),
+        ];
+        for e in &extractors {
+            let v = e.extract(&img);
+            assert_eq!(v.dim(), e.dim(), "{} dim mismatch", e.name());
+            assert!(e.macs(&img) > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate HOG")]
+    fn tiny_hog_rejected() {
+        let _ = HogExtractor::new(1, 8);
+    }
+}

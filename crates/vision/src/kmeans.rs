@@ -1,0 +1,345 @@
+//! K-means clustering over feature vectors (k-means++ seeding + Lloyd).
+//!
+//! Unsupervised structure discovery for descriptor streams: an edge that
+//! clusters what it has been seeing can discover "the objects at this
+//! place" without labels — useful for choosing prototypes, sizing the
+//! similarity threshold from within-cluster spread, and compaction.
+
+use crate::distance::{l2, l2_sq};
+use crate::features::FeatureVec;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    centroids: Vec<FeatureVec>,
+}
+
+impl KMeans {
+    /// Fit `k` clusters to `data` with at most `max_iters` Lloyd rounds,
+    /// deterministically seeded. Uses k-means++ initialization.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty, `k == 0`, `k > data.len()`, or the
+    /// vectors disagree on dimensionality.
+    pub fn fit(data: &[FeatureVec], k: usize, max_iters: usize, seed: u64) -> KMeans {
+        assert!(!data.is_empty(), "cannot cluster an empty dataset");
+        assert!(k > 0 && k <= data.len(), "k must be in 1..=data.len()");
+        let dim = data[0].dim();
+        assert!(
+            data.iter().all(|v| v.dim() == dim),
+            "all vectors must share a dimension"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // k-means++: first centroid uniform, the rest proportional to the
+        // squared distance from the nearest chosen centroid.
+        let mut centroids: Vec<FeatureVec> = Vec::with_capacity(k);
+        centroids.push(data[rng.random_range(0..data.len())].clone());
+        while centroids.len() < k {
+            let weights: Vec<f64> = data
+                .iter()
+                .map(|v| {
+                    centroids
+                        .iter()
+                        .map(|c| l2_sq(v, c) as f64)
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let next = if total <= 0.0 {
+                // All points coincide with existing centroids: pick any.
+                rng.random_range(0..data.len())
+            } else {
+                let mut target = rng.random::<f64>() * total;
+                let mut pick = data.len() - 1;
+                for (i, w) in weights.iter().enumerate() {
+                    if target < *w {
+                        pick = i;
+                        break;
+                    }
+                    target -= w;
+                }
+                pick
+            };
+            centroids.push(data[next].clone());
+        }
+
+        // Lloyd iterations.
+        let mut assignment = vec![0usize; data.len()];
+        for _ in 0..max_iters {
+            let mut changed = false;
+            for (i, v) in data.iter().enumerate() {
+                let best = (0..k)
+                    .min_by(|&a, &b| {
+                        l2_sq(v, &centroids[a])
+                            .partial_cmp(&l2_sq(v, &centroids[b]))
+                            .expect("finite distances")
+                    })
+                    .expect("k >= 1");
+                if assignment[i] != best {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            // Recompute centroids as cluster means (empty clusters keep
+            // their previous centroid).
+            let mut sums = vec![vec![0.0f32; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (i, v) in data.iter().enumerate() {
+                let c = assignment[i];
+                counts[c] += 1;
+                for (s, x) in sums[c].iter_mut().zip(v.as_slice()) {
+                    *s += x;
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    centroids[c] = FeatureVec::new(
+                        sums[c].iter().map(|s| s / counts[c] as f32).collect(),
+                    );
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        KMeans { centroids }
+    }
+
+    /// Fit with `restarts` differently-seeded initializations and keep the
+    /// lowest-inertia model (the standard defence against a bad k-means++
+    /// draw merging two true clusters).
+    ///
+    /// # Panics
+    /// As [`KMeans::fit`], plus if `restarts == 0`.
+    pub fn fit_best(
+        data: &[FeatureVec],
+        k: usize,
+        max_iters: usize,
+        seed: u64,
+        restarts: usize,
+    ) -> KMeans {
+        assert!(restarts > 0, "need at least one restart");
+        (0..restarts)
+            .map(|r| KMeans::fit(data, k, max_iters, seed.wrapping_add(r as u64 * 0x9E37)))
+            .min_by(|a, b| {
+                a.inertia(data)
+                    .partial_cmp(&b.inertia(data))
+                    .expect("finite inertia")
+            })
+            .expect("restarts > 0")
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The fitted centroids.
+    pub fn centroids(&self) -> &[FeatureVec] {
+        &self.centroids
+    }
+
+    /// Index of the nearest centroid to `v`.
+    pub fn assign(&self, v: &FeatureVec) -> usize {
+        (0..self.centroids.len())
+            .min_by(|&a, &b| {
+                l2_sq(v, &self.centroids[a])
+                    .partial_cmp(&l2_sq(v, &self.centroids[b]))
+                    .expect("finite distances")
+            })
+            .expect("at least one centroid")
+    }
+
+    /// Sum of squared distances of `data` to their assigned centroids.
+    pub fn inertia(&self, data: &[FeatureVec]) -> f64 {
+        data.iter()
+            .map(|v| l2_sq(v, &self.centroids[self.assign(v)]) as f64)
+            .sum()
+    }
+
+    /// Mean silhouette coefficient over `data` in `[-1, 1]`: how much
+    /// closer each point is to its own cluster than to the nearest other
+    /// cluster. Near 1 = well-separated clustering; near 0 = overlapping;
+    /// the standard model-selection score for choosing `k`.
+    ///
+    /// Returns 0 for `k < 2` (silhouette is undefined).
+    pub fn silhouette(&self, data: &[FeatureVec]) -> f64 {
+        if self.centroids.len() < 2 || data.len() < 2 {
+            return 0.0;
+        }
+        let labels: Vec<usize> = data.iter().map(|v| self.assign(v)).collect();
+        let mut total = 0.0;
+        for (i, v) in data.iter().enumerate() {
+            // Mean distance to own cluster (a) and to the nearest other
+            // cluster (b), computed over points (simplified medoid-free
+            // form using the actual members).
+            let mut own_sum = 0.0;
+            let mut own_n = 0u32;
+            let mut other: std::collections::HashMap<usize, (f64, u32)> =
+                std::collections::HashMap::new();
+            for (j, w) in data.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let d = l2(v, w) as f64;
+                if labels[j] == labels[i] {
+                    own_sum += d;
+                    own_n += 1;
+                } else {
+                    let e = other.entry(labels[j]).or_insert((0.0, 0));
+                    e.0 += d;
+                    e.1 += 1;
+                }
+            }
+            let a = if own_n > 0 { own_sum / own_n as f64 } else { 0.0 };
+            let b = other
+                .values()
+                .map(|&(s, n)| s / n as f64)
+                .fold(f64::INFINITY, f64::min);
+            if b.is_finite() {
+                let denom = a.max(b);
+                if denom > 0.0 {
+                    total += (b - a) / denom;
+                }
+            }
+        }
+        total / data.len() as f64
+    }
+
+    /// Mean within-cluster distance — a data-driven starting point for the
+    /// CoIC similarity threshold.
+    pub fn mean_within_cluster_distance(&self, data: &[FeatureVec]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        data.iter()
+            .map(|v| l2(v, &self.centroids[self.assign(v)]) as f64)
+            .sum::<f64>()
+            / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{ObjectClass, SceneGenerator, ViewParams};
+    use crate::SimNet;
+
+    fn blobs() -> Vec<FeatureVec> {
+        // Three well-separated 2-D blobs, five points each.
+        let centers = [(0.0f32, 0.0f32), (10.0, 0.0), (0.0, 10.0)];
+        let mut data = Vec::new();
+        for &(cx, cy) in &centers {
+            for d in 0..5 {
+                let o = d as f32 * 0.1;
+                data.push(FeatureVec::new(vec![cx + o, cy - o]));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let data = blobs();
+        let km = KMeans::fit(&data, 3, 50, 1);
+        // All points of one blob share a cluster; blobs get distinct ones.
+        let labels: Vec<usize> = data.iter().map(|v| km.assign(v)).collect();
+        for blob in 0..3 {
+            let first = labels[blob * 5];
+            assert!(labels[blob * 5..(blob + 1) * 5].iter().all(|&l| l == first));
+        }
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = blobs();
+        let a = KMeans::fit(&data, 3, 50, 7);
+        let b = KMeans::fit(&data, 3, 50, 7);
+        assert_eq!(a.centroids(), b.centroids());
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let data = blobs();
+        let i1 = KMeans::fit(&data, 1, 50, 3).inertia(&data);
+        let i3 = KMeans::fit(&data, 3, 50, 3).inertia(&data);
+        assert!(i3 < i1 / 10.0, "k=3 inertia {i3} vs k=1 {i1}");
+    }
+
+    #[test]
+    fn discovers_object_classes_without_labels() {
+        // The CoIC use case: cluster unlabeled SimNet descriptors and check
+        // the clusters recover the underlying object classes (purity).
+        let gen = SceneGenerator::new(64);
+        let net = SimNet::default_net();
+        let mut rng = StdRng::seed_from_u64(13);
+        let classes = 5u32;
+        let per = 8usize;
+        let mut data = Vec::new();
+        let mut truth = Vec::new();
+        for c in 0..classes {
+            for _ in 0..per {
+                let v = ViewParams::jittered(&mut rng, 0.06, 3.0);
+                data.push(net.extract(&gen.observe(ObjectClass(c), &v, &mut rng)));
+                truth.push(c);
+            }
+        }
+        let km = KMeans::fit_best(&data, classes as usize, 100, 2, 5);
+        // Purity: each cluster's majority class fraction.
+        let mut majority = vec![std::collections::HashMap::new(); classes as usize];
+        for (v, &t) in data.iter().zip(&truth) {
+            *majority[km.assign(v)].entry(t).or_insert(0u32) += 1;
+        }
+        let pure: u32 = majority
+            .iter()
+            .map(|m| m.values().copied().max().unwrap_or(0))
+            .sum();
+        let purity = pure as f64 / data.len() as f64;
+        assert!(purity >= 0.9, "cluster purity {purity}");
+        // And the within-cluster spread suggests a sane threshold.
+        let spread = km.mean_within_cluster_distance(&data);
+        assert!(spread > 0.0 && spread < 0.6, "spread {spread}");
+    }
+
+    #[test]
+    fn silhouette_peaks_at_true_k() {
+        let data = blobs(); // three true clusters
+        let s2 = KMeans::fit_best(&data, 2, 50, 1, 3).silhouette(&data);
+        let s3 = KMeans::fit_best(&data, 3, 50, 1, 3).silhouette(&data);
+        let s6 = KMeans::fit_best(&data, 6, 50, 1, 3).silhouette(&data);
+        assert!(s3 > s2, "k=3 ({s3:.3}) should beat k=2 ({s2:.3})");
+        assert!(s3 > s6, "k=3 ({s3:.3}) should beat k=6 ({s6:.3})");
+        assert!(s3 > 0.8, "true clustering should be near 1, got {s3:.3}");
+    }
+
+    #[test]
+    fn silhouette_degenerate_cases() {
+        let data = blobs();
+        // k = 1: undefined, reported as 0.
+        assert_eq!(KMeans::fit(&data, 1, 10, 0).silhouette(&data), 0.0);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = blobs();
+        let km = KMeans::fit(&data, data.len(), 10, 5);
+        assert!(km.inertia(&data) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_data_rejected() {
+        let _ = KMeans::fit(&[], 1, 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn oversized_k_rejected() {
+        let _ = KMeans::fit(&blobs(), 99, 10, 0);
+    }
+}

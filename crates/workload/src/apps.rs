@@ -1,0 +1,335 @@
+//! Application scenario generators.
+//!
+//! Each generator reproduces one of the paper's motivating workloads as a
+//! typed request trace:
+//!
+//! * [`SafeDrivingAr`] — §1.2 insight 1: recognition of shared landmarks
+//!   (two safe-driving apps see the same stop sign),
+//! * [`ArenaMultiplayer`] — insight 2: rendering shared 3D avatars
+//!   (Pokemon-Go players in the same place),
+//! * [`VrVideo`] — insight 3: panoramic frames shared by co-watching users.
+
+use crate::arrivals::{ArrivalProcess, Poisson};
+use crate::mobility::{ContentId, Population, UserId, ZoneId, ZoneModel};
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// What a request asks the system to do.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Recognize the object `class` from a fresh camera observation; the
+    /// observation perturbation is seeded by `view_seed`.
+    Recognition {
+        /// Object class to observe.
+        class: u32,
+        /// Seed for the per-request viewpoint jitter.
+        view_seed: u64,
+    },
+    /// Load 3D model `model_id` of roughly `size_bytes`.
+    RenderLoad {
+        /// Identifier of the model (procgen seed).
+        model_id: u64,
+        /// Requested model size in bytes.
+        size_bytes: u64,
+    },
+    /// Fetch panoramic frame `frame_id`.
+    Panorama {
+        /// Identifier of the frame (synthesis seed).
+        frame_id: u64,
+    },
+}
+
+/// One request in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Issuing user.
+    pub user: UserId,
+    /// Zone (edge) the user is attached to.
+    pub zone: ZoneId,
+    /// Virtual issue time in nanoseconds.
+    pub at_ns: u64,
+    /// The work requested.
+    pub kind: RequestKind,
+}
+
+/// A generated trace plus its redundancy summary.
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    /// Total requests.
+    pub requests: usize,
+    /// Distinct content items referenced.
+    pub unique_contents: usize,
+}
+
+/// Compute the redundancy summary of a trace.
+pub fn summarize(trace: &[Request]) -> TraceSummary {
+    let mut contents = std::collections::HashSet::new();
+    for r in trace {
+        let c: ContentId = match r.kind {
+            RequestKind::Recognition { class, .. } => class as ContentId,
+            RequestKind::RenderLoad { model_id, .. } => model_id,
+            RequestKind::Panorama { frame_id } => frame_id,
+        };
+        contents.insert((std::mem::discriminant(&r.kind), c));
+    }
+    TraceSummary {
+        requests: trace.len(),
+        unique_contents: contents.len(),
+    }
+}
+
+fn merge_sorted(mut reqs: Vec<Request>) -> Vec<Request> {
+    reqs.sort_by_key(|r| (r.at_ns, r.user.0));
+    reqs
+}
+
+/// Safe-driving AR: recognition-heavy trace over zone-local landmark pools.
+#[derive(Debug, Clone)]
+pub struct SafeDrivingAr {
+    /// Users and their zones.
+    pub population: Population,
+    /// Zone content model (landmark classes per zone).
+    pub zones: ZoneModel,
+    /// Per-user request rate.
+    pub rate_per_sec: f64,
+    /// Zipf skew over each zone's landmark pool.
+    pub zipf_s: f64,
+    /// Requests to generate in total.
+    pub total_requests: usize,
+}
+
+impl SafeDrivingAr {
+    /// Generate the trace.
+    pub fn generate(&self, seed: u64) -> Vec<Request> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut reqs = Vec::with_capacity(self.total_requests);
+        let n_users = self.population.len();
+        let per_user = self.total_requests.div_ceil(n_users);
+        for u in 0..n_users {
+            let user = UserId(u as u32);
+            let zone = self.population.zone_of(user);
+            let pool = self.zones.pool(zone);
+            let zipf = Zipf::new(pool.len(), self.zipf_s);
+            let mut arrivals = Poisson::new(self.rate_per_sec);
+            let mut t = 0u64;
+            for _ in 0..per_user {
+                t += arrivals.next_gap_ns(&mut rng);
+                let class = pool[zipf.sample(&mut rng)] as u32;
+                reqs.push(Request {
+                    user,
+                    zone,
+                    at_ns: t,
+                    kind: RequestKind::Recognition {
+                        class,
+                        view_seed: rng.random::<u64>(),
+                    },
+                });
+            }
+        }
+        let mut reqs = merge_sorted(reqs);
+        reqs.truncate(self.total_requests);
+        reqs
+    }
+}
+
+/// Arena multiplayer: render-load trace over shared avatar models.
+#[derive(Debug, Clone)]
+pub struct ArenaMultiplayer {
+    /// Users and their zones.
+    pub population: Population,
+    /// Avatar models available, as (model id, size in bytes).
+    pub models: Vec<(u64, u64)>,
+    /// Zipf skew over avatar popularity.
+    pub zipf_s: f64,
+    /// Per-user request rate.
+    pub rate_per_sec: f64,
+    /// Requests to generate in total.
+    pub total_requests: usize,
+}
+
+impl ArenaMultiplayer {
+    /// Generate the trace.
+    pub fn generate(&self, seed: u64) -> Vec<Request> {
+        assert!(!self.models.is_empty(), "need at least one model");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let zipf = Zipf::new(self.models.len(), self.zipf_s);
+        let mut reqs = Vec::with_capacity(self.total_requests);
+        let n_users = self.population.len();
+        let per_user = self.total_requests.div_ceil(n_users);
+        for u in 0..n_users {
+            let user = UserId(u as u32);
+            let zone = self.population.zone_of(user);
+            let mut arrivals = Poisson::new(self.rate_per_sec);
+            let mut t = 0u64;
+            for _ in 0..per_user {
+                t += arrivals.next_gap_ns(&mut rng);
+                let (model_id, size_bytes) = self.models[zipf.sample(&mut rng)];
+                reqs.push(Request {
+                    user,
+                    zone,
+                    at_ns: t,
+                    kind: RequestKind::RenderLoad {
+                        model_id,
+                        size_bytes,
+                    },
+                });
+            }
+        }
+        let mut reqs = merge_sorted(reqs);
+        reqs.truncate(self.total_requests);
+        reqs
+    }
+}
+
+/// VR video: co-watching users request the panorama frame at their current
+/// playhead, so users watching the same video at the same time request the
+/// same frames.
+#[derive(Debug, Clone)]
+pub struct VrVideo {
+    /// Users and their zones.
+    pub population: Population,
+    /// Frame period of the video (e.g. 33 ms for 30 fps).
+    pub frame_interval_ns: u64,
+    /// How far apart (in frames) user playheads start, uniformly drawn in
+    /// `0..=max_start_skew_frames`. Zero = perfectly synchronized viewers.
+    pub max_start_skew_frames: u64,
+    /// Sub-frame arrival stagger between users, ns (real co-watching
+    /// clients are offset by device and network jitter even when their
+    /// playheads show the same frame).
+    pub user_stagger_ns: u64,
+    /// Frames each user fetches.
+    pub frames_per_user: usize,
+}
+
+impl VrVideo {
+    /// Generate the trace.
+    pub fn generate(&self, seed: u64) -> Vec<Request> {
+        assert!(self.frame_interval_ns > 0, "frame interval must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut reqs = Vec::new();
+        for u in 0..self.population.len() {
+            let user = UserId(u as u32);
+            let zone = self.population.zone_of(user);
+            let skew = if self.max_start_skew_frames == 0 {
+                0
+            } else {
+                rng.random_range(0..=self.max_start_skew_frames)
+            };
+            for f in 0..self.frames_per_user as u64 {
+                let frame_id = skew + f;
+                reqs.push(Request {
+                    user,
+                    zone,
+                    // The +u keeps the sort stable even with zero stagger.
+                    at_ns: frame_id * self.frame_interval_ns
+                        + u as u64 * self.user_stagger_ns
+                        + u as u64,
+                    kind: RequestKind::Panorama { frame_id },
+                });
+            }
+        }
+        merge_sorted(reqs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop() -> Population {
+        Population::round_robin(8, 2)
+    }
+
+    #[test]
+    fn safe_driving_trace_shape() {
+        let gen = SafeDrivingAr {
+            population: pop(),
+            zones: ZoneModel::new(2, 10, 0.3, 5),
+            rate_per_sec: 10.0,
+            zipf_s: 0.9,
+            total_requests: 100,
+        };
+        let trace = gen.generate(1);
+        assert_eq!(trace.len(), 100);
+        // Sorted by time.
+        assert!(trace.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        // All recognition.
+        assert!(trace
+            .iter()
+            .all(|r| matches!(r.kind, RequestKind::Recognition { .. })));
+        // Redundancy: far fewer unique classes than requests.
+        let s = summarize(&trace);
+        assert!(s.unique_contents < s.requests / 2);
+    }
+
+    #[test]
+    fn safe_driving_is_deterministic() {
+        let gen = SafeDrivingAr {
+            population: pop(),
+            zones: ZoneModel::new(2, 10, 0.3, 5),
+            rate_per_sec: 10.0,
+            zipf_s: 0.9,
+            total_requests: 50,
+        };
+        assert_eq!(gen.generate(1), gen.generate(1));
+        assert_ne!(gen.generate(1), gen.generate(2));
+    }
+
+    #[test]
+    fn arena_trace_uses_model_palette() {
+        let models = vec![(1u64, 100_000u64), (2, 200_000), (3, 400_000)];
+        let gen = ArenaMultiplayer {
+            population: pop(),
+            models: models.clone(),
+            zipf_s: 1.0,
+            rate_per_sec: 5.0,
+            total_requests: 60,
+        };
+        let trace = gen.generate(3);
+        assert_eq!(trace.len(), 60);
+        for r in &trace {
+            match r.kind {
+                RequestKind::RenderLoad {
+                    model_id,
+                    size_bytes,
+                } => assert!(models.contains(&(model_id, size_bytes))),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn synchronized_vr_viewers_share_frames() {
+        let gen = VrVideo {
+            population: Population::colocated(4, ZoneId(0)),
+            frame_interval_ns: 33_000_000,
+            max_start_skew_frames: 0,
+            user_stagger_ns: 0,
+            frames_per_user: 25,
+        };
+        let trace = gen.generate(0);
+        let s = summarize(&trace);
+        assert_eq!(s.requests, 100);
+        assert_eq!(s.unique_contents, 25); // 4 users × same 25 frames
+    }
+
+    #[test]
+    fn skewed_vr_viewers_share_fewer_frames() {
+        let sync = VrVideo {
+            population: Population::colocated(4, ZoneId(0)),
+            frame_interval_ns: 33_000_000,
+            max_start_skew_frames: 0,
+            user_stagger_ns: 0,
+            frames_per_user: 25,
+        };
+        let skewed = VrVideo {
+            max_start_skew_frames: 100,
+            ..sync.clone()
+        };
+        let a = summarize(&sync.generate(1)).unique_contents;
+        let b = summarize(&skewed.generate(1)).unique_contents;
+        assert!(b > a);
+    }
+}

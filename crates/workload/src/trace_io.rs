@@ -1,0 +1,212 @@
+//! Trace serialization: a simple CSV dialect for exchanging request traces
+//! with external tools (plotting, replaying a captured trace, diffing
+//! workloads between runs). Hand-rolled — the format is six plain columns
+//! and none of the values can contain commas.
+//!
+//! Columns: `user,zone,at_ns,kind,arg1,arg2` where `kind` is one of
+//! `recognition` (arg1 = class, arg2 = view_seed), `render_load`
+//! (arg1 = model_id, arg2 = size_bytes), `panorama` (arg1 = frame_id,
+//! arg2 = 0).
+
+use crate::apps::{Request, RequestKind};
+use crate::mobility::{UserId, ZoneId};
+
+/// Header row emitted by [`to_csv`].
+pub const HEADER: &str = "user,zone,at_ns,kind,arg1,arg2";
+
+/// Serialize a trace to CSV (with header).
+pub fn to_csv(trace: &[Request]) -> String {
+    let mut out = String::with_capacity(trace.len() * 40 + HEADER.len() + 1);
+    out.push_str(HEADER);
+    out.push('\n');
+    for r in trace {
+        let (kind, a, b) = match r.kind {
+            RequestKind::Recognition { class, view_seed } => {
+                ("recognition", class as u64, view_seed)
+            }
+            RequestKind::RenderLoad {
+                model_id,
+                size_bytes,
+            } => ("render_load", model_id, size_bytes),
+            RequestKind::Panorama { frame_id } => ("panorama", frame_id, 0),
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            r.user.0, r.zone.0, r.at_ns, kind, a, b
+        ));
+    }
+    out
+}
+
+/// CSV parse failures, with the 1-based line they occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parse a CSV trace produced by [`to_csv`]. The header row is required;
+/// blank lines are ignored.
+pub fn from_csv(text: &str) -> Result<Vec<Request>, TraceParseError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        Some((_, h)) => {
+            return Err(TraceParseError {
+                line: 1,
+                reason: format!("expected header {HEADER:?}, found {h:?}"),
+            })
+        }
+        None => {
+            return Err(TraceParseError {
+                line: 1,
+                reason: "empty input".into(),
+            })
+        }
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 6 {
+            return Err(TraceParseError {
+                line: lineno,
+                reason: format!("expected 6 fields, found {}", fields.len()),
+            });
+        }
+        let num = |idx: usize| -> Result<u64, TraceParseError> {
+            fields[idx].trim().parse().map_err(|_| TraceParseError {
+                line: lineno,
+                reason: format!("field {} ({:?}) is not a number", idx + 1, fields[idx]),
+            })
+        };
+        let kind = match fields[3].trim() {
+            "recognition" => RequestKind::Recognition {
+                class: num(4)? as u32,
+                view_seed: num(5)?,
+            },
+            "render_load" => RequestKind::RenderLoad {
+                model_id: num(4)?,
+                size_bytes: num(5)?,
+            },
+            "panorama" => RequestKind::Panorama { frame_id: num(4)? },
+            other => {
+                return Err(TraceParseError {
+                    line: lineno,
+                    reason: format!("unknown kind {other:?}"),
+                })
+            }
+        };
+        out.push(Request {
+            user: UserId(num(0)? as u32),
+            zone: ZoneId(num(1)? as u32),
+            at_ns: num(2)?,
+            kind,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::SafeDrivingAr;
+    use crate::mobility::{Population, ZoneModel};
+
+    fn sample() -> Vec<Request> {
+        let mut t = SafeDrivingAr {
+            population: Population::round_robin(4, 2),
+            zones: ZoneModel::new(2, 8, 0.5, 1),
+            rate_per_sec: 5.0,
+            zipf_s: 0.9,
+            total_requests: 20,
+        }
+        .generate(3);
+        t.push(Request {
+            user: UserId(9),
+            zone: ZoneId(1),
+            at_ns: 42,
+            kind: RequestKind::RenderLoad {
+                model_id: 5,
+                size_bytes: 123_456,
+            },
+        });
+        t.push(Request {
+            user: UserId(2),
+            zone: ZoneId(0),
+            at_ns: 77,
+            kind: RequestKind::Panorama { frame_id: 11 },
+        });
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let trace = sample();
+        let csv = to_csv(&trace);
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn header_is_first_line() {
+        let csv = to_csv(&sample());
+        assert!(csv.starts_with(HEADER));
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let err = from_csv("1,2,3,panorama,4,0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("header"));
+    }
+
+    #[test]
+    fn bad_field_count_reports_line() {
+        let csv = format!("{HEADER}\n1,2,3,panorama,4\n");
+        let err = from_csv(&csv).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("6 fields"));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let csv = format!("{HEADER}\n1,2,3,teleport,4,0\n");
+        let err = from_csv(&csv).unwrap_err();
+        assert!(err.reason.contains("unknown kind"));
+    }
+
+    #[test]
+    fn non_numeric_field_rejected() {
+        let csv = format!("{HEADER}\nx,2,3,panorama,4,0\n");
+        let err = from_csv(&csv).unwrap_err();
+        assert!(err.reason.contains("not a number"));
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let csv = format!("{HEADER}\n\n1,0,5,panorama,2,0\n\n");
+        let trace = from_csv(&csv).unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].at_ns, 5);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let back = from_csv(&to_csv(&[])).unwrap();
+        assert!(back.is_empty());
+    }
+}

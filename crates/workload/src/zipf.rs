@@ -1,0 +1,149 @@
+//! Zipf-distributed popularity sampling.
+//!
+//! Content popularity in the paper's motivating workloads (popular
+//! landmarks, popular avatars, popular videos) is heavy-tailed: a few items
+//! get most requests. The standard model is Zipf with exponent `s`.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A Zipf sampler over ranks `0..n` with exponent `s`
+/// (`P(rank k) ∝ 1/(k+1)^s`).
+///
+/// # Examples
+/// ```
+/// use coic_workload::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// // Rank 0 is the most popular item.
+/// assert!(zipf.pmf(0) > zipf.pmf(99));
+/// assert!(zipf.sample(&mut rng) < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` items with skew `s` (s = 0 is uniform).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the support is empty (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw a rank in `0..n`, rank 0 most popular.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        // First index whose CDF value is >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k < self.cdf.len(), "rank out of range");
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(10, 0.9);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(z.sample(&mut r) < 10);
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_skew_concentrates_on_rank_zero() {
+        let mild = Zipf::new(100, 0.5);
+        let strong = Zipf::new(100, 1.5);
+        assert!(strong.pmf(0) > mild.pmf(0));
+        assert!(strong.pmf(99) < mild.pmf(99));
+    }
+
+    #[test]
+    fn empirical_frequency_matches_pmf() {
+        let z = Zipf::new(20, 1.0);
+        let mut r = rng();
+        let n = 100_000;
+        let mut counts = [0u64; 20];
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: empirical {emp}, pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 0.8);
+        let sum: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_support_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Live deployment over real TCP sockets.
+//!
+//! Everything the simulator models also runs for real: this example spawns
+//! a cloud server and an edge server (thread-per-connection, framed TCP on
+//! loopback), connects two clients, and measures wall-clock latencies. The
+//! SimNet inference, CMF model parsing and panorama synthesis genuinely
+//! execute on the cloud; the edge cache genuinely serves the second
+//! client's requests.
+//!
+//! Run with: `cargo run --release --example live_deployment`
+
+use coic::core::netrun::{spawn_cloud, spawn_edge, NetClient};
+use coic::core::{ClientConfig, ComputeConfig, EdgeConfig, ModelLibrary, PanoLibrary, Path};
+use coic::vision::ObjectClass;
+use coic::workload::{Request, RequestKind, UserId, ZoneId};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let models = Arc::new(ModelLibrary::new());
+    let panos = Arc::new(PanoLibrary::new(128));
+    let compute = ComputeConfig::default();
+    let classes: Vec<_> = (0..8).map(ObjectClass).collect();
+
+    let cloud = spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), 1)?;
+    let edge = spawn_edge(cloud.addr(), &EdgeConfig::default())?;
+    println!("cloud listening on {}", cloud.addr());
+    println!("edge  listening on {} (forwarding misses to cloud)\n", edge.addr());
+
+    let mut alice = NetClient::connect(
+        edge.addr(),
+        ClientConfig::default(),
+        compute,
+        models.clone(),
+        panos.clone(),
+    )?;
+    let mut bob = NetClient::connect(
+        edge.addr(),
+        ClientConfig::default(),
+        compute,
+        models,
+        panos,
+    )?;
+
+    let requests = [
+        (
+            "recognize landmark 4",
+            RequestKind::Recognition {
+                class: 4,
+                view_seed: 77,
+            },
+        ),
+        (
+            "load 1 MB avatar model",
+            RequestKind::RenderLoad {
+                model_id: 2,
+                size_bytes: 1_000_000,
+            },
+        ),
+        ("fetch panorama frame 12", RequestKind::Panorama { frame_id: 12 }),
+    ];
+
+    println!("{:<26} {:>10} {:>10}", "request", "alice", "bob");
+    println!("{:-<50}", "");
+    for (label, kind) in requests {
+        let req = Request {
+            user: UserId(0),
+            zone: ZoneId(0),
+            at_ns: 0,
+            kind,
+        };
+        // Alice goes first and warms the edge cache; Bob piggybacks.
+        let a = alice.execute(&req)?;
+        let b = bob.execute(&req)?;
+        assert_eq!(a.path, Path::CloudMiss, "first request must miss");
+        assert_eq!(b.path, Path::EdgeHit, "second user must hit");
+        println!(
+            "{:<26} {:>7.2} ms {:>7.2} ms   (miss → hit)",
+            label,
+            a.elapsed.as_secs_f64() * 1e3,
+            b.elapsed.as_secs_f64() * 1e3,
+        );
+    }
+
+    println!("\nBob's requests were served from the edge cache that Alice's");
+    println!("misses populated — cooperative reuse over a real socket stack.");
+    Ok(())
+}

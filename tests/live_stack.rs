@@ -1,0 +1,201 @@
+//! Integration tests of the real-TCP deployment: the same services the
+//! simulator drives, over loopback sockets with concurrent clients.
+
+use coic::core::netrun::{spawn_cloud, spawn_edge, NetClient};
+use coic::core::{ClientConfig, ComputeConfig, EdgeConfig, ModelLibrary, PanoLibrary, Path};
+use coic::vision::ObjectClass;
+use coic::workload::{Request, RequestKind, UserId, ZoneId};
+use std::sync::Arc;
+
+struct Stack {
+    _cloud: coic::core::netrun::CloudHandle,
+    edge: coic::core::netrun::EdgeHandle,
+    models: Arc<ModelLibrary>,
+    panos: Arc<PanoLibrary>,
+    compute: ComputeConfig,
+}
+
+fn stack() -> Stack {
+    let models = Arc::new(ModelLibrary::new());
+    let panos = Arc::new(PanoLibrary::new(64));
+    let compute = ComputeConfig::default();
+    let classes: Vec<_> = (0..6).map(ObjectClass).collect();
+    let cloud = spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), 3).unwrap();
+    let edge = spawn_edge(cloud.addr(), &EdgeConfig::default()).unwrap();
+    Stack {
+        _cloud: cloud,
+        edge,
+        models,
+        panos,
+        compute,
+    }
+}
+
+fn client(s: &Stack) -> NetClient {
+    NetClient::connect(
+        s.edge.addr(),
+        ClientConfig::default(),
+        s.compute,
+        s.models.clone(),
+        s.panos.clone(),
+    )
+    .unwrap()
+}
+
+fn req(kind: RequestKind) -> Request {
+    Request {
+        user: UserId(0),
+        zone: ZoneId(0),
+        at_ns: 0,
+        kind,
+    }
+}
+
+#[test]
+fn concurrent_clients_share_the_edge_cache() {
+    let s = stack();
+    // Eight clients race on the same three panorama frames; after the dust
+    // settles, most requests must have been edge hits and all results must
+    // agree bytewise.
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let mut c = client(&s);
+            std::thread::spawn(move || {
+                let mut outcomes = Vec::new();
+                for frame in 0..3u64 {
+                    let out = c
+                        .execute(&req(RequestKind::Panorama { frame_id: frame }))
+                        .unwrap();
+                    outcomes.push((frame, out));
+                }
+                (i, outcomes)
+            })
+        })
+        .collect();
+    let mut by_frame: std::collections::HashMap<u64, Vec<coic::core::TaskResult>> =
+        std::collections::HashMap::new();
+    let mut hits = 0;
+    let mut total = 0;
+    for h in handles {
+        let (_, outcomes) = h.join().unwrap();
+        for (frame, out) in outcomes {
+            total += 1;
+            if out.path == Path::EdgeHit {
+                hits += 1;
+            }
+            by_frame.entry(frame).or_default().push(out.result);
+        }
+    }
+    assert_eq!(total, 24);
+    assert!(hits >= 12, "only {hits}/24 hits");
+    for (frame, results) in by_frame {
+        for r in &results {
+            assert_eq!(r, &results[0], "divergent results for frame {frame}");
+        }
+    }
+}
+
+#[test]
+fn recognition_labels_are_consistent_between_paths() {
+    let s = stack();
+    let mut c = client(&s);
+    let r = req(RequestKind::Recognition {
+        class: 5,
+        view_seed: 31,
+    });
+    let miss = c.execute(&r).unwrap();
+    let hit = c.execute(&r).unwrap();
+    assert_eq!(miss.path, Path::CloudMiss);
+    assert_eq!(hit.path, Path::EdgeHit);
+    match (&miss.result, &hit.result) {
+        (
+            coic::core::TaskResult::Recognition(a),
+            coic::core::TaskResult::Recognition(b),
+        ) => {
+            assert_eq!(a.label, 5);
+            assert_eq!(a.label, b.label);
+        }
+        other => panic!("unexpected results {other:?}"),
+    }
+}
+
+#[test]
+fn live_model_bytes_match_library() {
+    let s = stack();
+    let mut c = client(&s);
+    let out = c
+        .execute(&req(RequestKind::RenderLoad {
+            model_id: 9,
+            size_bytes: 120_000,
+        }))
+        .unwrap();
+    match out.result {
+        coic::core::TaskResult::Model(bytes) => {
+            let (expected, _) = s.models.get(9, 120_000);
+            assert_eq!(bytes, expected);
+            // And they parse into a drawable mesh.
+            let loaded = coic::render::load_cmf(&bytes).unwrap();
+            loaded.mesh.validate().unwrap();
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn edge_survives_garbage_frames() {
+    use coic::netsim::rt::FrameConn;
+    let s = stack();
+    // A malicious/buggy peer sends junk: the edge must drop the connection
+    // or ignore the frame, and keep serving well-behaved clients.
+    let mut evil = FrameConn::connect(s.edge.addr()).unwrap();
+    evil.send(b"this is not a coic message").unwrap();
+    let _ = evil.recv(); // whatever happens here must not poison the server
+    let mut evil2 = FrameConn::connect(s.edge.addr()).unwrap();
+    evil2.send(&[0xC0, 0x01, 99, 0, 0, 0, 0, 0, 0, 0, 0]).unwrap(); // bad tag
+    let _ = evil2.recv();
+
+    let mut good = client(&s);
+    let out = good
+        .execute(&req(RequestKind::Panorama { frame_id: 1 }))
+        .unwrap();
+    assert!(matches!(out.path, Path::CloudMiss | Path::EdgeHit));
+}
+
+#[test]
+fn upload_without_query_is_rejected_gracefully() {
+    use coic::core::{Msg, TaskRequest};
+    use coic::netsim::rt::FrameConn;
+    let s = stack();
+    // An Upload for a req_id the edge never saw: the pending-descriptor
+    // lookup fails and the connection closes; the server stays up.
+    let mut conn = FrameConn::connect(s.edge.addr()).unwrap();
+    let msg = Msg::Upload {
+        req_id: 0xDEAD_BEEF,
+        task: TaskRequest::Panorama { frame_id: 0 },
+    };
+    conn.send(&msg.encode()).unwrap();
+    let _ = conn.recv(); // closed or error — either is acceptable
+    let mut good = client(&s);
+    assert!(good.execute(&req(RequestKind::Panorama { frame_id: 2 })).is_ok());
+}
+
+#[test]
+fn hits_are_faster_than_misses_live() {
+    let s = stack();
+    let mut c = client(&s);
+    // A large model makes the gap unambiguous even on loopback.
+    let r = req(RequestKind::RenderLoad {
+        model_id: 1,
+        size_bytes: 4_000_000,
+    });
+    let miss = c.execute(&r).unwrap();
+    let hit = c.execute(&r).unwrap();
+    assert_eq!(miss.path, Path::CloudMiss);
+    assert_eq!(hit.path, Path::EdgeHit);
+    assert!(
+        hit.elapsed < miss.elapsed,
+        "hit {:?} should beat miss {:?}",
+        hit.elapsed,
+        miss.elapsed
+    );
+}

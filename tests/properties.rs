@@ -1,0 +1,512 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants across the workspace.
+
+use coic::cache::{
+    ApproxCache, ApproxLookup, CountMinSketch, Digest, ExactCache, IndexKind, PolicyKind, Store,
+    TinyLfuConfig,
+};
+use coic::core::{FeatureDescriptor, Msg, RecognitionResult, TaskRequest, TaskResult};
+use coic::netsim::{Link, LinkParams, SimDuration, SimTime, TxOutcome};
+use coic::render::{decode as cmf_decode, encode as cmf_encode, Mesh, Vertex};
+use coic::vision::{distance, FeatureVec, Image};
+use coic::workload::Zipf;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------- cache --
+
+proptest! {
+    /// A store never exceeds its byte capacity, whatever the operation mix.
+    #[test]
+    fn store_capacity_never_exceeded(
+        ops in prop::collection::vec((0u8..3, 0u64..40, 1u64..64), 1..200),
+        capacity in 64u64..512,
+    ) {
+        let mut store: Store<u64, u64> = Store::new(capacity, PolicyKind::Lru, None);
+        for (i, (op, key, size)) in ops.into_iter().enumerate() {
+            match op {
+                0 => { store.insert(key, key, size, i as u64); }
+                1 => { store.get(&key, i as u64); }
+                _ => { store.remove(&key); }
+            }
+            prop_assert!(store.used_bytes() <= capacity);
+        }
+    }
+
+    /// Whatever was inserted and not evicted/replaced is retrievable with
+    /// the exact value, under every policy.
+    #[test]
+    fn store_get_returns_last_inserted_value(
+        pairs in prop::collection::vec((0u64..20, 0u64..1000), 1..60),
+        policy_idx in 0usize..5,
+    ) {
+        let policy = PolicyKind::ALL[policy_idx];
+        // Capacity large enough that nothing is ever evicted.
+        let mut store: Store<u64, u64> = Store::new(1 << 20, policy, None);
+        let mut model = std::collections::HashMap::new();
+        for (i, (k, v)) in pairs.into_iter().enumerate() {
+            store.insert(k, v, 8, i as u64);
+            model.insert(k, v);
+        }
+        for (k, v) in model {
+            prop_assert_eq!(store.get(&k, u64::MAX / 2), Some(&v));
+        }
+    }
+
+    /// Eviction policies yield each live id exactly once when drained.
+    #[test]
+    fn policies_drain_each_id_once(
+        ids in prop::collection::btree_set(0u64..500, 1..80),
+        accesses in prop::collection::vec(0u64..500, 0..80),
+        policy_idx in 0usize..5,
+    ) {
+        let mut p = PolicyKind::ALL[policy_idx].build();
+        for &id in &ids {
+            p.on_insert(id, 1 + id % 97);
+        }
+        for a in accesses {
+            if ids.contains(&a) {
+                p.on_access(a);
+            }
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(v) = p.victim() {
+            prop_assert!(seen.insert(v), "duplicate victim {}", v);
+            p.on_remove(v);
+        }
+        prop_assert_eq!(seen, ids);
+    }
+
+    /// Exact cache: lookup(k) hits iff k was inserted and neither evicted
+    /// nor expired — with generous capacity, always.
+    #[test]
+    fn exact_cache_membership(keys in prop::collection::vec(any::<u64>(), 1..50)) {
+        let mut cache: ExactCache<u64> = ExactCache::new(1 << 20, PolicyKind::Lru, None);
+        for &k in &keys {
+            cache.insert(Digest::of(&k.to_le_bytes()), k, 16, 0);
+        }
+        for &k in &keys {
+            prop_assert_eq!(cache.lookup(&Digest::of(&k.to_le_bytes()), 1), Some(&k));
+        }
+        prop_assert_eq!(cache.lookup(&Digest::of(b"not a key"), 1), None);
+    }
+
+    /// Approximate cache: a query identical to a stored descriptor always
+    /// hits (distance 0 ≤ any positive threshold).
+    #[test]
+    fn approx_cache_self_hit(
+        vecs in prop::collection::vec(prop::collection::vec(-1.0f32..1.0, 8), 1..30),
+        threshold in 0.01f32..2.0,
+    ) {
+        let mut cache: ApproxCache<usize> =
+            ApproxCache::new(1 << 20, PolicyKind::Lru, threshold, IndexKind::Linear, 8);
+        let vecs: Vec<FeatureVec> = vecs.into_iter().map(FeatureVec::new).collect();
+        for (i, v) in vecs.iter().enumerate() {
+            cache.insert(v.clone(), i, 32, 0);
+        }
+        for v in &vecs {
+            match cache.lookup(v, 1) {
+                ApproxLookup::Hit { distance, .. } => prop_assert!(distance <= 1e-6),
+                miss => prop_assert!(false, "self-query missed: {:?}", miss),
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Count-min estimates are one-sided: never below the true count
+    /// (before any aging pass).
+    #[test]
+    fn sketch_never_undercounts(
+        keys in prop::collection::vec(0u64..64, 1..300),
+    ) {
+        let mut sketch = CountMinSketch::new(512, 4, u64::MAX);
+        let mut truth = std::collections::HashMap::new();
+        for k in keys {
+            sketch.increment(k);
+            *truth.entry(k).or_insert(0u32) += 1;
+        }
+        for (k, count) in truth {
+            prop_assert!(sketch.estimate(k) >= count.min(255));
+        }
+    }
+
+    /// A store with TinyLFU admission still never exceeds capacity and
+    /// still returns correct values for whatever it holds.
+    #[test]
+    fn admission_store_stays_consistent(
+        ops in prop::collection::vec((0u64..30, 1u64..40), 1..150),
+        capacity in 64u64..256,
+    ) {
+        let mut store: Store<u64, u64> =
+            Store::new(capacity, PolicyKind::Lru, None).with_admission(TinyLfuConfig::default());
+        for (i, (key, size)) in ops.into_iter().enumerate() {
+            store.insert(key, key * 7, size, i as u64);
+            prop_assert!(store.used_bytes() <= capacity);
+            if let Some(&v) = store.get(&key, i as u64) {
+                prop_assert_eq!(v, key * 7);
+            }
+        }
+    }
+
+    /// CSV trace round-trip for arbitrary traces.
+    #[test]
+    fn trace_csv_round_trip(
+        rows in prop::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u64>(), 0u8..3, any::<u64>(), any::<u64>()),
+            0..60,
+        ),
+    ) {
+        use coic::workload::{Request, RequestKind, UserId, ZoneId};
+        let trace: Vec<Request> = rows
+            .into_iter()
+            .map(|(user, zone, at_ns, kind, a, b)| Request {
+                user: UserId(user),
+                zone: ZoneId(zone),
+                at_ns,
+                kind: match kind {
+                    0 => RequestKind::Recognition {
+                        class: a as u32,
+                        view_seed: b,
+                    },
+                    1 => RequestKind::RenderLoad {
+                        model_id: a,
+                        size_bytes: b,
+                    },
+                    _ => RequestKind::Panorama { frame_id: a },
+                },
+            })
+            .collect();
+        let csv = coic::workload::to_csv(&trace);
+        let back = coic::workload::from_csv(&csv).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    /// Parsing arbitrary text never panics.
+    #[test]
+    fn trace_csv_parse_never_panics(junk in ".{0,300}") {
+        let _ = coic::workload::from_csv(&junk);
+    }
+
+    /// Panorama viewport crops are always well-formed for any look
+    /// direction and sane FOV.
+    #[test]
+    fn panorama_crop_total(
+        yaw in -10.0f64..10.0,
+        pitch in -1.5f64..1.5,
+        fov in 0.2f64..3.0,
+        frame in any::<u64>(),
+    ) {
+        use coic::render::Panorama;
+        let p = Panorama::synthesize(frame, 32);
+        let crop = p.crop_viewport(yaw, pitch, fov, 16, 9);
+        prop_assert_eq!(crop.len(), 16 * 9);
+    }
+
+    /// The adaptive controller's threshold always stays within bounds and
+    /// its stride sampler matches the configured rate over long runs.
+    #[test]
+    fn adaptive_controller_invariants(
+        outcomes in prop::collection::vec(any::<bool>(), 0..500),
+        rate in 0.0f64..1.0,
+    ) {
+        use coic::core::{AdaptiveConfig, AdaptiveThreshold};
+        let cfg = AdaptiveConfig {
+            shadow_rate: rate,
+            ..AdaptiveConfig::default()
+        };
+        let mut ctl = AdaptiveThreshold::new(0.5, cfg);
+        let mut sampled = 0usize;
+        let n = 1000;
+        for _ in 0..n {
+            if ctl.should_shadow() {
+                sampled += 1;
+            }
+        }
+        let expect = (rate * n as f64) as isize;
+        prop_assert!((sampled as isize - expect).abs() <= 1);
+        for o in outcomes {
+            ctl.record(o);
+            let t = ctl.threshold();
+            prop_assert!((cfg.min_threshold..=cfg.max_threshold).contains(&t));
+        }
+    }
+}
+
+// ------------------------------------------------------------- protocol --
+
+fn arb_descriptor() -> impl Strategy<Value = FeatureDescriptor> {
+    prop_oneof![
+        prop::collection::vec(-10.0f32..10.0, 0..64)
+            .prop_map(|v| FeatureDescriptor::Dnn(FeatureVec::new(v))),
+        any::<[u8; 32]>().prop_map(|b| FeatureDescriptor::ModelHash(Digest(b))),
+        any::<[u8; 32]>().prop_map(|b| FeatureDescriptor::PanoramaHash(Digest(b))),
+    ]
+}
+
+fn arb_task() -> impl Strategy<Value = TaskRequest> {
+    prop_oneof![
+        (1u32..12, 1u32..12, any::<u8>()).prop_map(|(w, h, fill)| TaskRequest::Recognition {
+            image: Image::new(w, h, fill)
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(model_id, size_bytes)| {
+            TaskRequest::RenderLoad {
+                model_id,
+                size_bytes,
+            }
+        }),
+        any::<u64>().prop_map(|frame_id| TaskRequest::Panorama { frame_id }),
+    ]
+}
+
+fn arb_result() -> impl Strategy<Value = TaskResult> {
+    prop_oneof![
+        (any::<u32>(), -10.0f32..10.0).prop_map(|(label, distance)| {
+            TaskResult::Recognition(RecognitionResult { label, distance })
+        }),
+        prop::collection::vec(any::<u8>(), 0..200)
+            .prop_map(|b| TaskResult::Model(bytes::Bytes::from(b))),
+        prop::collection::vec(any::<u8>(), 0..200)
+            .prop_map(|b| TaskResult::Panorama(bytes::Bytes::from(b))),
+    ]
+}
+
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (any::<u64>(), arb_descriptor(), prop::option::of(arb_task()))
+            .prop_map(|(req_id, descriptor, hint)| Msg::Query {
+                req_id,
+                descriptor,
+                hint
+            }),
+        (any::<u64>(), arb_result()).prop_map(|(req_id, result)| Msg::Hit { req_id, result }),
+        any::<u64>().prop_map(|req_id| Msg::NeedPayload { req_id }),
+        (any::<u64>(), arb_task()).prop_map(|(req_id, task)| Msg::Upload { req_id, task }),
+        (any::<u64>(), arb_task()).prop_map(|(req_id, task)| Msg::Forward { req_id, task }),
+        (any::<u64>(), arb_result())
+            .prop_map(|(req_id, result)| Msg::CloudReply { req_id, result }),
+        (any::<u64>(), arb_result()).prop_map(|(req_id, result)| Msg::Result { req_id, result }),
+        (any::<u64>(), arb_task())
+            .prop_map(|(req_id, task)| Msg::BaselineRequest { req_id, task }),
+        (any::<u64>(), arb_result())
+            .prop_map(|(req_id, result)| Msg::BaselineReply { req_id, result }),
+    ]
+}
+
+proptest! {
+    /// Codec round-trip for arbitrary messages, and encoded_len is exact.
+    #[test]
+    fn protocol_round_trip(msg in arb_msg()) {
+        let bytes = msg.encode();
+        prop_assert_eq!(bytes.len() as u64, msg.encoded_len());
+        let back = Msg::decode(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Decoding arbitrary junk never panics (errors are fine).
+    #[test]
+    fn protocol_decode_never_panics(junk in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Msg::decode(&junk);
+    }
+
+    /// Truncating a valid message never decodes successfully.
+    #[test]
+    fn protocol_truncation_always_detected(msg in arb_msg(), cut in 0usize..100) {
+        let bytes = msg.encode();
+        if cut < bytes.len() {
+            prop_assert!(Msg::decode(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+// ------------------------------------------------------------------ cmf --
+
+fn arb_mesh() -> impl Strategy<Value = Mesh> {
+    (
+        "[a-z]{0,12}",
+        prop::collection::vec((-10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0), 3..40),
+        1usize..20,
+    )
+        .prop_map(|(name, positions, tris)| {
+            let n = positions.len() as u32;
+            let vertices: Vec<Vertex> = positions
+                .into_iter()
+                .map(|(x, y, z)| Vertex {
+                    pos: coic::render::Vec3::new(x, y, z),
+                    normal: coic::render::Vec3::new(0.0, 1.0, 0.0),
+                })
+                .collect();
+            let indices: Vec<u32> = (0..tris)
+                .flat_map(|t| {
+                    let t = t as u32;
+                    [t % n, (t + 1) % n, (t + 2) % n]
+                })
+                .collect();
+            Mesh::new(name, vertices, indices)
+        })
+}
+
+proptest! {
+    /// CMF round-trips arbitrary valid meshes bit-exactly.
+    #[test]
+    fn cmf_round_trip(mesh in arb_mesh()) {
+        let bytes = cmf_encode(&mesh);
+        let back = cmf_decode(&bytes).unwrap();
+        prop_assert_eq!(back, mesh);
+    }
+
+    /// CMF decode never panics on junk.
+    #[test]
+    fn cmf_decode_never_panics(junk in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = cmf_decode(&junk);
+    }
+}
+
+// ------------------------------------------------------------- distance --
+
+proptest! {
+    /// Metric axioms for L2 on arbitrary vectors.
+    #[test]
+    fn l2_metric_axioms(
+        a in prop::collection::vec(-100.0f32..100.0, 8),
+        b in prop::collection::vec(-100.0f32..100.0, 8),
+        c in prop::collection::vec(-100.0f32..100.0, 8),
+    ) {
+        let (a, b, c) = (FeatureVec::new(a), FeatureVec::new(b), FeatureVec::new(c));
+        prop_assert!(distance::l2(&a, &a) <= 1e-3);
+        prop_assert!((distance::l2(&a, &b) - distance::l2(&b, &a)).abs() <= 1e-3);
+        // Triangle inequality with float slack.
+        prop_assert!(
+            distance::l2(&a, &c) <= distance::l2(&a, &b) + distance::l2(&b, &c) + 1e-2
+        );
+    }
+
+    /// Cosine distance stays in [0, 2].
+    #[test]
+    fn cosine_bounded(
+        a in prop::collection::vec(-100.0f32..100.0, 8),
+        b in prop::collection::vec(-100.0f32..100.0, 8),
+    ) {
+        let d = distance::cosine(&FeatureVec::new(a), &FeatureVec::new(b));
+        prop_assert!((0.0..=2.0).contains(&d));
+    }
+}
+
+// ----------------------------------------------------------------- simrun --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// The simulation driver completes every request (or counts an explicit
+    /// failure) and reproduces exactly, across the whole configuration
+    /// space: modes, tiers, edges, peer lookup, prefetch, shaping, loss.
+    #[test]
+    fn simrun_total_and_deterministic(
+        mode_coic in any::<bool>(),
+        edge_tier in any::<bool>(),
+        edges in 1u32..3,
+        peer_lookup in any::<bool>(),
+        prefetch in 0u32..3,
+        loss_pct in 0u32..6,
+        shape in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        use coic::core::simrun::{run, ExecTier, Mode, SimConfig};
+        use coic::workload::{Population, SafeDrivingAr, VrVideo, ZoneModel};
+
+        let mut trace = SafeDrivingAr {
+            population: Population::round_robin(4, edges),
+            zones: ZoneModel::new(edges, 6, 0.5, 3),
+            rate_per_sec: 5.0,
+            zipf_s: 0.8,
+            total_requests: 8,
+        }
+        .generate(seed);
+        trace.extend(
+            VrVideo {
+                population: Population::round_robin(4, edges),
+                frame_interval_ns: 200_000_000,
+                max_start_skew_frames: 1,
+                user_stagger_ns: 10_000_000,
+                frames_per_user: 2,
+            }
+            .generate(seed),
+        );
+        trace.sort_by_key(|r| r.at_ns);
+
+        let cfg = SimConfig {
+            mode: if mode_coic { Mode::CoIc } else { Mode::Origin },
+            exec_tier: if edge_tier { ExecTier::Edge } else { ExecTier::Cloud },
+            num_clients: 4,
+            num_edges: edges,
+            peer_lookup,
+            prefetch_depth: prefetch,
+            access_loss: loss_pct as f64 / 100.0,
+            request_timeout_ms: 2_000,
+            max_retries: 6,
+            client_shaper: shape.then_some((20.0, 256 * 1024)),
+            seed,
+            ..SimConfig::default()
+        };
+        let n = trace.len();
+        let a = run(&trace, &cfg);
+        prop_assert_eq!(a.completed as u64 + a.failed, n as u64);
+        let b = run(&trace, &cfg);
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(a.edge_hits, b.edge_hits);
+        prop_assert_eq!(a.wan_bytes, b.wan_bytes);
+    }
+}
+
+// ----------------------------------------------------------------- misc --
+
+proptest! {
+    /// Zipf samples stay in range and the pmf is a distribution.
+    #[test]
+    fn zipf_is_a_distribution(n in 1usize..200, s in 0.0f64..3.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Links deliver in FIFO order without jitter, regardless of sizes.
+    #[test]
+    fn link_fifo_order(sizes in prop::collection::vec(1u64..100_000, 1..40)) {
+        let mut link = Link::new(LinkParams::mbps_ms(50.0, 7));
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut last = SimTime::ZERO;
+        for s in sizes {
+            match link.transmit(SimTime::ZERO, s, &mut rng) {
+                TxOutcome::Delivered(t) => {
+                    prop_assert!(t >= last);
+                    last = t;
+                }
+                other => prop_assert!(false, "unexpected {:?}", other),
+            }
+        }
+    }
+
+    /// Serialization delay is additive: t(a) + t(b) == t(a+b) within 1 ns
+    /// rounding per call.
+    #[test]
+    fn serialization_additive(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let p = LinkParams::mbps_ms(123.0, 0);
+        let lhs = p.serialization_delay(a) + p.serialization_delay(b);
+        let rhs = p.serialization_delay(a + b);
+        let diff = lhs.as_nanos().abs_diff(rhs.as_nanos());
+        prop_assert!(diff <= 2, "diff {} ns", diff);
+    }
+
+    /// SimTime/SimDuration arithmetic is consistent.
+    #[test]
+    fn time_arithmetic_consistent(a in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(a);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((t + dur) - t, dur);
+        prop_assert_eq!((t + dur).saturating_since(t + dur), SimDuration::ZERO);
+    }
+}
