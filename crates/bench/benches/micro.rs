@@ -61,7 +61,10 @@ fn bench_approx_cache(c: &mut Criterion) {
             1 << 30,
             PolicyKind::Lru,
             0.3,
-            IndexKind::Lsh { tables: 8, bits: 10 },
+            IndexKind::Lsh {
+                tables: 8,
+                bits: 10,
+            },
             32,
         );
         for i in 0..n {

@@ -32,8 +32,18 @@ fn main() {
     let clf = PrototypeClassifier::train(&net, &gen, &classes, 5, 0.10, 5.0, &mut rng);
 
     let phases = [
-        Phase { label: "moderate scene", requests: 400, angle_spread: 0.10, noise: 5.0 },
-        Phase { label: "harder scene", requests: 400, angle_spread: 0.30, noise: 12.0 },
+        Phase {
+            label: "moderate scene",
+            requests: 400,
+            angle_spread: 0.10,
+            noise: 5.0,
+        },
+        Phase {
+            label: "harder scene",
+            requests: 400,
+            angle_spread: 0.30,
+            noise: 12.0,
+        },
     ];
 
     for fixed in [true, false] {
@@ -51,7 +61,11 @@ fn main() {
         println!(
             "\n{} threshold (start 0.90{}):",
             if fixed { "FIXED" } else { "ADAPTIVE" },
-            if fixed { "" } else { ", target accuracy 95%, 30% shadow rate" }
+            if fixed {
+                ""
+            } else {
+                ", target accuracy 95%, 30% shadow rate"
+            }
         );
         println!(
             "{:>16} {:>6} | {:>9} {:>6} {:>9}",
@@ -86,7 +100,10 @@ fn main() {
                         let (label, distance) = clf.predict(&d);
                         cache.insert(
                             d,
-                            RecognitionResult { label: label.0, distance },
+                            RecognitionResult {
+                                label: label.0,
+                                distance,
+                            },
                             20_000,
                             i as u64,
                         );

@@ -76,7 +76,10 @@ fn main() {
         "deployment", "hit%", "mean-lat", "WAN MB", "accuracy"
     );
     coic_bench::rule(68);
-    for (label, report) in [("per-app caches", &isolated), ("shared CoIC cache", &shared)] {
+    for (label, report) in [
+        ("per-app caches", &isolated),
+        ("shared CoIC cache", &shared),
+    ] {
         println!(
             "{:<22} | {:>5.1}% | {:>7.1} ms | {:>8.2} | {:>8.1}%",
             label,

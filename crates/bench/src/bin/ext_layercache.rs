@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run --release -p coic-bench --bin ext_layercache`
 
+use coic_cache::PolicyKind;
 use coic_core::layercache::LayerCache;
 use coic_core::ComputeConfig;
-use coic_cache::PolicyKind;
 use coic_vision::{ObjectClass, PrototypeClassifier, SceneGenerator, SimNet, ViewParams};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};

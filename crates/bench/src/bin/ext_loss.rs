@@ -21,10 +21,10 @@ fn main() {
     println!("Ext H — access-link loss sweep (120 recognition requests,");
     println!("1 s timeout, up to 6 retries)\n");
     println!(
-        "{:>6} | {:>11} {:>8} | {:>11} {:>8} | {:>10}",
-        "loss", "origin-mean", "failed", "coic-mean", "failed", "reduction"
+        "{:>6} | {:>11} {:>6} {:>8} | {:>11} {:>6} {:>8} | {:>10}",
+        "loss", "origin-mean", "retx", "failed", "coic-mean", "retx", "failed", "reduction"
     );
-    coic_bench::rule(66);
+    coic_bench::rule(80);
     for loss in [0.0f64, 0.01, 0.03, 0.05, 0.10, 0.20] {
         let mk = |mode| SimConfig {
             mode,
@@ -35,19 +35,20 @@ fn main() {
         };
         let origin = run(&trace, &mk(Mode::Origin));
         let coic = run(&trace, &mk(Mode::CoIc));
-        let red =
-            coic_core::reduction_percent(origin.mean_latency_ms(), coic.mean_latency_ms());
+        let red = coic_core::reduction_percent(origin.mean_latency_ms(), coic.mean_latency_ms());
         println!(
-            "{:>5.0}% | {:>8.1} ms {:>8} | {:>8.1} ms {:>8} | {:>9.2}%",
+            "{:>5.0}% | {:>8.1} ms {:>6} {:>8} | {:>8.1} ms {:>6} {:>8} | {:>9.2}%",
             loss * 100.0,
             origin.mean_latency_ms(),
+            origin.retries,
             origin.failed,
             coic.mean_latency_ms(),
+            coic.retries,
             coic.failed,
             red
         );
     }
-    coic_bench::rule(66);
+    coic_bench::rule(80);
     println!("Retries mask loss at low rates, but CoIC's 4-message miss path is");
     println!("more loss-exposed than the baseline's 2-message offload: past a few");
     println!("percent end-to-end loss the extra round trips outweigh the bandwidth");

@@ -20,7 +20,12 @@ fn main() {
         ("static 400 Mbps", vec![]),
         (
             "mild fade (400⇄100)",
-            vec![(2_000, 100.0), (4_000, 400.0), (6_000, 100.0), (8_000, 400.0)],
+            vec![
+                (2_000, 100.0),
+                (4_000, 400.0),
+                (6_000, 100.0),
+                (8_000, 400.0),
+            ],
         ),
         (
             "deep fade (400⇄20)",
@@ -46,8 +51,7 @@ fn main() {
         };
         let mut origin = run(&trace, &mk(Mode::Origin));
         let mut coic = run(&trace, &mk(Mode::CoIc));
-        let red =
-            coic_core::reduction_percent(origin.mean_latency_ms(), coic.mean_latency_ms());
+        let red = coic_core::reduction_percent(origin.mean_latency_ms(), coic.mean_latency_ms());
         println!(
             "{:<24} | {:>8.1} ms {:>7.1} ms | {:>8.1} ms {:>7.1} ms | {:>8.2}%",
             label,

@@ -10,7 +10,9 @@
 use coic_cache::{ApproxCache, ApproxLookup, Digest, IndexKind, PolicyKind};
 use coic_core::privacy::{perturb, quantize, salted_digest};
 use coic_core::RecognitionResult;
-use coic_vision::{FeatureVec, ObjectClass, PrototypeClassifier, SceneGenerator, SimNet, ViewParams};
+use coic_vision::{
+    FeatureVec, ObjectClass, PrototypeClassifier, SceneGenerator, SimNet, ViewParams,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -112,7 +114,10 @@ fn main() {
     let same_a2 = salted_digest(&content, b"domain-A");
     let other_b = salted_digest(&content, b"domain-B");
     println!("  same salt  → keys equal: {}", same_a == same_a2);
-    println!("  cross salt → keys equal: {}  (sharing blocked across domains)", same_a == other_b);
+    println!(
+        "  cross salt → keys equal: {}  (sharing blocked across domains)",
+        same_a == other_b
+    );
     println!("\nModerate quantization (8–4 bits) is nearly free; heavy noise");
     println!("destroys the neighbourhood structure the cache depends on.");
 }

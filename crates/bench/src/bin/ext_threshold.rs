@@ -37,8 +37,7 @@ fn main() {
         let mut cfg = base_config();
         cfg.edge.threshold = threshold;
         let coic = run(&trace, &cfg);
-        let red =
-            coic_core::reduction_percent(origin.mean_latency_ms(), coic.mean_latency_ms());
+        let red = coic_core::reduction_percent(origin.mean_latency_ms(), coic.mean_latency_ms());
         println!(
             "{:>9.2} | {:>5.1}% {:>8.1}% {:>7.1} ms | {:>9.2}%",
             threshold,
@@ -49,7 +48,10 @@ fn main() {
         );
     }
     coic_bench::rule(58);
-    println!("* latency reduction vs the origin baseline ({:.1} ms mean)", origin.mean_latency_ms());
+    println!(
+        "* latency reduction vs the origin baseline ({:.1} ms mean)",
+        origin.mean_latency_ms()
+    );
     println!("\nLoose thresholds trade accuracy for hit ratio; the default (0.45)");
     println!("sits before the accuracy knee.");
 
@@ -75,7 +77,10 @@ fn main() {
                 let (label, distance) = clf.predict(&d);
                 cache.insert(
                     d,
-                    RecognitionResult { label: label.0, distance },
+                    RecognitionResult {
+                        label: label.0,
+                        distance,
+                    },
                     20_000,
                     i,
                 );
@@ -87,6 +92,9 @@ fn main() {
         cm.accuracy() * 100.0
     );
     for (t, p, n) in cm.top_confusions(4) {
-        println!("  object {:>2} served as object {:>2} on {n} hits", t.0, p.0);
+        println!(
+            "  object {:>2} served as object {:>2} on {n} hits",
+            t.0, p.0
+        );
     }
 }

@@ -60,10 +60,7 @@ pub fn vr_trace(viewers: u32, frames: usize, stagger_ms: u64, seed: u64) -> Vec<
 }
 
 /// Run one trace under origin and CoIC with the given network condition.
-pub fn run_pair(
-    trace: &[Request],
-    base: &SimConfig,
-) -> (QoeReport, QoeReport, f64) {
+pub fn run_pair(trace: &[Request], base: &SimConfig) -> (QoeReport, QoeReport, f64) {
     coic_core::simrun::compare(trace, base)
 }
 
@@ -90,14 +87,38 @@ impl NetCondition {
 /// The grid of network conditions Fig. 2a sweeps: the paper's WiFi supports
 /// up to 400 Mbps and `tc` throttles both segments.
 pub const FIG2A_CONDITIONS: [NetCondition; 8] = [
-    NetCondition { access_mbps: 400.0, wan_mbps: 100.0 },
-    NetCondition { access_mbps: 400.0, wan_mbps: 50.0 },
-    NetCondition { access_mbps: 400.0, wan_mbps: 20.0 },
-    NetCondition { access_mbps: 400.0, wan_mbps: 10.0 },
-    NetCondition { access_mbps: 100.0, wan_mbps: 50.0 },
-    NetCondition { access_mbps: 100.0, wan_mbps: 10.0 },
-    NetCondition { access_mbps: 50.0, wan_mbps: 10.0 },
-    NetCondition { access_mbps: 50.0, wan_mbps: 5.0 },
+    NetCondition {
+        access_mbps: 400.0,
+        wan_mbps: 100.0,
+    },
+    NetCondition {
+        access_mbps: 400.0,
+        wan_mbps: 50.0,
+    },
+    NetCondition {
+        access_mbps: 400.0,
+        wan_mbps: 20.0,
+    },
+    NetCondition {
+        access_mbps: 400.0,
+        wan_mbps: 10.0,
+    },
+    NetCondition {
+        access_mbps: 100.0,
+        wan_mbps: 50.0,
+    },
+    NetCondition {
+        access_mbps: 100.0,
+        wan_mbps: 10.0,
+    },
+    NetCondition {
+        access_mbps: 50.0,
+        wan_mbps: 10.0,
+    },
+    NetCondition {
+        access_mbps: 50.0,
+        wan_mbps: 5.0,
+    },
 ];
 
 /// Default experiment config: the paper testbed, 4 clients.

@@ -272,7 +272,10 @@ mod tests {
     #[test]
     fn empty_cache_misses_without_nearest() {
         let mut c = cache(0.5);
-        assert_eq!(c.lookup(&v(&[0.0, 0.0]), 0), ApproxLookup::Miss { nearest: None });
+        assert_eq!(
+            c.lookup(&v(&[0.0, 0.0]), 0),
+            ApproxLookup::Miss { nearest: None }
+        );
     }
 
     #[test]
@@ -290,8 +293,14 @@ mod tests {
             other => panic!("expected miss, got {other:?}"),
         }
         // The survivors still hit.
-        assert!(matches!(c.lookup(&v(&[10.0, 0.0]), 0), ApproxLookup::Hit { .. }));
-        assert!(matches!(c.lookup(&v(&[20.0, 0.0]), 0), ApproxLookup::Hit { .. }));
+        assert!(matches!(
+            c.lookup(&v(&[10.0, 0.0]), 0),
+            ApproxLookup::Hit { .. }
+        ));
+        assert!(matches!(
+            c.lookup(&v(&[20.0, 0.0]), 0),
+            ApproxLookup::Hit { .. }
+        ));
     }
 
     #[test]
@@ -300,7 +309,10 @@ mod tests {
             ApproxCache::new(50, PolicyKind::Lru, 0.5, IndexKind::Linear, 2);
         c.insert(v(&[1.0, 1.0]), 9, 1_000, 0); // larger than capacity
         assert_eq!(c.len(), 0);
-        assert_eq!(c.lookup(&v(&[1.0, 1.0]), 0), ApproxLookup::Miss { nearest: None });
+        assert_eq!(
+            c.lookup(&v(&[1.0, 1.0]), 0),
+            ApproxLookup::Miss { nearest: None }
+        );
     }
 
     #[test]
@@ -320,8 +332,13 @@ mod tests {
         // small angular perturbations as queries (which is exactly what
         // SimNet's unit-norm embeddings look like).
         let mut lin = cache(0.3);
-        let mut lsh: ApproxCache<&'static str> =
-            ApproxCache::new(10_000, PolicyKind::Lru, 0.3, IndexKind::Lsh { tables: 8, bits: 6 }, 2);
+        let mut lsh: ApproxCache<&'static str> = ApproxCache::new(
+            10_000,
+            PolicyKind::Lru,
+            0.3,
+            IndexKind::Lsh { tables: 8, bits: 6 },
+            2,
+        );
         let stored = [
             ([1.0f32, 0.0], "east"),
             ([0.0, 1.0], "north"),
@@ -352,8 +369,14 @@ mod tests {
         assert_eq!(removed, 2);
         assert_eq!(c.len(), 2);
         // Coverage preserved: queries near the merged cluster still hit.
-        assert!(matches!(c.lookup(&v(&[1.0, 0.05]), 4), ApproxLookup::Hit { .. }));
-        assert!(matches!(c.lookup(&v(&[0.0, 1.0]), 5), ApproxLookup::Hit { .. }));
+        assert!(matches!(
+            c.lookup(&v(&[1.0, 0.05]), 4),
+            ApproxLookup::Hit { .. }
+        ));
+        assert!(matches!(
+            c.lookup(&v(&[0.0, 1.0]), 5),
+            ApproxLookup::Hit { .. }
+        ));
     }
 
     #[test]

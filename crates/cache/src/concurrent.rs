@@ -67,9 +67,7 @@ impl<V: Clone> SharedApproxCache<V> {
     pub fn lookup(&self, query: &FeatureVec, now_ns: u64) -> Option<(V, f32)> {
         let mut guard = self.inner.lock();
         match guard.lookup(query, now_ns) {
-            ApproxLookup::Hit { id, distance } => {
-                guard.value(id).cloned().map(|v| (v, distance))
-            }
+            ApproxLookup::Hit { id, distance } => guard.value(id).cloned().map(|v| (v, distance)),
             ApproxLookup::Miss { .. } => None,
         }
     }

@@ -166,7 +166,9 @@ mod tests {
             "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
         );
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }
@@ -200,7 +202,10 @@ mod tests {
         assert_eq!(d.to_hex().len(), 64);
         assert_eq!(d, Digest::of(b"hello"));
         assert_ne!(d, Digest::of(b"hello!"));
-        assert_eq!(d.short(), u64::from_be_bytes(d.as_bytes()[..8].try_into().unwrap()));
+        assert_eq!(
+            d.short(),
+            u64::from_be_bytes(d.as_bytes()[..8].try_into().unwrap())
+        );
         assert!(format!("{d}").ends_with('…'));
     }
 

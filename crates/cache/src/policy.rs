@@ -144,7 +144,7 @@ impl EvictionPolicy for Fifo {
 #[derive(Default)]
 pub struct Lfu {
     tick: u64,
-    by_id: HashMap<u64, (u64, u64)>, // id -> (count, tick)
+    by_id: HashMap<u64, (u64, u64)>,    // id -> (count, tick)
     ordered: BTreeSet<(u64, u64, u64)>, // (count, tick, id)
 }
 
@@ -353,7 +353,7 @@ mod tests {
         p.on_insert(1, 10);
         p.on_insert(2, 10);
         p.on_access(1); // 1 promoted to protected
-        // 2 is on probation, so it goes first even though 1 is older.
+                        // 2 is on probation, so it goes first even though 1 is older.
         assert_eq!(p.victim(), Some(2));
         p.on_remove(2);
         // Probation empty: protected supplies the victim.

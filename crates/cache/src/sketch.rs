@@ -30,12 +30,17 @@ impl CountMinSketch {
     /// # Panics
     /// Panics if any parameter is zero.
     pub fn new(width: usize, depth: usize, window: u64) -> Self {
-        assert!(width > 0 && depth > 0 && window > 0, "sketch parameters must be positive");
+        assert!(
+            width > 0 && depth > 0 && window > 0,
+            "sketch parameters must be positive"
+        );
         let width = width.next_power_of_two();
         CountMinSketch {
             width,
             rows: vec![vec![0u8; width]; depth],
-            seeds: (0..depth as u64).map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1)).collect(),
+            seeds: (0..depth as u64)
+                .map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1))
+                .collect(),
             additions: 0,
             window,
         }
@@ -124,7 +129,11 @@ mod tests {
         }
         let hot = s.estimate(1);
         for k in 100..150u64 {
-            assert!(hot > s.estimate(k) * 10, "hot {hot} vs cold {}", s.estimate(k));
+            assert!(
+                hot > s.estimate(k) * 10,
+                "hot {hot} vs cold {}",
+                s.estimate(k)
+            );
         }
     }
 

@@ -172,9 +172,7 @@ impl<K: Hash + Eq + Clone, V> Store<K, V> {
             if let Some(adm) = &self.admission {
                 // TinyLFU gate: the newcomer must be warmer than the entry
                 // it would displace, else it is turned away at the door.
-                let victim_hash = key_hash(
-                    &self.entries.get(&victim).expect("victim exists").key,
-                );
+                let victim_hash = key_hash(&self.entries.get(&victim).expect("victim exists").key);
                 if !adm.admit(candidate_hash, victim_hash) {
                     self.stats.admission_rejects += 1;
                     return evicted;

@@ -75,7 +75,8 @@ impl Args {
 
     /// A required string flag.
     pub fn require(&self, name: &str) -> Result<&str, ArgError> {
-        self.get(name).ok_or_else(|| ArgError::Required(name.into()))
+        self.get(name)
+            .ok_or_else(|| ArgError::Required(name.into()))
     }
 
     /// A numeric flag with a default.
@@ -145,7 +146,10 @@ mod tests {
     #[test]
     fn required_flags() {
         let a = parse("x").unwrap();
-        assert_eq!(a.require("out").unwrap_err(), ArgError::Required("out".into()));
+        assert_eq!(
+            a.require("out").unwrap_err(),
+            ArgError::Required("out".into())
+        );
         assert!(a.num_required::<u64>("n").is_err());
     }
 }

@@ -30,8 +30,9 @@ pub fn trace_gen(args: &Args) -> CmdResult {
         .generate(seed),
         "arena" => {
             let model_kb: u64 = args.num("model-kb", 2048)?;
-            let models: Vec<(u64, u64)> =
-                (0..args.num("models", 8)?).map(|i| (i, model_kb * 1024)).collect();
+            let models: Vec<(u64, u64)> = (0..args.num("models", 8)?)
+                .map(|i| (i, model_kb * 1024))
+                .collect();
             ArenaMultiplayer {
                 population: Population::colocated(users, ZoneId(0)),
                 models,
@@ -132,7 +133,11 @@ pub fn sim(args: &Args) -> CmdResult {
     let cfg = sim_config(args)?;
     let mut report = sim_run(&trace, &cfg);
     Ok(report_text(
-        if cfg.mode == Mode::CoIc { "coic" } else { "origin" },
+        if cfg.mode == Mode::CoIc {
+            "coic"
+        } else {
+            "origin"
+        },
         &mut report,
     ))
 }
@@ -229,7 +234,11 @@ pub fn hash(args: &Args) -> CmdResult {
     let path = args.require("in")?;
     let bytes = std::fs::read(path)?;
     let digest = coic_cache::Digest::of(&bytes);
-    Ok(format!("{}  {path} ({} bytes)", digest.to_hex(), bytes.len()))
+    Ok(format!(
+        "{}  {path} ({} bytes)",
+        digest.to_hex(),
+        bytes.len()
+    ))
 }
 
 // ------------------------------------------------------------------- pano --
@@ -260,7 +269,9 @@ pub fn pano_crop(args: &Args) -> CmdResult {
     let pano = coic_render::Panorama::synthesize(frame, 256);
     let crop = pano.crop_viewport(yaw, pitch, fov, w, h);
     coic_render::write_pgm(out, w, h, &crop)?;
-    Ok(format!("wrote {w}×{h} viewport (yaw {yaw}, pitch {pitch}) to {out}"))
+    Ok(format!(
+        "wrote {w}×{h} viewport (yaw {yaw}, pitch {pitch}) to {out}"
+    ))
 }
 
 #[cfg(test)]
@@ -307,13 +318,11 @@ mod tests {
     fn model_gen_info_render_pipeline() {
         let cmf = tmp("m.cmf");
         let pgm = tmp("m.pgm");
-        let msg =
-            model_gen(&args(&format!("--size-bytes 120000 --out {cmf} --seed 5"))).unwrap();
+        let msg = model_gen(&args(&format!("--size-bytes 120000 --out {cmf} --seed 5"))).unwrap();
         assert!(msg.contains("vertices"));
         let info = model_info(&args(&format!("--in {cmf}"))).unwrap();
         assert!(info.contains("sha256"));
-        let rendered =
-            model_render(&args(&format!("--in {cmf} --out {pgm} --size 64"))).unwrap();
+        let rendered = model_render(&args(&format!("--in {cmf} --out {pgm} --size 64"))).unwrap();
         assert!(rendered.contains("rendered"));
         let (w, h, _) = coic_render::decode_pgm(&std::fs::read(&pgm).unwrap()).unwrap();
         assert_eq!((w, h), (64, 64));
@@ -355,7 +364,10 @@ mod tests {
     fn bad_app_and_mode_errors() {
         let path = tmp("t3.csv");
         assert!(trace_gen(&args(&format!("--app nope --out {path}"))).is_err());
-        trace_gen(&args(&format!("--app vrvideo --out {path} --users 2 --frames 5"))).unwrap();
+        trace_gen(&args(&format!(
+            "--app vrvideo --out {path} --users 2 --frames 5"
+        )))
+        .unwrap();
         assert!(sim(&args(&format!("--in {path} --mode warp"))).is_err());
     }
 }

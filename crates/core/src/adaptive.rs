@@ -171,18 +171,36 @@ mod tests {
 
     #[test]
     fn stride_sampling_hits_the_rate_exactly() {
-        let mut a = AdaptiveThreshold::new(0.5, AdaptiveConfig { shadow_rate: 0.25, ..cfg() });
+        let mut a = AdaptiveThreshold::new(
+            0.5,
+            AdaptiveConfig {
+                shadow_rate: 0.25,
+                ..cfg()
+            },
+        );
         let sampled = (0..1000).filter(|_| a.should_shadow()).count();
         assert_eq!(sampled, 250);
         // And the samples are evenly spaced: every 4th call.
-        let mut b = AdaptiveThreshold::new(0.5, AdaptiveConfig { shadow_rate: 0.25, ..cfg() });
+        let mut b = AdaptiveThreshold::new(
+            0.5,
+            AdaptiveConfig {
+                shadow_rate: 0.25,
+                ..cfg()
+            },
+        );
         let pattern: Vec<bool> = (0..8).map(|_| b.should_shadow()).collect();
         assert_eq!(pattern.iter().filter(|&&x| x).count(), 2);
     }
 
     #[test]
     fn zero_rate_never_samples() {
-        let mut a = AdaptiveThreshold::new(0.5, AdaptiveConfig { shadow_rate: 0.0, ..cfg() });
+        let mut a = AdaptiveThreshold::new(
+            0.5,
+            AdaptiveConfig {
+                shadow_rate: 0.0,
+                ..cfg()
+            },
+        );
         assert!((0..100).all(|_| !a.should_shadow()));
     }
 
@@ -249,6 +267,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "shadow rate")]
     fn bad_rate_rejected() {
-        let _ = AdaptiveThreshold::new(0.5, AdaptiveConfig { shadow_rate: 2.0, ..cfg() });
+        let _ = AdaptiveThreshold::new(
+            0.5,
+            AdaptiveConfig {
+                shadow_rate: 2.0,
+                ..cfg()
+            },
+        );
     }
 }

@@ -94,8 +94,7 @@ fn frame_scene(frame_id: u64) -> Scene {
         let a = orbit + i as f32 * std::f32::consts::TAU / 3.0;
         scene.add_instance(
             avatar,
-            Mat4::translate(Vec3::new(3.0 * a.cos(), -0.4, 3.0 * a.sin()))
-                .mul(&Mat4::rotate_y(-a)),
+            Mat4::translate(Vec3::new(3.0 * a.cos(), -0.4, 3.0 * a.sin())).mul(&Mat4::rotate_y(-a)),
         );
     }
     scene

@@ -236,13 +236,8 @@ mod tests {
             let v = ViewParams::jittered(&mut rng, 0.05, 2.0);
             let img = gen.observe(ObjectClass(c), &v, &mut rng);
             let full = clf.predict(&net.extract(&img)).0;
-            let mut lc = LayerCache::new(
-                1,
-                0.3,
-                1 << 20,
-                PolicyKind::Lru,
-                ComputeConfig::default(),
-            );
+            let mut lc =
+                LayerCache::new(1, 0.3, 1 << 20, PolicyKind::Lru, ComputeConfig::default());
             let out = lc.process(&img, &clf, 0);
             assert_eq!(out.result.label, full.0);
         }

@@ -17,6 +17,7 @@
 //! * [`simrun`] — deterministic discrete-event experiment driver,
 //! * [`netrun`] — the same stack over real TCP sockets,
 //! * [`qoe`] — latency/hit/accuracy reporting,
+//! * [`robust`] — retry, circuit-breaking and degradation policies,
 //! * [`adaptive`] — online threshold tuning via shadow verification,
 //! * [`layercache`] — §4 extension: per-DNN-layer reuse,
 //! * [`privacy`] — §4 extension: descriptor privacy transforms.
@@ -33,6 +34,7 @@ pub mod netrun;
 pub mod privacy;
 pub mod protocol;
 pub mod qoe;
+pub mod robust;
 pub mod services;
 pub mod simrun;
 pub mod task;
@@ -44,6 +46,7 @@ pub use descriptor::FeatureDescriptor;
 pub use layercache::{LayerCache, LayerOutcome};
 pub use protocol::{Msg, ProtoError};
 pub use qoe::{reduction_percent, Path, QoeReport, Record};
+pub use robust::{BreakerState, CircuitBreaker, RetryPolicy, RobustnessSnapshot, RobustnessStats};
 pub use services::{
     ClientConfig, ClientLogic, CloudService, EdgeConfig, EdgeReply, EdgeService, PreparedRequest,
 };

@@ -6,25 +6,79 @@
 //! blocking client. Used by the `live_deployment` example and the loopback
 //! integration tests; latency here is real wall-clock time (the SimNet
 //! inference, CMF parsing and panorama synthesis all actually run).
+//!
+//! Fault tolerance (configured by [`NetConfig`]):
+//!
+//! * every socket carries read/write deadlines, so no request can hang;
+//! * the client retries failed attempts under a [`RetryPolicy`]
+//!   (capped exponential backoff, seeded jitter) and reconnects on broken
+//!   or desynchronized connections;
+//! * when the edge stays unreachable (or replies [`Msg::Unavailable`]),
+//!   a client constructed with [`NetClient::connect_with`] degrades to the
+//!   origin path — direct [`Msg::BaselineRequest`] to the cloud — and
+//!   periodically probes the edge to rejoin the cooperative path;
+//! * the edge's own cloud leg sits behind a [`CircuitBreaker`], so a dead
+//!   cloud makes the edge answer `Unavailable` fast instead of stalling
+//!   every connection thread;
+//! * concurrent identical misses coalesce into one upstream fetch
+//!   (single-flight), so a thundering herd costs one cloud round trip.
+//!
+//! Every transition is counted in [`RobustnessStats`], surfaced through
+//! [`NetClient::robustness`] and [`EdgeHandle::robustness`].
 
+use crate::compute::ComputeConfig;
 use crate::content::{ModelLibrary, PanoLibrary};
 use crate::protocol::Msg;
 use crate::qoe::Path;
+use crate::robust::{CircuitBreaker, RetryPolicy, RobustnessStats};
 use crate::services::{
     ClientConfig, ClientLogic, CloudService, EdgeConfig, EdgeReply, EdgeService,
 };
 use crate::task::TaskResult;
-use crate::compute::ComputeConfig;
-use coic_netsim::rt::{FrameConn, FrameServer};
+use coic_cache::Digest;
+use coic_netsim::rt::{FaultError, FrameConn, FrameError, FrameServer};
 use coic_vision::{ObjectClass, SceneGenerator};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn epoch_ns(start: Instant) -> u64 {
     start.elapsed().as_nanos() as u64
+}
+
+/// Deadlines, retry and breaker parameters for the live deployment.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Client-side retry/backoff policy per request.
+    pub retry: RetryPolicy,
+    /// How long a client waits for any single reply frame.
+    pub request_deadline: Duration,
+    /// Bound on TCP connection establishment.
+    pub connect_timeout: Duration,
+    /// While degraded, how often the client probes the edge to rejoin.
+    pub probe_interval: Duration,
+    /// Deadline on the edge's own upstream calls (cloud, peers).
+    pub edge_call_deadline: Duration,
+    /// Consecutive cloud-leg failures that trip the edge's breaker.
+    pub breaker_threshold: u32,
+    /// How long the tripped breaker rejects before probing the cloud.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            retry: RetryPolicy::default(),
+            request_deadline: Duration::from_secs(5),
+            connect_timeout: Duration::from_millis(500),
+            probe_interval: Duration::from_millis(100),
+            edge_call_deadline: Duration::from_secs(3),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(300),
+        }
+    }
 }
 
 /// A running cloud process.
@@ -74,11 +128,16 @@ pub fn spawn_cloud(
     })
 }
 
-/// A running edge process.
+/// A running edge process. Dropping the handle (or calling
+/// [`EdgeHandle::shutdown`]) tears the edge down for real — its accept
+/// loop stops and live client connections are severed — which is what the
+/// chaos tests rely on to kill an edge mid-workload.
 pub struct EdgeHandle {
     addr: SocketAddr,
     peers: Arc<Mutex<Vec<SocketAddr>>>,
-    _server: FrameServer,
+    stats: RobustnessStats,
+    breaker: Arc<CircuitBreaker>,
+    server: FrameServer,
 }
 
 impl EdgeHandle {
@@ -92,17 +151,103 @@ impl EdgeHandle {
     pub fn add_peer(&self, addr: SocketAddr) {
         self.peers.lock().push(addr);
     }
+
+    /// Fault-handling counters for this edge (breaker trips, unavailable
+    /// replies, upstream timeouts).
+    pub fn robustness(&self) -> RobustnessStats {
+        self.stats.clone()
+    }
+
+    /// State of the edge→cloud circuit breaker.
+    pub fn breaker_state(&self) -> crate::robust::BreakerState {
+        self.breaker.state()
+    }
+
+    /// Stop the edge: no new connections, live ones severed. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.server.shutdown();
+    }
 }
 
-/// Start an edge server on an ephemeral loopback port, forwarding misses
-/// to `cloud_addr`.
+/// Call the cloud through the circuit breaker. Returns `None` when the
+/// breaker is open or the call fails (the breaker records the outcome).
+fn guarded_cloud_call(
+    cloud_addr: SocketAddr,
+    msg: &Msg,
+    net: &NetConfig,
+    breaker: &CircuitBreaker,
+    stats: &RobustnessStats,
+) -> Option<TaskResult> {
+    if !breaker.allow() {
+        return None;
+    }
+    let trips = breaker.trips();
+    let closes = breaker.closes();
+    let result = (|| {
+        let mut cloud = FrameConn::connect_timeout(&cloud_addr, net.connect_timeout).ok()?;
+        cloud.set_read_deadline(Some(net.edge_call_deadline)).ok()?;
+        cloud
+            .set_write_deadline(Some(net.edge_call_deadline))
+            .ok()?;
+        cloud.send(&msg.encode()).ok()?;
+        let resp = match cloud.recv() {
+            Ok(r) => r,
+            Err(e) => {
+                if e.fault() == FaultError::Timeout {
+                    stats.count_timeout();
+                }
+                return None;
+            }
+        };
+        match Msg::decode(&resp).ok()? {
+            Msg::CloudReply { result, .. } => Some(result),
+            _ => None,
+        }
+    })();
+    breaker.record(result.is_some());
+    if breaker.trips() > trips {
+        stats.count_breaker_trip();
+    }
+    if breaker.closes() > closes {
+        stats.count_breaker_close();
+    }
+    result
+}
+
+/// Start an edge server on an ephemeral loopback port with default
+/// fault-tolerance parameters, forwarding misses to `cloud_addr`.
 pub fn spawn_edge(cloud_addr: SocketAddr, cfg: &EdgeConfig) -> std::io::Result<EdgeHandle> {
+    spawn_edge_with(cloud_addr, cfg, NetConfig::default(), None)
+}
+
+/// Start an edge server, forwarding misses to `cloud_addr` under the given
+/// [`NetConfig`]. `bind` pins the listening address (an edge restarted on
+/// its old address lets degraded clients rejoin); `None` picks an
+/// ephemeral loopback port.
+pub fn spawn_edge_with(
+    cloud_addr: SocketAddr,
+    cfg: &EdgeConfig,
+    net: NetConfig,
+    bind: Option<SocketAddr>,
+) -> std::io::Result<EdgeHandle> {
     let service = Arc::new(Mutex::new(EdgeService::new(cfg)));
     let pending = Arc::new(Mutex::new(HashMap::new()));
     let peers: Arc<Mutex<Vec<SocketAddr>>> = Arc::new(Mutex::new(Vec::new()));
     let peers_in_handler = peers.clone();
+    let stats = RobustnessStats::default();
+    let breaker = Arc::new(CircuitBreaker::new(
+        net.breaker_threshold,
+        net.breaker_cooldown,
+    ));
+    // Single-flight table: one upstream fetch per content digest at a time;
+    // losers of the race re-check the cache instead of refetching.
+    let inflight: Arc<Mutex<HashMap<Digest, Arc<Mutex<()>>>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let (stats_h, breaker_h, inflight_h) = (stats.clone(), breaker.clone(), inflight.clone());
     let start = Instant::now();
-    let server = FrameServer::spawn("127.0.0.1:0", move |frame| {
+    let bind = bind.unwrap_or_else(|| "127.0.0.1:0".parse().unwrap());
+    let server = FrameServer::spawn(bind, move |frame| {
         let peers = &peers_in_handler;
         let msg = Msg::decode(&frame).ok()?;
         let now = epoch_ns(start);
@@ -120,48 +265,77 @@ pub fn spawn_edge(cloud_addr: SocketAddr, cfg: &EdgeConfig) -> std::io::Result<E
                         Msg::NeedPayload { req_id }
                     }
                     EdgeReply::Forward(task) => {
+                        let digest = crate::services::descriptor_digest(&descriptor);
+                        // Serialize identical misses: only the first thread
+                        // fetches; the rest find the result cached when the
+                        // guard is released.
+                        let flight_guard = digest.map(|d| {
+                            inflight_h
+                                .lock()
+                                .entry(d)
+                                .or_insert_with(|| Arc::new(Mutex::new(())))
+                                .clone()
+                        });
+                        let _held = flight_guard.as_ref().map(|m| m.lock());
+                        if let Some(d) = &digest {
+                            if let Some(result) = service.lock().exact_lookup(d, now) {
+                                return Some(Msg::Hit { req_id, result }.encode().to_vec());
+                            }
+                        }
                         // Cooperative lookup: ask each registered peer edge
                         // before paying the cloud round trip (exact tasks
                         // carry their digest in the descriptor).
-                        let peer_hit = crate::services::descriptor_digest(&descriptor)
-                            .and_then(|digest| {
-                                let addrs = peers.lock().clone();
-                                for addr in addrs {
-                                    let Ok(mut peer) = FrameConn::connect(addr) else {
-                                        continue;
-                                    };
-                                    if peer
-                                        .send(&Msg::PeerQuery { req_id, digest }.encode())
-                                        .is_err()
-                                    {
-                                        continue;
-                                    }
-                                    let Ok(resp) = peer.recv() else { continue };
-                                    if let Ok(Msg::PeerReply {
-                                        result: Some(result),
-                                        ..
-                                    }) = Msg::decode(&resp)
-                                    {
-                                        return Some(result);
-                                    }
+                        let peer_hit = digest.and_then(|digest| {
+                            let addrs = peers.lock().clone();
+                            for addr in addrs {
+                                let Ok(mut peer) =
+                                    FrameConn::connect_timeout(&addr, net.connect_timeout)
+                                else {
+                                    continue;
+                                };
+                                if peer
+                                    .set_read_deadline(Some(net.edge_call_deadline))
+                                    .is_err()
+                                {
+                                    continue;
                                 }
-                                None
-                            });
+                                let _ = peer.set_write_deadline(Some(net.edge_call_deadline));
+                                if peer
+                                    .send(&Msg::PeerQuery { req_id, digest }.encode())
+                                    .is_err()
+                                {
+                                    continue;
+                                }
+                                let Ok(resp) = peer.recv() else { continue };
+                                if let Ok(Msg::PeerReply {
+                                    result: Some(result),
+                                    ..
+                                }) = Msg::decode(&resp)
+                                {
+                                    return Some(result);
+                                }
+                            }
+                            None
+                        });
                         if let Some(result) = peer_hit {
                             service.lock().insert(&descriptor, &result, now);
                             Msg::PeerResult { req_id, result }
                         } else {
-                            // Synchronous edge→cloud RPC on this connection's
-                            // thread; other clients proceed on their threads.
-                            let mut cloud = FrameConn::connect(cloud_addr).ok()?;
-                            cloud.send(&Msg::Forward { req_id, task }.encode()).ok()?;
-                            let resp = cloud.recv().ok()?;
-                            match Msg::decode(&resp).ok()? {
-                                Msg::CloudReply { result, .. } => {
+                            match guarded_cloud_call(
+                                cloud_addr,
+                                &Msg::Forward { req_id, task },
+                                &net,
+                                &breaker_h,
+                                &stats_h,
+                            ) {
+                                Some(result) => {
                                     service.lock().insert(&descriptor, &result, now);
                                     Msg::Result { req_id, result }
                                 }
-                                _ => return None,
+                                None => {
+                                    stats_h.count_unavailable();
+                                    Msg::Unavailable { req_id }
+                                }
                             }
                         }
                     }
@@ -173,15 +347,21 @@ pub fn spawn_edge(cloud_addr: SocketAddr, cfg: &EdgeConfig) -> std::io::Result<E
             }
             Msg::Upload { req_id, task } => {
                 let descriptor = pending.lock().remove(&req_id)?;
-                let mut cloud = FrameConn::connect(cloud_addr).ok()?;
-                cloud.send(&Msg::Forward { req_id, task }.encode()).ok()?;
-                let resp = cloud.recv().ok()?;
-                match Msg::decode(&resp).ok()? {
-                    Msg::CloudReply { result, .. } => {
+                match guarded_cloud_call(
+                    cloud_addr,
+                    &Msg::Forward { req_id, task },
+                    &net,
+                    &breaker_h,
+                    &stats_h,
+                ) {
+                    Some(result) => {
                         service.lock().insert(&descriptor, &result, now);
                         Msg::Result { req_id, result }
                     }
-                    _ => return None,
+                    None => {
+                        stats_h.count_unavailable();
+                        Msg::Unavailable { req_id }
+                    }
                 }
             }
             _ => return None,
@@ -191,7 +371,9 @@ pub fn spawn_edge(cloud_addr: SocketAddr, cfg: &EdgeConfig) -> std::io::Result<E
     Ok(EdgeHandle {
         addr: server.local_addr(),
         peers,
-        _server: server,
+        stats,
+        breaker,
+        server,
     })
 }
 
@@ -204,17 +386,37 @@ pub struct LiveOutcome {
     pub elapsed: std::time::Duration,
     /// Hit/miss path taken.
     pub path: Path,
+    /// Attempts beyond the first this request needed.
+    pub retries: u32,
 }
 
-/// A blocking CoIC client over a live edge connection.
+/// What one attempt against the edge produced.
+enum AttemptOutcome {
+    /// Got a terminal reply.
+    Done(TaskResult, Path),
+    /// The edge told us to go away; do not retry the edge.
+    Unavailable,
+    /// Transport-level failure; retrying may help.
+    Failed,
+}
+
+/// A blocking CoIC client over a live edge connection, with retry,
+/// reconnect and (when constructed via [`NetClient::connect_with`])
+/// graceful degradation to the origin path.
 pub struct NetClient {
-    conn: FrameConn,
+    edge_addr: SocketAddr,
+    cloud_addr: Option<SocketAddr>,
+    conn: Option<FrameConn>,
     logic: ClientLogic,
     next_req: u64,
+    net: NetConfig,
+    degraded: bool,
+    last_probe: Option<Instant>,
+    stats: RobustnessStats,
 }
 
 impl NetClient {
-    /// Connect to a live edge.
+    /// Connect to a live edge (no origin fallback, default deadlines).
     pub fn connect(
         edge_addr: SocketAddr,
         client_cfg: ClientConfig,
@@ -222,15 +424,209 @@ impl NetClient {
         models: Arc<ModelLibrary>,
         panos: Arc<PanoLibrary>,
     ) -> std::io::Result<NetClient> {
-        Ok(NetClient {
-            conn: FrameConn::connect(edge_addr)?,
+        let mut c = Self::connect_with(
+            edge_addr,
+            None,
+            NetConfig::default(),
+            client_cfg,
+            compute,
+            models,
+            panos,
+        )?;
+        // Preserve the historical contract: fail fast if the edge is down.
+        if c.conn.is_none() {
+            c.reconnect_edge()
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+        }
+        Ok(c)
+    }
+
+    /// Connect with explicit fault-tolerance parameters. With a
+    /// `cloud_addr`, the client survives edge failure: requests fall back
+    /// to the origin path and the edge is re-probed every
+    /// [`NetConfig::probe_interval`]. An initially-unreachable edge makes
+    /// the client start degraded rather than fail construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_with(
+        edge_addr: SocketAddr,
+        cloud_addr: Option<SocketAddr>,
+        net: NetConfig,
+        client_cfg: ClientConfig,
+        compute: ComputeConfig,
+        models: Arc<ModelLibrary>,
+        panos: Arc<PanoLibrary>,
+    ) -> std::io::Result<NetClient> {
+        let stats = RobustnessStats::default();
+        let mut client = NetClient {
+            edge_addr,
+            cloud_addr,
+            conn: None,
             logic: ClientLogic::new(client_cfg, compute, models, panos),
             next_req: 1,
-        })
+            net,
+            degraded: false,
+            last_probe: None,
+            stats,
+        };
+        if client.reconnect_edge().is_err() && client.cloud_addr.is_some() {
+            client.degraded = true;
+            client.stats.count_degraded();
+        }
+        Ok(client)
+    }
+
+    /// Fault-handling counters for this client.
+    pub fn robustness(&self) -> RobustnessStats {
+        self.stats.clone()
+    }
+
+    /// Is the client currently on the origin (cloud-direct) path?
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    fn reconnect_edge(&mut self) -> Result<(), FrameError> {
+        let conn = FrameConn::connect_timeout(&self.edge_addr, self.net.connect_timeout)?;
+        conn.set_read_deadline(Some(self.net.request_deadline))?;
+        conn.set_write_deadline(Some(self.net.request_deadline))?;
+        self.conn = Some(conn);
+        Ok(())
+    }
+
+    /// While degraded: occasionally try the edge again; on success, rejoin
+    /// the cooperative path.
+    fn maybe_probe_edge(&mut self) {
+        let due = self
+            .last_probe
+            .map(|t| t.elapsed() >= self.net.probe_interval)
+            .unwrap_or(true);
+        if !due {
+            return;
+        }
+        self.last_probe = Some(Instant::now());
+        self.stats.count_probe();
+        if self.reconnect_edge().is_ok() {
+            self.degraded = false;
+            self.stats.count_recovered();
+        }
+    }
+
+    /// One attempt against the edge: send the query, pump replies.
+    fn attempt_edge(
+        &mut self,
+        req_id: u64,
+        prepared: &crate::services::PreparedRequest,
+    ) -> AttemptOutcome {
+        if self.conn.is_none() {
+            match self.reconnect_edge() {
+                Ok(()) => self.stats.count_reconnect(),
+                Err(_) => return AttemptOutcome::Failed,
+            }
+        }
+        let conn = self.conn.as_mut().expect("just connected");
+        let hint = match &prepared.task {
+            crate::task::TaskRequest::Recognition { .. } => None,
+            t => Some(t.clone()),
+        };
+        let query = Msg::Query {
+            req_id,
+            descriptor: prepared.descriptor.clone(),
+            hint,
+        };
+        let on_error = |stats: &RobustnessStats, e: &FrameError| match e.fault() {
+            FaultError::Timeout => stats.count_timeout(),
+            FaultError::Corrupt => stats.count_corrupt(),
+            _ => {}
+        };
+        if let Err(e) = conn.send(&query.encode()) {
+            on_error(&self.stats, &e);
+            self.conn = None;
+            return AttemptOutcome::Failed;
+        }
+        loop {
+            let frame = match self.conn.as_mut().expect("conn live").recv() {
+                Ok(f) => f,
+                Err(e) => {
+                    on_error(&self.stats, &e);
+                    // Timeouts desynchronize the stream; all errors drop
+                    // the connection so the next attempt starts clean.
+                    self.conn = None;
+                    return AttemptOutcome::Failed;
+                }
+            };
+            let msg = match Msg::decode(&frame) {
+                Ok(m) => m,
+                Err(_) => {
+                    self.conn = None;
+                    return AttemptOutcome::Failed;
+                }
+            };
+            match msg {
+                Msg::Hit { result, .. } => return AttemptOutcome::Done(result, Path::EdgeHit),
+                Msg::Result { result, .. } => return AttemptOutcome::Done(result, Path::CloudMiss),
+                Msg::PeerResult { result, .. } => {
+                    return AttemptOutcome::Done(result, Path::PeerHit)
+                }
+                Msg::Unavailable { .. } => {
+                    self.stats.count_unavailable();
+                    return AttemptOutcome::Unavailable;
+                }
+                Msg::NeedPayload { req_id } => {
+                    let upload = Msg::Upload {
+                        req_id,
+                        task: prepared.task.clone(),
+                    };
+                    if let Err(e) = self
+                        .conn
+                        .as_mut()
+                        .expect("conn live")
+                        .send(&upload.encode())
+                    {
+                        on_error(&self.stats, &e);
+                        self.conn = None;
+                        return AttemptOutcome::Failed;
+                    }
+                }
+                // A stale reply to an earlier (timed-out) request id can
+                // not appear here — timeouts drop the connection — so any
+                // other message is a protocol violation.
+                _ => {
+                    self.conn = None;
+                    return AttemptOutcome::Failed;
+                }
+            }
+        }
+    }
+
+    /// Origin path: ask the cloud directly, bypassing the edge.
+    fn attempt_origin(
+        &mut self,
+        req_id: u64,
+        prepared: &crate::services::PreparedRequest,
+    ) -> Result<TaskResult, FrameError> {
+        let mut cloud = FrameConn::connect_timeout(
+            &self.cloud_addr.expect("origin path needs cloud_addr"),
+            self.net.connect_timeout,
+        )?;
+        cloud.set_read_deadline(Some(self.net.request_deadline))?;
+        cloud.set_write_deadline(Some(self.net.request_deadline))?;
+        cloud.send(
+            &Msg::BaselineRequest {
+                req_id,
+                task: prepared.task.clone(),
+            }
+            .encode(),
+        )?;
+        let resp = cloud.recv()?;
+        match Msg::decode(&resp) {
+            Ok(Msg::BaselineReply { result, .. }) => Ok(result),
+            _ => Err(FrameError::Closed),
+        }
     }
 
     /// Execute one workload request end to end, returning the result, the
-    /// measured wall latency and whether it was served from the edge cache.
+    /// measured wall latency and the path that served it. With a cloud
+    /// fallback configured this only errors when *both* paths are dead.
     pub fn execute(
         &mut self,
         req: &coic_workload::Request,
@@ -239,54 +635,75 @@ impl NetClient {
         let prepared = self.logic.prepare(req);
         let req_id = self.next_req;
         self.next_req += 1;
-        let hint = match &prepared.task {
-            crate::task::TaskRequest::Recognition { .. } => None,
-            t => Some(t.clone()),
-        };
-        self.conn.send(
-            &Msg::Query {
-                req_id,
-                descriptor: prepared.descriptor.clone(),
-                hint,
+        let mut retries = 0u32;
+
+        if self.degraded {
+            self.maybe_probe_edge();
+        }
+        if !self.degraded {
+            for attempt in 0..self.net.retry.max_attempts {
+                if attempt > 0 {
+                    retries += 1;
+                    self.stats.count_retry();
+                    std::thread::sleep(self.net.retry.backoff(req_id, attempt - 1));
+                }
+                self.stats.count_attempt();
+                match self.attempt_edge(req_id, &prepared) {
+                    AttemptOutcome::Done(result, path) => {
+                        return Ok(LiveOutcome {
+                            result,
+                            elapsed: started.elapsed(),
+                            path,
+                            retries,
+                        })
+                    }
+                    AttemptOutcome::Unavailable => break,
+                    AttemptOutcome::Failed => {}
+                }
             }
-            .encode(),
-        )?;
-        loop {
-            let frame = self.conn.recv()?;
-            match Msg::decode(&frame)? {
-                Msg::Hit { result, .. } => {
+            // Cooperative path exhausted.
+            if self.cloud_addr.is_none() {
+                return Err(format!(
+                    "edge at {} unreachable after {} attempts",
+                    self.edge_addr, self.net.retry.max_attempts
+                )
+                .into());
+            }
+            self.degraded = true;
+            self.last_probe = Some(Instant::now());
+            self.stats.count_degraded();
+        }
+
+        // Degraded: origin path, still under the retry budget.
+        for attempt in 0..self.net.retry.max_attempts {
+            if attempt > 0 {
+                retries += 1;
+                self.stats.count_retry();
+                std::thread::sleep(self.net.retry.backoff(req_id, attempt - 1));
+            }
+            self.stats.count_attempt();
+            match self.attempt_origin(req_id, &prepared) {
+                Ok(result) => {
+                    self.stats.count_fallback();
                     return Ok(LiveOutcome {
                         result,
                         elapsed: started.elapsed(),
-                        path: Path::EdgeHit,
-                    })
+                        path: Path::Baseline,
+                        retries,
+                    });
                 }
-                Msg::Result { result, .. } => {
-                    return Ok(LiveOutcome {
-                        result,
-                        elapsed: started.elapsed(),
-                        path: Path::CloudMiss,
-                    })
+                Err(e) => {
+                    if e.fault() == FaultError::Timeout {
+                        self.stats.count_timeout();
+                    }
                 }
-                Msg::PeerResult { result, .. } => {
-                    return Ok(LiveOutcome {
-                        result,
-                        elapsed: started.elapsed(),
-                        path: Path::PeerHit,
-                    })
-                }
-                Msg::NeedPayload { req_id } => {
-                    self.conn.send(
-                        &Msg::Upload {
-                            req_id,
-                            task: prepared.task.clone(),
-                        }
-                        .encode(),
-                    )?;
-                }
-                other => return Err(format!("unexpected reply {other:?}").into()),
             }
         }
+        Err(format!(
+            "both edge {} and cloud {:?} unreachable",
+            self.edge_addr, self.cloud_addr
+        )
+        .into())
     }
 }
 
@@ -300,24 +717,11 @@ mod tests {
         let panos = Arc::new(PanoLibrary::new(64));
         let compute = ComputeConfig::default();
         let classes: Vec<_> = (0..5).map(ObjectClass).collect();
-        let cloud = spawn_cloud(
-            &classes,
-            64,
-            compute,
-            models.clone(),
-            panos.clone(),
-            3,
-        )
-        .unwrap();
+        let cloud = spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), 3).unwrap();
         let edge = spawn_edge(cloud.addr(), &EdgeConfig::default()).unwrap();
-        let client = NetClient::connect(
-            edge.addr(),
-            ClientConfig::default(),
-            compute,
-            models,
-            panos,
-        )
-        .unwrap();
+        let client =
+            NetClient::connect(edge.addr(), ClientConfig::default(), compute, models, panos)
+                .unwrap();
         (cloud, edge, client)
     }
 
@@ -353,8 +757,7 @@ mod tests {
         let panos = Arc::new(PanoLibrary::new(64));
         let compute = ComputeConfig::default();
         let classes = vec![ObjectClass(0)];
-        let cloud =
-            spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), 3).unwrap();
+        let cloud = spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), 3).unwrap();
         let edge = spawn_edge(cloud.addr(), &EdgeConfig::default()).unwrap();
         let req = Request {
             user: UserId(0),
@@ -373,14 +776,9 @@ mod tests {
             panos.clone(),
         )
         .unwrap();
-        let mut b = NetClient::connect(
-            edge.addr(),
-            ClientConfig::default(),
-            compute,
-            models,
-            panos,
-        )
-        .unwrap();
+        let mut b =
+            NetClient::connect(edge.addr(), ClientConfig::default(), compute, models, panos)
+                .unwrap();
         // Client A warms the cache; client B hits it.
         assert_eq!(a.execute(&req).unwrap().path, Path::CloudMiss);
         let out = b.execute(&req).unwrap();
@@ -399,8 +797,7 @@ mod tests {
         let panos = Arc::new(PanoLibrary::new(64));
         let compute = ComputeConfig::default();
         let classes = vec![ObjectClass(0)];
-        let cloud =
-            spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), 3).unwrap();
+        let cloud = spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), 3).unwrap();
         let edge_a = spawn_edge(cloud.addr(), &EdgeConfig::default()).unwrap();
         let edge_b = spawn_edge(cloud.addr(), &EdgeConfig::default()).unwrap();
         edge_a.add_peer(edge_b.addr());
@@ -455,5 +852,79 @@ mod tests {
         let hit = client.execute(&req).unwrap();
         assert_eq!(hit.path, Path::EdgeHit);
         assert_eq!(miss.result, hit.result);
+    }
+
+    #[test]
+    fn client_without_fallback_errors_when_edge_dies() {
+        let (_cloud, mut edge, mut client) = stack();
+        client.execute(&recog(1, 5)).unwrap();
+        edge.shutdown();
+        let net = NetConfig::default();
+        let start = Instant::now();
+        let err = client.execute(&recog(1, 6));
+        assert!(err.is_err(), "edgeless client should fail");
+        // It must fail by deadline/refusal, not hang forever.
+        assert!(
+            start.elapsed()
+                < net.request_deadline * (net.retry.max_attempts + 1) + Duration::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn breaker_makes_edge_answer_unavailable_fast() {
+        let models = Arc::new(ModelLibrary::new());
+        let panos = Arc::new(PanoLibrary::new(64));
+        let compute = ComputeConfig::default();
+        let classes = vec![ObjectClass(0)];
+        let cloud = spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), 3).unwrap();
+        let cloud_addr = cloud.addr();
+        let net = NetConfig {
+            edge_call_deadline: Duration::from_millis(300),
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_secs(30),
+            ..NetConfig::default()
+        };
+        let edge = spawn_edge_with(cloud_addr, &EdgeConfig::default(), net.clone(), None).unwrap();
+        drop(cloud); // kill the cloud: the edge's forwarding leg is now dead
+
+        let mut conn = FrameConn::connect(edge.addr()).unwrap();
+        conn.set_read_deadline(Some(Duration::from_secs(5)))
+            .unwrap();
+        let query = |frame_id: u64, req_id: u64| {
+            Msg::Query {
+                req_id,
+                descriptor: crate::descriptor::FeatureDescriptor::PanoramaHash(Digest::of(
+                    &frame_id.to_le_bytes(),
+                )),
+                hint: Some(crate::task::TaskRequest::Panorama { frame_id }),
+            }
+            .encode()
+        };
+        // First misses fail against the dead cloud and trip the breaker…
+        for req_id in 0..2u64 {
+            conn.send(&query(req_id, req_id + 1)).unwrap();
+            let resp = conn.recv().unwrap();
+            assert!(matches!(
+                Msg::decode(&resp).unwrap(),
+                Msg::Unavailable { .. }
+            ));
+        }
+        // …after which refusals are immediate (no upstream connect at all).
+        let t = Instant::now();
+        conn.send(&query(99, 100)).unwrap();
+        let resp = conn.recv().unwrap();
+        assert!(matches!(
+            Msg::decode(&resp).unwrap(),
+            Msg::Unavailable { .. }
+        ));
+        assert!(
+            t.elapsed() < Duration::from_millis(200),
+            "open breaker should refuse fast, took {:?}",
+            t.elapsed()
+        );
+        assert_eq!(edge.breaker_state(), crate::robust::BreakerState::Open);
+        let snap = edge.robustness().snapshot();
+        assert!(snap.breaker_trips >= 1);
+        assert_eq!(snap.unavailable_replies, 3);
     }
 }

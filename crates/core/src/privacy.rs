@@ -111,10 +111,7 @@ mod tests {
         // Two nearby descriptors stay nearby after quantization; two far
         // ones stay far. That is why the cache still works.
         let a = unit(3, 32);
-        let near = FeatureVec::new(
-            a.as_slice().iter().map(|&x| x + 0.02).collect(),
-        )
-        .normalized();
+        let near = FeatureVec::new(a.as_slice().iter().map(|&x| x + 0.02).collect()).normalized();
         let far = unit(4, 32);
         let (qa, qn, qf) = (quantize(&a, 6), quantize(&near, 6), quantize(&far, 6));
         assert!(l2(&qa, &qn) < 0.3);

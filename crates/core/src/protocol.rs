@@ -122,6 +122,13 @@ pub enum Msg {
         /// The result fetched from the peer (now cached locally too).
         result: TaskResult,
     },
+    /// Edge → client: the edge cannot serve this request right now (its
+    /// cloud leg is circuit-broken or it is shutting down). The client
+    /// should fall back to the origin path instead of retrying the edge.
+    Unavailable {
+        /// Request id being refused.
+        req_id: u64,
+    },
 }
 
 /// Decode failures.
@@ -336,6 +343,7 @@ impl Msg {
             Msg::PeerQuery { .. } => 9,
             Msg::PeerReply { .. } => 10,
             Msg::PeerResult { .. } => 11,
+            Msg::Unavailable { .. } => 12,
         }
     }
 
@@ -353,7 +361,8 @@ impl Msg {
             | Msg::BaselineReply { req_id, .. }
             | Msg::PeerQuery { req_id, .. }
             | Msg::PeerReply { req_id, .. }
-            | Msg::PeerResult { req_id, .. } => *req_id,
+            | Msg::PeerResult { req_id, .. }
+            | Msg::Unavailable { req_id } => *req_id,
         }
     }
 
@@ -390,7 +399,7 @@ impl Msg {
                 }
                 None => buf.put_u8(0),
             },
-            Msg::NeedPayload { .. } => {}
+            Msg::NeedPayload { .. } | Msg::Unavailable { .. } => {}
             Msg::Upload { task, .. }
             | Msg::Forward { task, .. }
             | Msg::BaselineRequest { task, .. } => put_task(&mut buf, task),
@@ -437,7 +446,7 @@ impl Msg {
                     }
                 }
             }
-            Msg::NeedPayload { .. } => 0,
+            Msg::NeedPayload { .. } | Msg::Unavailable { .. } => 0,
             Msg::Upload { task, .. }
             | Msg::Forward { task, .. }
             | Msg::BaselineRequest { task, .. } => {
@@ -531,6 +540,7 @@ impl Msg {
                 req_id,
                 result: get_result(&mut buf)?,
             },
+            12 => Msg::Unavailable { req_id },
             t => return Err(ProtoError::BadTag(t)),
         };
         Ok(msg)
@@ -617,6 +627,7 @@ mod tests {
                 req_id: 15,
                 result: TaskResult::Panorama(Bytes::from(vec![8; 20])),
             },
+            Msg::Unavailable { req_id: 16 },
         ]
     }
 

@@ -35,6 +35,9 @@ pub struct Record {
     pub path: Path,
     /// For recognition: was the label correct?
     pub correct: Option<bool>,
+    /// Transmission attempts beyond the first this request needed
+    /// (lossy-link retransmissions).
+    pub retries: u32,
 }
 
 impl Record {
@@ -69,6 +72,10 @@ pub struct QoeReport {
     pub lan_bytes: u64,
     /// Requests abandoned after exhausting retries (lossy-link runs).
     pub failed: u64,
+    /// Total retransmissions across completed requests.
+    pub retries: u64,
+    /// Completed requests that needed at least one retransmission.
+    pub retried_requests: u64,
 }
 
 impl QoeReport {
@@ -81,7 +88,13 @@ impl QoeReport {
         let mut cloud_trips = 0;
         let mut correct = 0u64;
         let mut judged = 0u64;
+        let mut retries = 0u64;
+        let mut retried_requests = 0u64;
         for r in records {
+            retries += r.retries as u64;
+            if r.retries > 0 {
+                retried_requests += 1;
+            }
             let l = r.latency_ms();
             latency_ms.push(l);
             latency_by_kind.entry(r.kind).or_default().push(l);
@@ -109,6 +122,8 @@ impl QoeReport {
             wan_bytes: 0,
             lan_bytes: 0,
             failed: 0,
+            retries,
+            retried_requests,
         }
     }
 
@@ -149,7 +164,20 @@ mod tests {
             completed_ns: 1_000 + latency_ns,
             path,
             correct,
+            retries: 0,
         }
+    }
+
+    #[test]
+    fn retries_aggregate() {
+        let mut a = rec(10_000_000, Path::EdgeHit, None);
+        a.retries = 2;
+        let b = rec(10_000_000, Path::EdgeHit, None);
+        let mut c = rec(10_000_000, Path::CloudMiss, None);
+        c.retries = 1;
+        let report = QoeReport::from_records(&[a, b, c]);
+        assert_eq!(report.retries, 3);
+        assert_eq!(report.retried_requests, 2);
     }
 
     #[test]

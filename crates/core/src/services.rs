@@ -10,8 +10,7 @@ use crate::content::{ModelLibrary, PanoLibrary};
 use crate::descriptor::FeatureDescriptor;
 use crate::task::{RecognitionResult, TaskRequest, TaskResult};
 use coic_cache::{
-    ApproxCache, ApproxLookup, CacheStats, Digest, ExactCache, IndexKind, PolicyKind,
-    TinyLfuConfig,
+    ApproxCache, ApproxLookup, CacheStats, Digest, ExactCache, IndexKind, PolicyKind, TinyLfuConfig,
 };
 use coic_vision::{ObjectClass, PrototypeClassifier, SceneGenerator, SimNet, ViewParams};
 use rand::rngs::StdRng;
@@ -137,10 +136,7 @@ impl EdgeService {
                 let size = v.byte_size() + result.byte_size();
                 self.recog.insert(v.clone(), *r, size, now_ns);
             }
-            (
-                FeatureDescriptor::ModelHash(d) | FeatureDescriptor::PanoramaHash(d),
-                result,
-            ) => {
+            (FeatureDescriptor::ModelHash(d) | FeatureDescriptor::PanoramaHash(d), result) => {
                 self.exact
                     .insert(*d, result.clone(), result.byte_size(), now_ns);
             }
@@ -211,8 +207,7 @@ impl CloudService {
     ) -> Self {
         let net = SimNet::default_net();
         let mut rng = StdRng::seed_from_u64(seed);
-        let classifier =
-            PrototypeClassifier::train(&net, gen, classes, 5, 0.08, 4.0, &mut rng);
+        let classifier = PrototypeClassifier::train(&net, gen, classes, 5, 0.08, 4.0, &mut rng);
         CloudService {
             net,
             classifier,
@@ -445,10 +440,7 @@ mod tests {
         let n = 30;
         for seed in 0..n {
             let p = client.prepare(&recog_req(5, 2000 + seed));
-            if matches!(
-                edge.handle_query(&p.descriptor, None, 0),
-                EdgeReply::Hit(_)
-            ) {
+            if matches!(edge.handle_query(&p.descriptor, None, 0), EdgeReply::Hit(_)) {
                 hits += 1;
             }
         }

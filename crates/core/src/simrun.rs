@@ -260,6 +260,7 @@ impl ClientNode {
             completed_ns: ctx.now().as_nanos(),
             path,
             correct: recognition_correct(result, prepared.truth),
+            retries: self.attempts[idx],
         });
         self.advance_closed_loop(ctx, idx);
     }
@@ -373,9 +374,7 @@ impl Node<Msg> for ClientNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
         match msg {
             Msg::Hit { req_id, result } => self.complete(ctx, req_id, Path::EdgeHit, &result),
-            Msg::Result { req_id, result } => {
-                self.complete(ctx, req_id, Path::CloudMiss, &result)
-            }
+            Msg::Result { req_id, result } => self.complete(ctx, req_id, Path::CloudMiss, &result),
             Msg::PeerResult { req_id, result } => {
                 self.complete(ctx, req_id, Path::PeerHit, &result)
             }
@@ -572,11 +571,8 @@ impl Node<Msg> for EdgeNode {
                     if let TaskResult::Panorama(bytes) = &result {
                         let digest = coic_cache::Digest::of(bytes);
                         self.known_frames.insert(frame_id, digest);
-                        self.service.insert(
-                            &FeatureDescriptor::PanoramaHash(digest),
-                            &result,
-                            now,
-                        );
+                        self.service
+                            .insert(&FeatureDescriptor::PanoramaHash(digest), &result, now);
                     }
                     self.prefetching.remove(&frame_id);
                     return;
@@ -641,9 +637,7 @@ impl Node<Msg> for EdgeNode {
                         let descriptor = wait.descriptor.clone();
                         let done = wait.outstanding == 0;
                         self.service.insert(&descriptor, &result, now);
-                        if let Some(digest) =
-                            crate::services::descriptor_digest(&descriptor)
-                        {
+                        if let Some(digest) = crate::services::descriptor_digest(&descriptor) {
                             for (waiter, waiter_req) in
                                 self.inflight_exact.remove(&digest).unwrap_or_default()
                             {
@@ -944,8 +938,20 @@ pub fn run(trace: &[coic_workload::Request], cfg: &SimConfig) -> QoeReport {
 /// Run the same trace under Origin and CoIC and return
 /// `(origin, coic, reduction_percent_of_mean_latency)`.
 pub fn compare(trace: &[coic_workload::Request], cfg: &SimConfig) -> (QoeReport, QoeReport, f64) {
-    let origin = run(trace, &SimConfig { mode: Mode::Origin, ..cfg.clone() });
-    let coic = run(trace, &SimConfig { mode: Mode::CoIc, ..cfg.clone() });
+    let origin = run(
+        trace,
+        &SimConfig {
+            mode: Mode::Origin,
+            ..cfg.clone()
+        },
+    );
+    let coic = run(
+        trace,
+        &SimConfig {
+            mode: Mode::CoIc,
+            ..cfg.clone()
+        },
+    );
     let red = crate::qoe::reduction_percent(origin.mean_latency_ms(), coic.mean_latency_ms());
     (origin, coic, red)
 }
@@ -953,7 +959,9 @@ pub fn compare(trace: &[coic_workload::Request], cfg: &SimConfig) -> (QoeReport,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use coic_workload::{Population, Request, RequestKind, SafeDrivingAr, UserId, ZoneId, ZoneModel};
+    use coic_workload::{
+        Population, Request, RequestKind, SafeDrivingAr, UserId, ZoneId, ZoneModel,
+    };
 
     fn recognition_trace(n: usize) -> Vec<Request> {
         SafeDrivingAr {
@@ -1008,7 +1016,13 @@ mod tests {
     #[test]
     fn origin_mode_never_hits() {
         let trace = recognition_trace(10);
-        let report = run(&trace, &SimConfig { mode: Mode::Origin, ..small_cfg() });
+        let report = run(
+            &trace,
+            &SimConfig {
+                mode: Mode::Origin,
+                ..small_cfg()
+            },
+        );
         assert_eq!(report.edge_hits, 0);
         assert_eq!(report.cloud_trips, 10);
     }
@@ -1091,7 +1105,11 @@ mod tests {
         assert!(report.lan_bytes > 0);
         // Only one cloud fetch of the model should ever happen per edge at
         // most; with peer lookup, ideally once globally.
-        assert!(report.cloud_trips <= 2, "cloud trips {}", report.cloud_trips);
+        assert!(
+            report.cloud_trips <= 2,
+            "cloud trips {}",
+            report.cloud_trips
+        );
     }
 
     #[test]
@@ -1131,21 +1149,30 @@ mod tests {
                 user: UserId(1),
                 zone: ZoneId(1),
                 at_ns: 0,
-                kind: RequestKind::RenderLoad { model_id: 3, size_bytes: 500_000 },
+                kind: RequestKind::RenderLoad {
+                    model_id: 3,
+                    size_bytes: 500_000,
+                },
             },
             // zone 0 asks for the same model → peer hit
             Request {
                 user: UserId(0),
                 zone: ZoneId(0),
                 at_ns: 1_000_000_000,
-                kind: RequestKind::RenderLoad { model_id: 3, size_bytes: 500_000 },
+                kind: RequestKind::RenderLoad {
+                    model_id: 3,
+                    size_bytes: 500_000,
+                },
             },
             // zone 0 again → local hit
             Request {
                 user: UserId(0),
                 zone: ZoneId(0),
                 at_ns: 2_000_000_000,
-                kind: RequestKind::RenderLoad { model_id: 3, size_bytes: 500_000 },
+                kind: RequestKind::RenderLoad {
+                    model_id: 3,
+                    size_bytes: 500_000,
+                },
             },
         ];
         let cfg = SimConfig {
@@ -1322,6 +1349,18 @@ mod tests {
         // With 8% loss and 5 retries, effectively everything completes.
         assert_eq!(report.completed + report.failed as usize, 20);
         assert_eq!(report.failed, 0, "retries should mask 8% loss");
+        // The retry counters must actually see the retransmissions.
+        assert!(report.retries > 0, "8% loss must force some retransmission");
+        assert!(report.retried_requests > 0);
+        assert!(report.retried_requests as usize <= report.completed);
+    }
+
+    #[test]
+    fn lossless_run_records_zero_retries() {
+        let trace = recognition_trace(10);
+        let report = run(&trace, &small_cfg());
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.retried_requests, 0);
     }
 
     #[test]

@@ -103,9 +103,6 @@ mod tests {
         assert_eq!(m.byte_size(), 1234);
         let p = TaskResult::Panorama(Bytes::from(vec![0u8; 99]));
         assert_eq!(p.byte_size(), 99);
-        assert_eq!(
-            TaskRequest::Panorama { frame_id: 0 }.kind(),
-            "panorama"
-        );
+        assert_eq!(TaskRequest::Panorama { frame_id: 0 }.kind(), "panorama");
     }
 }

@@ -1,25 +1,105 @@
-//! Real transport: length-prefixed frames over TCP.
+//! Real transport: length-prefixed, checksummed frames over TCP.
 //!
 //! The same client/edge/cloud state machines that run on the simulator can
 //! be deployed over actual sockets for live demos and loopback integration
-//! tests. Connection handling is thread-per-connection with crossbeam
+//! tests. Connection handling is thread-per-connection with std
 //! channels — appropriate for the handful of nodes in a CoIC deployment and
 //! free of async-runtime dependencies (the guides recommend plain blocking
 //! IO when you are not multiplexing thousands of connections).
 //!
-//! Wire format: `u32` big-endian payload length, then the payload. Frames
-//! larger than [`MAX_FRAME`] are rejected on both send and receive so a
-//! corrupt or malicious peer cannot trigger unbounded allocation.
+//! Wire format: `u32` big-endian payload length, `u32` big-endian CRC-32
+//! (IEEE) of the payload, then the payload. Frames larger than
+//! [`MAX_FRAME`] are rejected on both send and receive so a corrupt or
+//! malicious peer cannot trigger unbounded allocation, and the receive
+//! path allocates incrementally so a lying length prefix cannot reserve
+//! more memory than the peer actually transmits.
+//!
+//! Fault tolerance: connections support read/write deadlines
+//! ([`FrameConn::set_read_deadline`]), every error classifies into the
+//! [`FaultError`] taxonomy, [`FrameServer`] shuts down gracefully (its
+//! accept thread and live connections are torn down on drop), and
+//! [`FaultProxy`] provides deterministic, seedable fault injection between
+//! any client and server for chaos testing.
 
 use bytes::Bytes;
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Upper bound on a single frame's payload (256 MiB) — larger than any CoIC
 /// message (the biggest are multi-megabyte 3D models) but small enough to
 /// bound allocation on a corrupt length prefix.
 pub const MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+/// Receive-path chunk size: the largest allocation made before any payload
+/// byte has actually arrived.
+const RECV_CHUNK: usize = 64 * 1024;
+
+/// Frame header: length (4) + CRC-32 (4).
+const HDR_LEN: usize = 8;
+
+// --- CRC-32 (IEEE 802.3), table-driven ---------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data`, as carried in the frame header.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// --- error taxonomy ----------------------------------------------------
+
+/// Coarse failure classification used by retry/fallback logic upstack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultError {
+    /// A read or write deadline expired.
+    Timeout,
+    /// The peer closed or the connection otherwise broke.
+    Closed,
+    /// Payload failed its checksum.
+    Corrupt,
+    /// A length prefix exceeded [`MAX_FRAME`].
+    Oversized,
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::Timeout => write!(f, "timeout"),
+            FaultError::Closed => write!(f, "closed"),
+            FaultError::Corrupt => write!(f, "corrupt"),
+            FaultError::Oversized => write!(f, "oversized"),
+        }
+    }
+}
 
 /// Errors surfaced by the frame transport.
 #[derive(Debug)]
@@ -28,8 +108,35 @@ pub enum FrameError {
     Io(io::Error),
     /// Peer closed the connection cleanly between frames.
     Closed,
+    /// A read or write deadline expired. The stream may be mid-frame and
+    /// must be considered desynchronized; reconnect rather than retrying
+    /// on the same connection.
+    Timeout,
+    /// Payload bytes did not match the header checksum.
+    Corrupt {
+        /// Checksum the sender declared.
+        expected: u32,
+        /// Checksum of the bytes actually received.
+        actual: u32,
+    },
     /// A length prefix exceeded [`MAX_FRAME`].
     Oversized(u32),
+}
+
+impl FrameError {
+    /// Classify into the coarse [`FaultError`] taxonomy.
+    pub fn fault(&self) -> FaultError {
+        match self {
+            FrameError::Timeout => FaultError::Timeout,
+            FrameError::Corrupt { .. } => FaultError::Corrupt,
+            FrameError::Oversized(_) => FaultError::Oversized,
+            FrameError::Closed => FaultError::Closed,
+            FrameError::Io(e) => match e.kind() {
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => FaultError::Timeout,
+                _ => FaultError::Closed,
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for FrameError {
@@ -37,6 +144,10 @@ impl std::fmt::Display for FrameError {
         match self {
             FrameError::Io(e) => write!(f, "io error: {e}"),
             FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Timeout => write!(f, "deadline expired"),
+            FrameError::Corrupt { expected, actual } => {
+                write!(f, "corrupt frame: crc {actual:#010x} != {expected:#010x}")
+            }
             FrameError::Oversized(n) => write!(f, "frame of {n} bytes exceeds MAX_FRAME"),
         }
     }
@@ -46,9 +157,14 @@ impl std::error::Error for FrameError {}
 
 impl From<io::Error> for FrameError {
     fn from(e: io::Error) -> Self {
-        FrameError::Io(e)
+        match e.kind() {
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => FrameError::Timeout,
+            _ => FrameError::Io(e),
+        }
     }
 }
+
+// --- framed connection -------------------------------------------------
 
 /// A framed, blocking TCP connection.
 pub struct FrameConn {
@@ -68,6 +184,24 @@ impl FrameConn {
         Self::new(TcpStream::connect(addr)?)
     }
 
+    /// Connect with a bound on how long connection establishment may take.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> io::Result<Self> {
+        Self::new(TcpStream::connect_timeout(addr, timeout)?)
+    }
+
+    /// Bound how long [`FrameConn::recv`] may block. `None` blocks forever.
+    /// An expired deadline surfaces as [`FrameError::Timeout`] and leaves
+    /// the stream desynchronized (a frame may be partially read).
+    pub fn set_read_deadline(&self, deadline: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(deadline)
+    }
+
+    /// Bound how long [`FrameConn::send`] may block on a full socket
+    /// buffer. `None` blocks forever.
+    pub fn set_write_deadline(&self, deadline: Option<Duration>) -> io::Result<()> {
+        self.stream.set_write_timeout(deadline)
+    }
+
     /// Clone the underlying socket so one thread can read while another
     /// writes.
     pub fn try_clone(&self) -> io::Result<FrameConn> {
@@ -76,13 +210,21 @@ impl FrameConn {
         })
     }
 
+    /// Shut down both directions, unblocking any thread inside
+    /// [`FrameConn::recv`].
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
     /// Send one frame.
     pub fn send(&mut self, payload: &[u8]) -> Result<(), FrameError> {
         let len = payload.len();
         if len > MAX_FRAME as usize {
             return Err(FrameError::Oversized(len.min(u32::MAX as usize) as u32));
         }
-        let hdr = (len as u32).to_be_bytes();
+        let mut hdr = [0u8; HDR_LEN];
+        hdr[..4].copy_from_slice(&(len as u32).to_be_bytes());
+        hdr[4..].copy_from_slice(&crc32(payload).to_be_bytes());
         self.stream.write_all(&hdr)?;
         self.stream.write_all(payload)?;
         self.stream.flush()?;
@@ -90,39 +232,98 @@ impl FrameConn {
     }
 
     /// Receive one frame. Returns [`FrameError::Closed`] on clean EOF at a
-    /// frame boundary.
+    /// frame boundary, [`FrameError::Timeout`] if a read deadline expires,
+    /// and [`FrameError::Corrupt`] on checksum mismatch.
     pub fn recv(&mut self) -> Result<Bytes, FrameError> {
-        let mut hdr = [0u8; 4];
+        let mut hdr = [0u8; HDR_LEN];
         match self.stream.read_exact(&mut hdr) {
             Ok(()) => {}
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(FrameError::Closed),
             Err(e) => return Err(e.into()),
         }
-        let len = u32::from_be_bytes(hdr);
+        let len = u32::from_be_bytes(hdr[..4].try_into().unwrap());
+        let expected = u32::from_be_bytes(hdr[4..].try_into().unwrap());
         if len > MAX_FRAME {
             return Err(FrameError::Oversized(len));
         }
-        let mut buf = vec![0u8; len as usize];
-        self.stream.read_exact(&mut buf)?;
+        // Allocate incrementally: a lying length prefix can only cost
+        // RECV_CHUNK bytes beyond what the peer actually transmits.
+        let len = len as usize;
+        let mut buf = Vec::with_capacity(len.min(RECV_CHUNK));
+        while buf.len() < len {
+            let old = buf.len();
+            let n = (len - old).min(RECV_CHUNK);
+            buf.resize(old + n, 0);
+            if let Err(e) = self.stream.read_exact(&mut buf[old..]) {
+                return Err(e.into());
+            }
+        }
+        let actual = crc32(&buf);
+        if actual != expected {
+            return Err(FrameError::Corrupt { expected, actual });
+        }
         Ok(Bytes::from(buf))
     }
 
     /// Local socket address.
-    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.stream.local_addr()
     }
 
     /// Remote socket address.
-    pub fn peer_addr(&self) -> io::Result<std::net::SocketAddr> {
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
         self.stream.peer_addr()
     }
 }
 
-/// A running frame server. Dropping the handle does not stop the server;
-/// call [`FrameServer::local_addr`] to learn the bound port when binding to
-/// port 0.
+// --- shared listener plumbing ------------------------------------------
+
+/// Registry of live per-connection sockets plus a stop flag, shared
+/// between an accept loop and `shutdown()`.
+struct ListenerShared {
+    stop: AtomicBool,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_id: AtomicU64,
+}
+
+impl ListenerShared {
+    fn new() -> Arc<Self> {
+        Arc::new(ListenerShared {
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+        })
+    }
+
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.conns.lock().unwrap().insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.conns.lock().unwrap().remove(&id);
+    }
+
+    /// Set the stop flag, sever every live connection, and poke the accept
+    /// loop awake with a throwaway connection.
+    fn initiate_shutdown(&self, addr: SocketAddr) {
+        self.stop.store(true, Ordering::SeqCst);
+        for (_, conn) in self.conns.lock().unwrap().drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+    }
+}
+
+/// A running frame server. Dropping the handle (or calling
+/// [`FrameServer::shutdown`]) stops the accept loop, severs every live
+/// connection, and joins the accept thread, so a dropped server really is
+/// gone — chaos tests rely on that to kill an edge mid-workload.
 pub struct FrameServer {
-    addr: std::net::SocketAddr,
+    addr: SocketAddr,
+    shared: Arc<ListenerShared>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -138,52 +339,405 @@ impl FrameServer {
     {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let handler = std::sync::Arc::new(handler);
+        let handler = Arc::new(handler);
+        let shared = ListenerShared::new();
+        let shared2 = shared.clone();
         let accept_thread = std::thread::Builder::new()
             .name("coic-frame-accept".into())
             .spawn(move || {
                 for conn in listener.incoming() {
+                    if shared2.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
                     let Ok(stream) = conn else { break };
+                    let Some(id) = shared2.register(&stream) else {
+                        continue;
+                    };
                     let h = handler.clone();
+                    let sh = shared2.clone();
                     let _ = std::thread::Builder::new()
                         .name("coic-frame-conn".into())
                         .spawn(move || {
-                            let Ok(mut fc) = FrameConn::new(stream) else {
-                                return;
-                            };
-                            while let Ok(frame) = fc.recv() {
-                                match h(frame) {
-                                    Some(resp) => {
-                                        if fc.send(&resp).is_err() {
-                                            break;
+                            if let Ok(mut fc) = FrameConn::new(stream) {
+                                while let Ok(frame) = fc.recv() {
+                                    match h(frame) {
+                                        Some(resp) => {
+                                            if fc.send(&resp).is_err() {
+                                                break;
+                                            }
                                         }
+                                        None => break,
                                     }
-                                    None => break,
                                 }
                             }
+                            sh.deregister(id);
                         });
                 }
             })?;
         Ok(FrameServer {
             addr: local,
+            shared,
             accept_thread: Some(accept_thread),
         })
     }
 
     /// The address the server is listening on.
-    pub fn local_addr(&self) -> std::net::SocketAddr {
+    pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Stop accepting, sever live connections, and join the accept thread.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            self.shared.initiate_shutdown(self.addr);
+            let _ = t.join();
+        }
     }
 }
 
 impl Drop for FrameServer {
     fn drop(&mut self) {
-        // Detach: the accept loop lives for the process lifetime. Tests use
-        // ephemeral ports so leaked listeners are harmless.
-        if let Some(t) = self.accept_thread.take() {
-            drop(t);
+        self.shutdown();
+    }
+}
+
+// --- deterministic fault injection -------------------------------------
+
+/// What [`FaultProxy`] may do to traffic, expressed as per-frame
+/// probabilities evaluated by a deterministic hash of
+/// `(seed, connection, direction, frame index)` — two runs with the same
+/// plan and workload shape make identical decisions regardless of thread
+/// scheduling.
+///
+/// At most one fault fires per frame, checked in priority order:
+/// kill > drop > corrupt > delay.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for all fault decisions.
+    pub seed: u64,
+    /// Probability a frame is silently dropped (the receiver must rely on
+    /// its read deadline).
+    pub drop_frame: f64,
+    /// Probability a frame's payload is truncated: the declared length is
+    /// kept but the second half of the payload is zero-filled, so framing
+    /// stays synchronized and the receiver sees [`FrameError::Corrupt`].
+    pub truncate_frame: f64,
+    /// Probability a frame is delayed by [`FaultPlan::delay_ms`] before
+    /// forwarding.
+    pub delay_frame: f64,
+    /// Delay applied to delayed frames.
+    pub delay_ms: u64,
+    /// Probability the whole connection is severed at this frame.
+    pub kill_conn: f64,
+    /// Blackhole: at client→server frame index `.0` of each connection,
+    /// stall forwarding in that direction for `.1` milliseconds (models a
+    /// routing brownout; TCP delivers everything afterwards).
+    pub blackhole: Option<(u64, u64)>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            drop_frame: 0.0,
+            truncate_frame: 0.0,
+            delay_frame: 0.0,
+            delay_ms: 0,
+            kill_conn: 0.0,
+            blackhole: None,
         }
     }
+}
+
+impl FaultPlan {
+    /// A plan that forwards everything untouched.
+    pub fn transparent(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// Event counters for a [`FaultProxy`]. Snapshot with
+/// [`FaultStats::snapshot`]; equal snapshots across runs demonstrate
+/// deterministic injection.
+#[derive(Default)]
+pub struct FaultStats {
+    forwarded: AtomicU64,
+    dropped: AtomicU64,
+    truncated: AtomicU64,
+    delayed: AtomicU64,
+    conns_killed: AtomicU64,
+    blackholes: AtomicU64,
+    conns_opened: AtomicU64,
+}
+
+/// Point-in-time copy of [`FaultStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStatsSnapshot {
+    /// Frames forwarded unmodified (delayed frames count here too).
+    pub forwarded: u64,
+    /// Frames silently dropped.
+    pub dropped: u64,
+    /// Frames forwarded with a corrupted payload.
+    pub truncated: u64,
+    /// Frames forwarded late.
+    pub delayed: u64,
+    /// Connections severed mid-stream.
+    pub conns_killed: u64,
+    /// Blackhole stalls applied.
+    pub blackholes: u64,
+    /// Connections accepted by the proxy.
+    pub conns_opened: u64,
+}
+
+impl FaultStats {
+    /// Copy the counters.
+    pub fn snapshot(&self) -> FaultStatsSnapshot {
+        FaultStatsSnapshot {
+            forwarded: self.forwarded.load(Ordering::SeqCst),
+            dropped: self.dropped.load(Ordering::SeqCst),
+            truncated: self.truncated.load(Ordering::SeqCst),
+            delayed: self.delayed.load(Ordering::SeqCst),
+            conns_killed: self.conns_killed.load(Ordering::SeqCst),
+            blackholes: self.blackholes.load(Ordering::SeqCst),
+            conns_opened: self.conns_opened.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Fault decision for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultAction {
+    Forward,
+    Drop,
+    Truncate,
+    Delay,
+    Kill,
+}
+
+/// SplitMix64-style avalanche over the decision coordinates; yields a
+/// uniform f64 in [0, 1).
+fn fault_roll(seed: u64, conn: u64, dir: u64, frame: u64) -> f64 {
+    let mut z = seed
+        .wrapping_add(conn.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(dir.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(frame.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultPlan {
+    fn decide(&self, conn: u64, dir: u64, frame: u64) -> FaultAction {
+        let roll = fault_roll(self.seed, conn, dir, frame);
+        // One roll, fixed priority bands: [0,kill) kill, [kill,kill+drop)
+        // drop, and so on. A single roll keeps decisions independent of
+        // evaluation order.
+        let mut edge = self.kill_conn;
+        if roll < edge {
+            return FaultAction::Kill;
+        }
+        edge += self.drop_frame;
+        if roll < edge {
+            return FaultAction::Drop;
+        }
+        edge += self.truncate_frame;
+        if roll < edge {
+            return FaultAction::Truncate;
+        }
+        edge += self.delay_frame;
+        if roll < edge {
+            return FaultAction::Delay;
+        }
+        FaultAction::Forward
+    }
+}
+
+/// A deterministic fault-injecting TCP proxy operating at frame
+/// granularity. Point a client at [`FaultProxy::local_addr`] and the proxy
+/// relays to `upstream`, applying the [`FaultPlan`] to each frame in each
+/// direction independently.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stats: Arc<FaultStats>,
+    shared: Arc<ListenerShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Listen on an ephemeral local port and relay to `upstream` under
+    /// `plan`.
+    pub fn spawn(upstream: SocketAddr, plan: FaultPlan) -> io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let local = listener.local_addr()?;
+        let stats = Arc::new(FaultStats::default());
+        let shared = ListenerShared::new();
+        let (shared2, stats2) = (shared.clone(), stats.clone());
+        let accept_thread = std::thread::Builder::new()
+            .name("coic-fault-accept".into())
+            .spawn(move || {
+                let mut conn_index = 0u64;
+                for conn in listener.incoming() {
+                    if shared2.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(client) = conn else { break };
+                    let Ok(server) = TcpStream::connect(upstream) else {
+                        // Upstream is down: drop the client so it sees
+                        // Closed rather than a hang.
+                        continue;
+                    };
+                    stats2.conns_opened.fetch_add(1, Ordering::SeqCst);
+                    let idx = conn_index;
+                    conn_index += 1;
+                    for (dir, from, to) in [
+                        (0u64, client.try_clone(), server.try_clone()),
+                        (1u64, server.try_clone(), client.try_clone()),
+                    ] {
+                        let (Ok(from), Ok(to)) = (from, to) else {
+                            continue;
+                        };
+                        let reg = shared2.register(&from);
+                        let sh = shared2.clone();
+                        let (plan, stats) = (plan.clone(), stats2.clone());
+                        let _ = std::thread::Builder::new()
+                            .name("coic-fault-pump".into())
+                            .spawn(move || {
+                                pump_frames(from, to, plan, idx, dir, stats);
+                                if let Some(id) = reg {
+                                    sh.deregister(id);
+                                }
+                            });
+                    }
+                }
+            })?;
+        Ok(FaultProxy {
+            addr: local,
+            stats,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live event counters.
+    pub fn stats(&self) -> FaultStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stop the proxy and sever all relayed connections. Idempotent; also
+    /// invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            self.shared.initiate_shutdown(self.addr);
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Read a raw frame (header + payload) without checksum validation — the
+/// proxy relays opaque bytes so it can corrupt them.
+fn read_raw_frame(stream: &mut TcpStream) -> io::Result<(u32, u32, Vec<u8>)> {
+    let mut hdr = [0u8; HDR_LEN];
+    stream.read_exact(&mut hdr)?;
+    let len = u32::from_be_bytes(hdr[..4].try_into().unwrap());
+    let crc = u32::from_be_bytes(hdr[4..].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized"));
+    }
+    let len = len as usize;
+    let mut buf = Vec::with_capacity(len.min(RECV_CHUNK));
+    while buf.len() < len {
+        let old = buf.len();
+        let n = (len - old).min(RECV_CHUNK);
+        buf.resize(old + n, 0);
+        stream.read_exact(&mut buf[old..])?;
+    }
+    Ok((len as u32, crc, buf))
+}
+
+fn write_raw_frame(stream: &mut TcpStream, len: u32, crc: u32, payload: &[u8]) -> io::Result<()> {
+    let mut hdr = [0u8; HDR_LEN];
+    hdr[..4].copy_from_slice(&len.to_be_bytes());
+    hdr[4..].copy_from_slice(&crc.to_be_bytes());
+    stream.write_all(&hdr)?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Relay frames `from` → `to`, applying `plan` per frame.
+fn pump_frames(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    plan: FaultPlan,
+    conn: u64,
+    dir: u64,
+    stats: Arc<FaultStats>,
+) {
+    let mut frame_idx = 0u64;
+    while let Ok((len, crc, mut payload)) = read_raw_frame(&mut from) {
+        if dir == 0 {
+            if let Some((at, ms)) = plan.blackhole {
+                if frame_idx == at {
+                    stats.blackholes.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+            }
+        }
+        match plan.decide(conn, dir, frame_idx) {
+            FaultAction::Kill => {
+                stats.conns_killed.fetch_add(1, Ordering::SeqCst);
+                let _ = from.shutdown(Shutdown::Both);
+                let _ = to.shutdown(Shutdown::Both);
+                break;
+            }
+            FaultAction::Drop => {
+                stats.dropped.fetch_add(1, Ordering::SeqCst);
+            }
+            FaultAction::Truncate => {
+                stats.truncated.fetch_add(1, Ordering::SeqCst);
+                let half = payload.len() / 2;
+                for b in &mut payload[half..] {
+                    *b = 0;
+                }
+                // Keep the original CRC: unless the payload was empty the
+                // receiver now sees a checksum mismatch.
+                if write_raw_frame(&mut to, len, crc, &payload).is_err() {
+                    break;
+                }
+            }
+            FaultAction::Delay => {
+                stats.delayed.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(plan.delay_ms));
+                if write_raw_frame(&mut to, len, crc, &payload).is_err() {
+                    break;
+                }
+                stats.forwarded.fetch_add(1, Ordering::SeqCst);
+            }
+            FaultAction::Forward => {
+                if write_raw_frame(&mut to, len, crc, &payload).is_err() {
+                    break;
+                }
+                stats.forwarded.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        frame_idx += 1;
+    }
+    let _ = to.shutdown(Shutdown::Both);
 }
 
 #[cfg(test)]
@@ -254,6 +808,76 @@ mod tests {
     }
 
     #[test]
+    fn oversized_header_cannot_cause_huge_allocation() {
+        // A peer that declares an in-range but dishonest length only costs
+        // RECV_CHUNK of allocation before the read deadline fires.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Declare 64 MiB but send only 10 bytes, then stall.
+            let mut hdr = [0u8; HDR_LEN];
+            hdr[..4].copy_from_slice(&(64u32 * 1024 * 1024).to_be_bytes());
+            s.write_all(&hdr).unwrap();
+            s.write_all(&[0u8; 10]).unwrap();
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let mut conn = FrameConn::connect(addr).unwrap();
+        conn.set_read_deadline(Some(Duration::from_millis(50)))
+            .unwrap();
+        match conn.recv() {
+            Err(FrameError::Timeout) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn read_deadline_yields_timeout() {
+        // A server that never answers: recv must not hang.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            let (_s, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let mut conn = FrameConn::connect(addr).unwrap();
+        conn.set_read_deadline(Some(Duration::from_millis(40)))
+            .unwrap();
+        let start = std::time::Instant::now();
+        match conn.recv() {
+            Err(e @ FrameError::Timeout) => assert_eq!(e.fault(), FaultError::Timeout),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_millis(250),
+            "deadline ignored"
+        );
+        hold.join().unwrap();
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let payload = b"immersive";
+            let mut hdr = [0u8; HDR_LEN];
+            hdr[..4].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+            hdr[4..].copy_from_slice(&(crc32(payload) ^ 0xFFFF).to_be_bytes());
+            s.write_all(&hdr).unwrap();
+            s.write_all(payload).unwrap();
+        });
+        let mut conn = FrameConn::connect(addr).unwrap();
+        match conn.recv() {
+            Err(e @ FrameError::Corrupt { .. }) => assert_eq!(e.fault(), FaultError::Corrupt),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        writer.join().unwrap();
+    }
+
+    #[test]
     fn large_frame_round_trips() {
         let server = FrameServer::spawn("127.0.0.1:0", |f| Some(f.to_vec())).unwrap();
         let mut conn = FrameConn::connect(server.local_addr()).unwrap();
@@ -283,5 +907,118 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
+    }
+
+    #[test]
+    fn graceful_shutdown_unblocks_clients_and_frees_port() {
+        let mut server = FrameServer::spawn("127.0.0.1:0", |f| Some(f.to_vec())).unwrap();
+        let addr = server.local_addr();
+        let mut conn = FrameConn::connect(addr).unwrap();
+        conn.send(b"ping").unwrap();
+        conn.recv().unwrap();
+        // A blocked reader must be unblocked by shutdown, not hang.
+        let reader = std::thread::spawn(move || conn.recv().is_err());
+        std::thread::sleep(Duration::from_millis(30));
+        server.shutdown();
+        assert!(reader.join().unwrap(), "reader should observe an error");
+        // The port is free again: a new server can bind it.
+        drop(server);
+        let rebound = FrameServer::spawn(addr, |f| Some(f.to_vec()));
+        assert!(rebound.is_ok(), "port not released after shutdown");
+    }
+
+    #[test]
+    fn drop_kills_server() {
+        let server = FrameServer::spawn("127.0.0.1:0", |f| Some(f.to_vec())).unwrap();
+        let addr = server.local_addr();
+        drop(server);
+        // New connections are refused (or immediately severed).
+        match FrameConn::connect(addr) {
+            Err(_) => {}
+            Ok(mut c) => {
+                c.set_read_deadline(Some(Duration::from_millis(100)))
+                    .unwrap();
+                let _ = c.send(b"x");
+                assert!(c.recv().is_err(), "dead server answered");
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn transparent_proxy_relays() {
+        let server = FrameServer::spawn("127.0.0.1:0", |f| Some(f.to_vec())).unwrap();
+        let proxy = FaultProxy::spawn(server.local_addr(), FaultPlan::transparent(1)).unwrap();
+        let mut conn = FrameConn::connect(proxy.local_addr()).unwrap();
+        for i in 0..10u8 {
+            conn.send(&[i; 5]).unwrap();
+            assert_eq!(&conn.recv().unwrap()[..], &[i; 5]);
+        }
+        let s = proxy.stats();
+        assert_eq!(s.forwarded, 20); // 10 each way
+        assert_eq!(s.dropped + s.truncated + s.conns_killed, 0);
+    }
+
+    #[test]
+    fn proxy_truncation_surfaces_as_corrupt() {
+        let server = FrameServer::spawn("127.0.0.1:0", |f| Some(f.to_vec())).unwrap();
+        let plan = FaultPlan {
+            seed: 7,
+            truncate_frame: 1.0,
+            ..FaultPlan::default()
+        };
+        let proxy = FaultProxy::spawn(server.local_addr(), plan).unwrap();
+        let mut conn = FrameConn::connect(proxy.local_addr()).unwrap();
+        // Every frame is corrupted, so the server drops the connection and
+        // the client sees Corrupt or Closed — never a clean response.
+        let _ = conn.send(b"immersion on the edge");
+        match conn.recv() {
+            Err(e) => assert!(
+                matches!(e.fault(), FaultError::Corrupt | FaultError::Closed),
+                "unexpected {e:?}"
+            ),
+            Ok(_) => panic!("corrupted traffic produced a clean reply"),
+        }
+        assert!(proxy.stats().truncated >= 1);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        // Two identical runs against the same plan must produce identical
+        // event counts.
+        let run = || {
+            let server = FrameServer::spawn("127.0.0.1:0", |f| Some(f.to_vec())).unwrap();
+            let plan = FaultPlan {
+                seed: 42,
+                drop_frame: 0.2,
+                delay_frame: 0.2,
+                delay_ms: 1,
+                ..FaultPlan::default()
+            };
+            let proxy = FaultProxy::spawn(server.local_addr(), plan).unwrap();
+            let mut conn = FrameConn::connect(proxy.local_addr()).unwrap();
+            conn.set_read_deadline(Some(Duration::from_millis(100)))
+                .unwrap();
+            let mut answered = 0u32;
+            for i in 0..40u8 {
+                if conn.send(&[i]).is_err() {
+                    break;
+                }
+                if conn.recv().is_ok() {
+                    answered += 1;
+                }
+            }
+            (answered, proxy.stats())
+        };
+        let (a1, s1) = run();
+        let (a2, s2) = run();
+        assert_eq!(s1, s2, "fault decisions diverged between runs");
+        assert_eq!(a1, a2);
+        assert!(s1.dropped > 0, "plan should have dropped something");
     }
 }

@@ -109,7 +109,7 @@ mod tests {
     fn idle_time_refills_bucket() {
         let mut s = Shaper::new(8_000_000, 2_000);
         let _ = s.release_at(SimTime::ZERO, 2_000); // drain burst
-        // After 2 ms the bucket holds 2 kB again.
+                                                    // After 2 ms the bucket holds 2 kB again.
         let t = s.release_at(SimTime::from_millis(2), 2_000);
         assert_eq!(t, SimTime::from_millis(2));
     }
@@ -118,7 +118,7 @@ mod tests {
     fn oversized_message_released_at_full_bucket() {
         let mut s = Shaper::new(8_000_000, 1_000);
         let _ = s.release_at(SimTime::ZERO, 1_000); // empty the bucket
-        // 5 kB > burst: released when the bucket is full again (1 ms).
+                                                    // 5 kB > burst: released when the bucket is full again (1 ms).
         let t = s.release_at(SimTime::ZERO, 5_000);
         assert_eq!(t, SimTime::from_millis(1));
         // The bucket went negative; the next small message waits for the

@@ -85,9 +85,7 @@ impl<M> World<M> {
     /// Transmit one hop; schedule the Deliver event on success.
     fn transmit_hop(&mut self, from: NodeId, to: NodeId, dst: NodeId, bytes: u64, msg: M) {
         let Some(link) = self.topo.link_mut(from, to) else {
-            panic!(
-                "no link {from}->{to}: send() requires a direct link; use send_routed()"
-            );
+            panic!("no link {from}->{to}: send() requires a direct link; use send_routed()");
         };
         let now = self.now;
         match link.transmit(now, bytes, &mut self.rng) {
@@ -171,7 +169,9 @@ impl<'a, M> Ctx<'a, M> {
     pub fn set_timer(&mut self, after: SimDuration, token: u64) {
         let node = self.node;
         let at = self.world.now + after;
-        self.world.queue.schedule(at, SimEvent::Timer { node, token });
+        self.world
+            .queue
+            .schedule(at, SimEvent::Timer { node, token });
     }
 
     /// Immutable access to the topology (e.g. to look up names or link
@@ -394,7 +394,13 @@ mod tests {
     #[test]
     fn ping_pong_round_trip_time() {
         let (mut sim, a, b) = two_node_sim();
-        sim.bind(a, Box::new(Pinger { peer: b, reply: None }));
+        sim.bind(
+            a,
+            Box::new(Pinger {
+                peer: b,
+                reply: None,
+            }),
+        );
         sim.bind(b, Box::new(Echo));
         sim.run(100);
         // 100 B at 1 MB/s = 0.1 ms serialization each way + 10 ms prop each way.
@@ -474,7 +480,13 @@ mod tests {
     #[test]
     fn run_until_stops_at_deadline() {
         let (mut sim, a, b) = two_node_sim();
-        sim.bind(a, Box::new(Pinger { peer: b, reply: None }));
+        sim.bind(
+            a,
+            Box::new(Pinger {
+                peer: b,
+                reply: None,
+            }),
+        );
         sim.bind(b, Box::new(Echo));
         sim.run_until(SimTime::from_millis(10));
         // Only the first delivery (at 10.1 ms) is beyond the deadline.
@@ -494,7 +506,13 @@ mod tests {
             params.jitter_max = SimDuration::from_millis(2);
             topo.connect(a, b, params);
             let mut sim = Simulator::new(topo, seed);
-            sim.bind(a, Box::new(Pinger { peer: b, reply: None }));
+            sim.bind(
+                a,
+                Box::new(Pinger {
+                    peer: b,
+                    reply: None,
+                }),
+            );
             sim.bind(b, Box::new(Echo));
             sim.run(1000);
             (sim.now(), sim.stats().delivered)
@@ -574,7 +592,13 @@ mod tests {
     fn trace_records_transmissions() {
         let (mut sim, a, b) = two_node_sim();
         sim.enable_trace(100);
-        sim.bind(a, Box::new(Pinger { peer: b, reply: None }));
+        sim.bind(
+            a,
+            Box::new(Pinger {
+                peer: b,
+                reply: None,
+            }),
+        );
         sim.bind(b, Box::new(Echo));
         sim.run(100);
         let trace = sim.trace().unwrap();

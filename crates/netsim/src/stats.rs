@@ -257,24 +257,21 @@ impl P2Quantile {
                 let d = d.signum();
                 let h = self.heights[i];
                 // P² parabolic formula.
-                let candidate = h
-                    + d / (self.positions[i + 1] - self.positions[i - 1])
-                        * ((self.positions[i] - self.positions[i - 1] + d)
-                            * (self.heights[i + 1] - h)
-                            / right
-                            + (self.positions[i + 1] - self.positions[i] - d)
-                                * (h - self.heights[i - 1])
-                                / -left);
+                let candidate = h + d / (self.positions[i + 1] - self.positions[i - 1])
+                    * ((self.positions[i] - self.positions[i - 1] + d) * (self.heights[i + 1] - h)
+                        / right
+                        + (self.positions[i + 1] - self.positions[i] - d)
+                            * (h - self.heights[i - 1])
+                            / -left);
                 // Fall back to linear when the parabola leaves the bracket.
-                self.heights[i] = if self.heights[i - 1] < candidate
-                    && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else if d > 0.0 {
-                    h + (self.heights[i + 1] - h) / right
-                } else {
-                    h + (self.heights[i - 1] - h) / left
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else if d > 0.0 {
+                        h + (self.heights[i + 1] - h) / right
+                    } else {
+                        h + (self.heights[i - 1] - h) / left
+                    };
                 self.positions[i] += d;
             }
         }

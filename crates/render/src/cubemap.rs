@@ -125,7 +125,7 @@ mod tests {
         let scene = sphere_scene(Vec3::new(4.0, 0.0, 0.0));
         let pano = render_equirect(&scene, Vec3::ZERO, 64, 64);
         // Bright at (azimuth 0, equator) which is column 0/last, row h/2.
-        let mid = pano.bytes()[(32 * pano.width()) as usize] ;
+        let mid = pano.bytes()[(32 * pano.width()) as usize];
         assert!(mid > 0, "sphere should be visible at the seam center");
         // Opposite direction (-x = azimuth π, middle column): empty.
         let opposite = pano.bytes()[(32 * pano.width() + pano.width() / 2) as usize];
@@ -186,6 +186,9 @@ mod tests {
         assert!(view.iter().any(|&p| p > 0), "crop toward object is lit");
         // Looking away.
         let away = pano.crop_viewport(std::f64::consts::PI, 0.0, 1.2, 32, 32);
-        assert!(away.iter().all(|&p| p == 0), "crop away from object is dark");
+        assert!(
+            away.iter().all(|&p| p == 0),
+            "crop away from object is dark"
+        );
     }
 }

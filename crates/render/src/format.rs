@@ -74,7 +74,10 @@ impl std::fmt::Display for CmfError {
             }
             CmfError::TooLarge(n) => write!(f, "element count {n} exceeds limit"),
             CmfError::CrcMismatch { expected, actual } => {
-                write!(f, "crc mismatch: file says {expected:#010x}, computed {actual:#010x}")
+                write!(
+                    f,
+                    "crc mismatch: file says {expected:#010x}, computed {actual:#010x}"
+                )
             }
             CmfError::BadName => write!(f, "model name is not valid UTF-8"),
             CmfError::InvalidMesh(e) => write!(f, "decoded mesh invalid: {e}"),
@@ -93,7 +96,11 @@ pub fn crc32(data: &[u8]) -> u32 {
         for (i, entry) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }
@@ -225,7 +232,11 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_mesh() {
-        for mesh in [procgen::cube(), procgen::terrain(16, 3, 0.5), procgen::avatar(1)] {
+        for mesh in [
+            procgen::cube(),
+            procgen::terrain(16, 3, 0.5),
+            procgen::avatar(1),
+        ] {
             let bytes = encode(&mesh);
             let back = decode(&bytes).unwrap();
             assert_eq!(back, mesh);

@@ -25,8 +25,8 @@ pub mod cubemap;
 pub mod format;
 pub mod loader;
 pub mod math;
-pub mod output;
 pub mod mesh;
+pub mod output;
 pub mod panorama;
 pub mod procgen;
 pub mod raster;
@@ -36,8 +36,8 @@ pub use cubemap::{cubemap_to_equirect, render_cubemap, render_equirect, sample_c
 pub use format::{crc32, decode, encode, encoded_size, CmfError};
 pub use loader::{load_cmf, LoadCostModel, LoadedModel};
 pub use math::{Mat4, Vec3, Vec4};
-pub use output::{decode_pgm, encode_pgm, write_framebuffer_pgm, write_pgm};
 pub use mesh::{Aabb, Mesh, MeshError, Vertex};
+pub use output::{decode_pgm, encode_pgm, write_framebuffer_pgm, write_pgm};
 pub use panorama::Panorama;
 pub use raster::{draw, DrawStats, Framebuffer};
 pub use scene::{Camera, Instance, Scene};

@@ -120,7 +120,11 @@ mod tests {
     #[test]
     fn cold_load_dominates_warm_load() {
         let bytes = 10_000_000u64; // 10 MB model
-        for model in [LoadCostModel::CLOUD, LoadCostModel::EDGE, LoadCostModel::MOBILE] {
+        for model in [
+            LoadCostModel::CLOUD,
+            LoadCostModel::EDGE,
+            LoadCostModel::MOBILE,
+        ] {
             assert!(model.full_load_ns(bytes) > 2 * model.warm_load_ns(bytes));
         }
     }
@@ -138,6 +142,8 @@ mod tests {
     fn tiers_ordered_by_speed() {
         let bytes = 5_000_000;
         assert!(LoadCostModel::CLOUD.full_load_ns(bytes) < LoadCostModel::EDGE.full_load_ns(bytes));
-        assert!(LoadCostModel::EDGE.full_load_ns(bytes) < LoadCostModel::MOBILE.full_load_ns(bytes));
+        assert!(
+            LoadCostModel::EDGE.full_load_ns(bytes) < LoadCostModel::MOBILE.full_load_ns(bytes)
+        );
     }
 }

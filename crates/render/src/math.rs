@@ -320,7 +320,11 @@ mod tests {
     #[test]
     fn rotation_preserves_length() {
         let v = Vec3::new(1.0, 2.0, 3.0);
-        for m in [Mat4::rotate_x(1.1), Mat4::rotate_y(2.2), Mat4::rotate_z(0.4)] {
+        for m in [
+            Mat4::rotate_x(1.1),
+            Mat4::rotate_y(2.2),
+            Mat4::rotate_z(0.4),
+        ] {
             assert!(close(m.transform_point(v).length(), v.length()));
         }
     }
@@ -343,7 +347,9 @@ mod tests {
         let ndc = clip.project();
         assert!(close(ndc.x, 0.0) && close(ndc.y, 0.0));
         // Near plane maps to z = -1, far to z = +1.
-        let near = proj.mul_vec4(Vec3::new(0.0, 0.0, -0.1).extend(1.0)).project();
+        let near = proj
+            .mul_vec4(Vec3::new(0.0, 0.0, -0.1).extend(1.0))
+            .project();
         let far = proj
             .mul_vec4(Vec3::new(0.0, 0.0, -100.0).extend(1.0))
             .project();

@@ -23,12 +23,7 @@ pub fn encode_pgm(width: u32, height: u32, pixels: &[u8]) -> Vec<u8> {
 }
 
 /// Write grayscale pixels to a PGM file.
-pub fn write_pgm(
-    path: impl AsRef<Path>,
-    width: u32,
-    height: u32,
-    pixels: &[u8],
-) -> io::Result<()> {
+pub fn write_pgm(path: impl AsRef<Path>, width: u32, height: u32, pixels: &[u8]) -> io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     f.write_all(&encode_pgm(width, height, pixels))?;
     Ok(())
@@ -62,14 +57,8 @@ pub fn decode_pgm(data: &[u8]) -> Result<(u32, u32, Vec<u8>), String> {
     }
     let dims = lines.next().ok_or("missing dimensions")?;
     let mut it = dims.split_whitespace();
-    let width: u32 = it
-        .next()
-        .and_then(|t| t.parse().ok())
-        .ok_or("bad width")?;
-    let height: u32 = it
-        .next()
-        .and_then(|t| t.parse().ok())
-        .ok_or("bad height")?;
+    let width: u32 = it.next().and_then(|t| t.parse().ok()).ok_or("bad width")?;
+    let height: u32 = it.next().and_then(|t| t.parse().ok()).ok_or("bad height")?;
     if lines.next() != Some("255") {
         return Err("unsupported maxval".into());
     }
@@ -123,7 +112,13 @@ mod tests {
             Vec3::ZERO,
             Vec3::new(0.0, 1.0, 0.0),
         );
-        draw(&mut fb, &mesh, &proj.mul(&view), &Mat4::IDENTITY, Vec3::new(0.0, 0.0, -1.0));
+        draw(
+            &mut fb,
+            &mesh,
+            &proj.mul(&view),
+            &Mat4::IDENTITY,
+            Vec3::new(0.0, 0.0, -1.0),
+        );
         let dir = std::env::temp_dir().join("coic_pgm_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("sphere.pgm");

@@ -134,7 +134,10 @@ impl Panorama {
     /// `yaw` is radians clockwise from the panorama seam; `pitch` is
     /// radians above the horizon; `fov` is the horizontal field of view.
     pub fn crop_viewport(&self, yaw: f64, pitch: f64, fov: f64, out_w: u32, out_h: u32) -> Vec<u8> {
-        assert!(out_w > 0 && out_h > 0, "viewport dimensions must be positive");
+        assert!(
+            out_w > 0 && out_h > 0,
+            "viewport dimensions must be positive"
+        );
         assert!(fov > 0.0 && fov < std::f64::consts::PI, "fov out of range");
         let mut out = Vec::with_capacity((out_w * out_h) as usize);
         // Pinhole viewport on the unit sphere.
@@ -238,7 +241,10 @@ mod tests {
             .map(|(&x, &y)| (x as f64 - y as f64).abs())
             .sum::<f64>()
             / a.len() as f64;
-        assert!(mean_diff < 12.0, "nearby views differ too much: {mean_diff}");
+        assert!(
+            mean_diff < 12.0,
+            "nearby views differ too much: {mean_diff}"
+        );
     }
 
     #[test]

@@ -23,12 +23,36 @@ pub fn cube() -> Mesh {
     let mut indices = Vec::with_capacity(36);
     // Each face: normal axis, two tangent axes, sign.
     let faces: [(Vec3, Vec3, Vec3); 6] = [
-        (Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0)),
-        (Vec3::new(-1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0), Vec3::new(0.0, 1.0, 0.0)),
-        (Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0), Vec3::new(1.0, 0.0, 0.0)),
-        (Vec3::new(0.0, -1.0, 0.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0)),
-        (Vec3::new(0.0, 0.0, 1.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)),
-        (Vec3::new(0.0, 0.0, -1.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(1.0, 0.0, 0.0)),
+        (
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ),
+        (
+            Vec3::new(-1.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        ),
+        (
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 0.0, 0.0),
+        ),
+        (
+            Vec3::new(0.0, -1.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ),
+        (
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        ),
+        (
+            Vec3::new(0.0, 0.0, -1.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+        ),
     ];
     for (n, t, b) in faces {
         let base = vertices.len() as u32;
@@ -52,11 +76,7 @@ pub fn uv_sphere(stacks: u32, slices: u32) -> Mesh {
         let phi = std::f32::consts::PI * i as f32 / stacks as f32;
         for j in 0..=slices {
             let theta = std::f32::consts::TAU * j as f32 / slices as f32;
-            let pos = Vec3::new(
-                phi.sin() * theta.cos(),
-                phi.cos(),
-                phi.sin() * theta.sin(),
-            );
+            let pos = Vec3::new(phi.sin() * theta.cos(), phi.cos(), phi.sin() * theta.sin());
             vertices.push(Vertex { pos, normal: pos });
         }
     }
@@ -105,10 +125,26 @@ pub fn icosphere(subdivisions: u32) -> Mesh {
         .collect();
     // Faces wound so (v1-v0)×(v2-v0) points outward.
     let mut faces: Vec<[u32; 3]> = vec![
-        [0, 11, 5], [0, 5, 1], [0, 1, 7], [0, 7, 10], [0, 10, 11],
-        [1, 5, 9], [5, 11, 4], [11, 10, 2], [10, 7, 6], [7, 1, 8],
-        [3, 9, 4], [3, 4, 2], [3, 2, 6], [3, 6, 8], [3, 8, 9],
-        [4, 9, 5], [2, 4, 11], [6, 2, 10], [8, 6, 7], [9, 8, 1],
+        [0, 11, 5],
+        [0, 5, 1],
+        [0, 1, 7],
+        [0, 7, 10],
+        [0, 10, 11],
+        [1, 5, 9],
+        [5, 11, 4],
+        [11, 10, 2],
+        [10, 7, 6],
+        [7, 1, 8],
+        [3, 9, 4],
+        [3, 4, 2],
+        [3, 2, 6],
+        [3, 6, 8],
+        [3, 8, 9],
+        [4, 9, 5],
+        [2, 4, 11],
+        [6, 2, 10],
+        [8, 6, 7],
+        [9, 8, 1],
     ];
     for _ in 0..subdivisions {
         let mut midpoints: std::collections::HashMap<(u32, u32), u32> =
@@ -203,11 +239,7 @@ pub fn terrain(n: u32, seed: u64, height_scale: f32) -> Mesh {
             let u = i as f32 / (n - 1) as f32;
             let w = j as f32 / (n - 1) as f32;
             let h = sample(u, w) + 0.5 * sample(u * 2.0 % 1.0, w * 2.0 % 1.0);
-            vertices.push(v(Vec3::new(
-                u * 2.0 - 1.0,
-                h * height_scale,
-                w * 2.0 - 1.0,
-            )));
+            vertices.push(v(Vec3::new(u * 2.0 - 1.0, h * height_scale, w * 2.0 - 1.0)));
         }
     }
     let mut indices = Vec::new();

@@ -22,7 +22,10 @@ impl Framebuffer {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(width: u32, height: u32) -> Self {
-        assert!(width > 0 && height > 0, "framebuffer dimensions must be positive");
+        assert!(
+            width > 0 && height > 0,
+            "framebuffer dimensions must be positive"
+        );
         Framebuffer {
             width,
             height,
@@ -87,7 +90,13 @@ pub struct DrawStats {
 ///
 /// Conventions: right-handed eye space looking down -z, OpenGL-style NDC;
 /// counter-clockwise (in NDC) triangles are front-facing.
-pub fn draw(fb: &mut Framebuffer, mesh: &Mesh, mvp: &Mat4, model: &Mat4, light_dir: Vec3) -> DrawStats {
+pub fn draw(
+    fb: &mut Framebuffer,
+    mesh: &Mesh,
+    mvp: &Mat4,
+    model: &Mat4,
+    light_dir: Vec3,
+) -> DrawStats {
     let mut stats = DrawStats {
         triangles_in: mesh.triangle_count() as u64,
         ..DrawStats::default()
@@ -201,7 +210,13 @@ mod tests {
         let mut fb = Framebuffer::new(64, 64);
         let mesh = procgen::uv_sphere(16, 24);
         let mvp = camera(3.0, 1.0);
-        let stats = draw(&mut fb, &mesh, &mvp, &Mat4::IDENTITY, Vec3::new(0.0, 0.0, -1.0));
+        let stats = draw(
+            &mut fb,
+            &mesh,
+            &mvp,
+            &Mat4::IDENTITY,
+            Vec3::new(0.0, 0.0, -1.0),
+        );
         assert!(stats.triangles_drawn > 0);
         assert!(stats.pixels_shaded > 100);
         // Center pixel covered, corners empty.
@@ -215,7 +230,13 @@ mod tests {
         let mut fb = Framebuffer::new(32, 32);
         let mesh = procgen::uv_sphere(8, 12);
         let mvp = camera(3.0, 1.0);
-        let stats = draw(&mut fb, &mesh, &mvp, &Mat4::IDENTITY, Vec3::new(0.0, 0.0, -1.0));
+        let stats = draw(
+            &mut fb,
+            &mesh,
+            &mvp,
+            &Mat4::IDENTITY,
+            Vec3::new(0.0, 0.0, -1.0),
+        );
         // From distance 3 the visible cap of a unit sphere is about a third
         // of its surface; well over half the triangles must be culled, but
         // a healthy fraction must survive.
@@ -269,9 +290,19 @@ mod tests {
         // Camera inside the cube looking out: some triangles cross the near
         // plane and must be rejected without panicking.
         let proj = Mat4::perspective(1.0, 1.0, 0.1, 10.0);
-        let view = Mat4::look_at(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0), Vec3::new(0.0, 1.0, 0.0));
+        let view = Mat4::look_at(
+            Vec3::ZERO,
+            Vec3::new(0.0, 0.0, -1.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
         let mvp = proj.mul(&view);
-        let _ = draw(&mut fb, &mesh, &mvp, &Mat4::IDENTITY, Vec3::new(0.0, 0.0, -1.0));
+        let _ = draw(
+            &mut fb,
+            &mesh,
+            &mvp,
+            &Mat4::IDENTITY,
+            Vec3::new(0.0, 0.0, -1.0),
+        );
     }
 
     #[test]
@@ -279,11 +310,23 @@ mod tests {
         let mesh = procgen::uv_sphere(16, 24);
         let mvp = camera(3.0, 1.0);
         let mut fb_front = Framebuffer::new(64, 64);
-        draw(&mut fb_front, &mesh, &mvp, &Mat4::IDENTITY, Vec3::new(0.0, 0.0, -1.0));
+        draw(
+            &mut fb_front,
+            &mesh,
+            &mvp,
+            &Mat4::IDENTITY,
+            Vec3::new(0.0, 0.0, -1.0),
+        );
         let mut fb_side = Framebuffer::new(64, 64);
         // light_dir is the propagation direction: +x means light travels
         // rightward, i.e. comes from the viewer's left.
-        draw(&mut fb_side, &mesh, &mvp, &Mat4::IDENTITY, Vec3::new(1.0, 0.0, 0.0));
+        draw(
+            &mut fb_side,
+            &mesh,
+            &mvp,
+            &Mat4::IDENTITY,
+            Vec3::new(1.0, 0.0, 0.0),
+        );
         // Front-lit: center bright. Left-lit: left side brighter than right.
         let center_front = fb_front.get(32, 32);
         assert!(center_front > 150);
@@ -296,7 +339,13 @@ mod tests {
     fn clear_resets_buffers() {
         let mut fb = Framebuffer::new(8, 8);
         let mvp = camera(3.0, 1.0);
-        draw(&mut fb, &procgen::uv_sphere(8, 8), &mvp, &Mat4::IDENTITY, Vec3::new(0.0, 0.0, -1.0));
+        draw(
+            &mut fb,
+            &procgen::uv_sphere(8, 8),
+            &mvp,
+            &Mat4::IDENTITY,
+            Vec3::new(0.0, 0.0, -1.0),
+        );
         assert!(fb.coverage() > 0.0);
         fb.clear();
         assert_eq!(fb.coverage(), 0.0);

@@ -109,7 +109,13 @@ impl Scene {
         let mut total = DrawStats::default();
         for inst in &self.instances {
             let mvp = vp.mul(&inst.transform);
-            let s = draw(fb, &self.models[inst.model], &mvp, &inst.transform, self.light_dir);
+            let s = draw(
+                fb,
+                &self.models[inst.model],
+                &mvp,
+                &inst.transform,
+                self.light_dir,
+            );
             total.triangles_in += s.triangles_in;
             total.triangles_drawn += s.triangles_drawn;
             total.pixels_shaded += s.pixels_shaded;
@@ -134,7 +140,10 @@ mod tests {
         assert_eq!(scene.model_count(), 1);
         assert_eq!(scene.instance_count(), 2);
         // Both instances contribute triangles.
-        assert_eq!(stats.triangles_in, 2 * procgen::uv_sphere(10, 14).triangle_count() as u64);
+        assert_eq!(
+            stats.triangles_in,
+            2 * procgen::uv_sphere(10, 14).triangle_count() as u64
+        );
         assert!(stats.pixels_shaded > 0);
         // Two blobs: left and right of center covered, top corner empty.
         assert!(fb.depth_at(18, 32).is_finite());

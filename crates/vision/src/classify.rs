@@ -40,9 +40,12 @@ impl PrototypeClassifier {
                     *a += x;
                 }
             }
-            let centroid =
-                FeatureVec::new(acc.into_iter().map(|x| x / samples_per_class as f32).collect())
-                    .normalized();
+            let centroid = FeatureVec::new(
+                acc.into_iter()
+                    .map(|x| x / samples_per_class as f32)
+                    .collect(),
+            )
+            .normalized();
             centroids.push((class, centroid));
         }
         PrototypeClassifier { centroids }

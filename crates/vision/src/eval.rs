@@ -35,7 +35,10 @@ impl ConfusionMatrix {
 
     /// Count for one `(truth, predicted)` cell.
     pub fn count(&self, truth: ObjectClass, predicted: ObjectClass) -> u64 {
-        self.counts.get(&(truth.0, predicted.0)).copied().unwrap_or(0)
+        self.counts
+            .get(&(truth.0, predicted.0))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Overall top-1 accuracy.

@@ -184,8 +184,7 @@ impl SimNet {
         }
         // Contrast-normalize.
         let mean = feats.iter().sum::<f32>() / feats.len() as f32;
-        let var =
-            feats.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / feats.len() as f32;
+        let var = feats.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / feats.len() as f32;
         let std = var.sqrt().max(1e-6);
         FeatureVec::new(feats.into_iter().map(|x| (x - mean) / std).collect())
     }

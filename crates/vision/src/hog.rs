@@ -87,8 +87,7 @@ impl Extractor for HogExtractor {
                 if theta >= std::f32::consts::PI {
                     theta -= std::f32::consts::PI;
                 }
-                let bin =
-                    ((theta / std::f32::consts::PI) * self.bins as f32) as u32 % self.bins;
+                let bin = ((theta / std::f32::consts::PI) * self.bins as f32) as u32 % self.bins;
                 let cx = ((x as f64 / cell_w) as u32).min(self.grid - 1);
                 let cy = ((y as f64 / cell_h) as u32).min(self.grid - 1);
                 let idx = ((cy * self.grid + cx) * self.bins + bin) as usize;
@@ -232,11 +231,25 @@ mod tests {
             },
             &mut rng,
         );
-        let d_hog = l2(&hog.extract(&base), &hog.extract(&rotated));
-        let d_net = l2(&net.extract(&base), &net.extract(&rotated));
+        // Raw L2 is not comparable across feature spaces, so normalize each
+        // rotation distance by that extractor's mean inter-class distance:
+        // "how many class-widths did the rotation move the descriptor?"
+        let (mut hog_scale, mut net_scale, mut pairs) = (0.0f32, 0.0f32, 0u32);
+        for a in 0..4u32 {
+            for b in (a + 1)..4u32 {
+                let ia = g.canonical(ObjectClass(a));
+                let ib = g.canonical(ObjectClass(b));
+                hog_scale += l2(&hog.extract(&ia), &hog.extract(&ib));
+                net_scale += l2(&net.extract(&ia), &net.extract(&ib));
+                pairs += 1;
+            }
+        }
+        let d_hog = l2(&hog.extract(&base), &hog.extract(&rotated)) * pairs as f32 / hog_scale;
+        let d_net = l2(&net.extract(&base), &net.extract(&rotated)) * pairs as f32 / net_scale;
         assert!(
             d_hog > d_net,
-            "expected HOG ({d_hog:.3}) more rotation-sensitive than SimNet ({d_net:.3})"
+            "expected HOG ({d_hog:.3}) more rotation-sensitive than SimNet ({d_net:.3}), \
+             in units of mean inter-class distance"
         );
     }
 

@@ -92,7 +92,10 @@ impl LshIndex {
     /// Create an index for `dim`-dimensional vectors with `tables`
     /// independent tables of `bits`-bit signatures, seeded deterministically.
     pub fn new(dim: usize, tables: usize, bits: usize, seed: u64) -> Self {
-        assert!(dim > 0 && tables > 0 && bits > 0, "LSH parameters must be positive");
+        assert!(
+            dim > 0 && tables > 0 && bits > 0,
+            "LSH parameters must be positive"
+        );
         assert!(bits <= 63, "at most 63 bits per signature");
         let mut rng = StdRng::seed_from_u64(seed);
         let planes = (0..tables)
@@ -118,11 +121,7 @@ impl LshIndex {
     fn signature(&self, table: usize, v: &FeatureVec) -> u64 {
         let mut sig = 0u64;
         for (b, plane) in self.planes[table].iter().enumerate() {
-            let s: f32 = plane
-                .iter()
-                .zip(v.as_slice())
-                .map(|(p, x)| p * x)
-                .sum();
+            let s: f32 = plane.iter().zip(v.as_slice()).map(|(p, x)| p * x).sum();
             if s >= 0.0 {
                 sig |= 1 << b;
             }

@@ -96,9 +96,8 @@ impl KMeans {
             }
             for c in 0..k {
                 if counts[c] > 0 {
-                    centroids[c] = FeatureVec::new(
-                        sums[c].iter().map(|s| s / counts[c] as f32).collect(),
-                    );
+                    centroids[c] =
+                        FeatureVec::new(sums[c].iter().map(|s| s / counts[c] as f32).collect());
                 }
             }
             if !changed {
@@ -194,7 +193,11 @@ impl KMeans {
                     e.1 += 1;
                 }
             }
-            let a = if own_n > 0 { own_sum / own_n as f64 } else { 0.0 };
+            let a = if own_n > 0 {
+                own_sum / own_n as f64
+            } else {
+                0.0
+            };
             let b = other
                 .values()
                 .map(|&(s, n)| s / n as f64)

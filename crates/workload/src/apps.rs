@@ -206,7 +206,10 @@ pub struct VrVideo {
 impl VrVideo {
     /// Generate the trace.
     pub fn generate(&self, seed: u64) -> Vec<Request> {
-        assert!(self.frame_interval_ns > 0, "frame interval must be positive");
+        assert!(
+            self.frame_interval_ns > 0,
+            "frame interval must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut reqs = Vec::new();
         for u in 0..self.population.len() {

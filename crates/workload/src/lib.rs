@@ -14,7 +14,9 @@ pub mod mobility;
 pub mod trace_io;
 pub mod zipf;
 
-pub use apps::{summarize, ArenaMultiplayer, Request, RequestKind, SafeDrivingAr, TraceSummary, VrVideo};
+pub use apps::{
+    summarize, ArenaMultiplayer, Request, RequestKind, SafeDrivingAr, TraceSummary, VrVideo,
+};
 pub use arrivals::{ArrivalProcess, Diurnal, Periodic, Poisson};
 pub use mobility::{ContentId, Population, UserId, ZoneId, ZoneModel};
 pub use trace_io::{from_csv, to_csv, TraceParseError};

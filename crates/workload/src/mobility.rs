@@ -37,7 +37,10 @@ impl ZoneModel {
     /// # Panics
     /// Panics on zero zones/pool size or `shared` outside `[0, 1]`.
     pub fn new(zones: u32, pool_size: u32, shared: f64, seed: u64) -> Self {
-        assert!(zones > 0 && pool_size > 0, "zones and pools must be non-empty");
+        assert!(
+            zones > 0 && pool_size > 0,
+            "zones and pools must be non-empty"
+        );
         assert!((0.0..=1.0).contains(&shared), "shared fraction in [0,1]");
         let mut rng = StdRng::seed_from_u64(seed);
         let shared_count = (pool_size as f64 * shared).round() as u32;

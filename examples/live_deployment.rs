@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example live_deployment`
 
-use coic::core::netrun::{spawn_cloud, spawn_edge, NetClient};
+use coic::core::netrun::{spawn_cloud, spawn_edge, NetClient, NetConfig};
 use coic::core::{ClientConfig, ComputeConfig, EdgeConfig, ModelLibrary, PanoLibrary, Path};
 use coic::vision::ObjectClass;
 use coic::workload::{Request, RequestKind, UserId, ZoneId};
@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cloud = spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), 1)?;
     let edge = spawn_edge(cloud.addr(), &EdgeConfig::default())?;
     println!("cloud listening on {}", cloud.addr());
-    println!("edge  listening on {} (forwarding misses to cloud)\n", edge.addr());
+    println!(
+        "edge  listening on {} (forwarding misses to cloud)\n",
+        edge.addr()
+    );
 
     let mut alice = NetClient::connect(
         edge.addr(),
@@ -33,13 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         models.clone(),
         panos.clone(),
     )?;
-    let mut bob = NetClient::connect(
-        edge.addr(),
-        ClientConfig::default(),
-        compute,
-        models,
-        panos,
-    )?;
+    let mut bob = NetClient::connect(edge.addr(), ClientConfig::default(), compute, models, panos)?;
 
     let requests = [
         (
@@ -56,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 size_bytes: 1_000_000,
             },
         ),
-        ("fetch panorama frame 12", RequestKind::Panorama { frame_id: 12 }),
+        (
+            "fetch panorama frame 12",
+            RequestKind::Panorama { frame_id: 12 },
+        ),
     ];
 
     println!("{:<26} {:>10} {:>10}", "request", "alice", "bob");
@@ -83,5 +83,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nBob's requests were served from the edge cache that Alice's");
     println!("misses populated — cooperative reuse over a real socket stack.");
+
+    // --- failure drill: kill the edge, watch the client degrade to the
+    // origin path, then keep serving without a single error. -------------
+    println!("\nfailure drill: killing a second edge mid-workload\n");
+    let models = Arc::new(ModelLibrary::new());
+    let panos = Arc::new(PanoLibrary::new(128));
+    let mut edge2 = spawn_edge(cloud.addr(), &EdgeConfig::default())?;
+    let net = NetConfig {
+        request_deadline: std::time::Duration::from_millis(800),
+        connect_timeout: std::time::Duration::from_millis(300),
+        ..NetConfig::default()
+    };
+    let mut carol = NetClient::connect_with(
+        edge2.addr(),
+        Some(cloud.addr()),
+        net,
+        ClientConfig::default(),
+        compute,
+        models,
+        panos,
+    )?;
+    let pano = |frame_id| Request {
+        user: UserId(1),
+        zone: ZoneId(0),
+        at_ns: 0,
+        kind: RequestKind::Panorama { frame_id },
+    };
+    let before = carol.execute(&pano(3))?;
+    println!(
+        "  edge up:   frame 3 via {:?} in {:.2} ms",
+        before.path,
+        before.elapsed.as_secs_f64() * 1e3
+    );
+    edge2.shutdown();
+    for frame in 4..7u64 {
+        let out = carol.execute(&pano(frame))?;
+        println!(
+            "  edge down: frame {frame} via {:?} in {:.2} ms ({} retries)",
+            out.path,
+            out.elapsed.as_secs_f64() * 1e3,
+            out.retries,
+        );
+    }
+    println!("\nrobustness counters: {}", carol.robustness().snapshot());
     Ok(())
 }

@@ -12,7 +12,12 @@
 use coic::core::{compare, SimConfig};
 use coic::workload::{ArenaMultiplayer, Population, ZoneId};
 
-fn arena_trace(players: u32, model_kb: u64, requests: usize, seed: u64) -> Vec<coic::workload::Request> {
+fn arena_trace(
+    players: u32,
+    model_kb: u64,
+    requests: usize,
+    seed: u64,
+) -> Vec<coic::workload::Request> {
     // Eight avatar models of the given size; popularity is Zipf(1.0).
     let models: Vec<(u64, u64)> = (0..8).map(|i| (i, model_kb * 1024)).collect();
     ArenaMultiplayer {

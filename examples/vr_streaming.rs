@@ -94,6 +94,9 @@ fn main() {
     let (frame_bytes, digest) = scene_lib.get(0);
     let out = std::env::temp_dir().join("coic_vr_frame.pgm");
     if coic::render::write_pgm(&out, 256, 128, &frame_bytes).is_ok() {
-        println!("\nscene-rendered panorama frame 0 ({digest}) written to {}", out.display());
+        println!(
+            "\nscene-rendered panorama frame 0 ({digest}) written to {}",
+            out.display()
+        );
     }
 }

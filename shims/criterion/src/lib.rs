@@ -1,0 +1,210 @@
+//! Minimal in-tree replacement for the `criterion` crate (see
+//! shims/README.md). Keeps the `criterion_group!`/`criterion_main!`
+//! harness API so the workspace's benches compile and run offline, but
+//! replaces the statistical machinery with a plain wall-clock loop that
+//! prints mean ns/iter (and throughput when configured).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How much setup output to batch per timing batch in
+/// [`Bencher::iter_batched`].
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small routine input: large batches.
+    SmallInput,
+    /// Large routine input: small batches.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn batch_len(self) -> usize {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batch = size.batch_len() as u64;
+        let mut remaining = self.iters;
+        let mut total = Duration::ZERO;
+        while remaining > 0 {
+            let n = remaining.min(batch);
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            total += start.elapsed();
+            remaining -= n;
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_iters: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Hint at the sample count (scales the iteration budget down for
+    /// slow benchmarks, mirroring upstream's use).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_iters = (n as u64).max(1);
+        self
+    }
+
+    /// Set the throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Calibrate: run once to estimate cost, then pick an iteration
+        // count targeting ~50ms of measurement, capped by sample_iters
+        // budget semantics (small sample_size => slow bench => few iters).
+        let mut probe = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut probe);
+        let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+        let target = Duration::from_millis(50);
+        let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+        let iters = iters.min(self.sample_iters.saturating_mul(1000)).max(1);
+
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    " ({:.1} MiB/s)",
+                    n as f64 / ns_per_iter * 1e9 / (1 << 20) as f64
+                )
+            }
+            Some(Throughput::Elements(n)) => {
+                format!(" ({:.0} elem/s)", n as f64 / ns_per_iter * 1e9)
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench {}/{}: {:.0} ns/iter{} [{} iters]",
+            self.name, id, ns_per_iter, rate, b.iters
+        );
+        self
+    }
+
+    /// End the group (no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark registry.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_iters: 100,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10);
+        g.throughput(Throughput::Bytes(1024));
+        let mut count = 0u64;
+        g.bench_function("noop", |b| b.iter(|| count += 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

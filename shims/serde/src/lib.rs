@@ -1,0 +1,17 @@
+//! Minimal in-tree replacement for the `serde` crate (see
+//! shims/README.md). The workspace derives `Serialize`/`Deserialize` on a
+//! handful of config structs but never serializes anything, so the traits
+//! are empty markers (blanket-implemented) and the derives are no-ops.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

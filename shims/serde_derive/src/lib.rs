@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive` (see
+//! shims/README.md). The workspace only *derives* `Serialize` and
+//! `Deserialize` — nothing actually serializes — so the derives expand to
+//! nothing and the marker traits in the `serde` shim are blanket-implemented.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

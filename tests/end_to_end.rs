@@ -56,7 +56,13 @@ fn render_pipeline_ships_loadable_models() {
             },
         });
     }
-    let report = run(&reqs, &SimConfig { num_clients: 3, ..SimConfig::default() });
+    let report = run(
+        &reqs,
+        &SimConfig {
+            num_clients: 3,
+            ..SimConfig::default()
+        },
+    );
     assert_eq!(report.completed, 12);
     assert!(report.edge_hits >= 6, "hits {}", report.edge_hits);
 }

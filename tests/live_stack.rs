@@ -108,10 +108,7 @@ fn recognition_labels_are_consistent_between_paths() {
     assert_eq!(miss.path, Path::CloudMiss);
     assert_eq!(hit.path, Path::EdgeHit);
     match (&miss.result, &hit.result) {
-        (
-            coic::core::TaskResult::Recognition(a),
-            coic::core::TaskResult::Recognition(b),
-        ) => {
+        (coic::core::TaskResult::Recognition(a), coic::core::TaskResult::Recognition(b)) => {
             assert_eq!(a.label, 5);
             assert_eq!(a.label, b.label);
         }
@@ -151,7 +148,9 @@ fn edge_survives_garbage_frames() {
     evil.send(b"this is not a coic message").unwrap();
     let _ = evil.recv(); // whatever happens here must not poison the server
     let mut evil2 = FrameConn::connect(s.edge.addr()).unwrap();
-    evil2.send(&[0xC0, 0x01, 99, 0, 0, 0, 0, 0, 0, 0, 0]).unwrap(); // bad tag
+    evil2
+        .send(&[0xC0, 0x01, 99, 0, 0, 0, 0, 0, 0, 0, 0])
+        .unwrap(); // bad tag
     let _ = evil2.recv();
 
     let mut good = client(&s);
@@ -176,7 +175,202 @@ fn upload_without_query_is_rejected_gracefully() {
     conn.send(&msg.encode()).unwrap();
     let _ = conn.recv(); // closed or error — either is acceptable
     let mut good = client(&s);
-    assert!(good.execute(&req(RequestKind::Panorama { frame_id: 2 })).is_ok());
+    assert!(good
+        .execute(&req(RequestKind::Panorama { frame_id: 2 }))
+        .is_ok());
+}
+
+// ------------------------------------------------------------- chaos --
+
+use coic::core::netrun::{spawn_edge_with, NetConfig};
+use coic::core::RetryPolicy;
+use std::time::{Duration, Instant};
+
+/// Network policy tuned so chaos tests converge in milliseconds, not the
+/// production-flavoured multi-second defaults.
+fn fast_net() -> NetConfig {
+    NetConfig {
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(40),
+            ..RetryPolicy::default()
+        },
+        request_deadline: Duration::from_millis(800),
+        connect_timeout: Duration::from_millis(300),
+        probe_interval: Duration::from_millis(40),
+        ..NetConfig::default()
+    }
+}
+
+fn fallback_client(s: &Stack, net: NetConfig) -> NetClient {
+    NetClient::connect_with(
+        s.edge.addr(),
+        Some(s._cloud.addr()),
+        net,
+        ClientConfig::default(),
+        s.compute,
+        s.models.clone(),
+        s.panos.clone(),
+    )
+    .unwrap()
+}
+
+/// Rebind an edge on an address that was just vacated; the kernel may hold
+/// the port briefly, so retry for a bounded window.
+fn respawn_edge(
+    cloud: std::net::SocketAddr,
+    bind: std::net::SocketAddr,
+) -> coic::core::netrun::EdgeHandle {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match spawn_edge_with(
+            cloud,
+            &EdgeConfig::default(),
+            NetConfig::default(),
+            Some(bind),
+        ) {
+            Ok(edge) => return edge,
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("could not rebind edge on {bind}: {e}"),
+        }
+    }
+}
+
+#[test]
+fn edge_death_midworkload_falls_back_to_cloud() {
+    let mut s = stack();
+    let mut c = fallback_client(&s, fast_net());
+
+    // Warm-up on the cooperative path.
+    for frame in 0..2u64 {
+        let out = c
+            .execute(&req(RequestKind::Panorama { frame_id: frame }))
+            .unwrap();
+        assert!(matches!(out.path, Path::CloudMiss | Path::EdgeHit));
+    }
+    assert!(!c.is_degraded());
+
+    // Kill the edge mid-workload. Every remaining request must still
+    // complete — via the origin path — and none may hang.
+    s.edge.shutdown();
+    let started = Instant::now();
+    let mut baseline = 0;
+    for frame in 0..6u64 {
+        let out = c
+            .execute(&req(RequestKind::Panorama { frame_id: frame }))
+            .unwrap();
+        if out.path == Path::Baseline {
+            baseline += 1;
+        }
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "post-failure workload hung: {:?}",
+        started.elapsed()
+    );
+    assert_eq!(
+        baseline, 6,
+        "all post-shutdown requests must use the origin path"
+    );
+    assert!(c.is_degraded());
+
+    let snap = c.robustness().snapshot();
+    assert!(snap.degraded_transitions >= 1, "{snap}");
+    assert!(snap.fallbacks >= 6, "{snap}");
+    assert!(snap.retries >= 1, "edge loss should force retries: {snap}");
+}
+
+#[test]
+fn edge_restart_lets_clients_rejoin_cooperative_path() {
+    let mut s = stack();
+    let edge_addr = s.edge.addr();
+    let mut c = fallback_client(&s, fast_net());
+
+    c.execute(&req(RequestKind::Panorama { frame_id: 0 }))
+        .unwrap();
+    s.edge.shutdown();
+
+    // Degrade: the next request falls back to the cloud.
+    let out = c
+        .execute(&req(RequestKind::Panorama { frame_id: 1 }))
+        .unwrap();
+    assert_eq!(out.path, Path::Baseline);
+    assert!(c.is_degraded());
+
+    // Restart the edge on its old address; probing must pull the client
+    // back onto the cooperative path within a bounded window.
+    let _edge2 = respawn_edge(s._cloud.addr(), edge_addr);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut rejoined = false;
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+        let out = c
+            .execute(&req(RequestKind::Panorama { frame_id: 2 }))
+            .unwrap();
+        if out.path != Path::Baseline {
+            rejoined = true;
+            break;
+        }
+    }
+    assert!(rejoined, "client never rejoined the edge after restart");
+    assert!(!c.is_degraded());
+
+    let snap = c.robustness().snapshot();
+    assert!(snap.degraded_transitions >= 1, "{snap}");
+    assert!(snap.recovered_transitions >= 1, "{snap}");
+    assert!(snap.probes >= 1, "{snap}");
+}
+
+#[test]
+fn lossy_proxy_between_client_and_edge_is_survivable() {
+    use coic::netsim::rt::{FaultPlan, FaultProxy};
+    let s = stack();
+    // Interpose a fault-injecting proxy on the access link: some frames
+    // vanish, some are delayed. Timeouts + retries + cloud fallback must
+    // still complete every request.
+    let plan = FaultPlan {
+        seed: 7,
+        drop_frame: 0.15,
+        delay_frame: 0.10,
+        delay_ms: 20,
+        ..FaultPlan::default()
+    };
+    let proxy = FaultProxy::spawn(s.edge.addr(), plan).unwrap();
+
+    let mut net = fast_net();
+    net.request_deadline = Duration::from_millis(400);
+    let mut c = NetClient::connect_with(
+        proxy.local_addr(),
+        Some(s._cloud.addr()),
+        net,
+        ClientConfig::default(),
+        s.compute,
+        s.models.clone(),
+        s.panos.clone(),
+    )
+    .unwrap();
+
+    let started = Instant::now();
+    for i in 0..12u64 {
+        let out = c
+            .execute(&req(RequestKind::Panorama { frame_id: i % 4 }))
+            .unwrap();
+        match out.result {
+            coic::core::TaskResult::Panorama(bytes) => assert!(!bytes.is_empty()),
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "lossy workload hung: {:?}",
+        started.elapsed()
+    );
+    let stats = proxy.stats();
+    assert!(stats.forwarded > 0, "proxy forwarded nothing: {stats:?}");
 }
 
 #[test]
