@@ -127,11 +127,17 @@ fn report_text(label: &str, r: &mut coic_core::QoeReport) -> String {
     )
 }
 
-/// `sim`: run one trace through one system.
+/// `sim`: run one trace through one system. With `--canonical 1` the
+/// report is emitted in the canonical byte-stable serialization (sorted
+/// keys, fixed precision), so two runs of the same seeded workload can be
+/// diffed textually — the CI determinism job does exactly that.
 pub fn sim(args: &Args) -> CmdResult {
     let trace = from_csv(&std::fs::read_to_string(args.require("in")?)?)?;
     let cfg = sim_config(args)?;
     let mut report = sim_run(&trace, &cfg);
+    if args.num("canonical", 0u8)? != 0 {
+        return Ok(report.canonical().trim_end().to_string());
+    }
     Ok(report_text(
         if cfg.mode == Mode::CoIc {
             "coic"
@@ -312,6 +318,20 @@ mod tests {
         assert!(out.contains("mean"));
         let out = compare(&args(&format!("--in {path} --clients 2"))).unwrap();
         assert!(out.contains("latency reduction"));
+    }
+
+    #[test]
+    fn sim_canonical_output_is_reproducible() {
+        let path = tmp("t4.csv");
+        trace_gen(&args(&format!(
+            "--app vrvideo --out {path} --users 2 --frames 5"
+        )))
+        .unwrap();
+        let a = sim(&args(&format!("--in {path} --clients 2 --canonical 1"))).unwrap();
+        let b = sim(&args(&format!("--in {path} --clients 2 --canonical 1"))).unwrap();
+        assert_eq!(a, b, "same seed must serialize identically");
+        assert!(a.contains("completed="));
+        assert!(a.contains("latency mean="));
     }
 
     #[test]

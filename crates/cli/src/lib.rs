@@ -59,6 +59,7 @@ USAGE:
   coic sim          --in FILE [--mode coic|origin] [--access-mbps X]
                     [--wan-mbps X] [--clients N] [--edges N]
                     [--peer-lookup 0|1] [--prefetch N] [--seed N]
+                    [--canonical 0|1]
   coic compare      --in FILE [same network flags as sim]
   coic model gen    --size-bytes N --out FILE [--seed N]
   coic model info   --in FILE

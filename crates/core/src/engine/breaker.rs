@@ -1,0 +1,187 @@
+//! Circuit breaker for the edge's upstream (cloud) leg.
+//!
+//! Clock-agnostic: callers pass the current time in nanoseconds (from a
+//! [`super::clock::Clock`]) instead of the breaker reading `Instant::now`,
+//! so the same transition logic runs under virtual and wall-clock time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Breaker state, exposed for stats and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// Requests are rejected without attempting the protected call.
+    Open,
+    /// One probe request is allowed through to test recovery.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at_ns: Option<u64>,
+    probe_in_flight: bool,
+}
+
+/// A circuit breaker protecting a downstream dependency (the edge's
+/// forwarding leg to the cloud). After `failure_threshold` consecutive
+/// failures the breaker opens for `cooldown`; it then half-opens, letting
+/// a single probe through — success closes it, failure re-opens it.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    inner: Mutex<BreakerInner>,
+    /// Consecutive failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before probing.
+    pub cooldown: Duration,
+    trips: AtomicU64,
+    closes: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// Breaker with the given trip threshold and open-state cooldown.
+    pub fn new(failure_threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at_ns: None,
+                probe_in_flight: false,
+            }),
+            failure_threshold: failure_threshold.max(1),
+            cooldown,
+            trips: AtomicU64::new(0),
+            closes: AtomicU64::new(0),
+        }
+    }
+
+    /// May a call proceed at `now_ns`? `true` either means the breaker is
+    /// closed or this caller has been granted the half-open probe slot.
+    pub fn allow(&self, now_ns: u64) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        match g.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                let cooled = g
+                    .opened_at_ns
+                    .map(|t| now_ns.saturating_sub(t) >= self.cooldown.as_nanos() as u64)
+                    == Some(true);
+                if cooled {
+                    g.state = BreakerState::HalfOpen;
+                    g.probe_in_flight = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if g.probe_in_flight {
+                    false
+                } else {
+                    g.probe_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Record at `now_ns` the outcome of a call that
+    /// [`CircuitBreaker::allow`]ed.
+    pub fn record(&self, success: bool, now_ns: u64) {
+        let mut g = self.inner.lock().unwrap();
+        g.probe_in_flight = false;
+        if success {
+            if g.state != BreakerState::Closed {
+                self.closes.fetch_add(1, Ordering::Relaxed);
+            }
+            g.state = BreakerState::Closed;
+            g.consecutive_failures = 0;
+            g.opened_at_ns = None;
+        } else {
+            g.consecutive_failures += 1;
+            let tripping = match g.state {
+                BreakerState::Closed => g.consecutive_failures >= self.failure_threshold,
+                BreakerState::HalfOpen => true,
+                BreakerState::Open => false,
+            };
+            if tripping {
+                g.state = BreakerState::Open;
+                g.opened_at_ns = Some(now_ns);
+                self.trips.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current state (coarse; may change immediately after).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().unwrap().state
+    }
+
+    /// Times the breaker tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Times the breaker closed after recovery.
+    pub fn closes(&self) -> u64 {
+        self.closes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn breaker_trips_and_recovers() {
+        // Virtual time: no sleeps needed, transitions are pure in now_ns.
+        let b = CircuitBreaker::new(3, Duration::from_millis(30));
+        assert_eq!(b.state(), BreakerState::Closed);
+        for t in 0..3u64 {
+            assert!(b.allow(t * MS));
+            b.record(false, t * MS);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(10 * MS), "open breaker must reject");
+        assert_eq!(b.trips(), 1);
+
+        assert!(
+            b.allow(40 * MS),
+            "cooldown elapsed: probe should be granted"
+        );
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(40 * MS), "only one probe at a time");
+        b.record(true, 41 * MS);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.closes(), 1);
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(10));
+        assert!(b.allow(0));
+        b.record(false, 0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow(15 * MS));
+        b.record(false, 15 * MS);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn cooldown_measured_from_latest_trip() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(10));
+        assert!(b.allow(0));
+        b.record(false, 0);
+        assert!(b.allow(12 * MS)); // half-open probe
+        b.record(false, 12 * MS); // re-opens at t=12ms
+        assert!(!b.allow(20 * MS), "cooldown restarts at the re-trip");
+        assert!(b.allow(23 * MS));
+    }
+}

@@ -1,0 +1,95 @@
+//! The engine's single time source.
+//!
+//! The orchestration engine never reads a wall clock directly: every
+//! timestamp flows through the [`Clock`] trait, so the same state machine
+//! runs on virtual time inside the discrete-event simulator
+//! ([`SimClock`], backed by [`coic_netsim::SimTime`]) and on wall-clock
+//! time in the live TCP deployment ([`WallClock`]).
+
+use coic_netsim::SimTime;
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// A monotonic nanosecond clock. Implementations must never go backwards.
+pub trait Clock {
+    /// Nanoseconds since the clock's epoch (simulation start or client
+    /// construction).
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock time for the live deployment, anchored at construction so
+/// readings share an epoch with the virtual clock's "ns since start".
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    anchor: Instant,
+}
+
+impl WallClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> WallClock {
+        WallClock {
+            anchor: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        self.anchor.elapsed().as_nanos() as u64
+    }
+}
+
+/// Virtual time for the simulator: a shared cell the sim driver advances
+/// to `ctx.now()` before feeding each event into the engine. Clones share
+/// the same underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: Rc<Cell<u64>>,
+}
+
+impl SimClock {
+    /// A virtual clock starting at t = 0.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Advance to the simulator's current virtual time.
+    pub fn set(&self, t: SimTime) {
+        self.now.set(t.as_nanos());
+    }
+}
+
+impl Clock for SimClock {
+    fn now_ns(&self) -> u64 {
+        self.now.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic_from_zero() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn sim_clock_clones_share_time() {
+        let c = SimClock::new();
+        let c2 = c.clone();
+        assert_eq!(c.now_ns(), 0);
+        c2.set(SimTime::from_millis(7));
+        assert_eq!(c.now_ns(), 7_000_000);
+    }
+}

@@ -1,0 +1,83 @@
+//! The edge's upstream (cloud) leg: circuit breaking plus stats.
+//!
+//! [`UpstreamGate`] is the one place where circuit-breaker transitions are
+//! consumed and counted. Both the simulated edge node and the live edge
+//! handler wrap their cloud calls in `preflight` / `report`, so breaker
+//! semantics cannot drift between the two stacks.
+
+use super::breaker::{BreakerState, CircuitBreaker};
+use super::stats::RobustnessStats;
+use std::time::Duration;
+
+/// Gates the edge's forwarding leg to the cloud behind a circuit breaker,
+/// mirroring trip/close transitions into [`RobustnessStats`].
+#[derive(Debug)]
+pub struct UpstreamGate {
+    breaker: CircuitBreaker,
+    stats: RobustnessStats,
+}
+
+impl UpstreamGate {
+    /// A gate tripping after `failure_threshold` consecutive failures and
+    /// cooling down for `cooldown`, counting transitions into `stats`.
+    pub fn new(failure_threshold: u32, cooldown: Duration, stats: RobustnessStats) -> UpstreamGate {
+        UpstreamGate {
+            breaker: CircuitBreaker::new(failure_threshold, cooldown),
+            stats,
+        }
+    }
+
+    /// May the edge attempt its cloud call at `now_ns`? When this returns
+    /// `false` the edge must answer `Unavailable` without trying upstream.
+    pub fn preflight(&self, now_ns: u64) -> bool {
+        self.breaker.allow(now_ns)
+    }
+
+    /// Record the outcome of a call that passed [`UpstreamGate::preflight`],
+    /// mirroring any breaker transition into the shared stats.
+    pub fn report(&self, ok: bool, now_ns: u64) {
+        let (trips, closes) = (self.breaker.trips(), self.breaker.closes());
+        self.breaker.record(ok, now_ns);
+        if self.breaker.trips() > trips {
+            self.stats.count_breaker_trip();
+        }
+        if self.breaker.closes() > closes {
+            self.stats.count_breaker_close();
+        }
+    }
+
+    /// Current breaker state.
+    pub fn state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Times the breaker tripped open.
+    pub fn trips(&self) -> u64 {
+        self.breaker.trips()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn gate_mirrors_breaker_transitions_into_stats() {
+        let stats = RobustnessStats::default();
+        let gate = UpstreamGate::new(2, Duration::from_millis(10), stats.clone());
+        assert!(gate.preflight(0));
+        gate.report(false, 0);
+        assert!(gate.preflight(MS));
+        gate.report(false, MS);
+        assert_eq!(gate.state(), BreakerState::Open);
+        assert!(!gate.preflight(2 * MS), "open gate refuses upstream calls");
+        assert_eq!(stats.snapshot().breaker_trips, 1);
+
+        assert!(gate.preflight(12 * MS), "cooldown elapsed: probe allowed");
+        gate.report(true, 12 * MS);
+        assert_eq!(gate.state(), BreakerState::Closed);
+        assert_eq!(stats.snapshot().breaker_closes, 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Single-flight miss coalescing.
+//!
+//! The first miss on a key becomes the *leader* and drives the upstream
+//! fetch; concurrent misses on the same key are *queued* as waiters and
+//! share the leader's answer. One table serves both drivers: the simulated
+//! edge queues `(NodeId, req_id)` pairs and answers them on `CloudReply`;
+//! the live edge queues condvar-style signals that block connection
+//! threads until the leader completes.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// What [`SingleFlight::claim`] decided for a caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightClaim {
+    /// No fetch is in flight for this key: the caller must perform it and
+    /// then call [`SingleFlight::complete`].
+    Leader,
+    /// A fetch is already in flight; the caller's waiter was queued and
+    /// will be returned to the leader by [`SingleFlight::complete`].
+    Queued,
+}
+
+/// Coalesces concurrent misses on the same key into one upstream fetch.
+#[derive(Debug)]
+pub struct SingleFlight<K, W> {
+    inflight: HashMap<K, Vec<W>>,
+}
+
+impl<K: Eq + Hash + Clone, W> SingleFlight<K, W> {
+    /// An empty table.
+    pub fn new() -> SingleFlight<K, W> {
+        SingleFlight {
+            inflight: HashMap::new(),
+        }
+    }
+
+    /// Claim the fetch for `key`. The leader's own waiter is *not* queued —
+    /// it answers itself from the fetch result.
+    pub fn claim(&mut self, key: K, waiter: W) -> FlightClaim {
+        match self.inflight.get_mut(&key) {
+            Some(waiters) => {
+                waiters.push(waiter);
+                FlightClaim::Queued
+            }
+            None => {
+                self.inflight.insert(key, Vec::new());
+                FlightClaim::Leader
+            }
+        }
+    }
+
+    /// Finish the flight for `key`, returning every queued waiter for the
+    /// leader to answer. Unknown keys return no waiters.
+    pub fn complete(&mut self, key: &K) -> Vec<W> {
+        self.inflight.remove(key).unwrap_or_default()
+    }
+
+    /// Is a fetch currently in flight for `key`?
+    pub fn is_inflight(&self, key: &K) -> bool {
+        self.inflight.contains_key(key)
+    }
+}
+
+impl<K: Eq + Hash + Clone, W> Default for SingleFlight<K, W> {
+    fn default() -> Self {
+        SingleFlight::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_claim_leads_rest_queue() {
+        let mut f: SingleFlight<u32, &str> = SingleFlight::new();
+        assert_eq!(f.claim(7, "a"), FlightClaim::Leader);
+        assert_eq!(f.claim(7, "b"), FlightClaim::Queued);
+        assert_eq!(f.claim(7, "c"), FlightClaim::Queued);
+        assert!(f.is_inflight(&7));
+        assert_eq!(f.complete(&7), vec!["b", "c"]);
+        assert!(!f.is_inflight(&7));
+        // After completion the next miss leads again.
+        assert_eq!(f.claim(7, "d"), FlightClaim::Leader);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut f: SingleFlight<u32, u32> = SingleFlight::new();
+        assert_eq!(f.claim(1, 10), FlightClaim::Leader);
+        assert_eq!(f.claim(2, 20), FlightClaim::Leader);
+        assert_eq!(f.claim(1, 11), FlightClaim::Queued);
+        assert_eq!(f.complete(&2), Vec::<u32>::new());
+        assert_eq!(f.complete(&1), vec![11]);
+    }
+}

@@ -1,0 +1,51 @@
+//! The sans-IO orchestration engine shared by the simulator and the live
+//! TCP stack.
+//!
+//! Everything that *decides* — retry budgets, backoff, deadline expiry,
+//! degrade-to-origin, edge re-probing, miss coalescing, circuit breaking —
+//! lives here as clock-agnostic state machines. Everything that *does* —
+//! sockets, virtual links, timers, sleeps — lives in the drivers
+//! ([`crate::simrun`] and [`crate::netrun`]), which translate engine
+//! [`Effect`]s into IO and feed IO outcomes back as events.
+//!
+//! The split buys three things:
+//!
+//! 1. **No duplicated policy.** `RetryPolicy` consumption, the
+//!    degrade/re-probe ladder, and breaker transitions exist once, in this
+//!    module, instead of once per stack.
+//! 2. **Determinism.** Under a virtual clock ([`SimClock`]) the engine is a
+//!    pure function of its event sequence; the same seeded workload and
+//!    [`FaultSchedule`] traverse byte-identical [`Decision`] traces in the
+//!    simulator and the live loopback stack.
+//! 3. **Testability.** State-machine invariants (terminal states are
+//!    quiet, armed timers are fired or superseded) are checked directly,
+//!    without sockets or sleeps.
+//!
+//! ```text
+//!   driver events                    engine                   effects
+//!   ─────────────       ──────────────────────────────       ─────────
+//!   begin(req)     ──▶  ┌──────────────────────────────┐ ──▶ ArmTimer(Prep)
+//!   on_timer       ──▶  │ Prep → EdgeInFlight ⇄ Backoff │ ──▶ SendQuery/ArmTimer
+//!   on_reply       ──▶  │   ↓ exhausted      ↓ reply    │ ──▶ SendUpload
+//!   on_transport_  ──▶  │ Degrade → Origin → Done/Fail  │ ──▶ SendOrigin
+//!     failure           │   ↑ probe ok                  │ ──▶ ProbeEdge
+//!   on_probe_result──▶  └──────────────────────────────┘ ──▶ Complete/GiveUp
+//! ```
+
+pub mod breaker;
+pub mod client;
+pub mod clock;
+pub mod edge;
+pub mod fault;
+pub mod flight;
+pub mod retry;
+pub mod stats;
+
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use client::{ClientEngine, Decision, Effect, EngineConfig, ReplyKind, TimerKind};
+pub use clock::{Clock, SimClock, WallClock};
+pub use edge::UpstreamGate;
+pub use fault::FaultSchedule;
+pub use flight::{FlightClaim, SingleFlight};
+pub use retry::RetryPolicy;
+pub use stats::{RobustnessSnapshot, RobustnessStats};

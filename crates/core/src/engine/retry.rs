@@ -1,0 +1,130 @@
+//! Retry policy: capped exponential backoff with deterministic jitter.
+//!
+//! The policy is pure — backoff is a function of `(seed, req, attempt)` —
+//! so two identically-seeded runs back off identically, which is what lets
+//! the simulator and the live driver traverse the same decision sequence.
+//! It is *consumed* only by [`super::client::ClientEngine`]; drivers never
+//! compute backoffs themselves.
+
+use std::time::Duration;
+
+/// Capped exponential backoff with seeded jitter, governing how a client
+/// retries one request before giving up on the cooperative path.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries per request on a given path (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the second try; doubles per subsequent try.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Duration,
+    /// Fraction of the backoff randomized away (0.0 = none, 0.5 = up to
+    /// half). Jitter desynchronizes clients hammering a recovering edge.
+    pub jitter_frac: f64,
+    /// Seed for deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(500),
+            jitter_frac: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to sleep after a failed `attempt` (0-based) of request
+    /// `req_id`. Deterministic in `(seed, req_id, attempt)`.
+    pub fn backoff(&self, req_id: u64, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_backoff);
+        if self.jitter_frac <= 0.0 {
+            return exp;
+        }
+        // SplitMix64-style avalanche over the coordinates → [0, 1).
+        let mut z = self
+            .seed
+            .wrapping_add(req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((attempt as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let scale = 1.0 - self.jitter_frac * unit;
+        exp.mul_f64(scale.clamp(0.0, 1.0))
+    }
+
+    /// A policy with no backoff at all: `tries` attempts, immediate
+    /// retransmission. This is the simulator's legacy timeout behavior.
+    pub fn immediate(tries: u32, seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: tries,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter_frac: 0.0,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            jitter_frac: 0.0,
+            ..RetryPolicy::default()
+        };
+        let b0 = p.backoff(1, 0);
+        let b1 = p.backoff(1, 1);
+        let b2 = p.backoff(1, 2);
+        assert_eq!(b0, Duration::from_millis(20));
+        assert_eq!(b1, Duration::from_millis(40));
+        assert_eq!(b2, Duration::from_millis(80));
+        assert_eq!(p.backoff(1, 30), p.max_backoff);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            jitter_frac: 0.5,
+            seed: 9,
+            ..RetryPolicy::default()
+        };
+        for attempt in 0..5 {
+            for req in 0..50u64 {
+                let a = p.backoff(req, attempt);
+                let b = p.backoff(req, attempt);
+                assert_eq!(a, b, "jitter not deterministic");
+                let nominal = RetryPolicy {
+                    jitter_frac: 0.0,
+                    ..p.clone()
+                }
+                .backoff(req, attempt);
+                assert!(a <= nominal && a >= nominal.mul_f64(0.5));
+            }
+        }
+        // Different requests actually get different jitter.
+        let spread: std::collections::HashSet<_> =
+            (0..20u64).map(|r| p.backoff(r, 1).as_nanos()).collect();
+        assert!(spread.len() > 10);
+    }
+
+    #[test]
+    fn immediate_policy_never_sleeps() {
+        let p = RetryPolicy::immediate(4, 3);
+        assert_eq!(p.max_attempts, 4);
+        for a in 0..4 {
+            assert_eq!(p.backoff(9, a), Duration::ZERO);
+        }
+    }
+}

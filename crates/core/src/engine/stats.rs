@@ -1,0 +1,137 @@
+//! Shared fault-handling counters, emitted by the engine (and, for purely
+//! transport-level events such as checksum failures and reconnects, by the
+//! drivers at their IO boundary).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared counters for every fault-handling event in the stack.
+/// Cloned handles observe the same underlying counters.
+#[derive(Debug, Clone, Default)]
+pub struct RobustnessStats {
+    inner: Arc<RobustnessCounters>,
+}
+
+#[derive(Debug, Default)]
+struct RobustnessCounters {
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    corrupt_frames: AtomicU64,
+    reconnects: AtomicU64,
+    fallbacks: AtomicU64,
+    degraded_transitions: AtomicU64,
+    recovered_transitions: AtomicU64,
+    probes: AtomicU64,
+    breaker_trips: AtomicU64,
+    breaker_closes: AtomicU64,
+    unavailable_replies: AtomicU64,
+}
+
+/// Point-in-time copy of [`RobustnessStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RobustnessSnapshot {
+    /// Request attempts issued (including retries).
+    pub attempts: u64,
+    /// Attempts beyond the first for some request.
+    pub retries: u64,
+    /// Attempts that ended in a deadline expiry.
+    pub timeouts: u64,
+    /// Frames rejected by checksum.
+    pub corrupt_frames: u64,
+    /// Transport reconnects performed.
+    pub reconnects: u64,
+    /// Requests served via the origin (cloud-direct) path after the
+    /// cooperative path failed.
+    pub fallbacks: u64,
+    /// Cooperative→degraded transitions.
+    pub degraded_transitions: u64,
+    /// Degraded→cooperative (recovered) transitions.
+    pub recovered_transitions: u64,
+    /// Edge probes sent while degraded.
+    pub probes: u64,
+    /// Circuit-breaker trips on the edge's cloud leg.
+    pub breaker_trips: u64,
+    /// Circuit-breaker recoveries.
+    pub breaker_closes: u64,
+    /// `Msg::Unavailable` replies sent or received.
+    pub unavailable_replies: u64,
+}
+
+macro_rules! counters {
+    ($($field:ident => $inc:ident),* $(,)?) => {
+        impl RobustnessStats {
+            $(
+                /// Increment the corresponding counter.
+                pub fn $inc(&self) {
+                    self.inner.$field.fetch_add(1, Ordering::Relaxed);
+                }
+            )*
+
+            /// Copy all counters.
+            pub fn snapshot(&self) -> RobustnessSnapshot {
+                RobustnessSnapshot {
+                    $($field: self.inner.$field.load(Ordering::Relaxed),)*
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    attempts => count_attempt,
+    retries => count_retry,
+    timeouts => count_timeout,
+    corrupt_frames => count_corrupt,
+    reconnects => count_reconnect,
+    fallbacks => count_fallback,
+    degraded_transitions => count_degraded,
+    recovered_transitions => count_recovered,
+    probes => count_probe,
+    breaker_trips => count_breaker_trip,
+    breaker_closes => count_breaker_close,
+    unavailable_replies => count_unavailable,
+}
+
+impl std::fmt::Display for RobustnessSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "attempts {} (retries {}), timeouts {}, corrupt {}, reconnects {}, \
+             fallbacks {}, degraded {}→recovered {}, probes {}, breaker {}/{} trips/closes, \
+             unavailable {}",
+            self.attempts,
+            self.retries,
+            self.timeouts,
+            self.corrupt_frames,
+            self.reconnects,
+            self.fallbacks,
+            self.degraded_transitions,
+            self.recovered_transitions,
+            self.probes,
+            self.breaker_trips,
+            self.breaker_closes,
+            self.unavailable_replies,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_shared_across_clones() {
+        let s = RobustnessStats::default();
+        let s2 = s.clone();
+        s.count_attempt();
+        s2.count_attempt();
+        s2.count_retry();
+        s.count_fallback();
+        let snap = s.snapshot();
+        assert_eq!(snap.attempts, 2);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.fallbacks, 1);
+        assert_eq!(snap, s2.snapshot());
+    }
+}

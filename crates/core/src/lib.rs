@@ -14,10 +14,13 @@
 //! * [`services`] — client / edge / cloud logic, transport-independent,
 //! * [`compute`] — per-tier cost models,
 //! * [`content`] — deterministic model/panorama libraries,
+//! * [`engine`] — the sans-IO orchestration core: clock-agnostic state
+//!   machines for the client request lifecycle and the edge's upstream
+//!   leg, shared by the simulator and the live stack,
 //! * [`simrun`] — deterministic discrete-event experiment driver,
 //! * [`netrun`] — the same stack over real TCP sockets,
 //! * [`qoe`] — latency/hit/accuracy reporting,
-//! * [`robust`] — retry, circuit-breaking and degradation policies,
+//! * [`robust`] — facade re-exporting the engine's retry/breaker/stats,
 //! * [`adaptive`] — online threshold tuning via shadow verification,
 //! * [`layercache`] — §4 extension: per-DNN-layer reuse,
 //! * [`privacy`] — §4 extension: descriptor privacy transforms.
@@ -29,6 +32,7 @@ pub mod adaptive;
 pub mod compute;
 pub mod content;
 pub mod descriptor;
+pub mod engine;
 pub mod layercache;
 pub mod netrun;
 pub mod privacy;
@@ -43,6 +47,10 @@ pub use adaptive::{AdaptiveConfig, AdaptiveThreshold};
 pub use compute::ComputeConfig;
 pub use content::{ModelLibrary, PanoLibrary, PanoSource};
 pub use descriptor::FeatureDescriptor;
+pub use engine::{
+    ClientEngine, Clock, Decision, Effect, EngineConfig, FaultSchedule, ReplyKind, SimClock,
+    TimerKind, UpstreamGate, WallClock,
+};
 pub use layercache::{LayerCache, LayerOutcome};
 pub use protocol::{Msg, ProtoError};
 pub use qoe::{reduction_percent, Path, QoeReport, Record};

@@ -7,30 +7,46 @@
 //! integration tests; latency here is real wall-clock time (the SimNet
 //! inference, CMF parsing and panorama synthesis all actually run).
 //!
+//! Orchestration — retries, backoff, deadlines, degrade-to-origin, edge
+//! re-probing — is *not* implemented here. [`NetClient`] is a thin driver
+//! around the sans-IO [`ClientEngine`]: it realizes engine effects
+//! (`SendQuery` → framed TCP exchange, `ArmTimer(Backoff)` → sleep,
+//! `ArmTimer(Deadline)` → socket read deadline, `ProbeEdge` → reconnect)
+//! and feeds IO outcomes back as events. The simulator
+//! ([`crate::simrun`]) drives the identical engine under virtual time, so
+//! both stacks traverse the same decision sequences for the same workload
+//! and [`FaultSchedule`].
+//!
 //! Fault tolerance (configured by [`NetConfig`]):
 //!
 //! * every socket carries read/write deadlines, so no request can hang;
-//! * the client retries failed attempts under a [`RetryPolicy`]
-//!   (capped exponential backoff, seeded jitter) and reconnects on broken
-//!   or desynchronized connections;
+//! * the engine retries failed attempts under a [`RetryPolicy`]
+//!   (capped exponential backoff, seeded jitter) and the driver reconnects
+//!   on broken or desynchronized connections;
 //! * when the edge stays unreachable (or replies [`Msg::Unavailable`]),
 //!   a client constructed with [`NetClient::connect_with`] degrades to the
 //!   origin path — direct [`Msg::BaselineRequest`] to the cloud — and
 //!   periodically probes the edge to rejoin the cooperative path;
-//! * the edge's own cloud leg sits behind a [`CircuitBreaker`], so a dead
-//!   cloud makes the edge answer `Unavailable` fast instead of stalling
-//!   every connection thread;
+//! * the edge's own cloud leg sits behind an [`UpstreamGate`] (circuit
+//!   breaker + stats), so a dead cloud makes the edge answer `Unavailable`
+//!   fast instead of stalling every connection thread;
 //! * concurrent identical misses coalesce into one upstream fetch
-//!   (single-flight), so a thundering herd costs one cloud round trip.
+//!   ([`SingleFlight`]); waiting threads block on a condvar until the
+//!   leader lands the result in the cache.
 //!
 //! Every transition is counted in [`RobustnessStats`], surfaced through
-//! [`NetClient::robustness`] and [`EdgeHandle::robustness`].
+//! [`NetClient::robustness`] and [`EdgeHandle::robustness`]; per-request
+//! QoE records accumulate behind the engine and aggregate via
+//! [`NetClient::report`].
 
 use crate::compute::ComputeConfig;
 use crate::content::{ModelLibrary, PanoLibrary};
+use crate::engine::{
+    ClientEngine, Clock, Decision, Effect, EngineConfig, FaultSchedule, FlightClaim, ReplyKind,
+    RetryPolicy, RobustnessStats, SingleFlight, TimerKind, UpstreamGate, WallClock,
+};
 use crate::protocol::Msg;
-use crate::qoe::Path;
-use crate::robust::{CircuitBreaker, RetryPolicy, RobustnessStats};
+use crate::qoe::QoeReport;
 use crate::services::{
     ClientConfig, ClientLogic, CloudService, EdgeConfig, EdgeReply, EdgeService,
 };
@@ -39,14 +55,10 @@ use coic_cache::Digest;
 use coic_netsim::rt::{FaultError, FrameConn, FrameError, FrameServer};
 use coic_vision::{ObjectClass, SceneGenerator};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::SocketAddr;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-fn epoch_ns(start: Instant) -> u64 {
-    start.elapsed().as_nanos() as u64
-}
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Duration;
 
 /// Deadlines, retry and breaker parameters for the live deployment.
 #[derive(Debug, Clone)]
@@ -65,6 +77,10 @@ pub struct NetConfig {
     pub breaker_threshold: u32,
     /// How long the tripped breaker rejects before probing the cloud.
     pub breaker_cooldown: Duration,
+    /// Deterministic fault injection: attempts named here fail at the
+    /// client's IO boundary without touching the network, mirroring the
+    /// simulator's schedule semantics for the determinism tests.
+    pub faults: FaultSchedule,
 }
 
 impl Default for NetConfig {
@@ -77,6 +93,7 @@ impl Default for NetConfig {
             edge_call_deadline: Duration::from_secs(3),
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_millis(300),
+            faults: FaultSchedule::new(),
         }
     }
 }
@@ -136,7 +153,7 @@ pub struct EdgeHandle {
     addr: SocketAddr,
     peers: Arc<Mutex<Vec<SocketAddr>>>,
     stats: RobustnessStats,
-    breaker: Arc<CircuitBreaker>,
+    gate: Arc<UpstreamGate>,
     server: FrameServer,
 }
 
@@ -160,7 +177,7 @@ impl EdgeHandle {
 
     /// State of the edge→cloud circuit breaker.
     pub fn breaker_state(&self) -> crate::robust::BreakerState {
-        self.breaker.state()
+        self.gate.state()
     }
 
     /// Stop the edge: no new connections, live ones severed. Idempotent;
@@ -170,20 +187,46 @@ impl EdgeHandle {
     }
 }
 
-/// Call the cloud through the circuit breaker. Returns `None` when the
-/// breaker is open or the call fails (the breaker records the outcome).
+/// A queued single-flight waiter: blocks its connection thread until the
+/// leader completes (or the deadline passes), then re-checks the cache.
+#[derive(Default)]
+struct FlightWaiter {
+    done: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl FlightWaiter {
+    fn notify(&self) {
+        *self.done.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    /// Wait until notified or `timeout`; returns whether the leader
+    /// finished.
+    fn wait(&self, timeout: Duration) -> bool {
+        let g = self.done.lock().unwrap();
+        let (g, _) = self
+            .cv
+            .wait_timeout_while(g, timeout, |done| !*done)
+            .unwrap();
+        *g
+    }
+}
+
+/// Call the cloud through the upstream gate. Returns `None` when the gate
+/// is open or the call fails (the gate records the outcome and mirrors
+/// breaker transitions into the shared stats).
 fn guarded_cloud_call(
     cloud_addr: SocketAddr,
     msg: &Msg,
     net: &NetConfig,
-    breaker: &CircuitBreaker,
+    gate: &UpstreamGate,
+    clock: &WallClock,
     stats: &RobustnessStats,
 ) -> Option<TaskResult> {
-    if !breaker.allow() {
+    if !gate.preflight(clock.now_ns()) {
         return None;
     }
-    let trips = breaker.trips();
-    let closes = breaker.closes();
     let result = (|| {
         let mut cloud = FrameConn::connect_timeout(&cloud_addr, net.connect_timeout).ok()?;
         cloud.set_read_deadline(Some(net.edge_call_deadline)).ok()?;
@@ -205,13 +248,7 @@ fn guarded_cloud_call(
             _ => None,
         }
     })();
-    breaker.record(result.is_some());
-    if breaker.trips() > trips {
-        stats.count_breaker_trip();
-    }
-    if breaker.closes() > closes {
-        stats.count_breaker_close();
-    }
+    gate.report(result.is_some(), clock.now_ns());
     result
 }
 
@@ -236,21 +273,23 @@ pub fn spawn_edge_with(
     let peers: Arc<Mutex<Vec<SocketAddr>>> = Arc::new(Mutex::new(Vec::new()));
     let peers_in_handler = peers.clone();
     let stats = RobustnessStats::default();
-    let breaker = Arc::new(CircuitBreaker::new(
+    let gate = Arc::new(UpstreamGate::new(
         net.breaker_threshold,
         net.breaker_cooldown,
+        stats.clone(),
     ));
-    // Single-flight table: one upstream fetch per content digest at a time;
-    // losers of the race re-check the cache instead of refetching.
-    let inflight: Arc<Mutex<HashMap<Digest, Arc<Mutex<()>>>>> =
-        Arc::new(Mutex::new(HashMap::new()));
-    let (stats_h, breaker_h, inflight_h) = (stats.clone(), breaker.clone(), inflight.clone());
-    let start = Instant::now();
+    // Single-flight table: one upstream fetch per content digest at a
+    // time; queued threads block on a condvar and re-check the cache when
+    // the leader completes.
+    let flights: Arc<Mutex<SingleFlight<Digest, Arc<FlightWaiter>>>> =
+        Arc::new(Mutex::new(SingleFlight::new()));
+    let (stats_h, gate_h, flights_h) = (stats.clone(), gate.clone(), flights.clone());
+    let clock = WallClock::new();
     let bind = bind.unwrap_or_else(|| "127.0.0.1:0".parse().unwrap());
     let server = FrameServer::spawn(bind, move |frame| {
         let peers = &peers_in_handler;
         let msg = Msg::decode(&frame).ok()?;
-        let now = epoch_ns(start);
+        let now = clock.now_ns();
         let reply = match msg {
             Msg::Query {
                 req_id,
@@ -266,69 +305,104 @@ pub fn spawn_edge_with(
                     }
                     EdgeReply::Forward(task) => {
                         let digest = crate::services::descriptor_digest(&descriptor);
-                        // Serialize identical misses: only the first thread
-                        // fetches; the rest find the result cached when the
-                        // guard is released.
-                        let flight_guard = digest.map(|d| {
-                            inflight_h
-                                .lock()
-                                .entry(d)
-                                .or_insert_with(|| Arc::new(Mutex::new(())))
-                                .clone()
-                        });
-                        let _held = flight_guard.as_ref().map(|m| m.lock());
-                        if let Some(d) = &digest {
-                            if let Some(result) = service.lock().exact_lookup(d, now) {
-                                return Some(Msg::Hit { req_id, result }.encode().to_vec());
+                        let fetch = |task: crate::task::TaskRequest| {
+                            // Cooperative lookup: ask each registered peer
+                            // edge before paying the cloud round trip
+                            // (exact tasks carry their digest in the
+                            // descriptor).
+                            let peer_hit = digest.and_then(|digest| {
+                                let addrs = peers.lock().clone();
+                                for addr in addrs {
+                                    let Ok(mut peer) =
+                                        FrameConn::connect_timeout(&addr, net.connect_timeout)
+                                    else {
+                                        continue;
+                                    };
+                                    if peer
+                                        .set_read_deadline(Some(net.edge_call_deadline))
+                                        .is_err()
+                                    {
+                                        continue;
+                                    }
+                                    let _ = peer.set_write_deadline(Some(net.edge_call_deadline));
+                                    if peer
+                                        .send(&Msg::PeerQuery { req_id, digest }.encode())
+                                        .is_err()
+                                    {
+                                        continue;
+                                    }
+                                    let Ok(resp) = peer.recv() else { continue };
+                                    if let Ok(Msg::PeerReply {
+                                        result: Some(result),
+                                        ..
+                                    }) = Msg::decode(&resp)
+                                    {
+                                        return Some(result);
+                                    }
+                                }
+                                None
+                            });
+                            if let Some(result) = peer_hit {
+                                return Some((result, true));
                             }
-                        }
-                        // Cooperative lookup: ask each registered peer edge
-                        // before paying the cloud round trip (exact tasks
-                        // carry their digest in the descriptor).
-                        let peer_hit = digest.and_then(|digest| {
-                            let addrs = peers.lock().clone();
-                            for addr in addrs {
-                                let Ok(mut peer) =
-                                    FrameConn::connect_timeout(&addr, net.connect_timeout)
-                                else {
-                                    continue;
-                                };
-                                if peer
-                                    .set_read_deadline(Some(net.edge_call_deadline))
-                                    .is_err()
-                                {
-                                    continue;
-                                }
-                                let _ = peer.set_write_deadline(Some(net.edge_call_deadline));
-                                if peer
-                                    .send(&Msg::PeerQuery { req_id, digest }.encode())
-                                    .is_err()
-                                {
-                                    continue;
-                                }
-                                let Ok(resp) = peer.recv() else { continue };
-                                if let Ok(Msg::PeerReply {
-                                    result: Some(result),
-                                    ..
-                                }) = Msg::decode(&resp)
-                                {
-                                    return Some(result);
-                                }
-                            }
-                            None
-                        });
-                        if let Some(result) = peer_hit {
-                            service.lock().insert(&descriptor, &result, now);
-                            Msg::PeerResult { req_id, result }
-                        } else {
-                            match guarded_cloud_call(
+                            guarded_cloud_call(
                                 cloud_addr,
                                 &Msg::Forward { req_id, task },
                                 &net,
-                                &breaker_h,
+                                &gate_h,
+                                &clock,
                                 &stats_h,
-                            ) {
-                                Some(result) => {
+                            )
+                            .map(|r| (r, false))
+                        };
+                        match digest {
+                            Some(d) => loop {
+                                let now = clock.now_ns();
+                                if let Some(result) = service.lock().exact_lookup(&d, now) {
+                                    break Msg::Hit { req_id, result };
+                                }
+                                let waiter = Arc::new(FlightWaiter::default());
+                                // Bind the claim before matching: a guard
+                                // living in the match scrutinee would still
+                                // be held at the complete() below.
+                                let claim = flights_h.lock().claim(d, waiter.clone());
+                                match claim {
+                                    FlightClaim::Leader => {
+                                        let fetched = fetch(task);
+                                        if let Some((result, _)) = &fetched {
+                                            service.lock().insert(&descriptor, result, now);
+                                        }
+                                        for w in flights_h.lock().complete(&d) {
+                                            w.notify();
+                                        }
+                                        break match fetched {
+                                            Some((result, true)) => {
+                                                Msg::PeerResult { req_id, result }
+                                            }
+                                            Some((result, false)) => Msg::Result { req_id, result },
+                                            None => {
+                                                stats_h.count_unavailable();
+                                                Msg::Unavailable { req_id }
+                                            }
+                                        };
+                                    }
+                                    FlightClaim::Queued => {
+                                        if !waiter.wait(net.edge_call_deadline) {
+                                            stats_h.count_unavailable();
+                                            break Msg::Unavailable { req_id };
+                                        }
+                                        // Leader finished: loop to re-check
+                                        // the cache (and lead ourselves if
+                                        // the leader failed).
+                                    }
+                                }
+                            },
+                            None => match fetch(task) {
+                                Some((result, true)) => {
+                                    service.lock().insert(&descriptor, &result, now);
+                                    Msg::PeerResult { req_id, result }
+                                }
+                                Some((result, false)) => {
                                     service.lock().insert(&descriptor, &result, now);
                                     Msg::Result { req_id, result }
                                 }
@@ -336,7 +410,7 @@ pub fn spawn_edge_with(
                                     stats_h.count_unavailable();
                                     Msg::Unavailable { req_id }
                                 }
-                            }
+                            },
                         }
                     }
                 }
@@ -351,7 +425,8 @@ pub fn spawn_edge_with(
                     cloud_addr,
                     &Msg::Forward { req_id, task },
                     &net,
-                    &breaker_h,
+                    &gate_h,
+                    &clock,
                     &stats_h,
                 ) {
                     Some(result) => {
@@ -372,7 +447,7 @@ pub fn spawn_edge_with(
         addr: server.local_addr(),
         peers,
         stats,
-        breaker,
+        gate,
         server,
     })
 }
@@ -385,24 +460,14 @@ pub struct LiveOutcome {
     /// Wall-clock latency.
     pub elapsed: std::time::Duration,
     /// Hit/miss path taken.
-    pub path: Path,
+    pub path: crate::qoe::Path,
     /// Attempts beyond the first this request needed.
     pub retries: u32,
 }
 
-/// What one attempt against the edge produced.
-enum AttemptOutcome {
-    /// Got a terminal reply.
-    Done(TaskResult, Path),
-    /// The edge told us to go away; do not retry the edge.
-    Unavailable,
-    /// Transport-level failure; retrying may help.
-    Failed,
-}
-
-/// A blocking CoIC client over a live edge connection, with retry,
-/// reconnect and (when constructed via [`NetClient::connect_with`])
-/// graceful degradation to the origin path.
+/// A blocking CoIC client over a live edge connection. All orchestration
+/// (retry, backoff, deadline, degrade, probe) is decided by the embedded
+/// [`ClientEngine`]; this type only realizes its effects over framed TCP.
 pub struct NetClient {
     edge_addr: SocketAddr,
     cloud_addr: Option<SocketAddr>,
@@ -410,8 +475,8 @@ pub struct NetClient {
     logic: ClientLogic,
     next_req: u64,
     net: NetConfig,
-    degraded: bool,
-    last_probe: Option<Instant>,
+    clock: WallClock,
+    engine: ClientEngine<WallClock>,
     stats: RobustnessStats,
 }
 
@@ -457,6 +522,18 @@ impl NetClient {
         panos: Arc<PanoLibrary>,
     ) -> std::io::Result<NetClient> {
         let stats = RobustnessStats::default();
+        let clock = WallClock::new();
+        let engine = ClientEngine::new(
+            EngineConfig {
+                retry: net.retry.clone(),
+                deadline_ns: net.request_deadline.as_nanos() as u64,
+                probe_interval_ns: net.probe_interval.as_nanos() as u64,
+                use_edge: true,
+                origin_fallback: cloud_addr.is_some(),
+            },
+            clock.clone(),
+            stats.clone(),
+        );
         let mut client = NetClient {
             edge_addr,
             cloud_addr,
@@ -464,13 +541,12 @@ impl NetClient {
             logic: ClientLogic::new(client_cfg, compute, models, panos),
             next_req: 1,
             net,
-            degraded: false,
-            last_probe: None,
+            clock,
+            engine,
             stats,
         };
         if client.reconnect_edge().is_err() && client.cloud_addr.is_some() {
-            client.degraded = true;
-            client.stats.count_degraded();
+            client.engine.begin_degraded();
         }
         Ok(client)
     }
@@ -482,7 +558,20 @@ impl NetClient {
 
     /// Is the client currently on the origin (cloud-direct) path?
     pub fn is_degraded(&self) -> bool {
-        self.degraded
+        self.engine.is_degraded()
+    }
+
+    /// Aggregate the engine's per-request QoE records — the same report
+    /// type the simulator emits (byte counts are not populated on the
+    /// live path).
+    pub fn report(&self) -> QoeReport {
+        QoeReport::from_records(self.engine.records())
+    }
+
+    /// The engine's decision trace so far (hit/miss/retry/fallback
+    /// sequence), comparable against a simulator trace.
+    pub fn decisions(&self) -> &[Decision] {
+        self.engine.decisions()
     }
 
     fn reconnect_edge(&mut self) -> Result<(), FrameError> {
@@ -493,37 +582,29 @@ impl NetClient {
         Ok(())
     }
 
-    /// While degraded: occasionally try the edge again; on success, rejoin
-    /// the cooperative path.
-    fn maybe_probe_edge(&mut self) {
-        let due = self
-            .last_probe
-            .map(|t| t.elapsed() >= self.net.probe_interval)
-            .unwrap_or(true);
-        if !due {
-            return;
-        }
-        self.last_probe = Some(Instant::now());
-        self.stats.count_probe();
-        if self.reconnect_edge().is_ok() {
-            self.degraded = false;
-            self.stats.count_recovered();
+    fn on_io_error(&self, e: &FrameError) {
+        match e.fault() {
+            FaultError::Timeout => self.stats.count_timeout(),
+            FaultError::Corrupt => self.stats.count_corrupt(),
+            _ => {}
         }
     }
 
-    /// One attempt against the edge: send the query, pump replies.
-    fn attempt_edge(
+    /// Send the descriptor query for one engine-decided attempt, then pump
+    /// replies into the engine. Any IO failure is funneled back as a
+    /// transport-failure event.
+    fn edge_send_query(
         &mut self,
         req_id: u64,
         prepared: &crate::services::PreparedRequest,
-    ) -> AttemptOutcome {
+        slot: &mut Option<TaskResult>,
+    ) -> Vec<Effect> {
         if self.conn.is_none() {
             match self.reconnect_edge() {
                 Ok(()) => self.stats.count_reconnect(),
-                Err(_) => return AttemptOutcome::Failed,
+                Err(_) => return self.engine.on_transport_failure(req_id),
             }
         }
-        let conn = self.conn.as_mut().expect("just connected");
         let hint = match &prepared.task {
             crate::task::TaskRequest::Recognition { .. } => None,
             t => Some(t.clone()),
@@ -533,94 +614,120 @@ impl NetClient {
             descriptor: prepared.descriptor.clone(),
             hint,
         };
-        let on_error = |stats: &RobustnessStats, e: &FrameError| match e.fault() {
-            FaultError::Timeout => stats.count_timeout(),
-            FaultError::Corrupt => stats.count_corrupt(),
-            _ => {}
-        };
-        if let Err(e) = conn.send(&query.encode()) {
-            on_error(&self.stats, &e);
+        if let Err(e) = self
+            .conn
+            .as_mut()
+            .expect("just connected")
+            .send(&query.encode())
+        {
+            self.on_io_error(&e);
             self.conn = None;
-            return AttemptOutcome::Failed;
+            return self.engine.on_transport_failure(req_id);
         }
-        loop {
-            let frame = match self.conn.as_mut().expect("conn live").recv() {
-                Ok(f) => f,
-                Err(e) => {
-                    on_error(&self.stats, &e);
-                    // Timeouts desynchronize the stream; all errors drop
-                    // the connection so the next attempt starts clean.
-                    self.conn = None;
-                    return AttemptOutcome::Failed;
-                }
-            };
-            let msg = match Msg::decode(&frame) {
-                Ok(m) => m,
-                Err(_) => {
-                    self.conn = None;
-                    return AttemptOutcome::Failed;
-                }
-            };
-            match msg {
-                Msg::Hit { result, .. } => return AttemptOutcome::Done(result, Path::EdgeHit),
-                Msg::Result { result, .. } => return AttemptOutcome::Done(result, Path::CloudMiss),
-                Msg::PeerResult { result, .. } => {
-                    return AttemptOutcome::Done(result, Path::PeerHit)
-                }
-                Msg::Unavailable { .. } => {
-                    self.stats.count_unavailable();
-                    return AttemptOutcome::Unavailable;
-                }
-                Msg::NeedPayload { req_id } => {
-                    let upload = Msg::Upload {
-                        req_id,
-                        task: prepared.task.clone(),
-                    };
-                    if let Err(e) = self
-                        .conn
-                        .as_mut()
-                        .expect("conn live")
-                        .send(&upload.encode())
-                    {
-                        on_error(&self.stats, &e);
-                        self.conn = None;
-                        return AttemptOutcome::Failed;
-                    }
-                }
-                // A stale reply to an earlier (timed-out) request id can
-                // not appear here — timeouts drop the connection — so any
-                // other message is a protocol violation.
-                _ => {
-                    self.conn = None;
-                    return AttemptOutcome::Failed;
-                }
-            }
-        }
+        self.edge_recv(req_id, slot)
     }
 
-    /// Origin path: ask the cloud directly, bypassing the edge.
-    fn attempt_origin(
+    /// Receive one edge reply frame and feed it to the engine.
+    fn edge_recv(&mut self, req_id: u64, slot: &mut Option<TaskResult>) -> Vec<Effect> {
+        let Some(conn) = self.conn.as_mut() else {
+            return self.engine.on_transport_failure(req_id);
+        };
+        let frame = match conn.recv() {
+            Ok(f) => f,
+            Err(e) => {
+                self.on_io_error(&e);
+                // Timeouts desynchronize the stream; all errors drop the
+                // connection so the next attempt starts clean.
+                self.conn = None;
+                return self.engine.on_transport_failure(req_id);
+            }
+        };
+        let msg = match Msg::decode(&frame) {
+            Ok(m) => m,
+            Err(_) => {
+                self.conn = None;
+                return self.engine.on_transport_failure(req_id);
+            }
+        };
+        let (kind, result) = match msg {
+            Msg::Hit { result, .. } => (ReplyKind::Hit, Some(result)),
+            Msg::Result { result, .. } => (ReplyKind::Result, Some(result)),
+            Msg::PeerResult { result, .. } => (ReplyKind::PeerResult, Some(result)),
+            Msg::Unavailable { .. } => (ReplyKind::Unavailable, None),
+            Msg::NeedPayload { .. } => (ReplyKind::NeedPayload, None),
+            // A stale reply to an earlier (timed-out) request id cannot
+            // appear here — timeouts drop the connection — so any other
+            // message is a protocol violation.
+            _ => {
+                self.conn = None;
+                return self.engine.on_transport_failure(req_id);
+            }
+        };
+        if let Some(r) = result {
+            *slot = Some(r);
+        }
+        self.engine.on_reply(req_id, kind, None)
+    }
+
+    /// Answer a `NeedPayload` by uploading the full task, then keep
+    /// pumping replies.
+    fn edge_send_upload(
         &mut self,
         req_id: u64,
         prepared: &crate::services::PreparedRequest,
-    ) -> Result<TaskResult, FrameError> {
-        let mut cloud = FrameConn::connect_timeout(
-            &self.cloud_addr.expect("origin path needs cloud_addr"),
-            self.net.connect_timeout,
-        )?;
-        cloud.set_read_deadline(Some(self.net.request_deadline))?;
-        cloud.set_write_deadline(Some(self.net.request_deadline))?;
-        cloud.send(
-            &Msg::BaselineRequest {
-                req_id,
-                task: prepared.task.clone(),
+        slot: &mut Option<TaskResult>,
+    ) -> Vec<Effect> {
+        let upload = Msg::Upload {
+            req_id,
+            task: prepared.task.clone(),
+        };
+        let Some(conn) = self.conn.as_mut() else {
+            return self.engine.on_transport_failure(req_id);
+        };
+        if let Err(e) = conn.send(&upload.encode()) {
+            self.on_io_error(&e);
+            self.conn = None;
+            return self.engine.on_transport_failure(req_id);
+        }
+        self.edge_recv(req_id, slot)
+    }
+
+    /// Origin path: ask the cloud directly, bypassing the edge.
+    fn origin_exchange(
+        &mut self,
+        req_id: u64,
+        prepared: &crate::services::PreparedRequest,
+        slot: &mut Option<TaskResult>,
+    ) -> Vec<Effect> {
+        let attempt = || -> Result<TaskResult, FrameError> {
+            let mut cloud = FrameConn::connect_timeout(
+                &self.cloud_addr.expect("origin path needs cloud_addr"),
+                self.net.connect_timeout,
+            )?;
+            cloud.set_read_deadline(Some(self.net.request_deadline))?;
+            cloud.set_write_deadline(Some(self.net.request_deadline))?;
+            cloud.send(
+                &Msg::BaselineRequest {
+                    req_id,
+                    task: prepared.task.clone(),
+                }
+                .encode(),
+            )?;
+            let resp = cloud.recv()?;
+            match Msg::decode(&resp) {
+                Ok(Msg::BaselineReply { result, .. }) => Ok(result),
+                _ => Err(FrameError::Closed),
             }
-            .encode(),
-        )?;
-        let resp = cloud.recv()?;
-        match Msg::decode(&resp) {
-            Ok(Msg::BaselineReply { result, .. }) => Ok(result),
-            _ => Err(FrameError::Closed),
+        };
+        match attempt() {
+            Ok(result) => {
+                *slot = Some(result);
+                self.engine.on_reply(req_id, ReplyKind::Baseline, None)
+            }
+            Err(e) => {
+                self.on_io_error(&e);
+                self.engine.on_transport_failure(req_id)
+            }
         }
     }
 
@@ -631,86 +738,102 @@ impl NetClient {
         &mut self,
         req: &coic_workload::Request,
     ) -> Result<LiveOutcome, Box<dyn std::error::Error>> {
-        let started = Instant::now();
+        let issued_ns = self.clock.now_ns();
         let prepared = self.logic.prepare(req);
         let req_id = self.next_req;
         self.next_req += 1;
-        let mut retries = 0u32;
 
-        if self.degraded {
-            self.maybe_probe_edge();
-        }
-        if !self.degraded {
-            for attempt in 0..self.net.retry.max_attempts {
-                if attempt > 0 {
-                    retries += 1;
-                    self.stats.count_retry();
-                    std::thread::sleep(self.net.retry.backoff(req_id, attempt - 1));
+        let mut slot: Option<TaskResult> = None;
+        let mut effects: VecDeque<Effect> =
+            // Preprocessing already ran synchronously above: zero prep delay.
+            self.engine
+                .begin(req_id, prepared.task.kind(), issued_ns, 0)
+                .into();
+        while let Some(eff) = effects.pop_front() {
+            let follow = match eff {
+                Effect::ArmTimer {
+                    kind: TimerKind::Prep,
+                    epoch,
+                    ..
+                } => self.engine.on_timer(req_id, TimerKind::Prep, epoch),
+                // Reply deadlines are realized by the sockets' read
+                // deadlines (a timeout surfaces as a transport failure).
+                Effect::ArmTimer {
+                    kind: TimerKind::Deadline,
+                    ..
+                } => Vec::new(),
+                Effect::ArmTimer {
+                    kind: TimerKind::Backoff,
+                    epoch,
+                    delay_ns,
+                    ..
+                } => {
+                    std::thread::sleep(Duration::from_nanos(delay_ns));
+                    self.engine.on_timer(req_id, TimerKind::Backoff, epoch)
                 }
-                self.stats.count_attempt();
-                match self.attempt_edge(req_id, &prepared) {
-                    AttemptOutcome::Done(result, path) => {
-                        return Ok(LiveOutcome {
-                            result,
-                            elapsed: started.elapsed(),
-                            path,
-                            retries,
-                        })
+                Effect::SendQuery { seq, attempt, .. } => {
+                    if self.net.faults.edge_dropped(seq, attempt) {
+                        self.engine.on_transport_failure(req_id)
+                    } else {
+                        self.edge_send_query(req_id, &prepared, &mut slot)
                     }
-                    AttemptOutcome::Unavailable => break,
-                    AttemptOutcome::Failed => {}
                 }
-            }
-            // Cooperative path exhausted.
-            if self.cloud_addr.is_none() {
-                return Err(format!(
-                    "edge at {} unreachable after {} attempts",
-                    self.edge_addr, self.net.retry.max_attempts
-                )
-                .into());
-            }
-            self.degraded = true;
-            self.last_probe = Some(Instant::now());
-            self.stats.count_degraded();
-        }
-
-        // Degraded: origin path, still under the retry budget.
-        for attempt in 0..self.net.retry.max_attempts {
-            if attempt > 0 {
-                retries += 1;
-                self.stats.count_retry();
-                std::thread::sleep(self.net.retry.backoff(req_id, attempt - 1));
-            }
-            self.stats.count_attempt();
-            match self.attempt_origin(req_id, &prepared) {
-                Ok(result) => {
-                    self.stats.count_fallback();
+                Effect::SendUpload { .. } => self.edge_send_upload(req_id, &prepared, &mut slot),
+                Effect::SendOrigin { seq, attempt, .. } => {
+                    if self.cloud_addr.is_none() {
+                        // Unreachable by construction (origin_fallback is
+                        // only set with a cloud address), but fail safe.
+                        self.engine.on_transport_failure(req_id)
+                    } else if self.net.faults.origin_dropped(seq, attempt) {
+                        self.engine.on_transport_failure(req_id)
+                    } else {
+                        self.origin_exchange(req_id, &prepared, &mut slot)
+                    }
+                }
+                Effect::ProbeEdge { .. } => {
+                    let ok = self.reconnect_edge().is_ok();
+                    self.engine.on_probe_result(req_id, ok)
+                }
+                Effect::Complete { record, .. } => {
+                    let result = slot.take().expect("completed request has a result");
                     return Ok(LiveOutcome {
                         result,
-                        elapsed: started.elapsed(),
-                        path: Path::Baseline,
-                        retries,
+                        elapsed: Duration::from_nanos(
+                            record.completed_ns.saturating_sub(record.issued_ns),
+                        ),
+                        path: record.path,
+                        retries: record.retries,
                     });
                 }
-                Err(e) => {
-                    if e.fault() == FaultError::Timeout {
-                        self.stats.count_timeout();
-                    }
+                Effect::GiveUp { .. } => {
+                    return Err(if self.cloud_addr.is_none() {
+                        format!(
+                            "edge at {} unreachable after {} attempts",
+                            self.edge_addr,
+                            self.net.retry.max_attempts.max(1)
+                        )
+                        .into()
+                    } else {
+                        format!(
+                            "both edge {} and cloud {:?} unreachable",
+                            self.edge_addr, self.cloud_addr
+                        )
+                        .into()
+                    });
                 }
-            }
+            };
+            effects.extend(follow);
         }
-        Err(format!(
-            "both edge {} and cloud {:?} unreachable",
-            self.edge_addr, self.cloud_addr
-        )
-        .into())
+        Err("request ended without completing or failing".into())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::qoe::Path;
     use coic_workload::{Request, RequestKind, UserId, ZoneId};
+    use std::time::Instant;
 
     fn stack() -> (CloudHandle, EdgeHandle, NetClient) {
         let models = Arc::new(ModelLibrary::new());
@@ -749,6 +872,32 @@ mod tests {
         // Same viewpoint again: identical descriptor, guaranteed hit.
         let second = client.execute(&recog(2, 10)).unwrap();
         assert_eq!(second.path, Path::EdgeHit);
+
+        // The live client populates the same QoE report the simulator
+        // emits: two completions, one hit, one cloud trip, real latencies.
+        let report = client.report();
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.edge_hits, 1);
+        assert_eq!(report.cloud_trips, 1);
+        assert!(report.mean_latency_ms() > 0.0);
+        // And the decision trace names the same path sequence.
+        use crate::engine::Decision;
+        assert_eq!(
+            client.decisions(),
+            &[
+                Decision::Attempt { seq: 0, attempt: 0 },
+                Decision::Upload { seq: 0 },
+                Decision::Complete {
+                    seq: 0,
+                    path: Path::CloudMiss
+                },
+                Decision::Attempt { seq: 1, attempt: 0 },
+                Decision::Complete {
+                    seq: 1,
+                    path: Path::EdgeHit
+                },
+            ]
+        );
     }
 
     #[test]
@@ -868,6 +1017,48 @@ mod tests {
             start.elapsed()
                 < net.request_deadline * (net.retry.max_attempts + 1) + Duration::from_secs(2)
         );
+    }
+
+    #[test]
+    fn injected_faults_fail_attempts_without_touching_the_network() {
+        let models = Arc::new(ModelLibrary::new());
+        let panos = Arc::new(PanoLibrary::new(64));
+        let compute = ComputeConfig::default();
+        let classes = vec![ObjectClass(0)];
+        let cloud = spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), 3).unwrap();
+        let edge = spawn_edge(cloud.addr(), &EdgeConfig::default()).unwrap();
+        let net = NetConfig {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+                jitter_frac: 0.0,
+                seed: 0,
+            },
+            // Kill the first attempt of the first request (seq 0).
+            faults: FaultSchedule::new().drop_edge_attempt(0, 0),
+            ..NetConfig::default()
+        };
+        let mut client = NetClient::connect_with(
+            edge.addr(),
+            None,
+            net,
+            ClientConfig::default(),
+            compute,
+            models,
+            panos,
+        )
+        .unwrap();
+        let out = client
+            .execute(&Request {
+                user: UserId(0),
+                zone: ZoneId(0),
+                at_ns: 0,
+                kind: RequestKind::Panorama { frame_id: 1 },
+            })
+            .unwrap();
+        assert_eq!(out.retries, 1, "first attempt injected dead, second won");
+        assert_eq!(client.report().retried_requests, 1);
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub enum Path {
 }
 
 /// One completed request.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Record {
     /// Request id.
     pub req_id: u64,
@@ -140,6 +140,60 @@ impl QoeReport {
     /// Mean latency in ms.
     pub fn mean_latency_ms(&self) -> f64 {
         self.latency_ms.mean()
+    }
+
+    /// Canonical, deterministic serialization: per-kind sections are
+    /// emitted in sorted key order (the backing map iterates randomly), so
+    /// two identical runs produce byte-identical strings. Used by the
+    /// determinism tests and the CI determinism job to diff reports.
+    pub fn canonical(&mut self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "completed={} failed={}", self.completed, self.failed);
+        let _ = writeln!(
+            s,
+            "edge_hits={} peer_hits={} cloud_trips={}",
+            self.edge_hits, self.peer_hits, self.cloud_trips
+        );
+        let _ = writeln!(
+            s,
+            "retries={} retried_requests={}",
+            self.retries, self.retried_requests
+        );
+        let _ = writeln!(
+            s,
+            "accuracy={}",
+            self.accuracy
+                .map(|a| format!("{a:.6}"))
+                .unwrap_or_else(|| "n/a".into())
+        );
+        let _ = writeln!(
+            s,
+            "latency mean={:.6} median={:.6} p99={:.6}",
+            self.latency_ms.mean(),
+            self.latency_ms.median(),
+            self.latency_ms.quantile(0.99)
+        );
+        let mut kinds: Vec<&&str> = self.latency_by_kind.keys().collect();
+        kinds.sort();
+        let kinds: Vec<&'static str> = kinds.into_iter().copied().collect();
+        for kind in kinds {
+            let summary = self.latency_by_kind.get_mut(kind).expect("key exists");
+            let _ = writeln!(
+                s,
+                "kind={} n={} mean={:.6} median={:.6}",
+                kind,
+                summary.count(),
+                summary.mean(),
+                summary.median()
+            );
+        }
+        let _ = writeln!(
+            s,
+            "bytes access={} wan={} lan={}",
+            self.access_bytes, self.wan_bytes, self.lan_bytes
+        );
+        s
     }
 }
 

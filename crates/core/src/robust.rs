@@ -1,392 +1,10 @@
-//! Fault-tolerance policies for the live (TCP) deployment: capped
-//! exponential backoff with deterministic jitter ([`RetryPolicy`]), a
-//! circuit breaker for the edge→cloud forwarding leg ([`CircuitBreaker`]),
-//! and shared counters tracking every degradation and recovery transition
-//! ([`RobustnessStats`]).
+//! Fault-tolerance policies, re-exported from the sans-IO [`crate::engine`].
 //!
-//! The policies are transport-agnostic and deterministic where possible:
-//! jitter derives from a seed plus the attempt coordinates, so two
-//! identically-seeded runs back off identically.
+//! This module is a compatibility facade: the retry policy, circuit
+//! breaker, and robustness counters moved into the engine so a single,
+//! clock-agnostic implementation serves both the simulator and the live
+//! TCP stack. Existing `crate::robust::` paths keep working.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
-
-/// Capped exponential backoff with seeded jitter, governing how a client
-/// retries one request before giving up on the cooperative path.
-#[derive(Debug, Clone)]
-pub struct RetryPolicy {
-    /// Total tries per request on a given path (first try included).
-    pub max_attempts: u32,
-    /// Backoff before the second try; doubles per subsequent try.
-    pub base_backoff: Duration,
-    /// Upper bound on any single backoff.
-    pub max_backoff: Duration,
-    /// Fraction of the backoff randomized away (0.0 = none, 0.5 = up to
-    /// half). Jitter desynchronizes clients hammering a recovering edge.
-    pub jitter_frac: f64,
-    /// Seed for deterministic jitter.
-    pub seed: u64,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> RetryPolicy {
-        RetryPolicy {
-            max_attempts: 3,
-            base_backoff: Duration::from_millis(20),
-            max_backoff: Duration::from_millis(500),
-            jitter_frac: 0.3,
-            seed: 0,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// Backoff to sleep after a failed `attempt` (0-based) of request
-    /// `req_id`. Deterministic in `(seed, req_id, attempt)`.
-    pub fn backoff(&self, req_id: u64, attempt: u32) -> Duration {
-        let exp = self
-            .base_backoff
-            .saturating_mul(1u32 << attempt.min(16))
-            .min(self.max_backoff);
-        if self.jitter_frac <= 0.0 {
-            return exp;
-        }
-        // SplitMix64-style avalanche over the coordinates → [0, 1).
-        let mut z = self
-            .seed
-            .wrapping_add(req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-            .wrapping_add((attempt as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        let scale = 1.0 - self.jitter_frac * unit;
-        exp.mul_f64(scale.clamp(0.0, 1.0))
-    }
-}
-
-/// Breaker state, exposed for stats and tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BreakerState {
-    /// Requests flow normally.
-    Closed,
-    /// Requests are rejected without attempting the protected call.
-    Open,
-    /// One probe request is allowed through to test recovery.
-    HalfOpen,
-}
-
-#[derive(Debug)]
-struct BreakerInner {
-    state: BreakerState,
-    consecutive_failures: u32,
-    opened_at: Option<Instant>,
-    probe_in_flight: bool,
-}
-
-/// A circuit breaker protecting a downstream dependency (the edge's
-/// forwarding leg to the cloud). After `failure_threshold` consecutive
-/// failures the breaker opens for `cooldown`; it then half-opens, letting
-/// a single probe through — success closes it, failure re-opens it.
-#[derive(Debug)]
-pub struct CircuitBreaker {
-    inner: Mutex<BreakerInner>,
-    /// Consecutive failures that trip the breaker.
-    pub failure_threshold: u32,
-    /// How long the breaker stays open before probing.
-    pub cooldown: Duration,
-    trips: AtomicU64,
-    closes: AtomicU64,
-}
-
-impl CircuitBreaker {
-    /// Breaker with the given trip threshold and open-state cooldown.
-    pub fn new(failure_threshold: u32, cooldown: Duration) -> CircuitBreaker {
-        CircuitBreaker {
-            inner: Mutex::new(BreakerInner {
-                state: BreakerState::Closed,
-                consecutive_failures: 0,
-                opened_at: None,
-                probe_in_flight: false,
-            }),
-            failure_threshold: failure_threshold.max(1),
-            cooldown,
-            trips: AtomicU64::new(0),
-            closes: AtomicU64::new(0),
-        }
-    }
-
-    /// May a call proceed right now? `true` either means the breaker is
-    /// closed or this caller has been granted the half-open probe slot.
-    pub fn allow(&self) -> bool {
-        let mut g = self.inner.lock().unwrap();
-        match g.state {
-            BreakerState::Closed => true,
-            BreakerState::Open => {
-                if g.opened_at.map(|t| t.elapsed() >= self.cooldown) == Some(true) {
-                    g.state = BreakerState::HalfOpen;
-                    g.probe_in_flight = true;
-                    true
-                } else {
-                    false
-                }
-            }
-            BreakerState::HalfOpen => {
-                if g.probe_in_flight {
-                    false
-                } else {
-                    g.probe_in_flight = true;
-                    true
-                }
-            }
-        }
-    }
-
-    /// Record the outcome of a call that [`CircuitBreaker::allow`]ed.
-    pub fn record(&self, success: bool) {
-        let mut g = self.inner.lock().unwrap();
-        g.probe_in_flight = false;
-        if success {
-            if g.state != BreakerState::Closed {
-                self.closes.fetch_add(1, Ordering::Relaxed);
-            }
-            g.state = BreakerState::Closed;
-            g.consecutive_failures = 0;
-            g.opened_at = None;
-        } else {
-            g.consecutive_failures += 1;
-            let tripping = match g.state {
-                BreakerState::Closed => g.consecutive_failures >= self.failure_threshold,
-                BreakerState::HalfOpen => true,
-                BreakerState::Open => false,
-            };
-            if tripping {
-                g.state = BreakerState::Open;
-                g.opened_at = Some(Instant::now());
-                self.trips.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-    }
-
-    /// Current state (coarse; may change immediately after).
-    pub fn state(&self) -> BreakerState {
-        self.inner.lock().unwrap().state
-    }
-
-    /// Times the breaker tripped open.
-    pub fn trips(&self) -> u64 {
-        self.trips.load(Ordering::Relaxed)
-    }
-
-    /// Times the breaker closed after recovery.
-    pub fn closes(&self) -> u64 {
-        self.closes.load(Ordering::Relaxed)
-    }
-}
-
-/// Shared counters for every fault-handling event in the live stack.
-/// Cloned handles observe the same underlying counters.
-#[derive(Debug, Clone, Default)]
-pub struct RobustnessStats {
-    inner: Arc<RobustnessCounters>,
-}
-
-#[derive(Debug, Default)]
-struct RobustnessCounters {
-    attempts: AtomicU64,
-    retries: AtomicU64,
-    timeouts: AtomicU64,
-    corrupt_frames: AtomicU64,
-    reconnects: AtomicU64,
-    fallbacks: AtomicU64,
-    degraded_transitions: AtomicU64,
-    recovered_transitions: AtomicU64,
-    probes: AtomicU64,
-    breaker_trips: AtomicU64,
-    breaker_closes: AtomicU64,
-    unavailable_replies: AtomicU64,
-}
-
-/// Point-in-time copy of [`RobustnessStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct RobustnessSnapshot {
-    /// Request attempts issued (including retries).
-    pub attempts: u64,
-    /// Attempts beyond the first for some request.
-    pub retries: u64,
-    /// Attempts that ended in a deadline expiry.
-    pub timeouts: u64,
-    /// Frames rejected by checksum.
-    pub corrupt_frames: u64,
-    /// Transport reconnects performed.
-    pub reconnects: u64,
-    /// Requests served via the origin (cloud-direct) path after the
-    /// cooperative path failed.
-    pub fallbacks: u64,
-    /// Cooperative→degraded transitions.
-    pub degraded_transitions: u64,
-    /// Degraded→cooperative (recovered) transitions.
-    pub recovered_transitions: u64,
-    /// Edge probes sent while degraded.
-    pub probes: u64,
-    /// Circuit-breaker trips on the edge's cloud leg.
-    pub breaker_trips: u64,
-    /// Circuit-breaker recoveries.
-    pub breaker_closes: u64,
-    /// `Msg::Unavailable` replies sent or received.
-    pub unavailable_replies: u64,
-}
-
-macro_rules! counters {
-    ($($field:ident => $inc:ident),* $(,)?) => {
-        impl RobustnessStats {
-            $(
-                /// Increment the corresponding counter.
-                pub fn $inc(&self) {
-                    self.inner.$field.fetch_add(1, Ordering::Relaxed);
-                }
-            )*
-
-            /// Copy all counters.
-            pub fn snapshot(&self) -> RobustnessSnapshot {
-                RobustnessSnapshot {
-                    $($field: self.inner.$field.load(Ordering::Relaxed),)*
-                }
-            }
-        }
-    };
-}
-
-counters! {
-    attempts => count_attempt,
-    retries => count_retry,
-    timeouts => count_timeout,
-    corrupt_frames => count_corrupt,
-    reconnects => count_reconnect,
-    fallbacks => count_fallback,
-    degraded_transitions => count_degraded,
-    recovered_transitions => count_recovered,
-    probes => count_probe,
-    breaker_trips => count_breaker_trip,
-    breaker_closes => count_breaker_close,
-    unavailable_replies => count_unavailable,
-}
-
-impl std::fmt::Display for RobustnessSnapshot {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "attempts {} (retries {}), timeouts {}, corrupt {}, reconnects {}, \
-             fallbacks {}, degraded {}→recovered {}, probes {}, breaker {}/{} trips/closes, \
-             unavailable {}",
-            self.attempts,
-            self.retries,
-            self.timeouts,
-            self.corrupt_frames,
-            self.reconnects,
-            self.fallbacks,
-            self.degraded_transitions,
-            self.recovered_transitions,
-            self.probes,
-            self.breaker_trips,
-            self.breaker_closes,
-            self.unavailable_replies,
-        )
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn backoff_grows_and_caps() {
-        let p = RetryPolicy {
-            jitter_frac: 0.0,
-            ..RetryPolicy::default()
-        };
-        let b0 = p.backoff(1, 0);
-        let b1 = p.backoff(1, 1);
-        let b2 = p.backoff(1, 2);
-        assert_eq!(b0, Duration::from_millis(20));
-        assert_eq!(b1, Duration::from_millis(40));
-        assert_eq!(b2, Duration::from_millis(80));
-        assert_eq!(p.backoff(1, 30), p.max_backoff);
-    }
-
-    #[test]
-    fn jitter_is_deterministic_and_bounded() {
-        let p = RetryPolicy {
-            jitter_frac: 0.5,
-            seed: 9,
-            ..RetryPolicy::default()
-        };
-        for attempt in 0..5 {
-            for req in 0..50u64 {
-                let a = p.backoff(req, attempt);
-                let b = p.backoff(req, attempt);
-                assert_eq!(a, b, "jitter not deterministic");
-                let nominal = RetryPolicy {
-                    jitter_frac: 0.0,
-                    ..p.clone()
-                }
-                .backoff(req, attempt);
-                assert!(a <= nominal && a >= nominal.mul_f64(0.5));
-            }
-        }
-        // Different requests actually get different jitter.
-        let spread: std::collections::HashSet<_> =
-            (0..20u64).map(|r| p.backoff(r, 1).as_nanos()).collect();
-        assert!(spread.len() > 10);
-    }
-
-    #[test]
-    fn breaker_trips_and_recovers() {
-        let b = CircuitBreaker::new(3, Duration::from_millis(30));
-        assert_eq!(b.state(), BreakerState::Closed);
-        for _ in 0..3 {
-            assert!(b.allow());
-            b.record(false);
-        }
-        assert_eq!(b.state(), BreakerState::Open);
-        assert!(!b.allow(), "open breaker must reject");
-        assert_eq!(b.trips(), 1);
-
-        std::thread::sleep(Duration::from_millis(40));
-        assert!(b.allow(), "cooldown elapsed: probe should be granted");
-        assert_eq!(b.state(), BreakerState::HalfOpen);
-        assert!(!b.allow(), "only one probe at a time");
-        b.record(true);
-        assert_eq!(b.state(), BreakerState::Closed);
-        assert_eq!(b.closes(), 1);
-    }
-
-    #[test]
-    fn half_open_failure_reopens() {
-        let b = CircuitBreaker::new(1, Duration::from_millis(10));
-        assert!(b.allow());
-        b.record(false);
-        assert_eq!(b.state(), BreakerState::Open);
-        std::thread::sleep(Duration::from_millis(15));
-        assert!(b.allow());
-        b.record(false);
-        assert_eq!(b.state(), BreakerState::Open);
-        assert_eq!(b.trips(), 2);
-    }
-
-    #[test]
-    fn stats_shared_across_clones() {
-        let s = RobustnessStats::default();
-        let s2 = s.clone();
-        s.count_attempt();
-        s2.count_attempt();
-        s2.count_retry();
-        s.count_fallback();
-        let snap = s.snapshot();
-        assert_eq!(snap.attempts, 2);
-        assert_eq!(snap.retries, 1);
-        assert_eq!(snap.fallbacks, 1);
-        assert_eq!(snap, s2.snapshot());
-    }
-}
+pub use crate::engine::breaker::{BreakerState, CircuitBreaker};
+pub use crate::engine::retry::RetryPolicy;
+pub use crate::engine::stats::{RobustnessSnapshot, RobustnessStats};

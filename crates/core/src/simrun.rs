@@ -9,8 +9,12 @@
 use crate::compute::ComputeConfig;
 use crate::content::{ModelLibrary, PanoLibrary};
 use crate::descriptor::FeatureDescriptor;
+use crate::engine::{
+    ClientEngine, Decision, Effect, EngineConfig, FaultSchedule, FlightClaim, ReplyKind,
+    RetryPolicy, RobustnessStats, SimClock, SingleFlight, TimerKind, UpstreamGate,
+};
 use crate::protocol::Msg;
-use crate::qoe::{Path, QoeReport, Record};
+use crate::qoe::{QoeReport, Record};
 use crate::services::{
     recognition_correct, ClientConfig, ClientLogic, CloudService, EdgeConfig, EdgeReply,
     EdgeService, PreparedRequest,
@@ -19,9 +23,10 @@ use crate::task::{TaskRequest, TaskResult, ANNOTATION_BYTES};
 use coic_netsim::{Ctx, LinkParams, Node, NodeId, SimDuration, Simulator, Topology};
 use coic_vision::{ObjectClass, SceneGenerator};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Which system handles the trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,8 +84,24 @@ pub struct SimConfig {
     /// retransmitted from scratch. Zero disables timeouts (only safe on
     /// loss-free links).
     pub request_timeout_ms: u64,
-    /// Retransmissions before a request is declared failed.
+    /// Retransmissions before a request is declared failed. Only consulted
+    /// when [`SimConfig::retry`] is `None`.
     pub max_retries: u32,
+    /// Client retry/backoff policy fed to the shared engine. `None`
+    /// reproduces the classic simulator behavior: `max_retries` + 1
+    /// immediate (zero-backoff) transmissions per request.
+    pub retry: Option<RetryPolicy>,
+    /// When the edge path is exhausted, degrade to the origin path (direct
+    /// cloud request) instead of failing the request — the live client's
+    /// behavior when constructed with a cloud address.
+    pub origin_fallback: bool,
+    /// While degraded, minimum spacing between edge re-probes, ms.
+    pub probe_interval_ms: u64,
+    /// Deterministic fault injection at the client's send boundary: a
+    /// scheduled attempt is silently not transmitted, so its deadline
+    /// fires — the same decisions the live driver derives from its
+    /// schedule.
+    pub faults: FaultSchedule,
     /// Optional token-bucket shaping of each client's uplink, as
     /// `(rate_mbps, burst_bytes)` — mirrors running `tc tbf` on the phone.
     /// The shaper delays when a message *starts* transmitting; the link
@@ -139,6 +160,10 @@ impl Default for SimConfig {
             wan_loss: 0.0,
             request_timeout_ms: 10_000,
             max_retries: 3,
+            retry: None,
+            origin_fallback: false,
+            probe_interval_ms: 100,
+            faults: FaultSchedule::new(),
             client_shaper: None,
             access_schedule: Vec::new(),
             prefetch_depth: 0,
@@ -197,26 +222,50 @@ fn wire_len(msg: &Msg, cfg: &SimConfig) -> u64 {
 }
 
 const TOKEN_ISSUE: u64 = 1 << 62;
-const TOKEN_SEND: u64 = 1 << 61;
+const TOKEN_PREP: u64 = 1 << 61;
 const TOKEN_TIMEOUT: u64 = 1 << 60;
 const TOKEN_SHAPED: u64 = 1 << 59;
+const TOKEN_BACKOFF: u64 = 1 << 58;
 const TOKEN_MASK: u64 = (1 << 32) - 1;
+/// Engine timer epochs ride in token bits 32..48 (flags sit at 58+).
+const EPOCH_MASK: u64 = 0xFFFF;
 
+/// The engine configuration a [`SimConfig`] implies for its clients.
+fn engine_config(cfg: &SimConfig) -> EngineConfig {
+    EngineConfig {
+        // `None` reproduces the classic simulator retransmit loop:
+        // max_retries extra transmissions, no backoff (the resend leaves at
+        // the instant the virtual deadline fires).
+        retry: cfg
+            .retry
+            .clone()
+            .unwrap_or_else(|| RetryPolicy::immediate(cfg.max_retries + 1, cfg.seed)),
+        deadline_ns: cfg.request_timeout_ms * 1_000_000,
+        probe_interval_ns: cfg.probe_interval_ms * 1_000_000,
+        use_edge: cfg.mode == Mode::CoIc,
+        origin_fallback: cfg.origin_fallback,
+    }
+}
+
+/// The simulated client: a thin driver around the shared [`ClientEngine`].
+/// All lifecycle decisions (retry, deadline, degrade, probe) come from the
+/// engine; this node only realizes effects on the virtual network — the
+/// exact counterpart of the live [`crate::netrun::NetClient`].
 struct ClientNode {
     cfg: SimConfig,
+    engine: ClientEngine<SimClock>,
+    clock: SimClock,
     shaper: Option<coic_netsim::Shaper>,
     /// Messages held back by the shaper, released by TOKEN_SHAPED timers.
     shaped: Vec<Option<(bool, u64, Msg)>>,
     logic: Arc<ClientLogic>,
     requests: Vec<coic_workload::Request>,
     prepared: Vec<Option<PreparedRequest>>,
-    issued_ns: Vec<u64>,
-    attempts: Vec<u32>,
-    done: Vec<bool>,
     edge: NodeId,
     cloud: NodeId,
     records: Rc<RefCell<Vec<Record>>>,
     failures: Rc<RefCell<u64>>,
+    trace_out: Rc<RefCell<Vec<Decision>>>,
 }
 
 impl ClientNode {
@@ -244,27 +293,6 @@ impl ClientNode {
         }
     }
 
-    fn complete(&mut self, ctx: &mut Ctx<'_, Msg>, req_id: u64, path: Path, result: &TaskResult) {
-        let idx = (req_id & TOKEN_MASK) as usize;
-        if self.done[idx] {
-            return; // duplicate reply after a retransmission
-        }
-        self.done[idx] = true;
-        let prepared = self.prepared[idx]
-            .as_ref()
-            .expect("completion for unprepared request");
-        self.records.borrow_mut().push(Record {
-            req_id,
-            kind: prepared.task.kind(),
-            issued_ns: self.issued_ns[idx],
-            completed_ns: ctx.now().as_nanos(),
-            path,
-            correct: recognition_correct(result, prepared.truth),
-            retries: self.attempts[idx],
-        });
-        self.advance_closed_loop(ctx, idx);
-    }
-
     fn advance_closed_loop(&mut self, ctx: &mut Ctx<'_, Msg>, idx: usize) {
         if self.cfg.closed_loop {
             let next = idx + 1;
@@ -277,45 +305,113 @@ impl ClientNode {
         }
     }
 
-    fn send_request(&mut self, ctx: &mut Ctx<'_, Msg>, idx: usize) {
-        let req_id = self.req_id(ctx, idx);
+    fn send_query(&mut self, ctx: &mut Ctx<'_, Msg>, req_id: u64) {
+        let idx = (req_id & TOKEN_MASK) as usize;
         let prepared = self.prepared[idx].as_ref().expect("send before prepare");
-        match self.cfg.mode {
-            Mode::CoIc => {
-                // Recognition keeps the heavy frame back; compact tasks
-                // ride along as the hint.
-                let hint = match &prepared.task {
-                    TaskRequest::Recognition { .. } => None,
-                    t => Some(t.clone()),
-                };
-                let msg = Msg::Query {
+        // Recognition keeps the heavy frame back; compact tasks ride along
+        // as the hint.
+        let hint = match &prepared.task {
+            TaskRequest::Recognition { .. } => None,
+            t => Some(t.clone()),
+        };
+        let msg = Msg::Query {
+            req_id,
+            descriptor: prepared.descriptor.clone(),
+            hint,
+        };
+        let bytes = wire_len(&msg, &self.cfg);
+        self.shaped_send(ctx, false, bytes, msg);
+    }
+
+    fn send_origin(&mut self, ctx: &mut Ctx<'_, Msg>, req_id: u64) {
+        let idx = (req_id & TOKEN_MASK) as usize;
+        let prepared = self.prepared[idx].as_ref().expect("send before prepare");
+        let msg = Msg::BaselineRequest {
+            req_id,
+            task: prepared.task.clone(),
+        };
+        let bytes = wire_len(&msg, &self.cfg);
+        // Edge-execution baseline sends the frame only as far as the edge
+        // box; otherwise offload rides through to the cloud as in the
+        // paper.
+        let routed = !(self.cfg.exec_tier == ExecTier::Edge
+            && matches!(prepared.task, TaskRequest::Recognition { .. }));
+        self.shaped_send(ctx, routed, bytes, msg);
+    }
+
+    fn send_upload(&mut self, ctx: &mut Ctx<'_, Msg>, req_id: u64) {
+        let idx = (req_id & TOKEN_MASK) as usize;
+        let task = self.prepared[idx]
+            .as_ref()
+            .expect("NeedPayload before prepare")
+            .task
+            .clone();
+        let msg = Msg::Upload { req_id, task };
+        let bytes = wire_len(&msg, &self.cfg);
+        self.shaped_send(ctx, false, bytes, msg);
+    }
+
+    /// Realize engine effects on the virtual network. Feedback events
+    /// (probe results) loop through the engine inside the same pass.
+    fn apply(&mut self, ctx: &mut Ctx<'_, Msg>, effects: Vec<Effect>) {
+        let mut queue: VecDeque<Effect> = effects.into();
+        while let Some(eff) = queue.pop_front() {
+            match eff {
+                Effect::ArmTimer {
                     req_id,
-                    descriptor: prepared.descriptor.clone(),
-                    hint,
-                };
-                let bytes = wire_len(&msg, &self.cfg);
-                self.shaped_send(ctx, false, bytes, msg);
-            }
-            Mode::Origin => {
-                let msg = Msg::BaselineRequest {
+                    kind,
+                    epoch,
+                    delay_ns,
+                } => {
+                    let idx = req_id & TOKEN_MASK;
+                    let flag = match kind {
+                        TimerKind::Prep => TOKEN_PREP,
+                        TimerKind::Deadline => TOKEN_TIMEOUT,
+                        TimerKind::Backoff => TOKEN_BACKOFF,
+                    };
+                    let token = flag | ((epoch as u64 & EPOCH_MASK) << 32) | idx;
+                    ctx.set_timer(SimDuration::from_nanos(delay_ns), token);
+                }
+                Effect::SendQuery {
                     req_id,
-                    task: prepared.task.clone(),
-                };
-                let bytes = wire_len(&msg, &self.cfg);
-                // Edge-execution baseline sends the frame only as far as
-                // the edge box; otherwise offload rides through to the
-                // cloud as in the paper.
-                let routed = !(self.cfg.exec_tier == ExecTier::Edge
-                    && matches!(prepared.task, TaskRequest::Recognition { .. }));
-                self.shaped_send(ctx, routed, bytes, msg);
+                    seq,
+                    attempt,
+                } => {
+                    // An injected fault suppresses the transmission; the
+                    // engine's deadline timer turns it into AttemptFailed.
+                    if !self.cfg.faults.edge_dropped(seq, attempt) {
+                        self.send_query(ctx, req_id);
+                    }
+                }
+                Effect::SendOrigin {
+                    req_id,
+                    seq,
+                    attempt,
+                } => {
+                    if !self.cfg.faults.origin_dropped(seq, attempt) {
+                        self.send_origin(ctx, req_id);
+                    }
+                }
+                Effect::SendUpload { req_id } => self.send_upload(ctx, req_id),
+                Effect::ProbeEdge { req_id } => {
+                    // The simulated access link is always attached (loss is
+                    // per-message), so an edge probe succeeds — mirroring
+                    // the live driver's reconnect of a reachable edge.
+                    queue.extend(self.engine.on_probe_result(req_id, true));
+                }
+                Effect::Complete { record, .. } => {
+                    self.records.borrow_mut().push(record);
+                    self.advance_closed_loop(ctx, (record.req_id & TOKEN_MASK) as usize);
+                }
+                Effect::GiveUp { req_id } => {
+                    *self.failures.borrow_mut() += 1;
+                    self.advance_closed_loop(ctx, (req_id & TOKEN_MASK) as usize);
+                }
             }
         }
-        if self.cfg.request_timeout_ms > 0 {
-            ctx.set_timer(
-                SimDuration::from_millis(self.cfg.request_timeout_ms),
-                TOKEN_TIMEOUT | idx as u64,
-            );
-        }
+        self.trace_out
+            .borrow_mut()
+            .extend(self.engine.drain_decisions());
     }
 }
 
@@ -334,66 +430,63 @@ impl Node<Msg> for ClientNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        self.clock.set(ctx.now());
         let idx = (token & TOKEN_MASK) as usize;
         if token & TOKEN_ISSUE != 0 {
             // Capture + preprocess, then transmit when done.
             let prepared = self.logic.prepare(&self.requests[idx]);
-            self.issued_ns[idx] = ctx.now().as_nanos();
-            let prep = prepared.prep_ns;
+            let req_id = self.req_id(ctx, idx);
+            let issued_ns = ctx.now().as_nanos();
+            let prep_ns = prepared.prep_ns;
+            let kind = prepared.task.kind();
             self.prepared[idx] = Some(prepared);
-            ctx.set_timer(SimDuration::from_nanos(prep), TOKEN_SEND | idx as u64);
-        } else if token & TOKEN_SEND != 0 {
-            self.send_request(ctx, idx);
+            let effects = self.engine.begin(req_id, kind, issued_ns, prep_ns);
+            self.apply(ctx, effects);
         } else if token & TOKEN_SHAPED != 0 {
-            let slot = (token & TOKEN_MASK) as usize;
-            if let Some((routed, bytes, msg)) = self.shaped[slot].take() {
+            if let Some((routed, bytes, msg)) = self.shaped[idx].take() {
                 if routed {
                     ctx.send_routed(self.cloud, bytes, msg);
                 } else {
                     ctx.send(self.edge, bytes, msg);
                 }
             }
-        } else if token & TOKEN_TIMEOUT != 0 {
-            if self.done[idx] {
-                return; // answered in time; stale timer
-            }
-            self.attempts[idx] += 1;
-            if self.attempts[idx] > self.cfg.max_retries {
-                // Give up: count the failure and keep the loop moving.
-                self.done[idx] = true;
-                *self.failures.borrow_mut() += 1;
-                self.advance_closed_loop(ctx, idx);
-            } else {
-                self.send_request(ctx, idx);
-            }
         } else {
-            panic!("unknown client timer token {token:#x}");
+            let kind = if token & TOKEN_PREP != 0 {
+                TimerKind::Prep
+            } else if token & TOKEN_TIMEOUT != 0 {
+                TimerKind::Deadline
+            } else if token & TOKEN_BACKOFF != 0 {
+                TimerKind::Backoff
+            } else {
+                panic!("unknown client timer token {token:#x}");
+            };
+            let epoch = ((token >> 32) & EPOCH_MASK) as u32;
+            let req_id = self.req_id(ctx, idx);
+            let effects = self.engine.on_timer(req_id, kind, epoch);
+            self.apply(ctx, effects);
         }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
-        match msg {
-            Msg::Hit { req_id, result } => self.complete(ctx, req_id, Path::EdgeHit, &result),
-            Msg::Result { req_id, result } => self.complete(ctx, req_id, Path::CloudMiss, &result),
-            Msg::PeerResult { req_id, result } => {
-                self.complete(ctx, req_id, Path::PeerHit, &result)
-            }
-            Msg::BaselineReply { req_id, result } => {
-                self.complete(ctx, req_id, Path::Baseline, &result)
-            }
-            Msg::NeedPayload { req_id } => {
-                let idx = (req_id & TOKEN_MASK) as usize;
-                let task = self.prepared[idx]
-                    .as_ref()
-                    .expect("NeedPayload before prepare")
-                    .task
-                    .clone();
-                let msg = Msg::Upload { req_id, task };
-                let bytes = wire_len(&msg, &self.cfg);
-                self.shaped_send(ctx, false, bytes, msg);
-            }
+        self.clock.set(ctx.now());
+        let (req_id, kind, result) = match msg {
+            Msg::Hit { req_id, result } => (req_id, ReplyKind::Hit, Some(result)),
+            Msg::Result { req_id, result } => (req_id, ReplyKind::Result, Some(result)),
+            Msg::PeerResult { req_id, result } => (req_id, ReplyKind::PeerResult, Some(result)),
+            Msg::BaselineReply { req_id, result } => (req_id, ReplyKind::Baseline, Some(result)),
+            Msg::NeedPayload { req_id } => (req_id, ReplyKind::NeedPayload, None),
+            Msg::Unavailable { req_id } => (req_id, ReplyKind::Unavailable, None),
             other => panic!("client received unexpected {other:?}"),
-        }
+        };
+        // The simulator owns the ground truth, so it judges correctness at
+        // the reply boundary and hands the verdict to the engine.
+        let correct = result.as_ref().and_then(|r| {
+            let idx = (req_id & TOKEN_MASK) as usize;
+            let prepared = self.prepared[idx].as_ref().expect("reply before prepare");
+            recognition_correct(r, prepared.truth)
+        });
+        let effects = self.engine.on_reply(req_id, kind, correct);
+        self.apply(ctx, effects);
     }
 }
 
@@ -407,11 +500,20 @@ struct EdgeNode {
     pending_replies: HashMap<u64, (NodeId, Msg)>,
     /// In-flight cloud executions: req_id → (client, descriptor).
     pending_cloud: HashMap<u64, (NodeId, FeatureDescriptor)>,
-    /// Miss coalescing for exact (hash-keyed) tasks: digest → requests
-    /// waiting on the same in-flight fetch (peer or cloud). The first miss
-    /// drives the fetch; the rest queue here and share its answer, so a
-    /// burst of co-watching viewers costs one WAN fetch, not N.
-    inflight_exact: HashMap<coic_cache::Digest, Vec<(NodeId, u64)>>,
+    /// Miss coalescing for exact (hash-keyed) tasks, via the engine's
+    /// single-flight table: the first miss leads the fetch (peer or cloud);
+    /// later misses on the same digest queue as waiters and share its
+    /// answer, so a burst of co-watching viewers costs one WAN fetch, not
+    /// N. The live edge uses the same table with condvar waiters.
+    flights: SingleFlight<coic_cache::Digest, (NodeId, u64)>,
+    /// Circuit breaker guarding the upstream (edge→cloud) leg, shared with
+    /// the live edge. The simulated WAN reports every reply as a success,
+    /// so the breaker stays closed here; it exists so both drivers route
+    /// client-blocking upstream sends through the identical preflight /
+    /// report funnel.
+    gate: UpstreamGate,
+    /// Robustness counters the gate mirrors its transitions into.
+    stats: RobustnessStats,
     /// Cooperating peer edges (empty in single-edge runs).
     peers: Vec<NodeId>,
     /// Outstanding peer queries: req_id → wait state.
@@ -469,6 +571,28 @@ impl EdgeNode {
         self.pending_replies.insert(token, (dest, msg));
         ctx.set_timer(SimDuration::from_nanos(after_ns), token);
     }
+
+    /// Refuse a request whose upstream leg the breaker gate rejected:
+    /// answer the leader and every coalesced waiter with `Unavailable` so
+    /// their engines can degrade to the origin path.
+    fn refuse(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        descriptor: &FeatureDescriptor,
+        client: NodeId,
+        req_id: u64,
+    ) {
+        self.stats.count_unavailable();
+        let mut victims = vec![(client, req_id)];
+        if let Some(digest) = crate::services::descriptor_digest(descriptor) {
+            victims.extend(self.flights.complete(&digest));
+        }
+        for (dest, waiter_req) in victims {
+            let msg = Msg::Unavailable { req_id: waiter_req };
+            let bytes = wire_len(&msg, &self.cfg);
+            ctx.send(dest, bytes, msg);
+        }
+    }
 }
 
 impl Node<Msg> for EdgeNode {
@@ -505,11 +629,13 @@ impl Node<Msg> for EdgeNode {
                     EdgeReply::Forward(task) => {
                         // Coalesce concurrent misses on the same content.
                         if let Some(digest) = crate::services::descriptor_digest(&descriptor) {
-                            if let Some(waiters) = self.inflight_exact.get_mut(&digest) {
-                                waiters.push((from, req_id));
+                            // Waiters queue behind the leader's fetch; note
+                            // the leader itself is answered via
+                            // pending_cloud/pending_peer, not the table.
+                            if let FlightClaim::Queued = self.flights.claim(digest, (from, req_id))
+                            {
                                 return;
                             }
-                            self.inflight_exact.insert(digest, Vec::new());
                             // Cooperative lookup: ask every peer before the
                             // cloud (exact tasks only — shipping approximate
                             // descriptors between edges is future work).
@@ -534,6 +660,12 @@ impl Node<Msg> for EdgeNode {
                                 }
                                 return;
                             }
+                        }
+                        // The client-blocking upstream fetch goes through
+                        // the breaker gate, exactly like the live edge.
+                        if !self.gate.preflight(now) {
+                            self.refuse(ctx, &descriptor, from, req_id);
+                            return;
                         }
                         self.pending_cloud.insert(req_id, (from, descriptor));
                         self.delay_send(ctx, lookup_ns, self.cloud, Msg::Forward { req_id, task });
@@ -560,12 +692,26 @@ impl Node<Msg> for EdgeNode {
                     self.delay_send(ctx, cost_ns, client, Msg::Result { req_id, result });
                     return;
                 }
-                // Relay the full payload to the cloud.
+                // Relay the full payload to the cloud — client-blocking, so
+                // it passes through the breaker gate like any upstream leg.
+                if !self.gate.preflight(now) {
+                    self.stats.count_unavailable();
+                    if let Some((client, _)) = self.pending_cloud.remove(&req_id) {
+                        let msg = Msg::Unavailable { req_id };
+                        let bytes = wire_len(&msg, &self.cfg);
+                        ctx.send(client, bytes, msg);
+                    }
+                    return;
+                }
                 let msg = Msg::Forward { req_id, task };
                 let bytes = wire_len(&msg, &self.cfg);
                 ctx.send(self.cloud, bytes, msg);
             }
             Msg::CloudReply { req_id, result } => {
+                // Every cloud reply is an upstream success signal for the
+                // breaker (the simulated WAN delivers or loses messages; it
+                // never returns errors, so the gate only ever sees wins).
+                self.gate.report(true, now);
                 if let Some(frame_id) = self.prefetch_inflight.remove(&req_id) {
                     // A prefetch came back: content-address it and cache it.
                     if let TaskResult::Panorama(bytes) = &result {
@@ -585,9 +731,7 @@ impl Node<Msg> for EdgeNode {
                 self.service.insert(&descriptor, &result, now);
                 // Answer every coalesced waiter with the same result.
                 if let Some(digest) = crate::services::descriptor_digest(&descriptor) {
-                    for (waiter, waiter_req) in
-                        self.inflight_exact.remove(&digest).unwrap_or_default()
-                    {
+                    for (waiter, waiter_req) in self.flights.complete(&digest) {
                         let msg = Msg::Result {
                             req_id: waiter_req,
                             result: result.clone(),
@@ -638,9 +782,7 @@ impl Node<Msg> for EdgeNode {
                         let done = wait.outstanding == 0;
                         self.service.insert(&descriptor, &result, now);
                         if let Some(digest) = crate::services::descriptor_digest(&descriptor) {
-                            for (waiter, waiter_req) in
-                                self.inflight_exact.remove(&digest).unwrap_or_default()
-                            {
+                            for (waiter, waiter_req) in self.flights.complete(&digest) {
                                 let msg = Msg::PeerResult {
                                     req_id: waiter_req,
                                     result: result.clone(),
@@ -662,7 +804,12 @@ impl Node<Msg> for EdgeNode {
                             if wait.satisfied {
                                 return;
                             }
-                            // Every peer missed: fall back to the cloud.
+                            // Every peer missed: fall back to the cloud
+                            // (client-blocking, so breaker-gated).
+                            if !self.gate.preflight(now) {
+                                self.refuse(ctx, &wait.descriptor, wait.client, req_id);
+                                return;
+                            }
                             self.pending_cloud
                                 .insert(req_id, (wait.client, wait.descriptor));
                             let msg = Msg::Forward {
@@ -742,6 +889,18 @@ impl Node<Msg> for CloudNode {
 /// Panics if the trace is empty or the simulation stalls before all
 /// requests complete (a protocol bug, which should fail loudly).
 pub fn run(trace: &[coic_workload::Request], cfg: &SimConfig) -> QoeReport {
+    run_traced(trace, cfg).0
+}
+
+/// Like [`run`], but additionally returns each client's engine decision
+/// trace (hit/miss/retry/degrade sequence, indexed like the clients). The
+/// traces carry no timestamps, so the same seeded workload and fault
+/// schedule produces byte-identical traces here and in the live TCP driver
+/// — the cross-driver determinism tests diff exactly these.
+pub fn run_traced(
+    trace: &[coic_workload::Request],
+    cfg: &SimConfig,
+) -> (QoeReport, Vec<Vec<Decision>>) {
     assert!(!trace.is_empty(), "empty trace");
     assert!(cfg.num_clients > 0, "need at least one client");
 
@@ -832,14 +991,27 @@ pub fn run(trace: &[coic_workload::Request], cfg: &SimConfig) -> QoeReport {
     let mut sim: Simulator<Msg> = Simulator::new(topo, cfg.seed);
     let records: Rc<RefCell<Vec<Record>>> = Rc::new(RefCell::new(Vec::new()));
     let failures: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
+    let traces: Vec<Rc<RefCell<Vec<Decision>>>> = (0..cfg.num_clients)
+        .map(|_| Rc::new(RefCell::new(Vec::new())))
+        .collect();
 
     for (i, &cid) in client_ids.iter().enumerate() {
         let my_requests = per_client[i].clone();
         let n = my_requests.len();
+        // One engine per client, driven by the shared virtual clock: the
+        // node sets the clock from ctx.now() before every engine call.
+        let clock = SimClock::new();
+        let engine = ClientEngine::new(
+            engine_config(cfg),
+            clock.clone(),
+            RobustnessStats::default(),
+        );
         sim.bind(
             cid,
             Box::new(ClientNode {
                 cfg: cfg.clone(),
+                engine,
+                clock,
                 shaper: cfg
                     .client_shaper
                     .map(|(mbps, burst)| coic_netsim::Shaper::new((mbps * 1e6) as u64, burst)),
@@ -847,18 +1019,21 @@ pub fn run(trace: &[coic_workload::Request], cfg: &SimConfig) -> QoeReport {
                 logic: client_logic.clone(),
                 requests: my_requests,
                 prepared: vec![None; n],
-                issued_ns: vec![0; n],
-                attempts: vec![0; n],
-                done: vec![false; n],
                 edge: client_edge[i],
                 cloud: cloud_id,
                 records: records.clone(),
                 failures: failures.clone(),
+                trace_out: traces[i].clone(),
             }),
         );
     }
     for &eid in &edge_ids {
         let peers: Vec<NodeId> = edge_ids.iter().copied().filter(|&p| p != eid).collect();
+        // Same thresholds as the live edge's defaults; the simulated WAN
+        // never reports upstream errors, so the gate is effectively
+        // permissive here — it exists to keep one code path.
+        let stats = RobustnessStats::default();
+        let gate = UpstreamGate::new(3, Duration::from_millis(300), stats.clone());
         sim.bind(
             eid,
             Box::new(EdgeNode {
@@ -868,7 +1043,9 @@ pub fn run(trace: &[coic_workload::Request], cfg: &SimConfig) -> QoeReport {
                 cloud: cloud_id,
                 pending_replies: HashMap::new(),
                 pending_cloud: HashMap::new(),
-                inflight_exact: HashMap::new(),
+                flights: SingleFlight::new(),
+                gate,
+                stats,
                 peers,
                 pending_peer: HashMap::new(),
                 known_frames: HashMap::new(),
@@ -932,7 +1109,8 @@ pub fn run(trace: &[coic_workload::Request], cfg: &SimConfig) -> QoeReport {
             report.lan_bytes += t.link(f, e).unwrap().stats().delivered_bytes;
         }
     }
-    report
+    let decision_traces = traces.iter().map(|t| t.borrow().clone()).collect();
+    (report, decision_traces)
 }
 
 /// Run the same trace under Origin and CoIC and return
@@ -959,6 +1137,7 @@ pub fn compare(trace: &[coic_workload::Request], cfg: &SimConfig) -> (QoeReport,
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::qoe::Path;
     use coic_workload::{
         Population, Request, RequestKind, SafeDrivingAr, UserId, ZoneId, ZoneModel,
     };

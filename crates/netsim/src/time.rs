@@ -118,6 +118,23 @@ impl SimDuration {
         self.0
     }
 
+    /// Convert a wall-clock [`std::time::Duration`], saturating at
+    /// [`SimDuration::MAX`]. Bridges engine configs (std durations) into
+    /// virtual time.
+    pub fn from_std(d: std::time::Duration) -> SimDuration {
+        let ns = d.as_nanos();
+        if ns >= u64::MAX as u128 {
+            SimDuration::MAX
+        } else {
+            SimDuration(ns as u64)
+        }
+    }
+
+    /// Convert to a wall-clock [`std::time::Duration`].
+    pub const fn to_std(self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.0)
+    }
+
     /// Fractional milliseconds.
     pub fn as_millis_f64(self) -> f64 {
         self.0 as f64 / 1e6

@@ -84,6 +84,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nBob's requests were served from the edge cache that Alice's");
     println!("misses populated — cooperative reuse over a real socket stack.");
 
+    // The live client fills the same QoE report the simulator emits:
+    // per-request records of path, latency and retries.
+    let mut bob_report = bob.report();
+    println!(
+        "\nBob's QoE report ({} requests): mean {:.2} ms, p99 {:.2} ms, \
+         hits {:.0}% (local {} / peer {}), cloud trips {}, retries {}",
+        bob_report.completed,
+        bob_report.mean_latency_ms(),
+        bob_report.latency_ms.p99(),
+        bob_report.hit_ratio() * 100.0,
+        bob_report.edge_hits,
+        bob_report.peer_hits,
+        bob_report.cloud_trips,
+        bob_report.retries,
+    );
+    println!("\ncanonical form (what the CI determinism job diffs):");
+    for line in bob_report.canonical().lines() {
+        println!("  {line}");
+    }
+
     // --- failure drill: kill the edge, watch the client degrade to the
     // origin path, then keep serving without a single error. -------------
     println!("\nfailure drill: killing a second edge mid-workload\n");
@@ -127,5 +147,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("\nrobustness counters: {}", carol.robustness().snapshot());
+    let carol_report = carol.report();
+    println!(
+        "carol's QoE report: {} completed, {} cloud trips (miss or fallback), {} retries",
+        carol_report.completed, carol_report.cloud_trips, carol_report.retries,
+    );
     Ok(())
 }

@@ -5,7 +5,7 @@ use coic::cache::{
     ApproxCache, ApproxLookup, CountMinSketch, Digest, ExactCache, IndexKind, PolicyKind, Store,
     TinyLfuConfig,
 };
-use coic::core::{FeatureDescriptor, Msg, RecognitionResult, TaskRequest, TaskResult};
+use coic::core::{FeatureDescriptor, Msg, RecognitionResult, RetryPolicy, TaskRequest, TaskResult};
 use coic::netsim::{Link, LinkParams, SimDuration, SimTime, TxOutcome};
 use coic::render::{decode as cmf_decode, encode as cmf_encode, Mesh, Vertex};
 use coic::vision::{distance, FeatureVec, Image};
@@ -13,6 +13,7 @@ use coic::workload::Zipf;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 // ---------------------------------------------------------------- cache --
 
@@ -535,5 +536,189 @@ proptest! {
         let dur = SimDuration::from_nanos(d);
         prop_assert_eq!((t + dur) - t, dur);
         prop_assert_eq!((t + dur).saturating_since(t + dur), SimDuration::ZERO);
+    }
+}
+
+// ---------------------------------------------------------------- engine --
+
+/// Drive one request through a [`ClientEngine`], realizing every effect:
+/// each `SendQuery`/`SendOrigin` consults the script for an outcome (drop,
+/// reply, transport failure); every armed timer is fired — in arming order —
+/// whenever the effect queue drains, so stale timers are exercised too.
+/// Returns (edge sends, origin sends, terminal decisions, full trace).
+fn drive_engine(
+    cfg: coic::core::EngineConfig,
+    script: &[u8],
+) -> (u32, u32, usize, Vec<coic::core::Decision>) {
+    use coic::core::{ClientEngine, Effect, ReplyKind, RobustnessStats, SimClock, TimerKind};
+    use std::collections::VecDeque;
+
+    let clock = SimClock::new();
+    let mut engine = ClientEngine::new(cfg, clock, RobustnessStats::default());
+    let mut queue: VecDeque<Effect> = engine.begin(1, "model", 0, 0).into();
+    // (kind, epoch, fired) for every timer ever armed.
+    let mut timers: Vec<(TimerKind, u32, bool)> = Vec::new();
+    let mut edge_sends = 0u32;
+    let mut origin_sends = 0u32;
+    let mut terminal = 0usize;
+    let mut step = 0usize;
+    loop {
+        step += 1;
+        assert!(step < 1_000, "engine did not terminate");
+        let Some(eff) = queue.pop_front() else {
+            if terminal > 0 {
+                break;
+            }
+            // Quiescent but live: some armed timer must still be pending,
+            // and firing timers in order must eventually make progress.
+            let next = timers.iter_mut().find(|t| !t.2);
+            let Some(t) = next else {
+                panic!("request live but no effect and no pending timer");
+            };
+            t.2 = true;
+            let (kind, epoch) = (t.0, t.1);
+            queue.extend(engine.on_timer(1, kind, epoch));
+            continue;
+        };
+        match eff {
+            Effect::ArmTimer { kind, epoch, .. } => timers.push((kind, epoch, false)),
+            Effect::SendQuery { attempt, .. } => {
+                edge_sends += 1;
+                match script[(attempt as usize) % script.len()] % 6 {
+                    0 => {} // dropped: the deadline timer will fire
+                    1 => queue.extend(engine.on_reply(1, ReplyKind::Hit, None)),
+                    2 => queue.extend(engine.on_reply(1, ReplyKind::Result, None)),
+                    3 => queue.extend(engine.on_reply(1, ReplyKind::Unavailable, None)),
+                    4 => queue.extend(engine.on_transport_failure(1)),
+                    _ => queue.extend(engine.on_reply(1, ReplyKind::NeedPayload, None)),
+                }
+            }
+            Effect::SendUpload { .. } => {
+                queue.extend(engine.on_reply(1, ReplyKind::Result, None));
+            }
+            Effect::SendOrigin { attempt, .. } => {
+                origin_sends += 1;
+                match script[(attempt as usize).wrapping_add(3) % script.len()] % 3 {
+                    0 => {} // dropped
+                    1 => queue.extend(engine.on_reply(1, ReplyKind::Baseline, None)),
+                    _ => queue.extend(engine.on_transport_failure(1)),
+                }
+            }
+            Effect::ProbeEdge { .. } => {
+                queue.extend(engine.on_probe_result(1, script[0].is_multiple_of(2)));
+            }
+            Effect::Complete { .. } | Effect::GiveUp { .. } => terminal += 1,
+        }
+    }
+    // Terminal: firing every leftover timer and replaying every event class
+    // must be a no-op (no transition out of a terminal state).
+    let trace_len = engine.decisions().len();
+    for &(kind, epoch, fired) in &timers {
+        if !fired {
+            assert!(engine.on_timer(1, kind, epoch).is_empty());
+        }
+    }
+    for reply in [
+        ReplyKind::Hit,
+        ReplyKind::Result,
+        ReplyKind::PeerResult,
+        ReplyKind::Baseline,
+        ReplyKind::NeedPayload,
+        ReplyKind::Unavailable,
+    ] {
+        assert!(engine.on_reply(1, reply, Some(true)).is_empty());
+    }
+    assert!(engine.on_transport_failure(1).is_empty());
+    assert!(engine.on_probe_result(1, true).is_empty());
+    assert_eq!(
+        engine.decisions().len(),
+        trace_len,
+        "terminal must be quiet"
+    );
+    (
+        edge_sends,
+        origin_sends,
+        terminal,
+        engine.decisions().to_vec(),
+    )
+}
+
+proptest! {
+    /// Backoff is deterministic, never exceeds `max_backoff`, and jitter
+    /// only shrinks the nominal delay, within the configured fraction.
+    #[test]
+    fn retry_backoff_capped_deterministic_and_jitter_bounded(
+        base_ms in 0u64..100,
+        max_ms in 0u64..1_000,
+        jitter in 0.0f64..1.0,
+        seed in any::<u64>(),
+        req in any::<u64>(),
+        attempt in 0u32..40,
+    ) {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(base_ms),
+            max_backoff: Duration::from_millis(max_ms),
+            jitter_frac: jitter,
+            seed,
+        };
+        let d = p.backoff(req, attempt);
+        prop_assert_eq!(d, p.backoff(req, attempt)); // deterministic
+        prop_assert!(d <= p.max_backoff);
+        let nominal = RetryPolicy { jitter_frac: 0.0, ..p.clone() }.backoff(req, attempt);
+        prop_assert!(d <= nominal);
+        // Jitter removes at most `jitter_frac` of the nominal delay
+        // (1 ns slack for mul_f64 rounding).
+        let floor = nominal.mul_f64(1.0 - jitter);
+        prop_assert!(d.as_nanos() + 1 >= floor.as_nanos());
+    }
+
+    /// The immediate policy never sleeps, whatever the coordinates.
+    #[test]
+    fn retry_immediate_never_sleeps(
+        tries in 1u32..20,
+        seed in any::<u64>(),
+        req in any::<u64>(),
+        attempt in 0u32..40,
+    ) {
+        let p = RetryPolicy::immediate(tries, seed);
+        prop_assert_eq!(p.max_attempts, tries);
+        prop_assert_eq!(p.backoff(req, attempt), Duration::ZERO);
+    }
+
+    /// Under an arbitrary outcome script the engine always terminates, the
+    /// per-path attempt count never exceeds the retry cap, terminal states
+    /// admit no further transitions, and identical scripts give identical
+    /// decision traces.
+    #[test]
+    fn engine_terminates_within_attempt_cap(
+        max_attempts in 1u32..5,
+        origin_fallback in any::<bool>(),
+        use_edge in any::<bool>(),
+        script in prop::collection::vec(any::<u8>(), 1..12),
+    ) {
+        let cfg = coic::core::EngineConfig {
+            retry: RetryPolicy {
+                max_attempts,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(8),
+                jitter_frac: 0.25,
+                seed: 11,
+            },
+            deadline_ns: 1_000_000,
+            probe_interval_ns: 1_000_000,
+            use_edge,
+            origin_fallback,
+        };
+        let (edge, origin, terminal, trace) = drive_engine(cfg.clone(), &script);
+        prop_assert_eq!(terminal, 1, "exactly one terminal effect");
+        prop_assert!(edge <= max_attempts);
+        prop_assert!(origin <= max_attempts);
+        if !use_edge {
+            prop_assert_eq!(edge, 0);
+        }
+        let (e2, o2, t2, trace2) = drive_engine(cfg, &script);
+        prop_assert_eq!((edge, origin, terminal), (e2, o2, t2));
+        prop_assert_eq!(trace, trace2);
     }
 }
