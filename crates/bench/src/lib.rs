@@ -8,6 +8,9 @@ use coic_core::simrun::{Mode, SimConfig};
 use coic_core::QoeReport;
 use coic_workload::{Population, Request, SafeDrivingAr, VrVideo, ZoneId, ZoneModel};
 
+pub mod json;
+pub mod perf;
+
 /// The standard recognition workload behind Fig. 2a and several ablations:
 /// co-located safe-driving users over a shared landmark pool.
 ///

@@ -1,0 +1,906 @@
+//! The `coic bench` performance harness.
+//!
+//! Two layers of measurement, emitted as one canonical `BENCH_edge.json`:
+//!
+//! 1. **Pure-cache microbenchmarks** — the sharded wrappers
+//!    ([`coic_cache::sharded`]) against the single-mutex baseline
+//!    ([`coic_cache::concurrent`]) on identical workloads: exact lookups
+//!    over ~4 KiB payloads with a Zipf-skewed key stream, exact inserts,
+//!    and approximate (descriptor) lookups under both linear and LSH
+//!    indexes, each at 1/4/16 threads. Lookups go through each wrapper's
+//!    production read path: the mutex wrapper clones the payload under its
+//!    lock, the sharded wrapper hands out an `Arc` from a shard read lock
+//!    — that asymmetry *is* the design difference being measured.
+//! 2. **Loopback edge end-to-end** — a real [`spawn_edge`]/[`spawn_cloud`]
+//!    pair with M concurrent [`NetClient`]s re-requesting a shared
+//!    panorama pool; per-request wall latencies and the edge's merged
+//!    cache hit ratio.
+//!
+//! Every cell reports p50/p95/p99 per-op nanoseconds, throughput and hit
+//! ratio. The derived `speedup_sharded_vs_mutex` (exact lookups at the
+//! highest thread count) is the number the CI regression gate watches:
+//! machine-speed-independent because both sides run on the same box in the
+//! same process.
+//!
+//! [`spawn_edge`]: coic_core::netrun::spawn_edge
+//! [`spawn_cloud`]: coic_core::netrun::spawn_cloud
+//! [`NetClient`]: coic_core::netrun::NetClient
+
+use crate::json::{self, num, obj, s, Json};
+use coic_cache::approx::ApproxCache;
+use coic_cache::{
+    Digest, ExactCache, IndexKind, PolicyKind, ShardedApproxCache, ShardedExactCache,
+    SharedApproxCache, SharedExactCache,
+};
+use coic_core::compute::ComputeConfig;
+use coic_core::content::{ModelLibrary, PanoLibrary};
+use coic_core::netrun::{spawn_cloud, spawn_edge, NetClient};
+use coic_core::services::{ClientConfig, EdgeConfig};
+use coic_vision::{FeatureVec, ObjectClass};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Payload size for exact-cache cells: the ballpark of a small 3D model
+/// or encoded panorama tile, big enough that cloning under a lock hurts.
+const PAYLOAD_BYTES: usize = 4096;
+
+/// Shards used by the sharded cells (the live default).
+const BENCH_SHARDS: usize = coic_cache::DEFAULT_SHARDS;
+
+/// One measured cell of the benchmark grid.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Workload label, e.g. `exact_lookup/sharded`.
+    pub workload: String,
+    /// NN index for approximate cells (`linear`/`lsh`), `-` otherwise.
+    pub index: String,
+    /// Concurrent worker threads (or clients, for the edge cell).
+    pub threads: usize,
+    /// Total operations measured.
+    pub ops: u64,
+    /// Median per-op latency, ns.
+    pub p50_ns: u64,
+    /// 95th percentile per-op latency, ns.
+    pub p95_ns: u64,
+    /// 99th percentile per-op latency, ns.
+    pub p99_ns: u64,
+    /// Operations per wall-clock second across all threads.
+    pub throughput_ops_per_sec: f64,
+    /// Fraction of lookups that hit (1.0 for insert-only cells).
+    pub hit_ratio: f64,
+}
+
+/// A full benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Schema tag (`coic-bench/v1`).
+    pub schema: String,
+    /// `git rev-parse --short HEAD`, or `unknown` outside a checkout.
+    pub git_rev: String,
+    /// Seed every random stream derives from.
+    pub seed: u64,
+    /// Whether this was a `--quick` run (smaller op counts).
+    pub quick: bool,
+    /// All measured cells.
+    pub results: Vec<CellResult>,
+    /// Exact-lookup throughput, sharded over mutex, at the highest thread
+    /// count — the regression-gated number.
+    pub speedup_sharded_vs_mutex: f64,
+}
+
+/// Thread counts each microbench cell sweeps.
+pub const THREAD_STEPS: [usize; 3] = [1, 4, 16];
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Repetitions per microbench cell; the best (highest-throughput) one is
+/// reported. External noise — scheduler preemption, a neighbouring VM —
+/// only ever *subtracts* throughput, so best-of-N converges to the
+/// machine's real capability and is far more run-to-run stable than any
+/// single repetition.
+const CELL_REPEATS: usize = 5;
+
+/// Run `ops_per_thread` timed operations on each of `threads` workers,
+/// [`CELL_REPEATS`] times, keeping the best repetition.
+/// `op(thread_idx, i)` returns whether the operation counts as a hit.
+fn run_cell<F>(
+    workload: &str,
+    index: &str,
+    threads: usize,
+    ops_per_thread: u64,
+    op: F,
+) -> CellResult
+where
+    F: Fn(usize, u64) -> bool + Sync,
+{
+    (0..CELL_REPEATS)
+        .map(|_| measure_once(workload, index, threads, ops_per_thread, &op))
+        .max_by(|a, b| {
+            a.throughput_ops_per_sec
+                .total_cmp(&b.throughput_ops_per_sec)
+        })
+        .expect("CELL_REPEATS > 0")
+}
+
+/// One timed repetition of a cell (percentiles over all per-op latencies).
+fn measure_once<F>(
+    workload: &str,
+    index: &str,
+    threads: usize,
+    ops_per_thread: u64,
+    op: F,
+) -> CellResult
+where
+    F: Fn(usize, u64) -> bool + Sync,
+{
+    let started = Instant::now();
+    let mut all_samples: Vec<u64> = Vec::with_capacity(threads * ops_per_thread as usize);
+    let mut hits = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let op = &op;
+                scope.spawn(move || {
+                    // Untimed warm-up: fault in pages, warm branch
+                    // predictors and the allocator before measuring.
+                    for i in 0..(ops_per_thread / 10).min(512) {
+                        let _ = op(t, i);
+                    }
+                    let mut samples = Vec::with_capacity(ops_per_thread as usize);
+                    let mut hits = 0u64;
+                    for i in 0..ops_per_thread {
+                        let t0 = Instant::now();
+                        if op(t, i) {
+                            hits += 1;
+                        }
+                        samples.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    (samples, hits)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (samples, h_hits) = h.join().expect("bench worker panicked");
+            all_samples.extend(samples);
+            hits += h_hits;
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    all_samples.sort_unstable();
+    let ops = all_samples.len() as u64;
+    CellResult {
+        workload: workload.to_string(),
+        index: index.to_string(),
+        threads,
+        ops,
+        p50_ns: percentile(&all_samples, 0.50),
+        p95_ns: percentile(&all_samples, 0.95),
+        p99_ns: percentile(&all_samples, 0.99),
+        throughput_ops_per_sec: if elapsed > 0.0 {
+            ops as f64 / elapsed
+        } else {
+            0.0
+        },
+        hit_ratio: if ops == 0 {
+            0.0
+        } else {
+            hits as f64 / ops as f64
+        },
+    }
+}
+
+/// Zipf-flavoured key index in `0..n`: quadratic skew toward low indexes
+/// (a cheap stand-in with the property that matters — a hot head and a
+/// long tail), deterministic per thread/seed.
+fn skewed_index(rng: &mut StdRng, n: usize) -> usize {
+    let u: f64 = rng.random();
+    ((u * u) * n as f64) as usize
+}
+
+fn payload(tag: usize) -> Vec<u8> {
+    vec![(tag % 251) as u8; PAYLOAD_BYTES]
+}
+
+fn key(tag: usize) -> Digest {
+    Digest::of(&(tag as u64).to_le_bytes())
+}
+
+/// Per-thread Zipf-skewed probe digests, generated *before* the timed
+/// region: the measured op must be only the cache call, not the RNG and
+/// SHA-256 work of producing the probe. ~10% of probes target absent keys
+/// so the miss path is exercised too.
+fn probe_streams(seed: u64, threads: usize, ops: u64, n_keys: usize) -> Vec<Vec<Digest>> {
+    (0..threads)
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(seed ^ ((t as u64) << 32));
+            (0..ops)
+                .map(|_| key(skewed_index(&mut rng, n_keys + n_keys / 8)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Exact-lookup cells: mutex baseline vs sharded, byte-identical Zipf key
+/// streams for both variants.
+fn exact_lookup_cells(quick: bool, seed: u64, results: &mut Vec<CellResult>) {
+    let n_keys = if quick { 256 } else { 1024 };
+    let ops = if quick { 12_000 } else { 40_000 };
+    let capacity = (n_keys * (PAYLOAD_BYTES + 64)) as u64 * 2;
+
+    for &threads in &THREAD_STEPS {
+        let probes = probe_streams(seed, threads, ops, n_keys);
+
+        // Mutex baseline: deep clone of the payload under the lock.
+        let mutex: SharedExactCache<Vec<u8>> =
+            SharedExactCache::new(ExactCache::new(capacity, PolicyKind::Lru, None));
+        for i in 0..n_keys {
+            mutex.insert(key(i), payload(i), PAYLOAD_BYTES as u64, 0);
+        }
+        results.push(run_cell("exact_lookup/mutex", "-", threads, ops, |t, i| {
+            mutex.lookup(&probes[t][i as usize], 1).is_some()
+        }));
+
+        // Sharded: Arc handed out from a shard read lock, no payload copy.
+        let sharded: ShardedExactCache<Vec<u8>> =
+            ShardedExactCache::new(capacity, PolicyKind::Lru, None, BENCH_SHARDS);
+        for i in 0..n_keys {
+            sharded.insert(key(i), payload(i), PAYLOAD_BYTES as u64, 0);
+        }
+        results.push(run_cell(
+            "exact_lookup/sharded",
+            "-",
+            threads,
+            ops,
+            |t, i| sharded.lookup(&probes[t][i as usize], 1).is_some(),
+        ));
+    }
+}
+
+/// Exact-insert cells: every thread writes its own key range.
+fn exact_insert_cells(quick: bool, results: &mut Vec<CellResult>) {
+    let ops = if quick { 1_000 } else { 5_000 };
+    // Capacity bounded well below the write volume so eviction runs too.
+    let capacity = 4 * 1024 * 1024;
+
+    for &threads in &THREAD_STEPS {
+        let mutex: SharedExactCache<Vec<u8>> =
+            SharedExactCache::new(ExactCache::new(capacity, PolicyKind::Lru, None));
+        results.push(run_cell("exact_insert/mutex", "-", threads, ops, |t, i| {
+            let tag = t * 1_000_000 + i as usize;
+            mutex.insert(key(tag), payload(tag), PAYLOAD_BYTES as u64, i);
+            true
+        }));
+
+        let sharded: ShardedExactCache<Vec<u8>> =
+            ShardedExactCache::new(capacity, PolicyKind::Lru, None, BENCH_SHARDS);
+        results.push(run_cell(
+            "exact_insert/sharded",
+            "-",
+            threads,
+            ops,
+            |t, i| {
+                let tag = t * 1_000_000 + i as usize;
+                sharded.insert(key(tag), payload(tag), PAYLOAD_BYTES as u64, i);
+                true
+            },
+        ));
+    }
+}
+
+/// Descriptor vectors clustered so a fraction of probes hit: `n` stored
+/// unit-ish vectors around distinct directions in `dim` dimensions.
+fn descriptor(dim: usize, cluster: usize, jitter: f32) -> FeatureVec {
+    let mut v = vec![0.0f32; dim];
+    v[cluster % dim] = 1.0;
+    v[(cluster / dim) % dim] += 0.5;
+    v[cluster % dim] += jitter;
+    FeatureVec::new(v)
+}
+
+/// Per-thread query descriptors, generated before the timed region (same
+/// rationale as [`probe_streams`]).
+fn query_streams(
+    seed: u64,
+    threads: usize,
+    ops: u64,
+    dim: usize,
+    n_desc: usize,
+) -> Vec<Vec<FeatureVec>> {
+    (0..threads)
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(seed ^ ((t as u64) << 32));
+            (0..ops)
+                .map(|_| {
+                    let cluster = skewed_index(&mut rng, n_desc + n_desc / 8);
+                    descriptor(dim, cluster, rng.random_range(-0.05f32..0.05))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Approximate-lookup cells: mutex vs sharded × linear vs LSH.
+fn approx_lookup_cells(quick: bool, seed: u64, results: &mut Vec<CellResult>) {
+    let dim = 32;
+    let n_desc = if quick { 128 } else { 512 };
+    let ops = if quick { 4_000 } else { 12_000 };
+    let threshold = 0.3;
+    let capacity = 16 * 1024 * 1024;
+    let indexes = [
+        ("linear", IndexKind::Linear),
+        ("lsh", IndexKind::Lsh { tables: 8, bits: 8 }),
+    ];
+
+    for (index_name, index_kind) in indexes {
+        for &threads in &THREAD_STEPS {
+            let queries = query_streams(seed, threads, ops, dim, n_desc);
+
+            let mutex: SharedApproxCache<u64> = SharedApproxCache::new(ApproxCache::new(
+                capacity,
+                PolicyKind::Lru,
+                threshold,
+                index_kind,
+                dim,
+            ));
+            for i in 0..n_desc {
+                mutex.insert(descriptor(dim, i, 0.0), i as u64, 256, 0);
+            }
+            results.push(run_cell(
+                "approx_lookup/mutex",
+                index_name,
+                threads,
+                ops,
+                |t, i| mutex.lookup(&queries[t][i as usize], 1).is_some(),
+            ));
+
+            let sharded: ShardedApproxCache<u64> = ShardedApproxCache::new(
+                capacity,
+                PolicyKind::Lru,
+                threshold,
+                index_kind,
+                dim,
+                BENCH_SHARDS,
+            );
+            for i in 0..n_desc {
+                sharded.insert(descriptor(dim, i, 0.0), i as u64, 256, 0);
+            }
+            results.push(run_cell(
+                "approx_lookup/sharded",
+                index_name,
+                threads,
+                ops,
+                |t, i| sharded.lookup(&queries[t][i as usize], 1).is_some(),
+            ));
+        }
+    }
+}
+
+/// End-to-end loopback cell: M concurrent clients against one live edge
+/// re-requesting a shared panorama pool (the VR co-watching shape).
+fn edge_e2e_cell(quick: bool, seed: u64, results: &mut Vec<CellResult>) {
+    use coic_workload::{Request, RequestKind, UserId, ZoneId};
+
+    let clients = if quick { 4 } else { 8 };
+    let reqs_per_client = if quick { 30 } else { 100 };
+    let frame_pool = 16u64;
+
+    let models = Arc::new(ModelLibrary::new());
+    let panos = Arc::new(PanoLibrary::new(64));
+    let compute = ComputeConfig::default();
+    let classes: Vec<_> = (0..3).map(ObjectClass).collect();
+    let cloud = spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), seed)
+        .expect("cloud spawn");
+    let edge = spawn_edge(cloud.addr(), &EdgeConfig::default()).expect("edge spawn");
+
+    let started = Instant::now();
+    let mut all_samples: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let (models, panos) = (models.clone(), panos.clone());
+                let edge_addr = edge.addr();
+                scope.spawn(move || {
+                    let mut client = NetClient::connect(
+                        edge_addr,
+                        ClientConfig::default(),
+                        compute,
+                        models,
+                        panos,
+                    )
+                    .expect("client connect");
+                    let mut rng = StdRng::seed_from_u64(seed ^ 0xEDE0 ^ c as u64);
+                    let mut samples = Vec::with_capacity(reqs_per_client);
+                    for _ in 0..reqs_per_client {
+                        let frame_id = skewed_index(&mut rng, frame_pool as usize) as u64;
+                        let req = Request {
+                            user: UserId(c as u32),
+                            zone: ZoneId(0),
+                            at_ns: 0,
+                            kind: RequestKind::Panorama { frame_id },
+                        };
+                        let out = client.execute(&req).expect("live request");
+                        samples.push(out.elapsed.as_nanos() as u64);
+                    }
+                    samples
+                })
+            })
+            .collect();
+        for h in handles {
+            all_samples.extend(h.join().expect("bench client panicked"));
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    all_samples.sort_unstable();
+    let ops = all_samples.len() as u64;
+    results.push(CellResult {
+        workload: "edge_e2e/panorama".to_string(),
+        index: "-".to_string(),
+        threads: clients,
+        ops,
+        p50_ns: percentile(&all_samples, 0.50),
+        p95_ns: percentile(&all_samples, 0.95),
+        p99_ns: percentile(&all_samples, 0.99),
+        throughput_ops_per_sec: if elapsed > 0.0 {
+            ops as f64 / elapsed
+        } else {
+            0.0
+        },
+        hit_ratio: edge.cache_hit_ratio(),
+    });
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Throughput of a cell by (workload, threads); 0.0 when absent.
+fn cell_throughput(results: &[CellResult], workload: &str, threads: usize) -> f64 {
+    results
+        .iter()
+        .find(|c| c.workload == workload && c.threads == threads)
+        .map(|c| c.throughput_ops_per_sec)
+        .unwrap_or(0.0)
+}
+
+/// Run the full benchmark grid. `quick` shrinks op counts for CI smoke
+/// runs; `seed` drives every random stream, so two runs with the same seed
+/// measure identical workloads.
+pub fn run_bench(quick: bool, seed: u64) -> BenchReport {
+    let mut results = Vec::new();
+    exact_lookup_cells(quick, seed, &mut results);
+    exact_insert_cells(quick, &mut results);
+    approx_lookup_cells(quick, seed, &mut results);
+    edge_e2e_cell(quick, seed, &mut results);
+
+    let top = *THREAD_STEPS.last().expect("non-empty steps");
+    let mutex_tput = cell_throughput(&results, "exact_lookup/mutex", top);
+    let sharded_tput = cell_throughput(&results, "exact_lookup/sharded", top);
+    let speedup = if mutex_tput > 0.0 {
+        sharded_tput / mutex_tput
+    } else {
+        0.0
+    };
+    BenchReport {
+        schema: "coic-bench/v1".to_string(),
+        git_rev: git_rev(),
+        seed,
+        quick,
+        results,
+        speedup_sharded_vs_mutex: speedup,
+    }
+}
+
+impl BenchReport {
+    /// Canonical JSON form (sorted keys, fixed float precision).
+    pub fn to_json(&self) -> Json {
+        let results: Vec<Json> = self
+            .results
+            .iter()
+            .map(|c| {
+                obj(vec![
+                    ("workload", s(&c.workload)),
+                    ("index", s(&c.index)),
+                    ("threads", num(c.threads as f64)),
+                    ("ops", num(c.ops as f64)),
+                    ("p50_ns", num(c.p50_ns as f64)),
+                    ("p95_ns", num(c.p95_ns as f64)),
+                    ("p99_ns", num(c.p99_ns as f64)),
+                    ("throughput_ops_per_sec", num(c.throughput_ops_per_sec)),
+                    ("hit_ratio", num(c.hit_ratio)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("schema", s(&self.schema)),
+            ("git_rev", s(&self.git_rev)),
+            ("seed", num(self.seed as f64)),
+            ("quick", Json::Bool(self.quick)),
+            ("results", Json::Arr(results)),
+            (
+                "derived",
+                obj(vec![(
+                    "speedup_sharded_vs_mutex",
+                    num(self.speedup_sharded_vs_mutex),
+                )]),
+            ),
+        ])
+    }
+
+    /// Parse a report back from its JSON form (used by the regression
+    /// checker; unknown fields are ignored).
+    pub fn from_json(v: &Json) -> Result<BenchReport, String> {
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema")?;
+        if schema != "coic-bench/v1" {
+            return Err(format!("unsupported schema '{schema}'"));
+        }
+        let results = v
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or("missing results")?
+            .iter()
+            .map(|c| {
+                let f = |k: &str| {
+                    c.get(k)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("result missing numeric '{k}'"))
+                };
+                Ok(CellResult {
+                    workload: c
+                        .get("workload")
+                        .and_then(Json::as_str)
+                        .ok_or("result missing workload")?
+                        .to_string(),
+                    index: c
+                        .get("index")
+                        .and_then(Json::as_str)
+                        .unwrap_or("-")
+                        .to_string(),
+                    threads: f("threads")? as usize,
+                    ops: f("ops")? as u64,
+                    p50_ns: f("p50_ns")? as u64,
+                    p95_ns: f("p95_ns")? as u64,
+                    p99_ns: f("p99_ns")? as u64,
+                    throughput_ops_per_sec: f("throughput_ops_per_sec")?,
+                    hit_ratio: f("hit_ratio")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(BenchReport {
+            schema: schema.to_string(),
+            git_rev: v
+                .get("git_rev")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            seed: v.get("seed").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            quick: matches!(v.get("quick"), Some(Json::Bool(true))),
+            speedup_sharded_vs_mutex: v
+                .get("derived")
+                .and_then(|d| d.get("speedup_sharded_vs_mutex"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            results,
+        })
+    }
+
+    /// Write the canonical JSON (plus trailing newline) to `path`.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut text = self.to_json().to_canonical();
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Load a report from a JSON file.
+    pub fn load(path: &std::path::Path) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&json::parse(&text)?)
+    }
+}
+
+/// Conservative per-cell merge of several runs of the same grid: minimum
+/// throughput, maximum latency percentiles, minimum speedup. Used when
+/// refreshing `bench/baseline.json` (`coic bench --runs N`) so the
+/// committed envelope reflects the worst honest run rather than one lucky
+/// one — a fresh CI run then regresses only if it falls a full tolerance
+/// band below anything observed while baselining.
+pub fn conservative_merge(reports: Vec<BenchReport>) -> BenchReport {
+    let mut reports = reports.into_iter();
+    let mut merged = reports.next().expect("at least one report");
+    for r in reports {
+        for cell in &mut merged.results {
+            let Some(other) = r.results.iter().find(|c| {
+                c.workload == cell.workload && c.index == cell.index && c.threads == cell.threads
+            }) else {
+                continue;
+            };
+            cell.p50_ns = cell.p50_ns.max(other.p50_ns);
+            cell.p95_ns = cell.p95_ns.max(other.p95_ns);
+            cell.p99_ns = cell.p99_ns.max(other.p99_ns);
+            cell.throughput_ops_per_sec = cell
+                .throughput_ops_per_sec
+                .min(other.throughput_ops_per_sec);
+        }
+        merged.speedup_sharded_vs_mutex = merged
+            .speedup_sharded_vs_mutex
+            .min(r.speedup_sharded_vs_mutex);
+    }
+    // Recompute the headline speedup from the merged cells: the ratio of
+    // the two envelope minima is steadier than the worst single-run ratio
+    // (which compounds one run's unluckiest mutex sample with its
+    // unluckiest sharded sample).
+    let top = *THREAD_STEPS.last().expect("non-empty steps");
+    let m = cell_throughput(&merged.results, "exact_lookup/mutex", top);
+    let s = cell_throughput(&merged.results, "exact_lookup/sharded", top);
+    if m > 0.0 && s > 0.0 {
+        merged.speedup_sharded_vs_mutex = s / m;
+    }
+    merged
+}
+
+/// Outcome of comparing a fresh run against a committed baseline.
+#[derive(Debug, Default)]
+pub struct RegressionReport {
+    /// Human-readable regression lines (empty = pass).
+    pub failures: Vec<String>,
+    /// Informational comparison lines.
+    pub notes: Vec<String>,
+}
+
+/// Compare `current` against `baseline` with a tolerance band,
+/// direction-aware: only *worse* results fail (slower p50, lower
+/// throughput, lower speedup ratio). `min_speedup` additionally gates the
+/// machine-independent sharded-vs-mutex ratio. Cells present in only one
+/// report are noted, not failed (grids may grow between PRs).
+///
+/// Host-speed normalisation: shared runners are sometimes *uniformly*
+/// slower than the baseline host (CPU steal, thermal caps, a noisy
+/// neighbour). The median throughput ratio across all matched cells
+/// estimates that global factor, and only slowdown beyond it counts
+/// against a cell — a regression is a cell that got worse *relative to
+/// the rest of the grid*. The factor is clamped at 1.0 so a
+/// faster-than-baseline host never raises the bar.
+pub fn check_regression(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    tolerance: f64,
+    min_speedup: f64,
+) -> RegressionReport {
+    let mut report = RegressionReport::default();
+    let mut pairs = Vec::new();
+    for base in &baseline.results {
+        match current.results.iter().find(|c| {
+            c.workload == base.workload && c.index == base.index && c.threads == base.threads
+        }) {
+            Some(cur) => pairs.push((base, cur)),
+            None => report.notes.push(format!(
+                "cell {}[{}]@{}t missing from current run",
+                base.workload, base.index, base.threads
+            )),
+        }
+    }
+    let mut ratios: Vec<f64> = pairs
+        .iter()
+        .filter(|(b, _)| b.throughput_ops_per_sec > 0.0)
+        .map(|(b, c)| c.throughput_ops_per_sec / b.throughput_ops_per_sec)
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    // With too few cells the median is not robust (it could *be* the one
+    // regressed cell); skip normalisation for tiny grids.
+    let host_factor = if ratios.len() < 5 {
+        1.0
+    } else {
+        ratios[ratios.len() / 2].min(1.0)
+    };
+    if host_factor < 1.0 {
+        report.notes.push(format!(
+            "host-speed factor {host_factor:.2} (median cell ratio; grid-wide slowdown discounted)"
+        ));
+    }
+    for (base, cur) in pairs {
+        let label = format!("{}[{}]@{}t", base.workload, base.index, base.threads);
+        if base.throughput_ops_per_sec > 0.0 {
+            let ratio = cur.throughput_ops_per_sec / base.throughput_ops_per_sec / host_factor;
+            if ratio < 1.0 - tolerance {
+                report.failures.push(format!(
+                    "{label}: throughput {:.0} ops/s vs baseline {:.0} ({:.1}% relative drop > {:.0}% tolerance)",
+                    cur.throughput_ops_per_sec,
+                    base.throughput_ops_per_sec,
+                    (1.0 - ratio) * 100.0,
+                    tolerance * 100.0
+                ));
+            } else {
+                report
+                    .notes
+                    .push(format!("{label}: throughput ratio {ratio:.2} ok"));
+            }
+        }
+        // Per-op latency percentiles are noisier than aggregate
+        // throughput (one scheduler burst moves the median), so p50 gets
+        // double the throughput band.
+        if base.p50_ns > 0 {
+            let ratio = cur.p50_ns as f64 * host_factor / base.p50_ns as f64;
+            if ratio > 1.0 + 2.0 * tolerance {
+                report.failures.push(format!(
+                    "{label}: p50 {} ns vs baseline {} ns ({:.1}% relative slowdown > {:.0}% p50 tolerance)",
+                    cur.p50_ns,
+                    base.p50_ns,
+                    (ratio - 1.0) * 100.0,
+                    2.0 * tolerance * 100.0
+                ));
+            }
+        }
+    }
+    if current.speedup_sharded_vs_mutex < min_speedup {
+        report.failures.push(format!(
+            "sharded-vs-mutex speedup {:.2} below required {min_speedup:.2}",
+            current.speedup_sharded_vs_mutex
+        ));
+    } else {
+        report.notes.push(format!(
+            "sharded-vs-mutex speedup {:.2} (required {min_speedup:.2})",
+            current.speedup_sharded_vs_mutex
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(workload: &str, threads: usize, tput: f64, p50: u64) -> CellResult {
+        CellResult {
+            workload: workload.to_string(),
+            index: "-".to_string(),
+            threads,
+            ops: 100,
+            p50_ns: p50,
+            p95_ns: p50 * 2,
+            p99_ns: p50 * 3,
+            throughput_ops_per_sec: tput,
+            hit_ratio: 0.9,
+        }
+    }
+
+    fn report(cells: Vec<CellResult>, speedup: f64) -> BenchReport {
+        BenchReport {
+            schema: "coic-bench/v1".to_string(),
+            git_rev: "test".to_string(),
+            seed: 7,
+            quick: true,
+            results: cells,
+            speedup_sharded_vs_mutex: speedup,
+        }
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let r = report(vec![cell("exact_lookup/sharded", 16, 1e6, 500)], 2.5);
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.results.len(), 1);
+        assert_eq!(back.results[0].workload, "exact_lookup/sharded");
+        assert_eq!(back.results[0].p50_ns, 500);
+        assert!((back.speedup_sharded_vs_mutex - 2.5).abs() < 1e-9);
+        // Canonical: serializing twice is byte-identical.
+        assert_eq!(r.to_json().to_canonical(), back.to_json().to_canonical());
+    }
+
+    #[test]
+    fn regression_is_direction_aware() {
+        let base = report(vec![cell("a", 4, 1000.0, 100)], 2.0);
+        // Faster than baseline: never a failure.
+        let better = report(vec![cell("a", 4, 2000.0, 50)], 3.0);
+        assert!(check_regression(&base, &better, 0.25, 1.2)
+            .failures
+            .is_empty());
+        // 50% throughput drop: fails at 25% tolerance.
+        let worse = report(vec![cell("a", 4, 500.0, 100)], 2.0);
+        let r = check_regression(&base, &worse, 0.25, 1.2);
+        assert_eq!(r.failures.len(), 1);
+        // p50 doubled: fails.
+        let slower = report(vec![cell("a", 4, 1000.0, 200)], 2.0);
+        assert_eq!(
+            check_regression(&base, &slower, 0.25, 1.2).failures.len(),
+            1
+        );
+        // Within band: passes.
+        let close_run = report(vec![cell("a", 4, 900.0, 110)], 2.0);
+        assert!(check_regression(&base, &close_run, 0.25, 1.2)
+            .failures
+            .is_empty());
+    }
+
+    #[test]
+    fn speedup_gate_fails_below_minimum() {
+        let base = report(vec![], 2.0);
+        let cur = report(vec![], 1.05);
+        let r = check_regression(&base, &cur, 0.25, 1.2);
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].contains("speedup"));
+    }
+
+    #[test]
+    fn missing_cells_are_notes_not_failures() {
+        let base = report(vec![cell("gone", 1, 100.0, 10)], 2.0);
+        let cur = report(vec![], 2.0);
+        let r = check_regression(&base, &cur, 0.25, 1.2);
+        assert!(r.failures.is_empty());
+        assert!(r.notes.iter().any(|n| n.contains("missing")));
+    }
+
+    #[test]
+    fn uniform_host_slowdown_is_not_a_regression() {
+        // Six cells all ~35% slower: a grid-wide host effect, discounted
+        // by the median normalisation — no failures.
+        let names = ["a", "b", "c", "d", "e", "f"];
+        let base = report(names.iter().map(|n| cell(n, 4, 1000.0, 100)).collect(), 2.0);
+        let slow_host = report(names.iter().map(|n| cell(n, 4, 650.0, 154)).collect(), 2.0);
+        let r = check_regression(&base, &slow_host, 0.25, 1.2);
+        assert!(r.failures.is_empty(), "failures: {:?}", r.failures);
+        assert!(r.notes.iter().any(|n| n.contains("host-speed factor")));
+        // But one cell dropping 40% while the rest hold still fails.
+        let mut cells: Vec<_> = names.iter().map(|n| cell(n, 4, 1000.0, 100)).collect();
+        cells[2].throughput_ops_per_sec = 600.0;
+        let one_bad = report(cells, 2.0);
+        let r = check_regression(&base, &one_bad, 0.25, 1.2);
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].starts_with("c[-]@4t"));
+    }
+
+    #[test]
+    fn conservative_merge_takes_worst_of_each_cell() {
+        let a = report(vec![cell("a", 4, 1000.0, 100)], 2.5);
+        let b = report(vec![cell("a", 4, 800.0, 140)], 2.1);
+        let c = report(vec![cell("a", 4, 1200.0, 90)], 3.0);
+        let m = conservative_merge(vec![a, b, c]);
+        assert_eq!(m.results.len(), 1);
+        assert!((m.results[0].throughput_ops_per_sec - 800.0).abs() < 1e-9);
+        assert_eq!(m.results[0].p50_ns, 140);
+        assert!((m.speedup_sharded_vs_mutex - 2.1).abs() < 1e-9);
+        // A fresh run matching any of the originals passes the gate.
+        let fresh = report(vec![cell("a", 4, 820.0, 135)], 2.4);
+        assert!(check_regression(&m, &fresh, 0.25, 1.2).failures.is_empty());
+    }
+
+    #[test]
+    fn tiny_bench_grid_runs_and_gates() {
+        // A micro-sized real run: exercises the actual measurement path
+        // (threads, percentiles, schema) without CI-scale op counts.
+        let mut results = Vec::new();
+        super::exact_lookup_cells(true, 3, &mut results);
+        assert_eq!(results.len(), 2 * THREAD_STEPS.len());
+        for c in &results {
+            assert!(c.ops > 0);
+            assert!(c.p50_ns <= c.p95_ns && c.p95_ns <= c.p99_ns);
+            assert!(c.throughput_ops_per_sec > 0.0);
+            assert!(c.hit_ratio > 0.5, "zipf stream should mostly hit");
+        }
+        // The design claim, at microbench scale: sharded lookups beat the
+        // clone-under-mutex baseline at the top thread count.
+        let top = *THREAD_STEPS.last().unwrap();
+        let m = cell_throughput(&results, "exact_lookup/mutex", top);
+        let sh = cell_throughput(&results, "exact_lookup/sharded", top);
+        assert!(
+            sh > m,
+            "sharded ({sh:.0} ops/s) should out-run mutex ({m:.0} ops/s)"
+        );
+    }
+}

@@ -63,7 +63,7 @@ pub enum ApproxLookup {
 /// ```
 pub struct ApproxCache<V> {
     store: Store<u64, (FeatureVec, V)>,
-    index: Box<dyn NnIndex + Send>,
+    index: Box<dyn NnIndex + Send + Sync>,
     threshold: f32,
     next_id: u64,
     stats: CacheStats,
@@ -87,7 +87,7 @@ impl<V> ApproxCache<V> {
             threshold.is_finite() && threshold > 0.0,
             "threshold must be positive"
         );
-        let index: Box<dyn NnIndex + Send> = match index {
+        let index: Box<dyn NnIndex + Send + Sync> = match index {
             IndexKind::Linear => Box::new(LinearIndex::new(Metric::L2)),
             IndexKind::Lsh { tables, bits } => {
                 Box::new(LshIndex::new(dim, tables, bits, 0xC01C_15E3))
@@ -138,6 +138,29 @@ impl<V> ApproxCache<V> {
                 ApproxLookup::Miss { nearest: None }
             }
         }
+    }
+
+    /// Read-only lookup through a shared reference: same hit/miss decision
+    /// as [`ApproxCache::lookup`] but records no stats and refreshes no
+    /// recency. This is the read path of
+    /// [`crate::sharded::ShardedApproxCache`], which counts hits/misses in
+    /// per-shard atomics and replays recency under the next write lock via
+    /// [`ApproxCache::touch`].
+    pub fn lookup_ro(&self, query: &FeatureVec) -> ApproxLookup {
+        match self.index.nearest(query) {
+            Some((id, distance)) if distance <= self.threshold => {
+                ApproxLookup::Hit { id, distance }
+            }
+            Some((_, distance)) => ApproxLookup::Miss {
+                nearest: Some(distance),
+            },
+            None => ApproxLookup::Miss { nearest: None },
+        }
+    }
+
+    /// Replay a read-path hit's recency effect for entry `id`.
+    pub fn touch(&mut self, id: u64, now_ns: u64) {
+        self.store.touch(&id, now_ns);
     }
 
     /// Fetch the value of a previously returned hit id.

@@ -1,5 +1,23 @@
-//! Thread-safe cache wrappers for the real-TCP deployment, where the edge
-//! serves each client connection from its own thread.
+//! Single-mutex cache wrappers: the original thread-safe layer for the
+//! real-TCP deployment, kept as the **contention baseline** that `coic
+//! bench` measures [`crate::sharded`] against.
+//!
+//! Two known costs make these unsuitable for the live hot path and are
+//! exactly what the sharded wrappers fix:
+//!
+//! 1. **One global lock.** Every lookup and insert — across all client
+//!    connection threads — serializes on a single `Mutex`, including
+//!    read-only hits that could proceed in parallel.
+//! 2. **Deep clone under the lock.** [`SharedExactCache::lookup`] runs
+//!    `V::clone` while holding the mutex, so a multi-megabyte 3D-model
+//!    payload copy stalls every other thread for its full duration.
+//!    [`crate::sharded::ShardedExactCache`] stores `Arc<V>` internally and
+//!    drops the shard guard before any payload clone.
+//!
+//! The live edge ([`spawn_edge`]) now uses the sharded wrappers; these stay
+//! for single-threaded callers and for the mutex-vs-sharded benchmark.
+//!
+//! [`spawn_edge`]: ../../coic_core/netrun/fn.spawn_edge.html
 
 use crate::approx::{ApproxCache, ApproxLookup};
 use crate::digest::Digest;
@@ -23,7 +41,9 @@ impl<V: Clone> SharedExactCache<V> {
         }
     }
 
-    /// Clone-out lookup (values are cloned so the lock is held briefly).
+    /// Clone-out lookup. Note the clone runs **under the mutex** — cheap
+    /// for small values, a serialization bottleneck for large payloads
+    /// (see the module docs; the sharded wrapper clones after unlock).
     pub fn lookup(&self, key: &Digest, now_ns: u64) -> Option<V> {
         self.inner.lock().lookup(key, now_ns).cloned()
     }

@@ -52,6 +52,17 @@ impl<V> ExactCache<V> {
         self.store.peek(key)
     }
 
+    /// TTL-aware read-only lookup: no stats, no recency, no removal (the
+    /// shared-reference read path of [`crate::sharded::ShardedExactCache`]).
+    pub fn peek_valid(&self, key: &Digest, now_ns: u64) -> Option<&V> {
+        self.store.peek_valid(key, now_ns)
+    }
+
+    /// Replay a read-path hit's recency effect (see [`crate::store::Store::touch`]).
+    pub fn touch(&mut self, key: &Digest, now_ns: u64) {
+        self.store.touch(key, now_ns);
+    }
+
     /// Insert a result of `size` bytes; returns evicted values.
     pub fn insert(&mut self, key: Digest, value: V, size: u64, now_ns: u64) -> Vec<(Digest, V)> {
         self.store.insert(key, value, size, now_ns)

@@ -11,7 +11,8 @@
 //! * [`approx`] — feature-descriptor lookup under a distance threshold
 //!   (recognition tasks),
 //! * [`sketch`]/[`admission`] — count-min sketch + TinyLFU admission gate,
-//! * [`concurrent`] — mutex-guarded shared wrappers for the real-TCP edge,
+//! * [`concurrent`] — single-mutex shared wrappers (contention baseline),
+//! * [`sharded`] — sharded read-optimized wrappers for the real-TCP edge,
 //! * [`coop`] — multi-edge cooperative lookup,
 //! * [`stats`] — hit/miss/eviction counters.
 
@@ -25,6 +26,7 @@ pub mod coop;
 pub mod digest;
 pub mod exact;
 pub mod policy;
+pub mod sharded;
 pub mod sketch;
 pub mod stats;
 pub mod store;
@@ -36,6 +38,7 @@ pub use coop::{CoopGroup, CoopOutcome};
 pub use digest::{fnv1a64, sha256, Digest};
 pub use exact::ExactCache;
 pub use policy::{EvictionPolicy, PolicyKind};
+pub use sharded::{ShardedApproxCache, ShardedExactCache, DEFAULT_SHARDS};
 pub use sketch::CountMinSketch;
 pub use stats::CacheStats;
 pub use store::Store;

@@ -9,7 +9,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// An eviction-ordering policy over store entry ids.
-pub trait EvictionPolicy: Send {
+pub trait EvictionPolicy: Send + Sync {
     /// A new entry was inserted.
     fn on_insert(&mut self, id: u64, size: u64);
     /// An existing entry was hit.

@@ -1,0 +1,633 @@
+//! Sharded, read-optimized concurrent cache wrappers for the live edge.
+//!
+//! The original [`crate::concurrent`] wrappers guard each whole cache with
+//! one mutex, so every client connection thread serializes behind every
+//! other — lookups included. These wrappers split the key space across N
+//! independent shards, each behind its own `RwLock`, so the hot path (a
+//! cache *hit*) takes only a shared read lock on one shard:
+//!
+//! * **Exact cache** ([`ShardedExactCache`]): shard = digest bytes mod N.
+//!   Values are stored as `Arc<V>`, so a hit clones a reference count
+//!   under the read lock and the guard is dropped **before** any deep
+//!   clone of the payload (3D model bytes never copy inside the lock —
+//!   see [`ShardedExactCache::lookup_owned`]).
+//! * **Approximate cache** ([`ShardedApproxCache`]): shard = coarse
+//!   random-hyperplane signature of the descriptor
+//!   ([`coic_vision::ShardRouter`]) mod N, so near-duplicate descriptors
+//!   — the whole point of CoIC's similarity reuse — land in the same
+//!   shard and a hit is usually answered under one read lock. A home-shard
+//!   miss falls back to probing the remaining shards, so the hit/miss
+//!   *decision* is identical to an unsharded cache (the union of all
+//!   shards is searched before declaring a miss).
+//!
+//! Read-path hit/miss counters accumulate in per-shard relaxed atomics and
+//! are merged with the write-path store counters on [`stats`] snapshots.
+//! Recency is preserved without write-locking on reads: each shard keeps a
+//! small pending-touch queue that the next writer drains and replays, so
+//! LRU order still tracks access order (batched, slightly delayed).
+//!
+//! The single-mutex wrappers remain in [`crate::concurrent`] as the
+//! contention baseline that `coic bench` measures the sharded wrappers
+//! against.
+//!
+//! [`stats`]: ShardedExactCache::stats
+
+use crate::admission::TinyLfuConfig;
+use crate::approx::{ApproxCache, ApproxLookup, IndexKind};
+use crate::digest::Digest;
+use crate::exact::ExactCache;
+use crate::policy::PolicyKind;
+use crate::stats::CacheStats;
+use coic_vision::features::FeatureVec;
+use coic_vision::ShardRouter;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default shard count for the live edge: enough to make same-shard
+/// collisions rare at realistic connection counts without bloating
+/// per-shard capacity fragmentation.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Bound on queued recency touches per shard (hits observed on the read
+/// path, waiting for the next writer to replay them). Beyond this, further
+/// touches are dropped — recency becomes approximate, correctness is
+/// unaffected.
+const MAX_PENDING_TOUCHES: usize = 1024;
+
+// ------------------------------------------------------------------ exact --
+
+struct ExactShard<V> {
+    cache: RwLock<ExactCache<Arc<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    touches: Mutex<Vec<Digest>>,
+}
+
+/// A shareable exact cache split into N independently locked shards.
+pub struct ShardedExactCache<V> {
+    shards: Arc<Vec<ExactShard<V>>>,
+}
+
+impl<V> Clone for ShardedExactCache<V> {
+    fn clone(&self) -> Self {
+        ShardedExactCache {
+            shards: Arc::clone(&self.shards),
+        }
+    }
+}
+
+impl<V> ShardedExactCache<V> {
+    /// Create a sharded cache: `capacity_bytes` is the *total* budget,
+    /// split evenly across `shards` shards (each at least 1 byte).
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new(
+        capacity_bytes: u64,
+        policy: PolicyKind,
+        ttl_ns: Option<u64>,
+        shards: usize,
+    ) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        let per_shard = (capacity_bytes / shards as u64).max(1);
+        let shards = (0..shards)
+            .map(|_| ExactShard {
+                cache: RwLock::new(ExactCache::new(per_shard, policy, ttl_ns)),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                touches: Mutex::new(Vec::new()),
+            })
+            .collect();
+        ShardedExactCache {
+            shards: Arc::new(shards),
+        }
+    }
+
+    /// Enable TinyLFU admission on every shard.
+    pub fn with_admission(self, cfg: TinyLfuConfig) -> Self {
+        for shard in self.shards.iter() {
+            let mut guard = shard.cache.write();
+            let plain = std::mem::replace(&mut *guard, ExactCache::new(1, PolicyKind::Lru, None));
+            *guard = plain.with_admission(cfg);
+        }
+        self
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: &Digest) -> &ExactShard<V> {
+        &self.shards[(key.short() as usize) % self.shards.len()]
+    }
+
+    /// Look a digest up at `now_ns`. The returned `Arc` is cloned under a
+    /// *read* lock (a reference-count bump, never a payload copy); the
+    /// guard is released before this function returns.
+    pub fn lookup(&self, key: &Digest, now_ns: u64) -> Option<Arc<V>> {
+        let shard = self.shard_of(key);
+        let found = {
+            let guard = shard.cache.read();
+            guard.peek_valid(key, now_ns).cloned()
+        };
+        // Guard dropped: only atomics and a try-lock touch note remain.
+        match found {
+            Some(value) => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(mut queue) = shard.touches.try_lock() {
+                    if queue.len() < MAX_PENDING_TOUCHES {
+                        queue.push(*key);
+                    }
+                }
+                Some(value)
+            }
+            None => {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Presence check without stats or recency side effects (TTL-aware).
+    pub fn contains(&self, key: &Digest, now_ns: u64) -> bool {
+        self.shard_of(key)
+            .cache
+            .read()
+            .peek_valid(key, now_ns)
+            .is_some()
+    }
+
+    /// Insert a value. The writer first replays queued read-path recency
+    /// touches, so eviction order keeps tracking access order.
+    pub fn insert(&self, key: Digest, value: V, size: u64, now_ns: u64) {
+        let shard = self.shard_of(&key);
+        let pending = std::mem::take(&mut *shard.touches.lock());
+        let mut guard = shard.cache.write();
+        for touched in pending {
+            guard.touch(&touched, now_ns);
+        }
+        guard.insert(key, Arc::new(value), size, now_ns);
+    }
+
+    /// Merged counters: per-shard read-path atomics plus each shard's
+    /// write-path store counters.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in self.shards.iter() {
+            let s = *shard.cache.read().stats();
+            total.hits += s.hits + shard.hits.load(Ordering::Relaxed);
+            total.misses += s.misses + shard.misses.load(Ordering::Relaxed);
+            total.insertions += s.insertions;
+            total.evictions += s.evictions;
+            total.expired += s.expired;
+            total.rejected += s.rejected;
+            total.admission_rejects += s.admission_rejects;
+        }
+        total
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.cache.read().len()).sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.cache.read().is_empty())
+    }
+
+    /// Bytes in use across shards.
+    pub fn used_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.cache.read().used_bytes())
+            .sum()
+    }
+
+    /// Total capacity across shards.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.cache.read().capacity_bytes())
+            .sum()
+    }
+}
+
+impl<V: Clone> ShardedExactCache<V> {
+    /// Clone-out lookup. The deep clone of the payload happens **after**
+    /// the shard guard is dropped (inside [`ShardedExactCache::lookup`]
+    /// only the `Arc` is cloned), so a large 3D-model payload — or a
+    /// payload whose `Clone` is pathologically slow — never stalls other
+    /// threads on this shard.
+    pub fn lookup_owned(&self, key: &Digest, now_ns: u64) -> Option<V> {
+        self.lookup(key, now_ns).map(|arc| V::clone(&arc))
+    }
+}
+
+// ----------------------------------------------------------------- approx --
+
+struct ApproxShard<V> {
+    cache: RwLock<ApproxCache<Arc<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    touches: Mutex<Vec<u64>>,
+}
+
+/// A shareable approximate cache split into descriptor-routed shards.
+pub struct ShardedApproxCache<V> {
+    shards: Arc<Vec<ApproxShard<V>>>,
+    router: Arc<ShardRouter>,
+}
+
+impl<V> Clone for ShardedApproxCache<V> {
+    fn clone(&self) -> Self {
+        ShardedApproxCache {
+            shards: Arc::clone(&self.shards),
+            router: Arc::clone(&self.router),
+        }
+    }
+}
+
+impl<V> ShardedApproxCache<V> {
+    /// Create a sharded approximate cache; `capacity_bytes` is the total
+    /// budget split evenly across `shards`.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero (plus [`ApproxCache::new`]'s conditions).
+    pub fn new(
+        capacity_bytes: u64,
+        policy: PolicyKind,
+        threshold: f32,
+        index: IndexKind,
+        dim: usize,
+        shards: usize,
+    ) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        let per_shard = (capacity_bytes / shards as u64).max(1);
+        let shards: Vec<_> = (0..shards)
+            .map(|_| ApproxShard {
+                cache: RwLock::new(ApproxCache::new(per_shard, policy, threshold, index, dim)),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                touches: Mutex::new(Vec::new()),
+            })
+            .collect();
+        // 8 signature bits: 256 buckets folded onto the shard count. More
+        // bits sharpen routing but raise the chance a near-duplicate
+        // flips one and lands elsewhere (caught by the fallback probe).
+        let router = ShardRouter::new(dim, 8, 0xC01C_5AAD);
+        ShardedApproxCache {
+            shards: Arc::new(shards),
+            router: Arc::new(router),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn home_of(&self, descriptor: &FeatureVec) -> usize {
+        (self.router.signature(descriptor) as usize) % self.shards.len()
+    }
+
+    /// Probe one shard read-only; a within-threshold hit clones the `Arc`
+    /// value under the read lock and queues a recency touch.
+    fn probe(&self, idx: usize, query: &FeatureVec) -> Option<(Arc<V>, f32)> {
+        let shard = &self.shards[idx];
+        let guard = shard.cache.read();
+        match guard.lookup_ro(query) {
+            ApproxLookup::Hit { id, distance } => {
+                let value = guard.value(id).cloned()?;
+                drop(guard);
+                if let Some(mut queue) = shard.touches.try_lock() {
+                    if queue.len() < MAX_PENDING_TOUCHES {
+                        queue.push(id);
+                    }
+                }
+                Some((value, distance))
+            }
+            ApproxLookup::Miss { .. } => None,
+        }
+    }
+
+    /// Threshold lookup; returns the matched value and distance on a hit.
+    ///
+    /// The home shard (descriptor signature) is probed first; on a miss
+    /// every other shard is probed too, so the hit/miss decision equals an
+    /// unsharded search over all entries. When several shards hold a
+    /// within-threshold match the closest one wins; note the home-shard
+    /// fast path may return a within-threshold match that is not the
+    /// global nearest — a deliberate trade, since any within-threshold
+    /// entry is by definition an acceptable reuse.
+    pub fn lookup(&self, query: &FeatureVec, _now_ns: u64) -> Option<(Arc<V>, f32)> {
+        let home = self.home_of(query);
+        if let Some(hit) = self.probe(home, query) {
+            self.shards[home].hits.fetch_add(1, Ordering::Relaxed);
+            return Some(hit);
+        }
+        let mut best: Option<(Arc<V>, f32)> = None;
+        for idx in 0..self.shards.len() {
+            if idx == home {
+                continue;
+            }
+            if let Some((value, distance)) = self.probe(idx, query) {
+                if best.as_ref().map(|(_, d)| distance < *d).unwrap_or(true) {
+                    best = Some((value, distance));
+                }
+            }
+        }
+        match best {
+            Some(hit) => {
+                self.shards[home].hits.fetch_add(1, Ordering::Relaxed);
+                Some(hit)
+            }
+            None => {
+                self.shards[home].misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a descriptor/result pair into the descriptor's home shard,
+    /// replaying queued recency touches first.
+    pub fn insert(&self, descriptor: FeatureVec, value: V, size: u64, now_ns: u64) {
+        let shard = &self.shards[self.home_of(&descriptor)];
+        let pending = std::mem::take(&mut *shard.touches.lock());
+        let mut guard = shard.cache.write();
+        for id in pending {
+            guard.touch(id, now_ns);
+        }
+        guard.insert(descriptor, Arc::new(value), size, now_ns);
+    }
+
+    /// Merged counters (read-path atomics + write-path store counters).
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in self.shards.iter() {
+            let s = *shard.cache.read().stats();
+            total.hits += s.hits + shard.hits.load(Ordering::Relaxed);
+            total.misses += s.misses + shard.misses.load(Ordering::Relaxed);
+            total.insertions += s.insertions;
+            total.evictions += s.evictions;
+            total.expired += s.expired;
+            total.rejected += s.rejected;
+            total.admission_rejects += s.admission_rejects;
+        }
+        total
+    }
+
+    /// Total descriptors across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.cache.read().len()).sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.cache.read().is_empty())
+    }
+
+    /// Bytes in use across shards.
+    pub fn used_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.cache.read().used_bytes())
+            .sum()
+    }
+
+    /// The hit threshold (uniform across shards).
+    pub fn threshold(&self) -> f32 {
+        self.shards[0].cache.read().threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn exact_roundtrip_across_threads() {
+        let cache: ShardedExactCache<String> =
+            ShardedExactCache::new(1 << 20, PolicyKind::Lru, None, 4);
+        let key = Digest::of(b"model");
+        cache.insert(key, "loaded".into(), 100, 0);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = cache.clone();
+                std::thread::spawn(move || c.lookup_owned(&key, 0).unwrap())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), "loaded");
+        }
+        assert_eq!(cache.stats().hits, 8);
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn merged_stats_equal_per_thread_observation_sums() {
+        let cache: ShardedExactCache<u64> =
+            ShardedExactCache::new(1 << 20, PolicyKind::Lru, None, 8);
+        for i in 0..16u64 {
+            cache.insert(Digest::of(&i.to_le_bytes()), i, 64, 0);
+        }
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let c = cache.clone();
+                std::thread::spawn(move || {
+                    let (mut hits, mut misses) = (0u64, 0u64);
+                    for i in 0..400u64 {
+                        // Present keys 0..16, absent keys 16..32.
+                        let k = (t * 131 + i * 7) % 32;
+                        match c.lookup(&Digest::of(&k.to_le_bytes()), 0) {
+                            Some(v) => {
+                                assert_eq!(*v, k);
+                                hits += 1;
+                            }
+                            None => misses += 1,
+                        }
+                    }
+                    (hits, misses)
+                })
+            })
+            .collect();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for h in handles {
+            let (a, b) = h.join().unwrap();
+            hits += a;
+            misses += b;
+        }
+        let merged = cache.stats();
+        assert_eq!(merged.hits, hits, "merged hits must equal observed sum");
+        assert_eq!(merged.misses, misses);
+        assert_eq!(merged.lookups(), 8 * 400);
+    }
+
+    #[test]
+    fn read_path_respects_ttl() {
+        let cache: ShardedExactCache<u32> =
+            ShardedExactCache::new(1 << 10, PolicyKind::Lru, Some(1_000), 2);
+        let key = Digest::of(b"frame");
+        cache.insert(key, 7, 10, 0);
+        assert_eq!(cache.lookup_owned(&key, 999), Some(7));
+        assert_eq!(cache.lookup_owned(&key, 1_000), None);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn capacity_splits_across_shards_and_evicts() {
+        let cache: ShardedExactCache<u32> = ShardedExactCache::new(400, PolicyKind::Lru, None, 4);
+        assert_eq!(cache.capacity_bytes(), 400);
+        for i in 0..40u32 {
+            cache.insert(Digest::of(&i.to_le_bytes()), i, 30, 0);
+        }
+        assert!(cache.used_bytes() <= 400);
+        assert!(cache.stats().evictions > 0);
+        assert!(!cache.is_empty());
+    }
+
+    /// A stand-in for a huge 3D-model payload whose deep clone is
+    /// expensive: cloning sleeps, making it obvious (via timing) whether
+    /// the clone ran inside or outside the shard lock.
+    #[derive(Debug)]
+    struct PoisonedSizePayload {
+        label: u32,
+    }
+
+    impl Clone for PoisonedSizePayload {
+        fn clone(&self) -> Self {
+            std::thread::sleep(Duration::from_millis(400));
+            PoisonedSizePayload { label: self.label }
+        }
+    }
+
+    #[test]
+    fn deep_clone_happens_outside_the_shard_lock() {
+        // Single shard: if lookup_owned deep-cloned under the lock, the
+        // concurrent insert below would stall for the whole 400 ms clone.
+        let cache: ShardedExactCache<PoisonedSizePayload> =
+            ShardedExactCache::new(1 << 20, PolicyKind::Lru, None, 1);
+        let key = Digest::of(b"huge model");
+        cache.insert(key, PoisonedSizePayload { label: 1 }, 1 << 19, 0);
+
+        let reader = {
+            let c = cache.clone();
+            std::thread::spawn(move || c.lookup_owned(&key, 0).unwrap())
+        };
+        // Give the reader time to take and release the read guard (the
+        // slow clone runs after release).
+        std::thread::sleep(Duration::from_millis(100));
+        let start = Instant::now();
+        cache.insert(
+            Digest::of(b"other"),
+            PoisonedSizePayload { label: 2 },
+            16,
+            0,
+        );
+        let insert_elapsed = start.elapsed();
+        assert_eq!(reader.join().unwrap().label, 1);
+        assert!(
+            insert_elapsed < Duration::from_millis(250),
+            "insert blocked behind a payload clone: {insert_elapsed:?}"
+        );
+    }
+
+    #[derive(Debug)]
+    struct PanickingClone;
+
+    impl Clone for PanickingClone {
+        fn clone(&self) -> Self {
+            panic!("poisoned payload clone");
+        }
+    }
+
+    #[test]
+    fn panicking_payload_clone_does_not_wedge_the_shard() {
+        let cache: ShardedExactCache<PanickingClone> =
+            ShardedExactCache::new(1 << 10, PolicyKind::Lru, None, 1);
+        let key = Digest::of(b"k");
+        cache.insert(key, PanickingClone, 10, 0);
+        let c = cache.clone();
+        let r = std::thread::spawn(move || {
+            let _ = c.lookup_owned(&key, 0); // panics in the clone
+        })
+        .join();
+        assert!(r.is_err(), "clone should have panicked");
+        // The shard must still be fully usable: the panic happened after
+        // the guard was released (Arc-level lookup still works).
+        assert!(cache.lookup(&key, 0).is_some());
+        cache.insert(Digest::of(b"k2"), PanickingClone, 10, 0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    fn v(data: &[f32]) -> FeatureVec {
+        FeatureVec::new(data.to_vec())
+    }
+
+    #[test]
+    fn approx_hits_across_shards() {
+        let cache: ShardedApproxCache<u64> =
+            ShardedApproxCache::new(1 << 20, PolicyKind::Lru, 0.25, IndexKind::Linear, 2, 4);
+        // Spread descriptors around the unit circle: the router will place
+        // them in several different shards.
+        let n = 8u64;
+        for i in 0..n {
+            let a = i as f32 / n as f32 * std::f32::consts::TAU;
+            cache.insert(v(&[a.cos(), a.sin()]), i, 50, 0);
+        }
+        assert_eq!(cache.len(), n as usize);
+        // Every stored descriptor must be findable from a slightly
+        // perturbed query, regardless of which shard it landed in.
+        for i in 0..n {
+            let a = i as f32 / n as f32 * std::f32::consts::TAU + 0.02;
+            let (val, d) = cache.lookup(&v(&[a.cos(), a.sin()]), 0).unwrap();
+            assert_eq!(*val, i);
+            assert!(d < 0.1);
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (n, 0));
+        // A far-away query misses everywhere.
+        assert!(cache.lookup(&v(&[5.0, 5.0]), 0).is_none());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn approx_concurrent_inserts_and_lookups() {
+        let cache: ShardedApproxCache<u64> = ShardedApproxCache::new(
+            1 << 20,
+            PolicyKind::Lru,
+            0.25,
+            IndexKind::Lsh { tables: 4, bits: 4 },
+            2,
+            4,
+        );
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let c = cache.clone();
+                std::thread::spawn(move || {
+                    let a = i as f32 * 1.5;
+                    c.insert(v(&[a.cos(), a.sin()]), i, 50, 0);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.len(), 4);
+        for i in 0..4u64 {
+            let a = i as f32 * 1.5;
+            let (val, _) = cache.lookup(&v(&[a.cos(), a.sin()]), 0).unwrap();
+            assert_eq!(*val, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_rejected() {
+        let _ = ShardedExactCache::<u32>::new(1024, PolicyKind::Lru, None, 0);
+    }
+}

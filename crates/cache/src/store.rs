@@ -147,6 +147,37 @@ impl<K: Hash + Eq + Clone, V> Store<K, V> {
         Some(&self.entries[id].value)
     }
 
+    /// TTL-aware presence check through a shared reference: like
+    /// [`Store::peek`] but an entry whose TTL has elapsed at `now_ns` is
+    /// reported absent (it stays in place until a mutating call removes
+    /// it). This is the read path of the sharded concurrent wrappers,
+    /// where lookups hold only a read lock and must not mutate anything.
+    pub fn peek_valid(&self, key: &K, now_ns: u64) -> Option<&V> {
+        let &id = self.by_key.get(key)?;
+        if self.expired(id, now_ns) {
+            return None;
+        }
+        Some(&self.entries[&id].value)
+    }
+
+    /// Refresh recency for `key` without recording a hit or a miss. The
+    /// sharded wrappers count hits on their lock-free read path and replay
+    /// the recency effect here under the next write lock, so eviction
+    /// order still tracks access order without double-counting stats.
+    /// Expired entries are removed (and counted) exactly as in
+    /// [`Store::get`].
+    pub fn touch(&mut self, key: &K, now_ns: u64) {
+        let Some(&id) = self.by_key.get(key) else {
+            return;
+        };
+        if self.expired(id, now_ns) {
+            self.remove_id(id);
+            self.stats.expired += 1;
+            return;
+        }
+        self.policy.on_access(id);
+    }
+
     /// Insert `value` of `size` bytes under `key`, evicting as needed.
     /// Returns the evicted `(key, value)` pairs (empty when none). A value
     /// larger than the whole cache is rejected and counted.

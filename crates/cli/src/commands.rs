@@ -280,6 +280,59 @@ pub fn pano_crop(args: &Args) -> CmdResult {
     ))
 }
 
+// ------------------------------------------------------------------ bench --
+
+/// `bench`: run the edge/cache performance harness and write the
+/// canonical `BENCH_edge.json` report. `--quick` shrinks op counts for CI
+/// smoke runs; `--seed` fixes every random stream.
+pub fn bench(args: &Args) -> CmdResult {
+    let quick = args.switch("quick");
+    let seed: u64 = args.num("seed", 7)?;
+    let runs: usize = args.num("runs", 1)?;
+    if runs == 0 {
+        return Err("--runs must be at least 1".into());
+    }
+    let out = args.get("out").unwrap_or("BENCH_edge.json");
+    // `--runs N` merges N grid runs into a conservative envelope (minimum
+    // throughput, maximum percentiles) — how bench/baseline.json is
+    // refreshed; CI's fresh run uses the default single run.
+    let report = coic_bench::perf::conservative_merge(
+        (0..runs)
+            .map(|_| coic_bench::perf::run_bench(quick, seed))
+            .collect(),
+    );
+    report.write(std::path::Path::new(out))?;
+    let mut text = String::new();
+    writeln!(
+        text,
+        "{:<24} {:>5} {:>7} {:>10} {:>10} {:>10} {:>12} {:>6}",
+        "workload", "index", "threads", "p50 ns", "p95 ns", "p99 ns", "ops/s", "hit%"
+    )?;
+    for c in &report.results {
+        writeln!(
+            text,
+            "{:<24} {:>5} {:>7} {:>10} {:>10} {:>10} {:>12.0} {:>5.1}%",
+            c.workload,
+            c.index,
+            c.threads,
+            c.p50_ns,
+            c.p95_ns,
+            c.p99_ns,
+            c.throughput_ops_per_sec,
+            c.hit_ratio * 100.0
+        )?;
+    }
+    writeln!(
+        text,
+        "sharded-vs-mutex exact-lookup speedup: {:.2}×  (rev {}, seed {seed}{})",
+        report.speedup_sharded_vs_mutex,
+        report.git_rev,
+        if quick { ", quick" } else { "" }
+    )?;
+    write!(text, "wrote {out}")?;
+    Ok(text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

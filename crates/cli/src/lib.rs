@@ -13,6 +13,7 @@
 //! coic hash        --in any-file
 //! coic pano gen    --frame N --out pano.pgm [--height 256]
 //! coic pano crop   --frame N --yaw R --pitch R --out view.pgm
+//! coic bench       [--quick] [--seed N] [--runs N] [--out BENCH_edge.json]
 //! ```
 //!
 //! All subcommand logic lives in this library so it is unit-testable; the
@@ -28,7 +29,13 @@ pub use args::{ArgError, Args};
 
 /// Top-level dispatch: returns the text to print, or an error message.
 pub fn run(raw: Vec<String>) -> Result<String, String> {
-    let args = Args::parse(raw).map_err(|e| e.to_string())?;
+    // Boolean switches are declared per subcommand (every other flag
+    // takes a value, and `--flag` with no value stays an error there).
+    let switches: &[&str] = match raw.first().map(String::as_str) {
+        Some("bench") => &["quick"],
+        _ => &[],
+    };
+    let args = Args::parse_with_switches(raw, switches).map_err(|e| e.to_string())?;
     let cmd: Vec<&str> = args.command.iter().map(|s| s.as_str()).collect();
     match cmd.as_slice() {
         ["trace", "gen"] => commands::trace_gen(&args),
@@ -41,6 +48,7 @@ pub fn run(raw: Vec<String>) -> Result<String, String> {
         ["hash"] => commands::hash(&args),
         ["pano", "gen"] => commands::pano_gen(&args),
         ["pano", "crop"] => commands::pano_crop(&args),
+        ["bench"] => commands::bench(&args),
         [] | ["help"] => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {:?}\n\n{USAGE}", other.join(" ")).into()),
     }
@@ -67,4 +75,5 @@ USAGE:
   coic hash         --in FILE
   coic pano gen     --frame N --out FILE.pgm [--height N]
   coic pano crop    --frame N --yaw R --pitch R --out FILE.pgm
-                    [--fov R] [--width N] [--height N]";
+                    [--fov R] [--width N] [--height N]
+  coic bench        [--quick] [--seed N] [--runs N] [--out BENCH_edge.json]";

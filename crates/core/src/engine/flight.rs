@@ -7,8 +7,9 @@
 //! the live edge queues condvar-style signals that block connection
 //! threads until the leader completes.
 
+use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash, RandomState};
 
 /// What [`SingleFlight::claim`] decided for a caller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +69,51 @@ impl<K: Eq + Hash + Clone, W> Default for SingleFlight<K, W> {
     }
 }
 
+/// A [`SingleFlight`] table split across independently locked shards, so
+/// misses on *different* content never contend on one flight mutex. Used
+/// by the live edge alongside the sharded caches: coalescing only has to
+/// hold for misses on the *same* key, and same key ⇒ same shard.
+pub struct ShardedSingleFlight<K, W> {
+    shards: Vec<Mutex<SingleFlight<K, W>>>,
+    hasher: RandomState,
+}
+
+impl<K: Eq + Hash + Clone, W> ShardedSingleFlight<K, W> {
+    /// An empty table with `shards` independent locks.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> ShardedSingleFlight<K, W> {
+        assert!(shards > 0, "shard count must be positive");
+        ShardedSingleFlight {
+            shards: (0..shards)
+                .map(|_| Mutex::new(SingleFlight::new()))
+                .collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<SingleFlight<K, W>> {
+        &self.shards[(self.hasher.hash_one(key) as usize) % self.shards.len()]
+    }
+
+    /// Claim the fetch for `key` (see [`SingleFlight::claim`]).
+    pub fn claim(&self, key: K, waiter: W) -> FlightClaim {
+        let shard = self.shard_of(&key);
+        shard.lock().claim(key, waiter)
+    }
+
+    /// Finish the flight for `key`, returning queued waiters.
+    pub fn complete(&self, key: &K) -> Vec<W> {
+        self.shard_of(key).lock().complete(key)
+    }
+
+    /// Is a fetch currently in flight for `key`?
+    pub fn is_inflight(&self, key: &K) -> bool {
+        self.shard_of(key).lock().is_inflight(key)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +139,25 @@ mod tests {
         assert_eq!(f.claim(1, 11), FlightClaim::Queued);
         assert_eq!(f.complete(&2), Vec::<u32>::new());
         assert_eq!(f.complete(&1), vec![11]);
+    }
+
+    #[test]
+    fn sharded_table_coalesces_same_key_across_threads() {
+        use std::sync::Arc;
+        let f: Arc<ShardedSingleFlight<u32, u32>> = Arc::new(ShardedSingleFlight::new(4));
+        let handles: Vec<_> = (0..8u32)
+            .map(|i| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || f.claim(42, i))
+            })
+            .collect();
+        let leaders = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|c| matches!(c, FlightClaim::Leader))
+            .count();
+        assert_eq!(leaders, 1, "exactly one thread must lead per key");
+        assert_eq!(f.complete(&42).len(), 7);
+        assert!(!f.is_inflight(&42));
     }
 }

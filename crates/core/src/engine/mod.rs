@@ -46,6 +46,6 @@ pub use client::{ClientEngine, Decision, Effect, EngineConfig, ReplyKind, TimerK
 pub use clock::{Clock, SimClock, WallClock};
 pub use edge::UpstreamGate;
 pub use fault::FaultSchedule;
-pub use flight::{FlightClaim, SingleFlight};
+pub use flight::{FlightClaim, ShardedSingleFlight, SingleFlight};
 pub use retry::RetryPolicy;
 pub use stats::{RobustnessSnapshot, RobustnessStats};

@@ -12,6 +12,8 @@
 //!
 //! * [`descriptor`], [`task`], [`protocol`] — the data plane,
 //! * [`services`] — client / edge / cloud logic, transport-independent,
+//! * [`shared_edge`] — the edge service behind shared references (sharded
+//!   caches) for the multi-threaded live stack,
 //! * [`compute`] — per-tier cost models,
 //! * [`content`] — deterministic model/panorama libraries,
 //! * [`engine`] — the sans-IO orchestration core: clock-agnostic state
@@ -40,6 +42,7 @@ pub mod protocol;
 pub mod qoe;
 pub mod robust;
 pub mod services;
+pub mod shared_edge;
 pub mod simrun;
 pub mod task;
 
@@ -58,5 +61,6 @@ pub use robust::{BreakerState, CircuitBreaker, RetryPolicy, RobustnessSnapshot, 
 pub use services::{
     ClientConfig, ClientLogic, CloudService, EdgeConfig, EdgeReply, EdgeService, PreparedRequest,
 };
+pub use shared_edge::SharedEdgeService;
 pub use simrun::{compare, run, Mode, SimConfig};
 pub use task::{RecognitionResult, TaskRequest, TaskResult, ANNOTATION_BYTES};

@@ -31,8 +31,17 @@
 //!   breaker + stats), so a dead cloud makes the edge answer `Unavailable`
 //!   fast instead of stalling every connection thread;
 //! * concurrent identical misses coalesce into one upstream fetch
-//!   ([`SingleFlight`]); waiting threads block on a condvar until the
-//!   leader lands the result in the cache.
+//!   ([`ShardedSingleFlight`]); waiting threads block on a condvar until
+//!   the leader lands the result in the cache.
+//!
+//! The edge's caches are *sharded* ([`SharedEdgeService`], backed by
+//! [`coic_cache::sharded`]): each connection thread's cache hit takes one
+//! shard's read lock instead of a service-wide mutex, and large payload
+//! clones happen outside any lock. [`NetConfig::cache_shards`] sets the
+//! shard count. The simulator keeps the single-threaded
+//! [`crate::services::EdgeService`] — sharding changes lock granularity
+//! and stats plumbing only, never hit/miss decisions, which is what the
+//! sim-vs-live determinism tests check.
 //!
 //! Every transition is counted in [`RobustnessStats`], surfaced through
 //! [`NetClient::robustness`] and [`EdgeHandle::robustness`]; per-request
@@ -43,15 +52,14 @@ use crate::compute::ComputeConfig;
 use crate::content::{ModelLibrary, PanoLibrary};
 use crate::engine::{
     ClientEngine, Clock, Decision, Effect, EngineConfig, FaultSchedule, FlightClaim, ReplyKind,
-    RetryPolicy, RobustnessStats, SingleFlight, TimerKind, UpstreamGate, WallClock,
+    RetryPolicy, RobustnessStats, ShardedSingleFlight, TimerKind, UpstreamGate, WallClock,
 };
 use crate::protocol::Msg;
 use crate::qoe::QoeReport;
-use crate::services::{
-    ClientConfig, ClientLogic, CloudService, EdgeConfig, EdgeReply, EdgeService,
-};
+use crate::services::{ClientConfig, ClientLogic, CloudService, EdgeConfig, EdgeReply};
+use crate::shared_edge::SharedEdgeService;
 use crate::task::TaskResult;
-use coic_cache::Digest;
+use coic_cache::{CacheStats, Digest};
 use coic_netsim::rt::{FaultError, FrameConn, FrameError, FrameServer};
 use coic_vision::{ObjectClass, SceneGenerator};
 use parking_lot::Mutex;
@@ -81,6 +89,10 @@ pub struct NetConfig {
     /// client's IO boundary without touching the network, mirroring the
     /// simulator's schedule semantics for the determinism tests.
     pub faults: FaultSchedule,
+    /// Lock shards per edge cache (and for the single-flight table).
+    /// More shards cut contention between connection threads; values are
+    /// clamped to at least 1.
+    pub cache_shards: usize,
 }
 
 impl Default for NetConfig {
@@ -94,6 +106,7 @@ impl Default for NetConfig {
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_millis(300),
             faults: FaultSchedule::new(),
+            cache_shards: coic_cache::DEFAULT_SHARDS,
         }
     }
 }
@@ -154,6 +167,7 @@ pub struct EdgeHandle {
     peers: Arc<Mutex<Vec<SocketAddr>>>,
     stats: RobustnessStats,
     gate: Arc<UpstreamGate>,
+    service: Arc<SharedEdgeService>,
     server: FrameServer,
 }
 
@@ -178,6 +192,26 @@ impl EdgeHandle {
     /// State of the edge→cloud circuit breaker.
     pub fn breaker_state(&self) -> crate::robust::BreakerState {
         self.gate.state()
+    }
+
+    /// Recognition-cache counters, merged across shards.
+    pub fn recog_cache_stats(&self) -> CacheStats {
+        self.service.recog_stats()
+    }
+
+    /// Exact-cache counters, merged across shards.
+    pub fn exact_cache_stats(&self) -> CacheStats {
+        self.service.exact_stats()
+    }
+
+    /// Combined hit ratio over both edge caches.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        self.service.hit_ratio()
+    }
+
+    /// Lock shards per cache on this edge.
+    pub fn cache_shards(&self) -> usize {
+        self.service.shard_count()
     }
 
     /// Stop the edge: no new connections, live ones severed. Idempotent;
@@ -268,7 +302,9 @@ pub fn spawn_edge_with(
     net: NetConfig,
     bind: Option<SocketAddr>,
 ) -> std::io::Result<EdgeHandle> {
-    let service = Arc::new(Mutex::new(EdgeService::new(cfg)));
+    let shards = net.cache_shards.max(1);
+    let service = Arc::new(SharedEdgeService::new(cfg, shards));
+    let service_in_handle = service.clone();
     let pending = Arc::new(Mutex::new(HashMap::new()));
     let peers: Arc<Mutex<Vec<SocketAddr>>> = Arc::new(Mutex::new(Vec::new()));
     let peers_in_handler = peers.clone();
@@ -280,9 +316,10 @@ pub fn spawn_edge_with(
     ));
     // Single-flight table: one upstream fetch per content digest at a
     // time; queued threads block on a condvar and re-check the cache when
-    // the leader completes.
-    let flights: Arc<Mutex<SingleFlight<Digest, Arc<FlightWaiter>>>> =
-        Arc::new(Mutex::new(SingleFlight::new()));
+    // the leader completes. Sharded like the caches so unrelated misses
+    // never contend on one flight mutex.
+    let flights: Arc<ShardedSingleFlight<Digest, Arc<FlightWaiter>>> =
+        Arc::new(ShardedSingleFlight::new(shards));
     let (stats_h, gate_h, flights_h) = (stats.clone(), gate.clone(), flights.clone());
     let clock = WallClock::new();
     let bind = bind.unwrap_or_else(|| "127.0.0.1:0".parse().unwrap());
@@ -296,7 +333,7 @@ pub fn spawn_edge_with(
                 descriptor,
                 hint,
             } => {
-                let decision = service.lock().handle_query(&descriptor, hint.as_ref(), now);
+                let decision = service.handle_query(&descriptor, hint.as_ref(), now);
                 match decision {
                     EdgeReply::Hit(result) => Msg::Hit { req_id, result },
                     EdgeReply::NeedPayload => {
@@ -358,21 +395,17 @@ pub fn spawn_edge_with(
                         match digest {
                             Some(d) => loop {
                                 let now = clock.now_ns();
-                                if let Some(result) = service.lock().exact_lookup(&d, now) {
+                                if let Some(result) = service.exact_lookup(&d, now) {
                                     break Msg::Hit { req_id, result };
                                 }
                                 let waiter = Arc::new(FlightWaiter::default());
-                                // Bind the claim before matching: a guard
-                                // living in the match scrutinee would still
-                                // be held at the complete() below.
-                                let claim = flights_h.lock().claim(d, waiter.clone());
-                                match claim {
+                                match flights_h.claim(d, waiter.clone()) {
                                     FlightClaim::Leader => {
                                         let fetched = fetch(task);
                                         if let Some((result, _)) = &fetched {
-                                            service.lock().insert(&descriptor, result, now);
+                                            service.insert(&descriptor, result, now);
                                         }
-                                        for w in flights_h.lock().complete(&d) {
+                                        for w in flights_h.complete(&d) {
                                             w.notify();
                                         }
                                         break match fetched {
@@ -399,11 +432,11 @@ pub fn spawn_edge_with(
                             },
                             None => match fetch(task) {
                                 Some((result, true)) => {
-                                    service.lock().insert(&descriptor, &result, now);
+                                    service.insert(&descriptor, &result, now);
                                     Msg::PeerResult { req_id, result }
                                 }
                                 Some((result, false)) => {
-                                    service.lock().insert(&descriptor, &result, now);
+                                    service.insert(&descriptor, &result, now);
                                     Msg::Result { req_id, result }
                                 }
                                 None => {
@@ -416,7 +449,7 @@ pub fn spawn_edge_with(
                 }
             }
             Msg::PeerQuery { req_id, digest } => {
-                let result = service.lock().exact_lookup(&digest, now);
+                let result = service.exact_lookup(&digest, now);
                 Msg::PeerReply { req_id, result }
             }
             Msg::Upload { req_id, task } => {
@@ -430,7 +463,7 @@ pub fn spawn_edge_with(
                     &stats_h,
                 ) {
                     Some(result) => {
-                        service.lock().insert(&descriptor, &result, now);
+                        service.insert(&descriptor, &result, now);
                         Msg::Result { req_id, result }
                     }
                     None => {
@@ -448,6 +481,7 @@ pub fn spawn_edge_with(
         peers,
         stats,
         gate,
+        service: service_in_handle,
         server,
     })
 }

@@ -1,0 +1,236 @@
+//! The edge cache service behind shared references.
+//!
+//! [`crate::services::EdgeService`] is deliberately single-threaded
+//! (`&mut self`): the simulator owns one and drives it deterministically.
+//! The live TCP edge instead serves every client connection from its own
+//! thread, and wrapping the whole service in a mutex serializes the hot
+//! path. [`SharedEdgeService`] is the concurrent counterpart: the same
+//! decision logic, same cache-sizing rules and same reply semantics as
+//! `EdgeService`, but built on the sharded wrappers
+//! ([`coic_cache::ShardedApproxCache`] / [`coic_cache::ShardedExactCache`])
+//! so every method takes `&self` and cache hits only share-lock one shard.
+//!
+//! The hit/miss *decisions* match the unsharded service: the approximate
+//! lookup falls back to probing every shard before declaring a miss, and
+//! the exact lookup's shard holds all entries for its digest. What changes
+//! is performance metadata only (recency replay is batched, stats live in
+//! relaxed atomics), which the deterministic simulation never sees — the
+//! sim path keeps using `EdgeService` untouched.
+
+use crate::descriptor::FeatureDescriptor;
+use crate::services::{EdgeConfig, EdgeReply};
+use crate::task::{TaskRequest, TaskResult};
+use coic_cache::{CacheStats, Digest, ShardedApproxCache, ShardedExactCache};
+
+/// A concurrently shareable edge cache service (`&self` everywhere).
+pub struct SharedEdgeService {
+    recog: ShardedApproxCache<crate::task::RecognitionResult>,
+    exact: ShardedExactCache<TaskResult>,
+}
+
+impl SharedEdgeService {
+    /// Create the service with `shards` lock shards per cache.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new(cfg: &EdgeConfig, shards: usize) -> Self {
+        SharedEdgeService {
+            recog: ShardedApproxCache::new(
+                cfg.recog_cache_bytes,
+                cfg.policy,
+                cfg.threshold,
+                cfg.index,
+                cfg.embedding_dim,
+                shards,
+            ),
+            exact: {
+                let ttl_ns = cfg.exact_ttl_ms.map(|ms| ms * 1_000_000);
+                let c = ShardedExactCache::new(cfg.exact_cache_bytes, cfg.policy, ttl_ns, shards);
+                match cfg.admission {
+                    Some(a) => c.with_admission(a),
+                    None => c,
+                }
+            },
+        }
+    }
+
+    /// Handle a descriptor query — same decision table as
+    /// [`crate::services::EdgeService::handle_query`].
+    pub fn handle_query(
+        &self,
+        descriptor: &FeatureDescriptor,
+        hint: Option<&TaskRequest>,
+        now_ns: u64,
+    ) -> EdgeReply {
+        match descriptor {
+            FeatureDescriptor::Dnn(v) => match self.recog.lookup(v, now_ns) {
+                Some((r, _distance)) => EdgeReply::Hit(TaskResult::Recognition(*r)),
+                None => match hint {
+                    Some(task) => EdgeReply::Forward(task.clone()),
+                    None => EdgeReply::NeedPayload,
+                },
+            },
+            FeatureDescriptor::ModelHash(d) | FeatureDescriptor::PanoramaHash(d) => {
+                // The Arc clone happens under the shard read lock; the
+                // payload deep clone happens here, after release.
+                if let Some(result) = self.exact.lookup(d, now_ns) {
+                    EdgeReply::Hit(TaskResult::clone(&result))
+                } else {
+                    match hint {
+                        Some(task) => EdgeReply::Forward(task.clone()),
+                        None => EdgeReply::NeedPayload,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Insert a freshly computed result under its descriptor (same size
+    /// accounting as [`crate::services::EdgeService::insert`]).
+    ///
+    /// # Panics
+    /// Panics when the descriptor and result kinds disagree.
+    pub fn insert(&self, descriptor: &FeatureDescriptor, result: &TaskResult, now_ns: u64) {
+        match (descriptor, result) {
+            (FeatureDescriptor::Dnn(v), TaskResult::Recognition(r)) => {
+                let size = v.byte_size() + result.byte_size();
+                self.recog.insert(v.clone(), *r, size, now_ns);
+            }
+            (FeatureDescriptor::ModelHash(d) | FeatureDescriptor::PanoramaHash(d), result) => {
+                self.exact
+                    .insert(*d, result.clone(), result.byte_size(), now_ns);
+            }
+            (d, r) => panic!(
+                "descriptor kind {} does not match result kind {}",
+                d.kind(),
+                r.kind()
+            ),
+        }
+    }
+
+    /// Does the exact cache currently hold this digest? (No stats or
+    /// recency side effects.)
+    pub fn exact_contains(&self, digest: &Digest, now_ns: u64) -> bool {
+        self.exact.contains(digest, now_ns)
+    }
+
+    /// Direct exact-cache lookup by digest (peer queries / single-flight
+    /// re-checks). The payload clone runs outside the shard lock.
+    pub fn exact_lookup(&self, digest: &Digest, now_ns: u64) -> Option<TaskResult> {
+        self.exact.lookup_owned(digest, now_ns)
+    }
+
+    /// Recognition cache counters, merged across shards.
+    pub fn recog_stats(&self) -> CacheStats {
+        self.recog.stats()
+    }
+
+    /// Exact cache counters, merged across shards.
+    pub fn exact_stats(&self) -> CacheStats {
+        self.exact.stats()
+    }
+
+    /// Combined hit ratio over both caches.
+    pub fn hit_ratio(&self) -> f64 {
+        let r = self.recog_stats();
+        let e = self.exact_stats();
+        let hits = r.hits + e.hits;
+        let total = r.lookups() + e.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Shard count of the underlying caches.
+    pub fn shard_count(&self) -> usize {
+        self.exact.shard_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::RecognitionResult;
+    use coic_vision::FeatureVec;
+
+    fn svc() -> SharedEdgeService {
+        SharedEdgeService::new(&EdgeConfig::default(), 4)
+    }
+
+    #[test]
+    fn recognition_miss_then_hit_matches_edge_service() {
+        let edge = svc();
+        let d = FeatureDescriptor::Dnn(FeatureVec::new(vec![1.0; 32]));
+        assert_eq!(edge.handle_query(&d, None, 0), EdgeReply::NeedPayload);
+        let r = TaskResult::Recognition(RecognitionResult {
+            label: 3,
+            distance: 0.1,
+        });
+        edge.insert(&d, &r, 0);
+        match edge.handle_query(&d, None, 1) {
+            EdgeReply::Hit(TaskResult::Recognition(rr)) => assert_eq!(rr.label, 3),
+            other => panic!("expected Hit, got {other:?}"),
+        }
+        let s = edge.recog_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn exact_path_and_contains() {
+        let edge = svc();
+        let digest = Digest::of(b"model 9");
+        let d = FeatureDescriptor::ModelHash(digest);
+        assert!(!edge.exact_contains(&digest, 0));
+        let task = TaskRequest::RenderLoad {
+            model_id: 9,
+            size_bytes: 100,
+        };
+        match edge.handle_query(&d, Some(&task), 0) {
+            EdgeReply::Forward(t) => assert_eq!(t, task),
+            other => panic!("expected Forward, got {other:?}"),
+        }
+        let r = TaskResult::Model(bytes::Bytes::from(vec![0u8; 100]));
+        edge.insert(&d, &r, 0);
+        assert!(edge.exact_contains(&digest, 1));
+        assert!(matches!(
+            edge.handle_query(&d, Some(&task), 1),
+            EdgeReply::Hit(TaskResult::Model(_))
+        ));
+        assert_eq!(edge.exact_lookup(&digest, 2), Some(r));
+        assert!((edge.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_queries_share_one_service() {
+        let edge = std::sync::Arc::new(svc());
+        let digest = Digest::of(b"pano 1");
+        edge.insert(
+            &FeatureDescriptor::PanoramaHash(digest),
+            &TaskResult::Panorama(bytes::Bytes::from(vec![1u8; 64])),
+            0,
+        );
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let e = std::sync::Arc::clone(&edge);
+                std::thread::spawn(move || {
+                    matches!(
+                        e.handle_query(&FeatureDescriptor::PanoramaHash(digest), None, 1),
+                        EdgeReply::Hit(_)
+                    )
+                })
+            })
+            .collect();
+        assert!(handles.into_iter().all(|h| h.join().unwrap()));
+        assert_eq!(edge.exact_stats().hits, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match result kind")]
+    fn mismatched_insert_panics() {
+        let edge = svc();
+        let d = FeatureDescriptor::Dnn(FeatureVec::new(vec![0.0; 32]));
+        edge.insert(&d, &TaskResult::Model(bytes::Bytes::new()), 0);
+    }
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Run the quick bench and gate it against the committed baseline —
+# the same sequence CI's bench-smoke job runs. Usage:
+#
+#   scripts/bench_check.sh [--tolerance 0.25] [--min-speedup 1.2]
+#
+# Extra flags are passed through to bench_check. See EXPERIMENTS.md
+# ("Edge bench + regression gate") for refreshing bench/baseline.json.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release --locked -p coic-cli -p coic-bench
+./target/release/coic bench --quick --seed 7 --out BENCH_edge.json
+exec ./target/release/bench_check \
+    --baseline bench/baseline.json --current BENCH_edge.json "$@"

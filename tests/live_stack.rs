@@ -374,6 +374,119 @@ fn lossy_proxy_between_client_and_edge_is_survivable() {
 }
 
 #[test]
+fn sixteen_clients_hammering_one_edge_stay_coherent() {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use std::sync::Barrier;
+
+    const CLIENTS: usize = 16;
+    const ZIPF_REQS: usize = 24;
+    const FRAME_POOL: u64 = 12;
+
+    let s = stack();
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+
+    // Phase 1: all sixteen clients release together on the *same* cold
+    // frame — the sharpest duplicate-miss race the edge can see. Phase 2:
+    // a Zipf-skewed stream over a small frame pool (hot head, long tail).
+    let started = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let mut c = client(&s);
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let mut frames = Vec::new();
+                let mut outcomes = Vec::new();
+                barrier.wait();
+                let out = c
+                    .execute(&req(RequestKind::Panorama { frame_id: 0 }))
+                    .unwrap();
+                frames.push(0u64);
+                outcomes.push((0u64, out));
+                let mut rng = StdRng::seed_from_u64(0x51AB ^ i as u64);
+                for _ in 0..ZIPF_REQS {
+                    let u: f64 = rng.random();
+                    let frame_id = ((u * u) * FRAME_POOL as f64) as u64;
+                    let out = c.execute(&req(RequestKind::Panorama { frame_id })).unwrap();
+                    frames.push(frame_id);
+                    outcomes.push((frame_id, out));
+                }
+                (frames, outcomes)
+            })
+        })
+        .collect();
+
+    let mut by_frame: std::collections::HashMap<u64, Vec<coic::core::TaskResult>> =
+        std::collections::HashMap::new();
+    let mut distinct: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut edge_hits = 0u64;
+    let mut cloud_misses = 0u64;
+    let mut race_misses = 0u64;
+    for h in handles {
+        let (frames, outcomes) = h.join().unwrap();
+        distinct.extend(frames);
+        for (idx, (frame, out)) in outcomes.into_iter().enumerate() {
+            match out.path {
+                Path::EdgeHit => edge_hits += 1,
+                Path::CloudMiss => {
+                    cloud_misses += 1;
+                    if idx == 0 {
+                        race_misses += 1;
+                    }
+                }
+                other => panic!("unexpected path {other:?} for frame {frame}"),
+            }
+            by_frame.entry(frame).or_default().push(out.result);
+        }
+    }
+    let total = (CLIENTS * (1 + ZIPF_REQS)) as u64;
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "contention workload took {:?} — a lock ordering problem?",
+        started.elapsed()
+    );
+    assert_eq!(edge_hits + cloud_misses, total);
+
+    // Single-flight: the sixteen-way race on the cold frame coalesces to
+    // exactly one cloud fetch, and *every* distinct frame is fetched from
+    // the cloud exactly once across the whole run.
+    assert_eq!(race_misses, 1, "duplicate misses escaped the flight table");
+    assert_eq!(
+        cloud_misses,
+        distinct.len() as u64,
+        "each distinct frame must cost exactly one cloud trip"
+    );
+
+    // Every copy of a frame, whichever path produced it, is bytewise equal.
+    for (frame, results) in by_frame {
+        for r in &results {
+            assert_eq!(r, &results[0], "divergent results for frame {frame}");
+        }
+    }
+
+    // The merged per-shard counters agree with what the clients observed:
+    // each EdgeHit reply is exactly one successful shard lookup. Misses
+    // are counted per cache probe, and a coalesced request probes the
+    // cache once on arrival and once more after its leader completes, so
+    // the shard-merged miss count brackets the client-observed cloud
+    // trips without ever dropping below them.
+    let stats = s.edge.exact_cache_stats();
+    assert!(s.edge.cache_shards() > 1);
+    assert_eq!(
+        stats.hits, edge_hits,
+        "merged shard hits {} != client-observed edge hits {edge_hits}",
+        stats.hits
+    );
+    assert!(
+        stats.misses >= cloud_misses && stats.misses <= 2 * total,
+        "merged shard misses {} outside [{cloud_misses}, {}]",
+        stats.misses,
+        2 * total
+    );
+    assert_eq!(stats.lookups(), stats.hits + stats.misses);
+}
+
+#[test]
 fn hits_are_faster_than_misses_live() {
     let s = stack();
     let mut c = client(&s);
