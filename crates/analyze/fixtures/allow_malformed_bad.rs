@@ -1,0 +1,9 @@
+//! Fixture: broken allow directives are findings, and suppress nothing.
+
+// lint: allow(no-std-net) LINT-EXPECT: malformed-allow-directive
+use std::net::TcpStream; // LINT-EXPECT: no-std-net
+
+fn dial(addr: &str) -> std::io::Result<TcpStream> {
+    // lint: allow misspelled syntax LINT-EXPECT: malformed-allow-directive
+    std::net::TcpStream::connect(addr) // LINT-EXPECT: no-std-net
+}

@@ -1,0 +1,8 @@
+//! Fixture: real violations suppressed by justified allow directives.
+
+use std::net::TcpStream; // lint: allow(no-std-net, fixture exercises the same-line escape hatch)
+
+fn dial(addr: &str) -> std::io::Result<TcpStream> {
+    // lint: allow(no-std-net, the line-above form is also accepted)
+    std::net::TcpStream::connect(addr)
+}

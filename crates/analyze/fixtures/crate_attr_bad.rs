@@ -1,0 +1,8 @@
+//! LINT-EXPECT: forbid-unsafe
+//! Fixture: crate root missing `#![forbid(unsafe_code)]`. Never compiled.
+//! (The marker sits on line 1 because missing-attribute findings anchor
+//! to the top of the file.)
+
+#![allow(dead_code)]
+
+pub fn fine() {}

@@ -1,0 +1,6 @@
+//! Fixture: crate root carrying the required attribute.
+
+#![forbid(unsafe_code)]
+#![allow(dead_code)]
+
+pub fn fine() {}

@@ -1,0 +1,11 @@
+//! Fixture: default-hasher map on a canonical-report path. Never compiled.
+
+use std::collections::HashMap; // LINT-EXPECT: no-default-hashmap
+
+fn tally(keys: &[&str]) -> HashMap<&str, u32> {
+    let mut counts = HashMap::new(); // LINT-EXPECT: no-default-hashmap
+    for k in keys {
+        *counts.entry(*k).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,11 @@
+//! Fixture: BTreeMap keeps canonical output byte-stable.
+
+use std::collections::BTreeMap;
+
+fn tally<'a>(keys: &[&'a str]) -> BTreeMap<&'a str, u32> {
+    let mut counts = BTreeMap::new();
+    for k in keys {
+        *counts.entry(*k).or_insert(0) += 1;
+    }
+    counts
+}

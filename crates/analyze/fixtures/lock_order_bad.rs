@@ -1,0 +1,15 @@
+//! Fixture: locks nested against the declared order. Never compiled.
+
+fn drain(shard: &Shard) {
+    let pending = shard.touches.lock();
+    let mut guard = shard.cache.write(); // LINT-EXPECT: cache-then-touches
+    for key in pending.iter() {
+        guard.touch(key);
+    }
+}
+
+fn peek(shard: &Shard) -> usize {
+    let queue = shard.touches.lock();
+    let n = shard.cache.read().len(); // LINT-EXPECT: cache-then-touches
+    queue.len() + n
+}

@@ -1,0 +1,35 @@
+//! Fixture: every nesting follows the declared order (cache first),
+//! or releases the second lock before re-acquiring the first.
+
+fn insert(shard: &Shard) {
+    let mut guard = shard.cache.write();
+    let pending = std::mem::take(&mut *shard.touches.lock());
+    for key in pending {
+        guard.touch(&key);
+    }
+}
+
+fn lookup(shard: &Shard, key: u64) -> bool {
+    let guard = shard.cache.read();
+    if let Some(mut queue) = shard.touches.try_lock() {
+        queue.push(key);
+    }
+    guard.contains(&key)
+}
+
+fn sequential(shard: &Shard) -> usize {
+    let n = {
+        let queue = shard.touches.lock();
+        queue.len()
+    };
+    let guard = shard.cache.read();
+    guard.len() + n
+}
+
+fn explicit_release(shard: &Shard) -> usize {
+    let queue = shard.touches.lock();
+    let pending = queue.len();
+    drop(queue);
+    let guard = shard.cache.read();
+    guard.len() + pending
+}

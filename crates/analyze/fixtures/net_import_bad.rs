@@ -1,0 +1,18 @@
+//! Fixture: socket use in a sans-IO crate. Never compiled.
+
+use std::net::TcpStream; // LINT-EXPECT: no-std-net
+
+fn dial(addr: &str) -> std::io::Result<TcpStream> {
+    let listener = TcpListener::bind(addr); // LINT-EXPECT: no-std-net
+    let _ = listener;
+    std::net::TcpStream::connect(addr) // LINT-EXPECT: no-std-net
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sockets_in_tests_still_count_here() {
+        // The net rule opts in with include-tests = true.
+        let _ = std::net::TcpStream::connect("localhost:1"); // LINT-EXPECT: no-std-net
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: panicking extractors outside test code. Never compiled.
+
+fn parse(input: &str) -> u64 {
+    let first = input.split(',').next().unwrap(); // LINT-EXPECT: no-unwrap
+    first.parse().expect("numeric field") // LINT-EXPECT: no-unwrap
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests_unwrap_is_fine() {
+        assert_eq!(super::helper().unwrap(), 7);
+    }
+}
+
+fn helper() -> Option<u32> {
+    Some(7)
+}
+
+fn later(input: Option<u8>) -> u8 {
+    input.unwrap() // LINT-EXPECT: no-unwrap
+}

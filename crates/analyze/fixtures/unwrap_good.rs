@@ -1,0 +1,26 @@
+//! Fixture: errors are propagated, and tests may unwrap freely.
+
+fn parse(input: &str) -> Result<u64, String> {
+    let first = input.split(',').next().ok_or("empty input")?;
+    first.parse().map_err(|e| format!("numeric field: {e}"))
+}
+
+/// `unwrap_or` and friends are not `.unwrap()`.
+fn fallback(input: Option<u64>) -> u64 {
+    input.unwrap_or(0).max(input.unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_allowed() {
+        assert_eq!(super::parse("7").unwrap(), 7);
+        assert!(super::parse("").err().expect("error").contains("empty"));
+    }
+}
+
+#[test]
+fn top_level_test_items_too() {
+    let v: Option<u8> = Some(1);
+    assert_eq!(v.unwrap(), 1);
+}

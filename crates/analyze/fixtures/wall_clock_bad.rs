@@ -1,0 +1,14 @@
+//! Fixture: wall-clock reads in a deterministic crate. Never compiled.
+
+use std::time::Instant; // LINT-EXPECT: no-wall-clock
+
+fn measure() -> u128 {
+    let start = Instant::now(); // LINT-EXPECT: no-wall-clock
+    start.elapsed().as_nanos()
+}
+
+fn stamp() -> u64 {
+    let now = SystemTime::now(); // LINT-EXPECT: no-wall-clock
+    let _ = now;
+    0
+}

@@ -1,0 +1,26 @@
+//! Fixture: time arrives as an argument, the deterministic way.
+//! Instant::now() in this doc comment is prose, not code.
+
+pub struct Window {
+    deadline_ns: u64,
+}
+
+impl Window {
+    /// The caller owns the clock; we just compare.
+    pub fn expired(&self, now_ns: u64) -> bool {
+        now_ns >= self.deadline_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    /// Timing tests may read the real clock: the rule defaults to
+    /// skipping `#[cfg(test)]` items.
+    #[test]
+    fn wall_clock_in_tests_is_tolerated() {
+        let start = Instant::now();
+        assert!(start.elapsed().as_nanos() < u128::MAX);
+    }
+}

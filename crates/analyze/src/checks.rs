@@ -1,0 +1,475 @@
+//! The rule implementations, operating on lexed token streams.
+
+use crate::lexer::{Lexed, Token};
+use crate::rules::{Rule, RuleKind};
+use crate::Finding;
+
+/// Run `rule` over one lexed file, appending findings.
+pub fn run_rule(rule: &Rule, rel_path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let tokens = &lexed.tokens;
+    match &rule.kind {
+        RuleKind::ForbiddenPath {
+            patterns,
+            include_tests,
+        } => forbidden_path(rule, rel_path, tokens, patterns, *include_tests, out),
+        RuleKind::NoUnwrap { methods } => no_unwrap(rule, rel_path, tokens, methods, out),
+        RuleKind::CrateAttr {
+            attr_tokens,
+            attr_text,
+        } => crate_attr(rule, rel_path, tokens, attr_tokens, attr_text, out),
+        RuleKind::LockOrder { first, then } => lock_order(rule, rel_path, tokens, first, then, out),
+    }
+}
+
+fn texts_match(tokens: &[Token], at: usize, pattern: &[String]) -> bool {
+    tokens.len() >= at + pattern.len()
+        && pattern
+            .iter()
+            .zip(&tokens[at..])
+            .all(|(want, tok)| *want == tok.text)
+}
+
+// ----------------------------------------------------------- forbidden-path
+
+fn forbidden_path(
+    rule: &Rule,
+    rel_path: &str,
+    tokens: &[Token],
+    patterns: &[Vec<String>],
+    include_tests: bool,
+    out: &mut Vec<Finding>,
+) {
+    let spans = if include_tests {
+        Vec::new()
+    } else {
+        test_spans(tokens)
+    };
+    let in_test = |idx: usize| spans.iter().any(|&(s, e)| idx >= s && idx < e);
+    for pattern in patterns {
+        for at in 0..tokens.len() {
+            if !texts_match(tokens, at, pattern) {
+                continue;
+            }
+            // Boundary: `my::std::net` is not `std::net`. Patterns that
+            // deliberately start mid-path (e.g. `Instant::now`) still
+            // match fully qualified uses via a companion absolute
+            // pattern in the same rule.
+            if at > 0 && tokens[at - 1].text == "::" {
+                continue;
+            }
+            if in_test(at) {
+                continue;
+            }
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: tokens[at].line,
+                rule: rule.id.clone(),
+                message: format!("forbidden path `{}`: {}", pattern.concat(), rule.reason),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- no-unwrap
+
+/// Token index ranges covered by `#[cfg(test)]` / `#[test]` items
+/// (attribute through the end of the following brace block or statement).
+fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text != "#" || tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute tokens up to the matching `]`.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut attr = Vec::new();
+        while j < tokens.len() && depth > 0 {
+            match tokens[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                _ => {}
+            }
+            if depth > 0 {
+                attr.push(tokens[j].text.as_str());
+            }
+            j += 1;
+        }
+        let is_test_attr = matches!(attr.first().copied(), Some("test"))
+            || (matches!(attr.first().copied(), Some("cfg")) && attr.contains(&"test"));
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes, then cover the item: through the
+        // matching `}` of its first brace block, or to a `;` for
+        // brace-less items.
+        let mut k = j;
+        loop {
+            match tokens.get(k).map(|t| t.text.as_str()) {
+                Some("#") if tokens.get(k + 1).map(|t| t.text.as_str()) == Some("[") => {
+                    let mut d = 1usize;
+                    k += 2;
+                    while k < tokens.len() && d > 0 {
+                        match tokens[k].text.as_str() {
+                            "[" => d += 1,
+                            "]" => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                Some(";") => {
+                    spans.push((i, k));
+                    break;
+                }
+                Some("{") => {
+                    let mut d = 1usize;
+                    k += 1;
+                    while k < tokens.len() && d > 0 {
+                        match tokens[k].text.as_str() {
+                            "{" => d += 1,
+                            "}" => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    spans.push((i, k));
+                    break;
+                }
+                Some(_) => k += 1,
+                None => {
+                    spans.push((i, tokens.len()));
+                    break;
+                }
+            }
+        }
+        i = j;
+    }
+    spans
+}
+
+fn no_unwrap(
+    rule: &Rule,
+    rel_path: &str,
+    tokens: &[Token],
+    methods: &[String],
+    out: &mut Vec<Finding>,
+) {
+    let spans = test_spans(tokens);
+    let in_test = |idx: usize| spans.iter().any(|&(s, e)| idx >= s && idx < e);
+    for at in 0..tokens.len() {
+        if tokens[at].text != "." {
+            continue;
+        }
+        let Some(method) = tokens.get(at + 1) else {
+            continue;
+        };
+        if !methods.contains(&method.text) {
+            continue;
+        }
+        if tokens.get(at + 2).map(|t| t.text.as_str()) != Some("(") {
+            continue;
+        }
+        if in_test(at) {
+            continue;
+        }
+        out.push(Finding {
+            file: rel_path.to_string(),
+            line: method.line,
+            rule: rule.id.clone(),
+            message: format!(".{}() outside test code: {}", method.text, rule.reason),
+        });
+    }
+}
+
+// --------------------------------------------------------------- crate-attr
+
+fn crate_attr(
+    rule: &Rule,
+    rel_path: &str,
+    tokens: &[Token],
+    attr_tokens: &[String],
+    attr_text: &str,
+    out: &mut Vec<Finding>,
+) {
+    // Expected shape: `#` `!` `[` <attr tokens> `]`.
+    let mut expected: Vec<String> = vec!["#".into(), "!".into(), "[".into()];
+    expected.extend(attr_tokens.iter().cloned());
+    expected.push("]".into());
+    let found = (0..tokens.len()).any(|at| texts_match(tokens, at, &expected));
+    if !found {
+        out.push(Finding {
+            file: rel_path.to_string(),
+            line: 1,
+            rule: rule.id.clone(),
+            message: format!("missing `#![{attr_text}]`: {}", rule.reason),
+        });
+    }
+}
+
+// --------------------------------------------------------------- lock-order
+
+const LOCK_OPS: [&str; 4] = ["lock", "read", "write", "try_lock"];
+
+#[derive(Debug)]
+struct LiveGuard {
+    receiver: String,
+    var: Option<String>,
+    depth: i32,
+}
+
+/// Heuristic lock-order tracking: a guard is born at
+/// `<recv> . <lock-op> (`, named by the `let` binding that starts the
+/// statement (if any), and dies when its block closes, its variable is
+/// `drop`ped, or — for unbound temporaries — at the end of the statement.
+/// A violation is acquiring `first` while a guard on `then` is live:
+/// declared order is `first` before `then`, so the reverse nesting is the
+/// one that can deadlock against a path running in the declared order.
+fn lock_order(
+    rule: &Rule,
+    rel_path: &str,
+    tokens: &[Token],
+    first: &str,
+    then: &str,
+    out: &mut Vec<Finding>,
+) {
+    let mut depth: i32 = 0;
+    let mut live: Vec<LiveGuard> = Vec::new();
+    let mut stmt_start = 0usize;
+    for at in 0..tokens.len() {
+        match tokens[at].text.as_str() {
+            "{" => {
+                depth += 1;
+                stmt_start = at + 1;
+            }
+            "}" => {
+                depth -= 1;
+                live.retain(|g| g.depth <= depth);
+                stmt_start = at + 1;
+            }
+            ";" => {
+                // Unbound temporaries die with their statement.
+                live.retain(|g| g.var.is_some() || g.depth < depth);
+                stmt_start = at + 1;
+            }
+            "drop"
+                if tokens.get(at + 1).map(|t| t.text.as_str()) == Some("(")
+                    && tokens.get(at + 3).map(|t| t.text.as_str()) == Some(")") =>
+            {
+                if let Some(var) = tokens.get(at + 2) {
+                    live.retain(|g| g.var.as_deref() != Some(var.text.as_str()));
+                }
+            }
+            op if LOCK_OPS.contains(&op)
+                && at >= 2
+                && tokens[at - 1].text == "."
+                && tokens.get(at + 1).map(|t| t.text.as_str()) == Some("(") =>
+            {
+                let receiver = tokens[at - 2].text.clone();
+                if receiver == first && live.iter().any(|g| g.receiver == then) {
+                    out.push(Finding {
+                        file: rel_path.to_string(),
+                        line: tokens[at].line,
+                        rule: rule.id.clone(),
+                        message: format!(
+                            "`{first}` acquired while holding `{then}` \
+                             (declared order: {first} before {then}): {}",
+                            rule.reason
+                        ),
+                    });
+                }
+                if receiver == first || receiver == then {
+                    live.push(LiveGuard {
+                        receiver,
+                        var: binding_name(&tokens[stmt_start..at]),
+                        depth,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The variable a statement binds to the lock guard: last plain
+/// identifier between `let` and `=` (handles `let mut x`). `None` for
+/// statements that don't bind, and for lock calls nested inside another
+/// call (`let p = take(&mut *x.lock())` — any `(` between `=` and the
+/// lock op means the guard is a temporary, not what `let` binds).
+fn binding_name(stmt: &[Token]) -> Option<String> {
+    let let_at = stmt.iter().position(|t| t.text == "let")?;
+    let eq_at = stmt.iter().position(|t| t.text == "=")?;
+    if eq_at <= let_at {
+        return None;
+    }
+    if stmt[eq_at + 1..].iter().any(|t| t.text == "(") {
+        return None;
+    }
+    stmt[let_at + 1..eq_at]
+        .iter()
+        .rev()
+        .find(|t| {
+            t.text != "mut"
+                && t.text
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+        })
+        .map(|t| t.text.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::parse_rules;
+
+    fn findings(rules_src: &str, code: &str) -> Vec<(u32, String)> {
+        let rules = parse_rules(rules_src).unwrap();
+        let lexed = lex(code);
+        let mut out = Vec::new();
+        for rule in &rules {
+            run_rule(rule, "f.rs", &lexed, &mut out);
+        }
+        out.into_iter().map(|f| (f.line, f.rule)).collect()
+    }
+
+    const NET: &str = r#"
+[[rule]]
+id = "no-std-net"
+kind = "forbidden-path"
+patterns = ["std::net"]
+reason = "r"
+paths = ["**"]
+"#;
+
+    #[test]
+    fn forbidden_path_matches_code_not_prose() {
+        let got = findings(
+            NET,
+            "use std::net::TcpStream;\n// std::net in a comment\nlet s = \"std::net\";\nmy::std::net::x();",
+        );
+        assert_eq!(got, [(1, "no-std-net".to_string())]);
+    }
+
+    #[test]
+    fn forbidden_path_test_spans_depend_on_include_tests() {
+        let code = "\
+#[cfg(test)]
+mod tests {
+    fn t() { let s = std::net::TcpStream::connect(\"x\"); }
+}
+";
+        // Default: test items are excluded (timing tests may read clocks).
+        assert_eq!(findings(NET, code), []);
+        // Opt in: the ban reaches into tests too.
+        let strict = NET.replace("reason", "include-tests = true\nreason");
+        assert_eq!(findings(&strict, code), [(3, "no-std-net".to_string())]);
+    }
+
+    const UNWRAP: &str = r#"
+[[rule]]
+id = "no-unwrap"
+kind = "no-unwrap"
+reason = "r"
+paths = ["**"]
+"#;
+
+    #[test]
+    fn unwrap_flagged_outside_tests_only() {
+        let code = "\
+fn live() { x.unwrap(); y.expect(\"m\"); }
+#[cfg(test)]
+mod tests {
+    fn t() { z.unwrap(); }
+}
+#[test]
+fn one() { q.unwrap(); }
+fn live2() { r.unwrap(); }
+";
+        let got = findings(UNWRAP, code);
+        assert_eq!(
+            got,
+            [
+                (1, "no-unwrap".to_string()),
+                (1, "no-unwrap".to_string()),
+                (8, "no-unwrap".to_string()),
+            ]
+        );
+    }
+
+    const ATTR: &str = r#"
+[[rule]]
+id = "forbid-unsafe"
+kind = "crate-attr"
+attr = "forbid(unsafe_code)"
+reason = "r"
+paths = ["**"]
+"#;
+
+    #[test]
+    fn crate_attr_required() {
+        assert_eq!(findings(ATTR, "#![forbid(unsafe_code)]\nfn x() {}"), []);
+        assert_eq!(
+            findings(ATTR, "//! docs only\nfn x() {}"),
+            [(1, "forbid-unsafe".to_string())]
+        );
+    }
+
+    const ORDER: &str = r#"
+[[rule]]
+id = "lock-order"
+kind = "lock-order"
+first = "cache"
+then = "touches"
+reason = "r"
+paths = ["**"]
+"#;
+
+    #[test]
+    fn lock_order_violation_and_clean_patterns() {
+        // Correct order: cache then touches.
+        let ok = "\
+fn insert(&self) {
+    let mut guard = shard.cache.write();
+    let pending = std::mem::take(&mut *shard.touches.lock());
+    drop(guard);
+}
+fn lookup(&self) {
+    let guard = shard.cache.read();
+    if let Some(mut queue) = shard.touches.try_lock() {
+        queue.push(1);
+    }
+}
+";
+        assert_eq!(findings(ORDER, ok), []);
+        // Reversed: touches held while acquiring cache.
+        let bad = "\
+fn insert(&self) {
+    let pending = shard.touches.lock();
+    let mut guard = shard.cache.write();
+}
+";
+        assert_eq!(findings(ORDER, bad), [(3, "lock-order".to_string())]);
+        // Temporary touches guard dies at the semicolon: no violation.
+        let temp = "\
+fn insert(&self) {
+    let pending = std::mem::take(&mut *shard.touches.lock());
+    let mut guard = shard.cache.write();
+}
+";
+        assert_eq!(findings(ORDER, temp), []);
+        // drop() releases an explicit binding.
+        let dropped = "\
+fn insert(&self) {
+    let pending = shard.touches.lock();
+    drop(pending);
+    let mut guard = shard.cache.write();
+}
+";
+        assert_eq!(findings(ORDER, dropped), []);
+    }
+}

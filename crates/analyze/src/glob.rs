@@ -1,0 +1,97 @@
+//! Slash-separated glob matching for rule path scopes.
+//!
+//! Supported syntax, matched against `/`-separated relative paths:
+//! `**` as a whole segment matches any number of segments (including
+//! zero); `*` within a segment matches any run of non-separator
+//! characters. No character classes, no `?` — the rules files don't need
+//! them.
+
+/// Does `pattern` match the (relative, `/`-separated) `path`?
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    let pat: Vec<&str> = pattern.split('/').collect();
+    let segs: Vec<&str> = path.split('/').collect();
+    match_segments(&pat, &segs)
+}
+
+fn match_segments(pat: &[&str], segs: &[&str]) -> bool {
+    match pat.first() {
+        None => segs.is_empty(),
+        Some(&"**") => {
+            // `**` swallows zero or more leading segments.
+            (0..=segs.len()).any(|skip| match_segments(&pat[1..], &segs[skip..]))
+        }
+        Some(first) => match segs.first() {
+            Some(seg) if match_one(first, seg) => match_segments(&pat[1..], &segs[1..]),
+            _ => false,
+        },
+    }
+}
+
+/// Match one segment against a pattern that may contain `*`.
+fn match_one(pattern: &str, segment: &str) -> bool {
+    let parts: Vec<&str> = pattern.split('*').collect();
+    if parts.len() == 1 {
+        return pattern == segment;
+    }
+    let mut rest = segment;
+    for (i, part) in parts.iter().enumerate() {
+        if i == 0 {
+            let Some(r) = rest.strip_prefix(part) else {
+                return false;
+            };
+            rest = r;
+        } else if i == parts.len() - 1 {
+            return rest.ends_with(part)
+                // Leading `*` already consumed: the final literal must fit
+                // in what remains.
+                && rest.len() >= part.len();
+        } else if part.is_empty() {
+            continue;
+        } else {
+            let Some(at) = rest.find(part) else {
+                return false;
+            };
+            rest = &rest[at + part.len()..];
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_star_segments() {
+        assert!(glob_match(
+            "crates/cache/src/lib.rs",
+            "crates/cache/src/lib.rs"
+        ));
+        assert!(glob_match("crates/*/src/lib.rs", "crates/cache/src/lib.rs"));
+        assert!(!glob_match(
+            "crates/*/src/lib.rs",
+            "crates/cache/src/store.rs"
+        ));
+        assert!(glob_match("*.rs", "lib.rs"));
+        assert!(!glob_match("*.rs", "src/lib.rs"));
+    }
+
+    #[test]
+    fn double_star_spans_directories() {
+        assert!(glob_match("crates/**/*.rs", "crates/cache/src/sharded.rs"));
+        assert!(glob_match("crates/**/*.rs", "crates/lib.rs"));
+        assert!(glob_match("**/*.rs", "lib.rs"));
+        assert!(glob_match(
+            "crates/core/src/**",
+            "crates/core/src/engine/flight.rs"
+        ));
+        assert!(!glob_match("crates/core/src/**", "crates/cache/src/lib.rs"));
+    }
+
+    #[test]
+    fn infix_stars() {
+        assert!(glob_match("net_*_bad.rs", "net_import_bad.rs"));
+        assert!(!glob_match("net_*_bad.rs", "net_import_good.rs"));
+        assert!(glob_match("*_bad*.rs", "lock_bad_2.rs"));
+    }
+}

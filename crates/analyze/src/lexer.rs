@@ -1,0 +1,303 @@
+//! A minimal Rust lexer: just enough to separate code tokens from
+//! comments and string/char literals, with line numbers.
+//!
+//! The lint rules match *token* sequences, so `std::net` inside a string,
+//! a doc comment, or `// prose` never trips a rule, while any real code
+//! occurrence does regardless of spacing or line breaks. Comments are
+//! retained (with their line) because the `// lint: allow(...)` escape
+//! hatch and the fixtures' `// LINT-EXPECT:` markers live in them.
+
+/// One code token: its text and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token text. Multi-character only for identifiers, numbers, `::`,
+    /// and literals (literals keep their quotes, contents replaced by
+    /// nothing — only their presence matters to the rules).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A comment with its 1-based starting line (text excludes the `//` /
+/// `/*` markers; block comments keep embedded newlines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment body.
+    pub text: String,
+    /// 1-based source line of the comment start.
+    pub line: u32,
+}
+
+/// Lexer output: code tokens plus comments, both line-annotated.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `source`. Never fails: unterminated constructs consume to EOF,
+/// matching how a partially edited file should still lint best-effort.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push_token(&mut self, text: String, line: u32) {
+        self.out.tokens.push(Token { text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek() {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(line),
+                'r' | 'b' if self.raw_or_byte_string(line) => {}
+                '\'' => self.char_or_lifetime(line),
+                ':' if self.peek_at(1) == Some(':') => {
+                    self.bump();
+                    self.bump();
+                    self.push_token("::".into(), line);
+                }
+                c if c.is_alphanumeric() || c == '_' => self.word(line),
+                _ => {
+                    let c = self.bump().expect("peeked");
+                    self.push_token(c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump(); // `//`
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(self.bump().expect("peeked"));
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump(); // `/*`
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '/' && self.peek_at(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek_at(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(self.bump().expect("peeked"));
+            }
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn string_literal(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push_token("\"\"".into(), line);
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `rb"…"`; returns false
+    /// (consuming nothing) when the `r`/`b` starts a plain identifier.
+    fn raw_or_byte_string(&mut self, line: u32) -> bool {
+        let first = self.peek().expect("peeked");
+        let mut prefix = vec![first];
+        if let Some(second) = self.peek_at(1) {
+            if (second == 'r' || second == 'b') && second != first {
+                prefix.push(second);
+            }
+        }
+        let ahead = prefix.len();
+        let mut hashes = 0usize;
+        while self.peek_at(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek_at(ahead + hashes) != Some('"') {
+            return false;
+        }
+        let raw = prefix.contains(&'r');
+        for _ in 0..ahead + hashes + 1 {
+            self.bump();
+        }
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' if !raw => {
+                    self.bump();
+                }
+                '"' => {
+                    let mut close = 0usize;
+                    while close < hashes && self.peek() == Some('#') {
+                        self.bump();
+                        close += 1;
+                    }
+                    if close == hashes {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.push_token("\"\"".into(), line);
+        true
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // `'a'` / `'\n'` are char literals; `'a` (no closing quote right
+        // after) is a lifetime. Lifetimes lex as a `'` token plus a word.
+        let is_char = matches!(
+            (self.peek_at(1), self.peek_at(2)),
+            (Some('\\'), _) | (Some(_), Some('\''))
+        );
+        if !is_char {
+            self.bump();
+            self.push_token("'".into(), line);
+            return;
+        }
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push_token("''".into(), line);
+    }
+
+    fn word(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(self.bump().expect("peeked"));
+            } else {
+                break;
+            }
+        }
+        self.push_token(text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn paths_lex_as_words_and_double_colons() {
+        assert_eq!(
+            texts("use std::net::TcpStream;"),
+            ["use", "std", "::", "net", "::", "TcpStream", ";"]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_produce_path_tokens() {
+        let lexed = lex("let s = \"std::net\"; // std::net here too\n/* and std::net */");
+        let t: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(t, ["let", "s", "=", "\"\"", ";"]);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_single_tokens() {
+        assert_eq!(texts("r#\"has \" quote\"# x"), ["\"\"", "x"]);
+        assert_eq!(texts("br#\"bytes\"# y"), ["\"\"", "y"]);
+        assert_eq!(texts("b\"bytes\" z"), ["\"\"", "z"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        assert_eq!(texts("&'a str"), ["&", "'", "a", "str"]);
+        assert_eq!(texts("'x' y"), ["''", "y"]);
+        assert_eq!(texts("'\\n' z"), ["''", "z"]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let lexed = lex("/* outer /* inner */ still */ code");
+        let t: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(t, ["code"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<_> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn identifier_starting_with_r_or_b_is_a_word() {
+        assert_eq!(texts("rate b1 r2d2"), ["rate", "b1", "r2d2"]);
+    }
+}

@@ -1,0 +1,285 @@
+//! `coic-analyze`: the in-tree static analysis pass that enforces the
+//! workspace's sans-IO and concurrency invariants.
+//!
+//! The architecture keeps every decision — scheduling, caching,
+//! admission — inside pure, deterministic crates and pushes I/O and real
+//! time to the edges (`netrun`, `cli`). Nothing in the language enforces
+//! that split, so this crate does: it lexes every `.rs` file in the
+//! workspace (no rustc, no external deps) and matches token-level rules
+//! from a checked-in `analyze/rules.toml`:
+//!
+//! * `forbidden-path` — e.g. `std::net` or `Instant::now` in sans-IO
+//!   crates;
+//! * `no-unwrap` — `.unwrap()` / `.expect()` outside `#[cfg(test)]`;
+//! * `crate-attr` — required inner attributes such as
+//!   `#![forbid(unsafe_code)]`;
+//! * `lock-order` — two locks may only ever be taken in their declared
+//!   order.
+//!
+//! Violations report file, line, rule id, and reason. A finding can be
+//! suppressed in place with a justified escape hatch on the same line or
+//! the line above:
+//!
+//! ```text
+//! // lint: allow(no-wall-clock, the wall-clock adapter is the one place real time enters)
+//! ```
+//!
+//! A malformed or reason-less directive is itself a finding
+//! (`malformed-allow-directive`) — silent rot of suppressions is worse
+//! than noise.
+
+#![forbid(unsafe_code)]
+
+mod checks;
+mod glob;
+mod lexer;
+mod rules;
+mod toml;
+
+pub use rules::{parse_rules, Rule, RuleKind};
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative, `/`-separated path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The rule id (citable in `// lint: allow(id, reason)`).
+    pub rule: String,
+    /// What went wrong and why the rule exists.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Rule id attached to broken `lint: allow` comments.
+pub const MALFORMED_ALLOW: &str = "malformed-allow-directive";
+
+/// A parsed `// lint: allow(rule-id, reason)` directive.
+struct AllowDirective {
+    rule: String,
+    line: u32,
+}
+
+/// Extract allow directives from comments; malformed ones (missing id,
+/// missing reason, bad syntax) become findings instead of suppressions.
+fn parse_allows(
+    rel_path: &str,
+    comments: &[lexer::Comment],
+    out: &mut Vec<Finding>,
+) -> Vec<AllowDirective> {
+    let mut allows = Vec::new();
+    for comment in comments {
+        let text = comment.text.trim();
+        let Some(rest) = text.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let body = rest
+            .strip_prefix("allow")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('('))
+            .and_then(|r| r.strip_suffix(')'));
+        let parsed = body
+            .and_then(|b| b.split_once(','))
+            .and_then(|(id, reason)| {
+                let id = id.trim();
+                let reason = reason.trim();
+                let id_ok = !id.is_empty()
+                    && id
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+                (id_ok && !reason.is_empty()).then(|| (id.to_string(), reason))
+            });
+        match parsed {
+            Some((rule, _reason)) => allows.push(AllowDirective {
+                rule,
+                line: comment.line,
+            }),
+            None => out.push(Finding {
+                file: rel_path.to_string(),
+                line: comment.line,
+                rule: MALFORMED_ALLOW.to_string(),
+                message: format!(
+                    "expected `lint: allow(rule-id, reason)`, got `lint:{rest}` \
+                     (a reason is required)",
+                    rest = if rest.is_empty() { "" } else { " " }.to_string() + rest,
+                ),
+            }),
+        }
+    }
+    allows
+}
+
+/// Does an allow directive cover a finding? Same line, or the line
+/// directly above (a comment on its own line).
+fn allowed(finding: &Finding, allows: &[AllowDirective]) -> bool {
+    allows
+        .iter()
+        .any(|a| a.rule == finding.rule && (a.line == finding.line || a.line + 1 == finding.line))
+}
+
+/// Lint one file's source text against `rules`. `rel_path` is the
+/// workspace-relative path used both for rule scoping and in findings.
+pub fn lint_source(rel_path: &str, source: &str, rules: &[Rule]) -> Vec<Finding> {
+    let lexed = lexer::lex(source);
+    let mut out = Vec::new();
+    let allows = parse_allows(rel_path, &lexed.comments, &mut out);
+    let mut raw = Vec::new();
+    for rule in rules.iter().filter(|r| r.applies_to(rel_path)) {
+        checks::run_rule(rule, rel_path, &lexed, &mut raw);
+    }
+    out.extend(raw.into_iter().filter(|f| !allowed(f, &allows)));
+    out.sort();
+    out
+}
+
+/// Recursively collect `.rs` files under `root`, skipping build output
+/// and VCS internals. Paths come back workspace-relative, `/`-separated,
+/// sorted — the scan order never depends on directory enumeration order.
+pub fn collect_rust_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    // `fixtures` trees hold deliberately-violating lint test inputs.
+    const SKIP_DIRS: [&str; 4] = ["target", ".git", "node_modules", "fixtures"];
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Workspace-relative `/`-separated form of `path` under `root`.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lint every `.rs` file under `root` against the rules file at
+/// `rules_path`. Findings are sorted (file, line, rule).
+pub fn lint_root(root: &Path, rules_path: &Path) -> Result<Vec<Finding>, String> {
+    let rules_src = std::fs::read_to_string(rules_path)
+        .map_err(|e| format!("{}: {e}", rules_path.display()))?;
+    let rules = parse_rules(&rules_src).map_err(|e| format!("{}: {e}", rules_path.display()))?;
+    let mut findings = Vec::new();
+    for path in collect_rust_files(root)? {
+        let source =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        findings.extend(lint_source(&relative(root, &path), &source, &rules));
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+/// Entry point shared by the standalone binary and the `coic lint`
+/// subcommand: lint, print findings to `out`, return whether the tree is
+/// clean.
+pub fn run_lint(root: &Path, rules_path: &Path, out: &mut dyn fmt::Write) -> Result<bool, String> {
+    let findings = lint_root(root, rules_path)?;
+    for finding in &findings {
+        writeln!(out, "{finding}").map_err(|e| e.to_string())?;
+    }
+    if findings.is_empty() {
+        writeln!(out, "lint clean").map_err(|e| e.to_string())?;
+    } else {
+        writeln!(out, "{} finding(s)", findings.len()).map_err(|e| e.to_string())?;
+    }
+    Ok(findings.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &str = r#"
+[[rule]]
+id = "no-std-net"
+kind = "forbidden-path"
+patterns = ["std::net"]
+reason = "sans-IO"
+paths = ["src/**"]
+exempt = ["src/io/**"]
+"#;
+
+    #[test]
+    fn scoping_and_suppression() {
+        let rules = parse_rules(RULES).unwrap();
+        let code = "use std::net::TcpStream;\n";
+        assert_eq!(lint_source("src/core.rs", code, &rules).len(), 1);
+        // Exempt path: no finding.
+        assert_eq!(lint_source("src/io/listener.rs", code, &rules), []);
+        // Out of scope entirely.
+        assert_eq!(lint_source("tests/net.rs", code, &rules), []);
+        // Same-line allow.
+        let same = "use std::net::TcpStream; // lint: allow(no-std-net, test fixture)\n";
+        assert_eq!(lint_source("src/core.rs", same, &rules), []);
+        // Line-above allow.
+        let above = "// lint: allow(no-std-net, test fixture)\nuse std::net::TcpStream;\n";
+        assert_eq!(lint_source("src/core.rs", above, &rules), []);
+        // Wrong rule id does not suppress.
+        let wrong = "// lint: allow(other-rule, nope)\nuse std::net::TcpStream;\n";
+        assert_eq!(lint_source("src/core.rs", wrong, &rules).len(), 1);
+        // Two lines above does not suppress.
+        let far = "// lint: allow(no-std-net, too far)\n\nuse std::net::TcpStream;\n";
+        assert_eq!(lint_source("src/core.rs", far, &rules).len(), 1);
+    }
+
+    #[test]
+    fn malformed_allow_is_a_finding() {
+        let rules = parse_rules(RULES).unwrap();
+        for bad in [
+            "// lint: allow(no-std-net)\n",      // no reason
+            "// lint: allow()\n",                // nothing
+            "// lint: allow no-std-net, x\n",    // no parens
+            "// lint: allow(bad id!, reason)\n", // bad id chars
+        ] {
+            let got = lint_source("src/core.rs", bad, &rules);
+            assert_eq!(got.len(), 1, "{bad:?} -> {got:?}");
+            assert_eq!(got[0].rule, MALFORMED_ALLOW, "{bad:?}");
+        }
+        // Ordinary comments mentioning lint are left alone.
+        assert_eq!(
+            lint_source("src/core.rs", "// the lint pass checks this\n", &rules),
+            []
+        );
+    }
+
+    #[test]
+    fn findings_are_sorted_and_printable() {
+        let rules = parse_rules(RULES).unwrap();
+        let code = "fn b() { std::net::x(); }\nfn a() { std::net::y(); }\n";
+        let got = lint_source("src/core.rs", code, &rules);
+        assert_eq!(got.len(), 2);
+        assert!(got[0].line < got[1].line);
+        let shown = got[0].to_string();
+        assert!(shown.starts_with("src/core.rs:1: [no-std-net]"), "{shown}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Standalone lint driver. Usage:
+//!
+//! ```text
+//! coic-analyze [--root DIR] [--rules FILE]
+//! ```
+//!
+//! Defaults: `--root .`, `--rules <root>/analyze/rules.toml`. Exits 0 on
+//! a clean tree, 1 on findings, 2 on usage/config errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut rules: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--rules" => match args.next() {
+                Some(v) => rules = Some(PathBuf::from(v)),
+                None => return usage("--rules needs a value"),
+            },
+            "--help" | "-h" => {
+                println!("usage: coic-analyze [--root DIR] [--rules FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let rules = rules.unwrap_or_else(|| root.join("analyze").join("rules.toml"));
+    let mut report = String::new();
+    match coic_analyze::run_lint(&root, &rules, &mut report) {
+        Ok(clean) => {
+            print!("{report}");
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("coic-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("coic-analyze: {problem}\nusage: coic-analyze [--root DIR] [--rules FILE]");
+    ExitCode::from(2)
+}

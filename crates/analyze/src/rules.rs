@@ -1,0 +1,272 @@
+//! Rule configuration: the checked-in `rules.toml` schema.
+//!
+//! ```toml
+//! version = 1
+//!
+//! [[rule]]
+//! id = "no-std-net"              # cited in findings and allow() comments
+//! kind = "forbidden-path"        # see RuleKind
+//! patterns = ["std::net"]        # token sequences (forbidden-path)
+//! reason = "sans-IO: ..."        # human explanation shown per finding
+//! paths = ["crates/*/src/**"]    # globs the rule applies to
+//! exempt = ["crates/cli/**"]     # globs carved out again
+//! ```
+//!
+//! Kinds and their extra keys:
+//! * `forbidden-path` — `patterns`: token sequences that must not appear.
+//! * `no-unwrap` — `methods` (optional, default `["unwrap", "expect"]`):
+//!   method calls banned outside `#[cfg(test)]` / `#[test]` items.
+//! * `crate-attr` — `attr`: an inner attribute (e.g. `forbid(unsafe_code)`)
+//!   every matched file must carry.
+//! * `lock-order` — `first`/`then`: receiver fields that must always be
+//!   acquired in that order when both locks are held.
+
+use crate::lexer;
+use crate::toml::{self, Table};
+
+/// What a rule checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleKind {
+    /// Token sequences that must not appear in code.
+    ForbiddenPath {
+        /// Each pattern, pre-lexed into its token texts.
+        patterns: Vec<Vec<String>>,
+        /// Whether matches inside `#[cfg(test)]` / `#[test]` items count.
+        /// Defaults to false: timing tests may read real clocks, but e.g.
+        /// socket bans set it to true — tests of sans-IO crates must stay
+        /// sans-IO as well.
+        include_tests: bool,
+    },
+    /// `.unwrap()` / `.expect()` (configurable) outside test code.
+    NoUnwrap {
+        /// Banned method names.
+        methods: Vec<String>,
+    },
+    /// A required inner attribute, e.g. `forbid(unsafe_code)`.
+    CrateAttr {
+        /// The attribute body, pre-lexed into token texts.
+        attr_tokens: Vec<String>,
+        /// Human-readable form for messages.
+        attr_text: String,
+    },
+    /// Lock-acquisition order between two receiver fields.
+    LockOrder {
+        /// The receiver that must be acquired first.
+        first: String,
+        /// The receiver that may only be acquired while `first`-held or
+        /// alone — never the other way around.
+        then: String,
+    },
+}
+
+/// One configured rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Identifier cited in findings and `// lint: allow(id, why)`.
+    pub id: String,
+    /// Human explanation attached to findings.
+    pub reason: String,
+    /// Globs selecting the files this rule applies to.
+    pub paths: Vec<String>,
+    /// Globs carved back out of `paths`.
+    pub exempt: Vec<String>,
+    /// The check itself.
+    pub kind: RuleKind,
+}
+
+impl Rule {
+    /// Does this rule apply to `rel_path`?
+    pub fn applies_to(&self, rel_path: &str) -> bool {
+        self.paths
+            .iter()
+            .any(|p| crate::glob::glob_match(p, rel_path))
+            && !self
+                .exempt
+                .iter()
+                .any(|p| crate::glob::glob_match(p, rel_path))
+    }
+}
+
+/// Parse a rules file. Unknown kinds, missing ids, and schema errors all
+/// fail parsing — a broken config must not silently lint nothing.
+pub fn parse_rules(source: &str) -> Result<Vec<Rule>, String> {
+    let doc = toml::parse(source)?;
+    let tables = doc.tables.get("rule").map(Vec::as_slice).unwrap_or(&[]);
+    if tables.is_empty() {
+        return Err("rules file defines no [[rule]] tables".into());
+    }
+    let mut rules = Vec::new();
+    for (i, table) in tables.iter().enumerate() {
+        rules.push(parse_rule(table).map_err(|e| format!("[[rule]] #{}: {e}", i + 1))?);
+    }
+    let mut ids: Vec<&str> = rules.iter().map(|r| r.id.as_str()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.len() != rules.len() {
+        return Err("duplicate rule ids".into());
+    }
+    Ok(rules)
+}
+
+fn get_str(table: &Table, key: &str) -> Result<String, String> {
+    table
+        .get(key)
+        .ok_or_else(|| format!("missing key `{key}`"))?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("key `{key}` must be a string"))
+}
+
+fn get_str_array(table: &Table, key: &str) -> Result<Vec<String>, String> {
+    table
+        .get(key)
+        .ok_or_else(|| format!("missing key `{key}`"))?
+        .as_str_array()
+        .map(<[String]>::to_vec)
+        .ok_or_else(|| format!("key `{key}` must be an array of strings"))
+}
+
+fn opt_str_array(table: &Table, key: &str) -> Result<Vec<String>, String> {
+    match table.get(key) {
+        None => Ok(Vec::new()),
+        Some(v) => v
+            .as_str_array()
+            .map(<[String]>::to_vec)
+            .ok_or_else(|| format!("key `{key}` must be an array of strings")),
+    }
+}
+
+/// Lex a pattern/attribute string into its token texts.
+fn lex_tokens(text: &str) -> Result<Vec<String>, String> {
+    let lexed = lexer::lex(text);
+    if lexed.tokens.is_empty() {
+        return Err(format!("`{text}` contains no tokens"));
+    }
+    Ok(lexed.tokens.into_iter().map(|t| t.text).collect())
+}
+
+fn parse_rule(table: &Table) -> Result<Rule, String> {
+    let id = get_str(table, "id")?;
+    let reason = get_str(table, "reason")?;
+    let paths = get_str_array(table, "paths")?;
+    let exempt = opt_str_array(table, "exempt")?;
+    let kind = match get_str(table, "kind")?.as_str() {
+        "forbidden-path" => {
+            let patterns = get_str_array(table, "patterns")?
+                .iter()
+                .map(|p| lex_tokens(p))
+                .collect::<Result<Vec<_>, _>>()?;
+            let include_tests = match table.get("include-tests") {
+                None => false,
+                Some(toml::Value::Bool(b)) => *b,
+                Some(_) => return Err("key `include-tests` must be a boolean".into()),
+            };
+            RuleKind::ForbiddenPath {
+                patterns,
+                include_tests,
+            }
+        }
+        "no-unwrap" => {
+            let methods = if table.get("methods").is_some() {
+                get_str_array(table, "methods")?
+            } else {
+                vec!["unwrap".into(), "expect".into()]
+            };
+            RuleKind::NoUnwrap { methods }
+        }
+        "crate-attr" => {
+            let attr_text = get_str(table, "attr")?;
+            RuleKind::CrateAttr {
+                attr_tokens: lex_tokens(&attr_text)?,
+                attr_text,
+            }
+        }
+        "lock-order" => RuleKind::LockOrder {
+            first: get_str(table, "first")?,
+            then: get_str(table, "then")?,
+        },
+        other => return Err(format!("unknown rule kind `{other}`")),
+    };
+    Ok(Rule {
+        id,
+        reason,
+        paths,
+        exempt,
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind() {
+        let rules = parse_rules(
+            r#"
+[[rule]]
+id = "a"
+kind = "forbidden-path"
+patterns = ["std::net", "Instant::now"]
+reason = "r"
+paths = ["**"]
+
+[[rule]]
+id = "b"
+kind = "no-unwrap"
+reason = "r"
+paths = ["src/**"]
+exempt = ["src/gen/**"]
+
+[[rule]]
+id = "c"
+kind = "crate-attr"
+attr = "forbid(unsafe_code)"
+reason = "r"
+paths = ["*/src/lib.rs"]
+
+[[rule]]
+id = "d"
+kind = "lock-order"
+first = "cache"
+then = "touches"
+reason = "r"
+paths = ["**"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 4);
+        assert_eq!(
+            rules[0].kind,
+            RuleKind::ForbiddenPath {
+                patterns: vec![
+                    vec!["std".into(), "::".into(), "net".into()],
+                    vec!["Instant".into(), "::".into(), "now".into()],
+                ],
+                include_tests: false,
+            }
+        );
+        assert!(rules[1].applies_to("src/a.rs"));
+        assert!(!rules[1].applies_to("src/gen/a.rs"));
+        assert!(
+            matches!(&rules[2].kind, RuleKind::CrateAttr { attr_tokens, .. }
+            if attr_tokens == &["forbid", "(", "unsafe_code", ")"])
+        );
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(parse_rules("").is_err());
+        let err = parse_rules(
+            "[[rule]]\nid = \"x\"\nkind = \"mystery\"\nreason = \"r\"\npaths = [\"**\"]",
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown rule kind"), "{err}");
+        let err = parse_rules(
+            "[[rule]]\nid = \"x\"\nkind = \"no-unwrap\"\nreason = \"r\"\npaths = [\"**\"]\n\
+             [[rule]]\nid = \"x\"\nkind = \"no-unwrap\"\nreason = \"r\"\npaths = [\"**\"]",
+        )
+        .unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+}

@@ -1,0 +1,261 @@
+//! A dependency-free parser for the TOML subset the rules files use:
+//! `[table]` headers, `[[array-of-tables]]` headers, `key = value` pairs
+//! where values are strings, arrays of strings (single- or multi-line),
+//! integers, or booleans, and `#` comments. Unsupported syntax is a parse error, not a silent
+//! skip — a typo in `rules.toml` must fail the lint run loudly.
+
+use std::collections::BTreeMap;
+
+/// A parsed value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An array of quoted strings.
+    StrArray(Vec<String>),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string-array payload, if this is one.
+    pub fn as_str_array(&self) -> Option<&[String]> {
+        match self {
+            Value::StrArray(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One table: ordered key/value pairs (BTreeMap: deterministic iteration).
+pub type Table = BTreeMap<String, Value>;
+
+/// Parse result: top-level keys plus named arrays of tables. Plain
+/// `[name]` tables are treated as arrays of length one, which is all the
+/// rules format needs.
+#[derive(Debug, Default)]
+pub struct Document {
+    /// Keys defined before any table header.
+    pub root: Table,
+    /// Tables by header name, in file order per name.
+    pub tables: BTreeMap<String, Vec<Table>>,
+}
+
+/// Parse `source`; errors carry the 1-based line number.
+pub fn parse(source: &str) -> Result<Document, String> {
+    let mut doc = Document::default();
+    let mut current: Option<String> = None;
+    for (lineno, line) in logical_lines(source) {
+        if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            let name = header.trim().to_string();
+            doc.tables
+                .entry(name.clone())
+                .or_default()
+                .push(Table::new());
+            current = Some(name);
+        } else if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let name = header.trim().to_string();
+            doc.tables
+                .entry(name.clone())
+                .or_default()
+                .push(Table::new());
+            current = Some(name);
+        } else {
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+            let key = key.trim().to_string();
+            let value = parse_value(value.trim()).map_err(|e| format!("line {lineno}: {e}"))?;
+            let table = match &current {
+                None => &mut doc.root,
+                Some(name) => doc
+                    .tables
+                    .get_mut(name)
+                    .and_then(|v| v.last_mut())
+                    .expect("header created a table"),
+            };
+            if table.insert(key.clone(), value).is_some() {
+                return Err(format!("line {lineno}: duplicate key `{key}`"));
+            }
+        }
+    }
+    Ok(doc)
+}
+
+/// Comment-stripped, trimmed, non-empty lines with their 1-based line
+/// numbers; a `key = [` whose array closes on a later line is joined
+/// into one logical line (numbered where it started).
+fn logical_lines(source: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut open_arrays = 0usize;
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let continuing = open_arrays > 0;
+        let mut in_string = false;
+        for c in line.chars() {
+            match c {
+                '"' => in_string = !in_string,
+                '[' if !in_string => open_arrays += 1,
+                ']' if !in_string => open_arrays = open_arrays.saturating_sub(1),
+                _ => {}
+            }
+        }
+        if continuing {
+            let (_, last) = out.last_mut().expect("continuation follows a start line");
+            last.push(' ');
+            last.push_str(line);
+        } else {
+            out.push((idx + 1, line.to_string()));
+        }
+    }
+    out
+}
+
+/// Strip a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let body = body.strip_suffix(']').ok_or("unterminated array")?;
+        let mut items = Vec::new();
+        for part in split_array(body)? {
+            match parse_value(&part)? {
+                Value::Str(s) => items.push(s),
+                _ => return Err("arrays may only contain strings".into()),
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if let Some(body) = text.strip_prefix('"') {
+        let body = body.strip_suffix('"').ok_or("unterminated string")?;
+        if body.contains('\\') {
+            return Err("string escapes are not supported".into());
+        }
+        return Ok(Value::Str(body.to_string()));
+    }
+    text.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("unsupported value `{text}`"))
+}
+
+/// Split an array body on commas outside quotes; trailing comma allowed.
+fn split_array(body: &str) -> Result<Vec<String>, String> {
+    let mut items = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_string = !in_string;
+                current.push(c);
+            }
+            ',' if !in_string => {
+                if !current.trim().is_empty() {
+                    items.push(current.trim().to_string());
+                }
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    if in_string {
+        return Err("unterminated string in array".into());
+    }
+    if !current.trim().is_empty() {
+        items.push(current.trim().to_string());
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rules_shape() {
+        let doc = parse(
+            r#"
+version = 1 # a comment
+[[rule]]
+id = "no-std-net"
+patterns = ["std::net", "TcpListener"]
+paths = ["crates/**"]
+[[rule]]
+id = "other"
+enabled = false
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.root.get("version"), Some(&Value::Int(1)));
+        let rules = &doc.tables["rule"];
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].get("id").unwrap().as_str(), Some("no-std-net"));
+        assert_eq!(
+            rules[0].get("patterns").unwrap().as_str_array().unwrap(),
+            ["std::net", "TcpListener"]
+        );
+        assert_eq!(rules[1].get("enabled"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn multi_line_arrays_join() {
+        let doc = parse(
+            "[[rule]]\npaths = [\n  \"a/**\", # trailing comment\n  \"b/*.rs\",\n]\nnext = 1",
+        )
+        .unwrap();
+        let rule = &doc.tables["rule"][0];
+        assert_eq!(
+            rule.get("paths").unwrap().as_str_array().unwrap(),
+            ["a/**", "b/*.rs"]
+        );
+        assert_eq!(rule.get("next"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = parse("name = \"a#b\"").unwrap();
+        assert_eq!(doc.root.get("name").unwrap().as_str(), Some("a#b"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("ok = 1\nbroken").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse("x = [\"a\", 3]").unwrap_err();
+        assert!(err.contains("strings"), "{err}");
+        let err = parse("a = 1\na = 2").unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Lint self-tests over the checked-in fixtures: every `// LINT-EXPECT:
+//! rule-id` marker must produce exactly one finding with that rule id on
+//! that line, and nothing else may fire.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+/// (file, line, rule) triples declared by `LINT-EXPECT:` markers.
+/// Markers accept a comma-separated id list for lines with several
+/// expected findings.
+fn expected(root: &Path) -> BTreeSet<(String, u32, String)> {
+    let mut want = BTreeSet::new();
+    for path in coic_analyze::collect_rust_files(root).expect("walk fixtures") {
+        let rel = path
+            .strip_prefix(root)
+            .expect("under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&path).expect("read fixture");
+        for (idx, line) in source.lines().enumerate() {
+            let Some(at) = line.find("LINT-EXPECT:") else {
+                continue;
+            };
+            let rest = &line[at + "LINT-EXPECT:".len()..];
+            for id in rest.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                let inserted = want.insert((rel.clone(), idx as u32 + 1, id.to_string()));
+                assert!(inserted, "duplicate marker {id} at {rel}:{}", idx + 1);
+            }
+        }
+    }
+    want
+}
+
+#[test]
+fn fixture_findings_match_expect_markers_exactly() {
+    let root = fixtures_dir();
+    let findings = coic_analyze::lint_root(&root, &root.join("rules.toml")).expect("lint");
+    let got: BTreeSet<(String, u32, String)> = findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule.clone()))
+        .collect();
+    assert_eq!(
+        got.len(),
+        findings.len(),
+        "duplicate findings: {findings:#?}"
+    );
+    let want = expected(&root);
+    assert!(!want.is_empty(), "no LINT-EXPECT markers found");
+    let missing: Vec<_> = want.difference(&got).collect();
+    let surprise: Vec<_> = got.difference(&want).collect();
+    assert!(
+        missing.is_empty() && surprise.is_empty(),
+        "marker/finding mismatch\n  expected but absent: {missing:#?}\n  \
+         found but unexpected: {surprise:#?}"
+    );
+}
+
+#[test]
+fn every_bad_fixture_fails_and_every_good_fixture_passes() {
+    let root = fixtures_dir();
+    let rules_src = std::fs::read_to_string(root.join("rules.toml")).expect("read rules");
+    let rules = coic_analyze::parse_rules(&rules_src).expect("parse rules");
+    let mut bad = 0;
+    let mut good = 0;
+    for path in coic_analyze::collect_rust_files(&root).expect("walk fixtures") {
+        let rel = path
+            .strip_prefix(&root)
+            .expect("under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&path).expect("read fixture");
+        let findings = coic_analyze::lint_source(&rel, &source, &rules);
+        if rel.contains("_bad") {
+            bad += 1;
+            assert!(
+                !findings.is_empty(),
+                "{rel}: bad fixture produced no findings"
+            );
+        } else {
+            good += 1;
+            assert!(
+                findings.is_empty(),
+                "{rel}: good fixture produced findings: {findings:#?}"
+            );
+        }
+    }
+    assert!(
+        bad >= 6,
+        "expected at least one bad fixture per rule, got {bad}"
+    );
+    assert!(
+        good >= 6,
+        "expected at least one good fixture per rule, got {good}"
+    );
+}
+
+#[test]
+fn run_lint_reports_failure_on_the_fixture_tree() {
+    let root = fixtures_dir();
+    let mut out = String::new();
+    let clean = coic_analyze::run_lint(&root, &root.join("rules.toml"), &mut out).expect("lint");
+    assert!(!clean, "fixture tree must lint dirty");
+    assert!(out.contains("finding(s)"), "{out}");
+    assert!(out.contains("no-std-net"), "{out}");
+}

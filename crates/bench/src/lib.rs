@@ -4,6 +4,8 @@
 //! experiment (see DESIGN.md §5 and EXPERIMENTS.md); this crate holds the
 //! standard workloads and table formatting they share.
 
+#![forbid(unsafe_code)]
+
 use coic_core::simrun::{Mode, SimConfig};
 use coic_core::QoeReport;
 use coic_workload::{Population, Request, SafeDrivingAr, VrVideo, ZoneId, ZoneModel};

@@ -158,9 +158,10 @@ impl<V> ApproxCache<V> {
         }
     }
 
-    /// Replay a read-path hit's recency effect for entry `id`.
-    pub fn touch(&mut self, id: u64, now_ns: u64) {
-        self.store.touch(&id, now_ns);
+    /// Replay a read-path hit's recency effect for entry `id`; returns
+    /// `false` when the entry is gone (see [`crate::store::Store::touch`]).
+    pub fn touch(&mut self, id: u64, now_ns: u64) -> bool {
+        self.store.touch(&id, now_ns)
     }
 
     /// Fetch the value of a previously returned hit id.

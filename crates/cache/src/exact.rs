@@ -58,9 +58,10 @@ impl<V> ExactCache<V> {
         self.store.peek_valid(key, now_ns)
     }
 
-    /// Replay a read-path hit's recency effect (see [`crate::store::Store::touch`]).
-    pub fn touch(&mut self, key: &Digest, now_ns: u64) {
-        self.store.touch(key, now_ns);
+    /// Replay a read-path hit's recency effect; returns `false` when the
+    /// key is gone (see [`crate::store::Store::touch`]).
+    pub fn touch(&mut self, key: &Digest, now_ns: u64) -> bool {
+        self.store.touch(key, now_ns)
     }
 
     /// Insert a result of `size` bytes; returns evicted values.

@@ -30,6 +30,7 @@ pub mod sharded;
 pub mod sketch;
 pub mod stats;
 pub mod store;
+mod sync;
 
 pub use admission::{TinyLfu, TinyLfuConfig};
 pub use approx::{ApproxCache, ApproxLookup, IndexKind};
@@ -38,7 +39,7 @@ pub use coop::{CoopGroup, CoopOutcome};
 pub use digest::{fnv1a64, sha256, Digest};
 pub use exact::ExactCache;
 pub use policy::{EvictionPolicy, PolicyKind};
-pub use sharded::{ShardedApproxCache, ShardedExactCache, DEFAULT_SHARDS};
+pub use sharded::{ShardedApproxCache, ShardedExactCache, TouchStats, DEFAULT_SHARDS};
 pub use sketch::CountMinSketch;
 pub use stats::CacheStats;
 pub use store::Store;

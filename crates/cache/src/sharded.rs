@@ -26,6 +26,21 @@
 //! small pending-touch queue that the next writer drains and replays, so
 //! LRU order still tracks access order (batched, slightly delayed).
 //!
+//! The touch protocol is deliberately ordered so a drained touch always
+//! refers to a key that is still present:
+//!
+//! * readers queue the touch **while holding the shard's read guard**, so
+//!   no writer can evict the key between the hit and the queue push;
+//! * writers drain the queue **after acquiring the shard's write lock**,
+//!   so no other writer can evict a queued key between drain and replay.
+//!
+//! Lock order is `cache` before `touches` on both paths (the lint's
+//! lock-order rule pins this); the reader uses `try_lock`, which can only
+//! contend with other readers — a writer is excluded by the read guard —
+//! so a failed try drops the touch instead of deadlocking. The model
+//! checker in `tests/model.rs` explores this protocol's interleavings
+//! exhaustively and asserts [`TouchStats::dead`] stays zero.
+//!
 //! The single-mutex wrappers remain in [`crate::concurrent`] as the
 //! contention baseline that `coic bench` measures the sharded wrappers
 //! against.
@@ -38,10 +53,9 @@ use crate::digest::Digest;
 use crate::exact::ExactCache;
 use crate::policy::PolicyKind;
 use crate::stats::CacheStats;
+use crate::sync::{AtomicU64, Mutex, Ordering, RwLock};
 use coic_vision::features::FeatureVec;
 use coic_vision::ShardRouter;
-use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default shard count for the live edge: enough to make same-shard
@@ -55,6 +69,58 @@ pub const DEFAULT_SHARDS: usize = 8;
 /// unaffected.
 const MAX_PENDING_TOUCHES: usize = 1024;
 
+/// Counters for the deferred-touch protocol, aggregated across shards.
+///
+/// `dead` counts touches replayed against a key that was no longer
+/// present. The drain protocol makes that impossible (see the module
+/// docs), so `dead` staying zero is the protocol's observable invariant —
+/// the model checker and the concurrent regression tests assert on it.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TouchStats {
+    /// Touches queued by read-path hits.
+    pub queued: u64,
+    /// Touches dropped (queue full, or another reader held the queue).
+    pub dropped: u64,
+    /// Queued touches replayed against a still-present key.
+    pub replayed: u64,
+    /// Queued touches that found their key gone at replay time.
+    pub dead: u64,
+}
+
+struct TouchCounters {
+    queued: AtomicU64,
+    dropped: AtomicU64,
+    replayed: AtomicU64,
+    dead: AtomicU64,
+}
+
+impl TouchCounters {
+    fn new() -> TouchCounters {
+        TouchCounters {
+            queued: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            replayed: AtomicU64::new(0),
+            dead: AtomicU64::new(0),
+        }
+    }
+
+    fn merge_into(&self, total: &mut TouchStats) {
+        total.queued += self.queued.load(Ordering::Relaxed);
+        total.dropped += self.dropped.load(Ordering::Relaxed);
+        total.replayed += self.replayed.load(Ordering::Relaxed);
+        total.dead += self.dead.load(Ordering::Relaxed);
+    }
+
+    fn count_replay(&self, live: bool) {
+        if live {
+            self.replayed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            debug_assert!(false, "deferred touch replayed against a dead key");
+            self.dead.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 // ------------------------------------------------------------------ exact --
 
 struct ExactShard<V> {
@@ -62,6 +128,7 @@ struct ExactShard<V> {
     hits: AtomicU64,
     misses: AtomicU64,
     touches: Mutex<Vec<Digest>>,
+    touch_counters: TouchCounters,
 }
 
 /// A shareable exact cache split into N independently locked shards.
@@ -97,6 +164,7 @@ impl<V> ShardedExactCache<V> {
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 touches: Mutex::new(Vec::new()),
+                touch_counters: TouchCounters::new(),
             })
             .collect();
         ShardedExactCache {
@@ -130,17 +198,30 @@ impl<V> ShardedExactCache<V> {
         let shard = self.shard_of(key);
         let found = {
             let guard = shard.cache.read();
-            guard.peek_valid(key, now_ns).cloned()
+            let found = guard.peek_valid(key, now_ns).cloned();
+            if found.is_some() {
+                // Queue the recency touch while still holding the read
+                // guard: writers drain the queue only under the write
+                // lock, so the key cannot be evicted between this hit and
+                // the push. The try_lock can only contend with other
+                // readers (the read guard excludes writers), so a failed
+                // try drops the touch — it never deadlocks.
+                match shard.touches.try_lock() {
+                    Some(mut queue) if queue.len() < MAX_PENDING_TOUCHES => {
+                        queue.push(*key);
+                        shard.touch_counters.queued.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        shard.touch_counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            found
         };
-        // Guard dropped: only atomics and a try-lock touch note remain.
+        // Guard dropped: only the hit/miss atomics remain.
         match found {
             Some(value) => {
                 shard.hits.fetch_add(1, Ordering::Relaxed);
-                if let Some(mut queue) = shard.touches.try_lock() {
-                    if queue.len() < MAX_PENDING_TOUCHES {
-                        queue.push(*key);
-                    }
-                }
                 Some(value)
             }
             None => {
@@ -163,10 +244,17 @@ impl<V> ShardedExactCache<V> {
     /// touches, so eviction order keeps tracking access order.
     pub fn insert(&self, key: Digest, value: V, size: u64, now_ns: u64) {
         let shard = self.shard_of(&key);
-        let pending = std::mem::take(&mut *shard.touches.lock());
         let mut guard = shard.cache.write();
+        // Drain only after the write lock is held: touches are queued
+        // under the read guard, so every drained touch refers to a key
+        // that is still present (evictions happen only under this lock).
+        // Draining before locking let a concurrent writer evict a queued
+        // key between our drain and our replay, losing the touch — the
+        // model checker in tests/model.rs finds that schedule in seconds.
+        let pending = std::mem::take(&mut *shard.touches.lock());
         for touched in pending {
-            guard.touch(&touched, now_ns);
+            let live = guard.touch(&touched, now_ns);
+            shard.touch_counters.count_replay(live);
         }
         guard.insert(key, Arc::new(value), size, now_ns);
     }
@@ -184,6 +272,16 @@ impl<V> ShardedExactCache<V> {
             total.expired += s.expired;
             total.rejected += s.rejected;
             total.admission_rejects += s.admission_rejects;
+        }
+        total
+    }
+
+    /// Deferred-touch protocol counters, summed across shards.
+    /// [`TouchStats::dead`] must be zero (see the module docs).
+    pub fn touch_stats(&self) -> TouchStats {
+        let mut total = TouchStats::default();
+        for shard in self.shards.iter() {
+            shard.touch_counters.merge_into(&mut total);
         }
         total
     }
@@ -233,6 +331,7 @@ struct ApproxShard<V> {
     hits: AtomicU64,
     misses: AtomicU64,
     touches: Mutex<Vec<u64>>,
+    touch_counters: TouchCounters,
 }
 
 /// A shareable approximate cache split into descriptor-routed shards.
@@ -272,6 +371,7 @@ impl<V> ShardedApproxCache<V> {
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 touches: Mutex::new(Vec::new()),
+                touch_counters: TouchCounters::new(),
             })
             .collect();
         // 8 signature bits: 256 buckets folded onto the shard count. More
@@ -301,12 +401,19 @@ impl<V> ShardedApproxCache<V> {
         match guard.lookup_ro(query) {
             ApproxLookup::Hit { id, distance } => {
                 let value = guard.value(id).cloned()?;
-                drop(guard);
-                if let Some(mut queue) = shard.touches.try_lock() {
-                    if queue.len() < MAX_PENDING_TOUCHES {
+                // Queue the touch before releasing the read guard so a
+                // racing writer cannot evict `id` first (same protocol as
+                // the exact cache — see the module docs).
+                match shard.touches.try_lock() {
+                    Some(mut queue) if queue.len() < MAX_PENDING_TOUCHES => {
                         queue.push(id);
+                        shard.touch_counters.queued.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        shard.touch_counters.dropped.fetch_add(1, Ordering::Relaxed);
                     }
                 }
+                drop(guard);
                 Some((value, distance))
             }
             ApproxLookup::Miss { .. } => None,
@@ -355,10 +462,13 @@ impl<V> ShardedApproxCache<V> {
     /// replaying queued recency touches first.
     pub fn insert(&self, descriptor: FeatureVec, value: V, size: u64, now_ns: u64) {
         let shard = &self.shards[self.home_of(&descriptor)];
-        let pending = std::mem::take(&mut *shard.touches.lock());
         let mut guard = shard.cache.write();
+        // Drain under the write lock, after acquiring it — see
+        // [`ShardedExactCache::insert`] for why this order is load-bearing.
+        let pending = std::mem::take(&mut *shard.touches.lock());
         for id in pending {
-            guard.touch(id, now_ns);
+            let live = guard.touch(id, now_ns);
+            shard.touch_counters.count_replay(live);
         }
         guard.insert(descriptor, Arc::new(value), size, now_ns);
     }
@@ -375,6 +485,16 @@ impl<V> ShardedApproxCache<V> {
             total.expired += s.expired;
             total.rejected += s.rejected;
             total.admission_rejects += s.admission_rejects;
+        }
+        total
+    }
+
+    /// Deferred-touch protocol counters, summed across shards.
+    /// [`TouchStats::dead`] must be zero (see the module docs).
+    pub fn touch_stats(&self) -> TouchStats {
+        let mut total = TouchStats::default();
+        for shard in self.shards.iter() {
+            shard.touch_counters.merge_into(&mut total);
         }
         total
     }
@@ -629,5 +749,47 @@ mod tests {
     #[should_panic(expected = "shard count must be positive")]
     fn zero_shards_rejected() {
         let _ = ShardedExactCache::<u32>::new(1024, PolicyKind::Lru, None, 0);
+    }
+
+    #[test]
+    fn deferred_touches_never_replay_dead_keys_under_churn() {
+        // Regression for the drain-before-lock race: a writer used to
+        // drain the touch queue *before* taking the write lock, so a
+        // second writer could evict a queued key in between and the
+        // drained touch replayed against a dead entry. Tiny capacity +
+        // one shard maximizes eviction pressure on the race window.
+        let cache: ShardedExactCache<u64> = ShardedExactCache::new(200, PolicyKind::Lru, None, 1);
+        let keys: Vec<Digest> = (0..8u64).map(|i| Digest::of(&i.to_le_bytes())).collect();
+        let writers: Vec<_> = (0..2u64)
+            .map(|t| {
+                let c = cache.clone();
+                let keys = keys.clone();
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let k = keys[((t * 3 + i) % 8) as usize];
+                        c.insert(k, i, 100, i);
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2u64)
+            .map(|t| {
+                let c = cache.clone();
+                let keys = keys.clone();
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let _ = c.lookup(&keys[((t + i) % 8) as usize], i);
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().unwrap();
+        }
+        // Drain whatever is still queued.
+        cache.insert(Digest::of(b"final"), 0, 100, u64::MAX);
+        let t = cache.touch_stats();
+        assert_eq!(t.dead, 0, "touch replayed against an evicted key: {t:?}");
+        assert_eq!(t.queued, t.replayed, "every queued touch must replay");
     }
 }

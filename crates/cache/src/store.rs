@@ -165,17 +165,21 @@ impl<K: Hash + Eq + Clone, V> Store<K, V> {
     /// the recency effect here under the next write lock, so eviction
     /// order still tracks access order without double-counting stats.
     /// Expired entries are removed (and counted) exactly as in
-    /// [`Store::get`].
-    pub fn touch(&mut self, key: &K, now_ns: u64) {
+    /// [`Store::get`]. Returns `false` when the key is absent (evicted or
+    /// removed since the touch was observed) — the sharded wrappers'
+    /// drain protocol guarantees this never happens, and model/regression
+    /// tests pin that invariant on the return value.
+    pub fn touch(&mut self, key: &K, now_ns: u64) -> bool {
         let Some(&id) = self.by_key.get(key) else {
-            return;
+            return false;
         };
         if self.expired(id, now_ns) {
             self.remove_id(id);
             self.stats.expired += 1;
-            return;
+            return true;
         }
         self.policy.on_access(id);
+        true
     }
 
     /// Insert `value` of `size` bytes under `key`, evicting as needed.

@@ -1,0 +1,20 @@
+//! Sync-primitive facade for the concurrent cache wrappers.
+//!
+//! Normal builds re-export `parking_lot` locks and `std` atomics — zero
+//! overhead, identical behavior to before the facade existed. Under the
+//! `model-check` feature the same names resolve to the in-tree `loom`
+//! shim, whose lock and atomic operations become scheduling points of an
+//! exhaustive bounded-interleaving explorer (`crates/cache/tests/model.rs`
+//! drives it). Production code in this crate must reach locks and atomics
+//! through this module so the model checker sees every synchronization
+//! point.
+
+#[cfg(not(feature = "model-check"))]
+pub(crate) use parking_lot::{Mutex, RwLock};
+#[cfg(not(feature = "model-check"))]
+pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(feature = "model-check")]
+pub(crate) use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "model-check")]
+pub(crate) use loom::sync::{Mutex, RwLock};

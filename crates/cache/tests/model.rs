@@ -1,0 +1,140 @@
+//! Exhaustive interleaving exploration of the sharded cache's deferred-
+//! touch protocol (build with `--features model-check`).
+//!
+//! The `model-check` feature reroutes `coic-cache`'s locks and atomics
+//! through the in-tree `loom` shim, so every lock acquisition, release,
+//! and atomic access inside [`ShardedExactCache`] becomes a scheduling
+//! point. The explorer then runs the scenario below under every thread
+//! interleaving (bounded preemption) and asserts, in each one, that a
+//! drained recency touch never replays against an evicted key — the race
+//! this protocol was rewritten to close.
+
+#![cfg(feature = "model-check")]
+
+use coic_cache::{Digest, PolicyKind, ShardedExactCache};
+use loom::model::Builder;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Keys sized so the single shard holds exactly two entries: every insert
+/// beyond the second evicts, keeping maximal pressure on the window
+/// between a read-path touch and its write-path replay.
+const ENTRY: u64 = 100;
+const CAPACITY: u64 = 200;
+
+fn key(tag: u8) -> Digest {
+    Digest::of(&[tag])
+}
+
+fn touch_drain_scenario() {
+    let cache: ShardedExactCache<u64> = ShardedExactCache::new(CAPACITY, PolicyKind::Lru, None, 1);
+    cache.insert(key(b'a'), 1, ENTRY, 0);
+    cache.insert(key(b'b'), 2, ENTRY, 1);
+
+    let reader_a = {
+        let c = cache.clone();
+        loom::thread::spawn(move || {
+            let _ = c.lookup(&key(b'a'), 2);
+        })
+    };
+    let writer = {
+        let c = cache.clone();
+        loom::thread::spawn(move || {
+            // Evicts the LRU entry (`a`) — racing the reader's touch.
+            c.insert(key(b'c'), 3, ENTRY, 3);
+        })
+    };
+    let reader_b = {
+        let c = cache.clone();
+        loom::thread::spawn(move || {
+            let _ = c.lookup(&key(b'b'), 4);
+        })
+    };
+    reader_a.join().unwrap();
+    writer.join().unwrap();
+    reader_b.join().unwrap();
+
+    // Drain anything still queued, then check the protocol invariant.
+    cache.insert(key(b'd'), 4, ENTRY, 5);
+    let t = cache.touch_stats();
+    assert_eq!(t.dead, 0, "touch replayed against an evicted key: {t:?}");
+    assert_eq!(
+        t.queued, t.replayed,
+        "every queued touch must be replayed exactly once: {t:?}"
+    );
+    // Caches stay structurally sound in every schedule.
+    assert!(cache.len() <= 2);
+    let s = cache.stats();
+    assert_eq!(s.hits + s.misses, 2, "both lookups accounted: {s:?}");
+}
+
+#[test]
+fn deferred_touch_drain_never_replays_dead_keys() {
+    let report = Builder::default()
+        .check(touch_drain_scenario)
+        .unwrap_or_else(|failure| {
+            panic!("model found a schedule violating the invariant:\n{failure}")
+        });
+    println!(
+        "deferred-touch drain: {} schedules explored (complete: {})",
+        report.schedules, report.complete
+    );
+    assert!(report.complete, "exploration must exhaust the bounded tree");
+    assert!(
+        report.schedules >= 1_000,
+        "expected >= 1000 interleavings, got {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn touch_drain_exploration_is_deterministic() {
+    let run = |seed: u64| {
+        Builder::default()
+            .seed(seed)
+            .check(touch_drain_scenario)
+            .expect("invariant holds")
+    };
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(
+        a.schedules, b.schedules,
+        "same seed must enumerate the same schedules in the same order"
+    );
+}
+
+#[test]
+fn read_path_hit_counters_match_observations_in_every_schedule() {
+    // Two readers hammer one present key while a writer churns another:
+    // merged stats must equal the sum of per-thread observations no
+    // matter how the atomics interleave with the lock operations.
+    let report = loom::model(|| {
+        let cache: ShardedExactCache<u64> =
+            ShardedExactCache::new(CAPACITY, PolicyKind::Lru, None, 1);
+        cache.insert(key(b'x'), 7, ENTRY, 0);
+        let observed = Arc::new(AtomicU64::new(0));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let c = cache.clone();
+                let observed = Arc::clone(&observed);
+                loom::thread::spawn(move || {
+                    if c.lookup(&key(b'x'), 1).is_some() {
+                        observed.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits, observed.load(Ordering::Relaxed));
+        assert_eq!(s.hits, 2, "the key is present: both lookups must hit");
+        assert_eq!(s.misses, 0);
+    });
+    println!(
+        "read-path counters: {} schedules explored",
+        report.schedules
+    );
+    assert!(report.complete);
+}

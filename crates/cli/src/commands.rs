@@ -282,6 +282,26 @@ pub fn pano_crop(args: &Args) -> CmdResult {
 
 // ------------------------------------------------------------------ bench --
 
+// ------------------------------------------------------------------- lint --
+
+/// `lint`: run the in-tree static analysis pass over the workspace (see
+/// `analyze/rules.toml` and DESIGN.md §11). Prints findings and errors —
+/// so the process exits nonzero — when any rule fires.
+pub fn lint(args: &Args) -> CmdResult {
+    let root = std::path::PathBuf::from(args.get("root").unwrap_or("."));
+    let rules = match args.get("rules") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => root.join("analyze").join("rules.toml"),
+    };
+    let mut out = String::new();
+    let clean = coic_analyze::run_lint(&root, &rules, &mut out)?;
+    if clean {
+        Ok(out)
+    } else {
+        Err(out.into())
+    }
+}
+
 /// `bench`: run the edge/cache performance harness and write the
 /// canonical `BENCH_edge.json` report. `--quick` shrinks op counts for CI
 /// smoke runs; `--seed` fixes every random stream.
@@ -345,6 +365,26 @@ mod tests {
         let dir = std::env::temp_dir().join("coic_cli_tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn lint_flags_fixtures_and_passes_the_workspace() {
+        let ws = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(std::path::Path::parent)
+            .unwrap();
+        let fixtures = ws.join("crates/analyze/fixtures");
+        // The deliberately-violating fixture tree must fail…
+        let err = lint(&args(&format!(
+            "--root {} --rules {}",
+            fixtures.display(),
+            fixtures.join("rules.toml").display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("finding(s)"), "{err}");
+        // …and the workspace itself must pass under its own rules.
+        let ok = lint(&args(&format!("--root {}", ws.display()))).unwrap();
+        assert!(ok.contains("lint clean"), "{ok}");
     }
 
     #[test]

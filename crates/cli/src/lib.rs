@@ -14,6 +14,7 @@
 //! coic pano gen    --frame N --out pano.pgm [--height 256]
 //! coic pano crop   --frame N --yaw R --pitch R --out view.pgm
 //! coic bench       [--quick] [--seed N] [--runs N] [--out BENCH_edge.json]
+//! coic lint        [--root DIR] [--rules FILE]
 //! ```
 //!
 //! All subcommand logic lives in this library so it is unit-testable; the
@@ -29,6 +30,9 @@ pub use args::{ArgError, Args};
 
 /// Top-level dispatch: returns the text to print, or an error message.
 pub fn run(raw: Vec<String>) -> Result<String, String> {
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(USAGE.to_string());
+    }
     // Boolean switches are declared per subcommand (every other flag
     // takes a value, and `--flag` with no value stays an error there).
     let switches: &[&str] = match raw.first().map(String::as_str) {
@@ -49,6 +53,7 @@ pub fn run(raw: Vec<String>) -> Result<String, String> {
         ["pano", "gen"] => commands::pano_gen(&args),
         ["pano", "crop"] => commands::pano_crop(&args),
         ["bench"] => commands::bench(&args),
+        ["lint"] => commands::lint(&args),
         [] | ["help"] => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {:?}\n\n{USAGE}", other.join(" ")).into()),
     }
@@ -76,4 +81,5 @@ USAGE:
   coic pano gen     --frame N --out FILE.pgm [--height N]
   coic pano crop    --frame N --yaw R --pitch R --out FILE.pgm
                     [--fov R] [--width N] [--height N]
-  coic bench        [--quick] [--seed N] [--runs N] [--out BENCH_edge.json]";
+  coic bench        [--quick] [--seed N] [--runs N] [--out BENCH_edge.json]
+  coic lint         [--root DIR] [--rules FILE]";

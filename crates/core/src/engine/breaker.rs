@@ -4,8 +4,7 @@
 //! [`super::clock::Clock`]) instead of the breaker reading `Instant::now`,
 //! so the same transition logic runs under virtual and wall-clock time.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use super::sync::{AtomicU64, Mutex, Ordering};
 use std::time::Duration;
 
 /// Breaker state, exposed for stats and tests.
@@ -62,7 +61,7 @@ impl CircuitBreaker {
     /// May a call proceed at `now_ns`? `true` either means the breaker is
     /// closed or this caller has been granted the half-open probe slot.
     pub fn allow(&self, now_ns: u64) -> bool {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.inner.lock();
         match g.state {
             BreakerState::Closed => true,
             BreakerState::Open => {
@@ -91,8 +90,19 @@ impl CircuitBreaker {
 
     /// Record at `now_ns` the outcome of a call that
     /// [`CircuitBreaker::allow`]ed.
+    ///
+    /// A success recorded while the breaker is **open** is stale: the call
+    /// was allowed before the breaker tripped (other callers' failures
+    /// raced past it). Closing on it would skip the cooldown and the
+    /// half-open probe entirely, so it is ignored — recovery is only ever
+    /// concluded from a probe that was granted after the cooldown. The
+    /// model checker in `tests/model.rs` pins this (it found the
+    /// stale-close schedule in the previous version of this method).
     pub fn record(&self, success: bool, now_ns: u64) {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.inner.lock();
+        if g.state == BreakerState::Open && success {
+            return;
+        }
         g.probe_in_flight = false;
         if success {
             if g.state != BreakerState::Closed {
@@ -118,7 +128,7 @@ impl CircuitBreaker {
 
     /// Current state (coarse; may change immediately after).
     pub fn state(&self) -> BreakerState {
-        self.inner.lock().unwrap().state
+        self.inner.lock().state
     }
 
     /// Times the breaker tripped open.
@@ -172,6 +182,29 @@ mod tests {
         b.record(false, 15 * MS);
         assert_eq!(b.state(), BreakerState::Open);
         assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn stale_success_cannot_close_an_open_breaker() {
+        // A call is allowed while the breaker is closed; before its result
+        // comes back, other callers' failures trip the breaker. The stale
+        // success must not short-circuit the cooldown + probe sequence.
+        let b = CircuitBreaker::new(3, Duration::from_millis(30));
+        assert!(b.allow(0), "closed breaker admits the slow call");
+        for t in 0..3u64 {
+            assert!(b.allow(t));
+            b.record(false, t);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        b.record(true, 5); // the slow call's result arrives late
+        assert_eq!(b.state(), BreakerState::Open, "stale success ignored");
+        assert_eq!(b.closes(), 0);
+        assert!(!b.allow(10 * MS), "cooldown still applies");
+        assert!(b.allow(40 * MS), "probe granted only after cooldown");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record(true, 40 * MS);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.closes(), 1);
     }
 
     #[test]

@@ -367,7 +367,9 @@ impl<C: Clock> ClientEngine<C> {
                 self.decisions.push(Decision::Unavailable { seq });
                 if self.cfg.use_edge && self.cfg.origin_fallback {
                     self.degrade(req_id);
-                    self.reqs.get_mut(&req_id).expect("req exists").attempt = 0;
+                    if let Some(st) = self.req_mut(req_id) {
+                        st.attempt = 0;
+                    }
                     self.send_origin_attempt(req_id, &mut out);
                 } else {
                     self.give_up(req_id, &mut out);
@@ -463,20 +465,33 @@ impl<C: Clock> ClientEngine<C> {
         if due {
             self.last_probe_ns = Some(now);
             self.stats.count_probe();
-            let st = self.reqs.get_mut(&req_id).expect("req exists");
-            st.phase = Phase::ProbeWait;
-            let seq = st.seq;
-            self.decisions.push(Decision::Probe { seq });
-            out.push(Effect::ProbeEdge { req_id });
+            if let Some(st) = self.req_mut(req_id) {
+                st.phase = Phase::ProbeWait;
+                let seq = st.seq;
+                self.decisions.push(Decision::Probe { seq });
+                out.push(Effect::ProbeEdge { req_id });
+            }
         } else {
             self.send_origin_attempt(req_id, out);
         }
     }
 
+    /// Internal invariant: every effect and event carries a live request
+    /// id. A stale or corrupt id (e.g. replayed by a misbehaving
+    /// transport) must not panic the engine, so lookups degrade to a
+    /// no-op outside debug builds instead of unwrapping.
+    fn req_mut(&mut self, req_id: u64) -> Option<&mut ReqState> {
+        let st = self.reqs.get_mut(&req_id);
+        debug_assert!(st.is_some(), "unknown req_id {req_id}");
+        st
+    }
+
     fn send_edge_attempt(&mut self, req_id: u64, out: &mut Vec<Effect>) {
         self.stats.count_attempt();
         let deadline = self.cfg.deadline_ns;
-        let st = self.reqs.get_mut(&req_id).expect("req exists");
+        let Some(st) = self.req_mut(req_id) else {
+            return;
+        };
         st.phase = Phase::EdgeInFlight;
         st.epoch += 1;
         let (seq, attempt, epoch) = (st.seq, st.attempt, st.epoch);
@@ -499,7 +514,9 @@ impl<C: Clock> ClientEngine<C> {
     fn send_origin_attempt(&mut self, req_id: u64, out: &mut Vec<Effect>) {
         self.stats.count_attempt();
         let deadline = self.cfg.deadline_ns;
-        let st = self.reqs.get_mut(&req_id).expect("req exists");
+        let Some(st) = self.req_mut(req_id) else {
+            return;
+        };
         st.phase = Phase::OriginInFlight;
         st.epoch += 1;
         let (seq, attempt, epoch) = (st.seq, st.attempt, st.epoch);
@@ -522,7 +539,9 @@ impl<C: Clock> ClientEngine<C> {
 
     fn fail_attempt(&mut self, req_id: u64, out: &mut Vec<Effect>) {
         let max = self.cfg.retry.max_attempts.max(1);
-        let st = self.reqs.get_mut(&req_id).expect("req exists");
+        let Some(st) = self.req_mut(req_id) else {
+            return;
+        };
         let on_edge = st.phase == Phase::EdgeInFlight;
         let seq = st.seq;
         let attempt = st.attempt;
@@ -530,7 +549,9 @@ impl<C: Clock> ClientEngine<C> {
             .push(Decision::AttemptFailed { seq, attempt });
         let next = attempt + 1;
         if next < max {
-            let st = self.reqs.get_mut(&req_id).expect("req exists");
+            let Some(st) = self.req_mut(req_id) else {
+                return;
+            };
             st.attempt = next;
             st.retries += 1;
             st.epoch += 1;
@@ -551,7 +572,9 @@ impl<C: Clock> ClientEngine<C> {
             });
         } else if on_edge && self.cfg.origin_fallback {
             self.degrade(req_id);
-            self.reqs.get_mut(&req_id).expect("req exists").attempt = 0;
+            if let Some(st) = self.req_mut(req_id) {
+                st.attempt = 0;
+            }
             self.send_origin_attempt(req_id, out);
         } else {
             self.give_up(req_id, out);
@@ -562,12 +585,15 @@ impl<C: Clock> ClientEngine<C> {
         self.degraded = true;
         self.last_probe_ns = Some(self.clock.now_ns());
         self.stats.count_degraded();
-        let seq = self.reqs[&req_id].seq;
-        self.decisions.push(Decision::Degrade { seq });
+        if let Some(seq) = self.reqs.get(&req_id).map(|st| st.seq) {
+            self.decisions.push(Decision::Degrade { seq });
+        }
     }
 
     fn give_up(&mut self, req_id: u64, out: &mut Vec<Effect>) {
-        let st = self.reqs.get_mut(&req_id).expect("req exists");
+        let Some(st) = self.req_mut(req_id) else {
+            return;
+        };
         st.phase = Phase::Failed;
         let seq = st.seq;
         self.decisions.push(Decision::Fail { seq });
@@ -576,7 +602,9 @@ impl<C: Clock> ClientEngine<C> {
 
     fn complete(&mut self, req_id: u64, path: Path, correct: Option<bool>, out: &mut Vec<Effect>) {
         let now = self.clock.now_ns();
-        let st = self.reqs.get_mut(&req_id).expect("req exists");
+        let Some(st) = self.req_mut(req_id) else {
+            return;
+        };
         st.phase = Phase::Done;
         let record = Record {
             req_id,

@@ -7,9 +7,9 @@
 //! the live edge queues condvar-style signals that block connection
 //! threads until the leader completes.
 
-use parking_lot::Mutex;
+use super::sync::Mutex;
 use std::collections::HashMap;
-use std::hash::{BuildHasher, Hash, RandomState};
+use std::hash::{BuildHasher, Hash, Hasher};
 
 /// What [`SingleFlight::claim`] decided for a caller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,14 +25,14 @@ pub enum FlightClaim {
 /// Coalesces concurrent misses on the same key into one upstream fetch.
 #[derive(Debug)]
 pub struct SingleFlight<K, W> {
-    inflight: HashMap<K, Vec<W>>,
+    inflight: HashMap<K, Vec<W>, FnvBuildHasher>,
 }
 
 impl<K: Eq + Hash + Clone, W> SingleFlight<K, W> {
     /// An empty table.
     pub fn new() -> SingleFlight<K, W> {
         SingleFlight {
-            inflight: HashMap::new(),
+            inflight: HashMap::with_hasher(FnvBuildHasher),
         }
     }
 
@@ -69,13 +69,47 @@ impl<K: Eq + Hash + Clone, W> Default for SingleFlight<K, W> {
     }
 }
 
+/// FNV-1a hashing for the flight tables: shard routing in
+/// [`ShardedSingleFlight`] and the waiter maps themselves. `RandomState`
+/// would re-randomize key→shard assignment (and map iteration order)
+/// every process start, which breaks schedule replay under the model
+/// checker and makes contention profiles unreproducible; coalescing
+/// correctness only needs same key ⇒ same shard, which any fixed hash
+/// provides.
+#[derive(Debug, Default, Clone, Copy)]
+struct FnvBuildHasher;
+
+impl BuildHasher for FnvBuildHasher {
+    type Hasher = Fnv1a64;
+
+    fn build_hasher(&self) -> Fnv1a64 {
+        Fnv1a64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+#[derive(Debug)]
+struct Fnv1a64(u64);
+
+impl Hasher for Fnv1a64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
 /// A [`SingleFlight`] table split across independently locked shards, so
 /// misses on *different* content never contend on one flight mutex. Used
 /// by the live edge alongside the sharded caches: coalescing only has to
 /// hold for misses on the *same* key, and same key ⇒ same shard.
 pub struct ShardedSingleFlight<K, W> {
     shards: Vec<Mutex<SingleFlight<K, W>>>,
-    hasher: RandomState,
+    hasher: FnvBuildHasher,
 }
 
 impl<K: Eq + Hash + Clone, W> ShardedSingleFlight<K, W> {
@@ -89,7 +123,7 @@ impl<K: Eq + Hash + Clone, W> ShardedSingleFlight<K, W> {
             shards: (0..shards)
                 .map(|_| Mutex::new(SingleFlight::new()))
                 .collect(),
-            hasher: RandomState::new(),
+            hasher: FnvBuildHasher,
         }
     }
 

@@ -40,6 +40,7 @@ pub mod fault;
 pub mod flight;
 pub mod retry;
 pub mod stats;
+mod sync;
 
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use client::{ClientEngine, Decision, Effect, EngineConfig, ReplyKind, TimerKind};

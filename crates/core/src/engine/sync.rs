@@ -1,0 +1,20 @@
+//! Sync-primitive facade for the orchestration engine.
+//!
+//! Normal builds re-export `parking_lot`'s `Mutex` and `std` atomics —
+//! identical codegen to using them directly. Under the `model-check`
+//! feature the same names resolve to the in-tree `loom` shim, making
+//! every lock and atomic operation in [`super::breaker`] and
+//! [`super::flight`] a scheduling point for the exhaustive interleaving
+//! explorer (`crates/core/tests/model.rs`). Engine code must reach locks
+//! and atomics through this module so the model checker sees every
+//! synchronization point.
+
+#[cfg(not(feature = "model-check"))]
+pub(crate) use parking_lot::Mutex;
+#[cfg(not(feature = "model-check"))]
+pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(feature = "model-check")]
+pub(crate) use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "model-check")]
+pub(crate) use loom::sync::Mutex;

@@ -65,7 +65,7 @@ use coic_vision::{ObjectClass, SceneGenerator};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::net::SocketAddr;
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 use std::time::Duration;
 
 /// Deadlines, retry and breaker parameters for the live deployment.
@@ -231,19 +231,20 @@ struct FlightWaiter {
 
 impl FlightWaiter {
     fn notify(&self) {
-        *self.done.lock().unwrap() = true;
+        // A waiter that panicked while holding the flag poisons the
+        // mutex; the flag itself is still meaningful, so recover it.
+        *self.done.lock().unwrap_or_else(PoisonError::into_inner) = true;
         self.cv.notify_all();
     }
 
     /// Wait until notified or `timeout`; returns whether the leader
     /// finished.
     fn wait(&self, timeout: Duration) -> bool {
-        let g = self.done.lock().unwrap();
-        let (g, _) = self
-            .cv
-            .wait_timeout_while(g, timeout, |done| !*done)
-            .unwrap();
-        *g
+        let g = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        match self.cv.wait_timeout_while(g, timeout, |done| !*done) {
+            Ok((g, _)) => *g,
+            Err(poisoned) => *poisoned.into_inner().0,
+        }
     }
 }
 
@@ -322,7 +323,7 @@ pub fn spawn_edge_with(
         Arc::new(ShardedSingleFlight::new(shards));
     let (stats_h, gate_h, flights_h) = (stats.clone(), gate.clone(), flights.clone());
     let clock = WallClock::new();
-    let bind = bind.unwrap_or_else(|| "127.0.0.1:0".parse().unwrap());
+    let bind = bind.unwrap_or_else(|| SocketAddr::from(([127, 0, 0, 1], 0)));
     let server = FrameServer::spawn(bind, move |frame| {
         let peers = &peers_in_handler;
         let msg = Msg::decode(&frame).ok()?;
@@ -648,12 +649,12 @@ impl NetClient {
             descriptor: prepared.descriptor.clone(),
             hint,
         };
-        if let Err(e) = self
-            .conn
-            .as_mut()
-            .expect("just connected")
-            .send(&query.encode())
-        {
+        let Some(conn) = self.conn.as_mut() else {
+            // reconnect_edge succeeded above, but never panic the
+            // request loop over a connection that vanished.
+            return self.engine.on_transport_failure(req_id);
+        };
+        if let Err(e) = conn.send(&query.encode()) {
             self.on_io_error(&e);
             self.conn = None;
             return self.engine.on_transport_failure(req_id);
@@ -734,10 +735,13 @@ impl NetClient {
         slot: &mut Option<TaskResult>,
     ) -> Vec<Effect> {
         let attempt = || -> Result<TaskResult, FrameError> {
-            let mut cloud = FrameConn::connect_timeout(
-                &self.cloud_addr.expect("origin path needs cloud_addr"),
-                self.net.connect_timeout,
-            )?;
+            let addr = self.cloud_addr.ok_or_else(|| {
+                FrameError::Io(std::io::Error::new(
+                    std::io::ErrorKind::NotConnected,
+                    "origin path requires a cloud address",
+                ))
+            })?;
+            let mut cloud = FrameConn::connect_timeout(&addr, self.net.connect_timeout)?;
             cloud.set_read_deadline(Some(self.net.request_deadline))?;
             cloud.set_write_deadline(Some(self.net.request_deadline))?;
             cloud.send(
@@ -829,7 +833,9 @@ impl NetClient {
                     self.engine.on_probe_result(req_id, ok)
                 }
                 Effect::Complete { record, .. } => {
-                    let result = slot.take().expect("completed request has a result");
+                    let Some(result) = slot.take() else {
+                        return Err("request completed without a buffered result".into());
+                    };
                     return Ok(LiveOutcome {
                         result,
                         elapsed: Duration::from_nanos(

@@ -5,7 +5,7 @@
 //! segment (the costs a deployment would care about).
 
 use coic_netsim::Summary;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How a request was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +53,7 @@ pub struct QoeReport {
     /// All end-to-end latencies, ms.
     pub latency_ms: Summary,
     /// Latencies by task family.
-    pub latency_by_kind: HashMap<&'static str, Summary>,
+    pub latency_by_kind: BTreeMap<&'static str, Summary>,
     /// Requests satisfied from the local edge cache.
     pub edge_hits: u64,
     /// Requests satisfied by a cooperating peer edge.
@@ -82,7 +82,7 @@ impl QoeReport {
     /// Build a report from records (network byte counts added separately).
     pub fn from_records(records: &[Record]) -> QoeReport {
         let mut latency_ms = Summary::new();
-        let mut latency_by_kind: HashMap<&'static str, Summary> = HashMap::new();
+        let mut latency_by_kind: BTreeMap<&'static str, Summary> = BTreeMap::new();
         let mut edge_hits = 0;
         let mut peer_hits = 0;
         let mut cloud_trips = 0;
@@ -143,9 +143,10 @@ impl QoeReport {
     }
 
     /// Canonical, deterministic serialization: per-kind sections are
-    /// emitted in sorted key order (the backing map iterates randomly), so
-    /// two identical runs produce byte-identical strings. Used by the
-    /// determinism tests and the CI determinism job to diff reports.
+    /// emitted in sorted key order (the backing `BTreeMap` iterates
+    /// sorted by construction), so two identical runs produce
+    /// byte-identical strings. Used by the determinism tests and the CI
+    /// determinism job to diff reports.
     pub fn canonical(&mut self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
@@ -174,11 +175,7 @@ impl QoeReport {
             self.latency_ms.median(),
             self.latency_ms.quantile(0.99)
         );
-        let mut kinds: Vec<&&str> = self.latency_by_kind.keys().collect();
-        kinds.sort();
-        let kinds: Vec<&'static str> = kinds.into_iter().copied().collect();
-        for kind in kinds {
-            let summary = self.latency_by_kind.get_mut(kind).expect("key exists");
+        for (kind, summary) in self.latency_by_kind.iter_mut() {
             let _ = writeln!(
                 s,
                 "kind={} n={} mean={:.6} median={:.6}",

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Run the full static + dynamic analysis pass — the same sequence CI's
+# `analyze` job runs:
+#
+#   1. `coic lint` over the workspace against analyze/rules.toml
+#      (sans-IO import bans, wall-clock/nondeterminism bans, unwrap bans,
+#      lock-order, #![forbid(unsafe_code)] coverage — DESIGN.md §11);
+#   2. the mini-loom model checker's self-tests (shims/loom);
+#   3. the exhaustive-interleaving model tests for the sharded cache's
+#      deferred-touch drain and for the circuit breaker / single-flight
+#      engine structures (the `model-check` feature swaps parking_lot and
+#      std atomics for the loom shims).
+#
+# Usage: scripts/analyze.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> workspace lint (analyze/rules.toml)"
+cargo run -q --locked -p coic-analyze -- --root .
+
+echo "==> mini-loom self-tests"
+cargo test -q --locked -p loom
+
+echo "==> model check: sharded cache deferred-touch drain"
+cargo test -q --locked -p coic-cache --features model-check --test model
+
+echo "==> model check: circuit breaker + single-flight"
+cargo test -q --locked -p coic-core --features model-check --test model
+
+echo "analysis pass clean"

@@ -1,0 +1,67 @@
+//! Miniature in-tree [loom](https://github.com/tokio-rs/loom): an
+//! exhaustive, deterministic interleaving explorer for concurrent code
+//! (see shims/README.md for why it is in-tree).
+//!
+//! # What it does
+//!
+//! [`model`] runs a closure over *every* schedule of the threads it
+//! spawns (optionally bounded in preemptions), provided the threads
+//! synchronize exclusively through this crate's shimmed primitives:
+//!
+//! * [`sync::Mutex`] / [`sync::RwLock`] — parking_lot-style
+//!   non-poisoning API, matching the in-tree `parking_lot` shim;
+//! * [`sync::atomic`] — `AtomicU64` / `AtomicUsize` / `AtomicU32` /
+//!   `AtomicBool` with the std API;
+//! * [`thread::spawn`] / [`thread::JoinHandle`].
+//!
+//! Each synchronization operation is a *scheduling point*: the executing
+//! thread parks, and a controller picks which runnable thread performs
+//! its declared operation next. The controller explores the resulting
+//! decision tree depth-first, replaying decision prefixes so every run
+//! is deterministic: the same seed always enumerates the same schedules
+//! in the same order. A thread whose declared operation cannot proceed
+//! (the mutex is held, the rwlock has a writer, the joined task has not
+//! finished) is simply not schedulable, so deadlocks surface as "no
+//! schedulable thread" failures with a full schedule trace.
+//!
+//! # Pass-through outside a model
+//!
+//! The same types work outside [`model`] with no exploration and near
+//! zero overhead (one thread-local read per operation): operations
+//! delegate straight to `std::sync`. This lets production code route its
+//! primitives through a `sync` facade module that compiles against this
+//! crate under a `model-check` feature without changing behavior for
+//! ordinary builds and tests.
+//!
+//! # Example
+//!
+//! ```
+//! use loom::sync::Arc;
+//! use loom::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let report = loom::model::Builder::default()
+//!     .check(|| {
+//!         let n = Arc::new(AtomicU64::new(0));
+//!         let n2 = Arc::clone(&n);
+//!         let t = loom::thread::spawn(move || {
+//!             n2.fetch_add(1, Ordering::SeqCst);
+//!         });
+//!         n.fetch_add(1, Ordering::SeqCst);
+//!         t.join().unwrap();
+//!         assert_eq!(n.load(Ordering::SeqCst), 2);
+//!     })
+//!     .expect("no schedule violates the invariant");
+//! assert!(report.complete);
+//! assert!(report.schedules >= 2, "both orders were explored");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod sched;
+
+pub mod model;
+pub mod sync;
+pub mod thread;
+
+pub use model::{model, Builder, ModelFailure, Report};

@@ -1,0 +1,159 @@
+//! The exploration driver: run a closure under every schedule.
+
+use crate::sched::{current_ctx, Scheduler};
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Serializes models within the process: `cargo test` runs tests on
+/// parallel threads, and two concurrent explorations would interleave
+/// their thread-local task registrations.
+static MODEL_LOCK: StdMutex<()> = StdMutex::new(());
+
+/// Outcome of a completed exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Schedules (distinct interleavings) executed.
+    pub schedules: u64,
+    /// `true` when the decision tree was exhausted (under the configured
+    /// preemption bound); `false` when `max_schedules` stopped it early.
+    pub complete: bool,
+}
+
+/// A schedule that violated an invariant (assertion panic, deadlock, or a
+/// runaway schedule), with enough context to replay it by hand.
+#[derive(Debug, Clone)]
+pub struct ModelFailure {
+    /// The panic message or deadlock description.
+    pub message: String,
+    /// Task ids in the order they were scheduled in the failing run.
+    pub trace: Vec<usize>,
+    /// 1-based index of the failing schedule in exploration order.
+    pub schedule: u64,
+}
+
+impl std::fmt::Display for ModelFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "schedule #{} failed: {}\n  schedule trace (task ids): {:?}",
+            self.schedule, self.message, self.trace
+        )
+    }
+}
+
+/// Exploration parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Builder {
+    /// Maximum preemptive context switches per schedule (`None` = full
+    /// DFS). Most concurrency bugs manifest within 2 preemptions, and the
+    /// bound keeps the schedule count polynomial instead of exponential.
+    pub preemption_bound: Option<usize>,
+    /// Stop exploring (reporting `complete: false`) after this many
+    /// schedules.
+    pub max_schedules: u64,
+    /// Fail any single schedule exceeding this many scheduling decisions
+    /// (catches livelocks / unbounded loops in the checked code).
+    pub max_steps: usize,
+    /// Rotates the order schedulable tasks are tried in at each depth;
+    /// the same seed always enumerates the same schedules in the same
+    /// order.
+    pub seed: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder {
+            preemption_bound: Some(2),
+            max_schedules: 1_000_000,
+            max_steps: 100_000,
+            seed: 0,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the given preemption bound.
+    pub fn with_preemption_bound(bound: usize) -> Builder {
+        Builder {
+            preemption_bound: Some(bound),
+            ..Builder::default()
+        }
+    }
+
+    /// Set the exploration seed (schedule enumeration order).
+    pub fn seed(mut self, seed: u64) -> Builder {
+        self.seed = seed;
+        self
+    }
+
+    /// Explore every schedule of `f` (depth-first, bounded as
+    /// configured). Returns the first failing schedule as `Err`, or a
+    /// [`Report`] once the tree is exhausted / the schedule cap is hit.
+    pub fn check<F>(&self, f: F) -> Result<Report, ModelFailure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        assert!(
+            current_ctx().is_none(),
+            "loom::model may not be nested inside a model task"
+        );
+        let _serialize = match MODEL_LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let sched = Arc::new(Scheduler::new(
+            self.preemption_bound,
+            self.max_steps,
+            self.seed,
+        ));
+        let f = Arc::new(f);
+        let mut replay: Vec<usize> = Vec::new();
+        let mut schedules: u64 = 0;
+        loop {
+            schedules += 1;
+            let outcome = sched.run_once(&f, replay);
+            if let Some(message) = outcome.failure {
+                return Err(ModelFailure {
+                    message,
+                    trace: outcome.trace,
+                    schedule: schedules,
+                });
+            }
+            // Depth-first backtrack: drop exhausted trailing decisions,
+            // then advance the deepest one that still has alternatives.
+            let mut decisions = outcome.decisions;
+            while decisions
+                .last()
+                .map(|d| d.chosen + 1 >= d.alternatives)
+                .unwrap_or(false)
+            {
+                decisions.pop();
+            }
+            let Some(last) = decisions.last_mut() else {
+                return Ok(Report {
+                    schedules,
+                    complete: true,
+                });
+            };
+            last.chosen += 1;
+            replay = decisions.iter().map(|d| d.chosen).collect();
+            if schedules >= self.max_schedules {
+                return Ok(Report {
+                    schedules,
+                    complete: false,
+                });
+            }
+        }
+    }
+}
+
+/// Explore every schedule of `f` with default bounds, panicking on the
+/// first schedule that fails an assertion, deadlocks, or diverges.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match Builder::default().check(f) {
+        Ok(report) => report,
+        Err(failure) => panic!("loom model failed: {failure}"),
+    }
+}

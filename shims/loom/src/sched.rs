@@ -1,0 +1,547 @@
+//! The cooperative scheduler behind [`crate::model`].
+//!
+//! Exactly one entity is ever executing: either the controller (the
+//! thread that called [`crate::model`]) or one task (a real OS thread
+//! running model code). Hand-off happens through one mutex + condvar
+//! pair: a task parks at each synchronization point after declaring the
+//! operation it is about to perform, the controller picks the next task
+//! among those whose declared operation can proceed, and the chosen task
+//! applies its operation's effect on the model-level resource table
+//! before running on to its next point.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Sentinel panic payload used to unwind parked tasks when a schedule is
+/// torn down early (assertion failure in a sibling task, deadlock, …).
+pub(crate) struct AbortRun;
+
+/// A synchronization operation a task declares before performing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// Blocking mutex acquire: schedulable only while the mutex is free.
+    MutexLock(usize),
+    /// Non-blocking acquire: always schedulable, may fail.
+    MutexTryLock(usize),
+    /// Mutex release: always schedulable.
+    MutexUnlock(usize),
+    /// Shared rwlock acquire: schedulable while no writer holds it.
+    RwRead(usize),
+    /// Exclusive rwlock acquire: schedulable while nobody holds it.
+    RwWrite(usize),
+    /// Shared release.
+    RwUnlockRead(usize),
+    /// Exclusive release.
+    RwUnlockWrite(usize),
+    /// An atomic memory operation (load/store/rmw): always schedulable.
+    Atomic,
+    /// Thread spawn: always schedulable.
+    Spawn,
+    /// Join on another task: schedulable once that task finished.
+    Join(usize),
+}
+
+/// Model-level state of one lock.
+#[derive(Debug)]
+enum Resource {
+    Mutex { held: bool },
+    Rw { readers: usize, writer: bool },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Finished,
+}
+
+struct Task {
+    status: Status,
+    /// The operation this task is parked on (`None` for a task that was
+    /// spawned but has not yet reached its first synchronization point).
+    pending: Option<Op>,
+}
+
+/// One controller choice: which schedulable task ran, out of how many.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Decision {
+    pub(crate) chosen: usize,
+    pub(crate) alternatives: usize,
+}
+
+/// Everything a finished schedule reports back to the explorer.
+pub(crate) struct RunOutcome {
+    pub(crate) decisions: Vec<Decision>,
+    pub(crate) trace: Vec<usize>,
+    pub(crate) failure: Option<String>,
+}
+
+struct State {
+    tasks: Vec<Task>,
+    resources: Vec<Resource>,
+    /// `Some(id)`: task `id` holds the execution token. `None`: the
+    /// controller's turn.
+    current: Option<usize>,
+    decisions: Vec<Decision>,
+    replay: Vec<usize>,
+    depth: usize,
+    preemptions: usize,
+    last_running: Option<usize>,
+    abort: bool,
+    failure: Option<String>,
+    trace: Vec<usize>,
+    /// Bumped once per schedule so lazily registered resources from a
+    /// previous run are never confused with this run's.
+    pub(crate) generation: u64,
+    /// Real thread handles to reap at the end of the schedule.
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// What kind of model-level resource to register.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ResourceKind {
+    Mutex,
+    Rw,
+}
+
+pub(crate) struct Scheduler {
+    state: StdMutex<State>,
+    cv: Condvar,
+    preemption_bound: Option<usize>,
+    max_steps: usize,
+    seed: u64,
+}
+
+// ------------------------------------------------------------ thread ctx --
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<TaskCtx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Identity of the current model task, if this OS thread is running one.
+#[derive(Clone)]
+pub(crate) struct TaskCtx {
+    pub(crate) sched: Arc<Scheduler>,
+    pub(crate) id: usize,
+}
+
+pub(crate) fn current_ctx() -> Option<TaskCtx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<TaskCtx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked with a non-string payload".to_string()
+    }
+}
+
+impl Scheduler {
+    pub(crate) fn new(preemption_bound: Option<usize>, max_steps: usize, seed: u64) -> Scheduler {
+        Scheduler {
+            state: StdMutex::new(State {
+                tasks: Vec::new(),
+                resources: Vec::new(),
+                current: None,
+                decisions: Vec::new(),
+                replay: Vec::new(),
+                depth: 0,
+                preemptions: 0,
+                last_running: None,
+                abort: false,
+                failure: None,
+                trace: Vec::new(),
+                generation: 0,
+                handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            preemption_bound,
+            max_steps,
+            seed,
+        }
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn wait<'a>(&self, g: StdMutexGuard<'a, State>) -> StdMutexGuard<'a, State> {
+        match self.cv.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    // ----------------------------------------------------- task protocol --
+
+    /// Declare `op`, park until the controller schedules this task, then
+    /// apply the operation's effect. Returns the operation outcome
+    /// (meaningful for `MutexTryLock`: `false` = would block).
+    pub(crate) fn op_point(&self, me: usize, op: Op) -> bool {
+        if std::thread::panicking() {
+            // Unwinding — typically a lock guard dropping while a failed
+            // schedule tears down. Apply release effects directly (no
+            // scheduling decision; the run is over anyway) so the model
+            // resource table stays consistent for the remaining guards.
+            let mut st = self.lock();
+            let ok = Self::apply(&mut st, op);
+            self.cv.notify_all();
+            return ok;
+        }
+        let mut st = self.lock();
+        st.tasks[me].pending = Some(op);
+        st.current = None;
+        self.cv.notify_all();
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(AbortRun);
+            }
+            if st.current == Some(me) {
+                break;
+            }
+            st = self.wait(st);
+        }
+        st.tasks[me].pending = None;
+        Self::apply(&mut st, op)
+    }
+
+    /// Park a freshly spawned task until the controller first schedules it.
+    fn wait_first(&self, me: usize) {
+        let mut st = self.lock();
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(AbortRun);
+            }
+            if st.current == Some(me) {
+                return;
+            }
+            st = self.wait(st);
+        }
+    }
+
+    /// Mark `me` finished (recording a non-abort panic as the schedule's
+    /// failure) and hand the token back to the controller.
+    fn finish(&self, me: usize, panic_msg: Option<String>) {
+        let mut st = self.lock();
+        st.tasks[me].status = Status::Finished;
+        if let Some(msg) = panic_msg {
+            if st.failure.is_none() {
+                st.failure = Some(msg);
+            }
+            st.abort = true;
+        }
+        st.current = None;
+        self.cv.notify_all();
+    }
+
+    /// Register a new task (spawned mid-run); returns its id.
+    pub(crate) fn register_task(&self) -> usize {
+        let mut st = self.lock();
+        st.tasks.push(Task {
+            status: Status::Runnable,
+            pending: None,
+        });
+        st.tasks.len() - 1
+    }
+
+    /// Register a model-level lock; returns its resource id.
+    pub(crate) fn register_resource(&self, kind: ResourceKind) -> usize {
+        let mut st = self.lock();
+        st.resources.push(match kind {
+            ResourceKind::Mutex => Resource::Mutex { held: false },
+            ResourceKind::Rw => Resource::Rw {
+                readers: 0,
+                writer: false,
+            },
+        });
+        st.resources.len() - 1
+    }
+
+    /// The current schedule's generation (for lazy resource re-binding).
+    pub(crate) fn generation(&self) -> u64 {
+        self.lock().generation
+    }
+
+    /// Record a real OS thread to be reaped when the schedule ends.
+    fn track_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.lock().handles.push(h);
+    }
+
+    /// Spawn the real thread backing model task `id`.
+    pub(crate) fn spawn_task<F, T>(
+        self: &Arc<Self>,
+        id: usize,
+        f: F,
+        slot: Arc<StdMutex<Option<Result<T, String>>>>,
+    ) where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let sched = Arc::clone(self);
+        let handle = std::thread::spawn(move || {
+            set_ctx(Some(TaskCtx {
+                sched: Arc::clone(&sched),
+                id,
+            }));
+            sched.wait_first(id);
+            let result = catch_unwind(AssertUnwindSafe(f));
+            set_ctx(None);
+            match result {
+                Ok(v) => {
+                    if let Ok(mut s) = slot.lock() {
+                        *s = Some(Ok(v));
+                    }
+                    sched.finish(id, None);
+                }
+                Err(payload) => {
+                    if payload.is::<AbortRun>() {
+                        sched.finish(id, None);
+                    } else {
+                        let msg = panic_message(payload.as_ref());
+                        if let Ok(mut s) = slot.lock() {
+                            *s = Some(Err(msg.clone()));
+                        }
+                        sched.finish(id, Some(msg));
+                    }
+                }
+            }
+        });
+        self.track_handle(handle);
+    }
+
+    // ------------------------------------------------------- op semantics --
+
+    /// Can `op` proceed given the resource table?
+    fn op_enabled(st: &State, op: Op) -> bool {
+        match op {
+            Op::MutexLock(r) => matches!(st.resources[r], Resource::Mutex { held: false }),
+            Op::RwRead(r) => matches!(st.resources[r], Resource::Rw { writer: false, .. }),
+            Op::RwWrite(r) => matches!(
+                st.resources[r],
+                Resource::Rw {
+                    readers: 0,
+                    writer: false
+                }
+            ),
+            Op::Join(t) => st.tasks[t].status == Status::Finished,
+            Op::MutexTryLock(_)
+            | Op::MutexUnlock(_)
+            | Op::RwUnlockRead(_)
+            | Op::RwUnlockWrite(_)
+            | Op::Atomic
+            | Op::Spawn => true,
+        }
+    }
+
+    /// Apply `op`'s effect. Returns `false` only for a failed try-lock.
+    fn apply(st: &mut State, op: Op) -> bool {
+        match op {
+            Op::MutexLock(r) | Op::MutexTryLock(r) => match &mut st.resources[r] {
+                Resource::Mutex { held } => {
+                    if *held {
+                        debug_assert!(matches!(op, Op::MutexTryLock(_)));
+                        false
+                    } else {
+                        *held = true;
+                        true
+                    }
+                }
+                Resource::Rw { .. } => unreachable!("mutex op on rwlock resource"),
+            },
+            Op::MutexUnlock(r) => match &mut st.resources[r] {
+                Resource::Mutex { held } => {
+                    *held = false;
+                    true
+                }
+                Resource::Rw { .. } => unreachable!("mutex op on rwlock resource"),
+            },
+            Op::RwRead(r) | Op::RwUnlockRead(r) => match &mut st.resources[r] {
+                Resource::Rw { readers, .. } => {
+                    if matches!(op, Op::RwRead(_)) {
+                        *readers += 1;
+                    } else {
+                        *readers -= 1;
+                    }
+                    true
+                }
+                Resource::Mutex { .. } => unreachable!("rwlock op on mutex resource"),
+            },
+            Op::RwWrite(r) | Op::RwUnlockWrite(r) => match &mut st.resources[r] {
+                Resource::Rw { writer, .. } => {
+                    *writer = matches!(op, Op::RwWrite(_));
+                    true
+                }
+                Resource::Mutex { .. } => unreachable!("rwlock op on mutex resource"),
+            },
+            Op::Atomic | Op::Spawn | Op::Join(_) => true,
+        }
+    }
+
+    // ------------------------------------------------------- controller --
+
+    /// Tasks that could be scheduled right now.
+    fn schedulable(st: &State) -> Vec<usize> {
+        (0..st.tasks.len())
+            .filter(|&i| {
+                st.tasks[i].status == Status::Runnable
+                    && st.tasks[i]
+                        .pending
+                        .map(|op| Self::op_enabled(st, op))
+                        .unwrap_or(true)
+            })
+            .collect()
+    }
+
+    /// Deterministic per-depth rotation so different seeds enumerate
+    /// schedules in different (but individually stable) orders.
+    fn rotation(&self, depth: usize, len: usize) -> usize {
+        if len <= 1 {
+            return 0;
+        }
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(depth as u64);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        (x as usize) % len
+    }
+
+    /// Run one schedule of `f` to completion, replaying `replay` and then
+    /// defaulting to the first schedulable task at each new decision.
+    pub(crate) fn run_once<F>(self: &Arc<Self>, f: &Arc<F>, replay: Vec<usize>) -> RunOutcome
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        // Reset per-schedule state and register the root task.
+        {
+            let mut st = self.lock();
+            debug_assert!(st.handles.is_empty());
+            st.tasks.clear();
+            st.resources.clear();
+            st.decisions.clear();
+            st.replay = replay;
+            st.depth = 0;
+            st.preemptions = 0;
+            st.last_running = None;
+            st.abort = false;
+            st.failure = None;
+            st.trace.clear();
+            st.generation = st.generation.wrapping_add(1);
+            st.tasks.push(Task {
+                status: Status::Runnable,
+                pending: None,
+            });
+        }
+        let root = Arc::clone(f);
+        let root_slot: Arc<StdMutex<Option<Result<(), String>>>> = Arc::new(StdMutex::new(None));
+        self.spawn_task(0, move || root(), root_slot);
+
+        loop {
+            let mut st = self.lock();
+            while st.current.is_some() {
+                st = self.wait(st);
+            }
+            if st.tasks.iter().all(|t| t.status == Status::Finished) {
+                break;
+            }
+            if st.abort {
+                // Tear-down: parked tasks unwind via AbortRun when woken.
+                self.cv.notify_all();
+                st = self.wait(st);
+                drop(st);
+                continue;
+            }
+            let schedulable = Self::schedulable(&st);
+            if schedulable.is_empty() {
+                let held: Vec<String> = st
+                    .tasks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status == Status::Runnable)
+                    .map(|(i, t)| format!("task {i} waiting on {:?}", t.pending))
+                    .collect();
+                st.failure = Some(format!(
+                    "deadlock: no schedulable task ({})",
+                    held.join("; ")
+                ));
+                st.abort = true;
+                self.cv.notify_all();
+                continue;
+            }
+            if st.depth >= self.max_steps {
+                st.failure = Some(format!(
+                    "schedule exceeded {} steps (livelock or unbounded loop?)",
+                    self.max_steps
+                ));
+                st.abort = true;
+                self.cv.notify_all();
+                continue;
+            }
+
+            // Preemption bounding: once the budget is spent, keep running
+            // the previous task for as long as it stays schedulable.
+            let mut candidates = schedulable.clone();
+            if let (Some(bound), Some(last)) = (self.preemption_bound, st.last_running) {
+                if st.preemptions >= bound && candidates.contains(&last) {
+                    candidates = vec![last];
+                }
+            }
+            let rot = self.rotation(st.depth, candidates.len());
+            candidates.rotate_left(rot);
+
+            let alternatives = candidates.len();
+            let rank = st.replay.get(st.depth).copied().unwrap_or(0);
+            assert!(
+                rank < alternatives,
+                "model replay diverged (the checked closure is nondeterministic \
+                 given a fixed schedule): depth {} rank {} alternatives {}",
+                st.depth,
+                rank,
+                alternatives
+            );
+            let task = candidates[rank];
+            st.decisions.push(Decision {
+                chosen: rank,
+                alternatives,
+            });
+            st.depth += 1;
+            if let Some(last) = st.last_running {
+                if last != task && schedulable.contains(&last) {
+                    st.preemptions += 1;
+                }
+            }
+            st.last_running = Some(task);
+            st.trace.push(task);
+            st.current = Some(task);
+            self.cv.notify_all();
+        }
+
+        // All tasks finished: reap the real threads, then report.
+        let handles = {
+            let mut st = self.lock();
+            std::mem::take(&mut st.handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut st = self.lock();
+        RunOutcome {
+            decisions: std::mem::take(&mut st.decisions),
+            trace: std::mem::take(&mut st.trace),
+            failure: st.failure.take(),
+        }
+    }
+}

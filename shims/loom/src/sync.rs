@@ -1,0 +1,488 @@
+//! Shimmed synchronization primitives.
+//!
+//! Inside a [`crate::model`] run, every operation is a scheduling point
+//! explored by the controller; outside, operations delegate straight to
+//! `std::sync` (checking one thread-local per call). The lock API matches
+//! the in-tree `parking_lot` shim — non-poisoning `lock()` / `read()` /
+//! `write()` returning guards directly — so production code can swap
+//! between the two behind a feature-gated facade module.
+
+use crate::sched::{current_ctx, Op, ResourceKind, TaskCtx};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex as StdMutex;
+
+pub use std::sync::Arc;
+
+/// Lazily bound model resource id, re-registered once per schedule.
+#[derive(Debug, Default)]
+struct ResourceTag {
+    bound: StdMutex<Option<(u64, usize)>>,
+}
+
+impl ResourceTag {
+    const fn new() -> ResourceTag {
+        ResourceTag {
+            bound: StdMutex::new(None),
+        }
+    }
+
+    /// The resource id for the current schedule, registering on first use.
+    fn id(&self, ctx: &TaskCtx, kind: ResourceKind) -> usize {
+        let generation = ctx.sched.generation();
+        let mut bound = match self.bound.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        match *bound {
+            Some((generation_bound, id)) if generation_bound == generation => id,
+            _ => {
+                let id = ctx.sched.register_resource(kind);
+                *bound = Some((generation, id));
+                id
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ mutex --
+
+/// Mutual exclusion lock, model-checked inside [`crate::model`] runs.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    tag: ResourceTag,
+    data: StdMutex<T>,
+}
+
+/// Guard for [`Mutex`]; releasing it is a scheduling point in a model.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    release: Option<(TaskCtx, usize)>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex holding `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            tag: ResourceTag::new(),
+            data: StdMutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.data.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn data_guard(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.data.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                unreachable!("model granted a mutex that is actually held")
+            }
+        }
+    }
+
+    /// Acquire the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match current_ctx() {
+            Some(ctx) => {
+                let r = self.tag.id(&ctx, ResourceKind::Mutex);
+                ctx.sched.op_point(ctx.id, Op::MutexLock(r));
+                MutexGuard {
+                    inner: Some(self.data_guard()),
+                    release: Some((ctx, r)),
+                }
+            }
+            None => MutexGuard {
+                inner: Some(match self.data.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                }),
+                release: None,
+            },
+        }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match current_ctx() {
+            Some(ctx) => {
+                let r = self.tag.id(&ctx, ResourceKind::Mutex);
+                if ctx.sched.op_point(ctx.id, Op::MutexTryLock(r)) {
+                    Some(MutexGuard {
+                        inner: Some(self.data_guard()),
+                        release: Some((ctx, r)),
+                    })
+                } else {
+                    None
+                }
+            }
+            None => match self.data.try_lock() {
+                Ok(g) => Some(MutexGuard {
+                    inner: Some(g),
+                    release: None,
+                }),
+                Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                    inner: Some(p.into_inner()),
+                    release: None,
+                }),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            },
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.data.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before the model-level release point, so
+        // the next task the controller schedules can actually acquire it.
+        self.inner.take();
+        if let Some((ctx, r)) = self.release.take() {
+            ctx.sched.op_point(ctx.id, Op::MutexUnlock(r));
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("loom::Mutex { .. }")
+    }
+}
+
+// ----------------------------------------------------------------- rwlock --
+
+/// Reader-writer lock, model-checked inside [`crate::model`] runs.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    tag: ResourceTag,
+    data: std::sync::RwLock<T>,
+}
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    release: Option<(TaskCtx, usize)>,
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    release: Option<(TaskCtx, usize)>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new lock holding `value`.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            tag: ResourceTag::new(),
+            data: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.data.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match current_ctx() {
+            Some(ctx) => {
+                let r = self.tag.id(&ctx, ResourceKind::Rw);
+                ctx.sched.op_point(ctx.id, Op::RwRead(r));
+                RwLockReadGuard {
+                    inner: Some(match self.data.try_read() {
+                        Ok(g) => g,
+                        Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                        Err(std::sync::TryLockError::WouldBlock) => {
+                            unreachable!("model granted a read on a write-held rwlock")
+                        }
+                    }),
+                    release: Some((ctx, r)),
+                }
+            }
+            None => RwLockReadGuard {
+                inner: Some(match self.data.read() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                }),
+                release: None,
+            },
+        }
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match current_ctx() {
+            Some(ctx) => {
+                let r = self.tag.id(&ctx, ResourceKind::Rw);
+                ctx.sched.op_point(ctx.id, Op::RwWrite(r));
+                RwLockWriteGuard {
+                    inner: Some(match self.data.try_write() {
+                        Ok(g) => g,
+                        Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                        Err(std::sync::TryLockError::WouldBlock) => {
+                            unreachable!("model granted a write on a held rwlock")
+                        }
+                    }),
+                    release: Some((ctx, r)),
+                }
+            }
+            None => RwLockWriteGuard {
+                inner: Some(match self.data.write() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                }),
+                release: None,
+            },
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.data.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some((ctx, r)) = self.release.take() {
+            ctx.sched.op_point(ctx.id, Op::RwUnlockRead(r));
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some((ctx, r)) = self.release.take() {
+            ctx.sched.op_point(ctx.id, Op::RwUnlockWrite(r));
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("loom::RwLock { .. }")
+    }
+}
+
+// ---------------------------------------------------------------- atomics --
+
+/// Shimmed atomic integer/bool types; every operation is a scheduling
+/// point inside a model.
+pub mod atomic {
+    use crate::sched::{current_ctx, Op};
+
+    pub use std::sync::atomic::Ordering;
+
+    fn hook() {
+        if let Some(ctx) = current_ctx() {
+            ctx.sched.op_point(ctx.id, Op::Atomic);
+        }
+    }
+
+    macro_rules! shim_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Create a new atomic holding `value`.
+                pub const fn new(value: $ty) -> $name {
+                    $name {
+                        inner: std::sync::atomic::$std::new(value),
+                    }
+                }
+
+                /// Atomic load (a scheduling point inside a model).
+                pub fn load(&self, order: Ordering) -> $ty {
+                    hook();
+                    self.inner.load(order)
+                }
+
+                /// Atomic store (a scheduling point inside a model).
+                pub fn store(&self, value: $ty, order: Ordering) {
+                    hook();
+                    self.inner.store(value, order)
+                }
+
+                /// Atomic swap (a scheduling point inside a model).
+                pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                    hook();
+                    self.inner.swap(value, order)
+                }
+
+                /// Atomic compare-exchange (a scheduling point inside a model).
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    hook();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Consume the atomic, returning the inner value.
+                pub fn into_inner(self) -> $ty {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! shim_atomic_int {
+        ($name:ident) => {
+            impl $name {
+                /// Atomic add, returning the previous value (a scheduling
+                /// point inside a model).
+                pub fn fetch_add(
+                    &self,
+                    value: <Self as crate::sync::atomic::Primitive>::Int,
+                    order: Ordering,
+                ) -> <Self as crate::sync::atomic::Primitive>::Int {
+                    hook();
+                    self.inner.fetch_add(value, order)
+                }
+
+                /// Atomic subtract, returning the previous value (a
+                /// scheduling point inside a model).
+                pub fn fetch_sub(
+                    &self,
+                    value: <Self as crate::sync::atomic::Primitive>::Int,
+                    order: Ordering,
+                ) -> <Self as crate::sync::atomic::Primitive>::Int {
+                    hook();
+                    self.inner.fetch_sub(value, order)
+                }
+
+                /// Atomic max, returning the previous value (a scheduling
+                /// point inside a model).
+                pub fn fetch_max(
+                    &self,
+                    value: <Self as crate::sync::atomic::Primitive>::Int,
+                    order: Ordering,
+                ) -> <Self as crate::sync::atomic::Primitive>::Int {
+                    hook();
+                    self.inner.fetch_max(value, order)
+                }
+            }
+        };
+    }
+
+    /// Maps each shimmed atomic to its primitive integer type.
+    pub trait Primitive {
+        /// The primitive the atomic wraps.
+        type Int;
+    }
+
+    shim_atomic!(
+        /// Shimmed `AtomicU64`.
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    shim_atomic!(
+        /// Shimmed `AtomicU32`.
+        AtomicU32,
+        AtomicU32,
+        u32
+    );
+    shim_atomic!(
+        /// Shimmed `AtomicUsize`.
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+    shim_atomic!(
+        /// Shimmed `AtomicBool`.
+        AtomicBool,
+        AtomicBool,
+        bool
+    );
+
+    impl Primitive for AtomicU64 {
+        type Int = u64;
+    }
+    impl Primitive for AtomicU32 {
+        type Int = u32;
+    }
+    impl Primitive for AtomicUsize {
+        type Int = usize;
+    }
+
+    shim_atomic_int!(AtomicU64);
+    shim_atomic_int!(AtomicU32);
+    shim_atomic_int!(AtomicUsize);
+
+    impl AtomicBool {
+        /// Atomic logical-or, returning the previous value (a scheduling
+        /// point inside a model).
+        pub fn fetch_or(&self, value: bool, order: Ordering) -> bool {
+            hook();
+            self.inner.fetch_or(value, order)
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Shimmed thread spawn/join.
+//!
+//! Inside a [`crate::model`] run, `spawn` registers a new model task whose
+//! execution interleaves under the controller; outside, it is
+//! `std::thread::spawn`.
+
+use crate::sched::{current_ctx, Op};
+use std::sync::{Arc, Mutex as StdMutex};
+
+enum Inner<T> {
+    /// A task inside a model: join through the scheduler.
+    Model {
+        target: usize,
+        slot: Arc<StdMutex<Option<Result<T, String>>>>,
+    },
+    /// A plain OS thread (no model active at spawn time).
+    Std(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned thread; `join` is a scheduling point in a model.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+/// Spawn a thread. Inside a model this registers a new schedulable task;
+/// outside it delegates to [`std::thread::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current_ctx() {
+        Some(ctx) => {
+            // The spawn itself is a scheduling point: siblings may run
+            // between the decision to spawn and the child becoming
+            // schedulable — but registration happens atomically here, so
+            // the child is schedulable from the next controller turn.
+            ctx.sched.op_point(ctx.id, Op::Spawn);
+            let target = ctx.sched.register_task();
+            let slot: Arc<StdMutex<Option<Result<T, String>>>> = Arc::new(StdMutex::new(None));
+            ctx.sched.spawn_task(target, f, Arc::clone(&slot));
+            JoinHandle {
+                inner: Inner::Model { target, slot },
+            }
+        }
+        None => JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        },
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result. Mirrors
+    /// [`std::thread::JoinHandle::join`]: `Err` when the task panicked
+    /// (inside a model the panic has already failed the schedule, so the
+    /// joiner is normally torn down before observing it).
+    #[allow(clippy::result_unit_err)]
+    pub fn join(self) -> Result<T, ()> {
+        match self.inner {
+            Inner::Model { target, slot } => {
+                let ctx = current_ctx()
+                    .expect("a model task's JoinHandle must be joined from a model task");
+                ctx.sched.op_point(ctx.id, Op::Join(target));
+                let result = match slot.lock() {
+                    Ok(mut g) => g.take(),
+                    Err(p) => p.into_inner().take(),
+                };
+                match result {
+                    Some(Ok(v)) => Ok(v),
+                    Some(Err(_)) | None => Err(()),
+                }
+            }
+            Inner::Std(h) => h.join().map_err(|_| ()),
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Self-tests for the mini-loom explorer: it must exhaustively and
+//! deterministically enumerate schedules, *find* genuine races and
+//! deadlocks, and pass through to `std` outside a model.
+
+use loom::model::Builder;
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::{Arc, Mutex, RwLock};
+use std::sync::Mutex as StdMutex;
+
+/// Serialize the expected-failure tests' panic-hook fiddling (model runs
+/// themselves are already serialized inside the crate).
+static HOOK: StdMutex<()> = StdMutex::new(());
+
+/// Run `f` with panic output suppressed: expected-failure explorations
+/// deliberately panic inside model tasks, and the default hook would spam
+/// the test log.
+fn quietly<T>(f: impl FnOnce() -> T) -> T {
+    let _serial = HOOK.lock().unwrap();
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = f();
+    std::panic::set_hook(prev);
+    result
+}
+
+#[test]
+fn atomic_increments_always_commute() {
+    let report = loom::model(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                loom::thread::spawn(move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.complete);
+    assert!(
+        report.schedules >= 2,
+        "at least both thread orders must be explored, got {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn deliberately_racy_counter_is_detected() {
+    // The canonical lost update: increment via separate load and store.
+    // Some interleaving loses one increment, and the explorer must find
+    // it (this is the self-test the lint/model subsystem hangs off).
+    let failure = quietly(|| {
+        Builder::default().check(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let threads: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    loom::thread::spawn(move || {
+                        let seen = n.load(Ordering::SeqCst);
+                        n.store(seen + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+        })
+    });
+    let failure = failure.expect_err("the lost update must be found");
+    assert!(
+        failure.message.contains("lost update"),
+        "unexpected failure: {failure}"
+    );
+}
+
+#[test]
+fn mutex_serializes_read_modify_write() {
+    // The same racy increment, now under a mutex: no schedule may lose an
+    // update, and the explorer still visits multiple schedules.
+    let report = loom::model(|| {
+        let n = Arc::new(Mutex::new(0u64));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                loom::thread::spawn(move || {
+                    let mut g = n.lock();
+                    *g += 1;
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*n.lock(), 2);
+    });
+    assert!(report.complete);
+    assert!(report.schedules >= 2);
+}
+
+#[test]
+fn opposite_lock_order_deadlock_is_detected() {
+    let failure = quietly(|| {
+        Builder::default().check(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = loom::thread::spawn(move || {
+                let _g1 = b2.lock();
+                let _g2 = a2.lock();
+            });
+            let _g1 = a.lock();
+            let _g2 = b.lock();
+            drop((_g1, _g2));
+            let _ = t.join();
+        })
+    });
+    let failure = failure.expect_err("opposite lock order must deadlock somewhere");
+    assert!(
+        failure.message.contains("deadlock"),
+        "unexpected failure: {failure}"
+    );
+    assert!(!failure.trace.is_empty(), "trace identifies the schedule");
+}
+
+#[test]
+fn rwlock_writers_are_exclusive_and_readers_observe_consistent_state() {
+    let report = loom::model(|| {
+        let l = Arc::new(RwLock::new((0u64, 0u64)));
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                loom::thread::spawn(move || {
+                    let mut g = l.write();
+                    // Two non-atomic halves: a reader overlapping a writer
+                    // (or two writers overlapping) would observe a torn pair.
+                    g.0 += 1;
+                    g.1 += 1;
+                })
+            })
+            .collect();
+        let reader = {
+            let l = Arc::clone(&l);
+            loom::thread::spawn(move || {
+                let g = l.read();
+                assert_eq!(g.0, g.1, "reader saw a torn write");
+            })
+        };
+        for t in writers {
+            t.join().unwrap();
+        }
+        reader.join().unwrap();
+        let g = l.read();
+        assert_eq!(*g, (2, 2));
+    });
+    assert!(report.complete);
+    assert!(report.schedules >= 6, "got {}", report.schedules);
+}
+
+#[test]
+fn try_lock_explores_both_outcomes() {
+    let outcomes = Arc::new(StdMutex::new((false, false)));
+    let sink = Arc::clone(&outcomes);
+    let report = loom::model(move || {
+        let m = Arc::new(Mutex::new(()));
+        let m2 = Arc::clone(&m);
+        let t = loom::thread::spawn(move || {
+            let _g = m2.lock();
+        });
+        match m.try_lock() {
+            Some(_) => sink.lock().unwrap().0 = true,
+            None => sink.lock().unwrap().1 = true,
+        }
+        t.join().unwrap();
+    });
+    assert!(report.complete);
+    let seen = *outcomes.lock().unwrap();
+    assert_eq!(
+        seen,
+        (true, true),
+        "some schedule must win and some must lose the try_lock"
+    );
+}
+
+#[test]
+fn same_seed_reproduces_the_same_exploration() {
+    let run = |seed: u64| {
+        quietly(|| {
+            Builder::default().seed(seed).check(|| {
+                let n = Arc::new(AtomicU64::new(0));
+                let threads: Vec<_> = (0..3)
+                    .map(|_| {
+                        let n = Arc::clone(&n);
+                        loom::thread::spawn(move || {
+                            let seen = n.load(Ordering::SeqCst);
+                            n.store(seen + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for t in threads {
+                    t.join().unwrap();
+                }
+                assert_eq!(n.load(Ordering::SeqCst), 3);
+            })
+        })
+    };
+    let a = run(7).expect_err("3-way lost update must be found");
+    let b = run(7).expect_err("3-way lost update must be found");
+    assert_eq!(a.schedule, b.schedule, "same seed, same failing schedule");
+    assert_eq!(a.trace, b.trace, "same seed, same schedule trace");
+}
+
+#[test]
+fn exploration_is_breadthy_enough_for_three_threads() {
+    let report = loom::model(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                loom::thread::spawn(move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                    n.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 6);
+    });
+    assert!(report.complete);
+    assert!(
+        report.schedules >= 100,
+        "three threads × two ops under preemption bound 2 should yield \
+         hundreds of schedules, got {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn passthrough_outside_a_model_behaves_like_std() {
+    let m = Arc::new(Mutex::new(0u64));
+    let l = Arc::new(RwLock::new(0u64));
+    let a = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let (m, l, a) = (Arc::clone(&m), Arc::clone(&l), Arc::clone(&a));
+            loom::thread::spawn(move || {
+                for _ in 0..100 {
+                    *m.lock() += 1;
+                    *l.write() += 1;
+                    a.fetch_add(1, Ordering::Relaxed);
+                }
+                *l.read()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert!(h.join().unwrap() <= 400);
+    }
+    assert_eq!(*m.lock(), 400);
+    assert_eq!(*l.read(), 400);
+    assert_eq!(a.load(Ordering::Relaxed), 400);
+    assert!(m.try_lock().is_some());
+}
+
+#[test]
+fn join_returns_the_task_value() {
+    let report = loom::model(|| {
+        let t = loom::thread::spawn(|| 40 + 2);
+        assert_eq!(t.join().unwrap(), 42);
+    });
+    assert!(report.complete);
+}

@@ -3,6 +3,8 @@
 //! `Deserialize` — nothing actually serializes — so the derives expand to
 //! nothing and the marker traits in the `serde` shim are blanket-implemented.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op stand-in for `serde_derive::Serialize`.

@@ -41,6 +41,8 @@
 //! println!("CoIC reduces mean latency by {reduction:.1}%");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use coic_cache as cache;
 pub use coic_core as core;
 pub use coic_netsim as netsim;
