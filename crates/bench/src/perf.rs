@@ -34,8 +34,9 @@ use coic_cache::{
 };
 use coic_core::compute::ComputeConfig;
 use coic_core::content::{ModelLibrary, PanoLibrary};
-use coic_core::netrun::{spawn_cloud, spawn_edge, NetClient};
+use coic_core::netrun::{spawn_cloud, spawn_edge_with, NetClient, NetConfig};
 use coic_core::services::{ClientConfig, EdgeConfig};
+use coic_obs::Telemetry;
 use coic_vision::{FeatureVec, ObjectClass};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -377,7 +378,7 @@ fn approx_lookup_cells(quick: bool, seed: u64, results: &mut Vec<CellResult>) {
                 index_name,
                 threads,
                 ops,
-                |t, i| sharded.lookup(&queries[t][i as usize], 1).is_some(),
+                |t, i| sharded.lookup(&queries[t][i as usize], 1).is_hit(),
             ));
         }
     }
@@ -385,7 +386,7 @@ fn approx_lookup_cells(quick: bool, seed: u64, results: &mut Vec<CellResult>) {
 
 /// End-to-end loopback cell: M concurrent clients against one live edge
 /// re-requesting a shared panorama pool (the VR co-watching shape).
-fn edge_e2e_cell(quick: bool, seed: u64, results: &mut Vec<CellResult>) {
+fn edge_e2e_cell(quick: bool, seed: u64, tel: &Telemetry, results: &mut Vec<CellResult>) {
     use coic_workload::{Request, RequestKind, UserId, ZoneId};
 
     let clients = if quick { 4 } else { 8 };
@@ -398,7 +399,12 @@ fn edge_e2e_cell(quick: bool, seed: u64, results: &mut Vec<CellResult>) {
     let classes: Vec<_> = (0..3).map(ObjectClass).collect();
     let cloud = spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), seed)
         .expect("cloud spawn");
-    let edge = spawn_edge(cloud.addr(), &EdgeConfig::default()).expect("edge spawn");
+    let net = NetConfig {
+        telemetry: tel.clone(),
+        ..NetConfig::default()
+    };
+    let edge = spawn_edge_with(cloud.addr(), &EdgeConfig::default(), net.clone(), None)
+        .expect("edge spawn");
 
     let started = Instant::now();
     let mut all_samples: Vec<u64> = Vec::new();
@@ -406,10 +412,12 @@ fn edge_e2e_cell(quick: bool, seed: u64, results: &mut Vec<CellResult>) {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let (models, panos) = (models.clone(), panos.clone());
-                let edge_addr = edge.addr();
+                let (edge_addr, net, tel) = (edge.addr(), net.clone(), tel.clone());
                 scope.spawn(move || {
-                    let mut client = NetClient::connect(
+                    let mut client = NetClient::connect_with(
                         edge_addr,
+                        None,
+                        net,
                         ClientConfig::default(),
                         compute,
                         models,
@@ -429,6 +437,7 @@ fn edge_e2e_cell(quick: bool, seed: u64, results: &mut Vec<CellResult>) {
                         let out = client.execute(&req).expect("live request");
                         samples.push(out.elapsed.as_nanos() as u64);
                     }
+                    client.publish_metrics(tel.registry());
                     samples
                 })
             })
@@ -455,6 +464,7 @@ fn edge_e2e_cell(quick: bool, seed: u64, results: &mut Vec<CellResult>) {
         },
         hit_ratio: edge.cache_hit_ratio(),
     });
+    edge.publish_metrics(tel.registry());
 }
 
 fn git_rev() -> String {
@@ -481,11 +491,19 @@ fn cell_throughput(results: &[CellResult], workload: &str, threads: usize) -> f6
 /// runs; `seed` drives every random stream, so two runs with the same seed
 /// measure identical workloads.
 pub fn run_bench(quick: bool, seed: u64) -> BenchReport {
+    run_bench_with(quick, seed, &Telemetry::disabled())
+}
+
+/// [`run_bench`] with an explicit telemetry handle: the loopback edge
+/// cell runs under `tel`, so `coic bench --trace-out/--metrics-out` can
+/// export the same event vocabulary and registry keys the simulator and
+/// live stack emit.
+pub fn run_bench_with(quick: bool, seed: u64, tel: &Telemetry) -> BenchReport {
     let mut results = Vec::new();
     exact_lookup_cells(quick, seed, &mut results);
     exact_insert_cells(quick, &mut results);
     approx_lookup_cells(quick, seed, &mut results);
-    edge_e2e_cell(quick, seed, &mut results);
+    edge_e2e_cell(quick, seed, tel, &mut results);
 
     let top = *THREAD_STEPS.last().expect("non-empty steps");
     let mutex_tput = cell_throughput(&results, "exact_lookup/mutex", top);

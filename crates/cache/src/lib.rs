@@ -14,7 +14,9 @@
 //! * [`concurrent`] — single-mutex shared wrappers (contention baseline),
 //! * [`sharded`] — sharded read-optimized wrappers for the real-TCP edge,
 //! * [`coop`] — multi-edge cooperative lookup,
-//! * [`stats`] — hit/miss/eviction counters.
+//! * [`metrics`] — the unified [`metrics::Metrics`] view (publishes to the
+//!   `coic-obs` registry) and the typed [`metrics::Lookup`] outcome,
+//! * [`stats`] — legacy hit/miss/eviction counters (facade view).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,6 +27,7 @@ pub mod concurrent;
 pub mod coop;
 pub mod digest;
 pub mod exact;
+pub mod metrics;
 pub mod policy;
 pub mod sharded;
 pub mod sketch;
@@ -38,6 +41,7 @@ pub use concurrent::{SharedApproxCache, SharedExactCache};
 pub use coop::{CoopGroup, CoopOutcome};
 pub use digest::{fnv1a64, sha256, Digest};
 pub use exact::ExactCache;
+pub use metrics::{Lookup, Metrics};
 pub use policy::{EvictionPolicy, PolicyKind};
 pub use sharded::{ShardedApproxCache, ShardedExactCache, TouchStats, DEFAULT_SHARDS};
 pub use sketch::CountMinSketch;

@@ -51,6 +51,7 @@ use crate::admission::TinyLfuConfig;
 use crate::approx::{ApproxCache, ApproxLookup, IndexKind};
 use crate::digest::Digest;
 use crate::exact::ExactCache;
+use crate::metrics::{Lookup, Metrics};
 use crate::policy::PolicyKind;
 use crate::stats::CacheStats;
 use crate::sync::{AtomicU64, Mutex, Ordering, RwLock};
@@ -187,8 +188,14 @@ impl<V> ShardedExactCache<V> {
         self.shards.len()
     }
 
+    /// Index of the shard serving `key` (telemetry: the `shard` field of
+    /// `edge.lookup` trace events).
+    pub fn shard_of_key(&self, key: &Digest) -> usize {
+        (key.short() as usize) % self.shards.len()
+    }
+
     fn shard_of(&self, key: &Digest) -> &ExactShard<V> {
-        &self.shards[(key.short() as usize) % self.shards.len()]
+        &self.shards[self.shard_of_key(key)]
     }
 
     /// Look a digest up at `now_ns`. The returned `Arc` is cloned under a
@@ -259,10 +266,13 @@ impl<V> ShardedExactCache<V> {
         guard.insert(key, Arc::new(value), size, now_ns);
     }
 
-    /// Merged counters: per-shard read-path atomics plus each shard's
-    /// write-path store counters.
-    pub fn stats(&self) -> CacheStats {
-        let mut total = CacheStats::default();
+    /// The unified counter snapshot: per-shard read-path atomics, each
+    /// shard's write-path store counters, and the deferred-touch protocol
+    /// counters, merged into one [`Metrics`] view. [`Metrics::touch_dead`]
+    /// must be zero (see the module docs).
+    pub fn metrics(&self) -> Metrics {
+        let mut total = Metrics::default();
+        let mut touches = TouchStats::default();
         for shard in self.shards.iter() {
             let s = *shard.cache.read().stats();
             total.hits += s.hits + shard.hits.load(Ordering::Relaxed);
@@ -272,18 +282,27 @@ impl<V> ShardedExactCache<V> {
             total.expired += s.expired;
             total.rejected += s.rejected;
             total.admission_rejects += s.admission_rejects;
+            shard.touch_counters.merge_into(&mut touches);
         }
+        total.touch_queued = touches.queued;
+        total.touch_dropped = touches.dropped;
+        total.touch_replayed = touches.replayed;
+        total.touch_dead = touches.dead;
         total
+    }
+
+    /// Merged counters: per-shard read-path atomics plus each shard's
+    /// write-path store counters.
+    #[deprecated(note = "use `metrics()`; this facade derives from it")]
+    pub fn stats(&self) -> CacheStats {
+        self.metrics().cache_stats()
     }
 
     /// Deferred-touch protocol counters, summed across shards.
     /// [`TouchStats::dead`] must be zero (see the module docs).
+    #[deprecated(note = "use `metrics()`; this facade derives from it")]
     pub fn touch_stats(&self) -> TouchStats {
-        let mut total = TouchStats::default();
-        for shard in self.shards.iter() {
-            shard.touch_counters.merge_into(&mut total);
-        }
-        total
+        self.metrics().touch_stats()
     }
 
     /// Total entries across shards.
@@ -389,8 +408,14 @@ impl<V> ShardedApproxCache<V> {
         self.shards.len()
     }
 
-    fn home_of(&self, descriptor: &FeatureVec) -> usize {
+    /// Home shard of a descriptor (telemetry: the `shard` field of
+    /// `edge.lookup` trace events).
+    pub fn home_shard(&self, descriptor: &FeatureVec) -> usize {
         (self.router.signature(descriptor) as usize) % self.shards.len()
+    }
+
+    fn home_of(&self, descriptor: &FeatureVec) -> usize {
+        self.home_shard(descriptor)
     }
 
     /// Probe one shard read-only; a within-threshold hit clones the `Arc`
@@ -420,7 +445,8 @@ impl<V> ShardedApproxCache<V> {
         }
     }
 
-    /// Threshold lookup; returns the matched value and distance on a hit.
+    /// Threshold lookup; a hit reports the match distance via
+    /// [`Lookup::ApproxHit`].
     ///
     /// The home shard (descriptor signature) is probed first; on a miss
     /// every other shard is probed too, so the hit/miss decision equals an
@@ -429,11 +455,11 @@ impl<V> ShardedApproxCache<V> {
     /// fast path may return a within-threshold match that is not the
     /// global nearest — a deliberate trade, since any within-threshold
     /// entry is by definition an acceptable reuse.
-    pub fn lookup(&self, query: &FeatureVec, _now_ns: u64) -> Option<(Arc<V>, f32)> {
+    pub fn lookup(&self, query: &FeatureVec, _now_ns: u64) -> Lookup<Arc<V>> {
         let home = self.home_of(query);
-        if let Some(hit) = self.probe(home, query) {
+        if let Some((value, distance)) = self.probe(home, query) {
             self.shards[home].hits.fetch_add(1, Ordering::Relaxed);
-            return Some(hit);
+            return Lookup::ApproxHit { value, distance };
         }
         let mut best: Option<(Arc<V>, f32)> = None;
         for idx in 0..self.shards.len() {
@@ -447,13 +473,13 @@ impl<V> ShardedApproxCache<V> {
             }
         }
         match best {
-            Some(hit) => {
+            Some((value, distance)) => {
                 self.shards[home].hits.fetch_add(1, Ordering::Relaxed);
-                Some(hit)
+                Lookup::ApproxHit { value, distance }
             }
             None => {
                 self.shards[home].misses.fetch_add(1, Ordering::Relaxed);
-                None
+                Lookup::Miss
             }
         }
     }
@@ -473,9 +499,12 @@ impl<V> ShardedApproxCache<V> {
         guard.insert(descriptor, Arc::new(value), size, now_ns);
     }
 
-    /// Merged counters (read-path atomics + write-path store counters).
-    pub fn stats(&self) -> CacheStats {
-        let mut total = CacheStats::default();
+    /// The unified counter snapshot (read-path atomics + write-path store
+    /// counters + deferred-touch protocol), merged across shards.
+    /// [`Metrics::touch_dead`] must be zero (see the module docs).
+    pub fn metrics(&self) -> Metrics {
+        let mut total = Metrics::default();
+        let mut touches = TouchStats::default();
         for shard in self.shards.iter() {
             let s = *shard.cache.read().stats();
             total.hits += s.hits + shard.hits.load(Ordering::Relaxed);
@@ -485,18 +514,26 @@ impl<V> ShardedApproxCache<V> {
             total.expired += s.expired;
             total.rejected += s.rejected;
             total.admission_rejects += s.admission_rejects;
+            shard.touch_counters.merge_into(&mut touches);
         }
+        total.touch_queued = touches.queued;
+        total.touch_dropped = touches.dropped;
+        total.touch_replayed = touches.replayed;
+        total.touch_dead = touches.dead;
         total
+    }
+
+    /// Merged counters (read-path atomics + write-path store counters).
+    #[deprecated(note = "use `metrics()`; this facade derives from it")]
+    pub fn stats(&self) -> CacheStats {
+        self.metrics().cache_stats()
     }
 
     /// Deferred-touch protocol counters, summed across shards.
     /// [`TouchStats::dead`] must be zero (see the module docs).
+    #[deprecated(note = "use `metrics()`; this facade derives from it")]
     pub fn touch_stats(&self) -> TouchStats {
-        let mut total = TouchStats::default();
-        for shard in self.shards.iter() {
-            shard.touch_counters.merge_into(&mut total);
-        }
-        total
+        self.metrics().touch_stats()
     }
 
     /// Total descriptors across shards.
@@ -543,8 +580,12 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), "loaded");
         }
-        assert_eq!(cache.stats().hits, 8);
-        assert_eq!(cache.stats().insertions, 1);
+        assert_eq!(cache.metrics().hits, 8);
+        assert_eq!(cache.metrics().insertions, 1);
+        // The deprecated facade stays derivable from the unified view.
+        #[allow(deprecated)]
+        let facade = cache.stats();
+        assert_eq!(facade, cache.metrics().cache_stats());
     }
 
     #[test]
@@ -580,7 +621,7 @@ mod tests {
             hits += a;
             misses += b;
         }
-        let merged = cache.stats();
+        let merged = cache.metrics();
         assert_eq!(merged.hits, hits, "merged hits must equal observed sum");
         assert_eq!(merged.misses, misses);
         assert_eq!(merged.lookups(), 8 * 400);
@@ -594,7 +635,7 @@ mod tests {
         cache.insert(key, 7, 10, 0);
         assert_eq!(cache.lookup_owned(&key, 999), Some(7));
         assert_eq!(cache.lookup_owned(&key, 1_000), None);
-        let s = cache.stats();
+        let s = cache.metrics();
         assert_eq!((s.hits, s.misses), (1, 1));
     }
 
@@ -606,7 +647,7 @@ mod tests {
             cache.insert(Digest::of(&i.to_le_bytes()), i, 30, 0);
         }
         assert!(cache.used_bytes() <= 400);
-        assert!(cache.stats().evictions > 0);
+        assert!(cache.metrics().evictions > 0);
         assert!(!cache.is_empty());
     }
 
@@ -704,15 +745,18 @@ mod tests {
         // perturbed query, regardless of which shard it landed in.
         for i in 0..n {
             let a = i as f32 / n as f32 * std::f32::consts::TAU + 0.02;
-            let (val, d) = cache.lookup(&v(&[a.cos(), a.sin()]), 0).unwrap();
-            assert_eq!(*val, i);
-            assert!(d < 0.1);
+            let Lookup::ApproxHit { value, distance } = cache.lookup(&v(&[a.cos(), a.sin()]), 0)
+            else {
+                panic!("expected an approximate hit for descriptor {i}");
+            };
+            assert_eq!(*value, i);
+            assert!(distance < 0.1);
         }
-        let s = cache.stats();
+        let s = cache.metrics();
         assert_eq!((s.hits, s.misses), (n, 0));
         // A far-away query misses everywhere.
-        assert!(cache.lookup(&v(&[5.0, 5.0]), 0).is_none());
-        assert_eq!(cache.stats().misses, 1);
+        assert!(!cache.lookup(&v(&[5.0, 5.0]), 0).is_hit());
+        assert_eq!(cache.metrics().misses, 1);
     }
 
     #[test]
@@ -740,7 +784,10 @@ mod tests {
         assert_eq!(cache.len(), 4);
         for i in 0..4u64 {
             let a = i as f32 * 1.5;
-            let (val, _) = cache.lookup(&v(&[a.cos(), a.sin()]), 0).unwrap();
+            let val = cache
+                .lookup(&v(&[a.cos(), a.sin()]), 0)
+                .into_value()
+                .unwrap();
             assert_eq!(*val, i);
         }
     }
@@ -788,8 +835,18 @@ mod tests {
         }
         // Drain whatever is still queued.
         cache.insert(Digest::of(b"final"), 0, 100, u64::MAX);
+        let m = cache.metrics();
+        assert_eq!(
+            m.touch_dead, 0,
+            "touch replayed against an evicted key: {m:?}"
+        );
+        assert_eq!(
+            m.touch_queued, m.touch_replayed,
+            "every queued touch must replay"
+        );
+        // The deprecated facade view stays consistent with the source.
+        #[allow(deprecated)]
         let t = cache.touch_stats();
-        assert_eq!(t.dead, 0, "touch replayed against an evicted key: {t:?}");
-        assert_eq!(t.queued, t.replayed, "every queued touch must replay");
+        assert_eq!(t, m.touch_stats());
     }
 }

@@ -56,16 +56,18 @@ fn touch_drain_scenario() {
 
     // Drain anything still queued, then check the protocol invariant.
     cache.insert(key(b'd'), 4, ENTRY, 5);
-    let t = cache.touch_stats();
-    assert_eq!(t.dead, 0, "touch replayed against an evicted key: {t:?}");
+    let m = cache.metrics();
     assert_eq!(
-        t.queued, t.replayed,
-        "every queued touch must be replayed exactly once: {t:?}"
+        m.touch_dead, 0,
+        "touch replayed against an evicted key: {m:?}"
+    );
+    assert_eq!(
+        m.touch_queued, m.touch_replayed,
+        "every queued touch must be replayed exactly once: {m:?}"
     );
     // Caches stay structurally sound in every schedule.
     assert!(cache.len() <= 2);
-    let s = cache.stats();
-    assert_eq!(s.hits + s.misses, 2, "both lookups accounted: {s:?}");
+    assert_eq!(m.lookups(), 2, "both lookups accounted: {m:?}");
 }
 
 #[test]
@@ -127,7 +129,7 @@ fn read_path_hit_counters_match_observations_in_every_schedule() {
         for r in readers {
             r.join().unwrap();
         }
-        let s = cache.stats();
+        let s = cache.metrics();
         assert_eq!(s.hits, observed.load(Ordering::Relaxed));
         assert_eq!(s.hits, 2, "the key is present: both lookups must hit");
         assert_eq!(s.misses, 0);

@@ -127,25 +127,156 @@ fn report_text(label: &str, r: &mut coic_core::QoeReport) -> String {
     )
 }
 
+/// When either telemetry export flag is present, return a recording
+/// [`Telemetry`] handle; otherwise a disabled one (zero overhead).
+fn telemetry_for(args: &Args) -> coic_obs::Telemetry {
+    if args.get("trace-out").is_some() || args.get("metrics-out").is_some() {
+        coic_obs::Telemetry::new()
+    } else {
+        coic_obs::Telemetry::disabled()
+    }
+}
+
+/// Write the JSONL trace / canonical metrics snapshot to the paths named
+/// by `--trace-out` / `--metrics-out`; returns a human note per file
+/// written (callers in byte-stable output modes discard it).
+fn write_telemetry(
+    args: &Args,
+    tel: &coic_obs::Telemetry,
+) -> Result<String, Box<dyn std::error::Error>> {
+    let mut notes = String::new();
+    if let Some(p) = args.get("trace-out") {
+        std::fs::write(p, tel.trace_jsonl())?;
+        write!(notes, "\nwrote trace to {p}")?;
+    }
+    if let Some(p) = args.get("metrics-out") {
+        std::fs::write(p, tel.metrics_canonical())?;
+        write!(notes, "\nwrote metrics to {p}")?;
+    }
+    Ok(notes)
+}
+
 /// `sim`: run one trace through one system. With `--canonical 1` the
 /// report is emitted in the canonical byte-stable serialization (sorted
 /// keys, fixed precision), so two runs of the same seeded workload can be
 /// diffed textually — the CI determinism job does exactly that.
+/// `--trace-out`/`--metrics-out` export the unified telemetry: a JSONL
+/// trace of the request lifecycle and the registry's canonical snapshot,
+/// both byte-identical across runs of the same seed.
 pub fn sim(args: &Args) -> CmdResult {
     let trace = from_csv(&std::fs::read_to_string(args.require("in")?)?)?;
     let cfg = sim_config(args)?;
-    let mut report = sim_run(&trace, &cfg);
+    let tel = telemetry_for(args);
+    let mut report = if tel.trace_enabled() {
+        coic_core::simrun::run_instrumented(&trace, &cfg, &tel).0
+    } else {
+        sim_run(&trace, &cfg)
+    };
+    let notes = write_telemetry(args, &tel)?;
     if args.num("canonical", 0u8)? != 0 {
+        // The canonical serialization is diffed byte-for-byte by the CI
+        // determinism job — no notes appended.
         return Ok(report.canonical().trim_end().to_string());
     }
-    Ok(report_text(
+    let mut out = report_text(
         if cfg.mode == Mode::CoIc {
             "coic"
         } else {
             "origin"
         },
         &mut report,
-    ))
+    );
+    out.push_str(&notes);
+    Ok(out)
+}
+
+// ------------------------------------------------------------------- live --
+
+/// `live`: replay a CSV trace through the real TCP loopback stack — a
+/// spawned cloud process, one edge with sharded caches, and a blocking
+/// client with origin fallback — then print the same QoE report shape the
+/// simulator emits. `--trace-out`/`--metrics-out` export the unified
+/// telemetry with the same event vocabulary as `coic sim` (timestamps are
+/// wall clock here, so unlike the simulator the trace bytes vary between
+/// runs).
+pub fn live(args: &Args) -> CmdResult {
+    use coic_core::netrun::{spawn_cloud, spawn_edge_with, NetClient, NetConfig};
+    use coic_core::{ClientConfig, ComputeConfig, EdgeConfig, ModelLibrary, PanoLibrary};
+    use coic_vision::ObjectClass;
+    use std::sync::Arc;
+
+    let trace = from_csv(&std::fs::read_to_string(args.require("in")?)?)?;
+    let seed: u64 = args.num("seed", 1)?;
+    let tel = telemetry_for(args);
+    // The cloud must know every class the trace can ask for.
+    let classes: Vec<ObjectClass> = {
+        let max = trace
+            .iter()
+            .filter_map(|r| match r.kind {
+                coic_workload::RequestKind::Recognition { class, .. } => Some(class),
+                _ => None,
+            })
+            .max();
+        (0..=max.unwrap_or(0)).map(ObjectClass).collect()
+    };
+    let models = Arc::new(ModelLibrary::new());
+    let panos = Arc::new(PanoLibrary::new(64));
+    let compute = ComputeConfig::default();
+    let cloud = spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), seed)?;
+    let net = NetConfig {
+        telemetry: tel.clone(),
+        ..NetConfig::default()
+    };
+    let edge = spawn_edge_with(cloud.addr(), &EdgeConfig::default(), net.clone(), None)?;
+    let mut client = NetClient::connect_with(
+        edge.addr(),
+        Some(cloud.addr()),
+        net,
+        ClientConfig::default(),
+        compute,
+        models,
+        panos,
+    )?;
+    let mut failed = 0u64;
+    for r in &trace {
+        if client.execute(r).is_err() {
+            failed += 1;
+        }
+    }
+    client.publish_metrics(tel.registry());
+    edge.publish_metrics(tel.registry());
+    let mut out = report_text("live", &mut client.report());
+    if failed > 0 {
+        write!(out, "  failed {failed}")?;
+    }
+    out.push_str(&write_telemetry(args, &tel)?);
+    Ok(out)
+}
+
+// -------------------------------------------------------------------- obs --
+
+/// `obs report`: human summary of telemetry exports — per-name record
+/// counts and span balance for a JSONL trace (`--trace`), section counts
+/// plus the sorted snapshot for a canonical metrics file (`--metrics`).
+pub fn obs_report(args: &Args) -> CmdResult {
+    let mut out = String::new();
+    if let Some(p) = args.get("trace") {
+        out.push_str(&coic_obs::report::summarize_trace(
+            &std::fs::read_to_string(p)?,
+        ));
+    }
+    if let Some(p) = args.get("metrics") {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&coic_obs::report::summarize_metrics(
+            &std::fs::read_to_string(p)?,
+        ));
+    }
+    if out.is_empty() {
+        return Err("obs report needs --trace FILE and/or --metrics FILE".into());
+    }
+    Ok(out)
 }
 
 /// `compare`: origin vs CoIC on the same trace.
@@ -305,6 +436,8 @@ pub fn lint(args: &Args) -> CmdResult {
 /// `bench`: run the edge/cache performance harness and write the
 /// canonical `BENCH_edge.json` report. `--quick` shrinks op counts for CI
 /// smoke runs; `--seed` fixes every random stream.
+/// `--trace-out`/`--metrics-out` export the unified telemetry of the
+/// loopback edge cell (same vocabulary as `coic sim` / `coic live`).
 pub fn bench(args: &Args) -> CmdResult {
     let quick = args.switch("quick");
     let seed: u64 = args.num("seed", 7)?;
@@ -313,12 +446,13 @@ pub fn bench(args: &Args) -> CmdResult {
         return Err("--runs must be at least 1".into());
     }
     let out = args.get("out").unwrap_or("BENCH_edge.json");
+    let tel = telemetry_for(args);
     // `--runs N` merges N grid runs into a conservative envelope (minimum
     // throughput, maximum percentiles) — how bench/baseline.json is
     // refreshed; CI's fresh run uses the default single run.
     let report = coic_bench::perf::conservative_merge(
         (0..runs)
-            .map(|_| coic_bench::perf::run_bench(quick, seed))
+            .map(|_| coic_bench::perf::run_bench_with(quick, seed, &tel))
             .collect(),
     );
     report.write(std::path::Path::new(out))?;
@@ -350,6 +484,7 @@ pub fn bench(args: &Args) -> CmdResult {
         if quick { ", quick" } else { "" }
     )?;
     write!(text, "wrote {out}")?;
+    text.push_str(&write_telemetry(args, &tel)?);
     Ok(text)
 }
 
@@ -425,6 +560,74 @@ mod tests {
         assert_eq!(a, b, "same seed must serialize identically");
         assert!(a.contains("completed="));
         assert!(a.contains("latency mean="));
+    }
+
+    #[test]
+    fn sim_trace_and_metrics_exports_are_reproducible() {
+        let path = tmp("t5.csv");
+        trace_gen(&args(&format!(
+            "--app vrvideo --out {path} --users 2 --frames 5"
+        )))
+        .unwrap();
+        let run = |tag: &str| {
+            let (t, m) = (tmp(&format!("{tag}.jsonl")), tmp(&format!("{tag}.metrics")));
+            sim(&args(&format!(
+                "--in {path} --clients 2 --seed 7 --trace-out {t} --metrics-out {m}"
+            )))
+            .unwrap();
+            (
+                std::fs::read_to_string(t).unwrap(),
+                std::fs::read_to_string(m).unwrap(),
+            )
+        };
+        let (trace_a, metrics_a) = run("a");
+        let (trace_b, metrics_b) = run("b");
+        assert_eq!(trace_a, trace_b, "seeded traces must be byte-identical");
+        assert_eq!(metrics_a, metrics_b, "snapshots must be byte-identical");
+        assert!(trace_a.contains("\"n\":\"request\""), "{trace_a}");
+        assert!(trace_a.contains("\"n\":\"edge.lookup\""), "{trace_a}");
+        assert!(metrics_a.contains("counter qoe.completed"), "{metrics_a}");
+        assert!(metrics_a.contains("hist qoe.latency_ns"), "{metrics_a}");
+    }
+
+    #[test]
+    fn obs_report_summarizes_exports() {
+        let path = tmp("t6.csv");
+        trace_gen(&args(&format!(
+            "--app vrvideo --out {path} --users 2 --frames 3"
+        )))
+        .unwrap();
+        let (t, m) = (tmp("r.jsonl"), tmp("r.metrics"));
+        sim(&args(&format!(
+            "--in {path} --clients 2 --trace-out {t} --metrics-out {m}"
+        )))
+        .unwrap();
+        let out = obs_report(&args(&format!("--trace {t} --metrics {m}"))).unwrap();
+        assert!(out.contains("trace records:"), "{out}");
+        assert!(out.contains("decision.complete"), "{out}");
+        assert!(out.contains("counters"), "{out}");
+        assert!(obs_report(&args("")).is_err());
+    }
+
+    #[test]
+    fn live_replays_a_trace_and_exports_telemetry() {
+        let path = tmp("t7.csv");
+        trace_gen(&args(&format!(
+            "--app vrvideo --out {path} --users 1 --frames 3"
+        )))
+        .unwrap();
+        let (t, m) = (tmp("l.jsonl"), tmp("l.metrics"));
+        let out = live(&args(&format!(
+            "--in {path} --trace-out {t} --metrics-out {m}"
+        )))
+        .unwrap();
+        assert!(out.contains("live:"), "{out}");
+        let trace = std::fs::read_to_string(t).unwrap();
+        assert!(trace.contains("\"n\":\"request\""), "{trace}");
+        assert!(trace.contains("\"n\":\"edge.lookup\""), "{trace}");
+        let metrics = std::fs::read_to_string(m).unwrap();
+        assert!(metrics.contains("counter qoe.completed"), "{metrics}");
+        assert!(metrics.contains("counter cache.exact.hits"), "{metrics}");
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! coic trace gen   --app safedriving|arena|vrvideo --out trace.csv [...]
 //! coic trace info  --in trace.csv
 //! coic sim         --in trace.csv [--mode coic|origin] [network flags]
+//!                  [--trace-out t.jsonl] [--metrics-out m.txt]
+//! coic live        --in trace.csv [--seed N]
+//!                  [--trace-out t.jsonl] [--metrics-out m.txt]
 //! coic compare     --in trace.csv [network flags]
+//! coic obs report  [--trace t.jsonl] [--metrics m.txt]
 //! coic model gen   --size-bytes N --seed N --out model.cmf
 //! coic model info  --in model.cmf
 //! coic model render --in model.cmf --out render.pgm [--size 256]
@@ -45,7 +49,9 @@ pub fn run(raw: Vec<String>) -> Result<String, String> {
         ["trace", "gen"] => commands::trace_gen(&args),
         ["trace", "info"] => commands::trace_info(&args),
         ["sim"] => commands::sim(&args),
+        ["live"] => commands::live(&args),
         ["compare"] => commands::compare(&args),
+        ["obs", "report"] => commands::obs_report(&args),
         ["model", "gen"] => commands::model_gen(&args),
         ["model", "info"] => commands::model_info(&args),
         ["model", "render"] => commands::model_render(&args),
@@ -72,8 +78,11 @@ USAGE:
   coic sim          --in FILE [--mode coic|origin] [--access-mbps X]
                     [--wan-mbps X] [--clients N] [--edges N]
                     [--peer-lookup 0|1] [--prefetch N] [--seed N]
-                    [--canonical 0|1]
+                    [--canonical 0|1] [--trace-out FILE] [--metrics-out FILE]
+  coic live         --in FILE [--seed N] [--trace-out FILE]
+                    [--metrics-out FILE]
   coic compare      --in FILE [same network flags as sim]
+  coic obs report   [--trace FILE] [--metrics FILE]
   coic model gen    --size-bytes N --out FILE [--seed N]
   coic model info   --in FILE
   coic model render --in FILE --out FILE.pgm [--size N]
@@ -82,4 +91,5 @@ USAGE:
   coic pano crop    --frame N --yaw R --pitch R --out FILE.pgm
                     [--fov R] [--width N] [--height N]
   coic bench        [--quick] [--seed N] [--runs N] [--out BENCH_edge.json]
+                    [--trace-out FILE] [--metrics-out FILE]
   coic lint         [--root DIR] [--rules FILE]";

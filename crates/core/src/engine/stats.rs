@@ -2,6 +2,7 @@
 //! transport-level events such as checksum failures and reconnects, by the
 //! drivers at their IO boundary).
 
+use coic_obs::MetricsRegistry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -75,6 +76,25 @@ macro_rules! counters {
                 }
             }
         }
+
+        impl RobustnessSnapshot {
+            /// Publish every counter into the shared metrics registry
+            /// under the `robustness.` prefix.
+            pub fn publish(&self, reg: &MetricsRegistry) {
+                $(reg.counter_add(
+                    concat!("robustness.", stringify!($field)),
+                    self.$field,
+                );)*
+            }
+
+            /// Reconstruct a snapshot from registry values published by
+            /// [`RobustnessSnapshot::publish`].
+            pub fn from_registry(reg: &MetricsRegistry) -> RobustnessSnapshot {
+                RobustnessSnapshot {
+                    $($field: reg.counter(concat!("robustness.", stringify!($field))),)*
+                }
+            }
+        }
     };
 }
 
@@ -133,5 +153,24 @@ mod tests {
         assert_eq!(snap.retries, 1);
         assert_eq!(snap.fallbacks, 1);
         assert_eq!(snap, s2.snapshot());
+    }
+
+    #[test]
+    fn snapshot_registry_roundtrip() {
+        let s = RobustnessStats::default();
+        s.count_attempt();
+        s.count_attempt();
+        s.count_retry();
+        s.count_breaker_trip();
+        s.count_unavailable();
+        let snap = s.snapshot();
+        let reg = MetricsRegistry::new();
+        snap.publish(&reg);
+        assert_eq!(reg.counter("robustness.attempts"), 2);
+        assert_eq!(reg.counter("robustness.breaker_trips"), 1);
+        assert_eq!(RobustnessSnapshot::from_registry(&reg), snap);
+        // Publishing accumulates (per-client snapshots merge additively).
+        snap.publish(&reg);
+        assert_eq!(reg.counter("robustness.retries"), 2);
     }
 }

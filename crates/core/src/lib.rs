@@ -22,6 +22,8 @@
 //! * [`simrun`] — deterministic discrete-event experiment driver,
 //! * [`netrun`] — the same stack over real TCP sockets,
 //! * [`qoe`] — latency/hit/accuracy reporting,
+//! * [`telemetry`] — Decision→trace glue onto the shared `coic-obs`
+//!   recorder (spans, events, metrics registry),
 //! * [`robust`] — facade re-exporting the engine's retry/breaker/stats,
 //! * [`adaptive`] — online threshold tuning via shadow verification,
 //! * [`layercache`] — §4 extension: per-DNN-layer reuse,
@@ -45,6 +47,7 @@ pub mod services;
 pub mod shared_edge;
 pub mod simrun;
 pub mod task;
+pub mod telemetry;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveThreshold};
 pub use compute::ComputeConfig;
@@ -64,3 +67,4 @@ pub use services::{
 pub use shared_edge::SharedEdgeService;
 pub use simrun::{compare, run, Mode, SimConfig};
 pub use task::{RecognitionResult, TaskRequest, TaskResult, ANNOTATION_BYTES};
+pub use telemetry::{path_label, record_decision};

@@ -50,6 +50,7 @@
 
 use crate::compute::ComputeConfig;
 use crate::content::{ModelLibrary, PanoLibrary};
+use crate::descriptor::FeatureDescriptor;
 use crate::engine::{
     ClientEngine, Clock, Decision, Effect, EngineConfig, FaultSchedule, FlightClaim, ReplyKind,
     RetryPolicy, RobustnessStats, ShardedSingleFlight, TimerKind, UpstreamGate, WallClock,
@@ -59,8 +60,10 @@ use crate::qoe::QoeReport;
 use crate::services::{ClientConfig, ClientLogic, CloudService, EdgeConfig, EdgeReply};
 use crate::shared_edge::SharedEdgeService;
 use crate::task::TaskResult;
-use coic_cache::{CacheStats, Digest};
+use crate::telemetry::{path_label, record_decision};
+use coic_cache::{CacheStats, Digest, Metrics};
 use coic_netsim::rt::{FaultError, FrameConn, FrameError, FrameServer};
+use coic_obs::{MetricsRegistry, Recorder, Telemetry, Value};
 use coic_vision::{ObjectClass, SceneGenerator};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -93,6 +96,12 @@ pub struct NetConfig {
     /// More shards cut contention between connection threads; values are
     /// clamped to at least 1.
     pub cache_shards: usize,
+    /// Observability handle shared by every component spawned under this
+    /// config. The default ([`Telemetry::disabled`]) drops trace records
+    /// (metrics still register), so existing callers pay nothing; the
+    /// `coic live` CLI passes [`Telemetry::new`] to capture the same span
+    /// and event vocabulary the simulator emits.
+    pub telemetry: Telemetry,
 }
 
 impl Default for NetConfig {
@@ -107,6 +116,7 @@ impl Default for NetConfig {
             breaker_cooldown: Duration::from_millis(300),
             faults: FaultSchedule::new(),
             cache_shards: coic_cache::DEFAULT_SHARDS,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -194,14 +204,33 @@ impl EdgeHandle {
         self.gate.state()
     }
 
+    /// Recognition-cache metrics, merged across shards.
+    pub fn recog_cache_metrics(&self) -> Metrics {
+        self.service.recog_metrics()
+    }
+
+    /// Exact-cache metrics, merged across shards.
+    pub fn exact_cache_metrics(&self) -> Metrics {
+        self.service.exact_metrics()
+    }
+
+    /// Publish this edge's cache metrics (`cache.recog.*`, `cache.exact.*`)
+    /// and robustness counters (`robustness.*`) into `reg`.
+    pub fn publish_metrics(&self, reg: &MetricsRegistry) {
+        self.service.publish_metrics(reg);
+        self.stats.snapshot().publish(reg);
+    }
+
     /// Recognition-cache counters, merged across shards.
+    #[deprecated(note = "use `recog_cache_metrics()`; this facade derives from it")]
     pub fn recog_cache_stats(&self) -> CacheStats {
-        self.service.recog_stats()
+        self.recog_cache_metrics().cache_stats()
     }
 
     /// Exact-cache counters, merged across shards.
+    #[deprecated(note = "use `exact_cache_metrics()`; this facade derives from it")]
     pub fn exact_cache_stats(&self) -> CacheStats {
-        self.service.exact_stats()
+        self.exact_cache_metrics().cache_stats()
     }
 
     /// Combined hit ratio over both edge caches.
@@ -334,7 +363,34 @@ pub fn spawn_edge_with(
                 descriptor,
                 hint,
             } => {
-                let decision = service.handle_query(&descriptor, hint.as_ref(), now);
+                // One typed lookup serves both the reply decision and the
+                // trace: the event records which cache answered (exact vs
+                // approx vs miss) and which lock shard owns the key —
+                // the dimension the merged stats structs never exposed.
+                let outcome = service.lookup(&descriptor, now);
+                let shard = match &descriptor {
+                    FeatureDescriptor::Dnn(v) => service.recog_home_shard(v),
+                    FeatureDescriptor::ModelHash(d) | FeatureDescriptor::PanoramaHash(d) => {
+                        service.exact_shard_of(d)
+                    }
+                };
+                net.telemetry.event(
+                    now,
+                    "edge.lookup",
+                    vec![
+                        ("req", Value::from(req_id)),
+                        ("shard", Value::from(shard)),
+                        ("kind", Value::from(outcome.kind_str())),
+                        ("hit", Value::from(outcome.is_hit())),
+                    ],
+                );
+                let decision = match outcome.into_value() {
+                    Some(result) => EdgeReply::Hit(result),
+                    None => match &hint {
+                        Some(task) => EdgeReply::Forward(task.clone()),
+                        None => EdgeReply::NeedPayload,
+                    },
+                };
                 match decision {
                     EdgeReply::Hit(result) => Msg::Hit { req_id, result },
                     EdgeReply::NeedPayload => {
@@ -383,6 +439,11 @@ pub fn spawn_edge_with(
                             if let Some(result) = peer_hit {
                                 return Some((result, true));
                             }
+                            net.telemetry.event(
+                                clock.now_ns(),
+                                "cloud.forward",
+                                vec![("req", Value::from(req_id))],
+                            );
                             guarded_cloud_call(
                                 cloud_addr,
                                 &Msg::Forward { req_id, task },
@@ -416,13 +477,28 @@ pub fn spawn_edge_with(
                                             Some((result, false)) => Msg::Result { req_id, result },
                                             None => {
                                                 stats_h.count_unavailable();
+                                                net.telemetry.event(
+                                                    clock.now_ns(),
+                                                    "edge.unavailable",
+                                                    vec![("req", Value::from(req_id))],
+                                                );
                                                 Msg::Unavailable { req_id }
                                             }
                                         };
                                     }
                                     FlightClaim::Queued => {
+                                        net.telemetry.event(
+                                            now,
+                                            "flight.queued",
+                                            vec![("req", Value::from(req_id))],
+                                        );
                                         if !waiter.wait(net.edge_call_deadline) {
                                             stats_h.count_unavailable();
+                                            net.telemetry.event(
+                                                clock.now_ns(),
+                                                "edge.unavailable",
+                                                vec![("req", Value::from(req_id))],
+                                            );
                                             break Msg::Unavailable { req_id };
                                         }
                                         // Leader finished: loop to re-check
@@ -442,6 +518,11 @@ pub fn spawn_edge_with(
                                 }
                                 None => {
                                     stats_h.count_unavailable();
+                                    net.telemetry.event(
+                                        clock.now_ns(),
+                                        "edge.unavailable",
+                                        vec![("req", Value::from(req_id))],
+                                    );
                                     Msg::Unavailable { req_id }
                                 }
                             },
@@ -455,6 +536,11 @@ pub fn spawn_edge_with(
             }
             Msg::Upload { req_id, task } => {
                 let descriptor = pending.lock().remove(&req_id)?;
+                net.telemetry.event(
+                    clock.now_ns(),
+                    "cloud.forward",
+                    vec![("req", Value::from(req_id))],
+                );
                 match guarded_cloud_call(
                     cloud_addr,
                     &Msg::Forward { req_id, task },
@@ -469,6 +555,11 @@ pub fn spawn_edge_with(
                     }
                     None => {
                         stats_h.count_unavailable();
+                        net.telemetry.event(
+                            clock.now_ns(),
+                            "edge.unavailable",
+                            vec![("req", Value::from(req_id))],
+                        );
                         Msg::Unavailable { req_id }
                     }
                 }
@@ -513,6 +604,8 @@ pub struct NetClient {
     clock: WallClock,
     engine: ClientEngine<WallClock>,
     stats: RobustnessStats,
+    tel: Telemetry,
+    decisions_seen: usize,
 }
 
 impl NetClient {
@@ -569,6 +662,7 @@ impl NetClient {
             clock.clone(),
             stats.clone(),
         );
+        let tel = net.telemetry.clone();
         let mut client = NetClient {
             edge_addr,
             cloud_addr,
@@ -579,6 +673,8 @@ impl NetClient {
             clock,
             engine,
             stats,
+            tel,
+            decisions_seen: 0,
         };
         if client.reconnect_edge().is_err() && client.cloud_addr.is_some() {
             client.engine.begin_degraded();
@@ -601,6 +697,14 @@ impl NetClient {
     /// live path).
     pub fn report(&self) -> QoeReport {
         QoeReport::from_records(self.engine.records())
+    }
+
+    /// Publish this client's aggregate QoE (`qoe.*`) and robustness
+    /// counters (`robustness.*`) into `reg` — typically the registry of
+    /// the [`Telemetry`] handle the client was configured with.
+    pub fn publish_metrics(&self, reg: &MetricsRegistry) {
+        self.report().publish(reg);
+        self.stats.snapshot().publish(reg);
     }
 
     /// The engine's decision trace so far (hit/miss/retry/fallback
@@ -780,7 +884,63 @@ impl NetClient {
         let prepared = self.logic.prepare(req);
         let req_id = self.next_req;
         self.next_req += 1;
+        // The engine numbers requests sequentially from zero, one per
+        // `begin`, so this matches the `seq` in the decision events. The
+        // client field mirrors the simulator's span shape; a live handle
+        // drives one client, so it is always zero.
+        let seq = req_id - 1;
+        self.tel.span_enter(
+            issued_ns,
+            "request",
+            vec![
+                ("client", Value::from(0u64)),
+                ("seq", Value::from(seq)),
+                ("kind", Value::from(prepared.task.kind())),
+            ],
+        );
+        let outcome = self.drive(req_id, issued_ns, &prepared);
+        let new = &self.engine.decisions()[self.decisions_seen..];
+        let now = self.clock.now_ns();
+        for d in new {
+            record_decision(&self.tel, now, 0, d);
+        }
+        self.decisions_seen = self.engine.decisions().len();
+        match &outcome {
+            Ok(out) => {
+                let elapsed_ns = out.elapsed.as_nanos() as u64;
+                self.tel.observe("qoe.latency_ns", elapsed_ns);
+                self.tel.span_exit(
+                    issued_ns + elapsed_ns,
+                    "request",
+                    vec![
+                        ("client", Value::from(0u64)),
+                        ("seq", Value::from(seq)),
+                        ("path", Value::from(path_label(out.path))),
+                    ],
+                );
+            }
+            Err(_) => {
+                self.tel.span_exit(
+                    now,
+                    "request",
+                    vec![
+                        ("client", Value::from(0u64)),
+                        ("seq", Value::from(seq)),
+                        ("path", Value::from("failed")),
+                    ],
+                );
+            }
+        }
+        outcome
+    }
 
+    /// Pump the engine's effects for one request to completion.
+    fn drive(
+        &mut self,
+        req_id: u64,
+        issued_ns: u64,
+        prepared: &crate::services::PreparedRequest,
+    ) -> Result<LiveOutcome, Box<dyn std::error::Error>> {
         let mut slot: Option<TaskResult> = None;
         let mut effects: VecDeque<Effect> =
             // Preprocessing already ran synchronously above: zero prep delay.
@@ -813,10 +973,10 @@ impl NetClient {
                     if self.net.faults.edge_dropped(seq, attempt) {
                         self.engine.on_transport_failure(req_id)
                     } else {
-                        self.edge_send_query(req_id, &prepared, &mut slot)
+                        self.edge_send_query(req_id, prepared, &mut slot)
                     }
                 }
-                Effect::SendUpload { .. } => self.edge_send_upload(req_id, &prepared, &mut slot),
+                Effect::SendUpload { .. } => self.edge_send_upload(req_id, prepared, &mut slot),
                 Effect::SendOrigin { seq, attempt, .. } => {
                     if self.cloud_addr.is_none() {
                         // Unreachable by construction (origin_fallback is
@@ -825,7 +985,7 @@ impl NetClient {
                     } else if self.net.faults.origin_dropped(seq, attempt) {
                         self.engine.on_transport_failure(req_id)
                     } else {
-                        self.origin_exchange(req_id, &prepared, &mut slot)
+                        self.origin_exchange(req_id, prepared, &mut slot)
                     }
                 }
                 Effect::ProbeEdge { .. } => {

@@ -5,6 +5,7 @@
 //! segment (the costs a deployment would care about).
 
 use coic_netsim::Summary;
+use coic_obs::{CanonicalWriter, MetricsRegistry};
 use std::collections::BTreeMap;
 
 /// How a request was satisfied.
@@ -78,9 +79,22 @@ pub struct QoeReport {
     pub retried_requests: u64,
 }
 
-impl QoeReport {
-    /// Build a report from records (network byte counts added separately).
-    pub fn from_records(records: &[Record]) -> QoeReport {
+/// Staged construction of a [`QoeReport`]: aggregate records, then attach
+/// the out-of-band fields (failure count, per-segment byte counts) the
+/// drivers learn from the network layer rather than the records.
+#[derive(Debug, Default)]
+pub struct QoeReportBuilder {
+    records_agg: Option<QoeReport>,
+    failed: u64,
+    access_bytes: u64,
+    wan_bytes: u64,
+    lan_bytes: u64,
+}
+
+impl QoeReportBuilder {
+    /// Aggregate the completed-request records (replaces any earlier
+    /// `records` call).
+    pub fn records(mut self, records: &[Record]) -> Self {
         let mut latency_ms = Summary::new();
         let mut latency_by_kind: BTreeMap<&'static str, Summary> = BTreeMap::new();
         let mut edge_hits = 0;
@@ -110,7 +124,7 @@ impl QoeReport {
                 }
             }
         }
-        QoeReport {
+        self.records_agg = Some(QoeReport {
             latency_ms,
             latency_by_kind,
             edge_hits,
@@ -124,7 +138,69 @@ impl QoeReport {
             failed: 0,
             retries,
             retried_requests,
-        }
+        });
+        self
+    }
+
+    /// Requests abandoned after exhausting every path.
+    pub fn failed(mut self, n: u64) -> Self {
+        self.failed = n;
+        self
+    }
+
+    /// Bytes delivered on the access (client↔edge) segment.
+    pub fn access_bytes(mut self, n: u64) -> Self {
+        self.access_bytes = n;
+        self
+    }
+
+    /// Bytes delivered on the WAN (edge↔cloud) segment.
+    pub fn wan_bytes(mut self, n: u64) -> Self {
+        self.wan_bytes = n;
+        self
+    }
+
+    /// Bytes delivered on the inter-edge LAN segment.
+    pub fn lan_bytes(mut self, n: u64) -> Self {
+        self.lan_bytes = n;
+        self
+    }
+
+    /// Finish the report. Without a `records` call this is an empty
+    /// report carrying only the out-of-band fields.
+    pub fn build(self) -> QoeReport {
+        let mut report = self.records_agg.unwrap_or_else(|| QoeReport {
+            latency_ms: Summary::new(),
+            latency_by_kind: BTreeMap::new(),
+            edge_hits: 0,
+            peer_hits: 0,
+            cloud_trips: 0,
+            accuracy: None,
+            completed: 0,
+            access_bytes: 0,
+            wan_bytes: 0,
+            lan_bytes: 0,
+            failed: 0,
+            retries: 0,
+            retried_requests: 0,
+        });
+        report.failed = self.failed;
+        report.access_bytes = self.access_bytes;
+        report.wan_bytes = self.wan_bytes;
+        report.lan_bytes = self.lan_bytes;
+        report
+    }
+}
+
+impl QoeReport {
+    /// Start building a report.
+    pub fn builder() -> QoeReportBuilder {
+        QoeReportBuilder::default()
+    }
+
+    /// Build a report from records (network byte counts added separately).
+    pub fn from_records(records: &[Record]) -> QoeReport {
+        QoeReport::builder().records(records).build()
     }
 
     /// Cache hit ratio over completed requests (local + peer hits).
@@ -142,55 +218,89 @@ impl QoeReport {
         self.latency_ms.mean()
     }
 
-    /// Canonical, deterministic serialization: per-kind sections are
-    /// emitted in sorted key order (the backing `BTreeMap` iterates
-    /// sorted by construction), so two identical runs produce
-    /// byte-identical strings. Used by the determinism tests and the CI
-    /// determinism job to diff reports.
+    /// Canonical, deterministic serialization on the shared
+    /// [`CanonicalWriter`]: per-kind sections are emitted in sorted key
+    /// order (the backing `BTreeMap` iterates sorted by construction), so
+    /// two identical runs produce byte-identical strings. Used by the
+    /// determinism tests and the CI determinism job to diff reports.
     pub fn canonical(&mut self) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::new();
-        let _ = writeln!(s, "completed={} failed={}", self.completed, self.failed);
-        let _ = writeln!(
-            s,
-            "edge_hits={} peer_hits={} cloud_trips={}",
-            self.edge_hits, self.peer_hits, self.cloud_trips
-        );
-        let _ = writeln!(
-            s,
-            "retries={} retried_requests={}",
-            self.retries, self.retried_requests
-        );
-        let _ = writeln!(
-            s,
-            "accuracy={}",
-            self.accuracy
-                .map(|a| format!("{a:.6}"))
-                .unwrap_or_else(|| "n/a".into())
-        );
-        let _ = writeln!(
-            s,
-            "latency mean={:.6} median={:.6} p99={:.6}",
-            self.latency_ms.mean(),
-            self.latency_ms.median(),
-            self.latency_ms.quantile(0.99)
-        );
-        for (kind, summary) in self.latency_by_kind.iter_mut() {
-            let _ = writeln!(
-                s,
-                "kind={} n={} mean={:.6} median={:.6}",
-                kind,
-                summary.count(),
-                summary.mean(),
-                summary.median()
-            );
+        let mut w = CanonicalWriter::new();
+        w.field("completed", self.completed)
+            .field("failed", self.failed)
+            .end_line();
+        w.field("edge_hits", self.edge_hits)
+            .field("peer_hits", self.peer_hits)
+            .field("cloud_trips", self.cloud_trips)
+            .end_line();
+        w.field("retries", self.retries)
+            .field("retried_requests", self.retried_requests)
+            .end_line();
+        match self.accuracy {
+            Some(a) => w.float6("accuracy", a),
+            None => w.field("accuracy", "n/a"),
         }
-        let _ = writeln!(
-            s,
-            "bytes access={} wan={} lan={}",
-            self.access_bytes, self.wan_bytes, self.lan_bytes
-        );
-        s
+        .end_line();
+        w.word("latency")
+            .float6("mean", self.latency_ms.mean())
+            .float6("median", self.latency_ms.median())
+            .float6("p99", self.latency_ms.quantile(0.99))
+            .end_line();
+        for (kind, summary) in self.latency_by_kind.iter_mut() {
+            w.field("kind", kind)
+                .field("n", summary.count())
+                .float6("mean", summary.mean())
+                .float6("median", summary.median())
+                .end_line();
+        }
+        w.word("bytes")
+            .field("access", self.access_bytes)
+            .field("wan", self.wan_bytes)
+            .field("lan", self.lan_bytes)
+            .end_line();
+        w.finish()
+    }
+
+    /// Publish the report's counters into the shared metrics registry
+    /// under the `qoe.` prefix. Latency summaries are published as a
+    /// gauge of the mean only (full distributions already live in the
+    /// registry's latency histograms, fed per-request by the drivers).
+    pub fn publish(&self, reg: &MetricsRegistry) {
+        reg.counter_add("qoe.completed", self.completed as u64);
+        reg.counter_add("qoe.failed", self.failed);
+        reg.counter_add("qoe.edge_hits", self.edge_hits);
+        reg.counter_add("qoe.peer_hits", self.peer_hits);
+        reg.counter_add("qoe.cloud_trips", self.cloud_trips);
+        reg.counter_add("qoe.retries", self.retries);
+        reg.counter_add("qoe.retried_requests", self.retried_requests);
+        reg.counter_add("qoe.access_bytes", self.access_bytes);
+        reg.counter_add("qoe.wan_bytes", self.wan_bytes);
+        reg.counter_add("qoe.lan_bytes", self.lan_bytes);
+        if let Some(a) = self.accuracy {
+            reg.gauge_set("qoe.accuracy_ppm", (a * 1e6).round() as i64);
+            reg.counter_add("qoe.accuracy_present", 1);
+        }
+    }
+
+    /// Reconstruct the counter view of a report from registry values
+    /// published by [`QoeReport::publish`]. Latency summaries are empty:
+    /// the registry keeps distributions as fixed-bucket histograms, which
+    /// cannot be folded back into exact [`Summary`] values.
+    pub fn from_registry(reg: &MetricsRegistry) -> QoeReport {
+        let mut report = QoeReport::builder()
+            .failed(reg.counter("qoe.failed"))
+            .access_bytes(reg.counter("qoe.access_bytes"))
+            .wan_bytes(reg.counter("qoe.wan_bytes"))
+            .lan_bytes(reg.counter("qoe.lan_bytes"))
+            .build();
+        report.completed = reg.counter("qoe.completed") as usize;
+        report.edge_hits = reg.counter("qoe.edge_hits");
+        report.peer_hits = reg.counter("qoe.peer_hits");
+        report.cloud_trips = reg.counter("qoe.cloud_trips");
+        report.retries = reg.counter("qoe.retries");
+        report.retried_requests = reg.counter("qoe.retried_requests");
+        report.accuracy = (reg.counter("qoe.accuracy_present") > 0)
+            .then(|| reg.gauge("qoe.accuracy_ppm") as f64 / 1e6);
+        report
     }
 }
 
@@ -267,5 +377,86 @@ mod tests {
     fn latency_ms_conversion() {
         let r = rec(5_500_000, Path::EdgeHit, None);
         assert!((r.latency_ms() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_attaches_out_of_band_fields() {
+        let records = vec![rec(10_000_000, Path::EdgeHit, None)];
+        let report = QoeReport::builder()
+            .records(&records)
+            .failed(2)
+            .access_bytes(100)
+            .wan_bytes(50)
+            .lan_bytes(7)
+            .build();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.failed, 2);
+        assert_eq!(report.access_bytes, 100);
+        assert_eq!(report.wan_bytes, 50);
+        assert_eq!(report.lan_bytes, 7);
+        // Without records: an empty report that still carries the fields.
+        let empty = QoeReport::builder().failed(1).build();
+        assert_eq!(empty.completed, 0);
+        assert_eq!(empty.failed, 1);
+    }
+
+    #[test]
+    fn canonical_byte_format_is_frozen() {
+        let records = vec![
+            rec(10_000_000, Path::EdgeHit, Some(true)),
+            rec(30_000_000, Path::CloudMiss, Some(true)),
+        ];
+        let mut report = QoeReport::builder()
+            .records(&records)
+            .access_bytes(12)
+            .wan_bytes(34)
+            .lan_bytes(0)
+            .build();
+        let expected = "completed=2 failed=0\n\
+                        edge_hits=1 peer_hits=0 cloud_trips=1\n\
+                        retries=0 retried_requests=0\n\
+                        accuracy=1.000000\n\
+                        latency mean=20.000000 median=20.000000 p99=29.800000\n\
+                        kind=recognition n=2 mean=20.000000 median=20.000000\n\
+                        bytes access=12 wan=34 lan=0\n";
+        assert_eq!(report.canonical(), expected);
+        // Absent accuracy prints the n/a sentinel, not a number.
+        let mut plain = QoeReport::from_records(&[rec(1_000_000, Path::Baseline, None)]);
+        assert!(plain.canonical().contains("accuracy=n/a\n"));
+    }
+
+    #[test]
+    fn registry_roundtrip_preserves_counter_view() {
+        let records = vec![
+            rec(10_000_000, Path::EdgeHit, Some(true)),
+            rec(30_000_000, Path::PeerHit, Some(false)),
+            rec(20_000_000, Path::CloudMiss, None),
+        ];
+        let report = QoeReport::builder()
+            .records(&records)
+            .failed(1)
+            .access_bytes(10)
+            .wan_bytes(20)
+            .lan_bytes(30)
+            .build();
+        let reg = MetricsRegistry::new();
+        report.publish(&reg);
+        let back = QoeReport::from_registry(&reg);
+        assert_eq!(back.completed, report.completed);
+        assert_eq!(back.failed, report.failed);
+        assert_eq!(back.edge_hits, report.edge_hits);
+        assert_eq!(back.peer_hits, report.peer_hits);
+        assert_eq!(back.cloud_trips, report.cloud_trips);
+        assert_eq!(back.retries, report.retries);
+        assert_eq!(back.retried_requests, report.retried_requests);
+        assert_eq!(back.access_bytes, report.access_bytes);
+        assert_eq!(back.wan_bytes, report.wan_bytes);
+        assert_eq!(back.lan_bytes, report.lan_bytes);
+        assert!((back.accuracy.unwrap() - 0.5).abs() < 1e-6);
+        // No accuracy published → none reconstructed (0.0 is a real value,
+        // so absence must not collapse into it).
+        let reg2 = MetricsRegistry::new();
+        QoeReport::from_records(&[rec(1_000, Path::Baseline, None)]).publish(&reg2);
+        assert_eq!(QoeReport::from_registry(&reg2).accuracy, None);
     }
 }

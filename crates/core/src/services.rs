@@ -10,8 +10,10 @@ use crate::content::{ModelLibrary, PanoLibrary};
 use crate::descriptor::FeatureDescriptor;
 use crate::task::{RecognitionResult, TaskRequest, TaskResult};
 use coic_cache::{
-    ApproxCache, ApproxLookup, CacheStats, Digest, ExactCache, IndexKind, PolicyKind, TinyLfuConfig,
+    ApproxCache, ApproxLookup, CacheStats, Digest, ExactCache, IndexKind, Lookup, Metrics,
+    PolicyKind, TinyLfuConfig, TouchStats,
 };
+use coic_obs::MetricsRegistry;
 use coic_vision::{ObjectClass, PrototypeClassifier, SceneGenerator, SimNet, ViewParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -94,6 +96,34 @@ impl EdgeService {
         }
     }
 
+    /// Look a descriptor up in the matching cache, reporting *why* it hit
+    /// (exact digest match vs within-threshold descriptor match) rather
+    /// than a bare bool/`Option` pair. This is the typed entry point
+    /// [`EdgeService::handle_query`] and the telemetry layer share.
+    pub fn lookup(&mut self, descriptor: &FeatureDescriptor, now_ns: u64) -> Lookup<TaskResult> {
+        match descriptor {
+            FeatureDescriptor::Dnn(v) => match self.recog.lookup(v, now_ns) {
+                ApproxLookup::Hit { id, distance } => {
+                    let r = *self
+                        .recog
+                        .value(id)
+                        .expect("hit id must resolve to a value");
+                    Lookup::ApproxHit {
+                        value: TaskResult::Recognition(r),
+                        distance,
+                    }
+                }
+                ApproxLookup::Miss { .. } => Lookup::Miss,
+            },
+            FeatureDescriptor::ModelHash(d) | FeatureDescriptor::PanoramaHash(d) => {
+                match self.exact.lookup(d, now_ns) {
+                    Some(result) => Lookup::ExactHit(result.clone()),
+                    None => Lookup::Miss,
+                }
+            }
+        }
+    }
+
     /// Handle a descriptor query (the core of Figure 1's edge box).
     pub fn handle_query(
         &mut self,
@@ -101,30 +131,12 @@ impl EdgeService {
         hint: Option<&TaskRequest>,
         now_ns: u64,
     ) -> EdgeReply {
-        match descriptor {
-            FeatureDescriptor::Dnn(v) => match self.recog.lookup(v, now_ns) {
-                ApproxLookup::Hit { id, .. } => {
-                    let r = *self
-                        .recog
-                        .value(id)
-                        .expect("hit id must resolve to a value");
-                    EdgeReply::Hit(TaskResult::Recognition(r))
-                }
-                ApproxLookup::Miss { .. } => match hint {
-                    Some(task) => EdgeReply::Forward(task.clone()),
-                    None => EdgeReply::NeedPayload,
-                },
+        match self.lookup(descriptor, now_ns).into_value() {
+            Some(result) => EdgeReply::Hit(result),
+            None => match hint {
+                Some(task) => EdgeReply::Forward(task.clone()),
+                None => EdgeReply::NeedPayload,
             },
-            FeatureDescriptor::ModelHash(d) | FeatureDescriptor::PanoramaHash(d) => {
-                if let Some(result) = self.exact.lookup(d, now_ns) {
-                    EdgeReply::Hit(result.clone())
-                } else {
-                    match hint {
-                        Some(task) => EdgeReply::Forward(task.clone()),
-                        None => EdgeReply::NeedPayload,
-                    }
-                }
-            }
         }
     }
 
@@ -160,20 +172,40 @@ impl EdgeService {
         self.exact.lookup(digest, now_ns).cloned()
     }
 
+    /// Recognition cache metrics (the unsharded cache replays recency
+    /// inline, so the touch counters are structurally zero).
+    pub fn recog_metrics(&self) -> Metrics {
+        Metrics::from_parts(*self.recog.stats(), TouchStats::default())
+    }
+
+    /// Exact cache metrics.
+    pub fn exact_metrics(&self) -> Metrics {
+        Metrics::from_parts(*self.exact.stats(), TouchStats::default())
+    }
+
+    /// Publish both caches' metrics into the shared registry under
+    /// `cache.recog.*` and `cache.exact.*`.
+    pub fn publish_metrics(&self, reg: &MetricsRegistry) {
+        self.recog_metrics().publish(reg, "cache.recog");
+        self.exact_metrics().publish(reg, "cache.exact");
+    }
+
     /// Recognition cache counters.
+    #[deprecated(note = "use `recog_metrics()`; this facade derives from it")]
     pub fn recog_stats(&self) -> CacheStats {
-        *self.recog.stats()
+        self.recog_metrics().cache_stats()
     }
 
     /// Exact cache counters.
+    #[deprecated(note = "use `exact_metrics()`; this facade derives from it")]
     pub fn exact_stats(&self) -> CacheStats {
-        *self.exact.stats()
+        self.exact_metrics().cache_stats()
     }
 
     /// Combined hit ratio over both caches.
     pub fn hit_ratio(&self) -> f64 {
-        let r = self.recog_stats();
-        let e = self.exact_stats();
+        let r = self.recog_metrics();
+        let e = self.exact_metrics();
         let hits = r.hits + e.hits;
         let total = r.lookups() + e.lookups();
         if total == 0 {
@@ -424,7 +456,41 @@ mod tests {
             EdgeReply::Hit(TaskResult::Recognition(r)) => assert_eq!(r.label, 3),
             other => panic!("expected Hit, got {other:?}"),
         }
-        assert_eq!(edge.recog_stats().hits, 1);
+        assert_eq!(edge.recog_metrics().hits, 1);
+        // The deprecated facade stays derivable from the metrics view.
+        #[allow(deprecated)]
+        {
+            assert_eq!(edge.recog_stats(), edge.recog_metrics().cache_stats());
+        }
+    }
+
+    #[test]
+    fn typed_lookup_reports_hit_kind() {
+        let (client, mut edge, cloud) = setup();
+        let p = client.prepare(&recog_req(4, 77));
+        assert_eq!(edge.lookup(&p.descriptor, 0), Lookup::Miss);
+        let (r, _) = cloud.execute(&p.task);
+        edge.insert(&p.descriptor, &r, 0);
+        match edge.lookup(&p.descriptor, 1) {
+            Lookup::ApproxHit { value, distance } => {
+                assert!(distance >= 0.0);
+                assert!(matches!(value, TaskResult::Recognition(_)));
+            }
+            other => panic!("expected ApproxHit, got {other:?}"),
+        }
+        let req = Request {
+            user: UserId(0),
+            zone: ZoneId(0),
+            at_ns: 0,
+            kind: RequestKind::Panorama { frame_id: 3 },
+        };
+        let pp = client.prepare(&req);
+        let (pr, _) = cloud.execute(&pp.task);
+        edge.insert(&pp.descriptor, &pr, 0);
+        assert!(matches!(
+            edge.lookup(&pp.descriptor, 1),
+            Lookup::ExactHit(TaskResult::Panorama(_))
+        ));
     }
 
     #[test]
@@ -492,7 +558,7 @@ mod tests {
             EdgeReply::Hit(TaskResult::Model(_)) => {}
             other => panic!("expected Hit, got {other:?}"),
         }
-        assert_eq!(edge.exact_stats().hits, 1);
+        assert_eq!(edge.exact_metrics().hits, 1);
     }
 
     #[test]
@@ -558,7 +624,7 @@ mod tests {
             edge.handle_query(&p.descriptor, Some(&p.task), 150_000_000),
             EdgeReply::Forward(_)
         ));
-        assert_eq!(edge.exact_stats().expired, 1);
+        assert_eq!(edge.exact_metrics().expired, 1);
     }
 
     #[test]

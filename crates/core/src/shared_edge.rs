@@ -20,7 +20,9 @@
 use crate::descriptor::FeatureDescriptor;
 use crate::services::{EdgeConfig, EdgeReply};
 use crate::task::{TaskRequest, TaskResult};
-use coic_cache::{CacheStats, Digest, ShardedApproxCache, ShardedExactCache};
+use coic_cache::{CacheStats, Digest, Lookup, Metrics, ShardedApproxCache, ShardedExactCache};
+use coic_obs::MetricsRegistry;
+use coic_vision::FeatureVec;
 
 /// A concurrently shareable edge cache service (`&self` everywhere).
 pub struct SharedEdgeService {
@@ -54,6 +56,26 @@ impl SharedEdgeService {
         }
     }
 
+    /// Look a descriptor up in the matching cache — the typed outcome
+    /// [`SharedEdgeService::handle_query`] and the per-request telemetry
+    /// share (the trace records `kind_str()` and the approx distance).
+    pub fn lookup(&self, descriptor: &FeatureDescriptor, now_ns: u64) -> Lookup<TaskResult> {
+        match descriptor {
+            FeatureDescriptor::Dnn(v) => self
+                .recog
+                .lookup(v, now_ns)
+                .map(|r| TaskResult::Recognition(*r)),
+            FeatureDescriptor::ModelHash(d) | FeatureDescriptor::PanoramaHash(d) => {
+                // The Arc clone happens under the shard read lock; the
+                // payload deep clone happens here, after release.
+                match self.exact.lookup(d, now_ns) {
+                    Some(result) => Lookup::ExactHit(TaskResult::clone(&result)),
+                    None => Lookup::Miss,
+                }
+            }
+        }
+    }
+
     /// Handle a descriptor query — same decision table as
     /// [`crate::services::EdgeService::handle_query`].
     pub fn handle_query(
@@ -62,26 +84,12 @@ impl SharedEdgeService {
         hint: Option<&TaskRequest>,
         now_ns: u64,
     ) -> EdgeReply {
-        match descriptor {
-            FeatureDescriptor::Dnn(v) => match self.recog.lookup(v, now_ns) {
-                Some((r, _distance)) => EdgeReply::Hit(TaskResult::Recognition(*r)),
-                None => match hint {
-                    Some(task) => EdgeReply::Forward(task.clone()),
-                    None => EdgeReply::NeedPayload,
-                },
+        match self.lookup(descriptor, now_ns).into_value() {
+            Some(result) => EdgeReply::Hit(result),
+            None => match hint {
+                Some(task) => EdgeReply::Forward(task.clone()),
+                None => EdgeReply::NeedPayload,
             },
-            FeatureDescriptor::ModelHash(d) | FeatureDescriptor::PanoramaHash(d) => {
-                // The Arc clone happens under the shard read lock; the
-                // payload deep clone happens here, after release.
-                if let Some(result) = self.exact.lookup(d, now_ns) {
-                    EdgeReply::Hit(TaskResult::clone(&result))
-                } else {
-                    match hint {
-                        Some(task) => EdgeReply::Forward(task.clone()),
-                        None => EdgeReply::NeedPayload,
-                    }
-                }
-            }
         }
     }
 
@@ -120,20 +128,40 @@ impl SharedEdgeService {
         self.exact.lookup_owned(digest, now_ns)
     }
 
+    /// Recognition cache metrics, merged across shards.
+    pub fn recog_metrics(&self) -> Metrics {
+        self.recog.metrics()
+    }
+
+    /// Exact cache metrics, merged across shards.
+    pub fn exact_metrics(&self) -> Metrics {
+        self.exact.metrics()
+    }
+
+    /// Publish both caches' metrics into the shared registry under
+    /// `cache.recog.*` and `cache.exact.*` (the same keys the simulator's
+    /// unsharded edge publishes, so reports compare across stacks).
+    pub fn publish_metrics(&self, reg: &MetricsRegistry) {
+        self.recog_metrics().publish(reg, "cache.recog");
+        self.exact_metrics().publish(reg, "cache.exact");
+    }
+
     /// Recognition cache counters, merged across shards.
+    #[deprecated(note = "use `recog_metrics()`; this facade derives from it")]
     pub fn recog_stats(&self) -> CacheStats {
-        self.recog.stats()
+        self.recog_metrics().cache_stats()
     }
 
     /// Exact cache counters, merged across shards.
+    #[deprecated(note = "use `exact_metrics()`; this facade derives from it")]
     pub fn exact_stats(&self) -> CacheStats {
-        self.exact.stats()
+        self.exact_metrics().cache_stats()
     }
 
     /// Combined hit ratio over both caches.
     pub fn hit_ratio(&self) -> f64 {
-        let r = self.recog_stats();
-        let e = self.exact_stats();
+        let r = self.recog_metrics();
+        let e = self.exact_metrics();
         let hits = r.hits + e.hits;
         let total = r.lookups() + e.lookups();
         if total == 0 {
@@ -146,6 +174,17 @@ impl SharedEdgeService {
     /// Shard count of the underlying caches.
     pub fn shard_count(&self) -> usize {
         self.exact.shard_count()
+    }
+
+    /// Which exact-cache shard serves this digest (telemetry label only —
+    /// the lookup itself routes internally).
+    pub fn exact_shard_of(&self, digest: &Digest) -> usize {
+        self.exact.shard_of_key(digest)
+    }
+
+    /// Which recognition shard is the home shard for this descriptor.
+    pub fn recog_home_shard(&self, v: &FeatureVec) -> usize {
+        self.recog.home_shard(v)
     }
 }
 
@@ -173,8 +212,27 @@ mod tests {
             EdgeReply::Hit(TaskResult::Recognition(rr)) => assert_eq!(rr.label, 3),
             other => panic!("expected Hit, got {other:?}"),
         }
-        let s = edge.recog_stats();
+        let s = edge.recog_metrics();
         assert_eq!((s.hits, s.misses), (1, 1));
+        // The deprecated facade stays derivable from the metrics view.
+        #[allow(deprecated)]
+        {
+            assert_eq!(edge.recog_stats(), s.cache_stats());
+        }
+    }
+
+    #[test]
+    fn typed_lookup_and_shard_labels() {
+        let edge = svc();
+        let digest = Digest::of(b"model 1");
+        let d = FeatureDescriptor::ModelHash(digest);
+        assert_eq!(edge.lookup(&d, 0), Lookup::Miss);
+        let r = TaskResult::Model(bytes::Bytes::from(vec![0u8; 10]));
+        edge.insert(&d, &r, 0);
+        assert!(matches!(edge.lookup(&d, 1), Lookup::ExactHit(_)));
+        assert!(edge.exact_shard_of(&digest) < edge.shard_count());
+        let v = FeatureVec::new(vec![0.5; 32]);
+        assert!(edge.recog_home_shard(&v) < edge.shard_count());
     }
 
     #[test]
@@ -223,7 +281,7 @@ mod tests {
             })
             .collect();
         assert!(handles.into_iter().all(|h| h.join().unwrap()));
-        assert_eq!(edge.exact_stats().hits, 8);
+        assert_eq!(edge.exact_metrics().hits, 8);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::compute::ComputeConfig;
 use crate::content::{ModelLibrary, PanoLibrary};
 use crate::descriptor::FeatureDescriptor;
 use crate::engine::{
-    ClientEngine, Decision, Effect, EngineConfig, FaultSchedule, FlightClaim, ReplyKind,
+    ClientEngine, Clock, Decision, Effect, EngineConfig, FaultSchedule, FlightClaim, ReplyKind,
     RetryPolicy, RobustnessStats, SimClock, SingleFlight, TimerKind, UpstreamGate,
 };
 use crate::protocol::Msg;
@@ -20,7 +20,9 @@ use crate::services::{
     EdgeService, PreparedRequest,
 };
 use crate::task::{TaskRequest, TaskResult, ANNOTATION_BYTES};
+use crate::telemetry::{path_label, record_decision};
 use coic_netsim::{Ctx, LinkParams, Node, NodeId, SimDuration, Simulator, Topology};
+use coic_obs::{Recorder, Telemetry, Value};
 use coic_vision::{ObjectClass, SceneGenerator};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -266,6 +268,8 @@ struct ClientNode {
     records: Rc<RefCell<Vec<Record>>>,
     failures: Rc<RefCell<u64>>,
     trace_out: Rc<RefCell<Vec<Decision>>>,
+    tel: Telemetry,
+    client_idx: u64,
 }
 
 impl ClientNode {
@@ -400,18 +404,41 @@ impl ClientNode {
                     queue.extend(self.engine.on_probe_result(req_id, true));
                 }
                 Effect::Complete { record, .. } => {
+                    self.tel
+                        .observe("qoe.latency_ns", record.completed_ns - record.issued_ns);
+                    self.tel.span_exit(
+                        record.completed_ns,
+                        "request",
+                        vec![
+                            ("client", Value::from(self.client_idx)),
+                            ("seq", Value::from(record.req_id & TOKEN_MASK)),
+                            ("path", Value::from(path_label(record.path))),
+                        ],
+                    );
                     self.records.borrow_mut().push(record);
                     self.advance_closed_loop(ctx, (record.req_id & TOKEN_MASK) as usize);
                 }
                 Effect::GiveUp { req_id } => {
+                    self.tel.span_exit(
+                        self.clock.now_ns(),
+                        "request",
+                        vec![
+                            ("client", Value::from(self.client_idx)),
+                            ("seq", Value::from(req_id & TOKEN_MASK)),
+                            ("path", Value::from("failed")),
+                        ],
+                    );
                     *self.failures.borrow_mut() += 1;
                     self.advance_closed_loop(ctx, (req_id & TOKEN_MASK) as usize);
                 }
             }
         }
-        self.trace_out
-            .borrow_mut()
-            .extend(self.engine.drain_decisions());
+        let decisions = self.engine.drain_decisions();
+        let now = self.clock.now_ns();
+        for d in &decisions {
+            record_decision(&self.tel, now, self.client_idx, d);
+        }
+        self.trace_out.borrow_mut().extend(decisions);
     }
 }
 
@@ -440,6 +467,15 @@ impl Node<Msg> for ClientNode {
             let prep_ns = prepared.prep_ns;
             let kind = prepared.task.kind();
             self.prepared[idx] = Some(prepared);
+            self.tel.span_enter(
+                issued_ns,
+                "request",
+                vec![
+                    ("client", Value::from(self.client_idx)),
+                    ("seq", Value::from(idx as u64)),
+                    ("kind", Value::from(kind)),
+                ],
+            );
             let effects = self.engine.begin(req_id, kind, issued_ns, prep_ns);
             self.apply(ctx, effects);
         } else if token & TOKEN_SHAPED != 0 {
@@ -492,7 +528,9 @@ impl Node<Msg> for ClientNode {
 
 struct EdgeNode {
     cfg: SimConfig,
-    service: EdgeService,
+    /// Shared handle so the driver can publish cache metrics after the
+    /// run (the simulator owns the boxed node until it is dropped).
+    service: Rc<RefCell<EdgeService>>,
     /// Executes recognition locally when `exec_tier == Edge`.
     executor: Arc<CloudService>,
     cloud: NodeId,
@@ -525,6 +563,8 @@ struct EdgeNode {
     prefetching: std::collections::HashSet<u64>,
     next_prefetch: u64,
     next_token: u64,
+    tel: Telemetry,
+    edge_idx: u64,
 }
 
 /// Synthetic request-id namespace for edge-initiated prefetches (client
@@ -548,7 +588,7 @@ impl EdgeNode {
                 continue;
             }
             if let Some(digest) = self.known_frames.get(&f) {
-                if self.service.exact_contains(digest) {
+                if self.service.borrow().exact_contains(digest) {
                     continue; // already cached
                 }
             }
@@ -583,6 +623,14 @@ impl EdgeNode {
         req_id: u64,
     ) {
         self.stats.count_unavailable();
+        self.tel.event(
+            ctx.now().as_nanos(),
+            "edge.unavailable",
+            vec![
+                ("edge", Value::from(self.edge_idx)),
+                ("req", Value::from(req_id)),
+            ],
+        );
         let mut victims = vec![(client, req_id)];
         if let Some(digest) = crate::services::descriptor_digest(descriptor) {
             victims.extend(self.flights.complete(&digest));
@@ -618,7 +666,28 @@ impl Node<Msg> for EdgeNode {
                     }
                 }
                 let lookup_ns = self.cfg.compute.lookup_ns;
-                match self.service.handle_query(&descriptor, hint.as_ref(), now) {
+                // The typed lookup drives both the reply and the trace: the
+                // event records *why* the cache answered (exact vs approx
+                // vs miss) — the field the ad-hoc stats never captured.
+                let outcome = self.service.borrow_mut().lookup(&descriptor, now);
+                self.tel.event(
+                    now,
+                    "edge.lookup",
+                    vec![
+                        ("edge", Value::from(self.edge_idx)),
+                        ("req", Value::from(req_id)),
+                        ("kind", Value::from(outcome.kind_str())),
+                        ("hit", Value::from(outcome.is_hit())),
+                    ],
+                );
+                let reply = match outcome.into_value() {
+                    Some(result) => EdgeReply::Hit(result),
+                    None => match hint.as_ref() {
+                        Some(task) => EdgeReply::Forward(task.clone()),
+                        None => EdgeReply::NeedPayload,
+                    },
+                };
+                match reply {
                     EdgeReply::Hit(result) => {
                         self.delay_send(ctx, lookup_ns, from, Msg::Hit { req_id, result });
                     }
@@ -634,6 +703,14 @@ impl Node<Msg> for EdgeNode {
                             // pending_cloud/pending_peer, not the table.
                             if let FlightClaim::Queued = self.flights.claim(digest, (from, req_id))
                             {
+                                self.tel.event(
+                                    now,
+                                    "flight.queued",
+                                    vec![
+                                        ("edge", Value::from(self.edge_idx)),
+                                        ("req", Value::from(req_id)),
+                                    ],
+                                );
                                 return;
                             }
                             // Cooperative lookup: ask every peer before the
@@ -668,6 +745,14 @@ impl Node<Msg> for EdgeNode {
                             return;
                         }
                         self.pending_cloud.insert(req_id, (from, descriptor));
+                        self.tel.event(
+                            now,
+                            "cloud.forward",
+                            vec![
+                                ("edge", Value::from(self.edge_idx)),
+                                ("req", Value::from(req_id)),
+                            ],
+                        );
                         self.delay_send(ctx, lookup_ns, self.cloud, Msg::Forward { req_id, task });
                     }
                 }
@@ -688,7 +773,7 @@ impl Node<Msg> for EdgeNode {
                         .pending_cloud
                         .remove(&req_id)
                         .expect("upload for unknown request");
-                    self.service.insert(&descriptor, &result, now);
+                    self.service.borrow_mut().insert(&descriptor, &result, now);
                     self.delay_send(ctx, cost_ns, client, Msg::Result { req_id, result });
                     return;
                 }
@@ -703,6 +788,14 @@ impl Node<Msg> for EdgeNode {
                     }
                     return;
                 }
+                self.tel.event(
+                    now,
+                    "cloud.forward",
+                    vec![
+                        ("edge", Value::from(self.edge_idx)),
+                        ("req", Value::from(req_id)),
+                    ],
+                );
                 let msg = Msg::Forward { req_id, task };
                 let bytes = wire_len(&msg, &self.cfg);
                 ctx.send(self.cloud, bytes, msg);
@@ -717,8 +810,11 @@ impl Node<Msg> for EdgeNode {
                     if let TaskResult::Panorama(bytes) = &result {
                         let digest = coic_cache::Digest::of(bytes);
                         self.known_frames.insert(frame_id, digest);
-                        self.service
-                            .insert(&FeatureDescriptor::PanoramaHash(digest), &result, now);
+                        self.service.borrow_mut().insert(
+                            &FeatureDescriptor::PanoramaHash(digest),
+                            &result,
+                            now,
+                        );
                     }
                     self.prefetching.remove(&frame_id);
                     return;
@@ -728,7 +824,7 @@ impl Node<Msg> for EdgeNode {
                 let Some((client, descriptor)) = self.pending_cloud.remove(&req_id) else {
                     return;
                 };
-                self.service.insert(&descriptor, &result, now);
+                self.service.borrow_mut().insert(&descriptor, &result, now);
                 // Answer every coalesced waiter with the same result.
                 if let Some(digest) = crate::services::descriptor_digest(&descriptor) {
                     for (waiter, waiter_req) in self.flights.complete(&digest) {
@@ -765,7 +861,7 @@ impl Node<Msg> for EdgeNode {
                 self.delay_send(ctx, cost_ns, client, Msg::BaselineReply { req_id, result });
             }
             Msg::PeerQuery { req_id, digest } => {
-                let result = self.service.exact_lookup(&digest, now);
+                let result = self.service.borrow_mut().exact_lookup(&digest, now);
                 let lookup_ns = self.cfg.compute.lookup_ns;
                 self.delay_send(ctx, lookup_ns, from, Msg::PeerReply { req_id, result });
             }
@@ -780,7 +876,7 @@ impl Node<Msg> for EdgeNode {
                         let client = wait.client;
                         let descriptor = wait.descriptor.clone();
                         let done = wait.outstanding == 0;
-                        self.service.insert(&descriptor, &result, now);
+                        self.service.borrow_mut().insert(&descriptor, &result, now);
                         if let Some(digest) = crate::services::descriptor_digest(&descriptor) {
                             for (waiter, waiter_req) in self.flights.complete(&digest) {
                                 let msg = Msg::PeerResult {
@@ -901,6 +997,20 @@ pub fn run_traced(
     trace: &[coic_workload::Request],
     cfg: &SimConfig,
 ) -> (QoeReport, Vec<Vec<Decision>>) {
+    run_instrumented(trace, cfg, &Telemetry::disabled())
+}
+
+/// Like [`run_traced`], but records the run through `tel`: structured
+/// trace spans/events for the full request lifecycle (issue → edge lookup
+/// → coalesce/forward → complete), per-request latency histograms, and —
+/// at the end of the run — the cache, robustness, link and QoE counters
+/// published into the registry. All timestamps are virtual-clock ns, so
+/// two seeded runs produce byte-identical traces and snapshots.
+pub fn run_instrumented(
+    trace: &[coic_workload::Request],
+    cfg: &SimConfig,
+    tel: &Telemetry,
+) -> (QoeReport, Vec<Vec<Decision>>) {
     assert!(!trace.is_empty(), "empty trace");
     assert!(cfg.num_clients > 0, "need at least one client");
 
@@ -995,17 +1105,19 @@ pub fn run_traced(
         .map(|_| Rc::new(RefCell::new(Vec::new())))
         .collect();
 
+    // Robustness counter handles (clients and edges) for the end-of-run
+    // registry publish.
+    let mut robustness: Vec<RobustnessStats> = Vec::new();
+
     for (i, &cid) in client_ids.iter().enumerate() {
         let my_requests = per_client[i].clone();
         let n = my_requests.len();
         // One engine per client, driven by the shared virtual clock: the
         // node sets the clock from ctx.now() before every engine call.
         let clock = SimClock::new();
-        let engine = ClientEngine::new(
-            engine_config(cfg),
-            clock.clone(),
-            RobustnessStats::default(),
-        );
+        let stats = RobustnessStats::default();
+        robustness.push(stats.clone());
+        let engine = ClientEngine::new(engine_config(cfg), clock.clone(), stats);
         sim.bind(
             cid,
             Box::new(ClientNode {
@@ -1024,21 +1136,27 @@ pub fn run_traced(
                 records: records.clone(),
                 failures: failures.clone(),
                 trace_out: traces[i].clone(),
+                tel: tel.clone(),
+                client_idx: i as u64,
             }),
         );
     }
-    for &eid in &edge_ids {
+    let mut edge_services: Vec<Rc<RefCell<EdgeService>>> = Vec::new();
+    for (ei, &eid) in edge_ids.iter().enumerate() {
         let peers: Vec<NodeId> = edge_ids.iter().copied().filter(|&p| p != eid).collect();
         // Same thresholds as the live edge's defaults; the simulated WAN
         // never reports upstream errors, so the gate is effectively
         // permissive here — it exists to keep one code path.
         let stats = RobustnessStats::default();
+        robustness.push(stats.clone());
         let gate = UpstreamGate::new(3, Duration::from_millis(300), stats.clone());
+        let service = Rc::new(RefCell::new(EdgeService::new(&cfg.edge)));
+        edge_services.push(service.clone());
         sim.bind(
             eid,
             Box::new(EdgeNode {
                 cfg: cfg.clone(),
-                service: EdgeService::new(&cfg.edge),
+                service,
                 executor: cloud_service.clone(),
                 cloud: cloud_id,
                 pending_replies: HashMap::new(),
@@ -1053,6 +1171,8 @@ pub fn run_traced(
                 prefetching: std::collections::HashSet::new(),
                 next_prefetch: 0,
                 next_token: 0,
+                tel: tel.clone(),
+                edge_idx: ei as u64,
             }),
         );
     }
@@ -1109,6 +1229,19 @@ pub fn run_traced(
             report.lan_bytes += t.link(f, e).unwrap().stats().delivered_bytes;
         }
     }
+    // End-of-run registry publish: every legacy stats struct in the run —
+    // cache counters, robustness counters, engine counters, the QoE report
+    // itself — lands in the shared registry, from which each deprecated
+    // facade view is derivable.
+    for svc in &edge_services {
+        svc.borrow().publish_metrics(tel.registry());
+    }
+    for s in &robustness {
+        s.snapshot().publish(tel.registry());
+    }
+    sim.stats().publish(tel.registry());
+    report.publish(tel.registry());
+
     let decision_traces = traces.iter().map(|t| t.borrow().clone()).collect();
     (report, decision_traces)
 }

@@ -65,6 +65,30 @@ pub struct SimStats {
     pub unroutable: u64,
 }
 
+impl SimStats {
+    /// Publish the counters into the shared metrics registry under the
+    /// `sim.` prefix.
+    pub fn publish(&self, reg: &coic_obs::MetricsRegistry) {
+        reg.counter_add("sim.events", self.events);
+        reg.counter_add("sim.delivered", self.delivered);
+        reg.counter_add("sim.lost", self.lost);
+        reg.counter_add("sim.queue_dropped", self.queue_dropped);
+        reg.counter_add("sim.unroutable", self.unroutable);
+    }
+
+    /// Reconstruct the counters from registry values published by
+    /// [`SimStats::publish`].
+    pub fn from_registry(reg: &coic_obs::MetricsRegistry) -> SimStats {
+        SimStats {
+            events: reg.counter("sim.events"),
+            delivered: reg.counter("sim.delivered"),
+            lost: reg.counter("sim.lost"),
+            queue_dropped: reg.counter("sim.queue_dropped"),
+            unroutable: reg.counter("sim.unroutable"),
+        }
+    }
+}
+
 struct World<M> {
     now: SimTime,
     queue: EventQueue<SimEvent<M>>,

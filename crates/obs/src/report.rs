@@ -1,0 +1,171 @@
+//! Human summaries for `coic obs report`.
+//!
+//! The trace summarizer deliberately parses only the fixed JSONL shell
+//! this crate itself emits (`{"t":ns,"k":"...","n":"...",...}`) with
+//! plain string scanning — no JSON parser dependency — and tolerates
+//! unknown lines by counting them as unparsed.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-name tallies for one trace.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct NameTally {
+    enters: u64,
+    exits: u64,
+    events: u64,
+}
+
+/// Extract the value of a `"key":` whose value is a quoted string.
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    // Names this crate emits never contain escapes; treat a backslash
+    // before the closing quote as unparseable rather than mis-slicing.
+    let end = rest.find('"')?;
+    let value = &rest[..end];
+    if value.contains('\\') {
+        return None;
+    }
+    Some(value)
+}
+
+/// Extract the value of a `"key":` whose value is an unsigned integer.
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Summarize a JSONL trace: record counts per name, span balance, and the
+/// covered time range.
+pub fn summarize_trace(jsonl: &str) -> String {
+    let mut tallies: BTreeMap<String, NameTally> = BTreeMap::new();
+    let mut unparsed = 0u64;
+    let mut total = 0u64;
+    let mut first_ns: Option<u64> = None;
+    let mut last_ns = 0u64;
+    for line in jsonl.lines().filter(|l| !l.trim().is_empty()) {
+        total += 1;
+        let (Some(kind), Some(name), Some(t)) = (
+            str_field(line, "k"),
+            str_field(line, "n"),
+            u64_field(line, "t"),
+        ) else {
+            unparsed += 1;
+            continue;
+        };
+        first_ns = Some(first_ns.map_or(t, |f| f.min(t)));
+        last_ns = last_ns.max(t);
+        let tally = tallies.entry(name.to_string()).or_default();
+        match kind {
+            "enter" => tally.enters += 1,
+            "exit" => tally.exits += 1,
+            _ => tally.events += 1,
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "trace records: {total}");
+    if let Some(first) = first_ns {
+        let _ = writeln!(
+            out,
+            "time range:    {first} .. {last_ns} ns ({:.3} ms)",
+            (last_ns - first) as f64 / 1e6
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<28} {:>8} {:>8} {:>8}",
+        "name", "events", "enters", "exits"
+    );
+    for (name, t) in &tallies {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>8} {:>8}{}",
+            name,
+            t.events,
+            t.enters,
+            t.exits,
+            if t.enters != t.exits {
+                "  (unbalanced)"
+            } else {
+                ""
+            }
+        );
+    }
+    if unparsed > 0 {
+        let _ = writeln!(out, "unparsed lines: {unparsed}");
+    }
+    out.trim_end().to_string()
+}
+
+/// Summarize a canonical metrics snapshot (as produced by
+/// [`crate::MetricsRegistry::canonical`]): counts per section plus the
+/// snapshot itself, which is already sorted and human-readable.
+pub fn summarize_metrics(snapshot: &str) -> String {
+    let mut counters = 0u64;
+    let mut gauges = 0u64;
+    let mut hists = 0u64;
+    for line in snapshot.lines() {
+        match line.split(' ').next() {
+            Some("counter") => counters += 1,
+            Some("gauge") => gauges += 1,
+            Some("hist") => hists += 1,
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "metrics: {counters} counters, {gauges} gauges, {hists} histograms"
+    );
+    out.push_str(snapshot.trim_end());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceKind, TraceLog, Value};
+
+    #[test]
+    fn trace_summary_counts_names_and_span_balance() {
+        let log = TraceLog::enabled();
+        log.push(100, TraceKind::Enter, "request", vec![]);
+        log.push(
+            200,
+            TraceKind::Event,
+            "edge.lookup",
+            vec![("hit", Value::Bool(true))],
+        );
+        log.push(900, TraceKind::Exit, "request", vec![]);
+        log.push(950, TraceKind::Enter, "request", vec![]);
+        let s = summarize_trace(&log.to_jsonl());
+        assert!(s.contains("trace records: 4"), "{s}");
+        assert!(s.contains("100 .. 950 ns"), "{s}");
+        assert!(s.contains("edge.lookup"), "{s}");
+        assert!(s.contains("(unbalanced)"), "{s}");
+    }
+
+    #[test]
+    fn unparseable_lines_are_tolerated() {
+        let s = summarize_trace("not json\n");
+        assert!(s.contains("unparsed lines: 1"), "{s}");
+    }
+
+    #[test]
+    fn metrics_summary_counts_sections() {
+        let r = crate::MetricsRegistry::new();
+        r.counter_add("a", 1);
+        r.counter_add("b", 2);
+        r.gauge_set("g", 3);
+        let s = summarize_metrics(&r.canonical());
+        assert!(s.starts_with("metrics: 2 counters, 1 gauges, 0 histograms"));
+        assert!(s.contains("counter a 1"));
+    }
+}

@@ -117,7 +117,7 @@ fn main() {
         }
     }
 
-    let stats = edge.recog_stats();
+    let stats = edge.recog_metrics();
     println!(
         "\nedge recognition cache: {} hits / {} lookups ({:.0}% hit ratio)",
         stats.hits,

@@ -5,8 +5,11 @@
 #   1. `coic lint` over the workspace against analyze/rules.toml
 #      (sans-IO import bans, wall-clock/nondeterminism bans, unwrap bans,
 #      lock-order, #![forbid(unsafe_code)] coverage — DESIGN.md §11);
-#   2. the mini-loom model checker's self-tests (shims/loom);
-#   3. the exhaustive-interleaving model tests for the sharded cache's
+#   2. the coic-obs unit tests (deterministic registry, histogram
+#      bucket boundaries, canonical snapshot ordering — the invariants
+#      the determinism jobs build on);
+#   3. the mini-loom model checker's self-tests (shims/loom);
+#   4. the exhaustive-interleaving model tests for the sharded cache's
 #      deferred-touch drain and for the circuit breaker / single-flight
 #      engine structures (the `model-check` feature swaps parking_lot and
 #      std atomics for the loom shims).
@@ -17,6 +20,9 @@ cd "$(dirname "$0")/.."
 
 echo "==> workspace lint (analyze/rules.toml)"
 cargo run -q --locked -p coic-analyze -- --root .
+
+echo "==> observability layer (coic-obs) unit tests"
+cargo test -q --locked -p coic-obs
 
 echo "==> mini-loom self-tests"
 cargo test -q --locked -p loom

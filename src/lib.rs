@@ -17,6 +17,8 @@
 //!   rasterizer, panoramas),
 //! * [`cache`] — the edge cache (digests, eviction policies, exact and
 //!   approximate indexes, cooperation),
+//! * [`obs`] — the unified observability layer (metrics registry,
+//!   structured trace, canonical exporters),
 //! * [`workload`] — Zipf/arrival/mobility workload generators.
 //!
 //! ## Quickstart
@@ -46,6 +48,7 @@
 pub use coic_cache as cache;
 pub use coic_core as core;
 pub use coic_netsim as netsim;
+pub use coic_obs as obs;
 pub use coic_render as render;
 pub use coic_vision as vision;
 pub use coic_workload as workload;

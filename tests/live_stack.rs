@@ -470,7 +470,7 @@ fn sixteen_clients_hammering_one_edge_stay_coherent() {
     // cache once on arrival and once more after its leader completes, so
     // the shard-merged miss count brackets the client-observed cloud
     // trips without ever dropping below them.
-    let stats = s.edge.exact_cache_stats();
+    let stats = s.edge.exact_cache_metrics();
     assert!(s.edge.cache_shards() > 1);
     assert_eq!(
         stats.hits, edge_hits,
