@@ -1,12 +1,14 @@
 //! Subcommand implementations. Each returns the text to print.
 
 use crate::args::Args;
+use coic_core::engine::{AdmissionConfig, BrownoutConfig};
 use coic_core::simrun::{compare as sim_compare, run as sim_run, Mode, SimConfig};
 use coic_workload::{
-    from_csv, summarize, to_csv, ArenaMultiplayer, Population, Request, SafeDrivingAr, VrVideo,
-    ZoneId, ZoneModel,
+    from_csv, summarize, to_csv, ArenaMultiplayer, FlashCrowd, Population, Request, SafeDrivingAr,
+    VrVideo, ZoneId, ZoneModel,
 };
 use std::fmt::Write as _;
+use std::time::Duration;
 
 type CmdResult = Result<String, Box<dyn std::error::Error>>;
 
@@ -50,7 +52,22 @@ pub fn trace_gen(args: &Args) -> CmdResult {
             frames_per_user: args.num("frames", 20)?,
         }
         .generate(seed),
-        other => return Err(format!("unknown app {other:?} (safedriving|arena|vrvideo)").into()),
+        "flashcrowd" => FlashCrowd {
+            population: Population::colocated(users, ZoneId(0)),
+            base_rate_per_sec: args.num("rate", 10.0)?,
+            burst_multiplier: args.num("burst-x", 8.0)?,
+            burst_start_ns: args.num("burst-start-ms", 500u64)? * 1_000_000,
+            burst_len_ns: args.num("burst-ms", 500u64)? * 1_000_000,
+            hot_contents: args.num("hot", 8)?,
+            zipf_s: args.num("zipf", 1.0)?,
+            horizon_ns: args.num("horizon-ms", 2_000u64)? * 1_000_000,
+        }
+        .generate(seed),
+        other => {
+            return Err(
+                format!("unknown app {other:?} (safedriving|arena|vrvideo|flashcrowd)").into(),
+            )
+        }
     };
     std::fs::write(out, to_csv(&trace))?;
     let s = summarize(&trace);
@@ -107,6 +124,42 @@ fn sim_config(args: &Args) -> Result<SimConfig, Box<dyn std::error::Error>> {
         ..SimConfig::default()
     };
     cfg.edge.threshold = args.num("threshold", cfg.edge.threshold)?;
+    cfg.origin_fallback = args.num("origin-fallback", 0u8)? != 0;
+    // `--open-loop 1` fires requests at their trace timestamps regardless
+    // of completions (the arrival model overload experiments need);
+    // `--lookup-ms N` pins the edge's per-lookup service time, i.e. its
+    // capacity under admission control.
+    cfg.closed_loop = args.num("open-loop", 0u8)? == 0;
+    cfg.compute.lookup_ns = args.num("lookup-ms", cfg.compute.lookup_ns / 1_000_000)? * 1_000_000;
+
+    // Overload protection: `--admission N` bounds edge concurrency at N
+    // (`--admission-aimd 1` instead lets AIMD adapt the limit in 1..=N on
+    // the observed sojourn time vs `--latency-target-ms`).
+    let admission: u32 = args.num("admission", 0u32)?;
+    if admission > 0 {
+        let mut a = if args.num("admission-aimd", 0u8)? != 0 {
+            AdmissionConfig {
+                min_concurrency: 1,
+                max_concurrency: admission,
+                initial_concurrency: admission,
+                ..AdmissionConfig::default()
+            }
+        } else {
+            AdmissionConfig::fixed(admission)
+        };
+        a.queue_limit = args.num("admission-queue", a.queue_limit)?;
+        a.max_queue_age = Duration::from_millis(
+            args.num("admission-age-ms", a.max_queue_age.as_millis() as u64)?,
+        );
+        a.latency_target = Duration::from_millis(
+            args.num("latency-target-ms", a.latency_target.as_millis() as u64)?,
+        );
+        a.retry_after_ms = args.num("retry-after-ms", a.retry_after_ms)?;
+        cfg.admission = Some(a);
+        if args.num("brownout", 0u8)? != 0 {
+            cfg.brownout = Some(BrownoutConfig::default());
+        }
+    }
     Ok(cfg)
 }
 
@@ -186,6 +239,15 @@ pub fn sim(args: &Args) -> CmdResult {
         },
         &mut report,
     );
+    if cfg.admission.is_some() {
+        // The number admission control defends: tail latency of the work
+        // the edge accepted (shed requests complete via the fallback and
+        // are excluded here, but still count in the overall p99 above).
+        out.push_str(&format!(
+            "  admitted-p99 {:.1} ms",
+            report.admitted_p99_ms()
+        ));
+    }
     out.push_str(&notes);
     Ok(out)
 }
@@ -588,6 +650,39 @@ mod tests {
         assert!(trace_a.contains("\"n\":\"edge.lookup\""), "{trace_a}");
         assert!(metrics_a.contains("counter qoe.completed"), "{metrics_a}");
         assert!(metrics_a.contains("hist qoe.latency_ns"), "{metrics_a}");
+    }
+
+    #[test]
+    fn overload_sim_sheds_and_exports_reproducibly() {
+        let path = tmp("t_crowd.csv");
+        trace_gen(&args(&format!(
+            "--app flashcrowd --out {path} --users 8 --rate 40 --burst-x 20 \
+             --burst-start-ms 200 --burst-ms 300 --horizon-ms 800 --seed 3"
+        )))
+        .unwrap();
+        let run = |tag: &str| {
+            let (t, m) = (tmp(&format!("{tag}.jsonl")), tmp(&format!("{tag}.metrics")));
+            sim(&args(&format!(
+                "--in {path} --clients 8 --seed 7 --origin-fallback 1 \
+                 --admission 1 --admission-queue 1 --admission-age-ms 5 \
+                 --brownout 1 --trace-out {t} --metrics-out {m}"
+            )))
+            .unwrap();
+            (
+                std::fs::read_to_string(t).unwrap(),
+                std::fs::read_to_string(m).unwrap(),
+            )
+        };
+        let (trace_a, metrics_a) = run("crowd_a");
+        let (trace_b, metrics_b) = run("crowd_b");
+        assert_eq!(
+            trace_a, trace_b,
+            "seeded shed traces must be byte-identical"
+        );
+        assert_eq!(metrics_a, metrics_b, "snapshots must be byte-identical");
+        assert!(trace_a.contains("\"n\":\"edge.admitted\""), "{metrics_a}");
+        assert!(trace_a.contains("\"n\":\"edge.shed\""), "{metrics_a}");
+        assert!(metrics_a.contains("counter robustness.shed"), "{metrics_a}");
     }
 
     #[test]

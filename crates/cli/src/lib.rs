@@ -3,7 +3,7 @@
 //! Command-line front end for the CoIC reproduction. Subcommands:
 //!
 //! ```text
-//! coic trace gen   --app safedriving|arena|vrvideo --out trace.csv [...]
+//! coic trace gen   --app safedriving|arena|vrvideo|flashcrowd --out trace.csv [...]
 //! coic trace info  --in trace.csv
 //! coic sim         --in trace.csv [--mode coic|origin] [network flags]
 //!                  [--trace-out t.jsonl] [--metrics-out m.txt]
@@ -71,13 +71,20 @@ pub const USAGE: &str = "\
 coic — cooperative edge caching for mobile immersive computing
 
 USAGE:
-  coic trace gen    --app safedriving|arena|vrvideo --out FILE
+  coic trace gen    --app safedriving|arena|vrvideo|flashcrowd --out FILE
                     [--users N] [--requests N] [--seed N] [--zipf S]
                     [--pool N] [--model-kb N] [--frames N]
+                    [--rate X] [--burst-x X] [--burst-start-ms N]
+                    [--burst-ms N] [--hot N] [--horizon-ms N]
   coic trace info   --in FILE
   coic sim          --in FILE [--mode coic|origin] [--access-mbps X]
                     [--wan-mbps X] [--clients N] [--edges N]
                     [--peer-lookup 0|1] [--prefetch N] [--seed N]
+                    [--origin-fallback 0|1] [--open-loop 0|1]
+                    [--lookup-ms N] [--admission N]
+                    [--admission-aimd 0|1] [--admission-queue N]
+                    [--admission-age-ms N] [--latency-target-ms N]
+                    [--retry-after-ms N] [--brownout 0|1]
                     [--canonical 0|1] [--trace-out FILE] [--metrics-out FILE]
   coic live         --in FILE [--seed N] [--trace-out FILE]
                     [--metrics-out FILE]

@@ -74,6 +74,11 @@ pub enum ReplyKind {
     NeedPayload,
     /// The edge refused (its upstream leg is unavailable).
     Unavailable,
+    /// The edge shed the request under overload, with a retry-after hint.
+    Overloaded {
+        /// Milliseconds the edge asked us to wait before retrying it.
+        retry_after_ms: u32,
+    },
 }
 
 /// A transport effect: what the driver must do next. The engine never
@@ -169,6 +174,11 @@ pub enum Decision {
     },
     /// The edge answered `Unavailable`.
     Unavailable {
+        /// Logical request index.
+        seq: u64,
+    },
+    /// The edge shed the request under overload (`Msg::Overloaded`).
+    Overloaded {
         /// Logical request index.
         seq: u64,
     },
@@ -375,6 +385,26 @@ impl<C: Clock> ClientEngine<C> {
                     self.give_up(req_id, &mut out);
                 }
             }
+            ReplyKind::Overloaded { retry_after_ms } => {
+                self.stats.count_overloaded();
+                self.decisions.push(Decision::Overloaded { seq });
+                if self.cfg.use_edge && self.cfg.origin_fallback {
+                    // Shed load routes to the cloud immediately — exactly
+                    // what the retry-after hint wants a loaded edge spared
+                    // of. The probe/rejoin ladder brings the client back
+                    // once the edge answers again.
+                    self.degrade(req_id);
+                    if let Some(st) = self.req_mut(req_id) {
+                        st.attempt = 0;
+                    }
+                    self.send_origin_attempt(req_id, &mut out);
+                } else {
+                    // No fallback: retry the edge, but honor the server's
+                    // hint instead of the local backoff schedule.
+                    let hint_ns = u64::from(retry_after_ms) * 1_000_000;
+                    self.fail_attempt_with_hint(req_id, Some(hint_ns), &mut out);
+                }
+            }
         }
         out
     }
@@ -538,6 +568,13 @@ impl<C: Clock> ClientEngine<C> {
     }
 
     fn fail_attempt(&mut self, req_id: u64, out: &mut Vec<Effect>) {
+        self.fail_attempt_with_hint(req_id, None, out);
+    }
+
+    /// Like [`ClientEngine::fail_attempt`], but with an optional
+    /// server-supplied retry-after hint (ns) overriding the local backoff
+    /// schedule for the next attempt's delay.
+    fn fail_attempt_with_hint(&mut self, req_id: u64, hint_ns: Option<u64>, out: &mut Vec<Effect>) {
         let max = self.cfg.retry.max_attempts.max(1);
         let Some(st) = self.req_mut(req_id) else {
             return;
@@ -563,7 +600,7 @@ impl<C: Clock> ClientEngine<C> {
             let epoch = st.epoch;
             self.stats.count_retry();
             self.decisions.push(Decision::Retry { seq, attempt: next });
-            let delay = self.cfg.retry.backoff(seq, next - 1);
+            let delay = self.cfg.retry.backoff_with_hint(seq, next - 1, hint_ns);
             out.push(Effect::ArmTimer {
                 req_id,
                 kind: TimerKind::Backoff,

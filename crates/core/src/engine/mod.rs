@@ -32,7 +32,9 @@
 //!   on_probe_result──▶  └──────────────────────────────┘ ──▶ Complete/GiveUp
 //! ```
 
+pub mod admission;
 pub mod breaker;
+pub mod brownout;
 pub mod client;
 pub mod clock;
 pub mod edge;
@@ -42,7 +44,9 @@ pub mod retry;
 pub mod stats;
 mod sync;
 
+pub use admission::{AdmissionConfig, AdmissionController, Admit, Drain};
 pub use breaker::{BreakerState, CircuitBreaker};
+pub use brownout::{BrownoutConfig, BrownoutLadder, BrownoutState, OverloadControl, Verdict};
 pub use client::{ClientEngine, Decision, Effect, EngineConfig, ReplyKind, TimerKind};
 pub use clock::{Clock, SimClock, WallClock};
 pub use edge::UpstreamGate;

@@ -48,7 +48,36 @@ impl RetryPolicy {
         if self.jitter_frac <= 0.0 {
             return exp;
         }
-        // SplitMix64-style avalanche over the coordinates → [0, 1).
+        let unit = self.jitter_unit(req_id, attempt);
+        let scale = 1.0 - self.jitter_frac * unit;
+        exp.mul_f64(scale.clamp(0.0, 1.0))
+    }
+
+    /// Backoff honoring a server-supplied retry-after hint (ns) when one
+    /// is present — e.g. from `Msg::Overloaded` — instead of the local
+    /// exponential schedule. The hint is authoritative as a *floor*: the
+    /// same deterministic `(seed, req_id, attempt)` jitter stream that
+    /// [`RetryPolicy::backoff`] draws from *extends* it by up to
+    /// `jitter_frac`, so a crowd of shed clients does not return in one
+    /// synchronized wave the moment the hint expires. `max_backoff` is
+    /// deliberately not applied to the hinted path: the server knows its
+    /// own recovery horizon better than our local cap does. With no hint
+    /// this is exactly `backoff`.
+    pub fn backoff_with_hint(&self, req_id: u64, attempt: u32, hint_ns: Option<u64>) -> Duration {
+        let Some(hint_ns) = hint_ns else {
+            return self.backoff(req_id, attempt);
+        };
+        let hint = Duration::from_nanos(hint_ns);
+        if self.jitter_frac <= 0.0 {
+            return hint;
+        }
+        let unit = self.jitter_unit(req_id, attempt);
+        hint.mul_f64(1.0 + (self.jitter_frac * unit).clamp(0.0, 1.0))
+    }
+
+    /// The deterministic jitter draw in `[0, 1)` for these coordinates —
+    /// SplitMix64-style avalanche over `(seed, req_id, attempt)`.
+    fn jitter_unit(&self, req_id: u64, attempt: u32) -> f64 {
         let mut z = self
             .seed
             .wrapping_add(req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
@@ -56,9 +85,7 @@ impl RetryPolicy {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
-        let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        let scale = 1.0 - self.jitter_frac * unit;
-        exp.mul_f64(scale.clamp(0.0, 1.0))
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A policy with no backoff at all: `tries` attempts, immediate
@@ -117,6 +144,46 @@ mod tests {
         let spread: std::collections::HashSet<_> =
             (0..20u64).map(|r| p.backoff(r, 1).as_nanos()).collect();
         assert!(spread.len() > 10);
+    }
+
+    #[test]
+    fn hint_overrides_the_schedule_and_jitter_only_extends_it() {
+        let p = RetryPolicy {
+            jitter_frac: 0.5,
+            seed: 9,
+            ..RetryPolicy::default()
+        };
+        let hint_ns = 2_000_000_000u64; // 2 s, well past max_backoff
+        for attempt in 0..4 {
+            for req in 0..50u64 {
+                let a = p.backoff_with_hint(req, attempt, Some(hint_ns));
+                let b = p.backoff_with_hint(req, attempt, Some(hint_ns));
+                assert_eq!(a, b, "hinted jitter not deterministic");
+                let hint = Duration::from_nanos(hint_ns);
+                assert!(a >= hint, "the hint is a floor: {a:?} < {hint:?}");
+                assert!(a <= hint.mul_f64(1.5), "jitter over-extended {a:?}");
+            }
+        }
+        // The cap does not clamp a hint longer than max_backoff.
+        assert!(p.backoff_with_hint(1, 0, Some(hint_ns)) > p.max_backoff);
+        // Different clients de-synchronize their return to the edge.
+        let spread: std::collections::HashSet<_> = (0..20u64)
+            .map(|r| p.backoff_with_hint(r, 0, Some(hint_ns)).as_nanos())
+            .collect();
+        assert!(spread.len() > 10);
+        // Without a hint it is exactly the local schedule.
+        for attempt in 0..4 {
+            assert_eq!(p.backoff_with_hint(7, attempt, None), p.backoff(7, attempt));
+        }
+        // And a jitter-free policy returns the hint verbatim.
+        let flat = RetryPolicy {
+            jitter_frac: 0.0,
+            ..p
+        };
+        assert_eq!(
+            flat.backoff_with_hint(3, 1, Some(hint_ns)),
+            Duration::from_nanos(hint_ns)
+        );
     }
 
     #[test]

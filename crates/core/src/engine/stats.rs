@@ -27,6 +27,9 @@ struct RobustnessCounters {
     breaker_trips: AtomicU64,
     breaker_closes: AtomicU64,
     unavailable_replies: AtomicU64,
+    overloaded_replies: AtomicU64,
+    admitted: AtomicU64,
+    shed: AtomicU64,
 }
 
 /// Point-in-time copy of [`RobustnessStats`].
@@ -57,6 +60,13 @@ pub struct RobustnessSnapshot {
     pub breaker_closes: u64,
     /// `Msg::Unavailable` replies sent or received.
     pub unavailable_replies: u64,
+    /// `Msg::Overloaded` replies sent or received (load shedding).
+    pub overloaded_replies: u64,
+    /// Requests admitted into service by the edge's admission controller.
+    pub admitted: u64,
+    /// Requests the edge's admission controller shed (queue eviction,
+    /// age-out, brownout refusal, or degraded-mode miss).
+    pub shed: u64,
 }
 
 macro_rules! counters {
@@ -111,6 +121,9 @@ counters! {
     breaker_trips => count_breaker_trip,
     breaker_closes => count_breaker_close,
     unavailable_replies => count_unavailable,
+    overloaded_replies => count_overloaded,
+    admitted => count_admitted,
+    shed => count_shed,
 }
 
 impl std::fmt::Display for RobustnessSnapshot {
@@ -119,7 +132,7 @@ impl std::fmt::Display for RobustnessSnapshot {
             f,
             "attempts {} (retries {}), timeouts {}, corrupt {}, reconnects {}, \
              fallbacks {}, degraded {}→recovered {}, probes {}, breaker {}/{} trips/closes, \
-             unavailable {}",
+             unavailable {}, overloaded {}, admitted {}, shed {}",
             self.attempts,
             self.retries,
             self.timeouts,
@@ -132,6 +145,9 @@ impl std::fmt::Display for RobustnessSnapshot {
             self.breaker_trips,
             self.breaker_closes,
             self.unavailable_replies,
+            self.overloaded_replies,
+            self.admitted,
+            self.shed,
         )
     }
 }

@@ -54,8 +54,9 @@ pub use compute::ComputeConfig;
 pub use content::{ModelLibrary, PanoLibrary, PanoSource};
 pub use descriptor::FeatureDescriptor;
 pub use engine::{
-    ClientEngine, Clock, Decision, Effect, EngineConfig, FaultSchedule, ReplyKind, SimClock,
-    TimerKind, UpstreamGate, WallClock,
+    AdmissionConfig, AdmissionController, BrownoutConfig, BrownoutState, ClientEngine, Clock,
+    Decision, Effect, EngineConfig, FaultSchedule, OverloadControl, ReplyKind, SimClock, TimerKind,
+    UpstreamGate, WallClock,
 };
 pub use layercache::{LayerCache, LayerOutcome};
 pub use protocol::{Msg, ProtoError};
@@ -65,6 +66,6 @@ pub use services::{
     ClientConfig, ClientLogic, CloudService, EdgeConfig, EdgeReply, EdgeService, PreparedRequest,
 };
 pub use shared_edge::SharedEdgeService;
-pub use simrun::{compare, run, Mode, SimConfig};
+pub use simrun::{compare, run, run_instrumented, run_traced, Mode, SimConfig};
 pub use task::{RecognitionResult, TaskRequest, TaskResult, ANNOTATION_BYTES};
 pub use telemetry::{path_label, record_decision};

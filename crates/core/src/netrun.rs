@@ -52,8 +52,9 @@ use crate::compute::ComputeConfig;
 use crate::content::{ModelLibrary, PanoLibrary};
 use crate::descriptor::FeatureDescriptor;
 use crate::engine::{
-    ClientEngine, Clock, Decision, Effect, EngineConfig, FaultSchedule, FlightClaim, ReplyKind,
-    RetryPolicy, RobustnessStats, ShardedSingleFlight, TimerKind, UpstreamGate, WallClock,
+    AdmissionConfig, BrownoutConfig, BrownoutState, ClientEngine, Clock, Decision, Effect,
+    EngineConfig, FaultSchedule, FlightClaim, OverloadControl, ReplyKind, RetryPolicy,
+    RobustnessStats, ShardedSingleFlight, TimerKind, UpstreamGate, Verdict, WallClock,
 };
 use crate::protocol::Msg;
 use crate::qoe::QoeReport;
@@ -96,6 +97,14 @@ pub struct NetConfig {
     /// More shards cut contention between connection threads; values are
     /// clamped to at least 1.
     pub cache_shards: usize,
+    /// Edge admission control: the same sans-IO bounded-queue + AIMD
+    /// controller the simulator runs, here behind a mutex with queued
+    /// connection threads parked on a condvar. `None` (the default)
+    /// serves every query the moment its thread picks it up.
+    pub admission: Option<AdmissionConfig>,
+    /// Brownout ladder watching the admission queue's pressure (only
+    /// meaningful together with [`NetConfig::admission`]).
+    pub brownout: Option<BrownoutConfig>,
     /// Observability handle shared by every component spawned under this
     /// config. The default ([`Telemetry::disabled`]) drops trace records
     /// (metrics still register), so existing callers pay nothing; the
@@ -116,6 +125,8 @@ impl Default for NetConfig {
             breaker_cooldown: Duration::from_millis(300),
             faults: FaultSchedule::new(),
             cache_shards: coic_cache::DEFAULT_SHARDS,
+            admission: None,
+            brownout: None,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -178,6 +189,7 @@ pub struct EdgeHandle {
     stats: RobustnessStats,
     gate: Arc<UpstreamGate>,
     service: Arc<SharedEdgeService>,
+    admission: Option<Arc<LiveAdmission>>,
     server: FrameServer,
 }
 
@@ -202,6 +214,14 @@ impl EdgeHandle {
     /// State of the edge→cloud circuit breaker.
     pub fn breaker_state(&self) -> crate::robust::BreakerState {
         self.gate.state()
+    }
+
+    /// Current brownout rung of the admission controller (Healthy when
+    /// admission control is disabled).
+    pub fn brownout_state(&self) -> BrownoutState {
+        self.admission
+            .as_ref()
+            .map_or(BrownoutState::Healthy, |a| a.state())
     }
 
     /// Recognition-cache metrics, merged across shards.
@@ -274,6 +294,200 @@ impl FlightWaiter {
             Ok((g, _)) => *g,
             Err(poisoned) => *poisoned.into_inner().0,
         }
+    }
+}
+
+/// Outcome of [`LiveAdmission::admit`] for one query.
+enum LiveAdmit {
+    /// Serve now. `cached_only` is the Degraded brownout rung (misses
+    /// shed); the handler must call [`LiveAdmission::release`] with
+    /// `offered_at` once its local service is done.
+    Serve { cached_only: bool, offered_at: u64 },
+    /// Refuse with `Msg::Overloaded` and this retry-after hint.
+    Shed { retry_after_ms: u32 },
+}
+
+/// The live edge's admission gate: the same sans-IO [`OverloadControl`]
+/// the simulator drives, here behind a mutex with queued connection
+/// threads parked on a condvar. A release that grants a slot (or an age
+/// expiry that sheds) moves the waiter's req_id into the `ready` / `shed`
+/// set and wakes everyone; each woken thread answers its own client, so
+/// shed replies never block behind service.
+struct LiveAdmission {
+    inner: StdMutex<LiveAdmissionInner>,
+    cv: Condvar,
+    clock: WallClock,
+    stats: RobustnessStats,
+    tel: Telemetry,
+}
+
+struct LiveAdmissionInner {
+    ctl: OverloadControl,
+    /// Queued req_ids granted a service slot by some release.
+    ready: std::collections::BTreeSet<u64>,
+    /// Queued req_ids shed (aged out or evicted) while waiting.
+    shed: std::collections::BTreeSet<u64>,
+}
+
+impl LiveAdmission {
+    fn new(
+        ctl: OverloadControl,
+        clock: WallClock,
+        stats: RobustnessStats,
+        tel: Telemetry,
+    ) -> LiveAdmission {
+        LiveAdmission {
+            inner: StdMutex::new(LiveAdmissionInner {
+                ctl,
+                ready: std::collections::BTreeSet::new(),
+                shed: std::collections::BTreeSet::new(),
+            }),
+            cv: Condvar::new(),
+            clock,
+            stats,
+            tel,
+        }
+    }
+
+    fn note_transition(&self, transition: Option<BrownoutState>, now: u64) {
+        if let Some(state) = transition {
+            self.tel.event(
+                now,
+                "edge.brownout_state",
+                vec![("state", Value::from(state.as_str()))],
+            );
+            self.tel
+                .registry()
+                .gauge_set("edge.brownout_state", state.as_gauge() as i64);
+        }
+    }
+
+    fn admitted_event(&self, req_id: u64, queued: bool, now: u64) {
+        self.stats.count_admitted();
+        self.tel.event(
+            now,
+            "edge.admitted",
+            vec![
+                ("req", Value::from(req_id)),
+                ("queued", Value::from(queued)),
+            ],
+        );
+    }
+
+    fn shed_event(&self, req_id: u64, retry_after_ms: u32, reason: &'static str, now: u64) {
+        self.stats.count_shed();
+        self.tel.event(
+            now,
+            "edge.shed",
+            vec![
+                ("req", Value::from(req_id)),
+                ("reason", Value::from(reason)),
+                ("retry_after_ms", Value::from(retry_after_ms)),
+            ],
+        );
+    }
+
+    /// Admit one query, blocking this connection thread while the query
+    /// waits in the bounded queue. Queue time is bounded by the
+    /// controller's age-based shedding, which the waiter drives itself if
+    /// no other admission event comes along.
+    fn admit(&self, req_id: u64) -> LiveAdmit {
+        let now = self.clock.now_ns();
+        let mut g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let decision = g.ctl.offer(req_id, now);
+        self.note_transition(decision.transition, now);
+        for victim in decision.shed {
+            g.shed.insert(victim);
+        }
+        match decision.verdict {
+            Verdict::Serve | Verdict::ServeCachedOnly => {
+                let cached_only = matches!(decision.verdict, Verdict::ServeCachedOnly);
+                drop(g);
+                self.cv.notify_all();
+                self.admitted_event(req_id, false, now);
+                LiveAdmit::Serve {
+                    cached_only,
+                    offered_at: now,
+                }
+            }
+            Verdict::Shed { retry_after_ms } => {
+                drop(g);
+                self.cv.notify_all();
+                self.shed_event(req_id, retry_after_ms, "refused", now);
+                LiveAdmit::Shed { retry_after_ms }
+            }
+            Verdict::Queued => loop {
+                if g.ready.remove(&req_id) {
+                    let cached_only = g.ctl.state() == BrownoutState::Degraded;
+                    drop(g);
+                    let granted = self.clock.now_ns();
+                    self.admitted_event(req_id, true, granted);
+                    return LiveAdmit::Serve {
+                        cached_only,
+                        offered_at: now,
+                    };
+                }
+                if g.shed.remove(&req_id) {
+                    let retry_after_ms = g.ctl.retry_after_ms();
+                    drop(g);
+                    self.shed_event(req_id, retry_after_ms, "queue", self.clock.now_ns());
+                    return LiveAdmit::Shed { retry_after_ms };
+                }
+                let (g2, _) = self
+                    .cv
+                    .wait_timeout(g, Duration::from_millis(5))
+                    .unwrap_or_else(PoisonError::into_inner);
+                g = g2;
+                // Self-driven age expiry: an idle edge still sheds its
+                // stale waiters (possibly including this one).
+                let tick = self.clock.now_ns();
+                let (expired, transition) = g.ctl.expire(tick);
+                self.note_transition(transition, tick);
+                if !expired.is_empty() {
+                    for victim in expired {
+                        g.shed.insert(victim);
+                    }
+                    self.cv.notify_all();
+                }
+            },
+        }
+    }
+
+    /// Return one slot after serving an admitted query whose sojourn
+    /// started at `offered_at`; wakes whoever the drain granted or shed.
+    fn release(&self, offered_at: u64) {
+        let now = self.clock.now_ns();
+        let mut g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let (drain, transition) = g.ctl.release(now.saturating_sub(offered_at), now);
+        self.note_transition(transition, now);
+        for id in drain.start {
+            g.ready.insert(id);
+        }
+        for id in drain.shed {
+            g.shed.insert(id);
+        }
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// Record a degraded-mode cache miss that is being shed; returns the
+    /// retry-after hint to embed in the `Msg::Overloaded` reply.
+    fn shed_miss(&self, req_id: u64) -> u32 {
+        let mut g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        g.ctl.note_shed();
+        let retry_after_ms = g.ctl.retry_after_ms();
+        drop(g);
+        self.shed_event(req_id, retry_after_ms, "degraded_miss", self.clock.now_ns());
+        retry_after_ms
+    }
+
+    /// Current brownout rung.
+    fn state(&self) -> BrownoutState {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .ctl
+            .state()
     }
 }
 
@@ -352,6 +566,15 @@ pub fn spawn_edge_with(
         Arc::new(ShardedSingleFlight::new(shards));
     let (stats_h, gate_h, flights_h) = (stats.clone(), gate.clone(), flights.clone());
     let clock = WallClock::new();
+    let admission: Option<Arc<LiveAdmission>> = net.admission.clone().map(|a| {
+        Arc::new(LiveAdmission::new(
+            OverloadControl::new(a, net.brownout.clone()),
+            clock.clone(),
+            stats.clone(),
+            net.telemetry.clone(),
+        ))
+    });
+    let admission_h = admission.clone();
     let bind = bind.unwrap_or_else(|| SocketAddr::from(([127, 0, 0, 1], 0)));
     let server = FrameServer::spawn(bind, move |frame| {
         let peers = &peers_in_handler;
@@ -363,6 +586,27 @@ pub fn spawn_edge_with(
                 descriptor,
                 hint,
             } => {
+                // Admission first: a shed query is answered `Overloaded`
+                // without touching the caches or upstream at all.
+                let ticket = match admission_h.as_ref().map(|a| a.admit(req_id)) {
+                    Some(LiveAdmit::Shed { retry_after_ms }) => {
+                        return Some(
+                            Msg::Overloaded {
+                                req_id,
+                                retry_after_ms,
+                            }
+                            .encode()
+                            .to_vec(),
+                        );
+                    }
+                    Some(LiveAdmit::Serve {
+                        cached_only,
+                        offered_at,
+                    }) => Some((cached_only, offered_at)),
+                    None => None,
+                };
+                // Queue time may have passed while waiting for the slot.
+                let now = clock.now_ns();
                 // One typed lookup serves both the reply decision and the
                 // trace: the event records which cache answered (exact vs
                 // approx vs miss) and which lock shard owns the key —
@@ -386,12 +630,29 @@ pub fn spawn_edge_with(
                 );
                 let decision = match outcome.into_value() {
                     Some(result) => EdgeReply::Hit(result),
+                    None if ticket.is_some_and(|(cached_only, _)| cached_only) => {
+                        // Degraded brownout: only cache hits are served;
+                        // the miss is shed and the slot returned.
+                        let retry_after_ms =
+                            admission_h.as_ref().map_or(0, |a| a.shed_miss(req_id));
+                        if let (Some((_, offered_at)), Some(a)) = (ticket, admission_h.as_ref()) {
+                            a.release(offered_at);
+                        }
+                        return Some(
+                            Msg::Overloaded {
+                                req_id,
+                                retry_after_ms,
+                            }
+                            .encode()
+                            .to_vec(),
+                        );
+                    }
                     None => match &hint {
                         Some(task) => EdgeReply::Forward(task.clone()),
                         None => EdgeReply::NeedPayload,
                     },
                 };
-                match decision {
+                let reply = match decision {
                     EdgeReply::Hit(result) => Msg::Hit { req_id, result },
                     EdgeReply::NeedPayload => {
                         pending.lock().insert(req_id, descriptor);
@@ -528,7 +789,14 @@ pub fn spawn_edge_with(
                             },
                         }
                     }
+                };
+                // Local service done: return the slot (upstream waits,
+                // if any, are part of the observed sojourn on purpose —
+                // a slow cloud is edge overload from the client's view).
+                if let (Some((_, offered_at)), Some(a)) = (ticket, admission_h.as_ref()) {
+                    a.release(offered_at);
                 }
+                reply
             }
             Msg::PeerQuery { req_id, digest } => {
                 let result = service.exact_lookup(&digest, now);
@@ -574,6 +842,7 @@ pub fn spawn_edge_with(
         stats,
         gate,
         service: service_in_handle,
+        admission,
         server,
     })
 }
@@ -793,6 +1062,9 @@ impl NetClient {
             Msg::Result { result, .. } => (ReplyKind::Result, Some(result)),
             Msg::PeerResult { result, .. } => (ReplyKind::PeerResult, Some(result)),
             Msg::Unavailable { .. } => (ReplyKind::Unavailable, None),
+            Msg::Overloaded { retry_after_ms, .. } => {
+                (ReplyKind::Overloaded { retry_after_ms }, None)
+            }
             Msg::NeedPayload { .. } => (ReplyKind::NeedPayload, None),
             // A stale reply to an earlier (timed-out) request id cannot
             // appear here — timeouts drop the connection — so any other

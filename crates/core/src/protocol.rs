@@ -129,6 +129,17 @@ pub enum Msg {
         /// Request id being refused.
         req_id: u64,
     },
+    /// Edge → client: the edge shed this request under overload
+    /// (admission queue full, aged out, or brownout shedding). Unlike
+    /// [`Msg::Unavailable`] the refusal is load-dependent and transient:
+    /// the client should route this request to the cloud (or wait at
+    /// least `retry_after_ms` before retrying the edge).
+    Overloaded {
+        /// Request id being shed.
+        req_id: u64,
+        /// Server-supplied hint: milliseconds to wait before retrying.
+        retry_after_ms: u32,
+    },
 }
 
 /// Decode failures.
@@ -344,6 +355,7 @@ impl Msg {
             Msg::PeerReply { .. } => 10,
             Msg::PeerResult { .. } => 11,
             Msg::Unavailable { .. } => 12,
+            Msg::Overloaded { .. } => 13,
         }
     }
 
@@ -362,7 +374,8 @@ impl Msg {
             | Msg::PeerQuery { req_id, .. }
             | Msg::PeerReply { req_id, .. }
             | Msg::PeerResult { req_id, .. }
-            | Msg::Unavailable { req_id } => *req_id,
+            | Msg::Unavailable { req_id }
+            | Msg::Overloaded { req_id, .. } => *req_id,
         }
     }
 
@@ -400,6 +413,7 @@ impl Msg {
                 None => buf.put_u8(0),
             },
             Msg::NeedPayload { .. } | Msg::Unavailable { .. } => {}
+            Msg::Overloaded { retry_after_ms, .. } => buf.put_u32_le(*retry_after_ms),
             Msg::Upload { task, .. }
             | Msg::Forward { task, .. }
             | Msg::BaselineRequest { task, .. } => put_task(&mut buf, task),
@@ -447,6 +461,7 @@ impl Msg {
                 }
             }
             Msg::NeedPayload { .. } | Msg::Unavailable { .. } => 0,
+            Msg::Overloaded { .. } => 4,
             Msg::Upload { task, .. }
             | Msg::Forward { task, .. }
             | Msg::BaselineRequest { task, .. } => {
@@ -541,6 +556,13 @@ impl Msg {
                 result: get_result(&mut buf)?,
             },
             12 => Msg::Unavailable { req_id },
+            13 => {
+                need(&buf, 4)?;
+                Msg::Overloaded {
+                    req_id,
+                    retry_after_ms: buf.get_u32_le(),
+                }
+            }
             t => return Err(ProtoError::BadTag(t)),
         };
         Ok(msg)
@@ -628,6 +650,10 @@ mod tests {
                 result: TaskResult::Panorama(Bytes::from(vec![8; 20])),
             },
             Msg::Unavailable { req_id: 16 },
+            Msg::Overloaded {
+                req_id: 17,
+                retry_after_ms: 250,
+            },
         ]
     }
 

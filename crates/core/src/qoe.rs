@@ -21,6 +21,18 @@ pub enum Path {
     Baseline,
 }
 
+impl Path {
+    /// Stable label, shared by trace events and per-path summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            Path::EdgeHit => "edge_hit",
+            Path::PeerHit => "peer_hit",
+            Path::CloudMiss => "cloud_miss",
+            Path::Baseline => "baseline",
+        }
+    }
+}
+
 /// One completed request.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Record {
@@ -55,6 +67,11 @@ pub struct QoeReport {
     pub latency_ms: Summary,
     /// Latencies by task family.
     pub latency_by_kind: BTreeMap<&'static str, Summary>,
+    /// Latencies by hit path (keys from [`Path::label`]). Under admission
+    /// control, shed requests that completed through the origin fallback
+    /// land under `baseline`, so this split separates the latency of work
+    /// the edge admitted from the latency of work it deflected.
+    pub latency_by_path: BTreeMap<&'static str, Summary>,
     /// Requests satisfied from the local edge cache.
     pub edge_hits: u64,
     /// Requests satisfied by a cooperating peer edge.
@@ -97,6 +114,7 @@ impl QoeReportBuilder {
     pub fn records(mut self, records: &[Record]) -> Self {
         let mut latency_ms = Summary::new();
         let mut latency_by_kind: BTreeMap<&'static str, Summary> = BTreeMap::new();
+        let mut latency_by_path: BTreeMap<&'static str, Summary> = BTreeMap::new();
         let mut edge_hits = 0;
         let mut peer_hits = 0;
         let mut cloud_trips = 0;
@@ -112,6 +130,7 @@ impl QoeReportBuilder {
             let l = r.latency_ms();
             latency_ms.push(l);
             latency_by_kind.entry(r.kind).or_default().push(l);
+            latency_by_path.entry(r.path.label()).or_default().push(l);
             match r.path {
                 Path::EdgeHit => edge_hits += 1,
                 Path::PeerHit => peer_hits += 1,
@@ -127,6 +146,7 @@ impl QoeReportBuilder {
         self.records_agg = Some(QoeReport {
             latency_ms,
             latency_by_kind,
+            latency_by_path,
             edge_hits,
             peer_hits,
             cloud_trips,
@@ -172,6 +192,7 @@ impl QoeReportBuilder {
         let mut report = self.records_agg.unwrap_or_else(|| QoeReport {
             latency_ms: Summary::new(),
             latency_by_kind: BTreeMap::new(),
+            latency_by_path: BTreeMap::new(),
             edge_hits: 0,
             peer_hits: 0,
             cloud_trips: 0,
@@ -216,6 +237,20 @@ impl QoeReport {
     /// Mean latency in ms.
     pub fn mean_latency_ms(&self) -> f64 {
         self.latency_ms.mean()
+    }
+
+    /// p99 latency (ms) over the requests the edge actually served — every
+    /// path except `baseline`. Under admission control the baseline records
+    /// are shed requests that completed through the origin fallback, so
+    /// this isolates how the admitted work fared while the edge shed load.
+    pub fn admitted_p99_ms(&self) -> f64 {
+        let mut s = Summary::new();
+        for (label, sum) in &self.latency_by_path {
+            if *label != Path::Baseline.label() {
+                s.merge(sum);
+            }
+        }
+        s.p99()
     }
 
     /// Canonical, deterministic serialization on the shared

@@ -10,8 +10,9 @@ use crate::compute::ComputeConfig;
 use crate::content::{ModelLibrary, PanoLibrary};
 use crate::descriptor::FeatureDescriptor;
 use crate::engine::{
-    ClientEngine, Clock, Decision, Effect, EngineConfig, FaultSchedule, FlightClaim, ReplyKind,
-    RetryPolicy, RobustnessStats, SimClock, SingleFlight, TimerKind, UpstreamGate,
+    AdmissionConfig, BrownoutConfig, BrownoutState, ClientEngine, Clock, Decision, Effect,
+    EngineConfig, FaultSchedule, FlightClaim, OverloadControl, ReplyKind, RetryPolicy,
+    RobustnessStats, SimClock, SingleFlight, TimerKind, UpstreamGate, Verdict,
 };
 use crate::protocol::Msg;
 use crate::qoe::{QoeReport, Record};
@@ -104,6 +105,15 @@ pub struct SimConfig {
     /// fires — the same decisions the live driver derives from its
     /// schedule.
     pub faults: FaultSchedule,
+    /// Edge admission control: a bounded request queue with oldest-first
+    /// shedding plus an AIMD concurrency limiter at every edge. `None`
+    /// (the default) disables admission entirely — each query is served
+    /// the instant it arrives, exactly the classic behavior.
+    pub admission: Option<AdmissionConfig>,
+    /// Brownout ladder watching the admission queue's pressure (only
+    /// meaningful together with [`SimConfig::admission`]). `None` keeps
+    /// the edge at full service regardless of queue depth.
+    pub brownout: Option<BrownoutConfig>,
     /// Optional token-bucket shaping of each client's uplink, as
     /// `(rate_mbps, burst_bytes)` — mirrors running `tc tbf` on the phone.
     /// The shaper delays when a message *starts* transmitting; the link
@@ -166,6 +176,8 @@ impl Default for SimConfig {
             origin_fallback: false,
             probe_interval_ms: 100,
             faults: FaultSchedule::new(),
+            admission: None,
+            brownout: None,
             client_shaper: None,
             access_schedule: Vec::new(),
             prefetch_depth: 0,
@@ -512,6 +524,10 @@ impl Node<Msg> for ClientNode {
             Msg::BaselineReply { req_id, result } => (req_id, ReplyKind::Baseline, Some(result)),
             Msg::NeedPayload { req_id } => (req_id, ReplyKind::NeedPayload, None),
             Msg::Unavailable { req_id } => (req_id, ReplyKind::Unavailable, None),
+            Msg::Overloaded {
+                req_id,
+                retry_after_ms,
+            } => (req_id, ReplyKind::Overloaded { retry_after_ms }, None),
             other => panic!("client received unexpected {other:?}"),
         };
         // The simulator owns the ground truth, so it judges correctness at
@@ -552,6 +568,16 @@ struct EdgeNode {
     gate: UpstreamGate,
     /// Robustness counters the gate mirrors its transitions into.
     stats: RobustnessStats,
+    /// Overload control (admission + brownout), present when the run was
+    /// configured with [`SimConfig::admission`]. `None` preserves the
+    /// classic serve-on-arrival behavior bit for bit.
+    overload: Option<OverloadControl>,
+    /// Queries admitted to the bounded queue, waiting for a service slot:
+    /// req_id → held query.
+    queued_work: HashMap<u64, QueuedQuery>,
+    /// Service-completion timers for admitted queries: token → the time
+    /// the query was first offered (its sojourn feeds the AIMD limiter).
+    in_service: HashMap<u64, u64>,
     /// Cooperating peer edges (empty in single-edge runs).
     peers: Vec<NodeId>,
     /// Outstanding peer queries: req_id → wait state.
@@ -577,6 +603,14 @@ struct PeerWait {
     task: TaskRequest,
     outstanding: usize,
     satisfied: bool,
+}
+
+/// A query waiting in the admission queue for a service slot.
+struct QueuedQuery {
+    client: NodeId,
+    descriptor: FeatureDescriptor,
+    hint: Option<TaskRequest>,
+    offered_at: u64,
 }
 
 impl EdgeNode {
@@ -641,6 +675,306 @@ impl EdgeNode {
             ctx.send(dest, bytes, msg);
         }
     }
+
+    /// The edge's local processing time for one query: the cache-lookup
+    /// cost plus any injected slow-service fault (zero when unscheduled,
+    /// so fault-free runs are byte-identical to the pre-fault simulator).
+    fn service_ns(&self, req_id: u64) -> u64 {
+        self.cfg.compute.lookup_ns + self.cfg.faults.edge_slow_ns(req_id & TOKEN_MASK)
+    }
+
+    /// Shed one request: reply `Msg::Overloaded` with the retry-after
+    /// hint and record the event.
+    fn send_overloaded(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        dest: NodeId,
+        req_id: u64,
+        retry_after_ms: u32,
+        reason: &'static str,
+    ) {
+        self.stats.count_shed();
+        self.tel.event(
+            ctx.now().as_nanos(),
+            "edge.shed",
+            vec![
+                ("edge", Value::from(self.edge_idx)),
+                ("req", Value::from(req_id)),
+                ("reason", Value::from(reason)),
+                ("retry_after_ms", Value::from(retry_after_ms)),
+            ],
+        );
+        let msg = Msg::Overloaded {
+            req_id,
+            retry_after_ms,
+        };
+        let bytes = wire_len(&msg, &self.cfg);
+        ctx.send(dest, bytes, msg);
+    }
+
+    /// Shed a request the admission controller dropped from its queue.
+    fn shed_queued(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        req_id: u64,
+        retry_after_ms: u32,
+        reason: &'static str,
+    ) {
+        if let Some(q) = self.queued_work.remove(&req_id) {
+            self.send_overloaded(ctx, q.client, req_id, retry_after_ms, reason);
+        }
+    }
+
+    /// Record a brownout transition: one trace event per change plus the
+    /// state gauge.
+    fn note_brownout(&mut self, now: u64, state: BrownoutState) {
+        self.tel.event(
+            now,
+            "edge.brownout_state",
+            vec![
+                ("edge", Value::from(self.edge_idx)),
+                ("state", Value::from(state.as_str())),
+            ],
+        );
+        self.tel
+            .registry()
+            .gauge_set("edge.brownout_state", state.as_gauge() as i64);
+    }
+
+    /// Admission-controlled entry for a query: offer it to the overload
+    /// controller and realize the verdict (serve now, hold in the queue,
+    /// or shed), plus any queue sheds and brownout transition the offer
+    /// triggered.
+    fn offer_query(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        req_id: u64,
+        descriptor: FeatureDescriptor,
+        hint: Option<TaskRequest>,
+    ) {
+        let now = ctx.now().as_nanos();
+        let Some(ctl) = self.overload.as_mut() else {
+            return;
+        };
+        let decision = ctl.offer(req_id, now);
+        let retry_after = ctl.retry_after_ms();
+        if let Some(state) = decision.transition {
+            self.note_brownout(now, state);
+        }
+        for victim in decision.shed {
+            self.shed_queued(ctx, victim, retry_after, "queue");
+        }
+        match decision.verdict {
+            Verdict::Serve | Verdict::ServeCachedOnly => {
+                self.start_service(ctx, from, req_id, descriptor, hint, now, false);
+            }
+            Verdict::Queued => {
+                self.queued_work.insert(
+                    req_id,
+                    QueuedQuery {
+                        client: from,
+                        descriptor,
+                        hint,
+                        offered_at: now,
+                    },
+                );
+            }
+            Verdict::Shed { retry_after_ms } => {
+                self.send_overloaded(ctx, from, req_id, retry_after_ms, "refused");
+            }
+        }
+    }
+
+    /// Begin service of an admitted query: arm the completion timer that
+    /// will return the slot to the controller, then run the ordinary
+    /// lookup/reply/forward path (cache-hits-only while Degraded).
+    #[allow(clippy::too_many_arguments)]
+    fn start_service(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        client: NodeId,
+        req_id: u64,
+        descriptor: FeatureDescriptor,
+        hint: Option<TaskRequest>,
+        offered_at: u64,
+        queued: bool,
+    ) {
+        let now = ctx.now().as_nanos();
+        self.stats.count_admitted();
+        self.tel.event(
+            now,
+            "edge.admitted",
+            vec![
+                ("edge", Value::from(self.edge_idx)),
+                ("req", Value::from(req_id)),
+                ("queued", Value::from(queued)),
+            ],
+        );
+        let cached_only = self
+            .overload
+            .as_ref()
+            .is_some_and(|c| c.state() == BrownoutState::Degraded);
+        let service_ns = self.service_ns(req_id);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.in_service.insert(token, offered_at);
+        ctx.set_timer(SimDuration::from_nanos(service_ns), token);
+        self.serve_query(
+            ctx,
+            client,
+            req_id,
+            descriptor,
+            hint,
+            service_ns,
+            cached_only,
+        );
+    }
+
+    /// A service slot came free: feed the observed sojourn to the AIMD
+    /// limiter, shed aged-out waiters, and start the queued queries the
+    /// new limit admits.
+    fn finish_service(&mut self, ctx: &mut Ctx<'_, Msg>, offered_at: u64) {
+        let now = ctx.now().as_nanos();
+        let Some(ctl) = self.overload.as_mut() else {
+            return;
+        };
+        let (drain, transition) = ctl.release(now.saturating_sub(offered_at), now);
+        let retry_after = ctl.retry_after_ms();
+        if let Some(state) = transition {
+            self.note_brownout(now, state);
+        }
+        for victim in drain.shed {
+            self.shed_queued(ctx, victim, retry_after, "aged_out");
+        }
+        for id in drain.start {
+            let Some(q) = self.queued_work.remove(&id) else {
+                continue;
+            };
+            self.start_service(ctx, q.client, id, q.descriptor, q.hint, q.offered_at, true);
+        }
+    }
+
+    /// Serve one query: cache lookup, then reply / request payload /
+    /// forward upstream. `service_ns` is the edge's local processing
+    /// time charged before the reply (or forward) leaves. With
+    /// `cached_only` (the Degraded brownout rung) misses are shed
+    /// instead of spending recognition or upstream capacity.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_query(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        req_id: u64,
+        descriptor: FeatureDescriptor,
+        hint: Option<TaskRequest>,
+        service_ns: u64,
+        cached_only: bool,
+    ) {
+        let now = ctx.now().as_nanos();
+        // The typed lookup drives both the reply and the trace: the
+        // event records *why* the cache answered (exact vs approx
+        // vs miss) — the field the ad-hoc stats never captured.
+        let outcome = self.service.borrow_mut().lookup(&descriptor, now);
+        self.tel.event(
+            now,
+            "edge.lookup",
+            vec![
+                ("edge", Value::from(self.edge_idx)),
+                ("req", Value::from(req_id)),
+                ("kind", Value::from(outcome.kind_str())),
+                ("hit", Value::from(outcome.is_hit())),
+            ],
+        );
+        let reply = match outcome.into_value() {
+            Some(result) => EdgeReply::Hit(result),
+            None if cached_only => {
+                // Degraded brownout: only cache hits are served; the
+                // slot is still returned through the service timer.
+                let retry_after_ms = match self.overload.as_mut() {
+                    Some(ctl) => {
+                        ctl.note_shed();
+                        ctl.retry_after_ms()
+                    }
+                    None => 0,
+                };
+                self.send_overloaded(ctx, from, req_id, retry_after_ms, "degraded_miss");
+                return;
+            }
+            None => match hint.as_ref() {
+                Some(task) => EdgeReply::Forward(task.clone()),
+                None => EdgeReply::NeedPayload,
+            },
+        };
+        match reply {
+            EdgeReply::Hit(result) => {
+                self.delay_send(ctx, service_ns, from, Msg::Hit { req_id, result });
+            }
+            EdgeReply::NeedPayload => {
+                self.pending_cloud.insert(req_id, (from, descriptor));
+                self.delay_send(ctx, service_ns, from, Msg::NeedPayload { req_id });
+            }
+            EdgeReply::Forward(task) => {
+                // Coalesce concurrent misses on the same content.
+                if let Some(digest) = crate::services::descriptor_digest(&descriptor) {
+                    // Waiters queue behind the leader's fetch; note
+                    // the leader itself is answered via
+                    // pending_cloud/pending_peer, not the table.
+                    if let FlightClaim::Queued = self.flights.claim(digest, (from, req_id)) {
+                        self.tel.event(
+                            now,
+                            "flight.queued",
+                            vec![
+                                ("edge", Value::from(self.edge_idx)),
+                                ("req", Value::from(req_id)),
+                            ],
+                        );
+                        return;
+                    }
+                    // Cooperative lookup: ask every peer before the
+                    // cloud (exact tasks only — shipping approximate
+                    // descriptors between edges is future work).
+                    if self.cfg.peer_lookup && !self.peers.is_empty() {
+                        self.pending_peer.insert(
+                            req_id,
+                            PeerWait {
+                                client: from,
+                                descriptor,
+                                task,
+                                outstanding: self.peers.len(),
+                                satisfied: false,
+                            },
+                        );
+                        for peer in self.peers.clone() {
+                            self.delay_send(
+                                ctx,
+                                service_ns,
+                                peer,
+                                Msg::PeerQuery { req_id, digest },
+                            );
+                        }
+                        return;
+                    }
+                }
+                // The client-blocking upstream fetch goes through
+                // the breaker gate, exactly like the live edge.
+                if !self.gate.preflight(now) {
+                    self.refuse(ctx, &descriptor, from, req_id);
+                    return;
+                }
+                self.pending_cloud.insert(req_id, (from, descriptor));
+                self.tel.event(
+                    now,
+                    "cloud.forward",
+                    vec![
+                        ("edge", Value::from(self.edge_idx)),
+                        ("req", Value::from(req_id)),
+                    ],
+                );
+                self.delay_send(ctx, service_ns, self.cloud, Msg::Forward { req_id, task });
+            }
+        }
+    }
 }
 
 impl Node<Msg> for EdgeNode {
@@ -665,96 +999,12 @@ impl Node<Msg> for EdgeNode {
                         self.maybe_prefetch(ctx, frame_id);
                     }
                 }
-                let lookup_ns = self.cfg.compute.lookup_ns;
-                // The typed lookup drives both the reply and the trace: the
-                // event records *why* the cache answered (exact vs approx
-                // vs miss) — the field the ad-hoc stats never captured.
-                let outcome = self.service.borrow_mut().lookup(&descriptor, now);
-                self.tel.event(
-                    now,
-                    "edge.lookup",
-                    vec![
-                        ("edge", Value::from(self.edge_idx)),
-                        ("req", Value::from(req_id)),
-                        ("kind", Value::from(outcome.kind_str())),
-                        ("hit", Value::from(outcome.is_hit())),
-                    ],
-                );
-                let reply = match outcome.into_value() {
-                    Some(result) => EdgeReply::Hit(result),
-                    None => match hint.as_ref() {
-                        Some(task) => EdgeReply::Forward(task.clone()),
-                        None => EdgeReply::NeedPayload,
-                    },
-                };
-                match reply {
-                    EdgeReply::Hit(result) => {
-                        self.delay_send(ctx, lookup_ns, from, Msg::Hit { req_id, result });
-                    }
-                    EdgeReply::NeedPayload => {
-                        self.pending_cloud.insert(req_id, (from, descriptor));
-                        self.delay_send(ctx, lookup_ns, from, Msg::NeedPayload { req_id });
-                    }
-                    EdgeReply::Forward(task) => {
-                        // Coalesce concurrent misses on the same content.
-                        if let Some(digest) = crate::services::descriptor_digest(&descriptor) {
-                            // Waiters queue behind the leader's fetch; note
-                            // the leader itself is answered via
-                            // pending_cloud/pending_peer, not the table.
-                            if let FlightClaim::Queued = self.flights.claim(digest, (from, req_id))
-                            {
-                                self.tel.event(
-                                    now,
-                                    "flight.queued",
-                                    vec![
-                                        ("edge", Value::from(self.edge_idx)),
-                                        ("req", Value::from(req_id)),
-                                    ],
-                                );
-                                return;
-                            }
-                            // Cooperative lookup: ask every peer before the
-                            // cloud (exact tasks only — shipping approximate
-                            // descriptors between edges is future work).
-                            if self.cfg.peer_lookup && !self.peers.is_empty() {
-                                self.pending_peer.insert(
-                                    req_id,
-                                    PeerWait {
-                                        client: from,
-                                        descriptor,
-                                        task,
-                                        outstanding: self.peers.len(),
-                                        satisfied: false,
-                                    },
-                                );
-                                for peer in self.peers.clone() {
-                                    self.delay_send(
-                                        ctx,
-                                        lookup_ns,
-                                        peer,
-                                        Msg::PeerQuery { req_id, digest },
-                                    );
-                                }
-                                return;
-                            }
-                        }
-                        // The client-blocking upstream fetch goes through
-                        // the breaker gate, exactly like the live edge.
-                        if !self.gate.preflight(now) {
-                            self.refuse(ctx, &descriptor, from, req_id);
-                            return;
-                        }
-                        self.pending_cloud.insert(req_id, (from, descriptor));
-                        self.tel.event(
-                            now,
-                            "cloud.forward",
-                            vec![
-                                ("edge", Value::from(self.edge_idx)),
-                                ("req", Value::from(req_id)),
-                            ],
-                        );
-                        self.delay_send(ctx, lookup_ns, self.cloud, Msg::Forward { req_id, task });
-                    }
+                if self.overload.is_some() {
+                    self.offer_query(ctx, from, req_id, descriptor, hint);
+                } else {
+                    // Classic serve-on-arrival path (no admission control).
+                    let service_ns = self.service_ns(req_id);
+                    self.serve_query(ctx, from, req_id, descriptor, hint, service_ns, false);
                 }
             }
             Msg::Upload { req_id, task } => {
@@ -923,6 +1173,12 @@ impl Node<Msg> for EdgeNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        // Service-completion timers return their slot to the admission
+        // controller; everything else is a delayed reply.
+        if let Some(offered_at) = self.in_service.remove(&token) {
+            self.finish_service(ctx, offered_at);
+            return;
+        }
         let (dest, msg) = self
             .pending_replies
             .remove(&token)
@@ -1164,6 +1420,12 @@ pub fn run_instrumented(
                 flights: SingleFlight::new(),
                 gate,
                 stats,
+                overload: cfg
+                    .admission
+                    .clone()
+                    .map(|a| OverloadControl::new(a, cfg.brownout.clone())),
+                queued_work: HashMap::new(),
+                in_service: HashMap::new(),
                 peers,
                 pending_peer: HashMap::new(),
                 known_frames: HashMap::new(),

@@ -12,14 +12,10 @@ use crate::engine::Decision;
 use crate::qoe::Path;
 use coic_obs::{Recorder, Value};
 
-/// Stable trace label for a hit path.
+/// Stable trace label for a hit path (same vocabulary as
+/// [`Path::label`], which this forwards to).
 pub fn path_label(path: Path) -> &'static str {
-    match path {
-        Path::EdgeHit => "edge_hit",
-        Path::PeerHit => "peer_hit",
-        Path::CloudMiss => "cloud_miss",
-        Path::Baseline => "baseline",
-    }
+    path.label()
 }
 
 /// Emit one engine decision as a structured trace event on behalf of
@@ -55,6 +51,7 @@ pub fn record_decision(rec: &impl Recorder, at_ns: u64, client: u64, decision: &
             f.push(("path", Value::from(path_label(path))));
             rec.event(at_ns, "decision.complete", f);
         }
+        Decision::Overloaded { seq } => rec.event(at_ns, "decision.overloaded", base(seq)),
         Decision::Fail { seq } => rec.event(at_ns, "decision.fail", base(seq)),
     }
 }
@@ -100,6 +97,7 @@ mod tests {
             Decision::Probe { seq: 0 },
             Decision::Rejoin { seq: 0 },
             Decision::OriginAttempt { seq: 0, attempt: 0 },
+            Decision::Overloaded { seq: 0 },
             Decision::Complete {
                 seq: 0,
                 path: Path::CloudMiss,

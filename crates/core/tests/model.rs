@@ -127,6 +127,58 @@ fn stale_success_never_closes_a_tripped_breaker() {
 }
 
 #[test]
+fn half_open_breaker_grants_exactly_one_probe() {
+    let report = Builder::with_preemption_bound(3)
+        .check(|| {
+            // Trip the breaker at t=0, then race three callers after the
+            // cooldown: the half-open slot must admit exactly one probe,
+            // no matter how the `allow` calls interleave.
+            let breaker = Arc::new(CircuitBreaker::new(1, Duration::from_secs(1)));
+            assert!(breaker.allow(0));
+            breaker.record(false, 0);
+            assert_eq!(breaker.state(), BreakerState::Open);
+
+            let after_cooldown = 2_000_000_000;
+            let granted = Arc::new(AtomicU64::new(0));
+            let callers: Vec<_> = (0..3)
+                .map(|_| {
+                    let b = Arc::clone(&breaker);
+                    let granted = Arc::clone(&granted);
+                    loom::thread::spawn(move || {
+                        if b.allow(after_cooldown) {
+                            granted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for c in callers {
+                c.join().unwrap();
+            }
+            assert_eq!(
+                granted.load(Ordering::Relaxed),
+                1,
+                "the half-open slot must admit exactly one concurrent probe"
+            );
+            assert_eq!(breaker.state(), BreakerState::HalfOpen);
+            // The probe's success closes the breaker for everyone.
+            breaker.record(true, after_cooldown);
+            assert_eq!(breaker.state(), BreakerState::Closed);
+            assert!(breaker.allow(after_cooldown + 1));
+        })
+        .unwrap_or_else(|failure| panic!("half-open invariant violated:\n{failure}"));
+    println!(
+        "breaker half-open probe: {} schedules explored (complete: {})",
+        report.schedules, report.complete
+    );
+    assert!(report.complete);
+    assert!(
+        report.schedules >= 100,
+        "expected >= 100 interleavings, got {}",
+        report.schedules
+    );
+}
+
+#[test]
 fn breaker_exploration_is_deterministic() {
     let run = |seed: u64| {
         Builder::with_preemption_bound(2)

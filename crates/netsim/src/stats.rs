@@ -100,6 +100,12 @@ impl Summary {
         self.sorted = false;
     }
 
+    /// Fold every observation of `other` into this summary.
+    pub fn merge(&mut self, other: &Summary) {
+        self.values.extend_from_slice(&other.values);
+        self.sorted = false;
+    }
+
     /// Number of observations.
     pub fn count(&self) -> usize {
         self.values.len()

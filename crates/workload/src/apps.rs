@@ -237,6 +237,78 @@ impl VrVideo {
     }
 }
 
+/// Flash crowd: a steady background load punctuated by a synchronized burst
+/// in which every user requests from a small hot content pool at a much
+/// higher rate (a breaking-news or stadium-event spike). The burst is what
+/// drives an edge past its service capacity, so this is the canonical input
+/// for exercising admission control and brownout shedding.
+#[derive(Debug, Clone)]
+pub struct FlashCrowd {
+    /// Users and their zones.
+    pub population: Population,
+    /// Per-user request rate outside the burst window.
+    pub base_rate_per_sec: f64,
+    /// Multiplier applied to every user's rate inside the burst window.
+    pub burst_multiplier: f64,
+    /// Burst start, virtual ns.
+    pub burst_start_ns: u64,
+    /// Burst duration, virtual ns.
+    pub burst_len_ns: u64,
+    /// Size of the hot content pool requested during the burst (the crowd
+    /// converges on few items, so redundancy stays high under overload).
+    pub hot_contents: usize,
+    /// Zipf skew over the hot pool during the burst and over a wider pool
+    /// (`hot_contents * 8`) outside it.
+    pub zipf_s: f64,
+    /// Trace horizon, virtual ns; generation stops at this time.
+    pub horizon_ns: u64,
+}
+
+impl FlashCrowd {
+    /// Generate the trace.
+    pub fn generate(&self, seed: u64) -> Vec<Request> {
+        assert!(self.hot_contents > 0, "need a non-empty hot pool");
+        assert!(self.burst_multiplier >= 1.0, "burst must not slow users");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let burst_end = self.burst_start_ns.saturating_add(self.burst_len_ns);
+        let hot = Zipf::new(self.hot_contents, self.zipf_s);
+        let cold = Zipf::new(self.hot_contents * 8, self.zipf_s);
+        let mut reqs = Vec::new();
+        for u in 0..self.population.len() {
+            let user = UserId(u as u32);
+            let zone = self.population.zone_of(user);
+            let mut base = Poisson::new(self.base_rate_per_sec);
+            let mut burst = Poisson::new(self.base_rate_per_sec * self.burst_multiplier);
+            let mut t = 0u64;
+            loop {
+                let in_burst = t >= self.burst_start_ns && t < burst_end;
+                let gap = if in_burst {
+                    burst.next_gap_ns(&mut rng)
+                } else {
+                    base.next_gap_ns(&mut rng)
+                };
+                t += gap;
+                if t >= self.horizon_ns {
+                    break;
+                }
+                let in_burst = t >= self.burst_start_ns && t < burst_end;
+                let frame_id = if in_burst {
+                    hot.sample(&mut rng) as u64
+                } else {
+                    cold.sample(&mut rng) as u64
+                };
+                reqs.push(Request {
+                    user,
+                    zone,
+                    at_ns: t,
+                    kind: RequestKind::Panorama { frame_id },
+                });
+            }
+        }
+        merge_sorted(reqs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,6 +388,44 @@ mod tests {
         let s = summarize(&trace);
         assert_eq!(s.requests, 100);
         assert_eq!(s.unique_contents, 25); // 4 users × same 25 frames
+    }
+
+    #[test]
+    fn flash_crowd_burst_raises_rate_and_concentrates_content() {
+        let gen = FlashCrowd {
+            population: Population::colocated(16, ZoneId(0)),
+            base_rate_per_sec: 20.0,
+            burst_multiplier: 10.0,
+            burst_start_ns: 500_000_000,
+            burst_len_ns: 500_000_000,
+            hot_contents: 8,
+            zipf_s: 1.0,
+            horizon_ns: 2_000_000_000,
+        };
+        let trace = gen.generate(7);
+        assert!(trace.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        let burst_end = gen.burst_start_ns + gen.burst_len_ns;
+        let in_burst: Vec<&Request> = trace
+            .iter()
+            .filter(|r| r.at_ns >= gen.burst_start_ns && r.at_ns < burst_end)
+            .collect();
+        let outside: Vec<&Request> = trace
+            .iter()
+            .filter(|r| r.at_ns < gen.burst_start_ns || r.at_ns >= burst_end)
+            .collect();
+        // The burst window is 1/3 of the out-of-burst span but carries far
+        // more requests than either surrounding segment combined.
+        assert!(in_burst.len() > outside.len());
+        // Burst requests converge on the hot pool.
+        for r in &in_burst {
+            match r.kind {
+                RequestKind::Panorama { frame_id } => assert!(frame_id < 8),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Determinism.
+        assert_eq!(gen.generate(7), gen.generate(7));
+        assert_ne!(gen.generate(7), gen.generate(8));
     }
 
     #[test]

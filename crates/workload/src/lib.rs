@@ -15,7 +15,8 @@ pub mod trace_io;
 pub mod zipf;
 
 pub use apps::{
-    summarize, ArenaMultiplayer, Request, RequestKind, SafeDrivingAr, TraceSummary, VrVideo,
+    summarize, ArenaMultiplayer, FlashCrowd, Request, RequestKind, SafeDrivingAr, TraceSummary,
+    VrVideo,
 };
 pub use arrivals::{ArrivalProcess, Diurnal, Periodic, Poisson};
 pub use mobility::{ContentId, Population, UserId, ZoneId, ZoneModel};

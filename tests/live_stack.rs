@@ -487,6 +487,123 @@ fn sixteen_clients_hammering_one_edge_stay_coherent() {
 }
 
 #[test]
+fn flash_crowd_sheds_to_cloud_and_rejoins_when_the_edge_cools() {
+    use coic::core::engine::AdmissionConfig;
+    use std::sync::Barrier;
+
+    const CLIENTS: usize = 8;
+    const REQS_PER_CLIENT: usize = 10;
+
+    // An edge with the tightest possible admission policy: one request in
+    // service, no queue. Any concurrent arrival is answered Overloaded.
+    let models = Arc::new(ModelLibrary::new());
+    let panos = Arc::new(PanoLibrary::new(64));
+    let compute = ComputeConfig::default();
+    let classes: Vec<_> = (0..6).map(ObjectClass).collect();
+    let cloud = spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), 3).unwrap();
+    let edge_net = NetConfig {
+        admission: Some(AdmissionConfig {
+            queue_limit: 0,
+            ..AdmissionConfig::fixed(1)
+        }),
+        ..NetConfig::default()
+    };
+    let edge = spawn_edge_with(cloud.addr(), &EdgeConfig::default(), edge_net, None).unwrap();
+    let s = Stack {
+        _cloud: cloud,
+        edge,
+        models,
+        panos,
+        compute,
+    };
+
+    // Flash crowd: everyone released at once, hammering the same large
+    // model — the first wave races on the cold cloud fetch (the admitted
+    // leader holds the single slot for the whole fetch) and later waves
+    // race on multi-millisecond hit transfers, so arrivals overlap and the
+    // zero-queue edge must shed. Every request must still complete —
+    // admitted ones at the edge, shed ones through the cloud fallback —
+    // and none may hang.
+    let crowd_req = req(RequestKind::RenderLoad {
+        model_id: 5,
+        size_bytes: 4_000_000,
+    });
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let mut c = fallback_client(&s, fast_net());
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut baseline = 0u64;
+                let mut edge_served = 0u64;
+                for _ in 0..REQS_PER_CLIENT {
+                    let out = c.execute(&crowd_req).unwrap();
+                    match out.path {
+                        Path::Baseline => baseline += 1,
+                        Path::EdgeHit | Path::CloudMiss | Path::PeerHit => edge_served += 1,
+                    }
+                }
+                (c, baseline, edge_served)
+            })
+        })
+        .collect();
+
+    let mut clients = Vec::new();
+    let mut baseline_total = 0u64;
+    let mut edge_total = 0u64;
+    let mut overloaded_total = 0u64;
+    for h in handles {
+        let (c, baseline, edge_served) = h.join().unwrap();
+        baseline_total += baseline;
+        edge_total += edge_served;
+        overloaded_total += c.robustness().snapshot().overloaded_replies;
+        clients.push(c);
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "flash crowd hung: {:?}",
+        started.elapsed()
+    );
+    assert_eq!(
+        baseline_total + edge_total,
+        (CLIENTS * REQS_PER_CLIENT) as u64,
+        "zero hung requests: every request completes on some path"
+    );
+    assert!(
+        overloaded_total >= 1,
+        "a barrier-released crowd against a 1-slot, 0-queue edge must shed"
+    );
+    assert!(
+        baseline_total >= 1,
+        "shed clients must complete via the cloud fallback"
+    );
+    let edge_snap = s.edge.robustness().snapshot();
+    assert!(edge_snap.shed >= 1, "{edge_snap}");
+    assert!(edge_snap.admitted >= 1, "{edge_snap}");
+
+    // The crowd is gone: a degraded client's probes must bring it back to
+    // the edge within a bounded window, and the edge serves it again.
+    let mut c = clients
+        .into_iter()
+        .find(|c| c.is_degraded())
+        .unwrap_or_else(|| fallback_client(&s, fast_net()));
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut rejoined = false;
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+        let out = c.execute(&crowd_req).unwrap();
+        if out.path == Path::EdgeHit {
+            rejoined = true;
+            break;
+        }
+    }
+    assert!(rejoined, "client never rejoined the edge after the burst");
+    assert!(!c.is_degraded());
+}
+
+#[test]
 fn hits_are_faster_than_misses_live() {
     let s = stack();
     let mut c = client(&s);

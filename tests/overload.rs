@@ -1,0 +1,195 @@
+//! Overload acceptance: a seeded flash crowd at 4× the edge's service
+//! capacity. With admission control the edge keeps the latency of the work
+//! it admits close to uncontended (shedding the rest to the cloud via the
+//! client's origin fallback), while the unbounded-queue baseline collapses
+//! into runaway queueing delay. Shedding is deterministic: two seeded runs
+//! export byte-identical traces and metrics, including the shed counts.
+
+use coic::core::engine::{AdmissionConfig, BrownoutConfig};
+use coic::core::simrun::{run, run_instrumented, SimConfig};
+use coic::core::{ComputeConfig, QoeReport};
+use coic::obs::Telemetry;
+use coic::workload::{Request, RequestKind, UserId, ZoneId};
+use std::time::Duration;
+
+const MS: u64 = 1_000_000;
+
+/// One warm-up request at t=0 (fetches frame 0 into the edge cache), then
+/// `n_clients` open-loop clients each firing `per_client` requests for the
+/// cached frame at `gap_ns` spacing from t=1s, then one tail request per
+/// client a second after the flood ends (the rejoin check).
+fn flood_trace(n_clients: u32, per_client: usize, gap_ns: u64, stagger_ns: u64) -> Vec<Request> {
+    let frame = |user: u32, at_ns: u64| Request {
+        user: UserId(user),
+        zone: ZoneId(0),
+        at_ns,
+        kind: RequestKind::Panorama { frame_id: 0 },
+    };
+    let start = 1_000 * MS;
+    let mut reqs = vec![frame(0, 0)];
+    let mut flood_end = start;
+    for c in 0..n_clients {
+        for i in 0..per_client {
+            let at = start + i as u64 * gap_ns + c as u64 * stagger_ns;
+            flood_end = flood_end.max(at);
+            reqs.push(frame(c, at));
+        }
+    }
+    for c in 0..n_clients {
+        reqs.push(frame(
+            c,
+            flood_end + 1_000 * MS + c as u64 * stagger_ns.max(20 * MS),
+        ));
+    }
+    reqs.sort_by_key(|r| (r.at_ns, r.user.0));
+    reqs
+}
+
+/// Two service slots at 10 ms per lookup = 200 req/s of edge capacity.
+fn controlled() -> AdmissionConfig {
+    AdmissionConfig {
+        queue_limit: 2,
+        max_queue_age: Duration::from_millis(10),
+        retry_after_ms: 50,
+        ..AdmissionConfig::fixed(2)
+    }
+}
+
+fn overload_cfg(admission: AdmissionConfig) -> SimConfig {
+    SimConfig {
+        num_clients: 8,
+        origin_fallback: true,
+        closed_loop: false,
+        admission: Some(admission),
+        brownout: Some(BrownoutConfig::default()),
+        compute: ComputeConfig {
+            lookup_ns: 10 * MS, // pins service capacity at limit / 10 ms
+            ..ComputeConfig::default()
+        },
+        ..SimConfig::default()
+    }
+}
+
+/// 8 clients × one request per 10 ms, arriving nearly in lockstep (137 ns
+/// stagger keeps the order total): 800 req/s offered against 200 req/s of
+/// capacity — the 4× flash crowd.
+fn crowd() -> Vec<Request> {
+    flood_trace(8, 25, 10 * MS, 137)
+}
+
+/// The same population at 1/10th the rate, spread evenly across each gap:
+/// one arrival every 12.5 ms stays far under the 200 req/s capacity.
+fn trickle() -> Vec<Request> {
+    flood_trace(8, 25, 100 * MS, 100 * MS / 8)
+}
+
+/// p99 (ms) over the edge-hit completions — the flood work the edge
+/// admitted and served itself. Excludes the single warm-up cloud miss
+/// (identical in every configuration) and the shed requests that completed
+/// through the cloud fallback.
+fn edge_hit_p99(report: &mut QoeReport) -> f64 {
+    report
+        .latency_by_path
+        .get_mut("edge_hit")
+        .map(|s| s.p99())
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn admission_keeps_admitted_p99_near_uncontended() {
+    let cfg = overload_cfg(controlled());
+    let mut calm = run(&trickle(), &cfg);
+    let mut crowd_report = run(&crowd(), &cfg);
+
+    // Uncontended: nothing queues, nothing is shed.
+    assert_eq!(calm.failed, 0);
+    let calm_p99 = edge_hit_p99(&mut calm);
+    assert!(calm_p99 > 0.0);
+    assert!(
+        !calm.latency_by_path.contains_key("baseline"),
+        "trickle load must not shed"
+    );
+
+    // 4× overload: every request still completes — shed ones through the
+    // origin fallback — and the work the edge admitted stays fast.
+    assert_eq!(crowd_report.failed, 0, "no request may hang or fail");
+    let shed_completions = crowd_report
+        .latency_by_path
+        .get("baseline")
+        .map(|s| s.count())
+        .unwrap_or(0);
+    assert!(shed_completions > 0, "a 4x crowd must shed to the cloud");
+    let crowd_p99 = edge_hit_p99(&mut crowd_report);
+    assert!(
+        crowd_p99 > 0.0,
+        "the edge must keep serving admitted work during the crowd"
+    );
+    assert!(
+        crowd_p99 <= 2.0 * calm_p99,
+        "admitted p99 {crowd_p99:.2} ms must stay within 2x of uncontended {calm_p99:.2} ms"
+    );
+}
+
+#[test]
+fn unbounded_queue_collapses_under_the_same_crowd() {
+    let mut calm = run(&trickle(), &overload_cfg(controlled()));
+    let mut collapsed = run(&crowd(), &overload_cfg(AdmissionConfig::unbounded(2)));
+
+    // The unbounded baseline never sheds — everything is eventually served
+    // by the edge, so nothing completes via the cloud fallback...
+    assert!(!collapsed.latency_by_path.contains_key("baseline"));
+    // ...but the queue grows without bound and the tail latency explodes
+    // far past the 2x envelope the controlled configuration holds. The
+    // merged admitted view (`admitted_p99_ms`) shows the same collapse.
+    let calm_p99 = edge_hit_p99(&mut calm);
+    let collapsed_p99 = edge_hit_p99(&mut collapsed);
+    assert!(
+        collapsed_p99 > 2.0 * calm_p99,
+        "unbounded p99 {collapsed_p99:.2} ms should collapse past 2x of {calm_p99:.2} ms"
+    );
+    assert!(collapsed.admitted_p99_ms() > 2.0 * calm.admitted_p99_ms());
+}
+
+#[test]
+fn shed_clients_fail_over_and_rejoin_after_the_burst() {
+    let tel = Telemetry::new();
+    let (report, _) = run_instrumented(&crowd(), &overload_cfg(controlled()), &tel);
+    assert_eq!(report.failed, 0);
+
+    let reg = tel.registry();
+    assert!(reg.counter("robustness.shed") > 0, "edge must shed");
+    assert!(reg.counter("robustness.admitted") > 0, "edge must admit");
+    assert!(
+        reg.counter("robustness.overloaded_replies") > 0,
+        "clients must observe Msg::Overloaded"
+    );
+    assert!(
+        reg.counter("robustness.degraded_transitions") > 0,
+        "shed clients must fail over to the cloud"
+    );
+    // The tail requests a second after the burst find the edge healthy
+    // again: the probe ladder brings every degraded client back.
+    assert!(
+        reg.counter("robustness.recovered_transitions") > 0,
+        "clients must rejoin the edge after the brownout clears"
+    );
+}
+
+#[test]
+fn seeded_flash_crowd_exports_are_byte_identical() {
+    let run_once = || {
+        let tel = Telemetry::new();
+        run_instrumented(&crowd(), &overload_cfg(controlled()), &tel);
+        (tel.trace_jsonl(), tel.metrics_canonical())
+    };
+    let (trace_a, metrics_a) = run_once();
+    let (trace_b, metrics_b) = run_once();
+    assert!(
+        trace_a.contains("edge.shed"),
+        "instrumented overload run must record shed events"
+    );
+    assert!(trace_a.contains("edge.admitted"));
+    assert!(trace_a.contains("edge.brownout_state"));
+    assert_eq!(trace_a, trace_b, "seeded overload traces must not drift");
+    assert_eq!(metrics_a, metrics_b);
+}
