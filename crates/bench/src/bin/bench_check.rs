@@ -12,8 +12,15 @@
 //! machine-independent speedup ratio; tighter gating against a
 //! locally-refreshed baseline is a developer workflow (see
 //! EXPERIMENTS.md).
+//!
+//! The *current* report is additionally held to the snapshot-index
+//! acceptance gate ([`check_approx_gate`]): the default snapshot family
+//! must beat the mutex baseline on p95 and throughput at every thread
+//! count, and every snapshot family's hit ratio is pinned to the linear
+//! scan. That comparison is within one run on one host, so no tolerance
+//! band applies.
 
-use coic_bench::perf::{check_regression, BenchReport};
+use coic_bench::perf::{check_approx_gate, check_regression, BenchReport};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -93,7 +100,10 @@ fn main() -> ExitCode {
         opts.tolerance * 100.0,
         opts.min_speedup
     );
-    let verdict = check_regression(&baseline, &current, opts.tolerance, opts.min_speedup);
+    let mut verdict = check_regression(&baseline, &current, opts.tolerance, opts.min_speedup);
+    let approx = check_approx_gate(&current);
+    verdict.failures.extend(approx.failures);
+    verdict.notes.extend(approx.notes);
     for note in &verdict.notes {
         println!("  ok: {note}");
     }

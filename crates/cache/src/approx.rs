@@ -3,9 +3,12 @@
 //! The recognition half of CoIC's edge lookup: "If the distance between the
 //! new feature descriptor and another one in the cache is under a certain
 //! threshold, CoIC determines that the computation result is already in the
-//! cache." Lookups go through a nearest-neighbour index (exact linear scan
-//! or LSH), eviction and byte accounting through the shared [`Store`].
+//! cache." Lookups go through a nearest-neighbour index (exact linear scan,
+//! classic LSH, or one of the batch-built [`crate::ann`] families behind
+//! the [`crate::ann::DynamicAnn`] adapter), eviction and byte accounting
+//! through the shared [`Store`].
 
+use crate::ann::{AnnFamily, DynamicAnn};
 use crate::policy::PolicyKind;
 use crate::stats::CacheStats;
 use crate::store::Store;
@@ -18,13 +21,101 @@ use coic_vision::Metric;
 pub enum IndexKind {
     /// Exact linear scan (small caches, ground truth).
     Linear,
-    /// Random-hyperplane LSH with the given tables × bits.
+    /// Classic incremental random-hyperplane LSH with the given
+    /// tables × bits (the mutex-era baseline index).
     Lsh {
         /// Number of independent hash tables.
         tables: usize,
         /// Signature bits per table.
         bits: usize,
     },
+    /// Multi-probe LSH ([`crate::ann::MultiProbeLsh`]): batch-built,
+    /// probes margin-ranked neighbouring buckets instead of piling on
+    /// tables.
+    MultiProbeLsh {
+        /// Number of independent hash tables.
+        tables: usize,
+        /// Signature bits per table.
+        bits: usize,
+        /// Buckets probed per table per lookup.
+        probes: usize,
+    },
+    /// HNSW-style layered graph ([`crate::ann::HnswIndex`]): batch-built,
+    /// greedy upper-level descent plus a beam search at the base layer.
+    Hnsw {
+        /// Maximum links per node above the base layer.
+        max_links: usize,
+        /// Beam width at the base layer.
+        ef_search: usize,
+    },
+}
+
+impl IndexKind {
+    /// Default multi-probe LSH configuration (mirrors
+    /// [`AnnFamily::DEFAULT_MPLSH`]).
+    pub const DEFAULT_MPLSH: IndexKind = IndexKind::MultiProbeLsh {
+        tables: 4,
+        bits: 8,
+        probes: 8,
+    };
+
+    /// Default HNSW configuration (mirrors [`AnnFamily::DEFAULT_HNSW`]).
+    pub const DEFAULT_HNSW: IndexKind = IndexKind::Hnsw {
+        max_links: 8,
+        ef_search: 24,
+    };
+
+    /// Stable label for configs, CLI flags, and bench cell names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IndexKind::Linear => "linear",
+            IndexKind::Lsh { .. } => "lsh",
+            IndexKind::MultiProbeLsh { .. } => "mp-lsh",
+            IndexKind::Hnsw { .. } => "hnsw",
+        }
+    }
+
+    /// Parse a label back into a kind with default parameters
+    /// (`linear`, `lsh`, `mp-lsh`, `hnsw`).
+    pub fn parse(name: &str) -> Option<IndexKind> {
+        match name {
+            "linear" => Some(IndexKind::Linear),
+            "lsh" => Some(IndexKind::Lsh { tables: 8, bits: 8 }),
+            "mp-lsh" | "mplsh" => Some(IndexKind::DEFAULT_MPLSH),
+            "hnsw" => Some(IndexKind::DEFAULT_HNSW),
+            _ => None,
+        }
+    }
+
+    /// The batch-built [`AnnFamily`] equivalent of this kind, used by the
+    /// snapshot cache (classic `Lsh` maps to multi-probe with default
+    /// probing — the snapshot path has no incremental index).
+    pub fn ann_family(&self) -> AnnFamily {
+        match *self {
+            IndexKind::Linear => AnnFamily::Linear,
+            IndexKind::Lsh { tables, bits } => AnnFamily::MultiProbeLsh {
+                tables,
+                bits,
+                probes: 8,
+            },
+            IndexKind::MultiProbeLsh {
+                tables,
+                bits,
+                probes,
+            } => AnnFamily::MultiProbeLsh {
+                tables,
+                bits,
+                probes,
+            },
+            IndexKind::Hnsw {
+                max_links,
+                ef_search,
+            } => AnnFamily::Hnsw {
+                max_links,
+                ef_search,
+            },
+        }
+    }
 }
 
 /// Outcome of an approximate lookup.
@@ -92,6 +183,10 @@ impl<V> ApproxCache<V> {
             IndexKind::Lsh { tables, bits } => {
                 Box::new(LshIndex::new(dim, tables, bits, 0xC01C_15E3))
             }
+            kind @ (IndexKind::MultiProbeLsh { .. } | IndexKind::Hnsw { .. }) => Box::new(
+                DynamicAnn::new(kind.ann_family(), dim, crate::ann::DEFAULT_REBUILD_BATCH)
+                    .with_radius(threshold),
+            ),
         };
         ApproxCache {
             store: Store::new(capacity_bytes, policy, None),
@@ -142,10 +237,8 @@ impl<V> ApproxCache<V> {
 
     /// Read-only lookup through a shared reference: same hit/miss decision
     /// as [`ApproxCache::lookup`] but records no stats and refreshes no
-    /// recency. This is the read path of
-    /// [`crate::sharded::ShardedApproxCache`], which counts hits/misses in
-    /// per-shard atomics and replays recency under the next write lock via
-    /// [`ApproxCache::touch`].
+    /// recency. Callers that count hits externally (e.g. in atomics) pair
+    /// this with [`ApproxCache::touch`] to replay recency later.
     pub fn lookup_ro(&self, query: &FeatureVec) -> ApproxLookup {
         match self.index.nearest(query) {
             Some((id, distance)) if distance <= self.threshold => {
@@ -233,6 +326,14 @@ impl<V> ApproxCache<V> {
             self.index.remove(*b);
         }
         dead.len()
+    }
+
+    /// Fold any journaled index maintenance (batch rebuilds for the ANN
+    /// families; a no-op for the incremental indexes). The engine tick
+    /// drives this so rebuild cost lands at deterministic points instead
+    /// of mid-lookup. Returns how many journaled mutations were folded.
+    pub fn maintain(&mut self) -> usize {
+        self.index.maintain()
     }
 
     /// Lookup counters (hits/misses counted at this layer).
@@ -419,6 +520,64 @@ mod tests {
         let mut c: ApproxCache<u32> =
             ApproxCache::new(1 << 20, PolicyKind::Lru, 0.5, IndexKind::Linear, 2);
         assert_eq!(c.compact_with(0.2, |_, _| true), 0);
+    }
+
+    #[test]
+    fn ann_backends_behave_like_linear_for_hits() {
+        let mut caches: Vec<ApproxCache<&'static str>> = vec![
+            cache(0.3),
+            ApproxCache::new(10_000, PolicyKind::Lru, 0.3, IndexKind::DEFAULT_MPLSH, 2),
+            ApproxCache::new(10_000, PolicyKind::Lru, 0.3, IndexKind::DEFAULT_HNSW, 2),
+        ];
+        let stored = [
+            ([1.0f32, 0.0], "east"),
+            ([0.0, 1.0], "north"),
+            ([-1.0, 0.0], "west"),
+            ([0.0, -1.0], "south"),
+        ];
+        for c in &mut caches {
+            for (d, name) in stored {
+                c.insert(v(&d), name, 10, 0);
+            }
+            c.maintain();
+        }
+        for q in [[0.99f32, 0.05], [-0.03, 0.98], [-1.02, 0.02], [0.6, 0.6]] {
+            let truth = matches!(caches[0].lookup(&v(&q), 0), ApproxLookup::Hit { .. });
+            for c in &mut caches[1..] {
+                let got = matches!(c.lookup(&v(&q), 0), ApproxLookup::Hit { .. });
+                assert_eq!(truth, got, "disagreement at {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn maintain_is_noop_for_incremental_indexes() {
+        let mut c = cache(0.5);
+        c.insert(v(&[1.0, 0.0]), "x", 100, 0);
+        assert_eq!(c.maintain(), 0);
+    }
+
+    #[test]
+    fn index_kind_labels_roundtrip() {
+        for kind in [
+            IndexKind::Linear,
+            IndexKind::Lsh { tables: 8, bits: 8 },
+            IndexKind::DEFAULT_MPLSH,
+            IndexKind::DEFAULT_HNSW,
+        ] {
+            assert_eq!(IndexKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(IndexKind::parse("nope"), None);
+        // Every kind maps onto a buildable ANN family.
+        for kind in [
+            IndexKind::Linear,
+            IndexKind::Lsh { tables: 2, bits: 4 },
+            IndexKind::DEFAULT_MPLSH,
+            IndexKind::DEFAULT_HNSW,
+        ] {
+            let built = kind.ann_family().build(2, vec![(0, v(&[1.0, 0.0]))]);
+            assert_eq!(built.len(), 1);
+        }
     }
 
     #[test]

@@ -10,9 +10,13 @@
 //! * [`exact`] — digest-keyed lookup (render/panorama tasks),
 //! * [`approx`] — feature-descriptor lookup under a distance threshold
 //!   (recognition tasks),
+//! * [`ann`] — the approximate-nearest-neighbour families behind approx
+//!   lookup (multi-probe LSH, HNSW, linear scan) + a mutable adapter,
+//! * [`snapshot`] — the concurrent snapshot/journal descriptor cache
+//!   (lock-free lookups, deterministic batch rebuilds),
 //! * [`sketch`]/[`admission`] — count-min sketch + TinyLFU admission gate,
 //! * [`concurrent`] — single-mutex shared wrappers (contention baseline),
-//! * [`sharded`] — sharded read-optimized wrappers for the real-TCP edge,
+//! * [`sharded`] — sharded exact-cache wrappers for the real-TCP edge,
 //! * [`coop`] — multi-edge cooperative lookup,
 //! * [`metrics`] — the unified [`metrics::Metrics`] view (publishes to the
 //!   `coic-obs` registry) and the typed [`metrics::Lookup`] outcome,
@@ -22,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod admission;
+pub mod ann;
 pub mod approx;
 pub mod concurrent;
 pub mod coop;
@@ -31,11 +36,13 @@ pub mod metrics;
 pub mod policy;
 pub mod sharded;
 pub mod sketch;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 mod sync;
 
 pub use admission::{TinyLfu, TinyLfuConfig};
+pub use ann::{AnnFamily, AnnIndex, DynamicAnn, ProbeStats};
 pub use approx::{ApproxCache, ApproxLookup, IndexKind};
 pub use concurrent::{SharedApproxCache, SharedExactCache};
 pub use coop::{CoopGroup, CoopOutcome};
@@ -43,7 +50,8 @@ pub use digest::{fnv1a64, sha256, Digest};
 pub use exact::ExactCache;
 pub use metrics::{Lookup, Metrics};
 pub use policy::{EvictionPolicy, PolicyKind};
-pub use sharded::{ShardedApproxCache, ShardedExactCache, TouchStats, DEFAULT_SHARDS};
+pub use sharded::{ShardedExactCache, TouchStats, DEFAULT_SHARDS};
 pub use sketch::CountMinSketch;
+pub use snapshot::{IndexTelemetry, SnapshotApproxCache, DEFAULT_REBUILD_BATCH};
 pub use stats::CacheStats;
 pub use store::Store;

@@ -1,24 +1,21 @@
-//! Sharded, read-optimized concurrent cache wrappers for the live edge.
+//! Sharded, read-optimized concurrent *exact* cache for the live edge.
 //!
 //! The original [`crate::concurrent`] wrappers guard each whole cache with
 //! one mutex, so every client connection thread serializes behind every
-//! other — lookups included. These wrappers split the key space across N
-//! independent shards, each behind its own `RwLock`, so the hot path (a
-//! cache *hit*) takes only a shared read lock on one shard:
+//! other — lookups included. [`ShardedExactCache`] splits the digest key
+//! space across N independent shards (shard = digest bytes mod N), each
+//! behind its own `RwLock`, so the hot path (a cache *hit*) takes only a
+//! shared read lock on one shard. Values are stored as `Arc<V>`, so a hit
+//! clones a reference count under the read lock and the guard is dropped
+//! **before** any deep clone of the payload (3D model bytes never copy
+//! inside the lock — see [`ShardedExactCache::lookup_owned`]).
 //!
-//! * **Exact cache** ([`ShardedExactCache`]): shard = digest bytes mod N.
-//!   Values are stored as `Arc<V>`, so a hit clones a reference count
-//!   under the read lock and the guard is dropped **before** any deep
-//!   clone of the payload (3D model bytes never copy inside the lock —
-//!   see [`ShardedExactCache::lookup_owned`]).
-//! * **Approximate cache** ([`ShardedApproxCache`]): shard = coarse
-//!   random-hyperplane signature of the descriptor
-//!   ([`coic_vision::ShardRouter`]) mod N, so near-duplicate descriptors
-//!   — the whole point of CoIC's similarity reuse — land in the same
-//!   shard and a hit is usually answered under one read lock. A home-shard
-//!   miss falls back to probing the remaining shards, so the hit/miss
-//!   *decision* is identical to an unsharded cache (the union of all
-//!   shards is searched before declaring a miss).
+//! Digest keys shard cleanly because equality is exact. Descriptor keys do
+//! not: sharding the *descriptor space* fragments LSH buckets and forces a
+//! miss to probe every shard, which benchmarked worse than a single mutex
+//! (`bench/baseline.json`, rev a68375a). The approximate hot path
+//! therefore lives in [`crate::snapshot`] — immutable snapshots with
+//! lock-free lookups — not here.
 //!
 //! Read-path hit/miss counters accumulate in per-shard relaxed atomics and
 //! are merged with the write-path store counters on [`stats`] snapshots.
@@ -48,15 +45,12 @@
 //! [`stats`]: ShardedExactCache::stats
 
 use crate::admission::TinyLfuConfig;
-use crate::approx::{ApproxCache, ApproxLookup, IndexKind};
 use crate::digest::Digest;
 use crate::exact::ExactCache;
-use crate::metrics::{Lookup, Metrics};
+use crate::metrics::Metrics;
 use crate::policy::PolicyKind;
 use crate::stats::CacheStats;
 use crate::sync::{AtomicU64, Mutex, Ordering, RwLock};
-use coic_vision::features::FeatureVec;
-use coic_vision::ShardRouter;
 use std::sync::Arc;
 
 /// Default shard count for the live edge: enough to make same-shard
@@ -343,223 +337,6 @@ impl<V: Clone> ShardedExactCache<V> {
     }
 }
 
-// ----------------------------------------------------------------- approx --
-
-struct ApproxShard<V> {
-    cache: RwLock<ApproxCache<Arc<V>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    touches: Mutex<Vec<u64>>,
-    touch_counters: TouchCounters,
-}
-
-/// A shareable approximate cache split into descriptor-routed shards.
-pub struct ShardedApproxCache<V> {
-    shards: Arc<Vec<ApproxShard<V>>>,
-    router: Arc<ShardRouter>,
-}
-
-impl<V> Clone for ShardedApproxCache<V> {
-    fn clone(&self) -> Self {
-        ShardedApproxCache {
-            shards: Arc::clone(&self.shards),
-            router: Arc::clone(&self.router),
-        }
-    }
-}
-
-impl<V> ShardedApproxCache<V> {
-    /// Create a sharded approximate cache; `capacity_bytes` is the total
-    /// budget split evenly across `shards`.
-    ///
-    /// # Panics
-    /// Panics if `shards` is zero (plus [`ApproxCache::new`]'s conditions).
-    pub fn new(
-        capacity_bytes: u64,
-        policy: PolicyKind,
-        threshold: f32,
-        index: IndexKind,
-        dim: usize,
-        shards: usize,
-    ) -> Self {
-        assert!(shards > 0, "shard count must be positive");
-        let per_shard = (capacity_bytes / shards as u64).max(1);
-        let shards: Vec<_> = (0..shards)
-            .map(|_| ApproxShard {
-                cache: RwLock::new(ApproxCache::new(per_shard, policy, threshold, index, dim)),
-                hits: AtomicU64::new(0),
-                misses: AtomicU64::new(0),
-                touches: Mutex::new(Vec::new()),
-                touch_counters: TouchCounters::new(),
-            })
-            .collect();
-        // 8 signature bits: 256 buckets folded onto the shard count. More
-        // bits sharpen routing but raise the chance a near-duplicate
-        // flips one and lands elsewhere (caught by the fallback probe).
-        let router = ShardRouter::new(dim, 8, 0xC01C_5AAD);
-        ShardedApproxCache {
-            shards: Arc::new(shards),
-            router: Arc::new(router),
-        }
-    }
-
-    /// Number of shards.
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// Home shard of a descriptor (telemetry: the `shard` field of
-    /// `edge.lookup` trace events).
-    pub fn home_shard(&self, descriptor: &FeatureVec) -> usize {
-        (self.router.signature(descriptor) as usize) % self.shards.len()
-    }
-
-    fn home_of(&self, descriptor: &FeatureVec) -> usize {
-        self.home_shard(descriptor)
-    }
-
-    /// Probe one shard read-only; a within-threshold hit clones the `Arc`
-    /// value under the read lock and queues a recency touch.
-    fn probe(&self, idx: usize, query: &FeatureVec) -> Option<(Arc<V>, f32)> {
-        let shard = &self.shards[idx];
-        let guard = shard.cache.read();
-        match guard.lookup_ro(query) {
-            ApproxLookup::Hit { id, distance } => {
-                let value = guard.value(id).cloned()?;
-                // Queue the touch before releasing the read guard so a
-                // racing writer cannot evict `id` first (same protocol as
-                // the exact cache — see the module docs).
-                match shard.touches.try_lock() {
-                    Some(mut queue) if queue.len() < MAX_PENDING_TOUCHES => {
-                        queue.push(id);
-                        shard.touch_counters.queued.fetch_add(1, Ordering::Relaxed);
-                    }
-                    _ => {
-                        shard.touch_counters.dropped.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                drop(guard);
-                Some((value, distance))
-            }
-            ApproxLookup::Miss { .. } => None,
-        }
-    }
-
-    /// Threshold lookup; a hit reports the match distance via
-    /// [`Lookup::ApproxHit`].
-    ///
-    /// The home shard (descriptor signature) is probed first; on a miss
-    /// every other shard is probed too, so the hit/miss decision equals an
-    /// unsharded search over all entries. When several shards hold a
-    /// within-threshold match the closest one wins; note the home-shard
-    /// fast path may return a within-threshold match that is not the
-    /// global nearest — a deliberate trade, since any within-threshold
-    /// entry is by definition an acceptable reuse.
-    pub fn lookup(&self, query: &FeatureVec, _now_ns: u64) -> Lookup<Arc<V>> {
-        let home = self.home_of(query);
-        if let Some((value, distance)) = self.probe(home, query) {
-            self.shards[home].hits.fetch_add(1, Ordering::Relaxed);
-            return Lookup::ApproxHit { value, distance };
-        }
-        let mut best: Option<(Arc<V>, f32)> = None;
-        for idx in 0..self.shards.len() {
-            if idx == home {
-                continue;
-            }
-            if let Some((value, distance)) = self.probe(idx, query) {
-                if best.as_ref().map(|(_, d)| distance < *d).unwrap_or(true) {
-                    best = Some((value, distance));
-                }
-            }
-        }
-        match best {
-            Some((value, distance)) => {
-                self.shards[home].hits.fetch_add(1, Ordering::Relaxed);
-                Lookup::ApproxHit { value, distance }
-            }
-            None => {
-                self.shards[home].misses.fetch_add(1, Ordering::Relaxed);
-                Lookup::Miss
-            }
-        }
-    }
-
-    /// Insert a descriptor/result pair into the descriptor's home shard,
-    /// replaying queued recency touches first.
-    pub fn insert(&self, descriptor: FeatureVec, value: V, size: u64, now_ns: u64) {
-        let shard = &self.shards[self.home_of(&descriptor)];
-        let mut guard = shard.cache.write();
-        // Drain under the write lock, after acquiring it — see
-        // [`ShardedExactCache::insert`] for why this order is load-bearing.
-        let pending = std::mem::take(&mut *shard.touches.lock());
-        for id in pending {
-            let live = guard.touch(id, now_ns);
-            shard.touch_counters.count_replay(live);
-        }
-        guard.insert(descriptor, Arc::new(value), size, now_ns);
-    }
-
-    /// The unified counter snapshot (read-path atomics + write-path store
-    /// counters + deferred-touch protocol), merged across shards.
-    /// [`Metrics::touch_dead`] must be zero (see the module docs).
-    pub fn metrics(&self) -> Metrics {
-        let mut total = Metrics::default();
-        let mut touches = TouchStats::default();
-        for shard in self.shards.iter() {
-            let s = *shard.cache.read().stats();
-            total.hits += s.hits + shard.hits.load(Ordering::Relaxed);
-            total.misses += s.misses + shard.misses.load(Ordering::Relaxed);
-            total.insertions += s.insertions;
-            total.evictions += s.evictions;
-            total.expired += s.expired;
-            total.rejected += s.rejected;
-            total.admission_rejects += s.admission_rejects;
-            shard.touch_counters.merge_into(&mut touches);
-        }
-        total.touch_queued = touches.queued;
-        total.touch_dropped = touches.dropped;
-        total.touch_replayed = touches.replayed;
-        total.touch_dead = touches.dead;
-        total
-    }
-
-    /// Merged counters (read-path atomics + write-path store counters).
-    #[deprecated(note = "use `metrics()`; this facade derives from it")]
-    pub fn stats(&self) -> CacheStats {
-        self.metrics().cache_stats()
-    }
-
-    /// Deferred-touch protocol counters, summed across shards.
-    /// [`TouchStats::dead`] must be zero (see the module docs).
-    #[deprecated(note = "use `metrics()`; this facade derives from it")]
-    pub fn touch_stats(&self) -> TouchStats {
-        self.metrics().touch_stats()
-    }
-
-    /// Total descriptors across shards.
-    pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.cache.read().len()).sum()
-    }
-
-    /// True when every shard is empty.
-    pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.cache.read().is_empty())
-    }
-
-    /// Bytes in use across shards.
-    pub fn used_bytes(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.cache.read().used_bytes())
-            .sum()
-    }
-
-    /// The hit threshold (uniform across shards).
-    pub fn threshold(&self) -> f32 {
-        self.shards[0].cache.read().threshold()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -723,73 +500,6 @@ mod tests {
         assert!(cache.lookup(&key, 0).is_some());
         cache.insert(Digest::of(b"k2"), PanickingClone, 10, 0);
         assert_eq!(cache.len(), 2);
-    }
-
-    fn v(data: &[f32]) -> FeatureVec {
-        FeatureVec::new(data.to_vec())
-    }
-
-    #[test]
-    fn approx_hits_across_shards() {
-        let cache: ShardedApproxCache<u64> =
-            ShardedApproxCache::new(1 << 20, PolicyKind::Lru, 0.25, IndexKind::Linear, 2, 4);
-        // Spread descriptors around the unit circle: the router will place
-        // them in several different shards.
-        let n = 8u64;
-        for i in 0..n {
-            let a = i as f32 / n as f32 * std::f32::consts::TAU;
-            cache.insert(v(&[a.cos(), a.sin()]), i, 50, 0);
-        }
-        assert_eq!(cache.len(), n as usize);
-        // Every stored descriptor must be findable from a slightly
-        // perturbed query, regardless of which shard it landed in.
-        for i in 0..n {
-            let a = i as f32 / n as f32 * std::f32::consts::TAU + 0.02;
-            let Lookup::ApproxHit { value, distance } = cache.lookup(&v(&[a.cos(), a.sin()]), 0)
-            else {
-                panic!("expected an approximate hit for descriptor {i}");
-            };
-            assert_eq!(*value, i);
-            assert!(distance < 0.1);
-        }
-        let s = cache.metrics();
-        assert_eq!((s.hits, s.misses), (n, 0));
-        // A far-away query misses everywhere.
-        assert!(!cache.lookup(&v(&[5.0, 5.0]), 0).is_hit());
-        assert_eq!(cache.metrics().misses, 1);
-    }
-
-    #[test]
-    fn approx_concurrent_inserts_and_lookups() {
-        let cache: ShardedApproxCache<u64> = ShardedApproxCache::new(
-            1 << 20,
-            PolicyKind::Lru,
-            0.25,
-            IndexKind::Lsh { tables: 4, bits: 4 },
-            2,
-            4,
-        );
-        let handles: Vec<_> = (0..4u64)
-            .map(|i| {
-                let c = cache.clone();
-                std::thread::spawn(move || {
-                    let a = i as f32 * 1.5;
-                    c.insert(v(&[a.cos(), a.sin()]), i, 50, 0);
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(cache.len(), 4);
-        for i in 0..4u64 {
-            let a = i as f32 * 1.5;
-            let val = cache
-                .lookup(&v(&[a.cos(), a.sin()]), 0)
-                .into_value()
-                .unwrap();
-            assert_eq!(*val, i);
-        }
     }
 
     #[test]

@@ -124,6 +124,9 @@ fn sim_config(args: &Args) -> Result<SimConfig, Box<dyn std::error::Error>> {
         ..SimConfig::default()
     };
     cfg.edge.threshold = args.num("threshold", cfg.edge.threshold)?;
+    if let Some(kind) = index_arg(args)? {
+        cfg.edge.index = kind;
+    }
     cfg.origin_fallback = args.num("origin-fallback", 0u8)? != 0;
     // `--open-loop 1` fires requests at their trace timestamps regardless
     // of completions (the arrival model overload experiments need);
@@ -180,6 +183,18 @@ fn report_text(label: &str, r: &mut coic_core::QoeReport) -> String {
     )
 }
 
+/// Parse `--index` when present: the recognition-descriptor index family
+/// the edge runs (`linear`/`lsh` on the mutex path, `mp-lsh`/`hnsw` on
+/// the snapshot ANN path).
+fn index_arg(args: &Args) -> Result<Option<coic_cache::IndexKind>, Box<dyn std::error::Error>> {
+    match args.get("index") {
+        None => Ok(None),
+        Some(name) => coic_cache::IndexKind::parse(name)
+            .map(Some)
+            .ok_or_else(|| format!("unknown index {name:?} (linear|lsh|mp-lsh|hnsw)").into()),
+    }
+}
+
 /// When either telemetry export flag is present, return a recording
 /// [`Telemetry`] handle; otherwise a disabled one (zero overhead).
 fn telemetry_for(args: &Args) -> coic_obs::Telemetry {
@@ -209,7 +224,8 @@ fn write_telemetry(
     Ok(notes)
 }
 
-/// `sim`: run one trace through one system. With `--canonical 1` the
+/// `sim`: run one trace through one system. `--index` picks the edge's
+/// descriptor index family (`linear|lsh|mp-lsh|hnsw`). With `--canonical 1` the
 /// report is emitted in the canonical byte-stable serialization (sorted
 /// keys, fixed precision), so two runs of the same seeded workload can be
 /// diffed textually — the CI determinism job does exactly that.
@@ -255,7 +271,8 @@ pub fn sim(args: &Args) -> CmdResult {
 // ------------------------------------------------------------------- live --
 
 /// `live`: replay a CSV trace through the real TCP loopback stack — a
-/// spawned cloud process, one edge with sharded caches, and a blocking
+/// spawned cloud process, one edge with sharded exact caches and the
+/// snapshot/mutex descriptor index picked by `--index`, and a blocking
 /// client with origin fallback — then print the same QoE report shape the
 /// simulator emits. `--trace-out`/`--metrics-out` export the unified
 /// telemetry with the same event vocabulary as `coic sim` (timestamps are
@@ -289,7 +306,11 @@ pub fn live(args: &Args) -> CmdResult {
         telemetry: tel.clone(),
         ..NetConfig::default()
     };
-    let edge = spawn_edge_with(cloud.addr(), &EdgeConfig::default(), net.clone(), None)?;
+    let mut edge_cfg = EdgeConfig::default();
+    if let Some(kind) = index_arg(args)? {
+        edge_cfg.index = kind;
+    }
+    let edge = spawn_edge_with(cloud.addr(), &edge_cfg, net.clone(), None)?;
     let mut client = NetClient::connect_with(
         edge.addr(),
         Some(cloud.addr()),
@@ -545,6 +566,27 @@ pub fn bench(args: &Args) -> CmdResult {
         report.git_rev,
         if quick { ", quick" } else { "" }
     )?;
+    writeln!(
+        text,
+        "snapshot-vs-mutex approx-lookup speedup: {:.2}×  (default ANN family at top thread count)",
+        report.speedup_snapshot_vs_mutex,
+    )?;
+    // Snapshot-index telemetry aggregated over the approx cells — the
+    // same `index.*` keys `coic obs report --metrics` summarizes when
+    // `--metrics-out` is given.
+    let reg = tel.registry();
+    let lookups = reg.counter("index.lookup");
+    if lookups > 0 {
+        writeln!(
+            text,
+            "index telemetry: {:.2} probes/lookup, {} rebuilds, {} entries folded, \
+             journal depth {}",
+            reg.counter("index.probe_count") as f64 / lookups as f64,
+            reg.counter("index.rebuild"),
+            reg.counter("index.folded"),
+            reg.gauge("index.journal_depth"),
+        )?;
+    }
     write!(text, "wrote {out}")?;
     text.push_str(&write_telemetry(args, &tel)?);
     Ok(text)

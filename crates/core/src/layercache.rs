@@ -53,6 +53,30 @@ impl LayerCache {
         policy: PolicyKind,
         compute: ComputeConfig,
     ) -> Self {
+        Self::with_index(
+            layer,
+            threshold,
+            cache_bytes,
+            policy,
+            compute,
+            IndexKind::Linear,
+        )
+    }
+
+    /// Like [`LayerCache::new`] but with an explicit index backend —
+    /// intermediate activations are higher-dimensional than the final
+    /// embedding, where the ANN families pay off sooner.
+    ///
+    /// # Panics
+    /// Panics if `layer` is out of range.
+    pub fn with_index(
+        layer: usize,
+        threshold: f32,
+        cache_bytes: u64,
+        policy: PolicyKind,
+        compute: ComputeConfig,
+        index: IndexKind,
+    ) -> Self {
         let net = SimNet::default_net();
         assert!(layer <= net.num_layers(), "layer {layer} out of range");
         let dim = if layer == 0 {
@@ -62,7 +86,7 @@ impl LayerCache {
         };
         LayerCache {
             net,
-            cache: ApproxCache::new(cache_bytes, policy, threshold, IndexKind::Linear, dim),
+            cache: ApproxCache::new(cache_bytes, policy, threshold, index, dim),
             layer,
             compute,
         }
@@ -138,6 +162,13 @@ impl LayerCache {
         }
     }
 
+    /// Fold any journaled index maintenance (batch rebuilds for the
+    /// ANN-backed index kinds; a no-op for linear). Returns how many
+    /// journaled mutations were folded.
+    pub fn maintain(&mut self) -> usize {
+        self.cache.maintain()
+    }
+
     /// Cache hit/miss counters.
     pub fn stats(&self) -> coic_cache::CacheStats {
         *self.cache.stats()
@@ -178,6 +209,36 @@ mod tests {
             assert!(second.hit, "layer {layer}: identical input must hit");
             assert_eq!(second.result, first.result);
         }
+    }
+
+    #[test]
+    fn ann_index_matches_linear_decisions() {
+        let gen = SceneGenerator::new(64);
+        let clf = classifier(&gen);
+        let layer = SimNet::default_net().num_layers();
+        let mk = |index| {
+            LayerCache::with_index(
+                layer,
+                0.3,
+                1 << 20,
+                PolicyKind::Lru,
+                ComputeConfig::default(),
+                index,
+            )
+        };
+        let mut linear = mk(IndexKind::Linear);
+        let mut hnsw = mk(IndexKind::DEFAULT_HNSW);
+        for (i, class) in (0..6).cycle().take(18).enumerate() {
+            let img = gen.canonical(ObjectClass(class));
+            let a = linear.process(&img, &clf, i as u64);
+            let b = hnsw.process(&img, &clf, i as u64);
+            assert_eq!(a.hit, b.hit, "step {i}: index families disagree");
+            assert_eq!(a.result, b.result);
+        }
+        // Six classes → six first-miss inserts journaled; maintain folds
+        // them and a second call has nothing left.
+        assert_eq!(hnsw.maintain(), 6);
+        assert_eq!(hnsw.maintain(), 0);
     }
 
     #[test]

@@ -258,6 +258,20 @@ impl EdgeHandle {
         self.service.hit_ratio()
     }
 
+    /// Fold the recognition cache's journal into a fresh snapshot now
+    /// (inserts also self-fold at the rebuild batch; this flushes any
+    /// partial batch, e.g. at the end of a measurement window). Returns
+    /// how many journal entries were folded.
+    pub fn maintain_index(&self, now_ns: u64) -> usize {
+        self.service.maintain(now_ns)
+    }
+
+    /// Snapshot of the recognition index hot-path telemetry (probe
+    /// counts, rebuilds, journal depth, snapshot age).
+    pub fn index_telemetry(&self) -> coic_cache::IndexTelemetry {
+        self.service.index_telemetry()
+    }
+
     /// Lock shards per cache on this edge.
     pub fn cache_shards(&self) -> usize {
         self.service.shard_count()
@@ -530,6 +544,26 @@ fn guarded_cloud_call(
     result
 }
 
+/// Trace an `index.rebuild` event when an insert's self-fold rebuilt the
+/// recognition snapshot (`folded` journal entries baked into the new
+/// generation).
+fn trace_rebuild(net: &NetConfig, service: &SharedEdgeService, folded: usize, now_ns: u64) {
+    if folded == 0 {
+        return;
+    }
+    let t = service.index_telemetry();
+    net.telemetry.event(
+        now_ns,
+        "index.rebuild",
+        vec![
+            ("folded", Value::from(folded)),
+            ("index", Value::from(service.index_family())),
+            ("snapshot_len", Value::from(t.snapshot_len)),
+            ("rebuilds", Value::from(t.rebuilds)),
+        ],
+    );
+}
+
 /// Start an edge server on an ephemeral loopback port with default
 /// fault-tolerance parameters, forwarding misses to `cloud_addr`.
 pub fn spawn_edge(cloud_addr: SocketAddr, cfg: &EdgeConfig) -> std::io::Result<EdgeHandle> {
@@ -609,25 +643,24 @@ pub fn spawn_edge_with(
                 let now = clock.now_ns();
                 // One typed lookup serves both the reply decision and the
                 // trace: the event records which cache answered (exact vs
-                // approx vs miss) and which lock shard owns the key —
-                // the dimension the merged stats structs never exposed.
+                // approx vs miss) plus the path dimension — the lock
+                // shard for digests, the lock-free snapshot index family
+                // for descriptors.
                 let outcome = service.lookup(&descriptor, now);
-                let shard = match &descriptor {
-                    FeatureDescriptor::Dnn(v) => service.recog_home_shard(v),
-                    FeatureDescriptor::ModelHash(d) | FeatureDescriptor::PanoramaHash(d) => {
-                        service.exact_shard_of(d)
+                let mut fields = vec![
+                    ("req", Value::from(req_id)),
+                    ("kind", Value::from(outcome.kind_str())),
+                    ("hit", Value::from(outcome.is_hit())),
+                ];
+                match &descriptor {
+                    FeatureDescriptor::Dnn(_) => {
+                        fields.push(("index", Value::from(service.index_family())));
                     }
-                };
-                net.telemetry.event(
-                    now,
-                    "edge.lookup",
-                    vec![
-                        ("req", Value::from(req_id)),
-                        ("shard", Value::from(shard)),
-                        ("kind", Value::from(outcome.kind_str())),
-                        ("hit", Value::from(outcome.is_hit())),
-                    ],
-                );
+                    FeatureDescriptor::ModelHash(d) | FeatureDescriptor::PanoramaHash(d) => {
+                        fields.push(("shard", Value::from(service.exact_shard_of(d))));
+                    }
+                }
+                net.telemetry.event(now, "edge.lookup", fields);
                 let decision = match outcome.into_value() {
                     Some(result) => EdgeReply::Hit(result),
                     None if ticket.is_some_and(|(cached_only, _)| cached_only) => {
@@ -726,7 +759,8 @@ pub fn spawn_edge_with(
                                     FlightClaim::Leader => {
                                         let fetched = fetch(task);
                                         if let Some((result, _)) = &fetched {
-                                            service.insert(&descriptor, result, now);
+                                            let folded = service.insert(&descriptor, result, now);
+                                            trace_rebuild(&net, &service, folded, clock.now_ns());
                                         }
                                         for w in flights_h.complete(&d) {
                                             w.notify();
@@ -770,11 +804,13 @@ pub fn spawn_edge_with(
                             },
                             None => match fetch(task) {
                                 Some((result, true)) => {
-                                    service.insert(&descriptor, &result, now);
+                                    let folded = service.insert(&descriptor, &result, now);
+                                    trace_rebuild(&net, &service, folded, clock.now_ns());
                                     Msg::PeerResult { req_id, result }
                                 }
                                 Some((result, false)) => {
-                                    service.insert(&descriptor, &result, now);
+                                    let folded = service.insert(&descriptor, &result, now);
+                                    trace_rebuild(&net, &service, folded, clock.now_ns());
                                     Msg::Result { req_id, result }
                                 }
                                 None => {
@@ -818,7 +854,8 @@ pub fn spawn_edge_with(
                     &stats_h,
                 ) {
                     Some(result) => {
-                        service.insert(&descriptor, &result, now);
+                        let folded = service.insert(&descriptor, &result, now);
+                        trace_rebuild(&net, &service, folded, clock.now_ns());
                         Msg::Result { req_id, result }
                     }
                     None => {

@@ -160,6 +160,15 @@ impl EdgeService {
         }
     }
 
+    /// Fold any journaled recognition-index maintenance (batch rebuilds
+    /// for the ANN-backed [`IndexKind`]s; a no-op for the incremental
+    /// indexes). The simulation tick drives this between request batches
+    /// so rebuild cost lands at deterministic points. Returns how many
+    /// journaled mutations were folded.
+    pub fn maintain(&mut self) -> usize {
+        self.recog.maintain()
+    }
+
     /// Does the exact cache currently hold this digest? (No stats or
     /// recency side effects — used by the prefetcher to avoid refetching.)
     pub fn exact_contains(&self, digest: &Digest) -> bool {

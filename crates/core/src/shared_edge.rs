@@ -6,44 +6,55 @@
 //! thread, and wrapping the whole service in a mutex serializes the hot
 //! path. [`SharedEdgeService`] is the concurrent counterpart: the same
 //! decision logic, same cache-sizing rules and same reply semantics as
-//! `EdgeService`, but built on the sharded wrappers
-//! ([`coic_cache::ShardedApproxCache`] / [`coic_cache::ShardedExactCache`])
-//! so every method takes `&self` and cache hits only share-lock one shard.
+//! `EdgeService`, but every method takes `&self`:
 //!
-//! The hit/miss *decisions* match the unsharded service: the approximate
-//! lookup falls back to probing every shard before declaring a miss, and
-//! the exact lookup's shard holds all entries for its digest. What changes
-//! is performance metadata only (recency replay is batched, stats live in
-//! relaxed atomics), which the deterministic simulation never sees — the
-//! sim path keeps using `EdgeService` untouched.
+//! * recognition descriptors go through the snapshot/journal cache
+//!   ([`coic_cache::SnapshotApproxCache`]) — lookups walk an immutable
+//!   `Arc`-swapped snapshot lock-free, inserts journal, and the engine
+//!   tick drives [`SharedEdgeService::maintain`] to fold rebuilds at
+//!   deterministic points;
+//! * exact digests go through the sharded wrapper
+//!   ([`coic_cache::ShardedExactCache`]), where a hit share-locks one
+//!   shard.
+//!
+//! The hit/miss *decisions* match the unsharded service: the snapshot
+//! lookup scans the journal before declaring a miss (an insert is visible
+//! immediately), and the exact lookup's shard holds all entries for its
+//! digest. What changes is performance metadata only (recency is a
+//! relaxed tick replayed at fold time, stats live in relaxed atomics),
+//! which the deterministic simulation never sees — the sim path keeps
+//! using `EdgeService` untouched.
 
 use crate::descriptor::FeatureDescriptor;
 use crate::services::{EdgeConfig, EdgeReply};
 use crate::task::{TaskRequest, TaskResult};
-use coic_cache::{CacheStats, Digest, Lookup, Metrics, ShardedApproxCache, ShardedExactCache};
+use coic_cache::{
+    CacheStats, Digest, IndexTelemetry, Lookup, Metrics, ShardedExactCache, SnapshotApproxCache,
+    DEFAULT_REBUILD_BATCH,
+};
 use coic_obs::MetricsRegistry;
-use coic_vision::FeatureVec;
 
 /// A concurrently shareable edge cache service (`&self` everywhere).
 pub struct SharedEdgeService {
-    recog: ShardedApproxCache<crate::task::RecognitionResult>,
+    recog: SnapshotApproxCache<crate::task::RecognitionResult>,
     exact: ShardedExactCache<TaskResult>,
 }
 
 impl SharedEdgeService {
-    /// Create the service with `shards` lock shards per cache.
+    /// Create the service with `shards` lock shards for the exact cache
+    /// (the snapshot recognition cache is unsharded by design — see the
+    /// module docs).
     ///
     /// # Panics
     /// Panics if `shards` is zero.
     pub fn new(cfg: &EdgeConfig, shards: usize) -> Self {
         SharedEdgeService {
-            recog: ShardedApproxCache::new(
+            recog: SnapshotApproxCache::new(
                 cfg.recog_cache_bytes,
-                cfg.policy,
                 cfg.threshold,
-                cfg.index,
+                cfg.index.ann_family(),
                 cfg.embedding_dim,
-                shards,
+                DEFAULT_REBUILD_BATCH,
             ),
             exact: {
                 let ttl_ns = cfg.exact_ttl_ms.map(|ms| ms * 1_000_000);
@@ -94,19 +105,28 @@ impl SharedEdgeService {
     }
 
     /// Insert a freshly computed result under its descriptor (same size
-    /// accounting as [`crate::services::EdgeService::insert`]).
+    /// accounting as [`crate::services::EdgeService::insert`]). Returns
+    /// how many journal entries a recognition insert folded when it
+    /// tripped the snapshot cache's self-fold (zero otherwise) — callers
+    /// use this to trace `index.rebuild` events.
     ///
     /// # Panics
     /// Panics when the descriptor and result kinds disagree.
-    pub fn insert(&self, descriptor: &FeatureDescriptor, result: &TaskResult, now_ns: u64) {
+    pub fn insert(
+        &self,
+        descriptor: &FeatureDescriptor,
+        result: &TaskResult,
+        now_ns: u64,
+    ) -> usize {
         match (descriptor, result) {
             (FeatureDescriptor::Dnn(v), TaskResult::Recognition(r)) => {
                 let size = v.byte_size() + result.byte_size();
-                self.recog.insert(v.clone(), *r, size, now_ns);
+                self.recog.insert(v.clone(), *r, size, now_ns)
             }
             (FeatureDescriptor::ModelHash(d) | FeatureDescriptor::PanoramaHash(d), result) => {
                 self.exact
                     .insert(*d, result.clone(), result.byte_size(), now_ns);
+                0
             }
             (d, r) => panic!(
                 "descriptor kind {} does not match result kind {}",
@@ -140,10 +160,32 @@ impl SharedEdgeService {
 
     /// Publish both caches' metrics into the shared registry under
     /// `cache.recog.*` and `cache.exact.*` (the same keys the simulator's
-    /// unsharded edge publishes, so reports compare across stacks).
+    /// unsharded edge publishes, so reports compare across stacks), plus
+    /// the recognition index hot-path telemetry under `index.*`.
     pub fn publish_metrics(&self, reg: &MetricsRegistry) {
         self.recog_metrics().publish(reg, "cache.recog");
         self.exact_metrics().publish(reg, "cache.exact");
+        self.index_telemetry().publish(reg);
+    }
+
+    /// Snapshot of the recognition index hot-path telemetry (probe
+    /// counts, rebuilds, journal depth, snapshot age).
+    pub fn index_telemetry(&self) -> IndexTelemetry {
+        self.recog.index_telemetry()
+    }
+
+    /// Fold the recognition cache's journal into a fresh snapshot (see
+    /// [`SnapshotApproxCache::maintain`]). The live edge's engine tick
+    /// calls this between requests so index rebuilds land at
+    /// deterministic points rather than mid-lookup. Returns how many
+    /// journal entries were folded.
+    pub fn maintain(&self, now_ns: u64) -> usize {
+        self.recog.maintain(now_ns)
+    }
+
+    /// The recognition index family's label (`mp-lsh`, `hnsw`, `linear`).
+    pub fn index_family(&self) -> &'static str {
+        self.recog.family_label()
     }
 
     /// Recognition cache counters, merged across shards.
@@ -180,11 +222,6 @@ impl SharedEdgeService {
     /// the lookup itself routes internally).
     pub fn exact_shard_of(&self, digest: &Digest) -> usize {
         self.exact.shard_of_key(digest)
-    }
-
-    /// Which recognition shard is the home shard for this descriptor.
-    pub fn recog_home_shard(&self, v: &FeatureVec) -> usize {
-        self.recog.home_shard(v)
     }
 }
 
@@ -231,8 +268,30 @@ mod tests {
         edge.insert(&d, &r, 0);
         assert!(matches!(edge.lookup(&d, 1), Lookup::ExactHit(_)));
         assert!(edge.exact_shard_of(&digest) < edge.shard_count());
-        let v = FeatureVec::new(vec![0.5; 32]);
-        assert!(edge.recog_home_shard(&v) < edge.shard_count());
+    }
+
+    #[test]
+    fn maintain_folds_recognition_journal_and_publishes_telemetry() {
+        let edge = svc();
+        let r = TaskResult::Recognition(RecognitionResult {
+            label: 1,
+            distance: 0.0,
+        });
+        for i in 0..5u64 {
+            let mut raw = vec![0.0f32; 32];
+            raw[(i as usize) % 32] = 1.0;
+            edge.insert(&FeatureDescriptor::Dnn(FeatureVec::new(raw)), &r, i);
+        }
+        let t = edge.index_telemetry();
+        assert_eq!(t.journal_depth, 5);
+        assert_eq!(edge.maintain(10), 5);
+        let t = edge.index_telemetry();
+        assert_eq!((t.journal_depth, t.rebuilds, t.snapshot_len), (0, 1, 5));
+        let reg = MetricsRegistry::new();
+        edge.publish_metrics(&reg);
+        assert_eq!(reg.counter("index.rebuild"), 1);
+        assert_eq!(reg.gauge("index.snapshot_len"), 5);
+        assert!(!edge.index_family().is_empty());
     }
 
     #[test]

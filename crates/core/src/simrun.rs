@@ -1496,6 +1496,10 @@ pub fn run_instrumented(
     // itself — lands in the shared registry, from which each deprecated
     // facade view is derivable.
     for svc in &edge_services {
+        // Flush any partial index journal so the published snapshot
+        // telemetry reflects the whole run (inserts self-fold at the
+        // rebuild batch; this folds the tail deterministically).
+        svc.borrow_mut().maintain();
         svc.borrow().publish_metrics(tel.registry());
     }
     for s in &robustness {

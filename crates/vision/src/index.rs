@@ -26,6 +26,12 @@ pub trait NnIndex {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Fold any deferred maintenance (batch rebuilds) into the index,
+    /// returning how many journaled mutations were folded. Purely
+    /// incremental indexes have nothing to fold and return 0.
+    fn maintain(&mut self) -> usize {
+        0
+    }
 }
 
 /// Exact nearest neighbour by linear scan.
@@ -206,53 +212,6 @@ impl NnIndex for LshIndex {
     }
 }
 
-/// Routes feature vectors to shards by a coarse random-hyperplane
-/// signature.
-///
-/// The sharded approximate cache needs descriptors that are *near each
-/// other* to land in the *same* shard, so a hit can usually be answered
-/// from one shard's index alone. A generic hash scatters near-duplicates
-/// uniformly; a signed-random-projection signature (the same family
-/// [`LshIndex`] uses) keeps them together: two vectors at angle θ agree on
-/// each bit with probability `1 - θ/π`.
-pub struct ShardRouter {
-    dim: usize,
-    planes: Vec<Vec<f32>>,
-}
-
-impl ShardRouter {
-    /// Create a router for `dim`-dimensional vectors with `bits` signature
-    /// bits (≥ log2 of the shard count is a sensible choice), seeded
-    /// deterministically.
-    pub fn new(dim: usize, bits: usize, seed: u64) -> Self {
-        assert!(dim > 0 && bits > 0, "router parameters must be positive");
-        assert!(bits <= 63, "at most 63 signature bits");
-        let mut rng = StdRng::seed_from_u64(seed);
-        let planes = (0..bits)
-            .map(|_| {
-                (0..dim)
-                    .map(|_| rng.random::<f32>() * 2.0 - 1.0)
-                    .collect::<Vec<f32>>()
-            })
-            .collect();
-        ShardRouter { dim, planes }
-    }
-
-    /// The signature of `v` (stable across calls and processes for a fixed
-    /// seed). Callers map it onto a shard count with `% n`.
-    pub fn signature(&self, v: &FeatureVec) -> u64 {
-        assert_eq!(v.dim(), self.dim, "vector dim mismatch");
-        let mut sig = 0u64;
-        for (b, plane) in self.planes.iter().enumerate() {
-            let s: f32 = plane.iter().zip(v.as_slice()).map(|(p, x)| p * x).sum();
-            if s >= 0.0 {
-                sig |= 1 << b;
-            }
-        }
-        sig
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,28 +346,10 @@ mod tests {
     }
 
     #[test]
-    fn router_is_deterministic_and_groups_neighbours() {
-        let mut rng = StdRng::seed_from_u64(11);
-        let router = ShardRouter::new(16, 6, 99);
-        let router2 = ShardRouter::new(16, 6, 99);
-        let mut together = 0;
-        let n = 100;
-        for _ in 0..n {
-            let c = unit(&mut rng, 16);
-            let q = near(&mut rng, &c, 0.02);
-            assert_eq!(router.signature(&c), router2.signature(&c));
-            if router.signature(&c) == router.signature(&q) {
-                together += 1;
-            }
-        }
-        // Tiny perturbations should rarely flip a signature bit.
-        assert!(together >= n * 3 / 4, "only {together}/{n} stayed together");
-    }
-
-    #[test]
-    #[should_panic(expected = "dim mismatch")]
-    fn router_dim_mismatch_panics() {
-        let router = ShardRouter::new(4, 4, 0);
-        router.signature(&FeatureVec::new(vec![0.0; 3]));
+    fn maintain_defaults_to_noop() {
+        let mut idx = LinearIndex::new(Metric::L2);
+        idx.insert(1, FeatureVec::new(vec![0.0]));
+        assert_eq!(idx.maintain(), 0);
+        assert_eq!(idx.len(), 1);
     }
 }

@@ -40,6 +40,6 @@ pub use eval::ConfusionMatrix;
 pub use features::{FeatureVec, SimNet, SimNetConfig};
 pub use hog::{Extractor, HogExtractor, PoolExtractor};
 pub use image::Image;
-pub use index::{LinearIndex, LshIndex, NnIndex, ShardRouter};
+pub use index::{LinearIndex, LshIndex, NnIndex};
 pub use kmeans::KMeans;
 pub use scene::{gaussian, ObjectClass, SceneGenerator, ViewParams};

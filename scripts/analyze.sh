@@ -10,9 +10,10 @@
 #      the determinism jobs build on);
 #   3. the mini-loom model checker's self-tests (shims/loom);
 #   4. the exhaustive-interleaving model tests for the sharded cache's
-#      deferred-touch drain and for the circuit breaker / single-flight
-#      engine structures (the `model-check` feature swaps parking_lot and
-#      std atomics for the loom shims).
+#      deferred-touch drain, the snapshot ANN cache's snapshot/journal
+#      handoff, and the circuit breaker / single-flight engine structures
+#      (the `model-check` feature swaps parking_lot and std atomics for
+#      the loom shims).
 #
 # Usage: scripts/analyze.sh
 set -eu
@@ -27,7 +28,7 @@ cargo test -q --locked -p coic-obs
 echo "==> mini-loom self-tests"
 cargo test -q --locked -p loom
 
-echo "==> model check: sharded cache deferred-touch drain"
+echo "==> model check: cache drain + snapshot/journal handoff"
 cargo test -q --locked -p coic-cache --features model-check --test model
 
 echo "==> model check: circuit breaker + single-flight"
