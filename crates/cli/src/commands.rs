@@ -1,6 +1,7 @@
 //! Subcommand implementations. Each returns the text to print.
 
 use crate::args::Args;
+use coic_core::cluster::ClusterConfig;
 use coic_core::engine::{AdmissionConfig, BrownoutConfig};
 use coic_core::simrun::{compare as sim_compare, run as sim_run, Mode, SimConfig};
 use coic_workload::{
@@ -21,10 +22,20 @@ pub fn trace_gen(args: &Args) -> CmdResult {
     let users: u32 = args.num("users", 4)?;
     let requests: usize = args.num("requests", 100)?;
     let seed: u64 = args.num("seed", 1)?;
+    // `--zones N` spreads users round-robin across N zones (zone k maps to
+    // edge k in the simulator) instead of colocating everyone at zone 0 —
+    // the multi-edge cluster experiments need cross-edge traffic.
+    let zones: u32 = args.num("zones", 1)?;
+    let shared: f64 = args.num("shared", 1.0)?;
+    let population = if zones > 1 {
+        Population::round_robin(users, zones)
+    } else {
+        Population::colocated(users, ZoneId(0))
+    };
     let trace: Vec<Request> = match app {
         "safedriving" => SafeDrivingAr {
-            population: Population::colocated(users, ZoneId(0)),
-            zones: ZoneModel::new(1, args.num("pool", 40)?, 1.0, seed),
+            population,
+            zones: ZoneModel::new(zones, args.num("pool", 40)?, shared, seed),
             rate_per_sec: args.num("rate", 4.0)?,
             zipf_s: args.num("zipf", 0.7)?,
             total_requests: requests,
@@ -36,7 +47,7 @@ pub fn trace_gen(args: &Args) -> CmdResult {
                 .map(|i| (i, model_kb * 1024))
                 .collect();
             ArenaMultiplayer {
-                population: Population::colocated(users, ZoneId(0)),
+                population,
                 models,
                 zipf_s: args.num("zipf", 0.9)?,
                 rate_per_sec: args.num("rate", 1.0)?,
@@ -45,7 +56,7 @@ pub fn trace_gen(args: &Args) -> CmdResult {
             .generate(seed)
         }
         "vrvideo" => VrVideo {
-            population: Population::colocated(users, ZoneId(0)),
+            population,
             frame_interval_ns: 100_000_000,
             max_start_skew_frames: args.num("skew-frames", 0)?,
             user_stagger_ns: args.num("stagger-ms", 25u64)? * 1_000_000,
@@ -53,7 +64,7 @@ pub fn trace_gen(args: &Args) -> CmdResult {
         }
         .generate(seed),
         "flashcrowd" => FlashCrowd {
-            population: Population::colocated(users, ZoneId(0)),
+            population,
             base_rate_per_sec: args.num("rate", 10.0)?,
             burst_multiplier: args.num("burst-x", 8.0)?,
             burst_start_ns: args.num("burst-start-ms", 500u64)? * 1_000_000,
@@ -128,6 +139,19 @@ fn sim_config(args: &Args) -> Result<SimConfig, Box<dyn std::error::Error>> {
         cfg.edge.index = kind;
     }
     cfg.origin_fallback = args.num("origin-fallback", 0u8)? != 0;
+    // Cooperative cluster tier: `--peer-fanout K` (K > 0) turns on the
+    // consistent-hash cluster — each exact-task miss probes up to K ring
+    // peers before forwarding to the cloud. `--replicate N` sets the
+    // hot-entry threshold (N requests landing on an edge replicate the
+    // entry there; 0 keeps pure partitioning).
+    let fanout: u32 = args.num("peer-fanout", 0u32)?;
+    if fanout > 0 {
+        cfg.cluster = Some(ClusterConfig {
+            peer_fanout: fanout,
+            replicate_hot: args.num("replicate", ClusterConfig::default().replicate_hot)?,
+            ..ClusterConfig::default()
+        });
+    }
     // `--open-loop 1` fires requests at their trace timestamps regardless
     // of completions (the arrival model overload experiments need);
     // `--lookup-ms N` pins the edge's per-lookup service time, i.e. its
@@ -517,8 +541,10 @@ pub fn lint(args: &Args) -> CmdResult {
 }
 
 /// `bench`: run the edge/cache performance harness and write the
-/// canonical `BENCH_edge.json` report. `--quick` shrinks op counts for CI
-/// smoke runs; `--seed` fixes every random stream.
+/// canonical `BENCH_edge.json` report. The concurrency grid is fixed at
+/// 1/4/16 threads (the canonical counts EXPERIMENTS.md tabulates).
+/// `--quick` shrinks op counts for CI smoke runs; `--seed` fixes every
+/// random stream.
 /// `--trace-out`/`--metrics-out` export the unified telemetry of the
 /// loopback edge cell (same vocabulary as `coic sim` / `coic live`).
 pub fn bench(args: &Args) -> CmdResult {

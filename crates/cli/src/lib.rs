@@ -76,10 +76,12 @@ USAGE:
                     [--pool N] [--model-kb N] [--frames N]
                     [--rate X] [--burst-x X] [--burst-start-ms N]
                     [--burst-ms N] [--hot N] [--horizon-ms N]
+                    [--zones N] [--shared F]
   coic trace info   --in FILE
   coic sim          --in FILE [--mode coic|origin] [--access-mbps X]
                     [--wan-mbps X] [--clients N] [--edges N]
-                    [--peer-lookup 0|1] [--prefetch N] [--seed N]
+                    [--peer-lookup 0|1] [--peer-fanout K] [--replicate N]
+                    [--prefetch N] [--seed N]
                     [--origin-fallback 0|1] [--open-loop 0|1]
                     [--lookup-ms N] [--admission N]
                     [--admission-aimd 0|1] [--admission-queue N]
@@ -99,4 +101,5 @@ USAGE:
                     [--fov R] [--width N] [--height N]
   coic bench        [--quick] [--seed N] [--runs N] [--out BENCH_edge.json]
                     [--trace-out FILE] [--metrics-out FILE]
+                    (thread grid: 1/4/16, matching EXPERIMENTS.md)
   coic lint         [--root DIR] [--rules FILE]";

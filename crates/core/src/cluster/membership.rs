@@ -1,0 +1,116 @@
+//! Peer liveness: one circuit breaker per cluster member.
+
+use super::ring::EdgeId;
+use crate::engine::{BreakerState, CircuitBreaker};
+use std::time::Duration;
+
+/// Liveness view of the cluster, built on PR 1's [`CircuitBreaker`]: a
+/// peer whose probes keep failing trips Open and drops out of every probe
+/// plan; after the cooldown the breaker half-opens and grants a single
+/// rejoin probe, exactly the failover behavior the client↔edge path
+/// already has. Each Closed→Open trip and each rejoin back to Closed
+/// counts as one ring rebuild (the effective ring changed shape).
+pub struct Membership {
+    breakers: Vec<CircuitBreaker>,
+    me: EdgeId,
+    rebuilds: u64,
+}
+
+impl Membership {
+    /// Track `edges` members from the viewpoint of edge `me`.
+    pub fn new(me: EdgeId, edges: u32, threshold: u32, cooldown: Duration) -> Self {
+        Membership {
+            breakers: (0..edges)
+                .map(|_| CircuitBreaker::new(threshold, cooldown))
+                .collect(),
+            me,
+            rebuilds: 0,
+        }
+    }
+
+    /// May `peer` be probed right now? Consults (and, for a cooled-down
+    /// Open breaker, half-opens) its breaker — callers must follow every
+    /// granted probe with a [`Membership::record`] so the half-open
+    /// single-probe accounting stays balanced.
+    pub fn allow_probe(&mut self, peer: EdgeId, now_ns: u64) -> bool {
+        peer != self.me && self.breakers[peer as usize].allow(now_ns)
+    }
+
+    /// Non-mutating liveness check: is `peer` fully Closed? Used for
+    /// replication targets, where a probing half-open peer is not yet a
+    /// safe place to put a failover copy.
+    pub fn is_closed(&self, peer: EdgeId) -> bool {
+        peer != self.me && self.breakers[peer as usize].state() == BreakerState::Closed
+    }
+
+    /// Breaker state of a peer (self reports Closed).
+    pub fn peer_state(&self, peer: EdgeId) -> BreakerState {
+        self.breakers[peer as usize].state()
+    }
+
+    /// Record a probe outcome. Returns `true` when the effective ring
+    /// changed shape — the peer tripped out (Closed→Open) or rejoined
+    /// (→Closed from a half-open probe).
+    pub fn record(&mut self, peer: EdgeId, ok: bool, now_ns: u64) -> bool {
+        if peer == self.me {
+            return false;
+        }
+        let b = &self.breakers[peer as usize];
+        let before = b.state();
+        b.record(ok, now_ns);
+        let after = b.state();
+        let tripped = before == BreakerState::Closed && after == BreakerState::Open;
+        let rejoined = before != BreakerState::Closed && after == BreakerState::Closed;
+        if tripped || rejoined {
+            self.rebuilds += 1;
+        }
+        tripped || rejoined
+    }
+
+    /// How many times the effective ring changed shape (trips + rejoins).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn failures_trip_a_peer_and_count_a_rebuild() {
+        let mut m = Membership::new(0, 3, 2, Duration::from_millis(100));
+        assert!(m.allow_probe(1, 0));
+        assert!(!m.record(1, false, MS));
+        assert!(m.allow_probe(1, 2 * MS));
+        assert!(m.record(1, false, 3 * MS), "threshold trip rebuilds");
+        assert_eq!(m.rebuilds(), 1);
+        assert!(!m.allow_probe(1, 4 * MS), "open peer is skipped");
+        assert!(!m.is_closed(1));
+    }
+
+    #[test]
+    fn cooldown_rejoin_counts_a_second_rebuild() {
+        let mut m = Membership::new(0, 2, 1, Duration::from_millis(10));
+        m.allow_probe(1, 0);
+        m.record(1, false, 0);
+        assert_eq!(m.rebuilds(), 1);
+        // Cooldown passed: half-open grants exactly one probe.
+        assert!(m.allow_probe(1, 20 * MS));
+        assert!(!m.allow_probe(1, 20 * MS), "single half-open probe");
+        assert!(m.record(1, true, 21 * MS), "rejoin rebuilds");
+        assert_eq!(m.rebuilds(), 2);
+        assert!(m.is_closed(1));
+    }
+
+    #[test]
+    fn self_is_never_probed() {
+        let mut m = Membership::new(1, 3, 1, Duration::from_millis(10));
+        assert!(!m.allow_probe(1, 0));
+        assert!(!m.is_closed(1));
+        assert!(!m.record(1, false, 0));
+        assert_eq!(m.rebuilds(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Cluster counters: shareable handle + registry publish.
+
+use coic_obs::MetricsRegistry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shareable cooperative-tier counters (one handle per edge, cloned into
+/// whatever thread serves its connections). Mirrors the shape of
+/// `RobustnessStats`: atomic counts behind an `Arc`, snapshotted and
+/// published as `cluster.*` registry counters at export time.
+#[derive(Clone, Default)]
+pub struct ClusterStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Default)]
+struct Counters {
+    peer_probes: AtomicU64,
+    peer_hits: AtomicU64,
+    peer_misses: AtomicU64,
+    peer_timeouts: AtomicU64,
+    peer_failovers: AtomicU64,
+    ring_rebuilds: AtomicU64,
+    replication_copies: AtomicU64,
+    replica_keeps: AtomicU64,
+}
+
+impl ClusterStats {
+    /// A peer probe was sent.
+    pub fn count_probe(&self) {
+        self.inner.peer_probes.fetch_add(1, Ordering::Relaxed);
+    }
+    /// A probe came back with the content.
+    pub fn count_peer_hit(&self) {
+        self.inner.peer_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    /// A probe came back empty.
+    pub fn count_peer_miss(&self) {
+        self.inner.peer_misses.fetch_add(1, Ordering::Relaxed);
+    }
+    /// A probe timed out or failed to connect.
+    pub fn count_peer_timeout(&self) {
+        self.inner.peer_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+    /// A probe plan skipped a dead owner and re-routed to its successor.
+    pub fn count_failover(&self) {
+        self.inner.peer_failovers.fetch_add(1, Ordering::Relaxed);
+    }
+    /// The effective ring changed shape (peer tripped out or rejoined).
+    pub fn count_ring_rebuild(&self) {
+        self.inner.ring_rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+    /// A copy was pushed to another edge (owner placement or successor
+    /// failover replica).
+    pub fn count_replication_copy(&self) {
+        self.inner
+            .replication_copies
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    /// A hot non-owned entry was kept as a local replica.
+    pub fn count_replica_keep(&self) {
+        self.inner.replica_keeps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        let c = &self.inner;
+        ClusterSnapshot {
+            peer_probes: c.peer_probes.load(Ordering::Relaxed),
+            peer_hits: c.peer_hits.load(Ordering::Relaxed),
+            peer_misses: c.peer_misses.load(Ordering::Relaxed),
+            peer_timeouts: c.peer_timeouts.load(Ordering::Relaxed),
+            peer_failovers: c.peer_failovers.load(Ordering::Relaxed),
+            ring_rebuilds: c.ring_rebuilds.load(Ordering::Relaxed),
+            replication_copies: c.replication_copies.load(Ordering::Relaxed),
+            replica_keeps: c.replica_keeps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time cooperative-tier counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterSnapshot {
+    /// Peer probes sent.
+    pub peer_probes: u64,
+    /// Probes answered with the content.
+    pub peer_hits: u64,
+    /// Probes answered empty.
+    pub peer_misses: u64,
+    /// Probes that timed out / failed to connect.
+    pub peer_timeouts: u64,
+    /// Plans that re-routed around a dead owner.
+    pub peer_failovers: u64,
+    /// Effective ring shape changes (trips + rejoins).
+    pub ring_rebuilds: u64,
+    /// Copies pushed to other edges.
+    pub replication_copies: u64,
+    /// Hot non-owned entries kept locally.
+    pub replica_keeps: u64,
+}
+
+impl ClusterSnapshot {
+    /// Add this snapshot into `reg` as `cluster.*` counters (additive, so
+    /// per-edge snapshots merge into fleet totals).
+    pub fn publish(&self, reg: &MetricsRegistry) {
+        reg.counter_add("cluster.peer_probe", self.peer_probes);
+        reg.counter_add("cluster.peer_hit", self.peer_hits);
+        reg.counter_add("cluster.peer_miss", self.peer_misses);
+        reg.counter_add("cluster.peer_timeout", self.peer_timeouts);
+        reg.counter_add("cluster.peer_failover", self.peer_failovers);
+        reg.counter_add("cluster.ring_rebuild", self.ring_rebuilds);
+        reg.counter_add("cluster.replication_copy", self.replication_copies);
+        reg.counter_add("cluster.replica_keep", self.replica_keeps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counts_and_publishes() {
+        let s = ClusterStats::default();
+        s.count_probe();
+        s.count_probe();
+        s.count_peer_hit();
+        s.count_peer_timeout();
+        s.count_failover();
+        s.count_ring_rebuild();
+        s.count_replication_copy();
+        s.count_replica_keep();
+        let snap = s.snapshot();
+        assert_eq!(snap.peer_probes, 2);
+        assert_eq!(snap.peer_hits, 1);
+        assert_eq!(snap.peer_misses, 0);
+        let reg = MetricsRegistry::new();
+        snap.publish(&reg);
+        snap.publish(&reg); // additive merge
+        assert_eq!(reg.counter("cluster.peer_probe"), 4);
+        assert_eq!(reg.counter("cluster.peer_hit"), 2);
+        assert_eq!(reg.counter("cluster.ring_rebuild"), 2);
+    }
+}

@@ -26,6 +26,9 @@
 //!   recorder (spans, events, metrics registry),
 //! * [`robust`] — facade re-exporting the engine's retry/breaker/stats,
 //! * [`adaptive`] — online threshold tuning via shadow verification,
+//! * [`cluster`] — cooperative multi-edge tier: consistent-hash
+//!   partitioning, bounded peer fan-out, hot-entry replication, and
+//!   peer-before-cloud failover,
 //! * [`layercache`] — §4 extension: per-DNN-layer reuse,
 //! * [`privacy`] — §4 extension: descriptor privacy transforms.
 
@@ -33,6 +36,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adaptive;
+pub mod cluster;
 pub mod compute;
 pub mod content;
 pub mod descriptor;
@@ -50,6 +54,7 @@ pub mod task;
 pub mod telemetry;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveThreshold};
+pub use cluster::{ClusterConfig, ClusterSnapshot, ClusterState, ClusterStats, HashRing};
 pub use compute::ComputeConfig;
 pub use content::{ModelLibrary, PanoLibrary, PanoSource};
 pub use descriptor::FeatureDescriptor;

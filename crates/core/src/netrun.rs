@@ -48,6 +48,7 @@
 //! QoE records accumulate behind the engine and aggregate via
 //! [`NetClient::report`].
 
+use crate::cluster::{ClusterConfig, ClusterSnapshot, ClusterState, EdgeId};
 use crate::compute::ComputeConfig;
 use crate::content::{ModelLibrary, PanoLibrary};
 use crate::descriptor::FeatureDescriptor;
@@ -179,6 +180,46 @@ pub fn spawn_cloud(
     })
 }
 
+/// Cooperative cluster membership of one live edge: the sans-IO policy
+/// plus the socket address of every member (indexed by [`EdgeId`], this
+/// edge included at its own id).
+struct LiveCluster {
+    state: ClusterState,
+    members: Vec<SocketAddr>,
+}
+
+/// Best-effort synchronous replication push: connect, send
+/// [`Msg::Replicate`], await the ack under the edge-call deadline. Any
+/// failure is dropped — replication is an optimization, never a
+/// correctness dependency.
+fn replicate_to(
+    addr: SocketAddr,
+    req_id: u64,
+    digest: Digest,
+    result: TaskResult,
+    net: &NetConfig,
+) {
+    let Ok(mut conn) = FrameConn::connect_timeout(&addr, net.connect_timeout) else {
+        return;
+    };
+    let _ = conn.set_read_deadline(Some(net.edge_call_deadline));
+    let _ = conn.set_write_deadline(Some(net.edge_call_deadline));
+    if conn
+        .send(
+            &Msg::Replicate {
+                req_id,
+                digest,
+                result,
+            }
+            .encode(),
+        )
+        .is_err()
+    {
+        return;
+    }
+    let _ = conn.recv(); // ReplicateAck, best effort
+}
+
 /// A running edge process. Dropping the handle (or calling
 /// [`EdgeHandle::shutdown`]) tears the edge down for real — its accept
 /// loop stops and live client connections are severed — which is what the
@@ -186,6 +227,7 @@ pub fn spawn_cloud(
 pub struct EdgeHandle {
     addr: SocketAddr,
     peers: Arc<Mutex<Vec<SocketAddr>>>,
+    cluster: Arc<Mutex<Option<LiveCluster>>>,
     stats: RobustnessStats,
     gate: Arc<UpstreamGate>,
     service: Arc<SharedEdgeService>,
@@ -203,6 +245,38 @@ impl EdgeHandle {
     /// before going to the cloud.
     pub fn add_peer(&self, addr: SocketAddr) {
         self.peers.lock().push(addr);
+    }
+
+    /// Join a consistent-hash cluster as member `me` of `members` (every
+    /// member's address, this edge included at index `me`). Replaces the
+    /// broadcast [`EdgeHandle::add_peer`] list: misses probe at most
+    /// `cfg.peer_fanout` peers along the ring from the digest's owner,
+    /// dead peers trip out via per-peer breakers, and hot entries
+    /// replicate toward their demand. Idempotent — joining again (e.g.
+    /// after a restart) resets the policy state.
+    pub fn join_cluster(&self, me: EdgeId, members: &[SocketAddr], cfg: ClusterConfig) {
+        *self.cluster.lock() = Some(LiveCluster {
+            state: ClusterState::new(me, members.len() as u32, cfg),
+            members: members.to_vec(),
+        });
+    }
+
+    /// Snapshot of this edge's cooperative-tier counters (`None` before
+    /// [`EdgeHandle::join_cluster`]).
+    pub fn cluster_stats(&self) -> Option<ClusterSnapshot> {
+        self.cluster
+            .lock()
+            .as_ref()
+            .map(|c| c.state.stats().snapshot())
+    }
+
+    /// Breaker state of a cluster peer as seen from this edge (`None`
+    /// before [`EdgeHandle::join_cluster`]).
+    pub fn peer_state(&self, peer: EdgeId) -> Option<crate::robust::BreakerState> {
+        self.cluster
+            .lock()
+            .as_ref()
+            .map(|c| c.state.peer_state(peer))
     }
 
     /// Fault-handling counters for this edge (breaker trips, unavailable
@@ -239,6 +313,9 @@ impl EdgeHandle {
     pub fn publish_metrics(&self, reg: &MetricsRegistry) {
         self.service.publish_metrics(reg);
         self.stats.snapshot().publish(reg);
+        if let Some(snap) = self.cluster_stats() {
+            snap.publish(reg);
+        }
     }
 
     /// Recognition-cache counters, merged across shards.
@@ -586,6 +663,8 @@ pub fn spawn_edge_with(
     let pending = Arc::new(Mutex::new(HashMap::new()));
     let peers: Arc<Mutex<Vec<SocketAddr>>> = Arc::new(Mutex::new(Vec::new()));
     let peers_in_handler = peers.clone();
+    let cluster: Arc<Mutex<Option<LiveCluster>>> = Arc::new(Mutex::new(None));
+    let cluster_h = cluster.clone();
     let stats = RobustnessStats::default();
     let gate = Arc::new(UpstreamGate::new(
         net.breaker_threshold,
@@ -694,37 +773,114 @@ pub fn spawn_edge_with(
                     EdgeReply::Forward(task) => {
                         let digest = crate::services::descriptor_digest(&descriptor);
                         let fetch = |task: crate::task::TaskRequest| {
-                            // Cooperative lookup: ask each registered peer
-                            // edge before paying the cloud round trip
-                            // (exact tasks carry their digest in the
-                            // descriptor).
+                            // Cooperative lookup: ask peer edges before
+                            // paying the cloud round trip (exact tasks
+                            // carry their digest in the descriptor).
                             let peer_hit = digest.and_then(|digest| {
+                                // One probe: Ok(reply) when a frame came
+                                // back (a content miss still proves the
+                                // peer alive), Err on connect/deadline
+                                // failure.
+                                let probe = |addr: SocketAddr| -> Result<Option<TaskResult>, ()> {
+                                    let mut peer =
+                                        FrameConn::connect_timeout(&addr, net.connect_timeout)
+                                            .map_err(|_| ())?;
+                                    peer.set_read_deadline(Some(net.edge_call_deadline))
+                                        .map_err(|_| ())?;
+                                    peer.set_write_deadline(Some(net.edge_call_deadline))
+                                        .map_err(|_| ())?;
+                                    peer.send(&Msg::PeerQuery { req_id, digest }.encode())
+                                        .map_err(|_| ())?;
+                                    let resp = peer.recv().map_err(|_| ())?;
+                                    match Msg::decode(&resp) {
+                                        Ok(Msg::PeerReply { result, .. }) => Ok(result),
+                                        _ => Err(()),
+                                    }
+                                };
+                                let peer_field = |p: EdgeId| {
+                                    vec![
+                                        ("req", Value::from(req_id)),
+                                        ("peer", Value::from(p as u64)),
+                                    ]
+                                };
+                                // Cluster tier: bounded fan-out along the
+                                // ring from the digest's owner, each probe
+                                // outcome feeding that peer's breaker.
+                                let planned = {
+                                    let mut g = cluster_h.lock();
+                                    g.as_mut().map(|c| {
+                                        c.state.note_local_request(&digest);
+                                        let plan = c.state.plan(&digest, clock.now_ns());
+                                        let targets: Vec<(EdgeId, SocketAddr)> = plan
+                                            .peers
+                                            .iter()
+                                            .map(|&p| (p, c.members[p as usize]))
+                                            .collect();
+                                        (targets, plan.failover)
+                                    })
+                                };
+                                if let Some((targets, failover)) = planned {
+                                    if failover {
+                                        if let Some(&(peer, _)) = targets.first() {
+                                            net.telemetry.event(
+                                                clock.now_ns(),
+                                                "decision.peer_failover",
+                                                peer_field(peer),
+                                            );
+                                        }
+                                    }
+                                    let started = clock.now_ns();
+                                    for (peer, addr) in targets {
+                                        net.telemetry.event(
+                                            clock.now_ns(),
+                                            "decision.peer_probe",
+                                            peer_field(peer),
+                                        );
+                                        let outcome = probe(addr);
+                                        let now = clock.now_ns();
+                                        {
+                                            let mut g = cluster_h.lock();
+                                            if let Some(c) = g.as_mut() {
+                                                c.state.record_probe(peer, outcome.is_ok(), now);
+                                                match &outcome {
+                                                    Ok(Some(_)) => c.state.stats().count_peer_hit(),
+                                                    Ok(None) => c.state.stats().count_peer_miss(),
+                                                    Err(()) => c.state.stats().count_peer_timeout(),
+                                                }
+                                            }
+                                        }
+                                        match outcome {
+                                            Ok(Some(result)) => {
+                                                net.telemetry.event(
+                                                    now,
+                                                    "decision.peer_hit",
+                                                    peer_field(peer),
+                                                );
+                                                net.telemetry.registry().observe(
+                                                    "cluster.peer_latency_ns",
+                                                    now.saturating_sub(started),
+                                                );
+                                                return Some(result);
+                                            }
+                                            Ok(None) => net.telemetry.event(
+                                                now,
+                                                "decision.peer_miss",
+                                                peer_field(peer),
+                                            ),
+                                            Err(()) => net.telemetry.event(
+                                                now,
+                                                "decision.peer_timeout",
+                                                peer_field(peer),
+                                            ),
+                                        }
+                                    }
+                                    return None;
+                                }
+                                // Legacy broadcast: every registered peer
+                                // in list order.
                                 let addrs = peers.lock().clone();
                                 for addr in addrs {
-                                    let Ok(mut peer) =
-                                        FrameConn::connect_timeout(&addr, net.connect_timeout)
-                                    else {
-                                        continue;
-                                    };
-                                    if peer
-                                        .set_read_deadline(Some(net.edge_call_deadline))
-                                        .is_err()
-                                    {
-                                        continue;
-                                    }
-                                    let _ = peer.set_write_deadline(Some(net.edge_call_deadline));
-                                    if peer
-                                        .send(&Msg::PeerQuery { req_id, digest }.encode())
-                                        .is_err()
-                                    {
-                                        continue;
-                                    }
-                                    let Ok(resp) = peer.recv() else { continue };
-                                    if let Ok(Msg::PeerReply {
-                                        result: Some(result),
-                                        ..
-                                    }) = Msg::decode(&resp)
-                                    {
+                                    if let Ok(Some(result)) = probe(addr) {
                                         return Some(result);
                                     }
                                 }
@@ -758,9 +914,57 @@ pub fn spawn_edge_with(
                                 match flights_h.claim(d, waiter.clone()) {
                                     FlightClaim::Leader => {
                                         let fetched = fetch(task);
-                                        if let Some((result, _)) = &fetched {
-                                            let folded = service.insert(&descriptor, result, now);
-                                            trace_rebuild(&net, &service, folded, clock.now_ns());
+                                        if let Some((result, from_peer)) = &fetched {
+                                            // Partition placement: under
+                                            // the cluster a non-owner
+                                            // pushes cloud fetches to the
+                                            // digest's owner and keeps a
+                                            // local replica only once its
+                                            // own demand went hot.
+                                            let (keep, push) = {
+                                                let mut g = cluster_h.lock();
+                                                match g.as_mut() {
+                                                    Some(c) if !c.state.is_owner(&d) => {
+                                                        let keep = c.state.is_locally_hot(&d);
+                                                        if keep {
+                                                            c.state.stats().count_replica_keep();
+                                                        }
+                                                        let push = if *from_peer {
+                                                            None
+                                                        } else {
+                                                            c.state.placement_target(&d).map(|o| {
+                                                                c.state
+                                                                    .stats()
+                                                                    .count_replication_copy();
+                                                                (o, c.members[o as usize])
+                                                            })
+                                                        };
+                                                        (keep, push)
+                                                    }
+                                                    _ => (true, None),
+                                                }
+                                            };
+                                            if keep {
+                                                let folded =
+                                                    service.insert(&descriptor, result, now);
+                                                trace_rebuild(
+                                                    &net,
+                                                    &service,
+                                                    folded,
+                                                    clock.now_ns(),
+                                                );
+                                            }
+                                            if let Some((owner, addr)) = push {
+                                                net.telemetry.event(
+                                                    clock.now_ns(),
+                                                    "decision.peer_replicate",
+                                                    vec![
+                                                        ("req", Value::from(req_id)),
+                                                        ("peer", Value::from(owner as u64)),
+                                                    ],
+                                                );
+                                                replicate_to(addr, req_id, d, result.clone(), &net);
+                                            }
                                         }
                                         for w in flights_h.complete(&d) {
                                             w.notify();
@@ -836,7 +1040,47 @@ pub fn spawn_edge_with(
             }
             Msg::PeerQuery { req_id, digest } => {
                 let result = service.exact_lookup(&digest, now);
+                // Hot-entry failover replication: enough peer demand on an
+                // owned entry pushes a copy to the digest's ring successor
+                // so the content survives this edge dying.
+                if let Some(result) = &result {
+                    let push = {
+                        let mut g = cluster_h.lock();
+                        g.as_mut().and_then(|c| {
+                            if !c.state.note_owner_request(&digest) {
+                                return None;
+                            }
+                            c.state.successor_target(&digest).map(|s| {
+                                c.state.stats().count_replication_copy();
+                                (s, c.members[s as usize])
+                            })
+                        })
+                    };
+                    if let Some((succ, addr)) = push {
+                        net.telemetry.event(
+                            clock.now_ns(),
+                            "decision.peer_replicate",
+                            vec![
+                                ("req", Value::from(req_id)),
+                                ("peer", Value::from(succ as u64)),
+                            ],
+                        );
+                        replicate_to(addr, req_id, digest, result.clone(), &net);
+                    }
+                }
                 Msg::PeerReply { req_id, result }
+            }
+            Msg::Replicate {
+                req_id,
+                digest,
+                result,
+            } => {
+                // Install the pushed copy under its content hash (the
+                // exact store is digest-keyed; the descriptor kind does
+                // not matter).
+                let folded = service.insert(&FeatureDescriptor::ModelHash(digest), &result, now);
+                trace_rebuild(&net, &service, folded, clock.now_ns());
+                Msg::ReplicateAck { req_id }
             }
             Msg::Upload { req_id, task } => {
                 let descriptor = pending.lock().remove(&req_id)?;
@@ -876,6 +1120,7 @@ pub fn spawn_edge_with(
     Ok(EdgeHandle {
         addr: server.local_addr(),
         peers,
+        cluster,
         stats,
         gate,
         service: service_in_handle,

@@ -140,6 +140,26 @@ pub enum Msg {
         /// Server-supplied hint: milliseconds to wait before retrying.
         retry_after_ms: u32,
     },
+    /// Edge → peer edge: install this content (cluster replication — a
+    /// non-owner placing a cloud-fetched result at its partition owner,
+    /// or an owner pushing a hot entry's failover copy to its ring
+    /// successor).
+    Replicate {
+        /// Request id (sender-scoped).
+        req_id: u64,
+        /// Content digest of the entry.
+        digest: Digest,
+        /// The result to install.
+        result: TaskResult,
+    },
+    /// Peer edge → edge: a [`Msg::Replicate`] was installed. Exists so
+    /// replication pushes are a normal request/reply exchange on the live
+    /// framed transport (a handler that stays silent closes the
+    /// connection).
+    ReplicateAck {
+        /// Request id being acknowledged.
+        req_id: u64,
+    },
 }
 
 /// Decode failures.
@@ -356,6 +376,8 @@ impl Msg {
             Msg::PeerResult { .. } => 11,
             Msg::Unavailable { .. } => 12,
             Msg::Overloaded { .. } => 13,
+            Msg::Replicate { .. } => 14,
+            Msg::ReplicateAck { .. } => 15,
         }
     }
 
@@ -375,7 +397,9 @@ impl Msg {
             | Msg::PeerReply { req_id, .. }
             | Msg::PeerResult { req_id, .. }
             | Msg::Unavailable { req_id }
-            | Msg::Overloaded { req_id, .. } => *req_id,
+            | Msg::Overloaded { req_id, .. }
+            | Msg::Replicate { req_id, .. }
+            | Msg::ReplicateAck { req_id } => *req_id,
         }
     }
 
@@ -412,8 +436,12 @@ impl Msg {
                 }
                 None => buf.put_u8(0),
             },
-            Msg::NeedPayload { .. } | Msg::Unavailable { .. } => {}
+            Msg::NeedPayload { .. } | Msg::Unavailable { .. } | Msg::ReplicateAck { .. } => {}
             Msg::Overloaded { retry_after_ms, .. } => buf.put_u32_le(*retry_after_ms),
+            Msg::Replicate { digest, result, .. } => {
+                buf.put_slice(digest.as_bytes());
+                put_result(&mut buf, result);
+            }
             Msg::Upload { task, .. }
             | Msg::Forward { task, .. }
             | Msg::BaselineRequest { task, .. } => put_task(&mut buf, task),
@@ -460,8 +488,15 @@ impl Msg {
                     }
                 }
             }
-            Msg::NeedPayload { .. } | Msg::Unavailable { .. } => 0,
+            Msg::NeedPayload { .. } | Msg::Unavailable { .. } | Msg::ReplicateAck { .. } => 0,
             Msg::Overloaded { .. } => 4,
+            Msg::Replicate { result, .. } => {
+                32 + 1
+                    + match result {
+                        TaskResult::Recognition(_) => 8,
+                        TaskResult::Model(b) | TaskResult::Panorama(b) => 4 + b.len() as u64,
+                    }
+            }
             Msg::Upload { task, .. }
             | Msg::Forward { task, .. }
             | Msg::BaselineRequest { task, .. } => {
@@ -563,6 +598,17 @@ impl Msg {
                     retry_after_ms: buf.get_u32_le(),
                 }
             }
+            14 => {
+                need(&buf, 32)?;
+                let mut h = [0u8; 32];
+                buf.copy_to_slice(&mut h);
+                Msg::Replicate {
+                    req_id,
+                    digest: Digest(h),
+                    result: get_result(&mut buf)?,
+                }
+            }
+            15 => Msg::ReplicateAck { req_id },
             t => return Err(ProtoError::BadTag(t)),
         };
         Ok(msg)
@@ -654,6 +700,12 @@ mod tests {
                 req_id: 17,
                 retry_after_ms: 250,
             },
+            Msg::Replicate {
+                req_id: 18,
+                digest: Digest::of(b"replicated-content"),
+                result: TaskResult::Model(Bytes::from(vec![11, 22, 33])),
+            },
+            Msg::ReplicateAck { req_id: 19 },
         ]
     }
 

@@ -6,6 +6,7 @@
 //! offload, no cache) or **CoIC** (descriptor query → edge cache →
 //! forward-on-miss). Every run is deterministic in its seed.
 
+use crate::cluster::{ClusterConfig, ClusterState, ClusterStats, EdgeId};
 use crate::compute::ComputeConfig;
 use crate::content::{ModelLibrary, PanoLibrary};
 use crate::descriptor::FeatureDescriptor;
@@ -78,6 +79,17 @@ pub struct SimConfig {
     pub lan_delay_ms: u64,
     /// Query peer edges on an exact-task miss before forwarding to cloud.
     pub peer_lookup: bool,
+    /// Cooperative cluster tier: consistent-hash partitioning with bounded
+    /// peer fan-out, hot-entry replication and peer-before-cloud failover.
+    /// Supersedes the broadcast `peer_lookup` when set (the legacy
+    /// broadcast asks *every* peer; the cluster probes at most
+    /// `peer_fanout` along the ring).
+    pub cluster: Option<ClusterConfig>,
+    /// Deterministic edge-kill schedule: at each `(at_ms, edge_idx)` the
+    /// named edge goes silent for the rest of the run — it drops every
+    /// message and timer, exactly what a crashed process looks like to its
+    /// peers. Empty = no failures.
+    pub edge_down_ms: Vec<(u64, u32)>,
     /// Independent per-message loss probability on the access links
     /// (wireless loss; retried via the request timeout).
     pub access_loss: f64,
@@ -168,6 +180,8 @@ impl Default for SimConfig {
             lan_mbps: 1000.0,
             lan_delay_ms: 5,
             peer_lookup: false,
+            cluster: None,
+            edge_down_ms: Vec::new(),
             access_loss: 0.0,
             wan_loss: 0.0,
             request_timeout_ms: 10_000,
@@ -582,6 +596,19 @@ struct EdgeNode {
     peers: Vec<NodeId>,
     /// Outstanding peer queries: req_id → wait state.
     pending_peer: HashMap<u64, PeerWait>,
+    /// Cooperative cluster policy (ring + breakers + hot trackers), when
+    /// the run was configured with [`SimConfig::cluster`].
+    cluster: Option<ClusterState>,
+    /// Cluster [`EdgeId`] → simulator node, indexed by edge id (includes
+    /// this edge itself at `edge_idx`).
+    edge_nodes: Vec<NodeId>,
+    /// Outstanding cluster probe rounds: req_id → wait state.
+    pending_cluster: HashMap<u64, ClusterWait>,
+    /// Armed probe deadlines: timer token → (req_id, probed peer).
+    probe_timeouts: HashMap<u64, (u64, EdgeId)>,
+    /// When set, the edge is dead from this virtual instant on: every
+    /// message and timer is silently dropped (a crashed process).
+    down_at_ns: Option<u64>,
     /// Panorama prefetcher: learned frame→digest mapping, in-flight
     /// prefetches by synthetic req_id, and frame ids being prefetched.
     known_frames: HashMap<u64, coic_cache::Digest>,
@@ -603,6 +630,19 @@ struct PeerWait {
     task: TaskRequest,
     outstanding: usize,
     satisfied: bool,
+}
+
+/// One cluster probe round: the bounded fan-out a miss sent along the
+/// ring, waiting for replies (or per-probe deadlines) before the cloud.
+struct ClusterWait {
+    client: NodeId,
+    descriptor: FeatureDescriptor,
+    task: TaskRequest,
+    /// Peers still owing a reply; a reply (or timeout) removes its peer,
+    /// and the empty set resolves the round.
+    outstanding: Vec<EdgeId>,
+    satisfied: bool,
+    started_ns: u64,
 }
 
 /// A query waiting in the admission queue for a service slot.
@@ -681,6 +721,168 @@ impl EdgeNode {
     /// so fault-free runs are byte-identical to the pre-fault simulator).
     fn service_ns(&self, req_id: u64) -> u64 {
         self.cfg.compute.lookup_ns + self.cfg.faults.edge_slow_ns(req_id & TOKEN_MASK)
+    }
+
+    /// Is the edge dead (per the kill schedule) at virtual time `now`?
+    fn is_down(&self, now: u64) -> bool {
+        self.down_at_ns.is_some_and(|t| now >= t)
+    }
+
+    /// One `decision.peer_*` trace event, tagged with this edge, the
+    /// request, and the peer involved.
+    fn cluster_event(&mut self, now: u64, name: &'static str, req_id: u64, peer: EdgeId) {
+        self.tel.event(
+            now,
+            name,
+            vec![
+                ("edge", Value::from(self.edge_idx)),
+                ("req", Value::from(req_id)),
+                ("peer", Value::from(peer as u64)),
+            ],
+        );
+    }
+
+    /// A cluster probe round exhausted its fan-out without a hit: forward
+    /// to the cloud through the breaker gate, exactly like a direct miss.
+    fn cluster_cloud_fallback(&mut self, ctx: &mut Ctx<'_, Msg>, req_id: u64, wait: ClusterWait) {
+        let now = ctx.now().as_nanos();
+        if !self.gate.preflight(now) {
+            self.refuse(ctx, &wait.descriptor, wait.client, req_id);
+            return;
+        }
+        self.pending_cloud
+            .insert(req_id, (wait.client, wait.descriptor));
+        self.tel.event(
+            now,
+            "cloud.forward",
+            vec![
+                ("edge", Value::from(self.edge_idx)),
+                ("req", Value::from(req_id)),
+            ],
+        );
+        let msg = Msg::Forward {
+            req_id,
+            task: wait.task,
+        };
+        let bytes = wire_len(&msg, &self.cfg);
+        ctx.send(self.cloud, bytes, msg);
+    }
+
+    /// A probe deadline fired. If the peer still owes its reply, count the
+    /// timeout against its breaker and, when the round is drained, resolve
+    /// it (cloud fallback unless a hit already satisfied it). A deadline
+    /// whose reply arrived first finds the peer gone and does nothing.
+    fn probe_timed_out(&mut self, ctx: &mut Ctx<'_, Msg>, req_id: u64, peer: EdgeId) {
+        let now = ctx.now().as_nanos();
+        let Some(wait) = self.pending_cluster.get_mut(&req_id) else {
+            return; // round already resolved
+        };
+        let Some(pos) = wait.outstanding.iter().position(|&p| p == peer) else {
+            return; // this probe already answered
+        };
+        wait.outstanding.remove(pos);
+        let drained = wait.outstanding.is_empty();
+        let cl = self.cluster.as_mut().expect("cluster wait without cluster");
+        cl.record_probe(peer, false, now);
+        cl.stats().count_peer_timeout();
+        self.cluster_event(now, "decision.peer_timeout", req_id, peer);
+        if drained {
+            let wait = self
+                .pending_cluster
+                .remove(&req_id)
+                .expect("wait checked above");
+            if !wait.satisfied {
+                self.cluster_cloud_fallback(ctx, req_id, wait);
+            }
+        }
+    }
+
+    /// A peer answered a cluster probe: feed its breaker, serve the client
+    /// on the first hit (keeping a local replica only when this edge owns
+    /// the digest or its own demand made it hot), and fall back to the
+    /// cloud when the whole round drained empty.
+    fn cluster_peer_reply(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        req_id: u64,
+        result: Option<TaskResult>,
+    ) {
+        let now = ctx.now().as_nanos();
+        let peer = self
+            .edge_nodes
+            .iter()
+            .position(|&n| n == from)
+            .expect("peer reply from outside the cluster") as EdgeId;
+        let Some(wait) = self.pending_cluster.get_mut(&req_id) else {
+            return; // round already resolved
+        };
+        let Some(pos) = wait.outstanding.iter().position(|&p| p == peer) else {
+            return; // reply landed after its own deadline already fired
+        };
+        wait.outstanding.remove(pos);
+        let drained = wait.outstanding.is_empty();
+        let fresh_hit = result.is_some() && !wait.satisfied;
+        if fresh_hit {
+            wait.satisfied = true;
+        }
+        let client = wait.client;
+        let descriptor = wait.descriptor.clone();
+        let was_satisfied = wait.satisfied;
+        let started_ns = wait.started_ns;
+        if drained {
+            let wait = self
+                .pending_cluster
+                .remove(&req_id)
+                .expect("wait checked above");
+            if !was_satisfied {
+                // Every probe missed (reply in hand means the peer is
+                // healthy — record before falling back).
+                let cl = self.cluster.as_mut().expect("cluster wait");
+                cl.record_probe(peer, true, now);
+                cl.stats().count_peer_miss();
+                self.cluster_event(now, "decision.peer_miss", req_id, peer);
+                self.cluster_cloud_fallback(ctx, req_id, wait);
+                return;
+            }
+        }
+        let cl = self.cluster.as_mut().expect("cluster wait");
+        cl.record_probe(peer, true, now);
+        let Some(result) = result else {
+            if !was_satisfied {
+                cl.stats().count_peer_miss();
+                self.cluster_event(now, "decision.peer_miss", req_id, peer);
+            }
+            return;
+        };
+        if !fresh_hit {
+            return; // late duplicate hit; client already answered
+        }
+        cl.stats().count_peer_hit();
+        let digest =
+            crate::services::descriptor_digest(&descriptor).expect("cluster wait implies digest");
+        let keep = cl.is_owner(&digest) || cl.is_locally_hot(&digest);
+        if keep && !cl.is_owner(&digest) {
+            cl.stats().count_replica_keep();
+        }
+        self.cluster_event(now, "decision.peer_hit", req_id, peer);
+        self.tel
+            .registry()
+            .observe("cluster.peer_latency_ns", now.saturating_sub(started_ns));
+        if keep {
+            self.service.borrow_mut().insert(&descriptor, &result, now);
+        }
+        for (waiter, waiter_req) in self.flights.complete(&digest) {
+            let msg = Msg::PeerResult {
+                req_id: waiter_req,
+                result: result.clone(),
+            };
+            let bytes = wire_len(&msg, &self.cfg);
+            ctx.send(waiter, bytes, msg);
+        }
+        let msg = Msg::PeerResult { req_id, result };
+        let bytes = wire_len(&msg, &self.cfg);
+        ctx.send(client, bytes, msg);
     }
 
     /// Shed one request: reply `Msg::Overloaded` with the retry-after
@@ -931,10 +1133,59 @@ impl EdgeNode {
                         );
                         return;
                     }
-                    // Cooperative lookup: ask every peer before the
-                    // cloud (exact tasks only — shipping approximate
-                    // descriptors between edges is future work).
-                    if self.cfg.peer_lookup && !self.peers.is_empty() {
+                    // Cooperative cluster tier: probe at most
+                    // `peer_fanout` peers along the ring from the
+                    // digest's owner, each under its own deadline,
+                    // before any cloud forward.
+                    if self.cluster.is_some() {
+                        let (plan, timeout_ms) = {
+                            let cl = self.cluster.as_mut().expect("checked above");
+                            cl.note_local_request(&digest);
+                            (cl.plan(&digest, now), cl.config().peer_timeout_ms)
+                        };
+                        if !plan.peers.is_empty() {
+                            if plan.failover {
+                                self.cluster_event(
+                                    now,
+                                    "decision.peer_failover",
+                                    req_id,
+                                    plan.peers[0],
+                                );
+                            }
+                            self.pending_cluster.insert(
+                                req_id,
+                                ClusterWait {
+                                    client: from,
+                                    descriptor,
+                                    task,
+                                    outstanding: plan.peers.clone(),
+                                    satisfied: false,
+                                    started_ns: now,
+                                },
+                            );
+                            // Each probe leaves after the service time and
+                            // has until `peer_timeout_ms` after that to
+                            // answer before its breaker hears a failure.
+                            let deadline_ns = service_ns + timeout_ms * 1_000_000;
+                            for &peer in &plan.peers {
+                                self.cluster_event(now, "decision.peer_probe", req_id, peer);
+                                let dest = self.edge_nodes[peer as usize];
+                                self.delay_send(
+                                    ctx,
+                                    service_ns,
+                                    dest,
+                                    Msg::PeerQuery { req_id, digest },
+                                );
+                                let token = self.next_token;
+                                self.next_token += 1;
+                                self.probe_timeouts.insert(token, (req_id, peer));
+                                ctx.set_timer(SimDuration::from_nanos(deadline_ns), token);
+                            }
+                            return;
+                        }
+                        // Empty plan (all peers dead or single edge):
+                        // fall through to the gated cloud forward.
+                    } else if self.cfg.peer_lookup && !self.peers.is_empty() {
                         self.pending_peer.insert(
                             req_id,
                             PeerWait {
@@ -980,6 +1231,9 @@ impl EdgeNode {
 impl Node<Msg> for EdgeNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
         let now = ctx.now().as_nanos();
+        if self.is_down(now) {
+            return; // dead edges answer nothing
+        }
         match msg {
             Msg::Query {
                 req_id,
@@ -1074,7 +1328,42 @@ impl Node<Msg> for EdgeNode {
                 let Some((client, descriptor)) = self.pending_cloud.remove(&req_id) else {
                     return;
                 };
-                self.service.borrow_mut().insert(&descriptor, &result, now);
+                // Partition placement: under the cluster tier a non-owner
+                // does not cache the exact result it fetched — it pushes
+                // the copy to the digest's owner instead, so the entry
+                // lives where the ring says future probes will look. The
+                // fetching edge still keeps a replica once its own demand
+                // crossed the hot threshold.
+                let mut keep = true;
+                let mut push: Option<(EdgeId, coic_cache::Digest)> = None;
+                if let (Some(cl), Some(d)) = (
+                    self.cluster.as_mut(),
+                    crate::services::descriptor_digest(&descriptor),
+                ) {
+                    if !cl.is_owner(&d) {
+                        keep = cl.is_locally_hot(&d);
+                        if keep {
+                            cl.stats().count_replica_keep();
+                        }
+                        push = cl.placement_target(&d).map(|owner| {
+                            cl.stats().count_replication_copy();
+                            (owner, d)
+                        });
+                    }
+                }
+                if keep {
+                    self.service.borrow_mut().insert(&descriptor, &result, now);
+                }
+                if let Some((owner, digest)) = push {
+                    self.cluster_event(now, "decision.peer_replicate", req_id, owner);
+                    let msg = Msg::Replicate {
+                        req_id,
+                        digest,
+                        result: result.clone(),
+                    };
+                    let bytes = wire_len(&msg, &self.cfg);
+                    ctx.send(self.edge_nodes[owner as usize], bytes, msg);
+                }
                 // Answer every coalesced waiter with the same result.
                 if let Some(digest) = crate::services::descriptor_digest(&descriptor) {
                     for (waiter, waiter_req) in self.flights.complete(&digest) {
@@ -1112,10 +1401,48 @@ impl Node<Msg> for EdgeNode {
             }
             Msg::PeerQuery { req_id, digest } => {
                 let result = self.service.borrow_mut().exact_lookup(&digest, now);
+                // Hot-entry failover replication: enough peer demand on an
+                // entry this edge keeps answering pushes a copy to the
+                // digest's ring successor, so the content survives this
+                // edge dying.
+                if result.is_some() {
+                    let push = self.cluster.as_mut().and_then(|cl| {
+                        if !cl.note_owner_request(&digest) {
+                            return None;
+                        }
+                        cl.successor_target(&digest).inspect(|_| {
+                            cl.stats().count_replication_copy();
+                        })
+                    });
+                    if let Some(succ) = push {
+                        self.cluster_event(now, "decision.peer_replicate", req_id, succ);
+                        let msg = Msg::Replicate {
+                            req_id,
+                            digest,
+                            result: result.clone().expect("checked is_some"),
+                        };
+                        let bytes = wire_len(&msg, &self.cfg);
+                        ctx.send(self.edge_nodes[succ as usize], bytes, msg);
+                    }
+                }
                 let lookup_ns = self.cfg.compute.lookup_ns;
                 self.delay_send(ctx, lookup_ns, from, Msg::PeerReply { req_id, result });
             }
+            Msg::Replicate { digest, result, .. } => {
+                // Install the pushed copy under its content hash; the
+                // exact store is keyed by digest, so the descriptor kind
+                // does not matter.
+                self.service.borrow_mut().insert(
+                    &FeatureDescriptor::ModelHash(digest),
+                    &result,
+                    now,
+                );
+            }
             Msg::PeerReply { req_id, result } => {
+                if self.pending_cluster.contains_key(&req_id) {
+                    self.cluster_peer_reply(ctx, from, req_id, result);
+                    return;
+                }
                 let Some(wait) = self.pending_peer.get_mut(&req_id) else {
                     return; // late reply after satisfaction and cleanup
                 };
@@ -1173,10 +1500,22 @@ impl Node<Msg> for EdgeNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        if self.is_down(ctx.now().as_nanos()) {
+            // Swallow the armed work so the maps do not leak.
+            self.in_service.remove(&token);
+            self.probe_timeouts.remove(&token);
+            self.pending_replies.remove(&token);
+            return;
+        }
         // Service-completion timers return their slot to the admission
-        // controller; everything else is a delayed reply.
+        // controller; probe deadlines feed the cluster breakers;
+        // everything else is a delayed reply.
         if let Some(offered_at) = self.in_service.remove(&token) {
             self.finish_service(ctx, offered_at);
+            return;
+        }
+        if let Some((req_id, peer)) = self.probe_timeouts.remove(&token) {
+            self.probe_timed_out(ctx, req_id, peer);
             return;
         }
         let (dest, msg) = self
@@ -1398,8 +1737,21 @@ pub fn run_instrumented(
         );
     }
     let mut edge_services: Vec<Rc<RefCell<EdgeService>>> = Vec::new();
+    let mut cluster_stats: Vec<ClusterStats> = Vec::new();
     for (ei, &eid) in edge_ids.iter().enumerate() {
         let peers: Vec<NodeId> = edge_ids.iter().copied().filter(|&p| p != eid).collect();
+        let cluster = cfg
+            .cluster
+            .as_ref()
+            .map(|c| ClusterState::new(ei as u32, cfg.num_edges, c.clone()));
+        if let Some(cl) = &cluster {
+            cluster_stats.push(cl.stats().clone());
+        }
+        let down_at_ns = cfg
+            .edge_down_ms
+            .iter()
+            .find(|&&(_, e)| e as usize == ei)
+            .map(|&(ms, _)| ms * 1_000_000);
         // Same thresholds as the live edge's defaults; the simulated WAN
         // never reports upstream errors, so the gate is effectively
         // permissive here — it exists to keep one code path.
@@ -1428,6 +1780,11 @@ pub fn run_instrumented(
                 in_service: HashMap::new(),
                 peers,
                 pending_peer: HashMap::new(),
+                cluster,
+                edge_nodes: edge_ids.clone(),
+                pending_cluster: HashMap::new(),
+                probe_timeouts: HashMap::new(),
+                down_at_ns,
                 known_frames: HashMap::new(),
                 prefetch_inflight: HashMap::new(),
                 prefetching: std::collections::HashSet::new(),
@@ -1503,6 +1860,9 @@ pub fn run_instrumented(
         svc.borrow().publish_metrics(tel.registry());
     }
     for s in &robustness {
+        s.snapshot().publish(tel.registry());
+    }
+    for s in &cluster_stats {
         s.snapshot().publish(tel.registry());
     }
     sim.stats().publish(tel.registry());

@@ -9,6 +9,13 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+if [ ! -f bench/baseline.json ]; then
+    echo "bench_check: bench/baseline.json not found." >&2
+    echo "Refresh it first (see EXPERIMENTS.md, 'Edge bench + regression gate'):" >&2
+    echo "  cargo run --release -p coic-cli -- bench --seed 7 --runs 5 --out bench/baseline.json" >&2
+    exit 2
+fi
+
 cargo build --release --locked -p coic-cli -p coic-bench
 ./target/release/coic bench --quick --seed 7 --out BENCH_edge.json
 exec ./target/release/bench_check \

@@ -603,6 +603,116 @@ fn flash_crowd_sheds_to_cloud_and_rejoins_when_the_edge_cools() {
     assert!(!c.is_degraded());
 }
 
+/// A real 3-edge cluster over loopback: partition placement replicates a
+/// cloud fetch to the digest's owner, hot demand replicates it to the
+/// requesting edge, and when the owner is killed the ring successor
+/// serves its keyspace from the peer tier — before any cloud fallback —
+/// until the restarted owner rejoins through its half-open breaker.
+#[test]
+fn cluster_edge_death_fails_over_to_ring_successor_then_rejoins() {
+    use coic::core::{BreakerState, ClusterConfig, HashRing};
+
+    let models = Arc::new(ModelLibrary::new());
+    let panos = Arc::new(PanoLibrary::new(64));
+    let compute = ComputeConfig::default();
+    let classes: Vec<_> = (0..6).map(ObjectClass).collect();
+    let cloud = spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), 3).unwrap();
+    let spawn = || {
+        spawn_edge_with(
+            cloud.addr(),
+            &EdgeConfig::default(),
+            NetConfig::default(),
+            None,
+        )
+        .unwrap()
+    };
+    let edge_a = spawn();
+    let mut edge_b = spawn();
+    let edge_c = spawn();
+    let members = [edge_a.addr(), edge_b.addr(), edge_c.addr()];
+    let cluster = ClusterConfig {
+        vnodes: 16,
+        peer_fanout: 2,
+        replicate_hot: 2,
+        breaker_threshold: 1,
+        breaker_cooldown_ms: 300,
+        ..ClusterConfig::default()
+    };
+    edge_a.join_cluster(0, &members, cluster.clone());
+    edge_b.join_cluster(1, &members, cluster.clone());
+    edge_c.join_cluster(2, &members, cluster.clone());
+
+    // Pick a frame whose digest edge B owns — the keyspace the kill must
+    // re-route. The handles share the deterministic ring, so the test can
+    // compute ownership offline.
+    let ring = HashRing::new(3, cluster.vnodes);
+    let mut b_frames = (0..64u64).filter(|&f| ring.owner(&panos.digest(f)) == 1);
+    let frame = b_frames.next().expect("some frame is owned by edge B");
+    let request = req(RequestKind::Panorama { frame_id: frame });
+    let connect = |addr| {
+        NetClient::connect(
+            addr,
+            ClientConfig::default(),
+            compute,
+            models.clone(),
+            panos.clone(),
+        )
+        .unwrap()
+    };
+    let mut on_a = connect(edge_a.addr());
+    let mut on_c = connect(edge_c.addr());
+
+    // Warm-up through C (a non-owner): the first request misses the whole
+    // cluster and pays the cloud, pushing a placement copy to owner B; the
+    // second finds it at B via the peer tier and — crossing the hot
+    // threshold — keeps a replica on C itself.
+    assert_eq!(on_c.execute(&request).unwrap().path, Path::CloudMiss);
+    assert_eq!(on_c.execute(&request).unwrap().path, Path::PeerHit);
+    let c_stats = edge_c.cluster_stats().unwrap();
+    assert!(c_stats.replication_copies >= 1, "{c_stats:?}");
+    assert!(c_stats.replica_keeps >= 1, "{c_stats:?}");
+
+    // Kill the owner. A's probe to B fails (tripping B's breaker — a ring
+    // rebuild), and the ring successor's replica serves the request from
+    // the peer tier: no cloud trip, no hang.
+    edge_b.shutdown();
+    let out = on_a.execute(&request).unwrap();
+    assert_eq!(
+        out.path,
+        Path::PeerHit,
+        "the surviving replica must serve B's keyspace"
+    );
+    let a_stats = edge_a.cluster_stats().unwrap();
+    assert!(a_stats.peer_timeouts >= 1, "{a_stats:?}");
+    assert!(a_stats.peer_hits >= 1, "{a_stats:?}");
+    assert!(a_stats.ring_rebuilds >= 1, "{a_stats:?}");
+    assert_eq!(edge_a.peer_state(1), Some(BreakerState::Open));
+
+    // Restart B on its old address and re-join it to the cluster. Once
+    // the cooldown lapses, A's next plans half-open B's breaker, the
+    // probe finds the edge alive, and B is back in the ring.
+    let b_addr = members[1];
+    edge_b = respawn_edge(cloud.addr(), b_addr);
+    edge_b.join_cluster(1, &members, cluster);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut rejoined = false;
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(100));
+        // A fresh B-owned frame each round: the miss path is what plans
+        // peer probes, and only a probe can half-open B's breaker.
+        let f = b_frames.next().expect("ran out of frames owned by B");
+        on_a.execute(&req(RequestKind::Panorama { frame_id: f }))
+            .unwrap();
+        if edge_a.peer_state(1) == Some(BreakerState::Closed) {
+            rejoined = true;
+            break;
+        }
+    }
+    assert!(rejoined, "restarted edge never rejoined the ring");
+    let a_stats = edge_a.cluster_stats().unwrap();
+    assert!(a_stats.ring_rebuilds >= 2, "{a_stats:?}");
+}
+
 #[test]
 fn hits_are_faster_than_misses_live() {
     let s = stack();
