@@ -33,19 +33,40 @@ impl Membership {
     /// granted probe with a [`Membership::record`] so the half-open
     /// single-probe accounting stays balanced.
     pub fn allow_probe(&mut self, peer: EdgeId, now_ns: u64) -> bool {
-        peer != self.me && self.breakers[peer as usize].allow(now_ns)
+        peer != self.me
+            && self
+                .breakers
+                .get(peer as usize)
+                .is_some_and(|b| b.allow(now_ns))
+    }
+
+    /// Hand back a probe grant that will not be used (the caller's batch
+    /// resolved before this peer's turn). Keeps the half-open
+    /// single-probe accounting balanced without inventing an outcome.
+    pub fn cancel_probe(&mut self, peer: EdgeId) {
+        if peer == self.me {
+            return;
+        }
+        if let Some(b) = self.breakers.get(peer as usize) {
+            b.cancel_probe();
+        }
     }
 
     /// Non-mutating liveness check: is `peer` fully Closed? Used for
     /// replication targets, where a probing half-open peer is not yet a
     /// safe place to put a failover copy.
     pub fn is_closed(&self, peer: EdgeId) -> bool {
-        peer != self.me && self.breakers[peer as usize].state() == BreakerState::Closed
+        peer != self.me
+            && self
+                .breakers
+                .get(peer as usize)
+                .is_some_and(|b| b.state() == BreakerState::Closed)
     }
 
-    /// Breaker state of a peer (self reports Closed).
-    pub fn peer_state(&self, peer: EdgeId) -> BreakerState {
-        self.breakers[peer as usize].state()
+    /// Breaker state of a peer; `None` when the id is outside the
+    /// cluster (self reports Closed).
+    pub fn peer_state(&self, peer: EdgeId) -> Option<BreakerState> {
+        self.breakers.get(peer as usize).map(|b| b.state())
     }
 
     /// Record a probe outcome. Returns `true` when the effective ring
@@ -55,7 +76,9 @@ impl Membership {
         if peer == self.me {
             return false;
         }
-        let b = &self.breakers[peer as usize];
+        let Some(b) = self.breakers.get(peer as usize) else {
+            return false;
+        };
         let before = b.state();
         b.record(ok, now_ns);
         let after = b.state();
@@ -103,6 +126,31 @@ mod tests {
         assert!(m.record(1, true, 21 * MS), "rejoin rebuilds");
         assert_eq!(m.rebuilds(), 2);
         assert!(m.is_closed(1));
+    }
+
+    #[test]
+    fn cancelled_grant_leaves_the_rejoin_probe_available() {
+        let mut m = Membership::new(0, 2, 1, Duration::from_millis(10));
+        m.allow_probe(1, 0);
+        m.record(1, false, 0);
+        // Half-open slot granted, then the caller resolves early without
+        // probing: the grant must come back so the peer can still rejoin.
+        assert!(m.allow_probe(1, 20 * MS));
+        m.cancel_probe(1);
+        assert!(m.allow_probe(1, 21 * MS), "grant reissued after cancel");
+        assert!(m.record(1, true, 22 * MS), "rejoin still possible");
+        assert!(m.is_closed(1));
+    }
+
+    #[test]
+    fn out_of_range_peer_is_harmless() {
+        let mut m = Membership::new(0, 2, 1, Duration::from_millis(10));
+        assert!(!m.allow_probe(7, 0));
+        assert!(!m.is_closed(7));
+        assert_eq!(m.peer_state(7), None);
+        assert!(!m.record(7, false, 0));
+        m.cancel_probe(7);
+        assert_eq!(m.rebuilds(), 0);
     }
 
     #[test]

@@ -73,6 +73,15 @@ pub struct ClusterConfig {
     pub breaker_threshold: u32,
     /// Cooldown before a tripped peer is half-opened for a rejoin probe.
     pub breaker_cooldown_ms: u64,
+    /// Shared cluster secret mixed into the replication-push token every
+    /// [`Msg::Replicate`](crate::protocol::Msg) carries: an edge installs
+    /// a pushed entry only when the token matches its own, so a stray or
+    /// hostile connection that merely reaches the edge port cannot poison
+    /// the cache. The live driver additionally folds the member address
+    /// list into the token, binding pushes to the joined membership; set
+    /// a random value here for deployments where the member list is
+    /// guessable. Zero (the default) keeps the membership binding alone.
+    pub auth_token: u64,
 }
 
 impl Default for ClusterConfig {
@@ -84,6 +93,7 @@ impl Default for ClusterConfig {
             peer_timeout_ms: 50,
             breaker_threshold: 3,
             breaker_cooldown_ms: 500,
+            auth_token: 0,
         }
     }
 }

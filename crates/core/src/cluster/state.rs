@@ -93,16 +93,21 @@ impl ClusterState {
         &self.stats
     }
 
-    /// Breaker state of a peer as seen from this edge.
-    pub fn peer_state(&self, peer: EdgeId) -> BreakerState {
+    /// Breaker state of a peer as seen from this edge; `None` when the
+    /// id is outside the cluster.
+    pub fn peer_state(&self, peer: EdgeId) -> Option<BreakerState> {
         self.membership.peer_state(peer)
     }
 
     /// Build the probe plan for a miss on `d`: walk the ring from the
     /// owner, skip self and peers whose breaker refuses, stop at
     /// `peer_fanout`. Every planned peer consumes a breaker probe grant,
-    /// so the driver must report each probe's outcome via
-    /// [`ClusterState::record_probe`].
+    /// so the driver must settle each one: report the probe's outcome via
+    /// [`ClusterState::record_probe`], or hand an unused grant back via
+    /// [`ClusterState::cancel_probe`] when the plan resolves before that
+    /// peer's probe is sent. The driver also counts
+    /// [`ClusterStats::count_probe`] at send time, so the `cluster.
+    /// peer_probe` counter reflects probes actually sent, not planned.
     pub fn plan(&mut self, d: &Digest, now_ns: u64) -> ProbePlan {
         let owner = self.ring.owner(d);
         let mut peers = Vec::new();
@@ -121,10 +126,15 @@ impl ClusterState {
         if failover {
             self.stats.count_failover();
         }
-        for _ in &peers {
-            self.stats.count_probe();
-        }
         ProbePlan { peers, failover }
+    }
+
+    /// Hand back the probe grant of a planned peer that will not be
+    /// probed after all (an earlier peer in the plan already answered).
+    /// Without this a half-open peer's single rejoin probe is consumed
+    /// by a probe that never happens and the peer can never rejoin.
+    pub fn cancel_probe(&mut self, peer: EdgeId) {
+        self.membership.cancel_probe(peer);
     }
 
     /// Report a probe outcome (reply received = `ok`, even a content
@@ -207,7 +217,11 @@ mod tests {
         assert_eq!(plan.peers.len(), 2, "fanout bound");
         assert_eq!(plan.peers[0], cl.owner(&d), "owner probed first");
         assert!(!plan.failover);
-        assert_eq!(cl.stats().snapshot().peer_probes, 2);
+        assert_eq!(
+            cl.stats().snapshot().peer_probes,
+            0,
+            "probes are counted by the driver at send time, not planned"
+        );
     }
 
     #[test]
@@ -271,12 +285,40 @@ mod tests {
     fn rejoin_after_cooldown_closes_the_breaker() {
         let mut cl = ClusterState::new(0, 2, cfg());
         cl.record_probe(1, false, 0);
-        assert_eq!(cl.peer_state(1), BreakerState::Open);
+        assert_eq!(cl.peer_state(1), Some(BreakerState::Open));
         let after = cl.config().breaker_cooldown_ms * 2 * 1_000_000;
         let plan = cl.plan(&dig(0), after);
         assert_eq!(plan.peers, vec![1], "half-open grants the rejoin probe");
         cl.record_probe(1, true, after + 1);
-        assert_eq!(cl.peer_state(1), BreakerState::Closed);
+        assert_eq!(cl.peer_state(1), Some(BreakerState::Closed));
         assert_eq!(cl.stats().snapshot().ring_rebuilds, 2);
+    }
+
+    #[test]
+    fn cancelled_plan_entry_keeps_the_rejoin_probe_available() {
+        let mut cl = ClusterState::new(0, 4, cfg());
+        let d = owned_elsewhere(&cl);
+        let dead = cl.owner(&d);
+        cl.record_probe(dead, false, 0); // threshold 1: trips immediately
+        let after = cl.config().breaker_cooldown_ms * 2 * 1_000_000;
+        // The plan half-opens `dead` and grants its single rejoin probe,
+        // but an earlier peer answers first and the driver never probes
+        // it. Cancelling the grant must leave the rejoin path open.
+        let plan = cl.plan(&d, after);
+        assert!(plan.peers.contains(&dead), "half-open peer is planned");
+        cl.cancel_probe(dead);
+        let replan = cl.plan(&d, after + 1);
+        assert!(
+            replan.peers.contains(&dead),
+            "rejoin probe still granted after a cancelled plan entry"
+        );
+        cl.record_probe(dead, true, after + 2);
+        assert_eq!(cl.peer_state(dead), Some(BreakerState::Closed));
+    }
+
+    #[test]
+    fn out_of_range_peer_state_is_none() {
+        let cl = ClusterState::new(0, 2, cfg());
+        assert_eq!(cl.peer_state(9), None);
     }
 }

@@ -126,6 +126,20 @@ impl CircuitBreaker {
         }
     }
 
+    /// Return an unused probe grant. A caller that was
+    /// [`CircuitBreaker::allow`]ed but never issued the protected call
+    /// (its batch resolved early, for example) must hand the half-open
+    /// slot back — otherwise the breaker waits forever for a
+    /// [`CircuitBreaker::record`] that is never coming and the dependency
+    /// can never rejoin. A no-op for grants issued while Closed (those
+    /// reserve nothing).
+    pub fn cancel_probe(&self) {
+        let mut g = self.inner.lock();
+        if g.state == BreakerState::HalfOpen {
+            g.probe_in_flight = false;
+        }
+    }
+
     /// Current state (coarse; may change immediately after).
     pub fn state(&self) -> BreakerState {
         self.inner.lock().state
@@ -205,6 +219,30 @@ mod tests {
         b.record(true, 40 * MS);
         assert_eq!(b.state(), BreakerState::Closed);
         assert_eq!(b.closes(), 1);
+    }
+
+    #[test]
+    fn cancelled_probe_grant_is_reissued() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(10));
+        assert!(b.allow(0));
+        b.record(false, 0);
+        // Cooldown lapses; the half-open slot is granted but the caller
+        // bails out before probing. Cancelling must free the slot.
+        assert!(b.allow(15 * MS));
+        assert!(!b.allow(15 * MS), "slot is taken");
+        b.cancel_probe();
+        assert!(b.allow(16 * MS), "cancelled grant is available again");
+        b.record(true, 17 * MS);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cancel_while_closed_is_a_noop() {
+        let b = CircuitBreaker::new(2, Duration::from_millis(10));
+        assert!(b.allow(0));
+        b.cancel_probe();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(1), "closed breaker still admits");
     }
 
     #[test]

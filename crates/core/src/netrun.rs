@@ -182,19 +182,37 @@ pub fn spawn_cloud(
 
 /// Cooperative cluster membership of one live edge: the sans-IO policy
 /// plus the socket address of every member (indexed by [`EdgeId`], this
-/// edge included at its own id).
+/// edge included at its own id) and the replication-push token shared by
+/// the membership.
 struct LiveCluster {
     state: ClusterState,
     members: Vec<SocketAddr>,
+    token: u64,
 }
 
-/// Best-effort synchronous replication push: connect, send
-/// [`Msg::Replicate`], await the ack under the edge-call deadline. Any
-/// failure is dropped — replication is an optimization, never a
-/// correctness dependency.
+/// Replication-push token of a live cluster: every member derives the
+/// identical value from the member address list it joined with (folded
+/// with the configured [`ClusterConfig::auth_token`] secret), and the
+/// [`Msg::Replicate`] handler installs a pushed entry only when the
+/// sender presented it. A connection that merely reaches the edge port —
+/// without knowing the full membership (or the secret) — cannot plant
+/// arbitrary results under arbitrary digests.
+fn cluster_token(members: &[SocketAddr], auth_token: u64) -> u64 {
+    let mut buf = Vec::with_capacity(members.len() * 24);
+    for m in members {
+        buf.extend_from_slice(m.to_string().as_bytes());
+        buf.push(b';');
+    }
+    coic_cache::fnv1a64(&buf) ^ auth_token
+}
+
+/// Best-effort replication push: connect, send [`Msg::Replicate`], await
+/// the ack under the edge-call deadline. Any failure is dropped —
+/// replication is an optimization, never a correctness dependency.
 fn replicate_to(
     addr: SocketAddr,
     req_id: u64,
+    token: u64,
     digest: Digest,
     result: TaskResult,
     net: &NetConfig,
@@ -208,6 +226,7 @@ fn replicate_to(
         .send(
             &Msg::Replicate {
                 req_id,
+                token,
                 digest,
                 result,
             }
@@ -255,9 +274,11 @@ impl EdgeHandle {
     /// replicate toward their demand. Idempotent — joining again (e.g.
     /// after a restart) resets the policy state.
     pub fn join_cluster(&self, me: EdgeId, members: &[SocketAddr], cfg: ClusterConfig) {
+        let token = cluster_token(members, cfg.auth_token);
         *self.cluster.lock() = Some(LiveCluster {
             state: ClusterState::new(me, members.len() as u32, cfg),
             members: members.to_vec(),
+            token,
         });
     }
 
@@ -276,7 +297,7 @@ impl EdgeHandle {
         self.cluster
             .lock()
             .as_ref()
-            .map(|c| c.state.peer_state(peer))
+            .and_then(|c| c.state.peer_state(peer))
     }
 
     /// Fault-handling counters for this edge (breaker trips, unavailable
@@ -816,10 +837,10 @@ pub fn spawn_edge_with(
                                             .iter()
                                             .map(|&p| (p, c.members[p as usize]))
                                             .collect();
-                                        (targets, plan.failover)
+                                        (targets, plan.failover, c.state.stats().clone())
                                     })
                                 };
-                                if let Some((targets, failover)) = planned {
+                                if let Some((targets, failover, cstats)) = planned {
                                     if failover {
                                         if let Some(&(peer, _)) = targets.first() {
                                             net.telemetry.event(
@@ -830,7 +851,14 @@ pub fn spawn_edge_with(
                                         }
                                     }
                                     let started = clock.now_ns();
-                                    for (peer, addr) in targets {
+                                    for (i, &(peer, addr)) in targets.iter().enumerate() {
+                                        // Counted at send time so the
+                                        // counter matches the probes (and
+                                        // decision.peer_probe events)
+                                        // actually emitted — a plan that
+                                        // resolves early sends fewer
+                                        // probes than it planned.
+                                        cstats.count_probe();
                                         net.telemetry.event(
                                             clock.now_ns(),
                                             "decision.peer_probe",
@@ -846,6 +874,19 @@ pub fn spawn_edge_with(
                                                     Ok(Some(_)) => c.state.stats().count_peer_hit(),
                                                     Ok(None) => c.state.stats().count_peer_miss(),
                                                     Err(()) => c.state.stats().count_peer_timeout(),
+                                                }
+                                                if matches!(outcome, Ok(Some(_))) {
+                                                    // This hit resolves the
+                                                    // plan early: hand the
+                                                    // unprobed peers' breaker
+                                                    // grants back, or a
+                                                    // half-open peer's single
+                                                    // rejoin probe would be
+                                                    // consumed by a probe
+                                                    // that never happens.
+                                                    for &(rest, _) in &targets[i + 1..] {
+                                                        c.state.cancel_probe(rest);
+                                                    }
                                                 }
                                             }
                                         }
@@ -936,7 +977,7 @@ pub fn spawn_edge_with(
                                                                 c.state
                                                                     .stats()
                                                                     .count_replication_copy();
-                                                                (o, c.members[o as usize])
+                                                                (o, c.members[o as usize], c.token)
                                                             })
                                                         };
                                                         (keep, push)
@@ -954,7 +995,7 @@ pub fn spawn_edge_with(
                                                     clock.now_ns(),
                                                 );
                                             }
-                                            if let Some((owner, addr)) = push {
+                                            if let Some((owner, addr, token)) = push {
                                                 net.telemetry.event(
                                                     clock.now_ns(),
                                                     "decision.peer_replicate",
@@ -963,7 +1004,14 @@ pub fn spawn_edge_with(
                                                         ("peer", Value::from(owner as u64)),
                                                     ],
                                                 );
-                                                replicate_to(addr, req_id, d, result.clone(), &net);
+                                                replicate_to(
+                                                    addr,
+                                                    req_id,
+                                                    token,
+                                                    d,
+                                                    result.clone(),
+                                                    &net,
+                                                );
                                             }
                                         }
                                         for w in flights_h.complete(&d) {
@@ -1052,11 +1100,11 @@ pub fn spawn_edge_with(
                             }
                             c.state.successor_target(&digest).map(|s| {
                                 c.state.stats().count_replication_copy();
-                                (s, c.members[s as usize])
+                                (s, c.members[s as usize], c.token)
                             })
                         })
                     };
-                    if let Some((succ, addr)) = push {
+                    if let Some((succ, addr, token)) = push {
                         net.telemetry.event(
                             clock.now_ns(),
                             "decision.peer_replicate",
@@ -1065,19 +1113,52 @@ pub fn spawn_edge_with(
                                 ("peer", Value::from(succ as u64)),
                             ],
                         );
-                        replicate_to(addr, req_id, digest, result.clone(), &net);
+                        // Detached: the probing edge is waiting on this
+                        // reply under its own edge-call deadline, so the
+                        // push (connect + ack round trip) must never ride
+                        // the probe's response path — a healthy owner
+                        // would read as a breaker failure whenever a hot
+                        // crossing coincides with a probe.
+                        let push_net = net.clone();
+                        let push_result = result.clone();
+                        let _ = std::thread::Builder::new()
+                            .name("coic-replicate".into())
+                            .spawn(move || {
+                                replicate_to(
+                                    addr,
+                                    req_id,
+                                    token,
+                                    digest,
+                                    push_result,
+                                    &push_net,
+                                );
+                            });
                     }
                 }
                 Msg::PeerReply { req_id, result }
             }
             Msg::Replicate {
                 req_id,
+                token,
                 digest,
                 result,
             } => {
-                // Install the pushed copy under its content hash (the
-                // exact store is digest-keyed; the descriptor kind does
-                // not matter).
+                // Membership gate: install the pushed copy only when the
+                // sender presented this cluster's token (derived from the
+                // joined member list plus the configured secret). With no
+                // cluster joined, or on a token mismatch, drop the
+                // connection — an arbitrary process that reaches the edge
+                // port must not be able to plant results under chosen
+                // digests and have them served to peers.
+                let member = cluster_h
+                    .lock()
+                    .as_ref()
+                    .is_some_and(|c| c.token == token);
+                if !member {
+                    return None;
+                }
+                // Install under the content hash (the exact store is
+                // digest-keyed; the descriptor kind does not matter).
                 let folded = service.insert(&FeatureDescriptor::ModelHash(digest), &result, now);
                 trace_rebuild(&net, &service, folded, clock.now_ns());
                 Msg::ReplicateAck { req_id }

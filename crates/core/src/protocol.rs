@@ -147,6 +147,10 @@ pub enum Msg {
     Replicate {
         /// Request id (sender-scoped).
         req_id: u64,
+        /// Cluster replication token: receivers install the entry only
+        /// when this matches their own cluster's token, so a connection
+        /// that merely reaches the edge port cannot poison the cache.
+        token: u64,
         /// Content digest of the entry.
         digest: Digest,
         /// The result to install.
@@ -438,7 +442,13 @@ impl Msg {
             },
             Msg::NeedPayload { .. } | Msg::Unavailable { .. } | Msg::ReplicateAck { .. } => {}
             Msg::Overloaded { retry_after_ms, .. } => buf.put_u32_le(*retry_after_ms),
-            Msg::Replicate { digest, result, .. } => {
+            Msg::Replicate {
+                token,
+                digest,
+                result,
+                ..
+            } => {
+                buf.put_u64_le(*token);
                 buf.put_slice(digest.as_bytes());
                 put_result(&mut buf, result);
             }
@@ -491,7 +501,8 @@ impl Msg {
             Msg::NeedPayload { .. } | Msg::Unavailable { .. } | Msg::ReplicateAck { .. } => 0,
             Msg::Overloaded { .. } => 4,
             Msg::Replicate { result, .. } => {
-                32 + 1
+                8 + 32
+                    + 1
                     + match result {
                         TaskResult::Recognition(_) => 8,
                         TaskResult::Model(b) | TaskResult::Panorama(b) => 4 + b.len() as u64,
@@ -599,11 +610,13 @@ impl Msg {
                 }
             }
             14 => {
-                need(&buf, 32)?;
+                need(&buf, 8 + 32)?;
+                let token = buf.get_u64_le();
                 let mut h = [0u8; 32];
                 buf.copy_to_slice(&mut h);
                 Msg::Replicate {
                     req_id,
+                    token,
                     digest: Digest(h),
                     result: get_result(&mut buf)?,
                 }
@@ -702,6 +715,7 @@ mod tests {
             },
             Msg::Replicate {
                 req_id: 18,
+                token: 0xC0FF_EE00_DEAD_BEEF,
                 digest: Digest::of(b"replicated-content"),
                 result: TaskResult::Model(Bytes::from(vec![11, 22, 33])),
             },

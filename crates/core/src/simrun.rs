@@ -1138,10 +1138,14 @@ impl EdgeNode {
                     // digest's owner, each under its own deadline,
                     // before any cloud forward.
                     if self.cluster.is_some() {
-                        let (plan, timeout_ms) = {
+                        let (plan, timeout_ms, stats) = {
                             let cl = self.cluster.as_mut().expect("checked above");
                             cl.note_local_request(&digest);
-                            (cl.plan(&digest, now), cl.config().peer_timeout_ms)
+                            (
+                                cl.plan(&digest, now),
+                                cl.config().peer_timeout_ms,
+                                cl.stats().clone(),
+                            )
                         };
                         if !plan.peers.is_empty() {
                             if plan.failover {
@@ -1168,6 +1172,10 @@ impl EdgeNode {
                             // answer before its breaker hears a failure.
                             let deadline_ns = service_ns + timeout_ms * 1_000_000;
                             for &peer in &plan.peers {
+                                // Probes are counted here, at send time,
+                                // so the counter matches the probes (and
+                                // trace events) actually emitted.
+                                stats.count_probe();
                                 self.cluster_event(now, "decision.peer_probe", req_id, peer);
                                 let dest = self.edge_nodes[peer as usize];
                                 self.delay_send(
@@ -1356,8 +1364,13 @@ impl Node<Msg> for EdgeNode {
                 }
                 if let Some((owner, digest)) = push {
                     self.cluster_event(now, "decision.peer_replicate", req_id, owner);
+                    let token = self
+                        .cluster
+                        .as_ref()
+                        .map_or(0, |cl| cl.config().auth_token);
                     let msg = Msg::Replicate {
                         req_id,
+                        token,
                         digest,
                         result: result.clone(),
                     };
@@ -1416,8 +1429,13 @@ impl Node<Msg> for EdgeNode {
                     });
                     if let Some(succ) = push {
                         self.cluster_event(now, "decision.peer_replicate", req_id, succ);
+                        let token = self
+                            .cluster
+                            .as_ref()
+                            .map_or(0, |cl| cl.config().auth_token);
                         let msg = Msg::Replicate {
                             req_id,
+                            token,
                             digest,
                             result: result.clone().expect("checked is_some"),
                         };
@@ -1428,10 +1446,26 @@ impl Node<Msg> for EdgeNode {
                 let lookup_ns = self.cfg.compute.lookup_ns;
                 self.delay_send(ctx, lookup_ns, from, Msg::PeerReply { req_id, result });
             }
-            Msg::Replicate { digest, result, .. } => {
-                // Install the pushed copy under its content hash; the
-                // exact store is keyed by digest, so the descriptor kind
-                // does not matter.
+            Msg::Replicate {
+                token,
+                digest,
+                result,
+                ..
+            } => {
+                // Membership gate: install the pushed copy only when the
+                // sender presented this cluster's token — an edge outside
+                // the cluster (or with no cluster at all) must not be
+                // able to plant entries.
+                let member = self
+                    .cluster
+                    .as_ref()
+                    .is_some_and(|cl| cl.config().auth_token == token);
+                if !member {
+                    return;
+                }
+                // Install under the content hash; the exact store is
+                // keyed by digest, so the descriptor kind does not
+                // matter.
                 self.service.borrow_mut().insert(
                     &FeatureDescriptor::ModelHash(digest),
                     &result,

@@ -713,6 +713,53 @@ fn cluster_edge_death_fails_over_to_ring_successor_then_rejoins() {
     assert!(a_stats.ring_rebuilds >= 2, "{a_stats:?}");
 }
 
+/// A `Msg::Replicate` that does not carry the cluster's membership token
+/// must not install anything: not before a cluster is joined, and not
+/// from a sender that merely reaches the edge port and speaks the
+/// protocol. The edge drops the connection without an ack, and a
+/// subsequent peer query for the planted digest comes back empty.
+#[test]
+fn forged_replicate_push_is_rejected() {
+    use bytes::Bytes;
+    use coic::cache::Digest;
+    use coic::core::{ClusterConfig, Msg, TaskResult};
+    use coic::netsim::rt::FrameConn;
+    use std::time::Duration;
+
+    let s = stack();
+    let digest = Digest::of(b"poisoned-content");
+    let forged = |token: u64| Msg::Replicate {
+        req_id: 1,
+        token,
+        digest,
+        result: TaskResult::Model(Bytes::from(vec![0xAB; 16])),
+    };
+    let push = |msg: Msg| {
+        let mut conn = FrameConn::connect(s.edge.addr()).unwrap();
+        conn.set_read_deadline(Some(Duration::from_millis(500)))
+            .unwrap();
+        conn.send(&msg.encode()).unwrap();
+        conn.recv()
+    };
+
+    // Before any cluster is joined, every push is refused.
+    assert!(push(forged(0)).is_err(), "no-cluster push must be dropped");
+
+    // With a cluster joined, a push that guesses wrong is refused too.
+    s.edge.join_cluster(0, &[s.edge.addr()], ClusterConfig::default());
+    assert!(push(forged(0)).is_err(), "zero token must be dropped");
+    assert!(push(forged(42)).is_err(), "wrong token must be dropped");
+
+    // Nothing was installed: the peer-lookup path sees no such digest.
+    let reply = push(Msg::PeerQuery { req_id: 9, digest }).expect("peer query is answered");
+    match Msg::decode(&reply).unwrap() {
+        Msg::PeerReply { result, .. } => {
+            assert!(result.is_none(), "forged content must not be served")
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+}
+
 #[test]
 fn hits_are_faster_than_misses_live() {
     let s = stack();
