@@ -1,0 +1,10 @@
+//! Fixture: unchecked slice indexing on a request-serving path — one
+//! stale cursor and the whole edge panics. Never compiled.
+
+fn route(peers: &[u32], cursor: usize) -> u32 {
+    peers[cursor] // LINT-EXPECT: no-index-hot-path
+}
+
+fn latest(events: &[Event]) -> &Event {
+    &events[events.len() - 1] // LINT-EXPECT: no-index-hot-path
+}

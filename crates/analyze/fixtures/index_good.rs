@@ -1,0 +1,20 @@
+//! Fixture: bounds-checked access via `.get()`, a justified in-place
+//! allow, and test-only indexing — all clean under no-index-hot-path.
+
+fn route(peers: &[u32], cursor: usize) -> Option<u32> {
+    peers.get(cursor).copied()
+}
+
+fn shard(table: &[Shard], hash: u64) -> &Shard {
+    // lint: allow(no-index-hot-path, index is taken modulo len and the constructor asserts non-empty)
+    &table[(hash as usize) % table.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn indexing_in_tests_is_fine() {
+        let v = [1, 2, 3];
+        assert_eq!(v[0], 1);
+    }
+}

@@ -1,15 +1,19 @@
-//! Fixture: locks nested against the declared order. Never compiled.
+//! Fixture: the same two locks nested in opposite orders — a deadlock
+//! in waiting. The graph pass reports the cycle once, anchored at the
+//! first witness of its first edge (cache -> touches, sorted order puts
+//! this file ahead of the declared edge in rules.toml). Never compiled.
+
+fn insert(shard: &Shard, key: u64) {
+    let mut guard = shard.cache.write();
+    let mut pending = shard.touches.lock(); // LINT-EXPECT: lock-cycles
+    pending.push(key);
+    guard.touch(&key);
+}
 
 fn drain(shard: &Shard) {
     let pending = shard.touches.lock();
-    let mut guard = shard.cache.write(); // LINT-EXPECT: cache-then-touches
+    let mut guard = shard.cache.write();
     for key in pending.iter() {
         guard.touch(key);
     }
-}
-
-fn peek(shard: &Shard) -> usize {
-    let queue = shard.touches.lock();
-    let n = shard.cache.read().len(); // LINT-EXPECT: cache-then-touches
-    queue.len() + n
 }

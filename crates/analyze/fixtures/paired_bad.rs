@@ -1,0 +1,7 @@
+//! Fixture: an admission slot is acquired and escapes the function with
+//! no `release()`/`note_shed()` on any path — the leak class the
+//! paired-call rule exists for. Never compiled.
+
+fn admit(ctl: &mut OverloadControl, req: u64, now: u64) -> Verdict {
+    ctl.offer(req, now) // LINT-EXPECT: settle-offers
+}

@@ -1,0 +1,14 @@
+//! Fixture: every `offer()` is settled in the same function, and the
+//! acquiring/settling definitions themselves are exempt. Never compiled.
+
+fn admit(ctl: &mut OverloadControl, req: u64, now: u64) {
+    match ctl.offer(req, now) {
+        Verdict::Serve => ctl.release(req),
+        Verdict::Shed => ctl.note_shed(req),
+    }
+}
+
+fn offer(inner: &mut Inner, req: u64, now: u64) -> Verdict {
+    // The defining function is the policy layer, not a call site.
+    inner.offer(req, now)
+}

@@ -1,0 +1,34 @@
+//! Fixture: `Bye` was added to the enum but never wired into `tag()`,
+//! while `decode()` still carries its arm — so the variant has no tag
+//! and the decode arm handles a tag nobody assigns. Never compiled.
+
+pub enum Msg {
+    Hello { proto: u8 },
+    Data(Vec<u8>),
+    Bye, // LINT-EXPECT: proto-conformance
+}
+
+impl Msg {
+    fn tag(&self) -> u8 {
+        match self {
+            Msg::Hello { .. } => 0,
+            Msg::Data { .. } => 1,
+        }
+    }
+
+    fn encode(&self) {
+        match self {
+            Msg::Hello { .. } | Msg::Data { .. } => {}
+            Msg::Bye => {}
+        }
+    }
+
+    fn decode(tag: u8, buf: &mut Buf) -> Result<Msg, WireError> {
+        Ok(match tag {
+            0 => Msg::Hello { proto: 1 },
+            1 => Msg::Data(buf.take_rest()),
+            2 => Msg::Bye, // LINT-EXPECT: proto-conformance
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}

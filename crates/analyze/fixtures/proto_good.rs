@@ -1,0 +1,42 @@
+//! Fixture: enum, tag map, decode arms, and encode coverage all agree.
+//! Tag 0's arm decodes an optional sub-field with a nested match — the
+//! pass must not read those inner `0 =>`/`1 =>` arms as wire tags.
+//! Never compiled.
+
+pub enum Msg {
+    Hello { proto: u8 },
+    Data(Vec<u8>),
+    Bye,
+}
+
+impl Msg {
+    fn tag(&self) -> u8 {
+        match self {
+            Msg::Hello { .. } => 0,
+            Msg::Data { .. } => 1,
+            Msg::Bye => 2,
+        }
+    }
+
+    fn encode(&self) {
+        match self {
+            Msg::Hello { .. } | Msg::Data { .. } => {}
+            Msg::Bye => {}
+        }
+    }
+
+    fn decode(tag: u8, buf: &mut Buf) -> Result<Msg, WireError> {
+        Ok(match tag {
+            0 => {
+                let proto = match buf.get_u8() {
+                    0 => 1,
+                    v => v,
+                };
+                Msg::Hello { proto }
+            }
+            1 => Msg::Data(buf.take_rest()),
+            2 => Msg::Bye,
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: one telemetry name nobody declared, and a paired counter
+//! bumped without its trace event — both drift classes the registry
+//! pass exists to catch. Never compiled.
+
+fn publish(reg: &mut Registry) {
+    reg.counter_add("fixture.undeclared_total", 1); // LINT-EXPECT: telemetry-registry
+}
+
+fn frame(stats: &mut Stats) {
+    stats.count_frame(); // LINT-EXPECT: telemetry-registry
+}

@@ -1,0 +1,11 @@
+//! Fixture: declared names only, and the counter/event pair bumped and
+//! emitted from the same file. Never compiled.
+
+fn frame(stats: &mut Stats, trace: &mut Trace) {
+    stats.count_frame();
+    trace.event("fixture.frame_done");
+}
+
+fn publish(reg: &mut Registry) {
+    reg.counter_add("fixture.frames", 1);
+}

@@ -1,10 +1,13 @@
-//! The rule implementations, operating on lexed token streams.
+//! The per-file rule implementations, operating on lexed token streams.
+//! Workspace-level passes (lock graph, telemetry registry) live in their
+//! own modules; this file hosts the checks that need only one file.
 
 use crate::lexer::{Lexed, Token};
 use crate::rules::{Rule, RuleKind};
 use crate::Finding;
 
-/// Run `rule` over one lexed file, appending findings.
+/// Run `rule` over one lexed file, appending findings. Workspace-level
+/// kinds are no-ops here; `lint_root` runs them across all files.
 pub fn run_rule(rule: &Rule, rel_path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
     let tokens = &lexed.tokens;
     match &rule.kind {
@@ -17,7 +20,19 @@ pub fn run_rule(rule: &Rule, rel_path: &str, lexed: &Lexed, out: &mut Vec<Findin
             attr_tokens,
             attr_text,
         } => crate_attr(rule, rel_path, tokens, attr_tokens, attr_text, out),
-        RuleKind::LockOrder { first, then } => lock_order(rule, rel_path, tokens, first, then, out),
+        RuleKind::NoIndexHotPath => no_index_hot_path(rule, rel_path, tokens, out),
+        RuleKind::PairedCall { acquire, releases } => {
+            paired_call(rule, rel_path, tokens, acquire, releases, out);
+        }
+        RuleKind::ProtocolConformance {
+            enum_name,
+            tag_fn,
+            decode_fn,
+            require_in,
+        } => crate::semantic::protocol_conformance(
+            rule, rel_path, tokens, enum_name, tag_fn, decode_fn, require_in, out,
+        ),
+        RuleKind::LockOrderGraph { .. } | RuleKind::TelemetryRegistry { .. } => {}
     }
 }
 
@@ -27,6 +42,16 @@ fn texts_match(tokens: &[Token], at: usize, pattern: &[String]) -> bool {
             .iter()
             .zip(&tokens[at..])
             .all(|(want, tok)| *want == tok.text)
+}
+
+/// Is this token a plain identifier (not punctuation, not a literal)?
+pub(crate) fn is_ident(tok: &Token) -> bool {
+    tok.literal.is_none()
+        && tok
+            .text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
 }
 
 // ----------------------------------------------------------- forbidden-path
@@ -74,7 +99,7 @@ fn forbidden_path(
 
 /// Token index ranges covered by `#[cfg(test)]` / `#[test]` items
 /// (attribute through the end of the following brace block or statement).
-fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+pub(crate) fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -210,115 +235,180 @@ fn crate_attr(
     }
 }
 
-// --------------------------------------------------------------- lock-order
+// -------------------------------------------------------- no-index-hot-path
 
-const LOCK_OPS: [&str; 4] = ["lock", "read", "write", "try_lock"];
+/// Keywords that may directly precede a `[` without it being an index
+/// expression (`for x in [..]`, `return [..]`, …).
+const NON_INDEX_KEYWORDS: [&str; 22] = [
+    "as", "async", "await", "box", "break", "const", "continue", "dyn", "else", "for", "if", "in",
+    "let", "loop", "match", "move", "mut", "ref", "return", "static", "while", "yield",
+];
 
-#[derive(Debug)]
-struct LiveGuard {
-    receiver: String,
-    var: Option<String>,
-    depth: i32,
+/// Flag `expr[...]` indexing outside test code: on hot paths an
+/// out-of-bounds index is a process-killing panic (the `breakers[peer]`
+/// class). A `[` is an index when it directly follows an identifier, a
+/// `)`, or a `]` — array literals, types, attributes, and macros all
+/// follow punctuation or a `!` instead.
+fn no_index_hot_path(rule: &Rule, rel_path: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    let spans = test_spans(tokens);
+    let in_test = |idx: usize| spans.iter().any(|&(s, e)| idx >= s && idx < e);
+    for at in 1..tokens.len() {
+        if tokens[at].text != "[" {
+            continue;
+        }
+        let prev = &tokens[at - 1];
+        let indexable = (is_ident(prev) && !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()))
+            || prev.text == ")"
+            || prev.text == "]";
+        if !indexable || in_test(at) {
+            continue;
+        }
+        out.push(Finding {
+            file: rel_path.to_string(),
+            line: tokens[at].line,
+            rule: rule.id.clone(),
+            message: format!(
+                "`{}[..]` indexing can panic out-of-bounds: {}",
+                prev.text, rule.reason
+            ),
+        });
+    }
 }
 
-/// Heuristic lock-order tracking: a guard is born at
-/// `<recv> . <lock-op> (`, named by the `let` binding that starts the
-/// statement (if any), and dies when its block closes, its variable is
-/// `drop`ped, or — for unbound temporaries — at the end of the statement.
-/// A violation is acquiring `first` while a guard on `then` is live:
-/// declared order is `first` before `then`, so the reverse nesting is the
-/// one that can deadlock against a path running in the declared order.
-fn lock_order(
+// -------------------------------------------------------------- paired-call
+
+/// A function item: its name and the token span of its body.
+#[derive(Debug)]
+pub(crate) struct FnSpan {
+    pub name: String,
+    /// Index of the `fn` keyword.
+    pub start: usize,
+    /// Index of the body `{`.
+    pub body: usize,
+    /// Index one past the matching `}`.
+    pub end: usize,
+}
+
+/// All `fn` items with bodies, in source order. Nested functions produce
+/// nested (overlapping) spans; callers pick the innermost for a site.
+pub(crate) fn fn_spans(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text != "fn" {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            break;
+        };
+        if !is_ident(name_tok) {
+            // `fn(u32) -> u32` pointer type, not an item.
+            i += 2;
+            continue;
+        }
+        // Find the body `{`; a `;` first means a bodiless trait method.
+        let mut j = i + 2;
+        let mut body = None;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                ";" => break,
+                "{" => {
+                    body = Some(j);
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let Some(body) = body else {
+            i = j + 1;
+            continue;
+        };
+        let mut depth = 1usize;
+        let mut k = body + 1;
+        while k < tokens.len() && depth > 0 {
+            match tokens[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        spans.push(FnSpan {
+            name: name_tok.text.clone(),
+            start: i,
+            body,
+            end: k,
+        });
+        i += 2; // nested fns are found by continuing the scan
+    }
+    spans
+}
+
+/// The innermost function span containing token index `at`.
+pub(crate) fn innermost_fn(spans: &[FnSpan], at: usize) -> Option<&FnSpan> {
+    spans
+        .iter()
+        .filter(|s| at > s.start && at < s.end)
+        .min_by_key(|s| s.end - s.start)
+}
+
+/// Every `.acquire(` call site must be settled by one of the release
+/// calls somewhere in the same function — an acquire whose result leaves
+/// the function unsettled is how the probe-grant leak happened. The
+/// functions *defining* the pair (named like the acquire or a release)
+/// are exempt, as are test items. Cross-function settlement protocols
+/// carry a justified `// lint: allow` at the acquire site.
+fn paired_call(
     rule: &Rule,
     rel_path: &str,
     tokens: &[Token],
-    first: &str,
-    then: &str,
+    acquire: &str,
+    releases: &[String],
     out: &mut Vec<Finding>,
 ) {
-    let mut depth: i32 = 0;
-    let mut live: Vec<LiveGuard> = Vec::new();
-    let mut stmt_start = 0usize;
-    for at in 0..tokens.len() {
-        match tokens[at].text.as_str() {
-            "{" => {
-                depth += 1;
-                stmt_start = at + 1;
-            }
-            "}" => {
-                depth -= 1;
-                live.retain(|g| g.depth <= depth);
-                stmt_start = at + 1;
-            }
-            ";" => {
-                // Unbound temporaries die with their statement.
-                live.retain(|g| g.var.is_some() || g.depth < depth);
-                stmt_start = at + 1;
-            }
-            "drop"
-                if tokens.get(at + 1).map(|t| t.text.as_str()) == Some("(")
-                    && tokens.get(at + 3).map(|t| t.text.as_str()) == Some(")") =>
-            {
-                if let Some(var) = tokens.get(at + 2) {
-                    live.retain(|g| g.var.as_deref() != Some(var.text.as_str()));
-                }
-            }
-            op if LOCK_OPS.contains(&op)
-                && at >= 2
-                && tokens[at - 1].text == "."
-                && tokens.get(at + 1).map(|t| t.text.as_str()) == Some("(") =>
-            {
-                let receiver = tokens[at - 2].text.clone();
-                if receiver == first && live.iter().any(|g| g.receiver == then) {
-                    out.push(Finding {
-                        file: rel_path.to_string(),
-                        line: tokens[at].line,
-                        rule: rule.id.clone(),
-                        message: format!(
-                            "`{first}` acquired while holding `{then}` \
-                             (declared order: {first} before {then}): {}",
-                            rule.reason
-                        ),
-                    });
-                }
-                if receiver == first || receiver == then {
-                    live.push(LiveGuard {
-                        receiver,
-                        var: binding_name(&tokens[stmt_start..at]),
-                        depth,
-                    });
-                }
-            }
-            _ => {}
+    let tests = test_spans(tokens);
+    let in_test = |idx: usize| tests.iter().any(|&(s, e)| idx >= s && idx < e);
+    let fns = fn_spans(tokens);
+    for at in 1..tokens.len() {
+        if tokens[at].text != acquire
+            || tokens[at - 1].text != "."
+            || tokens.get(at + 1).map(|t| t.text.as_str()) != Some("(")
+        {
+            continue;
+        }
+        if in_test(at) {
+            continue;
+        }
+        let Some(span) = innermost_fn(&fns, at) else {
+            continue;
+        };
+        if span.name == acquire || releases.contains(&span.name) {
+            continue;
+        }
+        let settled = (span.body..span.end).any(|k| {
+            releases.iter().any(|r| *r == tokens[k].text)
+                && tokens.get(k + 1).map(|t| t.text.as_str()) == Some("(")
+                && tokens[k - 1].text != "fn"
+        });
+        if !settled {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: tokens[at].line,
+                rule: rule.id.clone(),
+                message: format!(
+                    "`.{acquire}(...)` in fn `{}` is never settled by {}: {}",
+                    span.name,
+                    releases
+                        .iter()
+                        .map(|r| format!("`{r}()`"))
+                        .collect::<Vec<_>>()
+                        .join("/"),
+                    rule.reason
+                ),
+            });
         }
     }
-}
-
-/// The variable a statement binds to the lock guard: last plain
-/// identifier between `let` and `=` (handles `let mut x`). `None` for
-/// statements that don't bind, and for lock calls nested inside another
-/// call (`let p = take(&mut *x.lock())` — any `(` between `=` and the
-/// lock op means the guard is a temporary, not what `let` binds).
-fn binding_name(stmt: &[Token]) -> Option<String> {
-    let let_at = stmt.iter().position(|t| t.text == "let")?;
-    let eq_at = stmt.iter().position(|t| t.text == "=")?;
-    if eq_at <= let_at {
-        return None;
-    }
-    if stmt[eq_at + 1..].iter().any(|t| t.text == "(") {
-        return None;
-    }
-    stmt[let_at + 1..eq_at]
-        .iter()
-        .rev()
-        .find(|t| {
-            t.text != "mut"
-                && t.text
-                    .chars()
-                    .next()
-                    .is_some_and(|c| c.is_alphabetic() || c == '_')
-        })
-        .map(|t| t.text.clone())
 }
 
 #[cfg(test)]
@@ -419,57 +509,89 @@ paths = ["**"]
         );
     }
 
-    const ORDER: &str = r#"
+    const INDEX: &str = r#"
 [[rule]]
-id = "lock-order"
-kind = "lock-order"
-first = "cache"
-then = "touches"
+id = "no-index"
+kind = "no-index-hot-path"
 reason = "r"
 paths = ["**"]
 "#;
 
     #[test]
-    fn lock_order_violation_and_clean_patterns() {
-        // Correct order: cache then touches.
-        let ok = "\
-fn insert(&self) {
-    let mut guard = shard.cache.write();
-    let pending = std::mem::take(&mut *shard.touches.lock());
-    drop(guard);
+    fn indexing_flagged_but_literals_types_macros_are_not() {
+        let code = "\
+fn hot(xs: &[u32], i: usize) -> u32 {
+    let a = [1u32, 2, 3];
+    let v = vec![0u8; 4];
+    #[allow(dead_code)]
+    let t: [u8; 2] = [0, 1];
+    for x in [1, 2] { let _ = x; }
+    xs[i] + a[0]
 }
-fn lookup(&self) {
-    let guard = shard.cache.read();
-    if let Some(mut queue) = shard.touches.try_lock() {
-        queue.push(1);
+#[test]
+fn t() { assert_eq!(xs[0], 1); }
+";
+        let got = findings(INDEX, code);
+        assert_eq!(
+            got,
+            [(7, "no-index".to_string()), (7, "no-index".to_string())]
+        );
+    }
+
+    #[test]
+    fn chained_and_call_result_indexing_flagged() {
+        let code = "fn f() { m[0][1]; g()[2]; }";
+        assert_eq!(findings(INDEX, code).len(), 3);
+    }
+
+    const PAIRED: &str = r#"
+[[rule]]
+id = "grant-leak"
+kind = "paired-call"
+acquire = "allow_probe"
+release = ["record_probe", "cancel_probe"]
+reason = "r"
+paths = ["**"]
+"#;
+
+    #[test]
+    fn paired_call_requires_settlement_in_same_fn() {
+        let ok = "\
+fn probe(&mut self) {
+    if self.m.allow_probe(p, now) {
+        let r = send(p);
+        self.m.record_probe(p, r.is_ok(), now);
     }
 }
 ";
-        assert_eq!(findings(ORDER, ok), []);
-        // Reversed: touches held while acquiring cache.
-        let bad = "\
-fn insert(&self) {
-    let pending = shard.touches.lock();
-    let mut guard = shard.cache.write();
+        assert_eq!(findings(PAIRED, ok), []);
+        let leak = "\
+fn probe(&mut self) -> bool {
+    self.m.allow_probe(p, now)
 }
 ";
-        assert_eq!(findings(ORDER, bad), [(3, "lock-order".to_string())]);
-        // Temporary touches guard dies at the semicolon: no violation.
-        let temp = "\
-fn insert(&self) {
-    let pending = std::mem::take(&mut *shard.touches.lock());
-    let mut guard = shard.cache.write();
-}
+        assert_eq!(findings(PAIRED, leak), [(2, "grant-leak".to_string())]);
+        // The defining/settling functions themselves are exempt.
+        let defs = "\
+fn allow_probe(&mut self) -> bool { self.b.allow_probe(now) }
+fn cancel_probe(&mut self) { self.inner.allow_probe(p, now); }
 ";
-        assert_eq!(findings(ORDER, temp), []);
-        // drop() releases an explicit binding.
-        let dropped = "\
-fn insert(&self) {
-    let pending = shard.touches.lock();
-    drop(pending);
-    let mut guard = shard.cache.write();
-}
-";
-        assert_eq!(findings(ORDER, dropped), []);
+        assert_eq!(findings(PAIRED, defs), []);
+        // Test code is exempt.
+        let test = "#[test]\nfn t() { m.allow_probe(p, now); }";
+        assert_eq!(findings(PAIRED, test), []);
+    }
+
+    #[test]
+    fn fn_spans_find_nested_functions() {
+        let lexed = lex("fn outer() { fn inner() { a(); } b(); }");
+        let spans = fn_spans(&lexed.tokens);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[1].name, "inner");
+        let a_at = lexed.tokens.iter().position(|t| t.text == "a").unwrap();
+        assert_eq!(innermost_fn(&spans, a_at).unwrap().name, "inner");
+        let b_at = lexed.tokens.iter().position(|t| t.text == "b").unwrap();
+        assert_eq!(innermost_fn(&spans, b_at).unwrap().name, "outer");
     }
 }

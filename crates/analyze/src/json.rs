@@ -1,0 +1,255 @@
+//! A dependency-free JSON parser for the trace verifier. The trace
+//! exporter (`crates/obs`) writes one flat object per line; this parser
+//! nevertheless handles full JSON (nesting, arrays, escapes) so a future
+//! field shape never silently misparses. Numbers keep their raw text —
+//! the verifier compares counts exactly and must not round-trip through
+//! floats.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Raw number text as written (`"42"`, `"-1.5e3"`).
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Key/value pairs in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer payload.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// A scalar rendered as a plain string (used for grouping keys).
+    pub fn scalar_text(&self) -> Option<String> {
+        match self {
+            Json::Null => Some("null".into()),
+            Json::Bool(b) => Some(b.to_string()),
+            Json::Num(raw) => Some(raw.clone()),
+            Json::Str(s) => Some(s.clone()),
+            Json::Arr(_) | Json::Obj(_) => None,
+        }
+    }
+}
+
+/// Parse one JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut p = Parser { chars, pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!("trailing input at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<char, String> {
+        let c = self.peek().ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        let got = self.bump()?;
+        if got != want {
+            return Err(format!(
+                "expected `{want}`, got `{got}` at offset {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for want in word.chars() {
+            self.expect(want)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek().ok_or("unexpected end of input")? {
+            'n' => self.literal("null", Json::Null),
+            't' => self.literal("true", Json::Bool(true)),
+            'f' => self.literal("false", Json::Bool(false)),
+            '"' => self.string().map(Json::Str),
+            '[' => self.array(),
+            '{' => self.object(),
+            c if c == '-' || c.is_ascii_digit() => self.number(),
+            c => Err(format!("unexpected `{c}` at offset {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+        {
+            self.pos += 1;
+        }
+        let raw: String = self.chars[start..self.pos].iter().collect();
+        if raw.is_empty() || raw == "-" {
+            return Err(format!("bad number at offset {start}"));
+        }
+        Ok(Json::Num(raw))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                '"' => return Ok(out),
+                '\\' => match self.bump()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump()?;
+                            code = code * 16
+                                + d.to_digit(16)
+                                    .ok_or_else(|| format!("bad \\u escape digit `{d}`"))?;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    e => return Err(format!("unknown escape `\\{e}`")),
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                ',' => continue,
+                ']' => return Ok(Json::Arr(items)),
+                c => return Err(format!("expected `,` or `]`, got `{c}`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump()? {
+                ',' => continue,
+                '}' => return Ok(Json::Obj(fields)),
+                c => return Err(format!("expected `,` or `}}`, got `{c}`")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_trace_line() {
+        let v = parse(r#"{"t":125000,"k":"event","n":"decision.peer_probe","f":{"edge":3,"req":17,"peer":5}}"#)
+            .unwrap();
+        assert_eq!(v.get("t").unwrap().as_u64(), Some(125000));
+        assert_eq!(v.get("k").unwrap().as_str(), Some("event"));
+        let f = v.get("f").unwrap();
+        assert_eq!(f.get("edge").unwrap().scalar_text().as_deref(), Some("3"));
+    }
+
+    #[test]
+    fn handles_escapes_nesting_and_scalars() {
+        let v = parse(r#"{"a":"x\"y\n","b":[1,-2.5e3,true,null],"c":{"d":{}}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_str(), Some("x\"y\n"));
+        assert_eq!(
+            v.get("b").unwrap(),
+            &Json::Arr(vec![
+                Json::Num("1".into()),
+                Json::Num("-2.5e3".into()),
+                Json::Bool(true),
+                Json::Null,
+            ])
+        );
+        assert_eq!(parse(r#""A""#).unwrap(), Json::Str("A".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\":1} extra").is_err());
+        assert!(parse("nope").is_err());
+        assert!(parse("[1,]").is_err());
+    }
+}

@@ -12,10 +12,15 @@
 pub struct Token {
     /// Token text. Multi-character only for identifiers, numbers, `::`,
     /// and literals (literals keep their quotes, contents replaced by
-    /// nothing — only their presence matters to the rules).
+    /// nothing — only their presence matters to the token rules).
     pub text: String,
     /// 1-based source line.
     pub line: u32,
+    /// For string literals only: the raw literal content (between the
+    /// quotes, escapes untouched). The semantic passes that match
+    /// telemetry name literals read this; token-sequence rules keep
+    /// matching on the contents-free `text`.
+    pub literal: Option<String>,
 }
 
 /// A comment with its 1-based starting line (text excludes the `//` /
@@ -75,7 +80,19 @@ impl Lexer {
     }
 
     fn push_token(&mut self, text: String, line: u32) {
-        self.out.tokens.push(Token { text, line });
+        self.out.tokens.push(Token {
+            text,
+            line,
+            literal: None,
+        });
+    }
+
+    fn push_string(&mut self, content: String, line: u32) {
+        self.out.tokens.push(Token {
+            text: "\"\"".into(),
+            line,
+            literal: Some(content),
+        });
     }
 
     fn run(mut self) -> Lexed {
@@ -148,16 +165,20 @@ impl Lexer {
 
     fn string_literal(&mut self, line: u32) {
         self.bump(); // opening quote
+        let mut content = String::new();
         while let Some(c) = self.bump() {
             match c {
                 '\\' => {
-                    self.bump();
+                    content.push(c);
+                    if let Some(e) = self.bump() {
+                        content.push(e);
+                    }
                 }
                 '"' => break,
-                _ => {}
+                _ => content.push(c),
             }
         }
-        self.push_token("\"\"".into(), line);
+        self.push_string(content, line);
     }
 
     /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `rb"…"`; returns false
@@ -182,10 +203,14 @@ impl Lexer {
         for _ in 0..ahead + hashes + 1 {
             self.bump();
         }
+        let mut content = String::new();
         while let Some(c) = self.bump() {
             match c {
                 '\\' if !raw => {
-                    self.bump();
+                    content.push(c);
+                    if let Some(e) = self.bump() {
+                        content.push(e);
+                    }
                 }
                 '"' => {
                     let mut close = 0usize;
@@ -196,11 +221,15 @@ impl Lexer {
                     if close == hashes {
                         break;
                     }
+                    content.push('"');
+                    for _ in 0..close {
+                        content.push('#');
+                    }
                 }
-                _ => {}
+                _ => content.push(c),
             }
         }
-        self.push_token("\"\"".into(), line);
+        self.push_string(content, line);
         true
     }
 
@@ -299,5 +328,18 @@ mod tests {
     #[test]
     fn identifier_starting_with_r_or_b_is_a_word() {
         assert_eq!(texts("rate b1 r2d2"), ["rate", "b1", "r2d2"]);
+    }
+
+    #[test]
+    fn string_tokens_retain_their_content() {
+        let lexed = lex("let n = \"cluster.peer_probe\"; r#\"raw \" body\"#");
+        let lits: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| t.literal.as_deref())
+            .collect();
+        assert_eq!(lits, ["cluster.peer_probe", "raw \" body"]);
+        // The visible token text stays contents-free for sequence rules.
+        assert!(lexed.tokens.iter().any(|t| t.text == "\"\""));
     }
 }

@@ -5,16 +5,40 @@
 //! admission — inside pure, deterministic crates and pushes I/O and real
 //! time to the edges (`netrun`, `cli`). Nothing in the language enforces
 //! that split, so this crate does: it lexes every `.rs` file in the
-//! workspace (no rustc, no external deps) and matches token-level rules
-//! from a checked-in `analyze/rules.toml`:
+//! workspace (no rustc, no external deps) and runs rules from a
+//! checked-in `analyze/rules.toml`.
+//!
+//! Per-file, token-level rules:
 //!
 //! * `forbidden-path` — e.g. `std::net` or `Instant::now` in sans-IO
 //!   crates;
 //! * `no-unwrap` — `.unwrap()` / `.expect()` outside `#[cfg(test)]`;
 //! * `crate-attr` — required inner attributes such as
 //!   `#![forbid(unsafe_code)]`;
-//! * `lock-order` — two locks may only ever be taken in their declared
-//!   order.
+//! * `no-index-hot-path` — bracket indexing on hot paths (the
+//!   `members[peer]` panic class);
+//! * `paired-call` — an acquire call must be settled by a matching
+//!   release in the same function (slot/grant leak class);
+//! * `protocol-conformance` — the `Msg` wire enum's tags stay unique and
+//!   dense and every variant has encode and decode arms.
+//!
+//! Workspace-level rules (need every matched file at once; run only
+//! under [`lint_root`]):
+//!
+//! * `lock-order-graph` — a global lock-acquisition graph; any cycle is
+//!   a finding with the witnessing `file:line` chain;
+//! * `telemetry-registry` — every counter/event name literal must be
+//!   declared in `analyze/telemetry.toml`, declarations must be live,
+//!   and paired counter↔event names must move together.
+//!
+//! Always on: a rule exempting a path no workspace file matches is
+//! itself a finding (`dead-exemption`) — stale carve-outs silently
+//! widen a rule's blind spot.
+//!
+//! The crate also ships a runtime companion: `run_trace_check` (the
+//! `coic analyze trace` subcommand) verifies declarative invariants
+//! from `analyze/trace_invariants.toml` against a seeded run's
+//! decision-trace JSONL and metrics dump — see [`trace`].
 //!
 //! Violations report file, line, rule id, and reason. A finding can be
 //! suppressed in place with a justified escape hatch on the same line or
@@ -32,11 +56,17 @@
 
 mod checks;
 mod glob;
+mod json;
 mod lexer;
+mod lockgraph;
 mod rules;
+mod semantic;
+mod telemetry;
 mod toml;
+pub mod trace;
 
 pub use rules::{parse_rules, Rule, RuleKind};
+pub use trace::run_trace_check;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -133,6 +163,8 @@ fn allowed(finding: &Finding, allows: &[AllowDirective]) -> bool {
 
 /// Lint one file's source text against `rules`. `rel_path` is the
 /// workspace-relative path used both for rule scoping and in findings.
+/// Workspace-level kinds are skipped here — they need every matched
+/// file and only run under [`lint_root`].
 pub fn lint_source(rel_path: &str, source: &str, rules: &[Rule]) -> Vec<Finding> {
     let lexed = lexer::lex(source);
     let mut out = Vec::new();
@@ -183,19 +215,114 @@ fn relative(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
+/// Rule id of the built-in dead-exemption config check.
+pub const DEAD_EXEMPTION: &str = "dead-exemption";
+
+/// One lexed workspace file, ready for per-file and workspace passes.
+struct FileRec {
+    rel: String,
+    lexed: lexer::Lexed,
+    allows: Vec<AllowDirective>,
+}
+
 /// Lint every `.rs` file under `root` against the rules file at
-/// `rules_path`. Findings are sorted (file, line, rule).
+/// `rules_path`: per-file rules, then workspace-level passes
+/// (lock-order graph, telemetry registry), then the built-in
+/// dead-exemption config audit. Findings are sorted (file, line, rule).
 pub fn lint_root(root: &Path, rules_path: &Path) -> Result<Vec<Finding>, String> {
     let rules_src = std::fs::read_to_string(rules_path)
         .map_err(|e| format!("{}: {e}", rules_path.display()))?;
     let rules = parse_rules(&rules_src).map_err(|e| format!("{}: {e}", rules_path.display()))?;
-    let mut findings = Vec::new();
+    let rules_rel = relative(root, rules_path);
+
+    // Lex every file once; workspace passes and per-file rules share the
+    // token streams.
+    let mut findings = Vec::new(); // malformed-allow: never suppressible
+    let mut files = Vec::new();
     for path in collect_rust_files(root)? {
         let source =
             std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        findings.extend(lint_source(&relative(root, &path), &source, &rules));
+        let rel = relative(root, &path);
+        let lexed = lexer::lex(&source);
+        let allows = parse_allows(&rel, &lexed.comments, &mut findings);
+        files.push(FileRec { rel, lexed, allows });
+    }
+
+    let mut raw = Vec::new();
+    for rec in &files {
+        for rule in rules
+            .iter()
+            .filter(|r| !r.kind.is_workspace() && r.applies_to(&rec.rel))
+        {
+            checks::run_rule(rule, &rec.rel, &rec.lexed, &mut raw);
+        }
+    }
+
+    for rule in rules.iter().filter(|r| r.kind.is_workspace()) {
+        match &rule.kind {
+            RuleKind::LockOrderGraph {
+                declared,
+                receivers,
+            } => {
+                let mut edges = lockgraph::Edges::new();
+                for rec in files.iter().filter(|rec| rule.applies_to(&rec.rel)) {
+                    lockgraph::collect_edges(&rec.rel, &rec.lexed.tokens, receivers, &mut edges);
+                }
+                lockgraph::declared_edges(declared, &rules_rel, rule.line, &mut edges);
+                lockgraph::report_cycles(rule, &mut edges, &mut raw);
+            }
+            RuleKind::TelemetryRegistry { registry } => {
+                let reg_path = root.join(registry);
+                let reg_src = std::fs::read_to_string(&reg_path)
+                    .map_err(|e| format!("{}: {e}", reg_path.display()))?;
+                let reg = telemetry::parse_registry(&reg_src)
+                    .map_err(|e| format!("{}: {e}", reg_path.display()))?;
+                let matched: Vec<(&str, &lexer::Lexed)> = files
+                    .iter()
+                    .filter(|rec| rule.applies_to(&rec.rel))
+                    .map(|rec| (rec.rel.as_str(), &rec.lexed))
+                    .collect();
+                telemetry::run(rule, &reg, registry, &matched, &mut raw);
+            }
+            _ => unreachable!("is_workspace() covers exactly these kinds"),
+        }
+    }
+
+    // Config audit: an exempt glob no collected file matches is dead —
+    // it either outlived a rename or never matched at all, and either
+    // way it hides what the author thought was covered.
+    for rule in &rules {
+        for g in &rule.exempt {
+            if !files.iter().any(|rec| glob::glob_match(g, &rec.rel)) {
+                raw.push(Finding {
+                    file: rules_rel.clone(),
+                    line: rule.line,
+                    rule: DEAD_EXEMPTION.to_string(),
+                    message: format!(
+                        "rule `{}` exempts `{g}` but no workspace file matches it \
+                         (remove the stale carve-out)",
+                        rule.id
+                    ),
+                });
+            }
+        }
+    }
+
+    // In-place allows suppress workspace findings too: lookup is by the
+    // finding's file, so a justified escape hatch works the same whether
+    // the rule ran per-file or globally.
+    for f in raw {
+        let allows = files
+            .iter()
+            .find(|rec| rec.rel == f.file)
+            .map(|rec| rec.allows.as_slice())
+            .unwrap_or(&[]);
+        if !allowed(&f, allows) {
+            findings.push(f);
+        }
     }
     findings.sort();
+    findings.dedup();
     Ok(findings)
 }
 

@@ -1,0 +1,349 @@
+//! Lock-order graph: a workspace-level deadlock check.
+//!
+//! Every matched file contributes acquisition edges: taking lock `b`
+//! while a guard on lock `a` is live adds the edge `a -> b` with the
+//! acquiring `file:line` as witness. Config may add `declared` edges for
+//! orders that are part of a module's contract even when no single file
+//! exhibits the nesting. Any cycle in the combined graph — two paths
+//! that nest the same locks in opposite orders — is a finding carrying
+//! the full witnessing chain, because such paths can deadlock against
+//! each other at runtime.
+//!
+//! Guard tracking is heuristic but deliberately simple and auditable: a
+//! guard is born at `<receiver> . <lock-op> (`, named by its `let`
+//! binding when there is one, and dies at end of block, at `drop(var)`,
+//! or — for unbound temporaries — at the end of its statement. Lock
+//! receivers are field/variable names, so two unrelated locks that share
+//! a receiver name would merge; keep lock field names distinct (they are
+//! in this workspace) or scope the rule's `paths`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::checks::{is_ident, test_spans};
+use crate::lexer::Token;
+use crate::rules::Rule;
+use crate::Finding;
+
+const LOCK_OPS: [&str; 4] = ["lock", "read", "write", "try_lock"];
+
+/// Acquisition edges: `(held, acquired) -> sorted witness sites`.
+pub(crate) type Edges = BTreeMap<(String, String), Vec<(String, u32)>>;
+
+#[derive(Debug)]
+struct LiveGuard {
+    receiver: String,
+    var: Option<String>,
+    depth: i32,
+}
+
+/// Collect acquisition edges from one file into `edges`. `receivers`
+/// non-empty restricts tracking to those names. Test items are skipped:
+/// deadlocks there fail the harness loudly rather than a live edge node.
+pub(crate) fn collect_edges(
+    rel_path: &str,
+    tokens: &[Token],
+    receivers: &[String],
+    edges: &mut Edges,
+) {
+    let tests = test_spans(tokens);
+    let in_test = |idx: usize| tests.iter().any(|&(s, e)| idx >= s && idx < e);
+    let tracked = |name: &str| receivers.is_empty() || receivers.iter().any(|r| r == name);
+    let mut depth: i32 = 0;
+    let mut live: Vec<LiveGuard> = Vec::new();
+    let mut stmt_start = 0usize;
+    for at in 0..tokens.len() {
+        match tokens[at].text.as_str() {
+            "{" => {
+                depth += 1;
+                stmt_start = at + 1;
+            }
+            "}" => {
+                depth -= 1;
+                live.retain(|g| g.depth <= depth);
+                stmt_start = at + 1;
+            }
+            ";" => {
+                // Unbound temporaries die with their statement.
+                live.retain(|g| g.var.is_some() || g.depth < depth);
+                stmt_start = at + 1;
+            }
+            "drop"
+                if tokens.get(at + 1).map(|t| t.text.as_str()) == Some("(")
+                    && tokens.get(at + 3).map(|t| t.text.as_str()) == Some(")") =>
+            {
+                if let Some(var) = tokens.get(at + 2) {
+                    live.retain(|g| g.var.as_deref() != Some(var.text.as_str()));
+                }
+            }
+            op if LOCK_OPS.contains(&op)
+                && at >= 2
+                && tokens[at - 1].text == "."
+                && tokens.get(at + 1).map(|t| t.text.as_str()) == Some("(")
+                && is_ident(&tokens[at - 2]) =>
+            {
+                let receiver = tokens[at - 2].text.clone();
+                if !tracked(&receiver) || in_test(at) {
+                    continue;
+                }
+                for g in &live {
+                    if g.receiver != receiver {
+                        edges
+                            .entry((g.receiver.clone(), receiver.clone()))
+                            .or_default()
+                            .push((rel_path.to_string(), tokens[at].line));
+                    }
+                }
+                live.push(LiveGuard {
+                    receiver,
+                    var: binding_name(&tokens[stmt_start..at]),
+                    depth,
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Add the config-declared edges, witnessed by the rules file itself.
+pub(crate) fn declared_edges(
+    declared: &[(String, String)],
+    rules_rel: &str,
+    rule_line: u32,
+    edges: &mut Edges,
+) {
+    for (first, then) in declared {
+        edges
+            .entry((first.clone(), then.clone()))
+            .or_default()
+            .push((rules_rel.to_string(), rule_line));
+    }
+}
+
+/// Report every cycle in `edges` as one finding, anchored at the first
+/// witness of the cycle's first edge and carrying the whole chain.
+pub(crate) fn report_cycles(rule: &Rule, edges: &mut Edges, out: &mut Vec<Finding>) {
+    for witnesses in edges.values_mut() {
+        witnesses.sort();
+        witnesses.dedup();
+    }
+    let nodes: BTreeSet<&String> = edges.keys().flat_map(|(a, b)| [a, b]).collect();
+    let reaches = |from: &String, to: &String| -> bool {
+        let mut seen: BTreeSet<&String> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            for ((a, b), _) in edges.iter() {
+                if a == n {
+                    if b == to {
+                        return true;
+                    }
+                    stack.push(b);
+                }
+            }
+        }
+        false
+    };
+    // Strongly connected components via mutual reachability; report each
+    // once, keyed by its (sorted) node set for determinism.
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &start in &nodes {
+        let scc: Vec<String> = nodes
+            .iter()
+            .filter(|&&n| n == start || (reaches(start, n) && reaches(n, start)))
+            .filter(|&&n| n == start || reaches(start, n))
+            .map(|&n| n.clone())
+            .collect();
+        if scc.len() < 2 {
+            continue;
+        }
+        // Only report from the SCC's smallest node, once.
+        if start != scc.iter().min().expect("non-empty") || !reported.insert(scc.clone()) {
+            continue;
+        }
+        let cycle = shortest_cycle(start, &scc, edges);
+        let chain = cycle
+            .windows(2)
+            .map(|w| {
+                let (file, line) = edges[&(w[0].clone(), w[1].clone())]
+                    .first()
+                    .expect("cycle edges have witnesses");
+                format!("{} -> {} ({file}:{line})", w[0], w[1])
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let (file, line) = edges[&(cycle[0].clone(), cycle[1].clone())]
+            .first()
+            .expect("witnessed")
+            .clone();
+        out.push(Finding {
+            file,
+            line,
+            rule: rule.id.clone(),
+            message: format!("lock-order cycle: {chain}: {}", rule.reason),
+        });
+    }
+}
+
+/// Shortest cycle through `start` staying inside `scc` (BFS; exists by
+/// construction of the SCC).
+fn shortest_cycle(start: &String, scc: &[String], edges: &Edges) -> Vec<String> {
+    let mut prev: BTreeMap<&String, &String> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        for ((a, b), _) in edges.iter() {
+            if a != n || !scc.contains(b) {
+                continue;
+            }
+            if b == start {
+                // Reconstruct start -> ... -> n -> start.
+                let mut path = vec![start.clone()];
+                let mut walk = n;
+                let mut rev = vec![walk.clone()];
+                while walk != start {
+                    walk = prev[walk];
+                    rev.push(walk.clone());
+                }
+                rev.pop(); // drop the duplicated start
+                path.extend(rev.into_iter().rev());
+                path.push(start.clone());
+                return path;
+            }
+            if !prev.contains_key(b) && b != start {
+                prev.insert(b, n);
+                queue.push_back(b);
+            }
+        }
+    }
+    unreachable!("SCC guarantees a cycle through every member")
+}
+
+/// The variable a statement binds to the lock guard: last plain
+/// identifier between `let` and `=` (handles `let mut x`). `None` for
+/// statements that don't bind, and for lock calls nested inside another
+/// call (`let p = take(&mut *x.lock())` — any `(` between `=` and the
+/// lock op means the guard is a temporary, not what `let` binds).
+fn binding_name(stmt: &[Token]) -> Option<String> {
+    let let_at = stmt.iter().position(|t| t.text == "let")?;
+    let eq_at = stmt.iter().position(|t| t.text == "=")?;
+    if eq_at <= let_at {
+        return None;
+    }
+    if stmt[eq_at + 1..].iter().any(|t| t.text == "(") {
+        return None;
+    }
+    stmt[let_at + 1..eq_at]
+        .iter()
+        .rev()
+        .find(|t| {
+            t.text != "mut"
+                && t.text
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+        })
+        .map(|t| t.text.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::parse_rules;
+
+    fn rule(declared: &str) -> Rule {
+        parse_rules(&format!(
+            "[[rule]]\nid = \"cycles\"\nkind = \"lock-order-graph\"\n{declared}\
+             reason = \"r\"\npaths = [\"**\"]"
+        ))
+        .unwrap()
+        .remove(0)
+    }
+
+    fn run(files: &[(&str, &str)], declared: &str) -> Vec<String> {
+        let r = rule(declared);
+        let mut edges = Edges::new();
+        for (path, src) in files {
+            collect_edges(path, &lex(src).tokens, &[], &mut edges);
+        }
+        if let crate::rules::RuleKind::LockOrderGraph { declared, .. } = &r.kind {
+            declared_edges(declared, "rules.toml", r.line, &mut edges);
+        }
+        let mut out = Vec::new();
+        report_cycles(&r, &mut edges, &mut out);
+        out.into_iter()
+            .map(|f| format!("{}:{} {}", f.file, f.line, f.message))
+            .collect()
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let a = "fn f(&self) { let g = s.cache.write(); let h = s.touches.lock(); drop(h); }";
+        let b = "fn g(&self) { let g = s.cache.read(); let q = s.touches.try_lock(); }";
+        assert_eq!(run(&[("a.rs", a), ("b.rs", b)], ""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn opposite_orders_across_files_form_a_cycle() {
+        let a = "fn f(&self) { let g = s.cache.write(); let h = s.touches.lock(); }";
+        let b = "fn g(&self) { let h = s.touches.lock(); let g = s.cache.write(); }";
+        let got = run(&[("a.rs", a), ("b.rs", b)], "");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("lock-order cycle"), "{got}", got = got[0]);
+        assert!(got[0].contains("a.rs:1"), "{got}", got = got[0]);
+        assert!(got[0].contains("b.rs:1"), "{got}", got = got[0]);
+    }
+
+    #[test]
+    fn declared_edge_catches_a_lone_reversal() {
+        // No file nests cache under touches AND the reverse; the declared
+        // contract supplies the forward edge.
+        let b = "fn g(&self) { let h = s.touches.lock(); let g = s.cache.write(); }";
+        let got = run(&[("b.rs", b)], "declared = [\"cache -> touches\"]\n");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("rules.toml"), "{got}", got = got[0]);
+    }
+
+    #[test]
+    fn three_party_cycle_is_reported_with_full_chain() {
+        let a = "fn f() { let x = s.a.lock(); let y = s.b.lock(); }";
+        let b = "fn f() { let x = s.b.lock(); let y = s.c.lock(); }";
+        let c = "fn f() { let x = s.c.lock(); let y = s.a.lock(); }";
+        let got = run(&[("a.rs", a), ("b.rs", b), ("c.rs", c)], "");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("a -> b"), "{got}", got = got[0]);
+        assert!(got[0].contains("b -> c"), "{got}", got = got[0]);
+        assert!(got[0].contains("c -> a"), "{got}", got = got[0]);
+    }
+
+    #[test]
+    fn temporaries_and_drops_do_not_leak_guards() {
+        let src = "\
+fn f(&self) {
+    let p = std::mem::take(&mut *s.touches.lock());
+    let g = s.cache.write();
+}
+fn g(&self) {
+    let h = s.touches.lock();
+    drop(h);
+    let g = s.cache.write();
+}
+fn declared_order(&self) { let g = s.cache.write(); let h = s.touches.lock(); }
+";
+        assert_eq!(run(&[("a.rs", src)], ""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn test_items_do_not_contribute_edges() {
+        let src = "\
+fn f(&self) { let g = s.cache.write(); let h = s.touches.lock(); }
+#[cfg(test)]
+mod tests {
+    fn t() { let h = s.touches.lock(); let g = s.cache.write(); }
+}
+";
+        assert_eq!(run(&[("a.rs", src)], ""), Vec::<String>::new());
+    }
+}

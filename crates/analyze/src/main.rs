@@ -2,20 +2,29 @@
 //!
 //! ```text
 //! coic-analyze [--root DIR] [--rules FILE]
+//! coic-analyze trace --trace FILE --metrics FILE [--invariants FILE]
 //! ```
 //!
-//! Defaults: `--root .`, `--rules <root>/analyze/rules.toml`. Exits 0 on
-//! a clean tree, 1 on findings, 2 on usage/config errors.
+//! Defaults: `--root .`, `--rules <root>/analyze/rules.toml`,
+//! `--invariants <root>/analyze/trace_invariants.toml`. Exits 0 on a
+//! clean tree/trace, 1 on findings/violations, 2 on usage/config errors.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: coic-analyze [--root DIR] [--rules FILE]\n\
+                     \x20      coic-analyze trace --trace FILE --metrics FILE [--invariants FILE]";
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        return trace_main(&args[1..]);
+    }
     let mut root = PathBuf::from(".");
     let mut rules: Option<PathBuf> = None;
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
@@ -27,7 +36,7 @@ fn main() -> ExitCode {
                 None => return usage("--rules needs a value"),
             },
             "--help" | "-h" => {
-                println!("usage: coic-analyze [--root DIR] [--rules FILE]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
@@ -35,7 +44,58 @@ fn main() -> ExitCode {
     }
     let rules = rules.unwrap_or_else(|| root.join("analyze").join("rules.toml"));
     let mut report = String::new();
-    match coic_analyze::run_lint(&root, &rules, &mut report) {
+    finish(coic_analyze::run_lint(&root, &rules, &mut report), report)
+}
+
+fn trace_main(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut trace: Option<PathBuf> = None;
+    let mut metrics: Option<PathBuf> = None;
+    let mut invariants: Option<PathBuf> = None;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| match args.next() {
+            Some(v) => Ok(PathBuf::from(v)),
+            None => Err(format!("{what} needs a value")),
+        };
+        match arg.as_str() {
+            "--root" => match take("--root") {
+                Ok(v) => root = v,
+                Err(e) => return usage(&e),
+            },
+            "--trace" => match take("--trace") {
+                Ok(v) => trace = Some(v),
+                Err(e) => return usage(&e),
+            },
+            "--metrics" => match take("--metrics") {
+                Ok(v) => metrics = Some(v),
+                Err(e) => return usage(&e),
+            },
+            "--invariants" => match take("--invariants") {
+                Ok(v) => invariants = Some(v),
+                Err(e) => return usage(&e),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let (Some(trace), Some(metrics)) = (trace, metrics) else {
+        return usage("trace needs --trace and --metrics");
+    };
+    let invariants =
+        invariants.unwrap_or_else(|| root.join("analyze").join("trace_invariants.toml"));
+    let mut report = String::new();
+    finish(
+        coic_analyze::run_trace_check(&trace, &metrics, &invariants, &mut report),
+        report,
+    )
+}
+
+fn finish(result: Result<bool, String>, report: String) -> ExitCode {
+    match result {
         Ok(clean) => {
             print!("{report}");
             if clean {
@@ -52,6 +112,6 @@ fn main() -> ExitCode {
 }
 
 fn usage(problem: &str) -> ExitCode {
-    eprintln!("coic-analyze: {problem}\nusage: coic-analyze [--root DIR] [--rules FILE]");
+    eprintln!("coic-analyze: {problem}\n{USAGE}");
     ExitCode::from(2)
 }

@@ -18,8 +18,20 @@
 //!   method calls banned outside `#[cfg(test)]` / `#[test]` items.
 //! * `crate-attr` — `attr`: an inner attribute (e.g. `forbid(unsafe_code)`)
 //!   every matched file must carry.
-//! * `lock-order` — `first`/`then`: receiver fields that must always be
-//!   acquired in that order when both locks are held.
+//! * `no-index-hot-path` — bracket indexing (`xs[i]`, `&buf[..n]`) banned
+//!   outside test code; provably-bounded sites carry `// lint: allow`.
+//! * `paired-call` — `acquire`/`release`: a method call whose result must
+//!   be settled by one of the release calls in the same function.
+//! * `protocol-conformance` — `enum` (default `Msg`), `tag-fn` (default
+//!   `tag`), `decode-fn` (default `decode`), `require-in` (default
+//!   `["encode", "encoded_len"]`): wire-tag/arm consistency for the
+//!   protocol enum.
+//! * `lock-order-graph` — `declared` (optional `"a -> b"` edges),
+//!   `receivers` (optional allowlist): a global acquisition graph over
+//!   all matched files; any cycle is a finding. Workspace-level.
+//! * `telemetry-registry` — `registry`: path (from the workspace root) to
+//!   the telemetry name registry every metric/event literal must be
+//!   declared in. Workspace-level.
 
 use crate::lexer;
 use crate::toml::{self, Table};
@@ -49,14 +61,57 @@ pub enum RuleKind {
         /// Human-readable form for messages.
         attr_text: String,
     },
-    /// Lock-acquisition order between two receiver fields.
-    LockOrder {
-        /// The receiver that must be acquired first.
-        first: String,
-        /// The receiver that may only be acquired while `first`-held or
-        /// alone — never the other way around.
-        then: String,
+    /// Bracket indexing outside test code: the `breakers[peer]` panic
+    /// class. Bounded sites are suppressed in place with an allow.
+    NoIndexHotPath,
+    /// An acquire call whose result must be settled by a release call in
+    /// the same function (the probe-grant / admission-slot leak class).
+    PairedCall {
+        /// Method name whose call sites start an obligation.
+        acquire: String,
+        /// Method names that settle it.
+        releases: Vec<String>,
     },
+    /// Wire-protocol conformance for a tagged enum: tags unique and
+    /// dense, decode arms match `tag()`, every variant present in the
+    /// required functions.
+    ProtocolConformance {
+        /// The enum name (`Msg`).
+        enum_name: String,
+        /// The tag-assignment method name.
+        tag_fn: String,
+        /// The decode function name.
+        decode_fn: String,
+        /// Functions whose bodies must mention every variant.
+        require_in: Vec<String>,
+    },
+    /// Workspace-level: a global lock-acquisition graph built from every
+    /// matched file; cycles (including against `declared` edges) are
+    /// findings with the witnessing file:line chain.
+    LockOrderGraph {
+        /// Extra `(first, then)` edges declared in config.
+        declared: Vec<(String, String)>,
+        /// If non-empty, only these receiver names are tracked.
+        receivers: Vec<String>,
+    },
+    /// Workspace-level: every telemetry name literal must be declared in
+    /// the registry file, declarations must be live, and counter↔event
+    /// pairs must be bumped/emitted from the same sites.
+    TelemetryRegistry {
+        /// Registry path, relative to the lint root.
+        registry: String,
+    },
+}
+
+impl RuleKind {
+    /// Workspace-level kinds need every matched file at once; they run
+    /// only under `lint_root`, never in single-file `lint_source`.
+    pub fn is_workspace(&self) -> bool {
+        matches!(
+            self,
+            RuleKind::LockOrderGraph { .. } | RuleKind::TelemetryRegistry { .. }
+        )
+    }
 }
 
 /// One configured rule.
@@ -70,6 +125,9 @@ pub struct Rule {
     pub paths: Vec<String>,
     /// Globs carved back out of `paths`.
     pub exempt: Vec<String>,
+    /// 1-based line of this rule's `[[rule]]` header in the rules file
+    /// (anchors findings about the config itself, e.g. dead exemptions).
+    pub line: u32,
     /// The check itself.
     pub kind: RuleKind,
 }
@@ -92,12 +150,17 @@ impl Rule {
 pub fn parse_rules(source: &str) -> Result<Vec<Rule>, String> {
     let doc = toml::parse(source)?;
     let tables = doc.tables.get("rule").map(Vec::as_slice).unwrap_or(&[]);
+    let lines = doc
+        .table_lines
+        .get("rule")
+        .map(Vec::as_slice)
+        .unwrap_or(&[]);
     if tables.is_empty() {
         return Err("rules file defines no [[rule]] tables".into());
     }
     let mut rules = Vec::new();
-    for (i, table) in tables.iter().enumerate() {
-        rules.push(parse_rule(table).map_err(|e| format!("[[rule]] #{}: {e}", i + 1))?);
+    for (i, (table, line)) in tables.iter().zip(lines).enumerate() {
+        rules.push(parse_rule(table, *line).map_err(|e| format!("[[rule]] #{}: {e}", i + 1))?);
     }
     let mut ids: Vec<&str> = rules.iter().map(|r| r.id.as_str()).collect();
     ids.sort_unstable();
@@ -115,6 +178,16 @@ fn get_str(table: &Table, key: &str) -> Result<String, String> {
         .as_str()
         .map(str::to_string)
         .ok_or_else(|| format!("key `{key}` must be a string"))
+}
+
+fn opt_str(table: &Table, key: &str, default: &str) -> Result<String, String> {
+    match table.get(key) {
+        None => Ok(default.to_string()),
+        Some(v) => v
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("key `{key}` must be a string")),
+    }
 }
 
 fn get_str_array(table: &Table, key: &str) -> Result<Vec<String>, String> {
@@ -136,6 +209,18 @@ fn opt_str_array(table: &Table, key: &str) -> Result<Vec<String>, String> {
     }
 }
 
+/// Parse an `"a -> b"` edge declaration.
+fn parse_edge(text: &str) -> Result<(String, String), String> {
+    let (a, b) = text
+        .split_once("->")
+        .ok_or_else(|| format!("edge `{text}` must look like \"first -> then\""))?;
+    let (a, b) = (a.trim(), b.trim());
+    if a.is_empty() || b.is_empty() {
+        return Err(format!("edge `{text}` must name both locks"));
+    }
+    Ok((a.to_string(), b.to_string()))
+}
+
 /// Lex a pattern/attribute string into its token texts.
 fn lex_tokens(text: &str) -> Result<Vec<String>, String> {
     let lexed = lexer::lex(text);
@@ -145,7 +230,7 @@ fn lex_tokens(text: &str) -> Result<Vec<String>, String> {
     Ok(lexed.tokens.into_iter().map(|t| t.text).collect())
 }
 
-fn parse_rule(table: &Table) -> Result<Rule, String> {
+fn parse_rule(table: &Table, line: usize) -> Result<Rule, String> {
     let id = get_str(table, "id")?;
     let reason = get_str(table, "reason")?;
     let paths = get_str_array(table, "paths")?;
@@ -181,9 +266,36 @@ fn parse_rule(table: &Table) -> Result<Rule, String> {
                 attr_text,
             }
         }
-        "lock-order" => RuleKind::LockOrder {
-            first: get_str(table, "first")?,
-            then: get_str(table, "then")?,
+        "no-index-hot-path" => RuleKind::NoIndexHotPath,
+        "paired-call" => {
+            let releases = get_str_array(table, "release")?;
+            if releases.is_empty() {
+                return Err("key `release` must name at least one call".into());
+            }
+            RuleKind::PairedCall {
+                acquire: get_str(table, "acquire")?,
+                releases,
+            }
+        }
+        "protocol-conformance" => RuleKind::ProtocolConformance {
+            enum_name: opt_str(table, "enum", "Msg")?,
+            tag_fn: opt_str(table, "tag-fn", "tag")?,
+            decode_fn: opt_str(table, "decode-fn", "decode")?,
+            require_in: if table.get("require-in").is_some() {
+                get_str_array(table, "require-in")?
+            } else {
+                vec!["encode".into(), "encoded_len".into()]
+            },
+        },
+        "lock-order-graph" => RuleKind::LockOrderGraph {
+            declared: opt_str_array(table, "declared")?
+                .iter()
+                .map(|e| parse_edge(e))
+                .collect::<Result<Vec<_>, _>>()?,
+            receivers: opt_str_array(table, "receivers")?,
+        },
+        "telemetry-registry" => RuleKind::TelemetryRegistry {
+            registry: get_str(table, "registry")?,
         },
         other => return Err(format!("unknown rule kind `{other}`")),
     };
@@ -192,6 +304,7 @@ fn parse_rule(table: &Table) -> Result<Rule, String> {
         reason,
         paths,
         exempt,
+        line: line as u32,
         kind,
     })
 }
@@ -227,15 +340,41 @@ paths = ["*/src/lib.rs"]
 
 [[rule]]
 id = "d"
-kind = "lock-order"
-first = "cache"
-then = "touches"
+kind = "lock-order-graph"
+declared = ["cache -> touches"]
+reason = "r"
+paths = ["**"]
+
+[[rule]]
+id = "e"
+kind = "no-index-hot-path"
+reason = "r"
+paths = ["**"]
+
+[[rule]]
+id = "f"
+kind = "paired-call"
+acquire = "offer"
+release = ["release", "note_shed"]
+reason = "r"
+paths = ["**"]
+
+[[rule]]
+id = "g"
+kind = "protocol-conformance"
+reason = "r"
+paths = ["src/protocol.rs"]
+
+[[rule]]
+id = "h"
+kind = "telemetry-registry"
+registry = "analyze/telemetry.toml"
 reason = "r"
 paths = ["**"]
 "#,
         )
         .unwrap();
-        assert_eq!(rules.len(), 4);
+        assert_eq!(rules.len(), 8);
         assert_eq!(
             rules[0].kind,
             RuleKind::ForbiddenPath {
@@ -252,6 +391,25 @@ paths = ["**"]
             matches!(&rules[2].kind, RuleKind::CrateAttr { attr_tokens, .. }
             if attr_tokens == &["forbid", "(", "unsafe_code", ")"])
         );
+        assert!(
+            matches!(&rules[3].kind, RuleKind::LockOrderGraph { declared, .. }
+            if declared == &[("cache".to_string(), "touches".to_string())])
+        );
+        assert!(rules[3].kind.is_workspace());
+        assert!(!rules[4].kind.is_workspace());
+        assert!(
+            matches!(&rules[5].kind, RuleKind::PairedCall { acquire, releases }
+            if acquire == "offer" && releases.len() == 2)
+        );
+        assert!(
+            matches!(&rules[6].kind, RuleKind::ProtocolConformance { enum_name, tag_fn, decode_fn, require_in }
+            if enum_name == "Msg" && tag_fn == "tag" && decode_fn == "decode"
+                && require_in == &["encode", "encoded_len"])
+        );
+        assert!(rules[7].kind.is_workspace());
+        // Header lines anchor config-level findings.
+        assert_eq!(rules[0].line, 2);
+        assert!(rules[1].line > rules[0].line);
     }
 
     #[test]
@@ -268,5 +426,17 @@ paths = ["**"]
         )
         .unwrap_err();
         assert!(err.contains("duplicate"), "{err}");
+        let err = parse_rules(
+            "[[rule]]\nid = \"x\"\nkind = \"lock-order-graph\"\ndeclared = [\"oops\"]\n\
+             reason = \"r\"\npaths = [\"**\"]",
+        )
+        .unwrap_err();
+        assert!(err.contains("first -> then"), "{err}");
+        let err = parse_rules(
+            "[[rule]]\nid = \"x\"\nkind = \"paired-call\"\nacquire = \"a\"\nrelease = []\n\
+             reason = \"r\"\npaths = [\"**\"]",
+        )
+        .unwrap_err();
+        assert!(err.contains("at least one"), "{err}");
     }
 }

@@ -1,0 +1,558 @@
+//! Protocol-conformance: a semantic pass over the wire-protocol file.
+//!
+//! The `Msg` enum, its `tag()` map, `decode()`'s tag match, and the
+//! encode-side functions are four hand-maintained views of the same wire
+//! contract; tags 13–15 were appended by hand in later PRs and a single
+//! typo there is a silent cross-version corruption bug. This pass parses
+//! all four from tokens and checks:
+//!
+//! * every variant is assigned a tag, tags are unique, and the tag space
+//!   is dense (`0..n` with no gaps — a gap means a reserved value nobody
+//!   remembers);
+//! * every `tag()` entry has a `decode()` arm constructing the *same*
+//!   variant, and decode has no arms for unknown tags;
+//! * every variant appears in each `require-in` function (`encode`,
+//!   `encoded_len`, …) — a new variant that misses one of them would
+//!   otherwise only fail at runtime.
+//!
+//! Anything the parser cannot recognise (no enum, no tag fn, an arm
+//! without a constructed variant) is itself a loud finding, never a
+//! silent skip.
+
+use std::collections::BTreeMap;
+
+use crate::checks::{fn_spans, is_ident};
+use crate::lexer::Token;
+use crate::rules::Rule;
+use crate::Finding;
+
+/// A parsed enum variant: name plus declaration line.
+struct Variant {
+    name: String,
+    line: u32,
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn protocol_conformance(
+    rule: &Rule,
+    rel_path: &str,
+    tokens: &[Token],
+    enum_name: &str,
+    tag_fn: &str,
+    decode_fn: &str,
+    require_in: &[String],
+    out: &mut Vec<Finding>,
+) {
+    let push = |out: &mut Vec<Finding>, line: u32, message: String| {
+        out.push(Finding {
+            file: rel_path.to_string(),
+            line,
+            rule: rule.id.clone(),
+            message,
+        });
+    };
+
+    let Some(variants) = enum_variants(tokens, enum_name) else {
+        push(
+            out,
+            1,
+            format!("enum `{enum_name}` not found: {}", rule.reason),
+        );
+        return;
+    };
+    let spans = fn_spans(tokens);
+    let body_of = |name: &str| -> Vec<(usize, usize)> {
+        spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| (s.body, s.end))
+            .collect()
+    };
+
+    // --- tag() map: variant -> tag ---------------------------------------
+    let tag_bodies = body_of(tag_fn);
+    if tag_bodies.is_empty() {
+        push(out, 1, format!("fn `{tag_fn}` not found: {}", rule.reason));
+        return;
+    }
+    let mut tags: BTreeMap<String, (u64, u32)> = BTreeMap::new();
+    for &(body, end) in &tag_bodies {
+        for (variant, tag, line) in tag_arms(tokens, enum_name, body, end) {
+            if let Some(&(prev, _)) = tags.get(&variant) {
+                if prev != tag {
+                    push(
+                        out,
+                        line,
+                        format!("variant `{variant}` mapped to both tag {prev} and tag {tag}"),
+                    );
+                }
+            } else {
+                tags.insert(variant, (tag, line));
+            }
+        }
+    }
+    for v in &variants {
+        if !tags.contains_key(&v.name) {
+            push(
+                out,
+                v.line,
+                format!("variant `{}` has no arm in fn `{tag_fn}`", v.name),
+            );
+        }
+    }
+    // Unique + dense.
+    let mut by_tag: BTreeMap<u64, Vec<&str>> = BTreeMap::new();
+    for (variant, (tag, _)) in &tags {
+        by_tag.entry(*tag).or_default().push(variant);
+    }
+    for (tag, vs) in &by_tag {
+        if vs.len() > 1 {
+            let line = tags[vs[0]].1;
+            push(
+                out,
+                line,
+                format!(
+                    "wire tag {tag} assigned to multiple variants: {}",
+                    vs.join(", ")
+                ),
+            );
+        }
+    }
+    let expect_dense: Vec<u64> = (0..by_tag.len() as u64).collect();
+    let actual: Vec<u64> = by_tag.keys().copied().collect();
+    if actual != expect_dense {
+        let line = tag_bodies
+            .first()
+            .and_then(|&(b, _)| tokens.get(b))
+            .map_or(1, |t| t.line);
+        push(
+            out,
+            line,
+            format!(
+                "wire tags are not dense 0..{}: got {actual:?}",
+                by_tag.len()
+            ),
+        );
+    }
+
+    // --- decode() arms: tag -> variant ------------------------------------
+    let decode_bodies = body_of(decode_fn);
+    if decode_bodies.is_empty() {
+        push(
+            out,
+            1,
+            format!("fn `{decode_fn}` not found: {}", rule.reason),
+        );
+        return;
+    }
+    let mut decode: BTreeMap<u64, (String, u32)> = BTreeMap::new();
+    for &(body, end) in &decode_bodies {
+        for (tag, variant, line) in decode_arms(tokens, enum_name, body, end, out, rel_path, rule) {
+            decode.entry(tag).or_insert((variant, line));
+        }
+    }
+    for (variant, &(tag, line)) in &tags {
+        match decode.get(&tag) {
+            None => push(
+                out,
+                line,
+                format!("tag {tag} (`{variant}`) has no arm in fn `{decode_fn}`"),
+            ),
+            Some((decoded, dline)) if decoded != variant => push(
+                out,
+                *dline,
+                format!(
+                    "fn `{decode_fn}` arm for tag {tag} constructs `{decoded}` \
+                     but fn `{tag_fn}` assigns that tag to `{variant}`"
+                ),
+            ),
+            Some(_) => {}
+        }
+    }
+    for (tag, (variant, line)) in &decode {
+        if !by_tag.contains_key(tag) {
+            push(
+                out,
+                *line,
+                format!("fn `{decode_fn}` decodes unassigned tag {tag} as `{variant}`"),
+            );
+        }
+    }
+
+    // --- required coverage: every variant in encode/encoded_len/... -------
+    for fn_name in require_in {
+        let bodies = body_of(fn_name);
+        if bodies.is_empty() {
+            push(out, 1, format!("fn `{fn_name}` not found: {}", rule.reason));
+            continue;
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        for &(body, end) in &bodies {
+            let mut i = body;
+            while i + 2 < end.min(tokens.len()) {
+                if tokens[i].text == enum_name
+                    && tokens[i + 1].text == "::"
+                    && is_ident(&tokens[i + 2])
+                {
+                    seen.push(tokens[i + 2].text.as_str());
+                }
+                i += 1;
+            }
+        }
+        for v in &variants {
+            if !seen.contains(&v.name.as_str()) {
+                push(
+                    out,
+                    v.line,
+                    format!("variant `{}` is not handled in fn `{fn_name}`", v.name),
+                );
+            }
+        }
+    }
+}
+
+/// Variant names (with lines) of `enum <name> { ... }`; `None` if the
+/// enum is absent.
+fn enum_variants(tokens: &[Token], enum_name: &str) -> Option<Vec<Variant>> {
+    let mut at = None;
+    for i in 0..tokens.len().saturating_sub(1) {
+        if tokens[i].text == "enum" && tokens[i + 1].text == enum_name {
+            at = Some(i);
+            break;
+        }
+    }
+    let start = at?;
+    let body = (start..tokens.len()).find(|&i| tokens[i].text == "{")?;
+    let mut variants = Vec::new();
+    let mut i = body + 1;
+    let mut depth = 1usize;
+    while i < tokens.len() && depth > 0 {
+        let t = &tokens[i];
+        match t.text.as_str() {
+            "}" => {
+                depth -= 1;
+                i += 1;
+            }
+            // Attributes on variants: skip to the matching `]`.
+            "#" if tokens.get(i + 1).map(|t| t.text.as_str()) == Some("[") => {
+                let mut d = 1usize;
+                i += 2;
+                while i < tokens.len() && d > 0 {
+                    match tokens[i].text.as_str() {
+                        "[" => d += 1,
+                        "]" => d -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ if is_ident(t) => {
+                variants.push(Variant {
+                    name: t.text.clone(),
+                    line: t.line,
+                });
+                // Skip the payload/discriminant through the variant's
+                // trailing comma at enum-body depth.
+                let mut d = 0usize;
+                i += 1;
+                while i < tokens.len() {
+                    match tokens[i].text.as_str() {
+                        "{" | "(" | "[" => d += 1,
+                        ")" | "]" => d = d.saturating_sub(1),
+                        "}" => {
+                            if d == 0 {
+                                break; // enum body closes
+                            }
+                            d -= 1;
+                        }
+                        "," if d == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    Some(variants)
+}
+
+/// `(variant, tag, line)` triples from a `tag()`-style body: arms whose
+/// pattern mentions `Enum::Variant` (or-patterns allowed) and whose arm
+/// value is a bare integer literal.
+fn tag_arms(tokens: &[Token], enum_name: &str, body: usize, end: usize) -> Vec<(String, u64, u32)> {
+    let mut out = Vec::new();
+    let mut pending: Vec<(String, u32)> = Vec::new();
+    let mut i = body;
+    let end = end.min(tokens.len());
+    while i < end {
+        if tokens[i].text == enum_name
+            && tokens.get(i + 1).map(|t| t.text.as_str()) == Some("::")
+            && tokens.get(i + 2).is_some_and(is_ident)
+        {
+            pending.push((tokens[i + 2].text.clone(), tokens[i + 2].line));
+            i += 3;
+            continue;
+        }
+        if tokens[i].text == "=" && tokens.get(i + 1).map(|t| t.text.as_str()) == Some(">") {
+            if let Some(tag) = tokens.get(i + 2).and_then(|t| t.text.parse::<u64>().ok()) {
+                for (variant, line) in pending.drain(..) {
+                    out.push((variant, tag, line));
+                }
+            } else {
+                pending.clear();
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `(tag, variant, line)` triples from a `decode()`-style body: the
+/// integer-pattern arms at the top level of the body's outer `match`;
+/// the constructed variant is the first `Enum::Variant` before the next
+/// such arm. An int arm that constructs nothing is a loud finding.
+#[allow(clippy::too_many_arguments)]
+fn decode_arms(
+    tokens: &[Token],
+    enum_name: &str,
+    body: usize,
+    end: usize,
+    findings: &mut Vec<Finding>,
+    rel_path: &str,
+    rule: &Rule,
+) -> Vec<(u64, String, u32)> {
+    let end = end.min(tokens.len());
+    // The decode body's outer `match`: its top-level integer patterns are
+    // the wire-tag arms. Nested matches (optional sub-fields decode with
+    // the same `N =>` shape) sit at deeper brace depth and are skipped.
+    let mut open = None;
+    let mut i = body;
+    'find: while i < end {
+        if tokens[i].text == "match" {
+            let mut d = 0i32;
+            let mut j = i + 1;
+            while j < end {
+                match tokens[j].text.as_str() {
+                    "(" | "[" => d += 1,
+                    ")" | "]" => d -= 1,
+                    "{" if d == 0 => {
+                        open = Some(j);
+                        break 'find;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    let Some(open) = open else {
+        findings.push(Finding {
+            file: rel_path.to_string(),
+            line: tokens.get(body).map_or(1, |t| t.line),
+            rule: rule.id.clone(),
+            message: "decode fn body contains no `match`".to_string(),
+        });
+        return Vec::new();
+    };
+    let mut arms: Vec<(usize, u64)> = Vec::new();
+    let mut close = end;
+    let mut d = 0i32;
+    let mut i = open + 1;
+    while i < end {
+        match tokens[i].text.as_str() {
+            "{" | "(" | "[" => d += 1,
+            ")" | "]" => d -= 1,
+            "}" => {
+                if d == 0 {
+                    close = i;
+                    break;
+                }
+                d -= 1;
+            }
+            _ => {
+                if d == 0
+                    && tokens[i].literal.is_none()
+                    && tokens.get(i + 1).map(|t| t.text.as_str()) == Some("=")
+                    && tokens.get(i + 2).map(|t| t.text.as_str()) == Some(">")
+                {
+                    if let Ok(tag) = tokens[i].text.parse::<u64>() {
+                        arms.push((i, tag));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    let mut out = Vec::new();
+    for (k, &(at, tag)) in arms.iter().enumerate() {
+        let stop = arms.get(k + 1).map_or(close, |&(next, _)| next);
+        let mut variant = None;
+        let mut i = at + 3;
+        while i + 2 < stop {
+            if tokens[i].text == enum_name && tokens[i + 1].text == "::" && is_ident(&tokens[i + 2])
+            {
+                variant = Some((tokens[i + 2].text.clone(), tokens[i + 2].line));
+                break;
+            }
+            i += 1;
+        }
+        match variant {
+            Some((name, line)) => out.push((tag, name, line)),
+            None => findings.push(Finding {
+                file: rel_path.to_string(),
+                line: tokens[at].line,
+                rule: rule.id.clone(),
+                message: format!("decode arm for tag {tag} constructs no `{enum_name}` variant"),
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lexer::lex;
+    use crate::rules::parse_rules;
+
+    const RULES: &str = r#"
+[[rule]]
+id = "proto"
+kind = "protocol-conformance"
+enum = "Msg"
+require-in = ["encode"]
+reason = "r"
+paths = ["**"]
+"#;
+
+    fn check(code: &str) -> Vec<(u32, String)> {
+        let rules = parse_rules(RULES).unwrap();
+        let lexed = lex(code);
+        let mut out = Vec::new();
+        crate::checks::run_rule(&rules[0], "p.rs", &lexed, &mut out);
+        out.into_iter().map(|f| (f.line, f.message)).collect()
+    }
+
+    const GOOD: &str = "\
+pub enum Msg {
+    Hello { proto: u8 },
+    Data(Vec<u8>),
+    Bye,
+}
+impl Msg {
+    fn tag(&self) -> u8 {
+        match self {
+            Msg::Hello { .. } => 0,
+            Msg::Data { .. } => 1,
+            Msg::Bye => 2,
+        }
+    }
+    fn encode(&self) {
+        match self {
+            Msg::Hello { .. } | Msg::Data { .. } => {}
+            Msg::Bye => {}
+        }
+    }
+    fn decode(tag: u8) -> Result<Msg, E> {
+        Ok(match tag {
+            0 => Msg::Hello { proto: 1 },
+            1 => {
+                let v = Vec::new();
+                Msg::Data(v)
+            }
+            2 => Msg::Bye,
+            t => return Err(E::BadTag(t)),
+        })
+    }
+}
+";
+
+    #[test]
+    fn conformant_protocol_is_clean() {
+        assert_eq!(check(GOOD), []);
+    }
+
+    #[test]
+    fn missing_tag_arm_and_encode_coverage_flagged() {
+        let code = GOOD.replace("Msg::Bye => 2,", "");
+        let got = check(&code);
+        assert!(
+            got.iter().any(|(_, m)| m.contains("no arm in fn `tag`")),
+            "{got:?}"
+        );
+        let code = GOOD.replace("| Msg::Data { .. } ", "");
+        let got = check(&code);
+        assert!(
+            got.iter()
+                .any(|(_, m)| m.contains("not handled in fn `encode`")),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_and_sparse_tags_flagged() {
+        let code = GOOD.replace("Msg::Bye => 2,", "Msg::Bye => 1,");
+        let got = check(&code);
+        assert!(
+            got.iter().any(|(_, m)| m.contains("multiple variants")),
+            "{got:?}"
+        );
+        let code = GOOD
+            .replace("Msg::Bye => 2,", "Msg::Bye => 7,")
+            .replace("2 => Msg::Bye,", "7 => Msg::Bye,");
+        let got = check(&code);
+        assert!(got.iter().any(|(_, m)| m.contains("not dense")), "{got:?}");
+    }
+
+    #[test]
+    fn decode_mismatches_flagged() {
+        // Arm decodes the wrong variant for the tag.
+        let code = GOOD.replace("2 => Msg::Bye,", "2 => Msg::Hello { proto: 2 },");
+        let got = check(&code);
+        assert!(
+            got.iter().any(|(_, m)| m.contains("constructs `Hello`")),
+            "{got:?}"
+        );
+        // Arm for a tag nobody assigns.
+        let code = GOOD.replace("2 => Msg::Bye,", "2 => Msg::Bye,\n9 => Msg::Bye,");
+        let got = check(&code);
+        assert!(
+            got.iter().any(|(_, m)| m.contains("unassigned tag 9")),
+            "{got:?}"
+        );
+        // Missing decode arm entirely.
+        let code = GOOD.replace("2 => Msg::Bye,", "");
+        let got = check(&code);
+        assert!(
+            got.iter().any(|(_, m)| m.contains("no arm in fn `decode`")),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn nested_match_arms_are_not_decode_arms() {
+        // An optional sub-field decodes with its own `0 => / 1 =>` match
+        // inside tag 0's block arm — those must not read as wire tags.
+        let code = GOOD.replace(
+            "0 => Msg::Hello { proto: 1 },",
+            "0 => {\n                let p = match flag {\n                    0 => 1,\n                    1 => 2,\n                    t => return Err(E::BadTag(t)),\n                };\n                Msg::Hello { proto: p }\n            }",
+        );
+        assert_eq!(check(&code), []);
+    }
+
+    #[test]
+    fn absent_pieces_are_loud() {
+        let got = check("fn unrelated() {}");
+        assert!(
+            got.iter().any(|(_, m)| m.contains("enum `Msg` not found")),
+            "{got:?}"
+        );
+    }
+}

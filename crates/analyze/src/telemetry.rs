@@ -1,0 +1,433 @@
+//! Telemetry-registry: every counter/gauge/histogram/event name literal
+//! in the workspace must be declared once in a checked-in registry
+//! (`analyze/telemetry.toml`), declarations must be live, and declared
+//! counter↔event pairs must be bumped and emitted from the same files.
+//!
+//! This is the PR 8 drift class made structural: `cluster.peer_probe`
+//! was counted in one place and its `decision.peer_probe` trace event
+//! emitted in another, and the two silently disagreed. With the
+//! registry, adding a telemetry name without declaring it fails the
+//! lint, deleting the last use of a declared name fails the lint, and a
+//! file that bumps a paired counter without emitting its event (or vice
+//! versa) fails the lint at the drifting site.
+
+use std::collections::BTreeSet;
+
+use crate::checks::test_spans;
+use crate::lexer::Lexed;
+use crate::rules::Rule;
+use crate::toml;
+use crate::Finding;
+
+/// One `[[metric]]` declaration.
+#[derive(Debug)]
+pub(crate) struct MetricDecl {
+    pub name: String,
+    /// `counter` / `gauge` / `hist` / `event` — documentation plus a
+    /// guard against declaring the same name twice with different kinds.
+    pub kind: String,
+    /// Paired trace-event name (counters only).
+    pub event: Option<String>,
+    /// The bump method whose call marks a file as counting this metric.
+    pub via: Option<String>,
+    /// Files exempt from the pair check (policy layers that count where
+    /// no driver event exists; the trace verifier covers them at runtime).
+    pub pair_exempt: Vec<String>,
+    /// Name is constructed at runtime (format strings); skip liveness.
+    pub dynamic: bool,
+    /// Header line in the registry file.
+    pub line: u32,
+}
+
+/// The parsed registry file.
+#[derive(Debug)]
+pub(crate) struct Registry {
+    pub prefixes: Vec<String>,
+    pub metrics: Vec<MetricDecl>,
+}
+
+pub(crate) fn parse_registry(source: &str) -> Result<Registry, String> {
+    let doc = toml::parse(source)?;
+    let prefixes = doc
+        .root
+        .get("prefixes")
+        .and_then(toml::Value::as_str_array)
+        .map(<[String]>::to_vec)
+        .ok_or("registry must declare a top-level `prefixes` string array")?;
+    if prefixes.is_empty() {
+        return Err("`prefixes` must not be empty".into());
+    }
+    let tables = doc.tables.get("metric").map(Vec::as_slice).unwrap_or(&[]);
+    let lines = doc
+        .table_lines
+        .get("metric")
+        .map(Vec::as_slice)
+        .unwrap_or(&[]);
+    let mut metrics = Vec::new();
+    let mut seen = BTreeSet::new();
+    for (i, (table, line)) in tables.iter().zip(lines).enumerate() {
+        let context = |e: String| format!("[[metric]] #{}: {e}", i + 1);
+        let name = table
+            .get("name")
+            .and_then(toml::Value::as_str)
+            .ok_or_else(|| context("missing string key `name`".into()))?
+            .to_string();
+        if !seen.insert(name.clone()) {
+            return Err(context(format!("duplicate declaration of `{name}`")));
+        }
+        let kind = table
+            .get("kind")
+            .and_then(toml::Value::as_str)
+            .ok_or_else(|| context("missing string key `kind`".into()))?
+            .to_string();
+        if !["counter", "gauge", "hist", "event"].contains(&kind.as_str()) {
+            return Err(context(format!("unknown metric kind `{kind}`")));
+        }
+        let event = table
+            .get("event")
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| context("key `event` must be a string".into()))
+            })
+            .transpose()?;
+        let via = table
+            .get("via")
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| context("key `via` must be a string".into()))
+            })
+            .transpose()?;
+        if event.is_some() != via.is_some() {
+            return Err(context(format!(
+                "`{name}`: `event` and `via` must be declared together"
+            )));
+        }
+        let pair_exempt = match table.get("pair-exempt") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_str_array()
+                .map(<[String]>::to_vec)
+                .ok_or_else(|| context("key `pair-exempt` must be a string array".into()))?,
+        };
+        let dynamic = match table.get("dynamic") {
+            None => false,
+            Some(toml::Value::Bool(b)) => *b,
+            Some(_) => return Err(context("key `dynamic` must be a boolean".into())),
+        };
+        metrics.push(MetricDecl {
+            name,
+            kind,
+            event,
+            via,
+            pair_exempt,
+            dynamic,
+            line: *line as u32,
+        });
+    }
+    if metrics.is_empty() {
+        return Err("registry declares no [[metric]] tables".into());
+    }
+    Ok(Registry { prefixes, metrics })
+}
+
+/// Is this string literal shaped like a telemetry name under a declared
+/// prefix? (`cluster.peer_probe`: dotted, lowercase word segments.)
+fn is_telemetry_name(text: &str, prefixes: &[String]) -> bool {
+    let mut segments = text.split('.');
+    let Some(first) = segments.next() else {
+        return false;
+    };
+    if !prefixes.iter().any(|p| p == first) {
+        return false;
+    }
+    let mut rest = 0usize;
+    for seg in segments {
+        if seg.is_empty()
+            || !seg
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            return false;
+        }
+        rest += 1;
+    }
+    rest > 0
+}
+
+/// Run the registry pass over the matched files.
+pub(crate) fn run(
+    rule: &Rule,
+    registry: &Registry,
+    registry_rel: &str,
+    files: &[(&str, &Lexed)],
+    out: &mut Vec<Finding>,
+) {
+    let declared: BTreeSet<&str> = registry.metrics.iter().map(|m| m.name.as_str()).collect();
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+
+    for (rel, lexed) in files {
+        let tokens = &lexed.tokens;
+        let tests = test_spans(tokens);
+        let in_test = |idx: usize| tests.iter().any(|&(s, e)| idx >= s && idx < e);
+        for (at, tok) in tokens.iter().enumerate() {
+            let Some(content) = tok.literal.as_deref() else {
+                continue;
+            };
+            if declared.contains(content) {
+                used.insert(
+                    registry
+                        .metrics
+                        .iter()
+                        .find(|m| m.name == content)
+                        .expect("declared")
+                        .name
+                        .as_str(),
+                );
+                continue;
+            }
+            if !in_test(at) && is_telemetry_name(content, &registry.prefixes) {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: tok.line,
+                    rule: rule.id.clone(),
+                    message: format!(
+                        "telemetry name `{content}` is not declared in {registry_rel}: {}",
+                        rule.reason
+                    ),
+                });
+            }
+        }
+    }
+
+    // Liveness: a declaration nothing references is a registry that has
+    // drifted from the code — as dangerous as the reverse.
+    for m in &registry.metrics {
+        if !m.dynamic && !used.contains(m.name.as_str()) {
+            out.push(Finding {
+                file: registry_rel.to_string(),
+                line: m.line,
+                rule: rule.id.clone(),
+                message: format!(
+                    "declared {} `{}` is never referenced by any matched file \
+                     (remove it or mark it `dynamic = true`)",
+                    m.kind, m.name
+                ),
+            });
+        }
+    }
+
+    // Pair drift: a file bumping the counter must emit the event, and a
+    // file emitting the event must bump the counter.
+    for m in &registry.metrics {
+        let (Some(event), Some(via)) = (m.event.as_deref(), m.via.as_deref()) else {
+            continue;
+        };
+        for (rel, lexed) in files {
+            if m.pair_exempt
+                .iter()
+                .any(|g| crate::glob::glob_match(g, rel))
+            {
+                continue;
+            }
+            let tokens = &lexed.tokens;
+            // The file defining the bump method is the stats layer, not a
+            // call site.
+            let defines = tokens
+                .windows(2)
+                .any(|w| w[0].text == "fn" && w[1].text == via);
+            if defines {
+                continue;
+            }
+            let tests = test_spans(tokens);
+            let in_test = |idx: usize| tests.iter().any(|&(s, e)| idx >= s && idx < e);
+            let mut bump: Option<u32> = None;
+            let mut emit: Option<u32> = None;
+            for at in 0..tokens.len() {
+                if in_test(at) {
+                    continue;
+                }
+                let t = &tokens[at];
+                if t.text == via
+                    && at > 0
+                    && tokens[at - 1].text == "."
+                    && tokens.get(at + 1).map(|t| t.text.as_str()) == Some("(")
+                {
+                    bump.get_or_insert(t.line);
+                }
+                if t.literal.as_deref() == Some(event) {
+                    emit.get_or_insert(t.line);
+                }
+            }
+            match (bump, emit) {
+                (Some(line), None) => out.push(Finding {
+                    file: rel.to_string(),
+                    line,
+                    rule: rule.id.clone(),
+                    message: format!(
+                        "`{}` bumped via `.{via}()` but its paired event `{event}` \
+                         is never emitted in this file: {}",
+                        m.name, rule.reason
+                    ),
+                }),
+                (None, Some(line)) => out.push(Finding {
+                    file: rel.to_string(),
+                    line,
+                    rule: rule.id.clone(),
+                    message: format!(
+                        "event `{event}` emitted but its paired counter `{}` \
+                         is never bumped via `.{via}()` in this file: {}",
+                        m.name, rule.reason
+                    ),
+                }),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::parse_rules;
+
+    const REGISTRY: &str = r#"
+version = 1
+prefixes = ["cluster", "decision"]
+
+[[metric]]
+name = "cluster.peer_probe"
+kind = "counter"
+event = "decision.peer_probe"
+via = "count_probe"
+
+[[metric]]
+name = "decision.peer_probe"
+kind = "event"
+
+[[metric]]
+name = "cluster.dyn_family"
+kind = "counter"
+dynamic = true
+"#;
+
+    fn rule() -> Rule {
+        parse_rules(
+            "[[rule]]\nid = \"telemetry\"\nkind = \"telemetry-registry\"\n\
+             registry = \"analyze/telemetry.toml\"\nreason = \"r\"\npaths = [\"**\"]",
+        )
+        .unwrap()
+        .remove(0)
+    }
+
+    fn check(files: &[(&str, &str)]) -> Vec<(String, u32, String)> {
+        let registry = parse_registry(REGISTRY).unwrap();
+        let lexed: Vec<_> = files.iter().map(|(p, s)| (*p, lex(s))).collect();
+        let refs: Vec<(&str, &Lexed)> = lexed.iter().map(|(p, l)| (*p, l)).collect();
+        let mut out = Vec::new();
+        run(
+            &rule(),
+            &registry,
+            "analyze/telemetry.toml",
+            &refs,
+            &mut out,
+        );
+        out.into_iter()
+            .map(|f| (f.file, f.line, f.message))
+            .collect()
+    }
+
+    #[test]
+    fn declared_and_paired_usage_is_clean() {
+        let src = "\
+fn probe(&mut self) {
+    self.stats.count_probe();
+    self.tel.event(\"decision.peer_probe\");
+}
+fn publish(&self) { reg.counter_add(\"cluster.peer_probe\", n); }
+";
+        assert_eq!(check(&[("a.rs", src)]), []);
+    }
+
+    #[test]
+    fn undeclared_name_is_flagged_but_prose_is_not() {
+        let src = "\
+fn f(&self) { self.tel.event(\"decision.peer_vanish\"); }
+fn g(&self) { log(\"cluster probe failed\"); }
+fn h(&self) { log(\"unrelated.dotted.name\"); }
+";
+        // Keep the declared names referenced so liveness stays quiet.
+        let uses = "fn u() { e(\"decision.peer_probe\"); c(\"cluster.peer_probe\"); \
+                    b.count_probe(); }";
+        let got = check(&[("a.rs", src), ("b.rs", uses)]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].2.contains("`decision.peer_vanish`"), "{got:?}");
+        assert_eq!(got[0].1, 1);
+    }
+
+    #[test]
+    fn dead_declarations_are_flagged_at_the_registry_line() {
+        let got = check(&[("a.rs", "fn f() {}")]);
+        // Both non-dynamic declarations are dead; the dynamic one is not.
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert!(got.iter().all(|(f, _, _)| f == "analyze/telemetry.toml"));
+        assert!(got.iter().any(|(_, _, m)| m.contains("cluster.peer_probe")));
+        assert!(!got.iter().any(|(_, _, m)| m.contains("dyn_family")));
+    }
+
+    #[test]
+    fn pair_drift_is_flagged_in_both_directions() {
+        let bump_only = "fn f(&mut self) { self.stats.count_probe(); }";
+        let emit_only = "fn g(&self) { self.tel.event(\"decision.peer_probe\"); }";
+        let uses = "fn u() { c(\"cluster.peer_probe\"); }";
+        let got = check(&[
+            ("bump.rs", bump_only),
+            ("emit.rs", emit_only),
+            ("u.rs", uses),
+        ]);
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert!(got
+            .iter()
+            .any(|(f, _, m)| f == "bump.rs" && m.contains("never emitted")));
+        assert!(got
+            .iter()
+            .any(|(f, _, m)| f == "emit.rs" && m.contains("never bumped")));
+    }
+
+    #[test]
+    fn stats_definitions_and_tests_are_exempt_from_pairing() {
+        let defs = "\
+impl Stats { pub fn count_probe(&self) { self.n.fetch_add(1, O); } }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { s.count_probe(); }
+}
+";
+        let uses = "fn u() { c(\"cluster.peer_probe\"); e(\"decision.peer_probe\"); \
+                    b.count_probe(); }";
+        assert_eq!(check(&[("stats.rs", defs), ("u.rs", uses)]), []);
+    }
+
+    #[test]
+    fn registry_schema_is_strict() {
+        assert!(parse_registry("prefixes = []").is_err());
+        let err =
+            parse_registry("prefixes = [\"a\"]\n[[metric]]\nname = \"a.b\"\nkind = \"countr\"")
+                .unwrap_err();
+        assert!(err.contains("unknown metric kind"), "{err}");
+        let err = parse_registry(
+            "prefixes = [\"a\"]\n[[metric]]\nname = \"a.b\"\nkind = \"counter\"\nvia = \"c\"",
+        )
+        .unwrap_err();
+        assert!(err.contains("together"), "{err}");
+        let err = parse_registry(
+            "prefixes = [\"a\"]\n[[metric]]\nname = \"a.b\"\nkind = \"counter\"\n\
+             [[metric]]\nname = \"a.b\"\nkind = \"event\"",
+        )
+        .unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+}

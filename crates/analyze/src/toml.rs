@@ -49,6 +49,23 @@ pub struct Document {
     pub root: Table,
     /// Tables by header name, in file order per name.
     pub tables: BTreeMap<String, Vec<Table>>,
+    /// 1-based header line of each table, parallel to `tables` — the
+    /// semantic passes anchor findings about a config table (a dead
+    /// exemption, an unused telemetry declaration) at its header.
+    pub table_lines: BTreeMap<String, Vec<usize>>,
+}
+
+impl Document {
+    fn push_table(&mut self, name: &str, lineno: usize) {
+        self.tables
+            .entry(name.to_string())
+            .or_default()
+            .push(Table::new());
+        self.table_lines
+            .entry(name.to_string())
+            .or_default()
+            .push(lineno);
+    }
 }
 
 /// Parse `source`; errors carry the 1-based line number.
@@ -58,17 +75,11 @@ pub fn parse(source: &str) -> Result<Document, String> {
     for (lineno, line) in logical_lines(source) {
         if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
             let name = header.trim().to_string();
-            doc.tables
-                .entry(name.clone())
-                .or_default()
-                .push(Table::new());
+            doc.push_table(&name, lineno);
             current = Some(name);
         } else if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
             let name = header.trim().to_string();
-            doc.tables
-                .entry(name.clone())
-                .or_default()
-                .push(Table::new());
+            doc.push_table(&name, lineno);
             current = Some(name);
         } else {
             let (key, value) = line
@@ -241,6 +252,12 @@ enabled = false
             ["a/**", "b/*.rs"]
         );
         assert_eq!(rule.get("next"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn table_header_lines_are_recorded() {
+        let doc = parse("version = 1\n[[rule]]\nid = \"a\"\n\n[[rule]]\nid = \"b\"").unwrap();
+        assert_eq!(doc.table_lines["rule"], [2, 5]);
     }
 
     #[test]

@@ -1,0 +1,852 @@
+//! `coic analyze trace`: a declarative invariant verifier over the
+//! decision-trace JSONL and metrics snapshot a seeded run exports.
+//!
+//! Static analysis proves source-level pairing; this closes the loop at
+//! runtime: every probe reaches a terminal outcome, every `cluster.*`
+//! counter equals its event count, breaker transitions follow the legal
+//! state machine, and a downed edge stays silent. Invariants live in a
+//! checked-in TOML (`analyze/trace_invariants.toml`) so CI and local
+//! runs verify the same contract.
+//!
+//! Invariant kinds:
+//! * `monotonic-time` — event timestamps never decrease (the exporter
+//!   appends in virtual-time order; a regression means interleaved or
+//!   corrupted logs).
+//! * `requires-followup` — every `trigger` event group (by `key` fields)
+//!   is followed by at least one of `followup` with the same key; an
+//!   optional `unless`/`unless-key` marker (e.g. `edge.down`) excuses
+//!   groups whose emitter crashed mid-flight.
+//! * `counter-equals-events` — a metrics counter equals the count of a
+//!   trace event.
+//! * `legal-transitions` — per `key` group, `from`/`to` fields follow
+//!   `legal` edges, continuously from `initial` (config may allow
+//!   `implicit` hops that happen without an event, e.g. the silent
+//!   half-opening of a cooled breaker).
+//! * `counter-equals-transitions` — a counter equals the count of
+//!   transition events whose `(from, to)` is in `pairs`.
+//! * `quiet-after` — after a `marker` event for a `key` group, no
+//!   further events mention that group.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use crate::json::{self, Json};
+use crate::toml::{self, Table};
+
+/// One declared invariant.
+#[derive(Debug)]
+pub struct Invariant {
+    /// Cited in the verifier's output.
+    pub id: String,
+    kind: InvKind,
+}
+
+#[derive(Debug)]
+enum InvKind {
+    MonotonicTime,
+    RequiresFollowup {
+        trigger: String,
+        followups: Vec<String>,
+        key: Vec<String>,
+        /// `(marker event, marker key fields)`: a trigger group is excused
+        /// when a marker exists whose key matches the trigger's same
+        /// fields (a crashed edge legitimately never settles its probes).
+        unless: Option<(String, Vec<String>)>,
+    },
+    CounterEqualsEvents {
+        counter: String,
+        event: String,
+    },
+    LegalTransitions {
+        event: String,
+        key: Vec<String>,
+        from: String,
+        to: String,
+        initial: String,
+        legal: Vec<(String, String)>,
+        implicit: Vec<(String, String)>,
+    },
+    CounterEqualsTransitions {
+        counter: String,
+        event: String,
+        from: String,
+        to: String,
+        pairs: Vec<(String, String)>,
+    },
+    QuietAfter {
+        marker: String,
+        key: Vec<String>,
+    },
+}
+
+/// One trace record (`enter` / `exit` / `event`).
+#[derive(Debug)]
+struct Ev {
+    t: u64,
+    name: String,
+    is_event: bool,
+    /// Scalar fields, stringified.
+    fields: BTreeMap<String, String>,
+    /// 1-based JSONL line.
+    line: usize,
+}
+
+impl Ev {
+    /// The key tuple for `key` fields; `None` if any field is absent.
+    fn key_tuple(&self, key: &[String]) -> Option<Vec<String>> {
+        key.iter()
+            .map(|k| self.fields.get(k).cloned())
+            .collect::<Option<Vec<_>>>()
+    }
+}
+
+fn show_key(key: &[String], tuple: &[String]) -> String {
+    key.iter()
+        .zip(tuple)
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Parse the invariants file.
+pub fn parse_invariants(source: &str) -> Result<Vec<Invariant>, String> {
+    let doc = toml::parse(source)?;
+    let tables = doc
+        .tables
+        .get("invariant")
+        .map(Vec::as_slice)
+        .unwrap_or(&[]);
+    if tables.is_empty() {
+        return Err("invariants file defines no [[invariant]] tables".into());
+    }
+    let mut out = Vec::new();
+    for (i, table) in tables.iter().enumerate() {
+        out.push(parse_invariant(table).map_err(|e| format!("[[invariant]] #{}: {e}", i + 1))?);
+    }
+    let mut ids: Vec<&str> = out.iter().map(|inv| inv.id.as_str()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.len() != out.len() {
+        return Err("duplicate invariant ids".into());
+    }
+    Ok(out)
+}
+
+fn get_str(table: &Table, key: &str) -> Result<String, String> {
+    table
+        .get(key)
+        .ok_or_else(|| format!("missing key `{key}`"))?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("key `{key}` must be a string"))
+}
+
+fn get_str_array(table: &Table, key: &str) -> Result<Vec<String>, String> {
+    table
+        .get(key)
+        .ok_or_else(|| format!("missing key `{key}`"))?
+        .as_str_array()
+        .map(<[String]>::to_vec)
+        .ok_or_else(|| format!("key `{key}` must be an array of strings"))
+}
+
+fn get_pairs(table: &Table, key: &str) -> Result<Vec<(String, String)>, String> {
+    get_str_array(table, key)?
+        .iter()
+        .map(|e| {
+            e.split_once("->")
+                .map(|(a, b)| (a.trim().to_string(), b.trim().to_string()))
+                .filter(|(a, b)| !a.is_empty() && !b.is_empty())
+                .ok_or_else(|| format!("`{e}` must look like \"from -> to\""))
+        })
+        .collect()
+}
+
+fn opt_pairs(table: &Table, key: &str) -> Result<Vec<(String, String)>, String> {
+    if table.get(key).is_none() {
+        return Ok(Vec::new());
+    }
+    get_pairs(table, key)
+}
+
+fn parse_invariant(table: &Table) -> Result<Invariant, String> {
+    let id = get_str(table, "id")?;
+    let kind = match get_str(table, "kind")?.as_str() {
+        "monotonic-time" => InvKind::MonotonicTime,
+        "requires-followup" => InvKind::RequiresFollowup {
+            trigger: get_str(table, "trigger")?,
+            followups: get_str_array(table, "followup")?,
+            key: get_str_array(table, "key")?,
+            unless: match table.get("unless") {
+                None => None,
+                Some(_) => Some((
+                    get_str(table, "unless")?,
+                    get_str_array(table, "unless-key")?,
+                )),
+            },
+        },
+        "counter-equals-events" => InvKind::CounterEqualsEvents {
+            counter: get_str(table, "counter")?,
+            event: get_str(table, "event")?,
+        },
+        "legal-transitions" => InvKind::LegalTransitions {
+            event: get_str(table, "event")?,
+            key: get_str_array(table, "key")?,
+            from: get_str(table, "from")?,
+            to: get_str(table, "to")?,
+            initial: get_str(table, "initial")?,
+            legal: get_pairs(table, "legal")?,
+            implicit: opt_pairs(table, "implicit")?,
+        },
+        "counter-equals-transitions" => InvKind::CounterEqualsTransitions {
+            counter: get_str(table, "counter")?,
+            event: get_str(table, "event")?,
+            from: get_str(table, "from")?,
+            to: get_str(table, "to")?,
+            pairs: get_pairs(table, "pairs")?,
+        },
+        "quiet-after" => InvKind::QuietAfter {
+            marker: get_str(table, "marker")?,
+            key: get_str_array(table, "key")?,
+        },
+        other => return Err(format!("unknown invariant kind `{other}`")),
+    };
+    Ok(Invariant { id, kind })
+}
+
+/// Parse the JSONL trace export.
+fn parse_trace(text: &str) -> Result<Vec<Ev>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let v = json::parse(line).map_err(|e| format!("trace line {lineno}: {e}"))?;
+        let t = v
+            .get("t")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("trace line {lineno}: missing numeric `t`"))?;
+        let kind = v
+            .get("k")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("trace line {lineno}: missing `k`"))?;
+        let name = v
+            .get("n")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("trace line {lineno}: missing `n`"))?;
+        let mut fields = BTreeMap::new();
+        if let Some(Json::Obj(fs)) = v.get("f") {
+            for (k, fv) in fs {
+                if let Some(text) = fv.scalar_text() {
+                    fields.insert(k.clone(), text);
+                }
+            }
+        }
+        out.push(Ev {
+            t,
+            name: name.to_string(),
+            is_event: kind == "event",
+            fields,
+            line: lineno,
+        });
+    }
+    Ok(out)
+}
+
+/// Counter values from the canonical metrics dump (`counter <name> <v>`).
+fn parse_counters(text: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut out = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let Some(rest) = line.strip_prefix("counter ") else {
+            continue;
+        };
+        let (name, value) = rest
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("metrics line {}: malformed counter", idx + 1))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("metrics line {}: bad counter value", idx + 1))?;
+        out.insert(name.to_string(), value);
+    }
+    Ok(out)
+}
+
+/// Evaluate one invariant: `(how many things were checked, violations)`.
+fn eval(inv: &Invariant, events: &[Ev], counters: &BTreeMap<String, u64>) -> (usize, Vec<String>) {
+    let mut v = Vec::new();
+    match &inv.kind {
+        InvKind::MonotonicTime => {
+            let mut prev: Option<(u64, usize)> = None;
+            for ev in events {
+                if let Some((pt, pline)) = prev {
+                    if ev.t < pt {
+                        v.push(format!(
+                            "line {}: t={} goes backwards (line {} had t={})",
+                            ev.line, ev.t, pline, pt
+                        ));
+                    }
+                }
+                prev = Some((ev.t, ev.line));
+            }
+            (events.len(), v)
+        }
+        InvKind::RequiresFollowup {
+            trigger,
+            followups,
+            key,
+            unless,
+        } => {
+            // key tuple -> first trigger event
+            let mut open: BTreeMap<Vec<String>, &Ev> = BTreeMap::new();
+            for ev in events.iter().filter(|e| e.is_event && e.name == *trigger) {
+                match ev.key_tuple(key) {
+                    Some(tuple) => {
+                        open.entry(tuple).or_insert(ev);
+                    }
+                    None => v.push(format!(
+                        "line {}: `{trigger}` is missing key field(s) {key:?}",
+                        ev.line
+                    )),
+                }
+            }
+            let checked = open.len();
+            for ev in events
+                .iter()
+                .filter(|e| e.is_event && followups.contains(&e.name))
+            {
+                if let Some(tuple) = ev.key_tuple(key) {
+                    if let Some(t0) = open.get(&tuple).map(|e| e.t) {
+                        if ev.t >= t0 {
+                            open.remove(&tuple);
+                        }
+                    }
+                }
+            }
+            // A marker (e.g. `edge.down`) excuses groups it matches on the
+            // marker's own key fields: the emitter crashed mid-flight.
+            if let Some((marker, mkey)) = unless {
+                let markers: Vec<Vec<String>> = events
+                    .iter()
+                    .filter(|e| e.is_event && e.name == *marker)
+                    .filter_map(|e| e.key_tuple(mkey))
+                    .collect();
+                open.retain(|_, trig| match trig.key_tuple(mkey) {
+                    Some(t) => !markers.contains(&t),
+                    None => true,
+                });
+            }
+            for (tuple, trig) in open {
+                v.push(format!(
+                    "line {}: `{trigger}` {} never reaches any of {followups:?}",
+                    trig.line,
+                    show_key(key, &tuple)
+                ));
+            }
+            (checked, v)
+        }
+        InvKind::CounterEqualsEvents { counter, event } => {
+            let n = events
+                .iter()
+                .filter(|e| e.is_event && e.name == *event)
+                .count() as u64;
+            let c = counters.get(counter).copied().unwrap_or(0);
+            if n != c {
+                v.push(format!(
+                    "counter `{counter}` = {c} but {n} `{event}` event(s) in the trace"
+                ));
+            }
+            (1, v)
+        }
+        InvKind::LegalTransitions {
+            event,
+            key,
+            from,
+            to,
+            initial,
+            legal,
+            implicit,
+        } => {
+            let mut state: BTreeMap<Vec<String>, String> = BTreeMap::new();
+            let mut checked = 0usize;
+            for ev in events.iter().filter(|e| e.is_event && e.name == *event) {
+                let Some(tuple) = ev.key_tuple(key) else {
+                    v.push(format!(
+                        "line {}: `{event}` is missing key field(s) {key:?}",
+                        ev.line
+                    ));
+                    continue;
+                };
+                let (Some(f), Some(t)) = (ev.fields.get(from), ev.fields.get(to)) else {
+                    v.push(format!(
+                        "line {}: `{event}` is missing `{from}`/`{to}` fields",
+                        ev.line
+                    ));
+                    continue;
+                };
+                checked += 1;
+                let current = state
+                    .get(&tuple)
+                    .cloned()
+                    .unwrap_or_else(|| initial.clone());
+                if *f != current && !implicit.iter().any(|(a, b)| *a == current && b == f) {
+                    v.push(format!(
+                        "line {}: {} was `{current}` but transition starts at `{f}`",
+                        ev.line,
+                        show_key(key, &tuple)
+                    ));
+                }
+                if !legal.iter().any(|(a, b)| a == f && b == t) {
+                    v.push(format!(
+                        "line {}: {} illegal transition `{f}` -> `{t}`",
+                        ev.line,
+                        show_key(key, &tuple)
+                    ));
+                }
+                state.insert(tuple, t.clone());
+            }
+            (checked, v)
+        }
+        InvKind::CounterEqualsTransitions {
+            counter,
+            event,
+            from,
+            to,
+            pairs,
+        } => {
+            let n = events
+                .iter()
+                .filter(|e| e.is_event && e.name == *event)
+                .filter(|e| match (e.fields.get(from), e.fields.get(to)) {
+                    (Some(f), Some(t)) => pairs.iter().any(|(a, b)| a == f && b == t),
+                    _ => false,
+                })
+                .count() as u64;
+            let c = counters.get(counter).copied().unwrap_or(0);
+            if n != c {
+                v.push(format!(
+                    "counter `{counter}` = {c} but {n} `{event}` transition(s) matching {pairs:?}"
+                ));
+            }
+            (1, v)
+        }
+        InvKind::QuietAfter { marker, key } => {
+            let mut downs: BTreeMap<Vec<String>, (u64, usize)> = BTreeMap::new();
+            for ev in events.iter().filter(|e| e.is_event && e.name == *marker) {
+                if let Some(tuple) = ev.key_tuple(key) {
+                    let entry = downs.entry(tuple).or_insert((ev.t, ev.line));
+                    if ev.t < entry.0 {
+                        *entry = (ev.t, ev.line);
+                    }
+                }
+            }
+            for ev in events.iter().filter(|e| e.name != *marker) {
+                let Some(tuple) = ev.key_tuple(key) else {
+                    continue;
+                };
+                if let Some(&(t0, mline)) = downs.get(&tuple) {
+                    if ev.t >= t0 {
+                        v.push(format!(
+                            "line {}: `{}` {} at t={} after `{marker}` (line {mline}, t={t0})",
+                            ev.line,
+                            ev.name,
+                            show_key(key, &tuple),
+                            ev.t
+                        ));
+                    }
+                }
+            }
+            (downs.len(), v)
+        }
+    }
+}
+
+/// Cap per-invariant violation output; totals stay exact.
+const MAX_SHOWN: usize = 8;
+
+/// Verify `trace_path` + `metrics_path` against `invariants_path`,
+/// printing a per-invariant report to `out`. Returns whether the trace
+/// satisfies every invariant; `Err` for unreadable/corrupt inputs.
+pub fn run_trace_check(
+    trace_path: &Path,
+    metrics_path: &Path,
+    invariants_path: &Path,
+    out: &mut dyn fmt::Write,
+) -> Result<bool, String> {
+    let read = |p: &Path| -> Result<String, String> {
+        std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))
+    };
+    let invariants = parse_invariants(&read(invariants_path)?)
+        .map_err(|e| format!("{}: {e}", invariants_path.display()))?;
+    let events =
+        parse_trace(&read(trace_path)?).map_err(|e| format!("{}: {e}", trace_path.display()))?;
+    let counters = parse_counters(&read(metrics_path)?)
+        .map_err(|e| format!("{}: {e}", metrics_path.display()))?;
+
+    let mut total = 0usize;
+    for inv in &invariants {
+        let (checked, violations) = eval(inv, &events, &counters);
+        if violations.is_empty() {
+            writeln!(out, "ok {} ({checked} checked)", inv.id).map_err(|e| e.to_string())?;
+        } else {
+            for violation in violations.iter().take(MAX_SHOWN) {
+                writeln!(out, "violation {}: {violation}", inv.id).map_err(|e| e.to_string())?;
+            }
+            if violations.len() > MAX_SHOWN {
+                writeln!(
+                    out,
+                    "violation {}: ... and {} more",
+                    inv.id,
+                    violations.len() - MAX_SHOWN
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            total += violations.len();
+        }
+    }
+    if total == 0 {
+        writeln!(
+            out,
+            "trace clean: {} event(s), {} invariant(s)",
+            events.len(),
+            invariants.len()
+        )
+        .map_err(|e| e.to_string())?;
+    } else {
+        writeln!(out, "{total} trace violation(s)").map_err(|e| e.to_string())?;
+    }
+    Ok(total == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INVARIANTS: &str = r#"
+[[invariant]]
+id = "mono"
+kind = "monotonic-time"
+
+[[invariant]]
+id = "probe-terminal"
+kind = "requires-followup"
+trigger = "decision.peer_probe"
+followup = ["decision.peer_hit", "decision.peer_miss", "decision.peer_timeout"]
+key = ["edge", "req"]
+
+[[invariant]]
+id = "probe-count"
+kind = "counter-equals-events"
+counter = "cluster.peer_probe"
+event = "decision.peer_probe"
+
+[[invariant]]
+id = "breaker"
+kind = "legal-transitions"
+event = "cluster.peer_state"
+key = ["edge", "peer"]
+from = "from"
+to = "to"
+initial = "closed"
+legal = ["closed -> open", "half_open -> closed", "half_open -> open"]
+implicit = ["open -> half_open"]
+
+[[invariant]]
+id = "rebuilds"
+kind = "counter-equals-transitions"
+counter = "cluster.ring_rebuild"
+event = "cluster.peer_state"
+from = "from"
+to = "to"
+pairs = ["closed -> open", "half_open -> closed"]
+
+[[invariant]]
+id = "quiet"
+kind = "quiet-after"
+marker = "edge.down"
+key = ["edge"]
+"#;
+
+    fn line(t: u64, k: &str, n: &str, fields: &[(&str, &str)]) -> String {
+        let f = fields
+            .iter()
+            .map(|(k, v)| {
+                if v.chars().all(|c| c.is_ascii_digit()) {
+                    format!("\"{k}\":{v}")
+                } else {
+                    format!("\"{k}\":\"{v}\"")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"t\":{t},\"k\":\"{k}\",\"n\":\"{n}\",\"f\":{{{f}}}}}")
+    }
+
+    fn eval_all(trace: &[String], metrics: &str) -> Vec<String> {
+        let invariants = parse_invariants(INVARIANTS).unwrap();
+        let events = parse_trace(&trace.join("\n")).unwrap();
+        let counters = parse_counters(metrics).unwrap();
+        let mut out = Vec::new();
+        for inv in &invariants {
+            let (_, vs) = eval(inv, &events, &counters);
+            out.extend(vs.into_iter().map(|v| format!("{}: {v}", inv.id)));
+        }
+        out
+    }
+
+    fn good_trace() -> Vec<String> {
+        vec![
+            line(
+                10,
+                "event",
+                "decision.peer_probe",
+                &[("edge", "0"), ("req", "7"), ("peer", "1")],
+            ),
+            line(
+                20,
+                "event",
+                "decision.peer_hit",
+                &[("edge", "0"), ("req", "7"), ("peer", "1")],
+            ),
+            line(
+                30,
+                "event",
+                "decision.peer_probe",
+                &[("edge", "2"), ("req", "9"), ("peer", "1")],
+            ),
+            line(
+                40,
+                "event",
+                "cluster.peer_state",
+                &[
+                    ("edge", "2"),
+                    ("peer", "1"),
+                    ("from", "closed"),
+                    ("to", "open"),
+                ],
+            ),
+            line(
+                40,
+                "event",
+                "decision.peer_timeout",
+                &[("edge", "2"), ("req", "9"), ("peer", "1")],
+            ),
+            line(
+                90,
+                "event",
+                "cluster.peer_state",
+                &[
+                    ("edge", "2"),
+                    ("peer", "1"),
+                    ("from", "half_open"),
+                    ("to", "closed"),
+                ],
+            ),
+            line(95, "event", "edge.down", &[("edge", "3")]),
+        ]
+    }
+
+    const GOOD_METRICS: &str =
+        "counter cluster.peer_probe 2\ncounter cluster.ring_rebuild 2\ngauge x 1\n";
+
+    #[test]
+    fn clean_trace_passes_every_invariant() {
+        assert_eq!(eval_all(&good_trace(), GOOD_METRICS), Vec::<String>::new());
+    }
+
+    #[test]
+    fn unterminated_probe_is_caught() {
+        let mut t = good_trace();
+        t.remove(4); // drop the peer_timeout terminal for (edge=2, req=9)
+        let got = eval_all(
+            &t,
+            "counter cluster.peer_probe 2\ncounter cluster.ring_rebuild 2\n",
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("probe-terminal"), "{got:?}");
+        assert!(got[0].contains("edge=2 req=9"), "{got:?}");
+    }
+
+    #[test]
+    fn counter_event_drift_is_caught() {
+        let got = eval_all(
+            &good_trace(),
+            "counter cluster.peer_probe 3\ncounter cluster.ring_rebuild 2\n",
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("probe-count"), "{got:?}");
+        assert!(got[0].contains("= 3 but 2"), "{got:?}");
+    }
+
+    #[test]
+    fn illegal_and_discontinuous_transitions_are_caught() {
+        let mut t = good_trace();
+        // open -> closed is not a legal edge (must pass through half_open),
+        // and it also breaks continuity for the *next* transition.
+        t[5] = line(
+            90,
+            "event",
+            "cluster.peer_state",
+            &[
+                ("edge", "2"),
+                ("peer", "1"),
+                ("from", "open"),
+                ("to", "closed"),
+            ],
+        );
+        let got = eval_all(&t, GOOD_METRICS);
+        assert!(
+            got.iter()
+                .any(|v| v.contains("breaker") && v.contains("illegal")),
+            "{got:?}"
+        );
+        // The implicit open -> half_open hop stays legal (the good trace
+        // exercises it: closed->open then half_open->closed).
+        assert_eq!(eval_all(&good_trace(), GOOD_METRICS), Vec::<String>::new());
+    }
+
+    #[test]
+    fn rebuild_counter_counts_only_ring_changing_transitions() {
+        // Open at 40, silently half-open, re-open at 50 (no rebuild),
+        // silently half-open again, close at 90: still two
+        // ring-changing transitions, so GOOD_METRICS stays valid.
+        let mut t = good_trace();
+        t.insert(
+            5,
+            line(
+                50,
+                "event",
+                "cluster.peer_state",
+                &[
+                    ("edge", "2"),
+                    ("peer", "1"),
+                    ("from", "half_open"),
+                    ("to", "open"),
+                ],
+            ),
+        );
+        let got = eval_all(&t, GOOD_METRICS);
+        assert_eq!(got, Vec::<String>::new(), "{got:?}");
+        // But if the counter disagrees, it is caught.
+        let got = eval_all(
+            &t,
+            "counter cluster.peer_probe 2\ncounter cluster.ring_rebuild 5\n",
+        );
+        assert!(
+            got.iter()
+                .any(|v| v.contains("rebuilds") && v.contains("= 5 but 2")),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn events_after_edge_down_are_caught() {
+        let mut t = good_trace();
+        t.push(line(
+            99,
+            "event",
+            "decision.peer_probe",
+            &[("edge", "3"), ("req", "4"), ("peer", "0")],
+        ));
+        let got = eval_all(
+            &t,
+            "counter cluster.peer_probe 3\ncounter cluster.ring_rebuild 2\n",
+        );
+        assert!(
+            got.iter()
+                .any(|v| v.contains("quiet") && v.contains("edge.down")),
+            "{got:?}"
+        );
+        // The probe it adds is also unterminated; both invariants fire.
+        assert!(got.iter().any(|v| v.contains("probe-terminal")), "{got:?}");
+    }
+
+    #[test]
+    fn time_regressions_are_caught() {
+        let mut t = good_trace();
+        t.push(line(5, "event", "sim.tick", &[]));
+        let got = eval_all(&t, GOOD_METRICS);
+        assert!(
+            got.iter()
+                .any(|v| v.contains("mono") && v.contains("backwards")),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn run_trace_check_reports_and_fails_on_violations() {
+        let dir = std::env::temp_dir().join(format!("coic-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, body: &str| {
+            let p = dir.join(name);
+            std::fs::write(&p, body).unwrap();
+            p
+        };
+        let inv = write("inv.toml", INVARIANTS);
+        let trace = write("t.jsonl", &good_trace().join("\n"));
+        let metrics = write("m.txt", GOOD_METRICS);
+        let mut out = String::new();
+        assert!(run_trace_check(&trace, &metrics, &inv, &mut out).unwrap());
+        assert!(out.contains("ok probe-terminal"), "{out}");
+        assert!(out.contains("trace clean"), "{out}");
+
+        let bad_metrics = write("m_bad.txt", "counter cluster.peer_probe 9\n");
+        let mut out = String::new();
+        assert!(!run_trace_check(&trace, &bad_metrics, &inv, &mut out).unwrap());
+        assert!(out.contains("violation probe-count"), "{out}");
+        assert!(out.contains("trace violation(s)"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn edge_down_marker_excuses_unterminated_probes() {
+        let with_unless = r#"
+[[invariant]]
+id = "probe-terminal"
+kind = "requires-followup"
+trigger = "decision.peer_probe"
+followup = ["decision.peer_hit", "decision.peer_miss", "decision.peer_timeout"]
+key = ["edge", "req"]
+unless = "edge.down"
+unless-key = ["edge"]
+"#;
+        let invariants = parse_invariants(with_unless).unwrap();
+        // Edge 3 probes, then crashes before the probe settles: the
+        // edge.down marker excuses it. Edge 2's open probe is not excused.
+        let trace = [
+            line(
+                10,
+                "event",
+                "decision.peer_probe",
+                &[("edge", "3"), ("req", "4"), ("peer", "0")],
+            ),
+            line(
+                20,
+                "event",
+                "decision.peer_probe",
+                &[("edge", "2"), ("req", "9"), ("peer", "1")],
+            ),
+            line(30, "event", "edge.down", &[("edge", "3")]),
+        ]
+        .join("\n");
+        let events = parse_trace(&trace).unwrap();
+        let (checked, vs) = eval(&invariants[0], &events, &BTreeMap::new());
+        assert_eq!(checked, 2);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].contains("edge=2 req=9"), "{vs:?}");
+    }
+
+    #[test]
+    fn invariant_schema_is_strict() {
+        assert!(parse_invariants("").is_err());
+        let err = parse_invariants("[[invariant]]\nid = \"x\"\nkind = \"mystery\"").unwrap_err();
+        assert!(err.contains("unknown invariant kind"), "{err}");
+        let err = parse_invariants(
+            "[[invariant]]\nid = \"x\"\nkind = \"legal-transitions\"\nevent = \"e\"\n\
+             key = [\"k\"]\nfrom = \"f\"\nto = \"t\"\ninitial = \"i\"\nlegal = [\"oops\"]",
+        )
+        .unwrap_err();
+        assert!(err.contains("from -> to"), "{err}");
+    }
+}

@@ -1,6 +1,12 @@
 //! Lint self-tests over the checked-in fixtures: every `// LINT-EXPECT:
 //! rule-id` marker must produce exactly one finding with that rule id on
 //! that line, and nothing else may fire.
+//!
+//! The whole tree is linted with `lint_root` so workspace-scope passes
+//! (lock-order graph, telemetry registry) and the built-in config audits
+//! run too; their findings may anchor in `rules.toml` or
+//! `telemetry.toml`, so markers are collected from the fixture `.toml`
+//! files as well as the `.rs` ones.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -9,12 +15,24 @@ fn fixtures_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
 }
 
+/// Every fixture file markers may live in: the `.rs` fixtures plus the
+/// config files findings can anchor to (`rules.toml`, `telemetry.toml`).
+fn marker_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(root)
+        .expect("read fixtures dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs" || x == "toml"))
+        .collect();
+    files.sort();
+    files
+}
+
 /// (file, line, rule) triples declared by `LINT-EXPECT:` markers.
 /// Markers accept a comma-separated id list for lines with several
 /// expected findings.
 fn expected(root: &Path) -> BTreeSet<(String, u32, String)> {
     let mut want = BTreeSet::new();
-    for path in coic_analyze::collect_rust_files(root).expect("walk fixtures") {
+    for path in marker_files(root) {
         let rel = path
             .strip_prefix(root)
             .expect("under root")
@@ -61,9 +79,11 @@ fn fixture_findings_match_expect_markers_exactly() {
 
 #[test]
 fn every_bad_fixture_fails_and_every_good_fixture_passes() {
+    // One full-tree lint, grouped by finding file: workspace passes only
+    // run under `lint_root`, and a `_bad` fixture may be convicted by a
+    // per-file rule or by a workspace pass anchoring its finding there.
     let root = fixtures_dir();
-    let rules_src = std::fs::read_to_string(root.join("rules.toml")).expect("read rules");
-    let rules = coic_analyze::parse_rules(&rules_src).expect("parse rules");
+    let findings = coic_analyze::lint_root(&root, &root.join("rules.toml")).expect("lint");
     let mut bad = 0;
     let mut good = 0;
     for path in coic_analyze::collect_rust_files(&root).expect("walk fixtures") {
@@ -72,19 +92,18 @@ fn every_bad_fixture_fails_and_every_good_fixture_passes() {
             .expect("under root")
             .to_string_lossy()
             .replace('\\', "/");
-        let source = std::fs::read_to_string(&path).expect("read fixture");
-        let findings = coic_analyze::lint_source(&rel, &source, &rules);
+        let file_findings: Vec<_> = findings.iter().filter(|f| f.file == rel).collect();
         if rel.contains("_bad") {
             bad += 1;
             assert!(
-                !findings.is_empty(),
+                !file_findings.is_empty(),
                 "{rel}: bad fixture produced no findings"
             );
         } else {
             good += 1;
             assert!(
-                findings.is_empty(),
-                "{rel}: good fixture produced findings: {findings:#?}"
+                file_findings.is_empty(),
+                "{rel}: good fixture produced findings: {file_findings:#?}"
             );
         }
     }
@@ -106,4 +125,7 @@ fn run_lint_reports_failure_on_the_fixture_tree() {
     assert!(!clean, "fixture tree must lint dirty");
     assert!(out.contains("finding(s)"), "{out}");
     assert!(out.contains("no-std-net"), "{out}");
+    // Workspace-scope and built-in findings surface in the same report.
+    assert!(out.contains("lock-cycles"), "{out}");
+    assert!(out.contains("dead-exemption"), "{out}");
 }

@@ -1,0 +1,53 @@
+//! Trace-verifier self-tests over the checked-in fixtures: the good
+//! trace/metrics pair must validate, and the corrupted pair must fail
+//! with a violation from every invariant kind it breaks.
+
+use std::path::PathBuf;
+
+fn trace_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("trace")
+}
+
+#[test]
+fn good_trace_satisfies_every_invariant() {
+    let dir = trace_dir();
+    let mut out = String::new();
+    let clean = coic_analyze::run_trace_check(
+        &dir.join("good.jsonl"),
+        &dir.join("good_metrics.txt"),
+        &dir.join("invariants.toml"),
+        &mut out,
+    )
+    .expect("readable fixtures");
+    assert!(clean, "good trace must validate:\n{out}");
+    assert!(out.contains("trace clean"), "{out}");
+    // The downed edge's open probe is excused, not silently unchecked.
+    assert!(out.contains("ok probe-terminal (3 checked)"), "{out}");
+}
+
+#[test]
+fn corrupted_trace_fails_every_broken_invariant() {
+    let dir = trace_dir();
+    let mut out = String::new();
+    let clean = coic_analyze::run_trace_check(
+        &dir.join("corrupt.jsonl"),
+        &dir.join("corrupt_metrics.txt"),
+        &dir.join("invariants.toml"),
+        &mut out,
+    )
+    .expect("readable fixtures");
+    assert!(!clean, "corrupted trace must fail:\n{out}");
+    for id in [
+        "monotonic-time",
+        "probe-terminal",
+        "probe-counter",
+        "breaker-transitions",
+        "ring-rebuilds",
+        "down-edges-stay-quiet",
+    ] {
+        assert!(out.contains(&format!("violation {id}")), "{id}:\n{out}");
+    }
+    assert!(out.contains("trace violation(s)"), "{out}");
+}

@@ -40,14 +40,27 @@ fn the_workspace_rules_cover_every_rule_kind() {
             coic_analyze::RuleKind::ForbiddenPath { .. } => "forbidden-path",
             coic_analyze::RuleKind::NoUnwrap { .. } => "no-unwrap",
             coic_analyze::RuleKind::CrateAttr { .. } => "crate-attr",
-            coic_analyze::RuleKind::LockOrder { .. } => "lock-order",
+            coic_analyze::RuleKind::NoIndexHotPath => "no-index-hot-path",
+            coic_analyze::RuleKind::PairedCall { .. } => "paired-call",
+            coic_analyze::RuleKind::ProtocolConformance { .. } => "protocol-conformance",
+            coic_analyze::RuleKind::LockOrderGraph { .. } => "lock-order-graph",
+            coic_analyze::RuleKind::TelemetryRegistry { .. } => "telemetry-registry",
         })
         .collect();
     kinds.sort_unstable();
     kinds.dedup();
     assert_eq!(
         kinds,
-        ["crate-attr", "forbidden-path", "lock-order", "no-unwrap"],
+        [
+            "crate-attr",
+            "forbidden-path",
+            "lock-order-graph",
+            "no-index-hot-path",
+            "no-unwrap",
+            "paired-call",
+            "protocol-conformance",
+            "telemetry-registry"
+        ],
         "the checked-in rules should exercise every rule kind"
     );
 }

@@ -152,6 +152,24 @@ fn sim_config(args: &Args) -> Result<SimConfig, Box<dyn std::error::Error>> {
             ..ClusterConfig::default()
         });
     }
+    // Fault injection: `--edge-down MS@EDGE[,MS@EDGE...]` takes the named
+    // edges down permanently at the given sim time — the workload the
+    // breaker/failover paths (and the trace verifier's breaker-transition
+    // and quiet-after invariants) need to see real data.
+    if let Some(spec) = args.get("edge-down") {
+        for part in spec.split(',') {
+            let (ms, edge) = part
+                .split_once('@')
+                .ok_or_else(|| format!("--edge-down {part:?}: expected MS@EDGE"))?;
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("--edge-down {part:?}: bad milliseconds"))?;
+            let edge: u32 = edge
+                .parse()
+                .map_err(|_| format!("--edge-down {part:?}: bad edge id"))?;
+            cfg.edge_down_ms.push((ms, edge));
+        }
+    }
     // `--open-loop 1` fires requests at their trace timestamps regardless
     // of completions (the arrival model overload experiments need);
     // `--lookup-ms N` pins the edge's per-lookup service time, i.e. its
@@ -540,6 +558,27 @@ pub fn lint(args: &Args) -> CmdResult {
     }
 }
 
+/// `analyze trace`: verify an exported decision trace + canonical
+/// metrics snapshot against the declarative invariants in
+/// `analyze/trace_invariants.toml` (see DESIGN.md §16). Prints one line
+/// per invariant; exits nonzero when any invariant is violated.
+pub fn analyze_trace(args: &Args) -> CmdResult {
+    let root = std::path::PathBuf::from(args.get("root").unwrap_or("."));
+    let trace = std::path::PathBuf::from(args.require("trace")?);
+    let metrics = std::path::PathBuf::from(args.require("metrics")?);
+    let invariants = match args.get("invariants") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => root.join("analyze").join("trace_invariants.toml"),
+    };
+    let mut out = String::new();
+    let clean = coic_analyze::run_trace_check(&trace, &metrics, &invariants, &mut out)?;
+    if clean {
+        Ok(out)
+    } else {
+        Err(out.into())
+    }
+}
+
 /// `bench`: run the edge/cache performance harness and write the
 /// canonical `BENCH_edge.json` report. The concurrency grid is fixed at
 /// 1/4/16 threads (the canonical counts EXPERIMENTS.md tabulates).
@@ -650,6 +689,52 @@ mod tests {
         // …and the workspace itself must pass under its own rules.
         let ok = lint(&args(&format!("--root {}", ws.display()))).unwrap();
         assert!(ok.contains("lint clean"), "{ok}");
+    }
+
+    #[test]
+    fn analyze_trace_validates_a_seeded_cluster_run() {
+        let ws = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(std::path::Path::parent)
+            .unwrap();
+        let path = tmp("t_cluster.csv");
+        trace_gen(&args(&format!(
+            "--app arena --out {path} --users 12 --requests 400"
+        )))
+        .unwrap();
+        let (t, m) = (tmp("cluster.jsonl"), tmp("cluster.metrics"));
+        sim(&args(&format!(
+            "--in {path} --clients 12 --edges 16 --peer-fanout 3 --replicate 2 \
+             --seed 7 --edge-down 100@3 --trace-out {t} --metrics-out {m}"
+        )))
+        .unwrap();
+        // The scenario exercises the paths the invariants pin: peer
+        // probes, a mid-run edge failure (quiet-after + the probe
+        // excuse), and enough timeouts to trip a breaker.
+        let trace = std::fs::read_to_string(&t).unwrap();
+        assert!(trace.contains("\"n\":\"edge.down\""), "no edge failure");
+        assert!(
+            trace.contains("\"n\":\"cluster.peer_state\""),
+            "no breaker trip"
+        );
+        let out = analyze_trace(&args(&format!(
+            "--root {} --trace {t} --metrics {m}",
+            ws.display()
+        )))
+        .unwrap();
+        assert!(out.contains("trace clean"), "{out}");
+        assert!(out.contains("ok probe-terminal"), "{out}");
+        // The corrupted fixture must fail loudly through the same entry
+        // point CI uses.
+        let fixtures = ws.join("crates/analyze/fixtures/trace");
+        let err = analyze_trace(&args(&format!(
+            "--trace {} --metrics {} --invariants {}",
+            fixtures.join("corrupt.jsonl").display(),
+            fixtures.join("corrupt_metrics.txt").display(),
+            fixtures.join("invariants.toml").display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("trace violation(s)"), "{err}");
     }
 
     #[test]

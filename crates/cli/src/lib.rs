@@ -19,6 +19,7 @@
 //! coic pano crop   --frame N --yaw R --pitch R --out view.pgm
 //! coic bench       [--quick] [--seed N] [--runs N] [--out BENCH_edge.json]
 //! coic lint        [--root DIR] [--rules FILE]
+//! coic analyze trace --trace t.jsonl --metrics m.txt [--invariants FILE]
 //! ```
 //!
 //! All subcommand logic lives in this library so it is unit-testable; the
@@ -60,6 +61,7 @@ pub fn run(raw: Vec<String>) -> Result<String, String> {
         ["pano", "crop"] => commands::pano_crop(&args),
         ["bench"] => commands::bench(&args),
         ["lint"] => commands::lint(&args),
+        ["analyze", "trace"] => commands::analyze_trace(&args),
         [] | ["help"] => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {:?}\n\n{USAGE}", other.join(" ")).into()),
     }
@@ -87,6 +89,7 @@ USAGE:
                     [--admission-aimd 0|1] [--admission-queue N]
                     [--admission-age-ms N] [--latency-target-ms N]
                     [--retry-after-ms N] [--brownout 0|1]
+                    [--edge-down MS@EDGE[,MS@EDGE...]]
                     [--canonical 0|1] [--trace-out FILE] [--metrics-out FILE]
   coic live         --in FILE [--seed N] [--trace-out FILE]
                     [--metrics-out FILE]
@@ -102,4 +105,6 @@ USAGE:
   coic bench        [--quick] [--seed N] [--runs N] [--out BENCH_edge.json]
                     [--trace-out FILE] [--metrics-out FILE]
                     (thread grid: 1/4/16, matching EXPERIMENTS.md)
-  coic lint         [--root DIR] [--rules FILE]";
+  coic lint         [--root DIR] [--rules FILE]
+  coic analyze trace --trace FILE --metrics FILE
+                    [--invariants FILE] [--root DIR]";

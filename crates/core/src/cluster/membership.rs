@@ -69,25 +69,34 @@ impl Membership {
         self.breakers.get(peer as usize).map(|b| b.state())
     }
 
-    /// Record a probe outcome. Returns `true` when the effective ring
-    /// changed shape — the peer tripped out (Closed→Open) or rejoined
-    /// (→Closed from a half-open probe).
-    pub fn record(&mut self, peer: EdgeId, ok: bool, now_ns: u64) -> bool {
+    /// Record a probe outcome. Returns the breaker's `(from, to)` state
+    /// transition when it changed state, `None` otherwise (including for
+    /// self and out-of-range ids). The effective ring changed shape —
+    /// and a rebuild is counted — when the peer tripped out
+    /// (Closed→Open) or rejoined (HalfOpen→Closed); a HalfOpen→Open
+    /// re-trip changes nothing the ring already routed around.
+    pub fn record(
+        &mut self,
+        peer: EdgeId,
+        ok: bool,
+        now_ns: u64,
+    ) -> Option<(BreakerState, BreakerState)> {
         if peer == self.me {
-            return false;
+            return None;
         }
-        let Some(b) = self.breakers.get(peer as usize) else {
-            return false;
-        };
+        let b = self.breakers.get(peer as usize)?;
         let before = b.state();
         b.record(ok, now_ns);
         let after = b.state();
+        if before == after {
+            return None;
+        }
         let tripped = before == BreakerState::Closed && after == BreakerState::Open;
-        let rejoined = before != BreakerState::Closed && after == BreakerState::Closed;
+        let rejoined = after == BreakerState::Closed;
         if tripped || rejoined {
             self.rebuilds += 1;
         }
-        tripped || rejoined
+        Some((before, after))
     }
 
     /// How many times the effective ring changed shape (trips + rejoins).
@@ -106,9 +115,13 @@ mod tests {
     fn failures_trip_a_peer_and_count_a_rebuild() {
         let mut m = Membership::new(0, 3, 2, Duration::from_millis(100));
         assert!(m.allow_probe(1, 0));
-        assert!(!m.record(1, false, MS));
+        assert!(m.record(1, false, MS).is_none());
         assert!(m.allow_probe(1, 2 * MS));
-        assert!(m.record(1, false, 3 * MS), "threshold trip rebuilds");
+        assert_eq!(
+            m.record(1, false, 3 * MS),
+            Some((BreakerState::Closed, BreakerState::Open)),
+            "threshold trip rebuilds"
+        );
         assert_eq!(m.rebuilds(), 1);
         assert!(!m.allow_probe(1, 4 * MS), "open peer is skipped");
         assert!(!m.is_closed(1));
@@ -123,7 +136,11 @@ mod tests {
         // Cooldown passed: half-open grants exactly one probe.
         assert!(m.allow_probe(1, 20 * MS));
         assert!(!m.allow_probe(1, 20 * MS), "single half-open probe");
-        assert!(m.record(1, true, 21 * MS), "rejoin rebuilds");
+        assert_eq!(
+            m.record(1, true, 21 * MS),
+            Some((BreakerState::HalfOpen, BreakerState::Closed)),
+            "rejoin rebuilds"
+        );
         assert_eq!(m.rebuilds(), 2);
         assert!(m.is_closed(1));
     }
@@ -138,7 +155,10 @@ mod tests {
         assert!(m.allow_probe(1, 20 * MS));
         m.cancel_probe(1);
         assert!(m.allow_probe(1, 21 * MS), "grant reissued after cancel");
-        assert!(m.record(1, true, 22 * MS), "rejoin still possible");
+        assert!(
+            m.record(1, true, 22 * MS).is_some(),
+            "rejoin still possible"
+        );
         assert!(m.is_closed(1));
     }
 
@@ -148,7 +168,7 @@ mod tests {
         assert!(!m.allow_probe(7, 0));
         assert!(!m.is_closed(7));
         assert_eq!(m.peer_state(7), None);
-        assert!(!m.record(7, false, 0));
+        assert!(m.record(7, false, 0).is_none());
         m.cancel_probe(7);
         assert_eq!(m.rebuilds(), 0);
     }
@@ -158,7 +178,7 @@ mod tests {
         let mut m = Membership::new(1, 3, 1, Duration::from_millis(10));
         assert!(!m.allow_probe(1, 0));
         assert!(!m.is_closed(1));
-        assert!(!m.record(1, false, 0));
+        assert!(m.record(1, false, 0).is_none());
         assert_eq!(m.rebuilds(), 0);
     }
 }

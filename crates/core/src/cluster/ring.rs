@@ -57,10 +57,13 @@ impl HashRing {
         let mut points = BTreeMap::new();
         for e in 0..edges {
             for v in 0..vnodes {
-                let mut key = [0u8; 9];
-                key[..4].copy_from_slice(&e.to_le_bytes());
-                key[4] = 0x2f; // separator: (e=1,v=2) must differ from (e=12,v=..)
-                key[5..].copy_from_slice(&v.to_le_bytes());
+                // 0x2f separator: (e=1,v=2) must differ from (e=12,v=..).
+                let key: Vec<u8> = e
+                    .to_le_bytes()
+                    .into_iter()
+                    .chain([0x2f])
+                    .chain(v.to_le_bytes())
+                    .collect();
                 // First writer wins on the (astronomically unlikely) point
                 // collision so the ring stays identical on every edge.
                 points.entry(mix(fnv1a64(&key))).or_insert(e);
@@ -95,11 +98,15 @@ impl HashRing {
         let mut seen = vec![false; self.edges as usize];
         let mut order = Vec::with_capacity(self.edges as usize);
         for e in self.walk_points(Self::point_of(d)) {
-            if !seen[e as usize] {
-                seen[e as usize] = true;
-                order.push(e);
-                if order.len() == self.edges as usize {
-                    break;
+            // Every ring point maps to an edge in 0..edges by
+            // construction; `get_mut` keeps that free of panic paths.
+            if let Some(s) = seen.get_mut(e as usize) {
+                if !*s {
+                    *s = true;
+                    order.push(e);
+                    if order.len() == self.edges as usize {
+                        break;
+                    }
                 }
             }
         }

@@ -118,6 +118,7 @@ impl ClusterState {
             if e == self.me {
                 continue;
             }
+            // lint: allow(settle-probe-grants, every grant is returned in ProbePlan.peers and the driver settles each via record_probe or cancel_probe — the contract this fn's docs pin)
             if self.membership.allow_probe(e, now_ns) {
                 peers.push(e);
             }
@@ -138,12 +139,25 @@ impl ClusterState {
     }
 
     /// Report a probe outcome (reply received = `ok`, even a content
-    /// miss; timeout / connect failure = `!ok`). Feeds the peer's breaker
-    /// and counts a ring rebuild on trip or rejoin.
-    pub fn record_probe(&mut self, peer: EdgeId, ok: bool, now_ns: u64) {
-        if self.membership.record(peer, ok, now_ns) {
-            self.stats.count_ring_rebuild();
+    /// miss; timeout / connect failure = `!ok`). Feeds the peer's
+    /// breaker, counts a ring rebuild on trip or rejoin, and returns the
+    /// breaker's `(from, to)` transition when its state changed so the
+    /// driver can emit a `cluster.peer_state` trace event.
+    pub fn record_probe(
+        &mut self,
+        peer: EdgeId,
+        ok: bool,
+        now_ns: u64,
+    ) -> Option<(BreakerState, BreakerState)> {
+        let transition = self.membership.record(peer, ok, now_ns);
+        if let Some((from, to)) = transition {
+            // Trip and rejoin reshape the effective ring; a HalfOpen→Open
+            // re-trip routes exactly as before.
+            if to == BreakerState::Closed || from == BreakerState::Closed {
+                self.stats.count_ring_rebuild();
+            }
         }
+        transition
     }
 
     /// Count a miss-path request landing on this edge for `d`. Returns

@@ -18,6 +18,18 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+impl BreakerState {
+    /// Snake-case name used in trace events (`cluster.peer_state`) and
+    /// checked by the trace verifier's `legal-transitions` invariant.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
 #[derive(Debug)]
 struct BreakerInner {
     state: BreakerState,

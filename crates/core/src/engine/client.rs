@@ -327,11 +327,12 @@ impl<C: Clock> ClientEngine<C> {
         if !valid {
             return out;
         }
+        let phase = st.phase;
         match kind {
             TimerKind::Prep => self.start_request(req_id, &mut out),
             TimerKind::Deadline => self.fail_attempt(req_id, &mut out),
             TimerKind::Backoff => {
-                if self.reqs[&req_id].phase == Phase::EdgeBackoff {
+                if phase == Phase::EdgeBackoff {
                     self.send_edge_attempt(req_id, &mut out);
                 } else {
                     self.send_origin_attempt(req_id, &mut out);
@@ -434,10 +435,10 @@ impl<C: Clock> ClientEngine<C> {
         if st.phase != Phase::ProbeWait {
             return out;
         }
+        let seq = st.seq;
         if ok {
             self.degraded = false;
             self.stats.count_recovered();
-            let seq = self.reqs[&req_id].seq;
             self.decisions.push(Decision::Rejoin { seq });
             self.send_edge_attempt(req_id, &mut out);
         } else {

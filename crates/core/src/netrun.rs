@@ -506,6 +506,7 @@ impl LiveAdmission {
     fn admit(&self, req_id: u64) -> LiveAdmit {
         let now = self.clock.now_ns();
         let mut g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        // lint: allow(release-admission-slots, the slot escapes as a LiveAdmit whose every variant path ends in release or note_shed — the contract serve/shed below uphold)
         let decision = g.ctl.offer(req_id, now);
         self.note_transition(decision.transition, now);
         for victim in decision.shed {
@@ -835,7 +836,9 @@ pub fn spawn_edge_with(
                                         let targets: Vec<(EdgeId, SocketAddr)> = plan
                                             .peers
                                             .iter()
-                                            .map(|&p| (p, c.members[p as usize]))
+                                            .filter_map(|&p| {
+                                                c.members.get(p as usize).map(|&a| (p, a))
+                                            })
                                             .collect();
                                         (targets, plan.failover, c.state.stats().clone())
                                     })
@@ -866,10 +869,14 @@ pub fn spawn_edge_with(
                                         );
                                         let outcome = probe(addr);
                                         let now = clock.now_ns();
+                                        let mut transition = None;
                                         {
                                             let mut g = cluster_h.lock();
                                             if let Some(c) = g.as_mut() {
-                                                c.state.record_probe(peer, outcome.is_ok(), now);
+                                                transition = c
+                                                    .state
+                                                    .record_probe(peer, outcome.is_ok(), now)
+                                                    .map(|(from, to)| (c.state.me(), from, to));
                                                 match &outcome {
                                                     Ok(Some(_)) => c.state.stats().count_peer_hit(),
                                                     Ok(None) => c.state.stats().count_peer_miss(),
@@ -884,11 +891,24 @@ pub fn spawn_edge_with(
                                                     // rejoin probe would be
                                                     // consumed by a probe
                                                     // that never happens.
-                                                    for &(rest, _) in &targets[i + 1..] {
+                                                    for &(rest, _) in targets.iter().skip(i + 1) {
                                                         c.state.cancel_probe(rest);
                                                     }
                                                 }
                                             }
+                                        }
+                                        if let Some((me, from, to)) = transition {
+                                            net.telemetry.event(
+                                                now,
+                                                "cluster.peer_state",
+                                                vec![
+                                                    ("edge", Value::from(me as u64)),
+                                                    ("req", Value::from(req_id)),
+                                                    ("peer", Value::from(peer as u64)),
+                                                    ("from", Value::from(from.as_str())),
+                                                    ("to", Value::from(to.as_str())),
+                                                ],
+                                            );
                                         }
                                         match outcome {
                                             Ok(Some(result)) => {
@@ -973,12 +993,19 @@ pub fn spawn_edge_with(
                                                         let push = if *from_peer {
                                                             None
                                                         } else {
-                                                            c.state.placement_target(&d).map(|o| {
-                                                                c.state
-                                                                    .stats()
-                                                                    .count_replication_copy();
-                                                                (o, c.members[o as usize], c.token)
-                                                            })
+                                                            c.state
+                                                                .placement_target(&d)
+                                                                .and_then(|o| {
+                                                                    c.members
+                                                                        .get(o as usize)
+                                                                        .map(|&a| (o, a))
+                                                                })
+                                                                .map(|(o, a)| {
+                                                                    c.state
+                                                                        .stats()
+                                                                        .count_replication_copy();
+                                                                    (o, a, c.token)
+                                                                })
                                                         };
                                                         (keep, push)
                                                     }
@@ -1098,10 +1125,13 @@ pub fn spawn_edge_with(
                             if !c.state.note_owner_request(&digest) {
                                 return None;
                             }
-                            c.state.successor_target(&digest).map(|s| {
-                                c.state.stats().count_replication_copy();
-                                (s, c.members[s as usize], c.token)
-                            })
+                            c.state
+                                .successor_target(&digest)
+                                .and_then(|s| c.members.get(s as usize).map(|&a| (s, a)))
+                                .map(|(s, a)| {
+                                    c.state.stats().count_replication_copy();
+                                    (s, a, c.token)
+                                })
                         })
                     };
                     if let Some((succ, addr, token)) = push {
@@ -1124,14 +1154,7 @@ pub fn spawn_edge_with(
                         let _ = std::thread::Builder::new()
                             .name("coic-replicate".into())
                             .spawn(move || {
-                                replicate_to(
-                                    addr,
-                                    req_id,
-                                    token,
-                                    digest,
-                                    push_result,
-                                    &push_net,
-                                );
+                                replicate_to(addr, req_id, token, digest, push_result, &push_net);
                             });
                     }
                 }
@@ -1150,10 +1173,7 @@ pub fn spawn_edge_with(
                 // connection — an arbitrary process that reaches the edge
                 // port must not be able to plant results under chosen
                 // digests and have them served to peers.
-                let member = cluster_h
-                    .lock()
-                    .as_ref()
-                    .is_some_and(|c| c.token == token);
+                let member = cluster_h.lock().as_ref().is_some_and(|c| c.token == token);
                 if !member {
                     return None;
                 }
@@ -1534,7 +1554,11 @@ impl NetClient {
             ],
         );
         let outcome = self.drive(req_id, issued_ns, &prepared);
-        let new = &self.engine.decisions()[self.decisions_seen..];
+        let new = self
+            .engine
+            .decisions()
+            .get(self.decisions_seen..)
+            .unwrap_or_default();
         let now = self.clock.now_ns();
         for d in new {
             record_decision(&self.tel, now, 0, d);

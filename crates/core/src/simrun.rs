@@ -11,8 +11,8 @@ use crate::compute::ComputeConfig;
 use crate::content::{ModelLibrary, PanoLibrary};
 use crate::descriptor::FeatureDescriptor;
 use crate::engine::{
-    AdmissionConfig, BrownoutConfig, BrownoutState, ClientEngine, Clock, Decision, Effect,
-    EngineConfig, FaultSchedule, FlightClaim, OverloadControl, ReplyKind, RetryPolicy,
+    AdmissionConfig, BreakerState, BrownoutConfig, BrownoutState, ClientEngine, Clock, Decision,
+    Effect, EngineConfig, FaultSchedule, FlightClaim, OverloadControl, ReplyKind, RetryPolicy,
     RobustnessStats, SimClock, SingleFlight, TimerKind, UpstreamGate, Verdict,
 };
 use crate::protocol::Msg;
@@ -609,6 +609,10 @@ struct EdgeNode {
     /// When set, the edge is dead from this virtual instant on: every
     /// message and timer is silently dropped (a crashed process).
     down_at_ns: Option<u64>,
+    /// Whether the one-shot `edge.down` trace marker has been emitted.
+    /// The trace verifier's `quiet-after` invariant keys off it: after
+    /// the marker, no further events may carry this edge's id.
+    down_noted: bool,
     /// Panorama prefetcher: learned frame→digest mapping, in-flight
     /// prefetches by synthetic req_id, and frame ids being prefetched.
     known_frames: HashMap<u64, coic_cache::Digest>,
@@ -742,6 +746,44 @@ impl EdgeNode {
         );
     }
 
+    /// Emit `cluster.peer_state` when a probe outcome moved a peer's
+    /// breaker (trip, rejoin, half-open re-trip). The trace verifier
+    /// checks these transitions against the breaker's legal state
+    /// machine and ties the ring-rebuild counter to them.
+    fn peer_state_event(
+        &mut self,
+        now: u64,
+        req_id: u64,
+        peer: EdgeId,
+        transition: Option<(BreakerState, BreakerState)>,
+    ) {
+        let Some((from, to)) = transition else {
+            return;
+        };
+        self.tel.event(
+            now,
+            "cluster.peer_state",
+            vec![
+                ("edge", Value::from(self.edge_idx)),
+                ("req", Value::from(req_id)),
+                ("peer", Value::from(peer as u64)),
+                ("from", Value::from(from.as_str())),
+                ("to", Value::from(to.as_str())),
+            ],
+        );
+    }
+
+    /// One-shot `edge.down` marker, emitted the first time the dead edge
+    /// swallows a message or timer. Everything after it must stay silent
+    /// for this edge id (`quiet-after` trace invariant).
+    fn note_down(&mut self, now: u64) {
+        if !self.down_noted {
+            self.down_noted = true;
+            self.tel
+                .event(now, "edge.down", vec![("edge", Value::from(self.edge_idx))]);
+        }
+    }
+
     /// A cluster probe round exhausted its fan-out without a hit: forward
     /// to the cloud through the breaker gate, exactly like a direct miss.
     fn cluster_cloud_fallback(&mut self, ctx: &mut Ctx<'_, Msg>, req_id: u64, wait: ClusterWait) {
@@ -783,9 +825,10 @@ impl EdgeNode {
         wait.outstanding.remove(pos);
         let drained = wait.outstanding.is_empty();
         let cl = self.cluster.as_mut().expect("cluster wait without cluster");
-        cl.record_probe(peer, false, now);
+        let transition = cl.record_probe(peer, false, now);
         cl.stats().count_peer_timeout();
         self.cluster_event(now, "decision.peer_timeout", req_id, peer);
+        self.peer_state_event(now, req_id, peer, transition);
         if drained {
             let wait = self
                 .pending_cluster
@@ -839,15 +882,21 @@ impl EdgeNode {
                 // Every probe missed (reply in hand means the peer is
                 // healthy — record before falling back).
                 let cl = self.cluster.as_mut().expect("cluster wait");
-                cl.record_probe(peer, true, now);
+                let transition = cl.record_probe(peer, true, now);
                 cl.stats().count_peer_miss();
                 self.cluster_event(now, "decision.peer_miss", req_id, peer);
+                self.peer_state_event(now, req_id, peer, transition);
                 self.cluster_cloud_fallback(ctx, req_id, wait);
                 return;
             }
         }
+        let transition = self
+            .cluster
+            .as_mut()
+            .expect("cluster wait")
+            .record_probe(peer, true, now);
+        self.peer_state_event(now, req_id, peer, transition);
         let cl = self.cluster.as_mut().expect("cluster wait");
-        cl.record_probe(peer, true, now);
         let Some(result) = result else {
             if !was_satisfied {
                 cl.stats().count_peer_miss();
@@ -959,6 +1008,7 @@ impl EdgeNode {
         let Some(ctl) = self.overload.as_mut() else {
             return;
         };
+        // lint: allow(release-admission-slots, Serve routes through start_service whose finish_service releases the slot; Shed/queue paths call note_shed)
         let decision = ctl.offer(req_id, now);
         let retry_after = ctl.retry_after_ms();
         if let Some(state) = decision.transition {
@@ -1240,6 +1290,7 @@ impl Node<Msg> for EdgeNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
         let now = ctx.now().as_nanos();
         if self.is_down(now) {
+            self.note_down(now);
             return; // dead edges answer nothing
         }
         match msg {
@@ -1364,10 +1415,7 @@ impl Node<Msg> for EdgeNode {
                 }
                 if let Some((owner, digest)) = push {
                     self.cluster_event(now, "decision.peer_replicate", req_id, owner);
-                    let token = self
-                        .cluster
-                        .as_ref()
-                        .map_or(0, |cl| cl.config().auth_token);
+                    let token = self.cluster.as_ref().map_or(0, |cl| cl.config().auth_token);
                     let msg = Msg::Replicate {
                         req_id,
                         token,
@@ -1429,10 +1477,7 @@ impl Node<Msg> for EdgeNode {
                     });
                     if let Some(succ) = push {
                         self.cluster_event(now, "decision.peer_replicate", req_id, succ);
-                        let token = self
-                            .cluster
-                            .as_ref()
-                            .map_or(0, |cl| cl.config().auth_token);
+                        let token = self.cluster.as_ref().map_or(0, |cl| cl.config().auth_token);
                         let msg = Msg::Replicate {
                             req_id,
                             token,
@@ -1535,6 +1580,7 @@ impl Node<Msg> for EdgeNode {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
         if self.is_down(ctx.now().as_nanos()) {
+            self.note_down(ctx.now().as_nanos());
             // Swallow the armed work so the maps do not leak.
             self.in_service.remove(&token);
             self.probe_timeouts.remove(&token);
@@ -1819,6 +1865,7 @@ pub fn run_instrumented(
                 pending_cluster: HashMap::new(),
                 probe_timeouts: HashMap::new(),
                 down_at_ns,
+                down_noted: false,
                 known_frames: HashMap::new(),
                 prefetch_inflight: HashMap::new(),
                 prefetching: std::collections::HashSet::new(),

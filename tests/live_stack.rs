@@ -746,7 +746,8 @@ fn forged_replicate_push_is_rejected() {
     assert!(push(forged(0)).is_err(), "no-cluster push must be dropped");
 
     // With a cluster joined, a push that guesses wrong is refused too.
-    s.edge.join_cluster(0, &[s.edge.addr()], ClusterConfig::default());
+    s.edge
+        .join_cluster(0, &[s.edge.addr()], ClusterConfig::default());
     assert!(push(forged(0)).is_err(), "zero token must be dropped");
     assert!(push(forged(42)).is_err(), "wrong token must be dropped");
 
