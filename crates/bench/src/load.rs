@@ -1,0 +1,666 @@
+//! The `coic bench --load` live-scale load harness.
+//!
+//! Drives tens of thousands of **simulated clients** against a real
+//! loopback edge (either IO driver) and emits a canonical
+//! `BENCH_live.json` with connection-count-vs-p99 curves. The harness is
+//! open-loop: every request in the run is generated up front from the
+//! seed — arrival order never depends on service times — so two runs
+//! with the same seed issue the identical request stream.
+//!
+//! **Multiplexing.** A run models `clients` logical sessions, each
+//! issuing `reqs_per_client` requests, but multiplexes them over a
+//! bounded pool of real TCP connections (`conns`): connection fan-in is
+//! what the event loop is for, and the harness machine cannot afford
+//! 100k real sockets any more than a phone fleet would share one NIC
+//! politely. Request `i` of the global stream rides connection
+//! `i % conns`, pipelined up to [`WINDOW`] deep — so at any moment up to
+//! `conns × WINDOW` requests are in flight.
+//!
+//! **Determinism ledger.** Every reply's *result payload* is folded into
+//! an FNV-1a accumulator *in global request order* (not completion
+//! order), yielding one 64-bit ledger per cell. Whether a given request
+//! was a `Hit` or a miss-path `Result` depends on races the harness does
+//! not control, so the variant is normalized away before hashing; the
+//! payload bytes themselves are deterministic functions of the seed, so
+//! two runs of the same build must produce byte-identical ledger files —
+//! the CI `live-scale-smoke` lane diffs exactly that.
+//!
+//! **Hung requests.** Every connection reads under a deadline; a reply
+//! that never arrives counts in `hung` and fails the bench_check gate.
+//! The acceptance bar is ≥10k simulated clients on the event loop with
+//! `hung == 0`.
+
+use crate::json::{self, num, obj, s, Json};
+use coic_core::compute::ComputeConfig;
+use coic_core::content::{ModelLibrary, PanoLibrary};
+use coic_core::netrun::{spawn_cloud, spawn_edge_with, NetConfig};
+use coic_core::services::EdgeConfig;
+use coic_core::{DriverKind, FeatureDescriptor, Msg, TaskRequest};
+use coic_netsim::rt::FrameConn;
+use coic_vision::ObjectClass;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Pipelining depth per real connection.
+pub const WINDOW: usize = 16;
+
+/// Per-reply read deadline before a request is declared hung.
+const READ_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Distinct panorama frames the simulated clients share.
+const FRAME_POOL: u64 = 64;
+
+/// Distinct models the simulated clients share.
+const MODEL_POOL: u64 = 8;
+
+/// Model payload size: small enough to keep quick runs quick, large
+/// enough that write coalescing has something to coalesce.
+const MODEL_BYTES: u64 = 100_000;
+
+/// Configuration of one load run (all cells share it).
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Simulated (logical) clients.
+    pub clients: usize,
+    /// Requests each simulated client issues.
+    pub reqs_per_client: usize,
+    /// Real-connection pool sizes to sweep (the x-axis of the curves).
+    pub conns: Vec<usize>,
+    /// IO drivers to sweep.
+    pub drivers: Vec<DriverKind>,
+    /// Seed for the request stream and the content libraries.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            clients: 10_000,
+            reqs_per_client: 2,
+            conns: vec![64, 256, 1000],
+            drivers: vec![DriverKind::Threads, DriverKind::Evloop],
+            seed: 7,
+        }
+    }
+}
+
+/// One measured (driver, conns) cell.
+#[derive(Debug, Clone)]
+pub struct LiveCell {
+    /// IO driver the edge ran (`threads` / `evloop`).
+    pub driver: String,
+    /// Real connections in the pool.
+    pub conns: usize,
+    /// Requests completed.
+    pub ops: u64,
+    /// Requests that never got a reply within the deadline.
+    pub hung: u64,
+    /// Median per-request wall latency, ns.
+    pub p50_ns: u64,
+    /// 95th percentile, ns.
+    pub p95_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+    /// Completed requests per wall-clock second.
+    pub throughput_ops_per_sec: f64,
+    /// Edge cache hit ratio at the end of the cell.
+    pub hit_ratio: f64,
+    /// FNV-1a ledger of all reply bytes in request order (hex).
+    pub ledger: String,
+    /// `loop.*` wakeups (0 for the threads driver).
+    pub loop_wakeups: u64,
+    /// Frames decoded per wakeup ×1000 (0 for the threads driver).
+    pub frames_per_wakeup_milli: u64,
+    /// Coalesced flushes (0 for the threads driver).
+    pub loop_coalesced_writes: u64,
+}
+
+/// A full load run: the `BENCH_live.json` document.
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    /// Schema tag (`coic-bench-live/v1`).
+    pub schema: String,
+    /// `git rev-parse --short HEAD`, or `unknown` outside a checkout.
+    pub git_rev: String,
+    /// Seed the request stream derives from.
+    pub seed: u64,
+    /// Simulated clients.
+    pub clients: usize,
+    /// Requests per simulated client.
+    pub reqs_per_client: usize,
+    /// All measured cells.
+    pub results: Vec<LiveCell>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut acc: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        acc ^= b as u64;
+        acc = acc.wrapping_mul(FNV_PRIME);
+    }
+    acc
+}
+
+/// SplitMix64: the per-request pseudo-random stream. Cheap, seedable,
+/// and stateless per index, so any worker can derive request `i`
+/// without sharing an RNG.
+fn splitmix(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The task for global request index `i`: a Zipf-ish skew over a shared
+/// panorama pool, with every fourth request a model load. Both kinds
+/// carry their task as the query hint, so each request is exactly one
+/// round trip whatever the cache decides.
+fn request_for(i: u64, seed: u64, panos: &PanoLibrary, models: &ModelLibrary) -> Msg {
+    let r = splitmix(seed, i);
+    let (descriptor, task) = if i % 4 == 3 {
+        let model_id = r % MODEL_POOL;
+        (
+            FeatureDescriptor::ModelHash(models.digest(model_id, MODEL_BYTES)),
+            TaskRequest::RenderLoad {
+                model_id,
+                size_bytes: MODEL_BYTES,
+            },
+        )
+    } else {
+        // u² skew: the head of the pool is hot, the tail long.
+        let u = (r % 1000) as f64 / 1000.0;
+        let frame_id = ((u * u) * FRAME_POOL as f64) as u64;
+        (
+            FeatureDescriptor::PanoramaHash(panos.digest(frame_id)),
+            TaskRequest::Panorama { frame_id },
+        )
+    };
+    Msg::Query {
+        req_id: i,
+        descriptor,
+        hint: Some(task),
+    }
+}
+
+/// Outcome of one worker: per-request latency samples and ledger inputs,
+/// keyed by global request index.
+struct WorkerOut {
+    samples: Vec<(u64, u64)>,
+    hashes: Vec<(u64, u64)>,
+    hung: u64,
+}
+
+/// Drive the slice of the request stream owned by worker `w`: indices
+/// `w, w + conns, w + 2·conns, …` pipelined [`WINDOW`] deep over one
+/// connection. Replies come back in send order (both drivers preserve
+/// per-connection FIFO), so a simple in-flight queue suffices.
+fn drive_worker(
+    addr: std::net::SocketAddr,
+    w: usize,
+    conns: usize,
+    total: u64,
+    seed: u64,
+    panos: &PanoLibrary,
+    models: &ModelLibrary,
+) -> WorkerOut {
+    let mut out = WorkerOut {
+        samples: Vec::new(),
+        hashes: Vec::new(),
+        hung: 0,
+    };
+    let mut indices = (w as u64..total).step_by(conns.max(1));
+    let mut conn = match FrameConn::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            out.hung = (total - w as u64).div_ceil(conns as u64);
+            return out;
+        }
+    };
+    let _ = conn.set_read_deadline(Some(READ_DEADLINE));
+    let mut inflight: std::collections::VecDeque<(u64, Instant)> =
+        std::collections::VecDeque::new();
+    loop {
+        // Fill the window.
+        while inflight.len() < WINDOW {
+            match indices.next() {
+                Some(i) => {
+                    let msg = request_for(i, seed, panos, models);
+                    if conn.send(&msg.encode()).is_err() {
+                        out.hung += 1 + indices.by_ref().count() as u64 + inflight.len() as u64;
+                        return out;
+                    }
+                    inflight.push_back((i, Instant::now()));
+                }
+                None => break,
+            }
+        }
+        let Some((i, sent)) = inflight.pop_front() else {
+            return out;
+        };
+        match conn.recv() {
+            Ok(reply) => {
+                out.samples.push((i, sent.elapsed().as_nanos() as u64));
+                // Normalize Hit vs miss-path Result (which of the two a
+                // racing request sees is not deterministic) down to the
+                // payload, which is.
+                let h = match Msg::decode(&reply) {
+                    Ok(Msg::Hit { result, .. }) | Ok(Msg::Result { result, .. }) => {
+                        fnv1a(FNV_OFFSET, &Msg::Hit { req_id: 0, result }.encode())
+                    }
+                    _ => FNV_OFFSET,
+                };
+                out.hashes.push((i, h));
+            }
+            Err(_) => {
+                out.hung += 1 + indices.by_ref().count() as u64 + inflight.len() as u64;
+                return out;
+            }
+        }
+    }
+}
+
+/// Run one (driver, conns) cell: spawn a fresh cloud + edge pair, fan
+/// the open-loop stream over the connection pool, and reduce.
+fn run_cell(driver: DriverKind, conns: usize, cfg: &LoadConfig) -> LiveCell {
+    let models = Arc::new(ModelLibrary::new());
+    let panos = Arc::new(PanoLibrary::new(64));
+    let compute = ComputeConfig::default();
+    let classes: Vec<_> = (0..3).map(ObjectClass).collect();
+    let cloud = spawn_cloud(
+        &classes,
+        64,
+        compute,
+        models.clone(),
+        panos.clone(),
+        cfg.seed,
+    )
+    .expect("cloud spawn");
+    let net = NetConfig::builder().driver(driver).build();
+    let edge =
+        spawn_edge_with(cloud.addr(), &EdgeConfig::default(), net, None).expect("edge spawn");
+
+    let total = (cfg.clients * cfg.reqs_per_client) as u64;
+    let started = Instant::now();
+    let mut outs: Vec<WorkerOut> = Vec::with_capacity(conns);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|w| {
+                let (panos, models) = (panos.clone(), models.clone());
+                let addr = edge.addr();
+                let seed = cfg.seed;
+                std::thread::Builder::new()
+                    .name(format!("coic-load-{w}"))
+                    .stack_size(128 * 1024)
+                    .spawn_scoped(scope, move || {
+                        drive_worker(addr, w, conns, total, seed, &panos, &models)
+                    })
+                    .expect("spawn load worker")
+            })
+            .collect();
+        for h in handles {
+            outs.push(h.join().expect("load worker panicked"));
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut samples: Vec<u64> = Vec::new();
+    let mut hashes: Vec<(u64, u64)> = Vec::new();
+    let mut hung = 0u64;
+    for o in outs {
+        samples.extend(o.samples.iter().map(|&(_, ns)| ns));
+        hashes.extend(o.hashes);
+        hung += o.hung;
+    }
+    samples.sort_unstable();
+    // Fold reply hashes in *request* order: completion order is racy,
+    // the stream order is the seed's.
+    hashes.sort_unstable_by_key(|&(i, _)| i);
+    let mut ledger = FNV_OFFSET;
+    for (i, h) in &hashes {
+        ledger = fnv1a(ledger, &i.to_be_bytes());
+        ledger = fnv1a(ledger, &h.to_be_bytes());
+    }
+
+    let pct = |p: f64| -> u64 {
+        if samples.is_empty() {
+            0
+        } else {
+            samples[((samples.len() - 1) as f64 * p).round() as usize]
+        }
+    };
+    let ops = samples.len() as u64;
+    let stats = edge.loop_stats();
+    LiveCell {
+        driver: driver.as_str().to_string(),
+        conns,
+        ops,
+        hung,
+        p50_ns: pct(0.50),
+        p95_ns: pct(0.95),
+        p99_ns: pct(0.99),
+        throughput_ops_per_sec: if elapsed > 0.0 {
+            ops as f64 / elapsed
+        } else {
+            0.0
+        },
+        hit_ratio: edge.cache_hit_ratio(),
+        ledger: format!("{ledger:016x}"),
+        loop_wakeups: stats.wakeups,
+        frames_per_wakeup_milli: (stats.frames_per_wakeup() * 1000.0) as u64,
+        loop_coalesced_writes: stats.coalesced_writes,
+    }
+}
+
+/// Run the full load grid: every driver × every connection count in
+/// `cfg`, against a fresh edge per cell.
+pub fn run_load(cfg: &LoadConfig) -> LiveReport {
+    let mut results = Vec::new();
+    for &driver in &cfg.drivers {
+        for &conns in &cfg.conns {
+            results.push(run_cell(driver, conns, cfg));
+        }
+    }
+    LiveReport {
+        schema: "coic-bench-live/v1".to_string(),
+        git_rev: crate::perf::git_rev(),
+        seed: cfg.seed,
+        clients: cfg.clients,
+        reqs_per_client: cfg.reqs_per_client,
+        results,
+    }
+}
+
+impl LiveReport {
+    /// Canonical JSON form (sorted keys, fixed float precision).
+    pub fn to_json(&self) -> Json {
+        let results: Vec<Json> = self
+            .results
+            .iter()
+            .map(|c| {
+                obj(vec![
+                    ("driver", s(&c.driver)),
+                    ("conns", num(c.conns as f64)),
+                    ("ops", num(c.ops as f64)),
+                    ("hung", num(c.hung as f64)),
+                    ("p50_ns", num(c.p50_ns as f64)),
+                    ("p95_ns", num(c.p95_ns as f64)),
+                    ("p99_ns", num(c.p99_ns as f64)),
+                    ("throughput_ops_per_sec", num(c.throughput_ops_per_sec)),
+                    ("hit_ratio", num(c.hit_ratio)),
+                    ("ledger", s(&c.ledger)),
+                    ("loop_wakeups", num(c.loop_wakeups as f64)),
+                    (
+                        "frames_per_wakeup_milli",
+                        num(c.frames_per_wakeup_milli as f64),
+                    ),
+                    ("loop_coalesced_writes", num(c.loop_coalesced_writes as f64)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("schema", s(&self.schema)),
+            ("git_rev", s(&self.git_rev)),
+            ("seed", num(self.seed as f64)),
+            ("clients", num(self.clients as f64)),
+            ("reqs_per_client", num(self.reqs_per_client as f64)),
+            ("results", Json::Arr(results)),
+        ])
+    }
+
+    /// Parse a report back from its JSON form (bench_check --live).
+    pub fn from_json(v: &Json) -> Result<LiveReport, String> {
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema")?;
+        if schema != "coic-bench-live/v1" {
+            return Err(format!("unsupported schema '{schema}'"));
+        }
+        let results = v
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or("missing results")?
+            .iter()
+            .map(|c| {
+                let f = |k: &str| {
+                    c.get(k)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("result missing numeric '{k}'"))
+                };
+                Ok(LiveCell {
+                    driver: c
+                        .get("driver")
+                        .and_then(Json::as_str)
+                        .ok_or("result missing driver")?
+                        .to_string(),
+                    conns: f("conns")? as usize,
+                    ops: f("ops")? as u64,
+                    hung: f("hung")? as u64,
+                    p50_ns: f("p50_ns")? as u64,
+                    p95_ns: f("p95_ns")? as u64,
+                    p99_ns: f("p99_ns")? as u64,
+                    throughput_ops_per_sec: f("throughput_ops_per_sec")?,
+                    hit_ratio: f("hit_ratio")?,
+                    ledger: c
+                        .get("ledger")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    loop_wakeups: f("loop_wakeups").unwrap_or(0.0) as u64,
+                    frames_per_wakeup_milli: f("frames_per_wakeup_milli").unwrap_or(0.0) as u64,
+                    loop_coalesced_writes: f("loop_coalesced_writes").unwrap_or(0.0) as u64,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(LiveReport {
+            schema: schema.to_string(),
+            git_rev: v
+                .get("git_rev")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            seed: v.get("seed").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            clients: v.get("clients").and_then(Json::as_f64).unwrap_or(0.0) as usize,
+            reqs_per_client: v
+                .get("reqs_per_client")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0) as usize,
+            results,
+        })
+    }
+
+    /// Write the canonical JSON (plus trailing newline) to `path`.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut text = self.to_json().to_canonical();
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Load a report from a canonical JSON file.
+    pub fn load(path: &std::path::Path) -> Result<LiveReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        LiveReport::from_json(&json::parse(&text)?)
+    }
+
+    /// The deterministic ledger artifact: one line per cell, nothing that
+    /// varies between two runs of the same build and seed. This is what
+    /// the CI lane diffs byte-for-byte.
+    pub fn ledger_text(&self) -> String {
+        let mut out = format!(
+            "coic-load-ledger/v1 seed={} clients={} reqs_per_client={}\n",
+            self.seed, self.clients, self.reqs_per_client
+        );
+        for c in &self.results {
+            out.push_str(&format!(
+                "driver={} conns={} ops={} ledger={}\n",
+                c.driver, c.conns, c.ops, c.ledger
+            ));
+        }
+        out
+    }
+}
+
+/// Verdict of [`check_live_gate`].
+#[derive(Debug, Default)]
+pub struct LiveVerdict {
+    /// Human-readable failures; empty means the gate passes.
+    pub failures: Vec<String>,
+    /// Confirmations for the log.
+    pub notes: Vec<String>,
+}
+
+/// The live-scale regression gate, applied *within* one report (one
+/// host, one run — no tolerance band needed between machines):
+///
+/// 1. zero hung requests in every cell;
+/// 2. at the largest connection count both drivers measured, the event
+///    loop's p99 is no worse than `tolerance ×` the threads driver's;
+/// 3. every cell completed its full request stream.
+pub fn check_live_gate(report: &LiveReport, tolerance: f64) -> LiveVerdict {
+    let mut v = LiveVerdict::default();
+    let expected_ops = (report.clients * report.reqs_per_client) as u64;
+    for c in &report.results {
+        if c.hung > 0 {
+            v.failures.push(format!(
+                "{}/{} conns: {} hung requests",
+                c.driver, c.conns, c.hung
+            ));
+        }
+        if c.ops != expected_ops {
+            v.failures.push(format!(
+                "{}/{} conns: completed {} of {expected_ops} requests",
+                c.driver, c.conns, c.ops
+            ));
+        }
+    }
+    if v.failures.is_empty() {
+        v.notes.push(format!(
+            "all {} cells completed {expected_ops} requests, zero hung",
+            report.results.len()
+        ));
+    }
+
+    let threads: Vec<&LiveCell> = report
+        .results
+        .iter()
+        .filter(|c| c.driver == "threads")
+        .collect();
+    let evloop: Vec<&LiveCell> = report
+        .results
+        .iter()
+        .filter(|c| c.driver == "evloop")
+        .collect();
+    let common = threads
+        .iter()
+        .filter_map(|t| evloop.iter().find(|e| e.conns == t.conns).map(|e| (*t, *e)))
+        .max_by_key(|(t, _)| t.conns);
+    match common {
+        Some((t, e)) => {
+            let bound = t.p99_ns as f64 * tolerance;
+            if (e.p99_ns as f64) > bound {
+                v.failures.push(format!(
+                    "evloop p99 at {} conns is {} ns, threads is {} ns (allowed ≤ {:.0})",
+                    e.conns, e.p99_ns, t.p99_ns, bound
+                ));
+            } else {
+                v.notes.push(format!(
+                    "evloop p99 at {} conns: {} ns vs threads {} ns (within {:.2}×)",
+                    e.conns, e.p99_ns, t.p99_ns, tolerance
+                ));
+            }
+        }
+        None => v.failures.push(
+            "no connection count was measured on both drivers — cannot compare p99".to_string(),
+        ),
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LoadConfig {
+        LoadConfig {
+            clients: 200,
+            reqs_per_client: 1,
+            conns: vec![8],
+            drivers: vec![DriverKind::Threads, DriverKind::Evloop],
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn tiny_load_run_completes_with_zero_hung_and_matching_ledgers() {
+        let report = run_load(&tiny());
+        assert_eq!(report.results.len(), 2);
+        for c in &report.results {
+            assert_eq!(c.ops, 200, "{c:?}");
+            assert_eq!(c.hung, 0, "{c:?}");
+            assert!(c.hit_ratio > 0.0, "{c:?}");
+        }
+        // Same seed, same stream, same deterministic content: the two
+        // drivers must produce the identical reply ledger.
+        assert_eq!(
+            report.results[0].ledger, report.results[1].ledger,
+            "drivers disagree on reply bytes"
+        );
+        let verdict = check_live_gate(&report, 10.0);
+        assert!(verdict.failures.is_empty(), "{:?}", verdict.failures);
+        // The evloop cell actually ran on the event loop.
+        let ev = report
+            .results
+            .iter()
+            .find(|c| c.driver == "evloop")
+            .unwrap();
+        assert!(ev.loop_wakeups > 0, "{ev:?}");
+    }
+
+    #[test]
+    fn ledgers_are_stable_across_runs_and_reports_round_trip() {
+        let cfg = tiny();
+        let a = run_load(&cfg);
+        let b = run_load(&cfg);
+        assert_eq!(a.ledger_text(), b.ledger_text(), "ledger must be seeded");
+        let parsed = LiveReport::from_json(&a.to_json()).unwrap();
+        assert_eq!(parsed.ledger_text(), a.ledger_text());
+        assert_eq!(parsed.results.len(), a.results.len());
+        assert_eq!(parsed.results[0].p99_ns, a.results[0].p99_ns);
+    }
+
+    #[test]
+    fn gate_flags_hung_requests_and_p99_blowups() {
+        let cell = |driver: &str, p99: u64, hung: u64| LiveCell {
+            driver: driver.to_string(),
+            conns: 8,
+            ops: 200,
+            hung,
+            p50_ns: 1,
+            p95_ns: 1,
+            p99_ns: p99,
+            throughput_ops_per_sec: 1.0,
+            hit_ratio: 1.0,
+            ledger: "0".into(),
+            loop_wakeups: 0,
+            frames_per_wakeup_milli: 0,
+            loop_coalesced_writes: 0,
+        };
+        let report = LiveReport {
+            schema: "coic-bench-live/v1".into(),
+            git_rev: "test".into(),
+            seed: 7,
+            clients: 200,
+            reqs_per_client: 1,
+            results: vec![cell("threads", 100, 0), cell("evloop", 1000, 1)],
+        };
+        let verdict = check_live_gate(&report, 2.0);
+        assert_eq!(verdict.failures.len(), 2, "{:?}", verdict.failures);
+        let ok = LiveReport {
+            results: vec![cell("threads", 100, 0), cell("evloop", 150, 0)],
+            ..report
+        };
+        assert!(check_live_gate(&ok, 2.0).failures.is_empty());
+    }
+}

@@ -543,10 +543,7 @@ fn edge_e2e_cell(quick: bool, seed: u64, tel: &Telemetry, results: &mut Vec<Cell
     let classes: Vec<_> = (0..3).map(ObjectClass).collect();
     let cloud = spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), seed)
         .expect("cloud spawn");
-    let net = NetConfig {
-        telemetry: tel.clone(),
-        ..NetConfig::default()
-    };
+    let net = NetConfig::builder().telemetry(tel.clone()).build();
     let edge = spawn_edge_with(cloud.addr(), &EdgeConfig::default(), net.clone(), None)
         .expect("edge spawn");
 
@@ -611,7 +608,7 @@ fn edge_e2e_cell(quick: bool, seed: u64, tel: &Telemetry, results: &mut Vec<Cell
     edge.publish_metrics(tel.registry());
 }
 
-fn git_rev() -> String {
+pub(crate) fn git_rev() -> String {
     std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .output()

@@ -49,7 +49,6 @@ use crate::digest::Digest;
 use crate::exact::ExactCache;
 use crate::metrics::Metrics;
 use crate::policy::PolicyKind;
-use crate::stats::CacheStats;
 use crate::sync::{AtomicU64, Mutex, Ordering, RwLock};
 use std::sync::Arc;
 
@@ -285,20 +284,6 @@ impl<V> ShardedExactCache<V> {
         total
     }
 
-    /// Merged counters: per-shard read-path atomics plus each shard's
-    /// write-path store counters.
-    #[deprecated(note = "use `metrics()`; this facade derives from it")]
-    pub fn stats(&self) -> CacheStats {
-        self.metrics().cache_stats()
-    }
-
-    /// Deferred-touch protocol counters, summed across shards.
-    /// [`TouchStats::dead`] must be zero (see the module docs).
-    #[deprecated(note = "use `metrics()`; this facade derives from it")]
-    pub fn touch_stats(&self) -> TouchStats {
-        self.metrics().touch_stats()
-    }
-
     /// Total entries across shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.cache.read().len()).sum()
@@ -359,10 +344,6 @@ mod tests {
         }
         assert_eq!(cache.metrics().hits, 8);
         assert_eq!(cache.metrics().insertions, 1);
-        // The deprecated facade stays derivable from the unified view.
-        #[allow(deprecated)]
-        let facade = cache.stats();
-        assert_eq!(facade, cache.metrics().cache_stats());
     }
 
     #[test]
@@ -554,9 +535,5 @@ mod tests {
             m.touch_queued, m.touch_replayed,
             "every queued touch must replay"
         );
-        // The deprecated facade view stays consistent with the source.
-        #[allow(deprecated)]
-        let t = cache.touch_stats();
-        assert_eq!(t, m.touch_stats());
     }
 }

@@ -15,6 +15,8 @@
 //! * [`shared_edge`] — the edge service behind shared references (sharded
 //!   caches) for the multi-threaded live stack,
 //! * [`compute`] — per-tier cost models,
+//! * [`config`] — the sim/live shared configuration core and the typed
+//!   builders for [`simrun::SimConfig`] / [`netrun::NetConfig`],
 //! * [`content`] — deterministic model/panorama libraries,
 //! * [`engine`] — the sans-IO orchestration core: clock-agnostic state
 //!   machines for the client request lifecycle and the edge's upstream
@@ -38,6 +40,7 @@
 pub mod adaptive;
 pub mod cluster;
 pub mod compute;
+pub mod config;
 pub mod content;
 pub mod descriptor;
 pub mod engine;
@@ -56,6 +59,7 @@ pub mod telemetry;
 pub use adaptive::{AdaptiveConfig, AdaptiveThreshold};
 pub use cluster::{ClusterConfig, ClusterSnapshot, ClusterState, ClusterStats, HashRing};
 pub use compute::ComputeConfig;
+pub use config::{CommonConfig, DriverKind, EvloopConfig, NetConfigBuilder, SimConfigBuilder};
 pub use content::{ModelLibrary, PanoLibrary, PanoSource};
 pub use descriptor::FeatureDescriptor;
 pub use engine::{

@@ -1,0 +1,388 @@
+//! The live server's IO-driver seam.
+//!
+//! [`IoDriver`] is the narrow surface a server-side IO strategy must
+//! implement: take ownership of accepted sockets, react to readiness, and
+//! get a periodic tick. A [`DriverServer`] owns the accept loop, a
+//! [`Poller`] and one driver, and runs all three on a single IO thread —
+//! the same runner hosts both the legacy [`ThreadsDriver`] (which hands
+//! each socket to a blocking per-connection thread and registers nothing
+//! with the poller) and the readiness-driven
+//! [`EventLoop`](crate::netrun::evloop::EventLoop). `coic live --driver
+//! {threads,evloop}` selects between them, and the acceptance suite diffs
+//! decision traces across both.
+//!
+//! Frame handlers keep the [`FrameServer`](coic_netsim::rt::FrameServer)
+//! contract: one inbound frame maps to at most one reply, and returning
+//! `None` closes the connection.
+
+use super::poller::{Poller, ScanPoller, Token};
+use crate::config::{DriverKind, EvloopConfig};
+use bytes::Bytes;
+use coic_netsim::rt::FrameConn;
+use coic_obs::MetricsRegistry;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The per-frame service function: inbound frame in, optional reply frame
+/// out, `None` closes the connection.
+pub type FrameHandler = Arc<dyn Fn(Bytes) -> Option<Vec<u8>> + Send + Sync>;
+
+/// Server-side IO strategy, driven by a [`DriverServer`]'s runner thread.
+pub trait IoDriver: Send {
+    /// Take ownership of a freshly accepted socket. The driver decides
+    /// whether to register it with `poller` (event loop) or hand it to a
+    /// dedicated thread (legacy driver).
+    fn accept(&mut self, stream: TcpStream, poller: &mut dyn Poller) -> io::Result<()>;
+
+    /// `token` has readable bytes (or hung up).
+    fn readable(&mut self, token: Token, hangup: bool, poller: &mut dyn Poller);
+
+    /// `token` can likely accept queued output.
+    fn writable(&mut self, token: Token, poller: &mut dyn Poller);
+
+    /// Housekeeping between readiness batches (reap worker completions,
+    /// resume paused reads, flush eager writes).
+    fn tick(&mut self, poller: &mut dyn Poller);
+
+    /// Server is stopping: sever every live connection and release
+    /// resources. Called exactly once, on the runner thread.
+    fn shutdown(&mut self, poller: &mut dyn Poller);
+}
+
+// --- loop observability -------------------------------------------------
+
+/// Shared atomic counters for the IO loop (`loop.*` vocabulary).
+#[derive(Default)]
+pub struct LoopStats {
+    wakeups: AtomicU64,
+    frames: AtomicU64,
+    batches: AtomicU64,
+    coalesced_writes: AtomicU64,
+    read_paused: AtomicU64,
+    conn_shed: AtomicU64,
+    accepted: AtomicU64,
+}
+
+impl LoopStats {
+    pub(crate) fn count_wakeup(&self) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_frames(&self, n: u64) {
+        self.frames.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_coalesced_write(&self) {
+        self.coalesced_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_read_paused(&self) {
+        self.read_paused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_conn_shed(&self) {
+        self.conn_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough copy of every counter.
+    pub fn snapshot(&self) -> LoopStatsSnapshot {
+        LoopStatsSnapshot {
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            coalesced_writes: self.coalesced_writes.load(Ordering::Relaxed),
+            read_paused: self.read_paused.load(Ordering::Relaxed),
+            conn_shed: self.conn_shed.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`LoopStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoopStatsSnapshot {
+    /// Poller wakeups that delivered at least one readiness event.
+    pub wakeups: u64,
+    /// Frames decoded off sockets.
+    pub frames: u64,
+    /// Readable drains (one per connection per wakeup that read bytes);
+    /// `frames / batches` is the batching factor of the decode path.
+    pub batches: u64,
+    /// Flushes that pushed two or more queued reply frames in one
+    /// writable event.
+    pub coalesced_writes: u64,
+    /// Read-pause transitions (backpressure engaging on a connection).
+    pub read_paused: u64,
+    /// Connections shed for exceeding the bounded write queue.
+    pub conn_shed: u64,
+    /// Connections accepted.
+    pub accepted: u64,
+}
+
+impl LoopStatsSnapshot {
+    /// Mean frames decoded per event-delivering wakeup.
+    pub fn frames_per_wakeup(&self) -> f64 {
+        if self.wakeups == 0 {
+            0.0
+        } else {
+            self.frames as f64 / self.wakeups as f64
+        }
+    }
+
+    /// Publish the `loop.*` counters into `reg`.
+    pub fn publish(&self, reg: &MetricsRegistry) {
+        reg.counter_add("loop.wakeups", self.wakeups);
+        reg.counter_add("loop.frames", self.frames);
+        reg.counter_add("loop.batches", self.batches);
+        reg.counter_add("loop.coalesced_writes", self.coalesced_writes);
+        reg.counter_add("loop.read_paused", self.read_paused);
+        reg.counter_add("loop.conn_shed", self.conn_shed);
+        reg.counter_add("loop.accepted", self.accepted);
+    }
+}
+
+// --- runner -------------------------------------------------------------
+
+/// Idle park bound of one runner iteration; the poller's waker cuts it
+/// short, so this is a liveness backstop (accept latency, stop latency),
+/// not a responsiveness budget.
+const RUN_SLICE: Duration = Duration::from_millis(1);
+
+/// A live server bound to one listener, serving connections through an
+/// [`IoDriver`]. Dropping the handle (or calling
+/// [`DriverServer::shutdown`]) stops the runner, severs live connections
+/// and joins the IO thread — the same teardown contract as
+/// [`FrameServer`](coic_netsim::rt::FrameServer), which the chaos tests
+/// rely on to kill an edge mid-workload.
+pub struct DriverServer {
+    addr: SocketAddr,
+    kind: DriverKind,
+    stop: Arc<AtomicBool>,
+    waker: Arc<super::poller::PollWaker>,
+    stats: Arc<LoopStats>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl DriverServer {
+    /// Bind `addr` and serve frames through the driver selected by
+    /// `kind`, with `handler` as the service function.
+    pub fn spawn<A, F>(
+        addr: A,
+        kind: DriverKind,
+        evcfg: EvloopConfig,
+        handler: F,
+    ) -> io::Result<DriverServer>
+    where
+        A: ToSocketAddrs,
+        F: Fn(Bytes) -> Option<Vec<u8>> + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(LoopStats::default());
+        let handler: FrameHandler = Arc::new(handler);
+        let mut poller = ScanPoller::new();
+        let waker = poller.waker();
+        let mut driver: Box<dyn IoDriver> = match kind {
+            DriverKind::Threads => Box::new(ThreadsDriver::new(handler, stop.clone())),
+            DriverKind::Evloop => Box::new(super::evloop::EventLoop::new(
+                handler,
+                evcfg,
+                stats.clone(),
+                waker.clone(),
+            )),
+        };
+        let run_stop = stop.clone();
+        let run_stats = stats.clone();
+        let thread = std::thread::Builder::new()
+            .name("coic-io-loop".into())
+            .spawn(move || {
+                let mut events = Vec::new();
+                loop {
+                    if run_stop.load(Ordering::SeqCst) {
+                        driver.shutdown(&mut poller);
+                        return;
+                    }
+                    loop {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                run_stats.count_accepted();
+                                let _ = driver.accept(stream, &mut poller);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(_) => break,
+                        }
+                    }
+                    let _ = poller.wait(&mut events, RUN_SLICE);
+                    if !events.is_empty() {
+                        run_stats.count_wakeup();
+                    }
+                    for ev in events.drain(..) {
+                        if ev.readable || ev.hangup {
+                            driver.readable(ev.token, ev.hangup, &mut poller);
+                        }
+                        if ev.writable {
+                            driver.writable(ev.token, &mut poller);
+                        }
+                    }
+                    driver.tick(&mut poller);
+                }
+            })?;
+        Ok(DriverServer {
+            addr,
+            kind,
+            stop,
+            waker,
+            stats,
+            thread: Some(thread),
+        })
+    }
+
+    /// Bound listening address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Which driver this server runs.
+    pub fn kind(&self) -> DriverKind {
+        self.kind
+    }
+
+    /// Live `loop.*` counters (all zero under the threads driver except
+    /// `accepted`).
+    pub fn loop_stats(&self) -> LoopStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stop accepting, sever live connections, join the IO thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for DriverServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// --- legacy thread-per-connection driver --------------------------------
+
+/// Registry of live per-connection sockets so shutdown can sever them.
+#[derive(Default)]
+struct ThreadConns {
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_id: AtomicU64,
+}
+
+impl ThreadConns {
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&id);
+    }
+
+    fn sever_all(&self) {
+        for (_, conn) in self
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain()
+        {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// The legacy thread-per-connection strategy behind the [`IoDriver`]
+/// seam: every accepted socket gets a dedicated blocking service thread
+/// (recv → handler → send), and nothing is registered with the poller.
+pub struct ThreadsDriver {
+    handler: FrameHandler,
+    stop: Arc<AtomicBool>,
+    conns: Arc<ThreadConns>,
+}
+
+impl ThreadsDriver {
+    /// A driver dispatching to `handler`, observing `stop` for teardown.
+    pub fn new(handler: FrameHandler, stop: Arc<AtomicBool>) -> ThreadsDriver {
+        ThreadsDriver {
+            handler,
+            stop,
+            conns: Arc::new(ThreadConns::default()),
+        }
+    }
+}
+
+impl IoDriver for ThreadsDriver {
+    fn accept(&mut self, stream: TcpStream, _poller: &mut dyn Poller) -> io::Result<()> {
+        // The listener is nonblocking; this connection's service thread
+        // must not be.
+        stream.set_nonblocking(false)?;
+        let Some(id) = self.conns.register(&stream) else {
+            return Ok(());
+        };
+        let handler = self.handler.clone();
+        let stop = self.stop.clone();
+        let conns = self.conns.clone();
+        let _ = std::thread::Builder::new()
+            .name("coic-frame-conn".into())
+            .spawn(move || {
+                if let Ok(mut conn) = FrameConn::new(stream) {
+                    while !stop.load(Ordering::SeqCst) {
+                        let Ok(frame) = conn.recv() else { break };
+                        match handler(frame) {
+                            Some(reply) => {
+                                if conn.send(&reply).is_err() {
+                                    break;
+                                }
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                conns.deregister(id);
+            });
+        Ok(())
+    }
+
+    fn readable(&mut self, _token: Token, _hangup: bool, _poller: &mut dyn Poller) {}
+
+    fn writable(&mut self, _token: Token, _poller: &mut dyn Poller) {}
+
+    fn tick(&mut self, _poller: &mut dyn Poller) {}
+
+    fn shutdown(&mut self, _poller: &mut dyn Poller) {
+        self.conns.sever_all();
+    }
+}

@@ -1,0 +1,669 @@
+//! Readiness-driven event-loop driver for the live edge.
+//!
+//! One IO thread multiplexes every client connection:
+//!
+//! * **batched frame decode** — a readable socket is drained in one
+//!   wakeup: all available bytes go into the connection's incremental
+//!   [`FrameDecoder`], and every complete frame that falls out is
+//!   dispatched in the same pass;
+//! * **worker-pool dispatch** — the frame handler (cache lookup, upstream
+//!   fetch, admission wait) blocks, so it runs on a bounded pool of
+//!   worker threads, never on the IO thread. Replies come back tagged
+//!   with their per-connection sequence number and are released strictly
+//!   in request order, preserving the blocking driver's FIFO reply
+//!   contract for pipelining clients;
+//! * **write coalescing** — encoded replies queue per connection and a
+//!   single writable event flushes as many as the socket accepts;
+//! * **backpressure** — the chain the design doc calls
+//!   poller→admission→brownout: when the dispatch queue is full (its
+//!   bound is clamped to the admission queue when admission control is
+//!   on) or a connection exceeds its in-flight cap, the loop *stops
+//!   reading* from the affected sockets instead of buffering unboundedly;
+//!   kernel buffers fill and TCP pushes back on the clients. A stalled
+//!   *reader* is bounded on the other side: queued reply bytes past
+//!   [`EvloopConfig::max_write_queue_bytes`] shed the connection
+//!   (`loop.conn_shed`) rather than grow the heap.
+//!
+//! Every mechanism is counted in [`LoopStats`] (`loop.*` vocabulary) so
+//! the load harness and the analyze rules can see the loop working.
+
+use super::driver::{FrameHandler, IoDriver, LoopStats};
+use super::poller::{Interest, PollWaker, Poller, Token};
+use crate::config::EvloopConfig;
+use bytes::Bytes;
+use coic_netsim::rt::{encode_frame, FrameDecoder};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Read-side scratch buffer: one drain pass reads at most this much per
+/// `read` call (the kernel rarely returns more in one go anyway).
+const READ_CHUNK: usize = 64 * 1024;
+
+/// One decoded request frame on its way to a worker.
+struct Job {
+    token: Token,
+    seq: u64,
+    frame: Bytes,
+}
+
+/// One finished handler invocation on its way back to the loop.
+struct Done {
+    token: Token,
+    seq: u64,
+    reply: Option<Vec<u8>>,
+}
+
+/// Worker-facing side of the dispatch queue.
+struct WorkQueue {
+    jobs: Mutex<(VecDeque<Job>, bool)>,
+    ready: Condvar,
+    done: Mutex<Vec<Done>>,
+    waker: Arc<PollWaker>,
+}
+
+impl WorkQueue {
+    fn new(waker: Arc<PollWaker>) -> Arc<WorkQueue> {
+        Arc::new(WorkQueue {
+            jobs: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            done: Mutex::new(Vec::new()),
+            waker,
+        })
+    }
+
+    fn push(&self, job: Job) {
+        self.jobs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .0
+            .push_back(job);
+        self.ready.notify_one();
+    }
+
+    fn depth(&self) -> usize {
+        self.jobs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .0
+            .len()
+    }
+
+    fn stop(&self) {
+        self.jobs.lock().unwrap_or_else(PoisonError::into_inner).1 = true;
+        self.ready.notify_all();
+    }
+
+    /// Worker loop: pop jobs until stopped, run the handler, report back.
+    fn work(self: &Arc<Self>, handler: &FrameHandler) {
+        loop {
+            let job = {
+                let mut g = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    if g.1 {
+                        return;
+                    }
+                    if let Some(job) = g.0.pop_front() {
+                        break job;
+                    }
+                    g = self.ready.wait(g).unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            let reply = handler(job.frame);
+            self.done
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(Done {
+                    token: job.token,
+                    seq: job.seq,
+                    reply,
+                });
+            // Cut the IO thread's park short so the reply flushes now.
+            self.waker.wake();
+        }
+    }
+
+    fn drain_done(&self, into: &mut Vec<Done>) {
+        let mut g = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        into.append(&mut g);
+    }
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Sequence number the next decoded frame gets.
+    next_seq: u64,
+    /// Sequence number of the next reply owed to the wire.
+    next_reply: u64,
+    /// Out-of-order completions parked until their turn.
+    done: BTreeMap<u64, Option<Vec<u8>>>,
+    /// Dispatched-but-unreleased frames.
+    inflight: usize,
+    /// Encoded frames awaiting the socket, oldest first.
+    out: VecDeque<Vec<u8>>,
+    /// Total bytes across `out`.
+    out_bytes: usize,
+    /// Bytes of `out.front()` already written.
+    written: usize,
+    /// Reads paused by backpressure.
+    paused: bool,
+    /// Handler returned `None` (or the peer hung up): no more reads;
+    /// close once every owed reply is out.
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            next_seq: 0,
+            next_reply: 0,
+            done: BTreeMap::new(),
+            inflight: 0,
+            out: VecDeque::new(),
+            out_bytes: 0,
+            written: 0,
+            paused: false,
+            closing: false,
+        }
+    }
+
+    fn interest(&self) -> Interest {
+        Interest {
+            readable: !self.paused && !self.closing,
+            writable: !self.out.is_empty(),
+        }
+    }
+
+    /// Drained and idle: nothing left to write, nothing owed.
+    fn drained(&self) -> bool {
+        self.out.is_empty() && self.inflight == 0 && self.done.is_empty()
+    }
+}
+
+/// The readiness-driven [`IoDriver`]. See the module docs for the
+/// architecture.
+pub struct EventLoop {
+    handler: FrameHandler,
+    cfg: EvloopConfig,
+    stats: Arc<LoopStats>,
+    queue: Arc<WorkQueue>,
+    conns: HashMap<Token, Conn>,
+    next_token: Token,
+    workers_spawned: bool,
+}
+
+impl EventLoop {
+    /// A loop dispatching to `handler` under `cfg`, counting into
+    /// `stats`, waking the runner through `waker`.
+    pub fn new(
+        handler: FrameHandler,
+        cfg: EvloopConfig,
+        stats: Arc<LoopStats>,
+        waker: Arc<PollWaker>,
+    ) -> EventLoop {
+        EventLoop {
+            handler,
+            cfg,
+            stats,
+            queue: WorkQueue::new(waker),
+            conns: HashMap::new(),
+            next_token: 0,
+            workers_spawned: false,
+        }
+    }
+
+    fn spawn_workers(&mut self) {
+        if self.workers_spawned {
+            return;
+        }
+        self.workers_spawned = true;
+        for i in 0..self.cfg.workers.max(1) {
+            let queue = self.queue.clone();
+            let handler = self.handler.clone();
+            let _ = std::thread::Builder::new()
+                .name(format!("coic-loop-worker-{i}"))
+                .spawn(move || queue.work(&handler));
+        }
+    }
+
+    fn close(&mut self, token: Token, poller: &mut dyn Poller) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        poller.deregister(token);
+    }
+
+    fn shed(&mut self, token: Token, poller: &mut dyn Poller) {
+        self.stats.count_conn_shed();
+        self.close(token, poller);
+    }
+
+    fn sync_interest(&mut self, token: Token, poller: &mut dyn Poller) {
+        if let Some(conn) = self.conns.get(&token) {
+            poller.set_interest(token, conn.interest());
+        }
+    }
+
+    /// Global read-side capacity: how many more frames may be dispatched
+    /// before the loop must stop reading.
+    fn dispatch_room(&self) -> usize {
+        self.cfg
+            .dispatch_depth
+            .max(1)
+            .saturating_sub(self.queue.depth())
+    }
+
+    /// Pull complete frames out of `token`'s decoder and dispatch them,
+    /// pausing the connection when a backpressure bound is hit. Returns
+    /// `false` when the connection died (decoder poisoned).
+    fn pump_decoder(&mut self, token: Token) -> bool {
+        let mut room = self.dispatch_room();
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        let mut dispatched = 0u64;
+        loop {
+            if conn.closing {
+                break;
+            }
+            if conn.inflight >= self.cfg.per_conn_inflight.max(1) || room == 0 {
+                if !conn.paused {
+                    conn.paused = true;
+                    self.stats.count_read_paused();
+                }
+                break;
+            }
+            match conn.decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.inflight += 1;
+                    dispatched += 1;
+                    room -= 1;
+                    self.queue.push(Job { token, seq, frame });
+                }
+                Ok(None) => break,
+                // Oversized or corrupt: the stream is desynchronized;
+                // drop the connection like the blocking path does.
+                Err(_) => return false,
+            }
+        }
+        if dispatched > 0 {
+            self.stats.count_frames(dispatched);
+        }
+        true
+    }
+
+    /// Flush as much queued output as the socket accepts. Returns `false`
+    /// when the connection died mid-write.
+    fn flush(&mut self, token: Token) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return true;
+        };
+        let mut flushed_frames = 0u64;
+        while let Some(front) = conn.out.front() {
+            // lint: allow(no-index-hot-path, written < front.len() — a completed front is popped immediately below, so the slice start never passes the end)
+            match conn.stream.write(&front[conn.written..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    conn.written += n;
+                    if conn.written == front.len() {
+                        conn.out_bytes -= front.len();
+                        conn.out.pop_front();
+                        conn.written = 0;
+                        flushed_frames += 1;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if flushed_frames >= 2 {
+            self.stats.count_coalesced_write();
+        }
+        true
+    }
+
+    /// Reap worker completions: park out-of-order replies, release the
+    /// in-order prefix to each connection's write queue, flush eagerly,
+    /// shed write-bounded connections, resume paused reads.
+    fn reap(&mut self, poller: &mut dyn Poller) {
+        let mut done = Vec::new();
+        self.queue.drain_done(&mut done);
+        let mut touched: Vec<Token> = Vec::with_capacity(done.len());
+        for d in done {
+            let Some(conn) = self.conns.get_mut(&d.token) else {
+                continue;
+            };
+            conn.done.insert(d.seq, d.reply);
+            if !touched.contains(&d.token) {
+                touched.push(d.token);
+            }
+        }
+        for token in touched {
+            let mut overflow = false;
+            let mut died = false;
+            {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    continue;
+                };
+                while let Some(reply) = conn.done.remove(&conn.next_reply) {
+                    conn.next_reply += 1;
+                    conn.inflight = conn.inflight.saturating_sub(1);
+                    match reply {
+                        Some(bytes) => match encode_frame(&bytes) {
+                            Ok(wire) => {
+                                conn.out_bytes += wire.len();
+                                conn.out.push_back(wire);
+                                if conn.out_bytes > self.cfg.max_write_queue_bytes.max(1) {
+                                    overflow = true;
+                                    break;
+                                }
+                            }
+                            Err(_) => {
+                                died = true;
+                                break;
+                            }
+                        },
+                        // Handler refused the frame: stop reading, close
+                        // once prior replies have flushed.
+                        None => conn.closing = true,
+                    }
+                }
+            }
+            if overflow {
+                self.shed(token, poller);
+                continue;
+            }
+            if died || !self.flush(token) {
+                self.close(token, poller);
+                continue;
+            }
+            // A freed in-flight slot may unpause the reads; frames
+            // already sitting decoded in the buffer go out first.
+            self.resume(token, poller);
+        }
+    }
+
+    /// Re-enable reading on a paused connection if capacity returned, and
+    /// drain whatever the decoder still holds. Closes the connection when
+    /// it is `closing` and fully drained.
+    fn resume(&mut self, token: Token, poller: &mut dyn Poller) {
+        let (was_paused, close_now) = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.closing && conn.drained() {
+                (false, true)
+            } else {
+                (conn.paused, false)
+            }
+        };
+        if close_now {
+            self.close(token, poller);
+            return;
+        }
+        if was_paused {
+            let has_room = self.dispatch_room() > 0;
+            if let Some(conn) = self.conns.get_mut(&token) {
+                if has_room && conn.inflight < self.cfg.per_conn_inflight.max(1) {
+                    conn.paused = false;
+                }
+            }
+            if !self.pump_decoder(token) {
+                self.close(token, poller);
+                return;
+            }
+        }
+        self.sync_interest(token, poller);
+    }
+}
+
+impl IoDriver for EventLoop {
+    fn accept(&mut self, stream: TcpStream, poller: &mut dyn Poller) -> io::Result<()> {
+        self.spawn_workers();
+        stream.set_nodelay(true)?;
+        let token = self.next_token;
+        self.next_token += 1;
+        let conn = Conn::new(stream);
+        poller.register(token, &conn.stream, conn.interest())?;
+        // The poller switched the registered clone nonblocking; the
+        // original shares the descriptor, so reads/writes below are
+        // nonblocking too.
+        self.conns.insert(token, conn);
+        Ok(())
+    }
+
+    fn readable(&mut self, token: Token, hangup: bool, poller: &mut dyn Poller) {
+        let mut buf = [0u8; READ_CHUNK];
+        let mut dead = hangup;
+        let mut got_bytes = false;
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if conn.paused || conn.closing {
+                return;
+            }
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        // lint: allow(no-index-hot-path, read() returns n <= buf.len() by contract)
+                        conn.decoder.push(&buf[..n]);
+                        got_bytes = true;
+                        if n < buf.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        } else {
+            return;
+        }
+        if got_bytes {
+            self.stats.count_batch();
+            if !self.pump_decoder(token) {
+                self.close(token, poller);
+                return;
+            }
+        }
+        if dead {
+            // Peer is gone; replies owed to a closed socket are moot.
+            self.close(token, poller);
+            return;
+        }
+        self.sync_interest(token, poller);
+    }
+
+    fn writable(&mut self, token: Token, poller: &mut dyn Poller) {
+        if !self.flush(token) {
+            self.close(token, poller);
+            return;
+        }
+        self.resume(token, poller);
+    }
+
+    fn tick(&mut self, poller: &mut dyn Poller) {
+        self.reap(poller);
+        // Global-backpressure recovery: a connection paused because the
+        // dispatch queue was full (by *other* connections' frames) is not
+        // touched by any completion of its own, so sweep every paused
+        // connection whenever room exists.
+        if self.dispatch_room() > 0 {
+            let paused: Vec<Token> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| c.paused)
+                .map(|(&t, _)| t)
+                .collect();
+            for token in paused {
+                self.resume(token, poller);
+            }
+        }
+    }
+
+    fn shutdown(&mut self, poller: &mut dyn Poller) {
+        let tokens: Vec<Token> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close(token, poller);
+        }
+        self.queue.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::driver::DriverServer;
+    use crate::config::{DriverKind, EvloopConfig};
+    use coic_netsim::rt::{FrameConn, FrameError};
+    use std::time::{Duration, Instant};
+
+    fn echo_server(cfg: EvloopConfig) -> DriverServer {
+        DriverServer::spawn("127.0.0.1:0", DriverKind::Evloop, cfg, |frame| {
+            if frame.as_ref() == b"close" {
+                None
+            } else {
+                Some(frame.to_vec())
+            }
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn evloop_echoes_pipelined_frames_in_fifo_order() {
+        let server = echo_server(EvloopConfig {
+            workers: 4,
+            ..EvloopConfig::default()
+        });
+        let mut conn = FrameConn::connect(server.local_addr()).unwrap();
+        conn.set_read_deadline(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Pipeline: all requests go out before any reply is read, so the
+        // loop must batch-decode and the reorder buffer must hold FIFO
+        // order even though 4 workers race.
+        for i in 0..200u32 {
+            conn.send(format!("req-{i}").as_bytes()).unwrap();
+        }
+        for i in 0..200u32 {
+            let reply = conn.recv().unwrap();
+            assert_eq!(reply.as_ref(), format!("req-{i}").as_bytes());
+        }
+        let stats = server.loop_stats();
+        assert_eq!(stats.frames, 200);
+        assert!(stats.accepted >= 1);
+        assert!(
+            stats.batches < 200,
+            "pipelined frames should decode in batches, got {} batches for 200 frames",
+            stats.batches
+        );
+    }
+
+    #[test]
+    fn evloop_handler_none_closes_the_connection_after_prior_replies() {
+        let server = echo_server(EvloopConfig::default());
+        let mut conn = FrameConn::connect(server.local_addr()).unwrap();
+        conn.set_read_deadline(Some(Duration::from_secs(10)))
+            .unwrap();
+        conn.send(b"first").unwrap();
+        conn.send(b"close").unwrap();
+        assert_eq!(conn.recv().unwrap().as_ref(), b"first");
+        match conn.recv() {
+            Err(FrameError::Closed) | Err(FrameError::Io(_)) => {}
+            other => panic!("expected closed connection, got {other:?}"),
+        }
+        // The server itself is still alive for new connections.
+        let mut again = FrameConn::connect(server.local_addr()).unwrap();
+        again
+            .set_read_deadline(Some(Duration::from_secs(10)))
+            .unwrap();
+        again.send(b"hello").unwrap();
+        assert_eq!(again.recv().unwrap().as_ref(), b"hello");
+    }
+
+    #[test]
+    fn evloop_sheds_a_stalled_reader_instead_of_buffering_unboundedly() {
+        // Replies are 64 KiB and the write queue caps at 256 KiB: one
+        // reply fits easily, but a client that never drains accumulates
+        // a backlog and must be shed once its kernel buffers fill.
+        let big = vec![0xABu8; 64 * 1024];
+        let cfg = EvloopConfig {
+            workers: 2,
+            max_write_queue_bytes: 256 * 1024,
+            ..EvloopConfig::default()
+        };
+        let server = DriverServer::spawn("127.0.0.1:0", DriverKind::Evloop, cfg, move |_frame| {
+            Some(big.clone())
+        })
+        .unwrap();
+        let mut conn = FrameConn::connect(server.local_addr()).unwrap();
+        conn.set_write_deadline(Some(Duration::from_millis(200)))
+            .unwrap();
+        // Never read; just keep asking for big replies until the server
+        // cuts us off (send starts failing once the connection is shed)
+        // or we give up.
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_secs(20) {
+            if conn.send(b"more").is_err() {
+                break;
+            }
+            if server.loop_stats().conn_shed > 0 {
+                break;
+            }
+        }
+        assert!(
+            server.loop_stats().conn_shed >= 1,
+            "stalled reader was never shed: {:?}",
+            server.loop_stats()
+        );
+        // The edge survives and serves a well-behaved client.
+        let mut ok = FrameConn::connect(server.local_addr()).unwrap();
+        ok.set_read_deadline(Some(Duration::from_secs(10))).unwrap();
+        ok.send(b"ping").unwrap();
+        assert_eq!(ok.recv().unwrap().len(), 64 * 1024);
+    }
+
+    #[test]
+    fn evloop_read_pauses_under_per_conn_inflight_pressure() {
+        // A slow handler with a tiny in-flight cap: a pipelining client
+        // must trip the read-pause path (and still get every reply).
+        let cfg = EvloopConfig {
+            workers: 1,
+            per_conn_inflight: 2,
+            ..EvloopConfig::default()
+        };
+        let server = DriverServer::spawn("127.0.0.1:0", DriverKind::Evloop, cfg, |frame| {
+            std::thread::sleep(Duration::from_millis(2));
+            Some(frame.to_vec())
+        })
+        .unwrap();
+        let mut conn = FrameConn::connect(server.local_addr()).unwrap();
+        conn.set_read_deadline(Some(Duration::from_secs(30)))
+            .unwrap();
+        for i in 0..32u32 {
+            conn.send(&i.to_be_bytes()).unwrap();
+        }
+        for i in 0..32u32 {
+            assert_eq!(conn.recv().unwrap().as_ref(), i.to_be_bytes());
+        }
+        let stats = server.loop_stats();
+        assert!(
+            stats.read_paused >= 1,
+            "expected backpressure to pause reads: {stats:?}"
+        );
+        assert_eq!(stats.frames, 32);
+        assert_eq!(stats.conn_shed, 0);
+    }
+}

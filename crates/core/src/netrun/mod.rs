@@ -2,10 +2,19 @@
 //!
 //! The same [`crate::services`] logic as the simulator, but deployed over
 //! framed TCP ([`coic_netsim::rt`]): a cloud process, an edge process with
-//! shared caches serving each client connection from its own thread, and a
-//! blocking client. Used by the `live_deployment` example and the loopback
-//! integration tests; latency here is real wall-clock time (the SimNet
-//! inference, CMF parsing and panorama synthesis all actually run).
+//! shared caches, and a blocking client. Used by the `live_deployment`
+//! example and the loopback integration tests; latency here is real
+//! wall-clock time (the SimNet inference, CMF parsing and panorama
+//! synthesis all actually run).
+//!
+//! The edge serves connections through a pluggable [`IoDriver`]
+//! ([`NetConfig::driver`]): the legacy thread-per-connection
+//! [`ThreadsDriver`], or the readiness-driven
+//! [`EventLoop`](evloop::EventLoop) (one IO thread, batched frame decode,
+//! coalesced writes, admission-fed backpressure) for large fan-in
+//! populations. Both run the identical frame handler, so the decision
+//! traces they produce are byte-identical — the acceptance suite diffs
+//! them.
 //!
 //! Orchestration — retries, backoff, deadlines, degrade-to-origin, edge
 //! re-probing — is *not* implemented here. [`NetClient`] is a thin driver
@@ -48,8 +57,18 @@
 //! QoE records accumulate behind the engine and aggregate via
 //! [`NetClient::report`].
 
+pub mod driver;
+pub mod evloop;
+pub mod poller;
+
+pub use driver::{
+    DriverServer, FrameHandler, IoDriver, LoopStats, LoopStatsSnapshot, ThreadsDriver,
+};
+pub use poller::{Interest, PollWaker, Poller, Readiness, ScanPoller, Token};
+
 use crate::cluster::{ClusterConfig, ClusterSnapshot, ClusterState, EdgeId};
 use crate::compute::ComputeConfig;
+use crate::config::{DriverKind, EvloopConfig, NetConfigBuilder};
 use crate::content::{ModelLibrary, PanoLibrary};
 use crate::descriptor::FeatureDescriptor;
 use crate::engine::{
@@ -63,7 +82,7 @@ use crate::services::{ClientConfig, ClientLogic, CloudService, EdgeConfig, EdgeR
 use crate::shared_edge::SharedEdgeService;
 use crate::task::TaskResult;
 use crate::telemetry::{path_label, record_decision};
-use coic_cache::{CacheStats, Digest, Metrics};
+use coic_cache::{Digest, Metrics};
 use coic_netsim::rt::{FaultError, FrameConn, FrameError, FrameServer};
 use coic_obs::{MetricsRegistry, Recorder, Telemetry, Value};
 use coic_vision::{ObjectClass, SceneGenerator};
@@ -112,6 +131,11 @@ pub struct NetConfig {
     /// `coic live` CLI passes [`Telemetry::new`] to capture the same span
     /// and event vocabulary the simulator emits.
     pub telemetry: Telemetry,
+    /// Which IO driver the edge serves connections with (the client side
+    /// is unaffected — it is blocking either way).
+    pub driver: DriverKind,
+    /// Event-loop tuning, consulted only under [`DriverKind::Evloop`].
+    pub evloop: EvloopConfig,
 }
 
 impl Default for NetConfig {
@@ -129,7 +153,17 @@ impl Default for NetConfig {
             admission: None,
             brownout: None,
             telemetry: Telemetry::disabled(),
+            driver: DriverKind::default(),
+            evloop: EvloopConfig::default(),
         }
+    }
+}
+
+impl NetConfig {
+    /// Start a typed builder (the supported construction path; see
+    /// [`crate::config`]).
+    pub fn builder() -> NetConfigBuilder {
+        NetConfigBuilder::default()
     }
 }
 
@@ -251,7 +285,7 @@ pub struct EdgeHandle {
     gate: Arc<UpstreamGate>,
     service: Arc<SharedEdgeService>,
     admission: Option<Arc<LiveAdmission>>,
-    server: FrameServer,
+    server: DriverServer,
 }
 
 impl EdgeHandle {
@@ -334,21 +368,10 @@ impl EdgeHandle {
     pub fn publish_metrics(&self, reg: &MetricsRegistry) {
         self.service.publish_metrics(reg);
         self.stats.snapshot().publish(reg);
+        self.server.loop_stats().publish(reg);
         if let Some(snap) = self.cluster_stats() {
             snap.publish(reg);
         }
-    }
-
-    /// Recognition-cache counters, merged across shards.
-    #[deprecated(note = "use `recog_cache_metrics()`; this facade derives from it")]
-    pub fn recog_cache_stats(&self) -> CacheStats {
-        self.recog_cache_metrics().cache_stats()
-    }
-
-    /// Exact-cache counters, merged across shards.
-    #[deprecated(note = "use `exact_cache_metrics()`; this facade derives from it")]
-    pub fn exact_cache_stats(&self) -> CacheStats {
-        self.exact_cache_metrics().cache_stats()
     }
 
     /// Combined hit ratio over both edge caches.
@@ -373,6 +396,18 @@ impl EdgeHandle {
     /// Lock shards per cache on this edge.
     pub fn cache_shards(&self) -> usize {
         self.service.shard_count()
+    }
+
+    /// Which IO driver this edge serves connections with.
+    pub fn driver(&self) -> DriverKind {
+        self.server.kind()
+    }
+
+    /// IO-loop counters (`loop.*`): wakeups, frames per wakeup, coalesced
+    /// writes, read-pause transitions, shed connections. All zero under
+    /// the threads driver except `accepted`.
+    pub fn loop_stats(&self) -> LoopStatsSnapshot {
+        self.server.loop_stats()
     }
 
     /// Stop the edge: no new connections, live ones severed. Idempotent;
@@ -711,7 +746,18 @@ pub fn spawn_edge_with(
     });
     let admission_h = admission.clone();
     let bind = bind.unwrap_or_else(|| SocketAddr::from(([127, 0, 0, 1], 0)));
-    let server = FrameServer::spawn(bind, move |frame| {
+    let driver_kind = net.driver;
+    let mut evcfg = net.evloop.clone();
+    // Backpressure chain: with admission control on, the loop must stop
+    // reading no later than the admission queue would start shedding, so
+    // the dispatch bound is clamped to the admission queue (plus the
+    // worker slots that drain it).
+    if let Some(a) = &net.admission {
+        evcfg.dispatch_depth = evcfg
+            .dispatch_depth
+            .min(a.queue_limit.saturating_add(evcfg.workers).max(1));
+    }
+    let server = DriverServer::spawn(bind, driver_kind, evcfg, move |frame| {
         let peers = &peers_in_handler;
         let msg = Msg::decode(&frame).ok()?;
         let now = clock.now_ns();

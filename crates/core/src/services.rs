@@ -10,8 +10,8 @@ use crate::content::{ModelLibrary, PanoLibrary};
 use crate::descriptor::FeatureDescriptor;
 use crate::task::{RecognitionResult, TaskRequest, TaskResult};
 use coic_cache::{
-    ApproxCache, ApproxLookup, CacheStats, Digest, ExactCache, IndexKind, Lookup, Metrics,
-    PolicyKind, TinyLfuConfig, TouchStats,
+    ApproxCache, ApproxLookup, Digest, ExactCache, IndexKind, Lookup, Metrics, PolicyKind,
+    TinyLfuConfig, TouchStats,
 };
 use coic_obs::MetricsRegistry;
 use coic_vision::{ObjectClass, PrototypeClassifier, SceneGenerator, SimNet, ViewParams};
@@ -197,18 +197,6 @@ impl EdgeService {
     pub fn publish_metrics(&self, reg: &MetricsRegistry) {
         self.recog_metrics().publish(reg, "cache.recog");
         self.exact_metrics().publish(reg, "cache.exact");
-    }
-
-    /// Recognition cache counters.
-    #[deprecated(note = "use `recog_metrics()`; this facade derives from it")]
-    pub fn recog_stats(&self) -> CacheStats {
-        self.recog_metrics().cache_stats()
-    }
-
-    /// Exact cache counters.
-    #[deprecated(note = "use `exact_metrics()`; this facade derives from it")]
-    pub fn exact_stats(&self) -> CacheStats {
-        self.exact_metrics().cache_stats()
     }
 
     /// Combined hit ratio over both caches.
@@ -466,11 +454,6 @@ mod tests {
             other => panic!("expected Hit, got {other:?}"),
         }
         assert_eq!(edge.recog_metrics().hits, 1);
-        // The deprecated facade stays derivable from the metrics view.
-        #[allow(deprecated)]
-        {
-            assert_eq!(edge.recog_stats(), edge.recog_metrics().cache_stats());
-        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crate::descriptor::FeatureDescriptor;
 use crate::services::{EdgeConfig, EdgeReply};
 use crate::task::{TaskRequest, TaskResult};
 use coic_cache::{
-    CacheStats, Digest, IndexTelemetry, Lookup, Metrics, ShardedExactCache, SnapshotApproxCache,
+    Digest, IndexTelemetry, Lookup, Metrics, ShardedExactCache, SnapshotApproxCache,
     DEFAULT_REBUILD_BATCH,
 };
 use coic_obs::MetricsRegistry;
@@ -188,18 +188,6 @@ impl SharedEdgeService {
         self.recog.family_label()
     }
 
-    /// Recognition cache counters, merged across shards.
-    #[deprecated(note = "use `recog_metrics()`; this facade derives from it")]
-    pub fn recog_stats(&self) -> CacheStats {
-        self.recog_metrics().cache_stats()
-    }
-
-    /// Exact cache counters, merged across shards.
-    #[deprecated(note = "use `exact_metrics()`; this facade derives from it")]
-    pub fn exact_stats(&self) -> CacheStats {
-        self.exact_metrics().cache_stats()
-    }
-
     /// Combined hit ratio over both caches.
     pub fn hit_ratio(&self) -> f64 {
         let r = self.recog_metrics();
@@ -251,11 +239,6 @@ mod tests {
         }
         let s = edge.recog_metrics();
         assert_eq!((s.hits, s.misses), (1, 1));
-        // The deprecated facade stays derivable from the metrics view.
-        #[allow(deprecated)]
-        {
-            assert_eq!(edge.recog_stats(), s.cache_stats());
-        }
     }
 
     #[test]

@@ -208,6 +208,15 @@ impl Default for SimConfig {
     }
 }
 
+impl SimConfig {
+    /// Start a typed builder (the supported construction path; see
+    /// [`crate::config`], including [`crate::config::CommonConfig`] for
+    /// the knobs shared with the live stack).
+    pub fn builder() -> crate::config::SimConfigBuilder {
+        crate::config::SimConfigBuilder::default()
+    }
+}
+
 /// Bytes a message occupies on a link. Structural messages use their real
 /// encoded length; camera frames and descriptors are charged at the
 /// configured realistic sizes (see [`SimConfig::image_wire_bytes`]).

@@ -276,6 +276,110 @@ impl FrameConn {
     }
 }
 
+// --- sans-IO framing ---------------------------------------------------
+
+/// Encode one frame (header + payload) into a fresh buffer without touching
+/// a socket. This is the wire image [`FrameConn::send`] produces; the
+/// event-loop driver queues these for coalesced writes.
+pub fn encode_frame(payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+    let len = payload.len();
+    if len > MAX_FRAME as usize {
+        return Err(FrameError::Oversized(len.min(u32::MAX as usize) as u32));
+    }
+    let mut out = Vec::with_capacity(HDR_LEN + len);
+    out.extend_from_slice(&(len as u32).to_be_bytes());
+    out.extend_from_slice(&crc32(payload).to_be_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Incremental, sans-IO frame decoder.
+///
+/// Feed raw bytes in whatever fragments the transport produced
+/// ([`FrameDecoder::push`]) and pull complete frames out
+/// ([`FrameDecoder::next_frame`]). The decoder enforces the same
+/// invariants as [`FrameConn::recv`] — [`MAX_FRAME`] before any payload
+/// allocation, CRC-32 verification on completion — and buffers at most one
+/// partial frame plus any not-yet-consumed trailing bytes, so a lying
+/// length prefix cannot reserve more memory than the peer actually
+/// transmits ([`RECV_CHUNK`]-granular reservation).
+///
+/// A decoder error is sticky: the stream is desynchronized and the
+/// connection must be dropped, matching the blocking path's
+/// reconnect-on-error contract.
+#[derive(Default)]
+pub struct FrameDecoder {
+    /// Unconsumed raw bytes (header fragments and payload tails).
+    buf: Vec<u8>,
+    /// Read cursor into `buf`; consumed prefix is compacted lazily.
+    pos: usize,
+    /// Header of the frame currently being assembled, if parsed.
+    pending: Option<(usize, u32)>,
+    /// Set once a framing error is surfaced; further pushes are rejected.
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// A decoder at a frame boundary with no buffered bytes.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Feed raw transport bytes into the decoder.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: keeps steady-state memory at one partial
+        // frame rather than the whole connection history.
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= RECV_CHUNK) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pull the next complete frame, if one is available.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed, and a sticky
+    /// [`FrameError`] ([`FrameError::Oversized`] or [`FrameError::Corrupt`])
+    /// when the stream is unrecoverable.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        if self.poisoned {
+            return Err(FrameError::Closed);
+        }
+        if self.pending.is_none() {
+            if self.buffered() < HDR_LEN {
+                return Ok(None);
+            }
+            let hdr = &self.buf[self.pos..self.pos + HDR_LEN];
+            let len = u32::from_be_bytes(hdr[..4].try_into().unwrap());
+            let expected = u32::from_be_bytes(hdr[4..].try_into().unwrap());
+            if len > MAX_FRAME {
+                self.poisoned = true;
+                return Err(FrameError::Oversized(len));
+            }
+            self.pos += HDR_LEN;
+            self.pending = Some((len as usize, expected));
+        }
+        let (len, expected) = self.pending.unwrap();
+        if self.buffered() < len {
+            return Ok(None);
+        }
+        let payload = Bytes::from(self.buf[self.pos..self.pos + len].to_vec());
+        self.pos += len;
+        self.pending = None;
+        let actual = crc32(&payload);
+        if actual != expected {
+            self.poisoned = true;
+            return Err(FrameError::Corrupt { expected, actual });
+        }
+        Ok(Some(payload))
+    }
+}
+
 // --- shared listener plumbing ------------------------------------------
 
 /// Registry of live per-connection sockets plus a stop flag, shared
@@ -743,6 +847,63 @@ fn pump_frames(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn decoder_reassembles_frames_across_arbitrary_fragmentation() {
+        let frames: Vec<Vec<u8>> = vec![b"alpha".to_vec(), vec![], vec![7u8; 200_000]];
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode_frame(f).unwrap());
+        }
+        // 1-byte trickle.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            dec.push(std::slice::from_ref(b));
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f.to_vec());
+            }
+        }
+        assert_eq!(got, frames);
+        // One jumbo push.
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        let mut got = Vec::new();
+        while let Some(f) = dec.next_frame().unwrap() {
+            got.push(f.to_vec());
+        }
+        assert_eq!(got, frames);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_and_corrupt_and_stays_poisoned() {
+        let mut dec = FrameDecoder::new();
+        let mut hdr = Vec::new();
+        hdr.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        hdr.extend_from_slice(&0u32.to_be_bytes());
+        dec.push(&hdr);
+        assert!(matches!(dec.next_frame(), Err(FrameError::Oversized(_))));
+        assert!(dec.next_frame().is_err());
+
+        let mut dec = FrameDecoder::new();
+        let mut frame = encode_frame(b"payload").unwrap();
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        dec.push(&frame);
+        assert!(matches!(dec.next_frame(), Err(FrameError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn encode_frame_matches_frame_conn_wire_image() {
+        let server = FrameServer::spawn("127.0.0.1:0", |frame| Some(frame.to_vec())).unwrap();
+        let mut conn = FrameConn::connect(server.local_addr()).unwrap();
+        conn.send(b"wire image probe").unwrap();
+        let echoed = conn.recv().unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&encode_frame(&echoed).unwrap());
+        assert_eq!(dec.next_frame().unwrap().unwrap(), echoed);
+    }
 
     #[test]
     fn echo_round_trip() {

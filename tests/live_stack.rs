@@ -761,6 +761,223 @@ fn forged_replicate_push_is_rejected() {
     }
 }
 
+// ----------------------------------------------------- evloop driver --
+//
+// The same live stack on the readiness-driven event loop. These mirror
+// the thread-per-connection coverage above: the IO driver is below the
+// engine boundary, so every behavior — cache sharing, garbage-frame
+// robustness, fault-proxy chaos, admission shedding — must hold
+// unchanged, and the `loop.*` counters must account for the traffic.
+
+use coic::core::DriverKind;
+
+fn evloop_stack() -> Stack {
+    let models = Arc::new(ModelLibrary::new());
+    let panos = Arc::new(PanoLibrary::new(64));
+    let compute = ComputeConfig::default();
+    let classes: Vec<_> = (0..6).map(ObjectClass).collect();
+    let cloud = spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), 3).unwrap();
+    let net = NetConfig::builder().driver(DriverKind::Evloop).build();
+    let edge = spawn_edge_with(cloud.addr(), &EdgeConfig::default(), net, None).unwrap();
+    assert_eq!(edge.driver(), DriverKind::Evloop);
+    Stack {
+        _cloud: cloud,
+        edge,
+        models,
+        panos,
+        compute,
+    }
+}
+
+#[test]
+fn evloop_concurrent_clients_share_the_edge_cache() {
+    let s = evloop_stack();
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let mut c = client(&s);
+            std::thread::spawn(move || {
+                let mut outcomes = Vec::new();
+                for frame in 0..3u64 {
+                    let out = c
+                        .execute(&req(RequestKind::Panorama { frame_id: frame }))
+                        .unwrap();
+                    outcomes.push((frame, out));
+                }
+                outcomes
+            })
+        })
+        .collect();
+    let mut by_frame: std::collections::HashMap<u64, Vec<coic::core::TaskResult>> =
+        std::collections::HashMap::new();
+    let mut hits = 0;
+    let mut total = 0;
+    for h in handles {
+        for (frame, out) in h.join().unwrap() {
+            total += 1;
+            if out.path == Path::EdgeHit {
+                hits += 1;
+            }
+            by_frame.entry(frame).or_default().push(out.result);
+        }
+    }
+    assert_eq!(total, 24);
+    assert!(hits >= 12, "only {hits}/24 hits");
+    for (frame, results) in by_frame {
+        for r in &results {
+            assert_eq!(r, &results[0], "divergent results for frame {frame}");
+        }
+    }
+    // The loop accounted for the traffic: each request is at least one
+    // frame (queries; some also upload), every client was accepted.
+    let stats = s.edge.loop_stats();
+    assert!(stats.accepted >= 8, "{stats:?}");
+    assert!(stats.frames >= 24, "{stats:?}");
+    assert!(stats.wakeups >= 1, "{stats:?}");
+}
+
+#[test]
+fn evloop_edge_survives_garbage_frames() {
+    use coic::netsim::rt::FrameConn;
+    let s = evloop_stack();
+    // Junk payload in a valid frame: decoded, fails Msg::decode, the
+    // handler returns None and the loop closes the connection.
+    let mut evil = FrameConn::connect(s.edge.addr()).unwrap();
+    evil.send(b"this is not a coic message").unwrap();
+    let _ = evil.recv();
+    // Corrupt wire bytes: the incremental decoder poisons the
+    // connection without ever allocating the bogus length.
+    use std::io::Write;
+    let mut raw = std::net::TcpStream::connect(s.edge.addr()).unwrap();
+    raw.write_all(&[0xFF; 64]).unwrap();
+    let _ = raw.flush();
+
+    let mut good = client(&s);
+    let out = good
+        .execute(&req(RequestKind::Panorama { frame_id: 1 }))
+        .unwrap();
+    assert!(matches!(out.path, Path::CloudMiss | Path::EdgeHit));
+}
+
+#[test]
+fn evloop_survives_lossy_proxy_between_client_and_edge() {
+    use coic::netsim::rt::{FaultPlan, FaultProxy};
+    let s = evloop_stack();
+    // The FaultProxy interposes on the access link exactly as it does for
+    // the threads driver: drops and delays must surface as timeouts and
+    // retries, never hangs, whichever driver terminates the edge side.
+    let plan = FaultPlan {
+        seed: 7,
+        drop_frame: 0.15,
+        delay_frame: 0.10,
+        delay_ms: 20,
+        ..FaultPlan::default()
+    };
+    let proxy = FaultProxy::spawn(s.edge.addr(), plan).unwrap();
+
+    let mut net = fast_net();
+    net.request_deadline = Duration::from_millis(400);
+    let mut c = NetClient::connect_with(
+        proxy.local_addr(),
+        Some(s._cloud.addr()),
+        net,
+        ClientConfig::default(),
+        s.compute,
+        s.models.clone(),
+        s.panos.clone(),
+    )
+    .unwrap();
+
+    let started = Instant::now();
+    for i in 0..12u64 {
+        let out = c
+            .execute(&req(RequestKind::Panorama { frame_id: i % 4 }))
+            .unwrap();
+        match out.result {
+            coic::core::TaskResult::Panorama(bytes) => assert!(!bytes.is_empty()),
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "lossy workload hung: {:?}",
+        started.elapsed()
+    );
+    let stats = proxy.stats();
+    assert!(stats.forwarded > 0, "proxy forwarded nothing: {stats:?}");
+}
+
+#[test]
+fn evloop_admission_pressure_sheds_and_completes_every_request() {
+    use coic::core::engine::AdmissionConfig;
+    use std::sync::Barrier;
+
+    const CLIENTS: usize = 6;
+    const REQS_PER_CLIENT: usize = 6;
+
+    // The tightest admission policy on the event loop: the dispatch
+    // bound is clamped to the admission window, so backpressure pauses
+    // reads instead of queueing unboundedly, and the admission layer
+    // sheds what still gets through.
+    let models = Arc::new(ModelLibrary::new());
+    let panos = Arc::new(PanoLibrary::new(64));
+    let compute = ComputeConfig::default();
+    let classes: Vec<_> = (0..6).map(ObjectClass).collect();
+    let cloud = spawn_cloud(&classes, 64, compute, models.clone(), panos.clone(), 3).unwrap();
+    let edge_net = NetConfig::builder()
+        .driver(DriverKind::Evloop)
+        .admission(AdmissionConfig {
+            queue_limit: 0,
+            ..AdmissionConfig::fixed(1)
+        })
+        .build();
+    let edge = spawn_edge_with(cloud.addr(), &EdgeConfig::default(), edge_net, None).unwrap();
+    let s = Stack {
+        _cloud: cloud,
+        edge,
+        models,
+        panos,
+        compute,
+    };
+
+    let crowd_req = req(RequestKind::RenderLoad {
+        model_id: 5,
+        size_bytes: 4_000_000,
+    });
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let mut c = fallback_client(&s, fast_net());
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut done = 0u64;
+                for _ in 0..REQS_PER_CLIENT {
+                    c.execute(&crowd_req).unwrap();
+                    done += 1;
+                }
+                done
+            })
+        })
+        .collect();
+    let mut completed = 0u64;
+    for h in handles {
+        completed += h.join().unwrap();
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "evloop flash crowd hung: {:?}",
+        started.elapsed()
+    );
+    assert_eq!(
+        completed,
+        (CLIENTS * REQS_PER_CLIENT) as u64,
+        "zero hung requests: every request completes on some path"
+    );
+    let edge_snap = s.edge.robustness().snapshot();
+    assert!(edge_snap.admitted >= 1, "{edge_snap}");
+}
+
 #[test]
 fn hits_are_faster_than_misses_live() {
     let s = stack();
